@@ -1,0 +1,83 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * B²S² vs BBS — the value of the whole §3 geometric foundation
+//!   (anchors + Theorem-1 passes + rectangle B) on the R-tree side;
+//! * VS² `Safe` vs `Paper` expansion — the cost of the provably-exact
+//!   expansion policy relative to the paper's gated one;
+//! * `naive_sorted` vs `naive_full` — what the monotone sort alone buys
+//!   without any index.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssq_bench::Fixture;
+use ssq_core::{b2s2, bbs, naive_full, naive_sorted, vs2_with, QueryContext, VsExpansion};
+use ssq_workload::queries::{random_query_set, QueryConfig};
+
+fn foundation_ablation(c: &mut Criterion) {
+    let fix = Fixture::usgs(10_000, 0xAB1A);
+    let q = random_query_set(&QueryConfig::paper_default(6, 77));
+    let ctx = QueryContext::new(&q);
+    let mut group = c.benchmark_group("ablation_foundation");
+    group.sample_size(20);
+    group.bench_function("BBS_no_geometry", |b| b.iter(|| bbs(&fix.rtree, &ctx)));
+    group.bench_function("B2S2_full_geometry", |b| b.iter(|| b2s2(&fix.rtree, &ctx)));
+    group.finish();
+}
+
+fn expansion_ablation(c: &mut Criterion) {
+    let fix = Fixture::usgs(10_000, 0xAB1B);
+    let q = random_query_set(&QueryConfig::paper_default(6, 78));
+    let ctx = QueryContext::new(&q);
+    let mut group = c.benchmark_group("ablation_vs2_expansion");
+    group.sample_size(20);
+    for (label, mode) in [("paper", VsExpansion::Paper), ("safe", VsExpansion::Safe)] {
+        group.bench_with_input(BenchmarkId::new("VS2", label), &mode, |b, &mode| {
+            b.iter(|| vs2_with(&fix.voronoi, &ctx, mode, None))
+        });
+    }
+    group.finish();
+}
+
+fn naive_ablation(c: &mut Criterion) {
+    let fix = Fixture::usgs(2_000, 0xAB1C);
+    let q = random_query_set(&QueryConfig::paper_default(5, 79));
+    let ctx = QueryContext::new(&q);
+    let mut group = c.benchmark_group("ablation_naive");
+    group.sample_size(10);
+    group.bench_function("naive_full_quadratic", |b| {
+        b.iter(|| naive_full(&fix.points, &ctx))
+    });
+    group.bench_function("naive_sorted", |b| b.iter(|| naive_sorted(&fix.points, &ctx)));
+    group.finish();
+}
+
+fn start_index_ablation(c: &mut Criterion) {
+    // The §4.2 Φ(|P|) analysis: O(log n) kd-tree start vs the index-free
+    // O(√n) greedy Delaunay walk.
+    let pts = ssq_workload::usgs::synthetic_usgs_points(&ssq_workload::usgs::UsgsConfig {
+        n: 10_000,
+        seed: 0xAB1D,
+        ..Default::default()
+    });
+    let with_kd = ssq_core::VoronoiIndex::new(&pts).unwrap();
+    let greedy = ssq_core::VoronoiIndex::without_start_index(&pts).unwrap();
+    let q = random_query_set(&QueryConfig::paper_default(6, 80));
+    let ctx = QueryContext::new(&q);
+    let mut group = c.benchmark_group("ablation_vs2_start_index");
+    group.sample_size(20);
+    group.bench_function("kdtree_start", |b| {
+        b.iter(|| vs2_with(&with_kd, &ctx, VsExpansion::Safe, None))
+    });
+    group.bench_function("greedy_walk_start", |b| {
+        b.iter(|| vs2_with(&greedy, &ctx, VsExpansion::Safe, None))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    foundation_ablation,
+    expansion_ablation,
+    naive_ablation,
+    start_index_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench for the §7 dataset-cardinality experiment: query cost
+//! vs |P| at fixed |Q| and MBR(Q).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssq_bench::{run_once, Algo, Fixture};
+use ssq_core::QueryContext;
+use ssq_workload::queries::{random_query_set, QueryConfig};
+
+fn cardinality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cardinality");
+    group.sample_size(15);
+    for n in [2_000usize, 8_000, 32_000] {
+        let fix = Fixture::usgs(n, n as u64);
+        let q = random_query_set(&QueryConfig::paper_default(6, 42));
+        let ctx = QueryContext::new(&q);
+        for algo in [Algo::Bbs, Algo::B2s2, Algo::Vs2] {
+            group.bench_with_input(BenchmarkId::new(algo.to_string(), n), &ctx, |b, ctx| {
+                b.iter(|| run_once(&fix, algo, ctx))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, cardinality);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion bench for the continuous experiment (§5/§7): the per-update
+//! cost of VCS² against re-running VS² from scratch on the same stream.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssq_bench::Fixture;
+use ssq_core::{vs2_with, ContinuousSkyline, QueryContext, VsExpansion};
+use ssq_workload::motion::{MotionConfig, MovingQuerySet};
+
+fn continuous(c: &mut Criterion) {
+    let fix = Fixture::usgs(10_000, 0xC0171);
+    let mut group = c.benchmark_group("continuous");
+    group.sample_size(10);
+    for count in [4usize, 8] {
+        let cfg = MotionConfig {
+            count,
+            step: 0.005,
+            start_box: 0.05,
+            seed: 9 + count as u64,
+            ..MotionConfig::default()
+        };
+
+        // VCS²: maintain the skyline across a burst of updates.
+        group.bench_with_input(BenchmarkId::new("VCS2", count), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut team = MovingQuerySet::new(*cfg);
+                let mut cont = ContinuousSkyline::new(&fix.voronoi, team.positions());
+                for _ in 0..50 {
+                    let up = team.next_update();
+                    cont.update(up.index, up.location);
+                }
+                cont.skyline().len()
+            })
+        });
+
+        // Strawman: fresh VS² after every update.
+        group.bench_with_input(BenchmarkId::new("VS2-rerun", count), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut team = MovingQuerySet::new(*cfg);
+                let mut total = 0usize;
+                for _ in 0..50 {
+                    let up = team.next_update();
+                    let _ = up;
+                    let ctx = QueryContext::new(team.positions());
+                    total += vs2_with(&fix.voronoi, &ctx, VsExpansion::Safe, None)
+                        .skyline
+                        .len();
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, continuous);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion benches for Figure 12: query cost vs |Q| (a-c) and vs the
+//! area of MBR(Q) (d-f), for BBS, B²S² and VS².
+//!
+//! Criterion measures the wall-clock side (Fig. 12a/d); the dominance
+//! check and I/O counter series are printed by the `reproduce` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssq_bench::{run_once, Algo, Fixture};
+use ssq_core::QueryContext;
+use ssq_workload::queries::{random_query_set, QueryConfig};
+
+const N: usize = 10_000;
+
+fn query_count_sweep(c: &mut Criterion) {
+    let fix = Fixture::usgs(N, 0xF12);
+    let mut group = c.benchmark_group("fig12_query_count");
+    group.sample_size(20);
+    for count in [2usize, 4, 6, 8, 10] {
+        let q = random_query_set(&QueryConfig::paper_default(count, 42 + count as u64));
+        let ctx = QueryContext::new(&q);
+        for algo in [Algo::Bbs, Algo::B2s2, Algo::Vs2] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.to_string(), count),
+                &ctx,
+                |b, ctx| b.iter(|| run_once(&fix, algo, ctx)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn mbr_area_sweep(c: &mut Criterion) {
+    let fix = Fixture::usgs(N, 0xF12);
+    let mut group = c.benchmark_group("fig12_mbr_area");
+    group.sample_size(20);
+    for (frac, label) in [
+        (0.0001, "0.01pct"),
+        (0.0005, "0.05pct"),
+        (0.001, "0.10pct"),
+        (0.003, "0.30pct"),
+        (0.007, "0.70pct"),
+    ] {
+        let q = random_query_set(&QueryConfig {
+            count: 6,
+            mbr_area_fraction: frac,
+            universe: ssq_workload::usgs::universe(),
+            seed: 137,
+        });
+        let ctx = QueryContext::new(&q);
+        for algo in [Algo::Bbs, Algo::B2s2, Algo::Vs2] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.to_string(), label),
+                &ctx,
+                |b, ctx| b.iter(|| run_once(&fix, algo, ctx)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, query_count_sweep, mbr_area_sweep);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Substrate micro-benches: construction costs of the two physical
+//! designs (§7's preprocessing), the convex hull, and the robust
+//! predicates. Not a paper figure — these quantify the substrates the
+//! paper takes as given.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssq_delaunay::{DelaunayGraph, Triangulation};
+use ssq_geom::predicates::{incircle, orient2d};
+use ssq_geom::{convex_hull, graham_scan, Point};
+use ssq_rtree::{RTree, RTreeConfig};
+use ssq_workload::usgs::{synthetic_usgs_points, UsgsConfig};
+
+fn construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_construction");
+    group.sample_size(10);
+    for n in [2_000usize, 10_000] {
+        let pts = synthetic_usgs_points(&UsgsConfig {
+            n,
+            seed: n as u64,
+            ..UsgsConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::new("delaunay", n), &pts, |b, pts| {
+            b.iter(|| Triangulation::new(pts).unwrap().triangles().count())
+        });
+        group.bench_with_input(BenchmarkId::new("delaunay_graph", n), &pts, |b, pts| {
+            b.iter(|| DelaunayGraph::new(pts).unwrap().edge_count())
+        });
+        group.bench_with_input(BenchmarkId::new("rtree_bulk_load", n), &pts, |b, pts| {
+            b.iter(|| RTree::<u32>::bulk_load_points(pts, RTreeConfig::default()).height())
+        });
+    }
+    group.finish();
+}
+
+fn hulls(c: &mut Criterion) {
+    let pts = synthetic_usgs_points(&UsgsConfig {
+        n: 10_000,
+        seed: 3,
+        ..UsgsConfig::default()
+    });
+    let mut group = c.benchmark_group("substrate_hull");
+    group.bench_function("monotone_chain_10k", |b| b.iter(|| convex_hull(&pts).len()));
+    group.bench_function("graham_scan_10k", |b| b.iter(|| graham_scan(&pts).len()));
+    group.finish();
+}
+
+fn predicates(c: &mut Criterion) {
+    let a = Point::new(0.1, 0.2);
+    let b_ = Point::new(0.9, 0.7);
+    let d = Point::new(0.3, 0.8);
+    let easy = Point::new(0.5, 0.9);
+    // Nearly collinear probe: exercises the exact fallback.
+    let hard = Point::new(0.5, 0.45 + 1e-17);
+    let mut group = c.benchmark_group("substrate_predicates");
+    group.bench_function("orient2d_filter_path", |bch| {
+        bch.iter(|| orient2d(a, b_, std::hint::black_box(easy)))
+    });
+    group.bench_function("orient2d_exact_path", |bch| {
+        bch.iter(|| orient2d(a, b_, std::hint::black_box(hard)))
+    });
+    group.bench_function("incircle_filter_path", |bch| {
+        bch.iter(|| incircle(a, b_, d, std::hint::black_box(easy)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, construction, hulls, predicates);
+criterion_main!(benches);

@@ -1,0 +1,256 @@
+//! Regenerates every table and figure of §7 of *The Spatial Skyline
+//! Queries* (plus the §6 mixed experiment) as text tables.
+//!
+//! ```text
+//! cargo run -p ssq-bench --release --bin reproduce -- --all
+//! cargo run -p ssq-bench --release --bin reproduce -- --fig12a --n 50000
+//! ```
+//!
+//! Flags: `--table5 --fig12a --fig12b --fig12c --fig12d --fig12e --fig12f
+//! --cardinality --density --continuous --mixed --all`, plus `--n <size>`
+//! (dataset size, default 30000), `--batch <k>` (queries per setting,
+//! default 20) and `--quick` (small sizes for smoke runs).
+
+use ssq_bench::{run_batch, run_continuous, run_mixed, table5, Algo, Fixture};
+use ssq_workload::usgs::{synthetic_usgs, UsgsConfig};
+
+struct Opts {
+    n: usize,
+    batch: usize,
+    which: Vec<String>,
+}
+
+fn parse_args() -> Opts {
+    let mut n = 30_000;
+    let mut batch = 20;
+    let mut which: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--n" => n = args.next().expect("--n SIZE").parse().expect("size"),
+            "--batch" => batch = args.next().expect("--batch K").parse().expect("batch"),
+            "--quick" => {
+                n = 3_000;
+                batch = 5;
+            }
+            "--all" => which.push("all".into()),
+            flag if flag.starts_with("--") => which.push(flag[2..].to_string()),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    if which.is_empty() {
+        which.push("all".into());
+    }
+    Opts { n, batch, which }
+}
+
+fn wants(opts: &Opts, name: &str) -> bool {
+    opts.which.iter().any(|w| w == name || w == "all")
+}
+
+const QCOUNTS: [usize; 5] = [2, 4, 6, 8, 10];
+const AREAS: [(f64, &str); 5] = [
+    (0.0001, "0.01%"),
+    (0.0005, "0.05%"),
+    (0.001, "0.10%"),
+    (0.003, "0.30%"),
+    (0.007, "0.70%"),
+];
+
+fn fig12_query_sweep(fix: &Fixture, opts: &Opts, metric: &str) {
+    println!("\n|Q| sweep (MBR(Q) = 0.1% of universe, |P| = {}, {} queries/setting)", fix.points.len(), opts.batch);
+    println!("{:>5}  {:>12}  {:>12}  {:>12}", "|Q|", "BBS", "B2S2", "VS2");
+    for count in QCOUNTS {
+        let rows: Vec<f64> = [Algo::Bbs, Algo::B2s2, Algo::Vs2]
+            .iter()
+            .map(|&a| {
+                let c = run_batch(fix, a, count, 0.001, opts.batch, 42 + count as u64);
+                match metric {
+                    "time" => c.time_ms,
+                    "dom" => c.dominance_checks,
+                    "io" => c.node_accesses,
+                    _ => unreachable!(),
+                }
+            })
+            .collect();
+        println!(
+            "{:>5}  {:>12.3}  {:>12.3}  {:>12.3}",
+            count, rows[0], rows[1], rows[2]
+        );
+    }
+}
+
+fn fig12_area_sweep(fix: &Fixture, opts: &Opts, metric: &str) {
+    println!("\nMBR(Q) sweep (|Q| = 6, |P| = {}, {} queries/setting)", fix.points.len(), opts.batch);
+    println!("{:>7}  {:>12}  {:>12}  {:>12}", "MBR(Q)", "BBS", "B2S2", "VS2");
+    for (frac, label) in AREAS {
+        let rows: Vec<f64> = [Algo::Bbs, Algo::B2s2, Algo::Vs2]
+            .iter()
+            .map(|&a| {
+                let c = run_batch(fix, a, 6, frac, opts.batch, 137 + (frac * 1e6) as u64);
+                match metric {
+                    "time" => c.time_ms,
+                    "dom" => c.dominance_checks,
+                    "io" => c.node_accesses,
+                    _ => unreachable!(),
+                }
+            })
+            .collect();
+        println!(
+            "{:>7}  {:>12.3}  {:>12.3}  {:>12.3}",
+            label, rows[0], rows[1], rows[2]
+        );
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    println!("spatial-skyline reproduction harness (|P| = {}, batch = {})", opts.n, opts.batch);
+
+    if wants(&opts, "table5") {
+        println!("\n== Table 5: synthetic USGS dataset composition ==");
+        println!("{:<16} {:>8} {:>10} {:>10}", "category", "count", "fraction", "target");
+        for (name, count, target) in table5(opts.n, 0x5567_5347) {
+            println!(
+                "{:<16} {:>8} {:>9.2}% {:>9.2}%",
+                name,
+                count,
+                100.0 * count as f64 / opts.n as f64,
+                100.0 * target
+            );
+        }
+    }
+
+    let needs_fixture = ["fig12a", "fig12b", "fig12c", "fig12d", "fig12e", "fig12f", "continuous", "mixed"]
+        .iter()
+        .any(|f| wants(&opts, f));
+    let fix = if needs_fixture {
+        eprintln!("building indexes over {} points ...", opts.n);
+        Some(Fixture::usgs(opts.n, 0x5567_5347))
+    } else {
+        None
+    };
+
+    if let Some(fix) = &fix {
+        if wants(&opts, "fig12a") {
+            println!("\n== Figure 12a: CPU time (ms) vs |Q| ==");
+            fig12_query_sweep(fix, &opts, "time");
+        }
+        if wants(&opts, "fig12b") {
+            println!("\n== Figure 12b: dominance checks vs |Q| ==");
+            fig12_query_sweep(fix, &opts, "dom");
+        }
+        if wants(&opts, "fig12c") {
+            println!("\n== Figure 12c: index node/page accesses vs |Q| ==");
+            fig12_query_sweep(fix, &opts, "io");
+        }
+        if wants(&opts, "fig12d") {
+            println!("\n== Figure 12d: CPU time (ms) vs MBR(Q) area ==");
+            fig12_area_sweep(fix, &opts, "time");
+        }
+        if wants(&opts, "fig12e") {
+            println!("\n== Figure 12e: dominance checks vs MBR(Q) area ==");
+            fig12_area_sweep(fix, &opts, "dom");
+        }
+        if wants(&opts, "fig12f") {
+            println!("\n== Figure 12f: index node/page accesses vs MBR(Q) area ==");
+            fig12_area_sweep(fix, &opts, "io");
+        }
+    }
+
+    if wants(&opts, "cardinality") {
+        println!("\n== Cardinality sweep: CPU time (ms) vs |P| (|Q| = 6, MBR 0.1%) ==");
+        println!("{:>8}  {:>12}  {:>12}  {:>12}", "|P|", "BBS", "B2S2", "VS2");
+        let sizes = [5_000usize, 10_000, 20_000, 40_000, 80_000];
+        for n in sizes {
+            if n > opts.n * 4 && opts.n <= 3_000 {
+                // --quick: cap the sweep
+                continue;
+            }
+            let f = Fixture::usgs(n, 0x5567_5347 + n as u64);
+            let rows: Vec<f64> = [Algo::Bbs, Algo::B2s2, Algo::Vs2]
+                .iter()
+                .map(|&a| run_batch(&f, a, 6, 0.001, opts.batch, n as u64).time_ms)
+                .collect();
+            println!("{:>8}  {:>12.3}  {:>12.3}  {:>12.3}", n, rows[0], rows[1], rows[2]);
+        }
+    }
+
+    if wants(&opts, "density") {
+        println!("\n== Density sweep: CPU time (ms) vs cluster σ (|P| = {}, |Q| = 6) ==", opts.n);
+        println!("{:>8}  {:>12}  {:>12}  {:>12}  {:>10}", "sigma", "BBS", "B2S2", "VS2", "|skyline|");
+        for sigma in [0.005, 0.01, 0.02, 0.05, 0.1] {
+            let points: Vec<_> = synthetic_usgs(&UsgsConfig {
+                n: opts.n,
+                cluster_sigma: sigma,
+                seed: 0xD05,
+                ..UsgsConfig::default()
+            })
+            .iter()
+            .map(|u| u.location)
+            .collect();
+            let f = Fixture::from_points(points);
+            let mut sky = 0.0;
+            let rows: Vec<f64> = [Algo::Bbs, Algo::B2s2, Algo::Vs2]
+                .iter()
+                .map(|&a| {
+                    let c = run_batch(&f, a, 6, 0.001, opts.batch, (sigma * 1e4) as u64);
+                    sky = c.skyline_size;
+                    c.time_ms
+                })
+                .collect();
+            println!(
+                "{:>8.3}  {:>12.3}  {:>12.3}  {:>12.3}  {:>10.1}",
+                sigma, rows[0], rows[1], rows[2], sky
+            );
+        }
+    }
+
+    if let Some(fix) = &fix {
+        if wants(&opts, "continuous") {
+            println!("\n== Continuous SSQ (VCS², §5): outcome mix and speedup vs |Q| ==");
+            println!(
+                "{:>5}  {:>10} {:>12} {:>11}  {:>9} {:>9} {:>9} {:>8}",
+                "|Q|", "unchanged", "incremental", "recomputed", "VCS2 ms", "fast ms", "VS2 ms", "speedup"
+            );
+            let updates = if opts.n <= 3_000 { 100 } else { 300 };
+            for count in 3..=10usize {
+                let row = run_continuous(fix, count, updates, 0.005, 7_000 + count as u64);
+                println!(
+                    "{:>5}  {:>9.1}% {:>11.1}% {:>10.1}%  {:>9.3} {:>9.3} {:>9.3} {:>7.2}x",
+                    row.query_count,
+                    100.0 * row.unchanged_frac,
+                    100.0 * row.incremental_frac,
+                    100.0 * row.recomputed_frac,
+                    row.vcs2_ms,
+                    row.vcs2_fast_ms,
+                    row.vs2_ms,
+                    row.vs2_ms / row.vcs2_fast_ms.max(1e-9),
+                );
+            }
+        }
+
+        if wants(&opts, "mixed") {
+            println!("\n== Mixed skylines S(A, Q) (§6) ==");
+            println!(
+                "{:>4}  {:>7} {:>7} {:>8}  {:>10} {:>10} {:>10}",
+                "|A|", "|S(A)|", "|S(Q)|", "|S(A,Q)|", "naive ms", "B2S2 ms", "VS2 ms"
+            );
+            for attr_count in [1usize, 2] {
+                let row = run_mixed(fix, attr_count, 31 + attr_count as u64);
+                println!(
+                    "{:>4}  {:>7} {:>7} {:>8}  {:>10.3} {:>10.3} {:>10.3}",
+                    row.attr_count,
+                    row.static_size,
+                    row.spatial_size,
+                    row.mixed_size,
+                    row.naive_ms,
+                    row.b2s2_ms,
+                    row.vs2_ms
+                );
+            }
+        }
+    }
+
+    println!("\ndone.");
+}

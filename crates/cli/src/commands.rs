@@ -1,0 +1,541 @@
+//! The `ssq` subcommands.
+//!
+//! ```text
+//! ssq generate --n 10000 --out points.csv [--seed 42] [--uniform]
+//! ssq info     --data points.csv
+//! ssq query    --data points.csv --query "x1,y1;x2,y2;..."
+//!              [--algorithm naive|bbs|b2s2|vs2] [--mixed] [--top K]
+//! ssq render   --data points.csv --query "..." --out picture.svg [--voronoi]
+//! ssq continuous --data points.csv --count 5 --updates 500 [--step 0.01]
+//! ```
+//!
+//! `query` prints one result row per skyline point:
+//! `index,x,y,dist_to_q1,dist_to_q2,...`, followed by a `# stats` comment
+//! with the cost counters. With `--mixed`, attribute columns in the data
+//! file join the dominance (minimize semantics). With `--top K`, results
+//! come ranked by total distance and the search stops after `K`.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::PathBuf;
+
+use ssq_core::mixed::{mixed_b2s2, MixedContext};
+use ssq_core::ranked::{b2s2_ranked, WeightedSum};
+use ssq_core::{
+    b2s2, bbs, naive_sorted, vs2, QueryContext, RTreeIndex, SkylineResult, VoronoiIndex,
+};
+use ssq_geom::{convex_hull, Rect};
+use ssq_workload::usgs::{synthetic_usgs_points, uniform_points, UsgsConfig};
+
+use crate::csv;
+
+/// Errors surfaced to the user with exit code 1.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Usage(String),
+    /// File I/O failure.
+    Io(std::io::Error),
+    /// CSV parse failure.
+    Csv(csv::CsvError),
+    /// Anything else (index construction, etc.).
+    Other(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}\n\n{USAGE}"),
+            CliError::Io(e) => write!(f, "I/O error: {e}"),
+            CliError::Csv(e) => write!(f, "CSV error: {e}"),
+            CliError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<csv::CsvError> for CliError {
+    fn from(e: csv::CsvError) -> Self {
+        CliError::Csv(e)
+    }
+}
+
+/// The help text.
+pub const USAGE: &str = "\
+ssq — spatial skyline queries (Sharifzadeh & Shahabi, VLDB 2006)
+
+USAGE:
+  ssq generate --n <count> --out <file.csv> [--seed <u64>] [--uniform]
+  ssq info     --data <file.csv>
+  ssq query    --data <file.csv> --query \"x1,y1;x2,y2;...\"
+               [--algorithm naive|bbs|b2s2|vs2] [--mixed] [--top <k>]
+  ssq render   --data <file.csv> --query \"...\" --out <picture.svg>
+               [--voronoi]
+  ssq continuous --data <file.csv> --count <movers> --updates <n>
+               [--step <frac>] [--seed <u64>]
+
+A data CSV has rows `x,y[,attr1,attr2,...]`; attribute columns are used
+only with --mixed (minimize semantics). Query points are separated by
+semicolons.";
+
+/// Entry point: parses `args` (without the program name) and runs.
+pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
+    match args.first().map(String::as_str) {
+        Some("generate") => generate(&args[1..], out),
+        Some("info") => info(&args[1..], out),
+        Some("query") => query(&args[1..], out),
+        Some("render") => render_cmd(&args[1..], out),
+        Some("continuous") => continuous(&args[1..], out),
+        Some("--help") | Some("-h") | Some("help") => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        Some(other) => Err(CliError::Usage(format!("unknown command '{other}'"))),
+        None => Err(CliError::Usage("no command given".into())),
+    }
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn generate<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
+    let n: usize = flag_value(args, "--n")
+        .ok_or_else(|| CliError::Usage("generate needs --n".into()))?
+        .parse()
+        .map_err(|_| CliError::Usage("--n must be an integer".into()))?;
+    let path = PathBuf::from(
+        flag_value(args, "--out").ok_or_else(|| CliError::Usage("generate needs --out".into()))?,
+    );
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|s| s.parse().map_err(|_| CliError::Usage("--seed must be an integer".into())))
+        .transpose()?
+        .unwrap_or(0x5567_5347);
+
+    let points = if has_flag(args, "--uniform") {
+        uniform_points(n, seed)
+    } else {
+        synthetic_usgs_points(&UsgsConfig {
+            n,
+            seed,
+            ..UsgsConfig::default()
+        })
+    };
+    let f = BufWriter::new(File::create(&path)?);
+    csv::write_points(f, &points, None)?;
+    writeln!(out, "wrote {} points to {}", points.len(), path.display())?;
+    Ok(())
+}
+
+fn info<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
+    let path = PathBuf::from(
+        flag_value(args, "--data").ok_or_else(|| CliError::Usage("info needs --data".into()))?,
+    );
+    let table = csv::read_points(BufReader::new(File::open(&path)?))?;
+    let mbr = Rect::bounding(table.points.iter().copied());
+    let hull = convex_hull(&table.points);
+    writeln!(out, "file:        {}", path.display())?;
+    writeln!(out, "points:      {}", table.points.len())?;
+    writeln!(
+        out,
+        "attributes:  {}",
+        table.attrs.first().map_or(0, Vec::len)
+    )?;
+    if !table.points.is_empty() {
+        writeln!(
+            out,
+            "mbr:         ({}, {}) .. ({}, {})",
+            mbr.min.x, mbr.min.y, mbr.max.x, mbr.max.y
+        )?;
+        writeln!(out, "hull size:   {} vertices", hull.len())?;
+    }
+    Ok(())
+}
+
+fn query<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
+    let path = PathBuf::from(
+        flag_value(args, "--data").ok_or_else(|| CliError::Usage("query needs --data".into()))?,
+    );
+    let qspec = flag_value(args, "--query")
+        .ok_or_else(|| CliError::Usage("query needs --query \"x,y;x,y;...\"".into()))?;
+    let algorithm = flag_value(args, "--algorithm").unwrap_or_else(|| "b2s2".into());
+    let mixed = has_flag(args, "--mixed");
+    let top: Option<usize> = flag_value(args, "--top")
+        .map(|s| s.parse().map_err(|_| CliError::Usage("--top must be an integer".into())))
+        .transpose()?;
+
+    let table = csv::read_points(BufReader::new(File::open(&path)?))?;
+    if table.points.is_empty() {
+        return Err(CliError::Other("data file has no points".into()));
+    }
+    let q = csv::parse_query_points(&qspec)?;
+    if q.is_empty() {
+        return Err(CliError::Usage("need at least one query point".into()));
+    }
+    let ctx = QueryContext::new(&q);
+
+    let result: SkylineResult = if mixed {
+        if table.attrs.first().map_or(0, Vec::len) == 0 {
+            return Err(CliError::Other(
+                "--mixed requires attribute columns in the data file".into(),
+            ));
+        }
+        let index = RTreeIndex::new(&table.points);
+        let mctx = MixedContext::new(&table.points, &table.attrs, &ctx);
+        mixed_b2s2(&index, &mctx)
+    } else if let Some(k) = top {
+        let index = RTreeIndex::new(&table.points);
+        b2s2_ranked(&index, &ctx, k, &WeightedSum::uniform())
+    } else {
+        match algorithm.as_str() {
+            "naive" => naive_sorted(&table.points, &ctx),
+            "bbs" => {
+                let index = RTreeIndex::new(&table.points);
+                bbs(&index, &ctx)
+            }
+            "b2s2" => {
+                let index = RTreeIndex::new(&table.points);
+                b2s2(&index, &ctx)
+            }
+            "vs2" => {
+                let index = VoronoiIndex::new(&table.points)
+                    .map_err(|e| CliError::Other(format!("cannot build Voronoi index: {e}")))?;
+                vs2(&index, &ctx)
+            }
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown --algorithm '{other}' (naive|bbs|b2s2|vs2)"
+                )))
+            }
+        }
+    };
+
+    for &i in &result.skyline {
+        let p = table.points[i as usize];
+        write!(out, "{},{},{}", i, p.x, p.y)?;
+        for &qp in &q {
+            write!(out, ",{:.6}", qp.distance(p))?;
+        }
+        writeln!(out)?;
+    }
+    writeln!(
+        out,
+        "# stats: skyline={} dominance_checks={} node_accesses={} examined={}",
+        result.skyline.len(),
+        result.stats.dominance_checks,
+        result.stats.node_accesses,
+        result.stats.points_examined
+    )?;
+    Ok(())
+}
+
+fn continuous<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
+    use ssq_core::ContinuousSkyline;
+    use ssq_workload::motion::{MotionConfig, MovingQuerySet};
+
+    let data = PathBuf::from(
+        flag_value(args, "--data")
+            .ok_or_else(|| CliError::Usage("continuous needs --data".into()))?,
+    );
+    let count: usize = flag_value(args, "--count")
+        .ok_or_else(|| CliError::Usage("continuous needs --count".into()))?
+        .parse()
+        .map_err(|_| CliError::Usage("--count must be an integer".into()))?;
+    let updates: usize = flag_value(args, "--updates")
+        .ok_or_else(|| CliError::Usage("continuous needs --updates".into()))?
+        .parse()
+        .map_err(|_| CliError::Usage("--updates must be an integer".into()))?;
+    let step: f64 = flag_value(args, "--step")
+        .map(|s| s.parse().map_err(|_| CliError::Usage("--step must be a number".into())))
+        .transpose()?
+        .unwrap_or(0.01);
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|s| s.parse().map_err(|_| CliError::Usage("--seed must be an integer".into())))
+        .transpose()?
+        .unwrap_or(0xC027);
+
+    let table = csv::read_points(BufReader::new(File::open(&data)?))?;
+    if table.points.len() < 3 {
+        return Err(CliError::Other("need at least 3 data points".into()));
+    }
+    let universe = Rect::bounding(table.points.iter().copied());
+    let index = VoronoiIndex::new(&table.points)
+        .map_err(|e| CliError::Other(format!("cannot build Voronoi index: {e}")))?;
+    let mut team = MovingQuerySet::new(MotionConfig {
+        count,
+        step,
+        universe,
+        start_box: 0.05,
+        seed,
+    });
+    let mut cont = ContinuousSkyline::new(&index, team.positions());
+    writeln!(out, "initial skyline: {} points", cont.skyline().len())?;
+    let t0 = std::time::Instant::now();
+    for _ in 0..updates {
+        let up = team.next_update();
+        cont.update(up.index, up.location);
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    let c = cont.counts();
+    writeln!(out, "processed {} updates in {:.3}s ({:.1} updates/ms)", c.total(), dt, c.total() as f64 / (dt * 1e3))?;
+    writeln!(out, "  unchanged (pattern I):     {}", c.unchanged)?;
+    writeln!(out, "  incremental (II-V):        {}", c.incremental)?;
+    writeln!(out, "  full recomputations:       {}", c.recomputed)?;
+    writeln!(out, "final skyline: {} points", cont.skyline().len())?;
+    Ok(())
+}
+
+fn render_cmd<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
+    let data = PathBuf::from(
+        flag_value(args, "--data").ok_or_else(|| CliError::Usage("render needs --data".into()))?,
+    );
+    let qspec = flag_value(args, "--query")
+        .ok_or_else(|| CliError::Usage("render needs --query".into()))?;
+    let out_path = PathBuf::from(
+        flag_value(args, "--out").ok_or_else(|| CliError::Usage("render needs --out".into()))?,
+    );
+    let want_voronoi = has_flag(args, "--voronoi");
+
+    let table = csv::read_points(BufReader::new(File::open(&data)?))?;
+    if table.points.is_empty() {
+        return Err(CliError::Other("data file has no points".into()));
+    }
+    let q = csv::parse_query_points(&qspec)?;
+    if q.is_empty() {
+        return Err(CliError::Usage("need at least one query point".into()));
+    }
+    let ctx = QueryContext::new(&q);
+
+    let index = VoronoiIndex::new(&table.points)
+        .map_err(|e| CliError::Other(format!("cannot build Voronoi index: {e}")))?;
+    let result = vs2(&index, &ctx);
+    let cells: Vec<ssq_geom::ConvexPolygon> = if want_voronoi {
+        (0..table.points.len() as u32)
+            .map(|i| index.voronoi_cell(i).clone())
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let f = BufWriter::new(File::create(&out_path)?);
+    crate::svg::render(
+        f,
+        &crate::svg::Scene {
+            points: &table.points,
+            skyline: &result.skyline,
+            query: &q,
+            hull: ctx.hull(),
+            cells: &cells,
+        },
+    )?;
+    writeln!(
+        out,
+        "rendered {} points ({} skyline) to {}",
+        table.points.len(),
+        result.skyline.len(),
+        out_path.display()
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ssq_cli_{name}_{}.csv", std::process::id()));
+        p
+    }
+
+    fn run_ok(args: &[&str]) -> String {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&args, &mut out).expect("command failed");
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn generate_info_query_pipeline() {
+        let data = tmpfile("pipeline");
+        let msg = run_ok(&[
+            "generate",
+            "--n",
+            "500",
+            "--out",
+            data.to_str().unwrap(),
+            "--seed",
+            "7",
+        ]);
+        assert!(msg.contains("wrote 500 points"));
+
+        let info = run_ok(&["info", "--data", data.to_str().unwrap()]);
+        assert!(info.contains("points:      500"));
+
+        let result = run_ok(&[
+            "query",
+            "--data",
+            data.to_str().unwrap(),
+            "--query",
+            "0.4,0.4;0.6,0.5;0.5,0.7",
+        ]);
+        assert!(result.contains("# stats: skyline="));
+        let rows = result.lines().filter(|l| !l.starts_with('#')).count();
+        assert!(rows >= 1);
+
+        // All four algorithms agree on the row set.
+        let rows_of = |alg: &str| -> Vec<String> {
+            run_ok(&[
+                "query",
+                "--data",
+                data.to_str().unwrap(),
+                "--query",
+                "0.4,0.4;0.6,0.5;0.5,0.7",
+                "--algorithm",
+                alg,
+            ])
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .map(String::from)
+            .collect()
+        };
+        let b = rows_of("b2s2");
+        assert_eq!(b, rows_of("naive"));
+        assert_eq!(b, rows_of("bbs"));
+        assert_eq!(b, rows_of("vs2"));
+
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn top_k_limits_output() {
+        let data = tmpfile("topk");
+        run_ok(&["generate", "--n", "300", "--out", data.to_str().unwrap()]);
+        let result = run_ok(&[
+            "query",
+            "--data",
+            data.to_str().unwrap(),
+            "--query",
+            "0.5,0.5;0.6,0.6",
+            "--top",
+            "2",
+        ]);
+        let rows = result.lines().filter(|l| !l.starts_with('#')).count();
+        assert_eq!(rows, 2);
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn mixed_requires_attributes() {
+        let data = tmpfile("mixed_err");
+        run_ok(&["generate", "--n", "50", "--out", data.to_str().unwrap()]);
+        let args: Vec<String> = [
+            "query",
+            "--data",
+            data.to_str().unwrap(),
+            "--query",
+            "0.5,0.5",
+            "--mixed",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let mut out = Vec::new();
+        assert!(matches!(run(&args, &mut out), Err(CliError::Other(_))));
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn mixed_query_with_attributes() {
+        let data = tmpfile("mixed_ok");
+        let mut content = String::new();
+        for i in 0..40 {
+            let x = (i % 8) as f64 / 10.0;
+            let y = (i / 8) as f64 / 10.0;
+            content.push_str(&format!("{x},{y},{}\n", (40 - i) as f64));
+        }
+        std::fs::write(&data, content).unwrap();
+        let result = run_ok(&[
+            "query",
+            "--data",
+            data.to_str().unwrap(),
+            "--query",
+            "0.3,0.3;0.5,0.2",
+            "--mixed",
+        ]);
+        assert!(result.contains("# stats"));
+        // Point 39 (attribute 1.0, the minimum) must be in the output.
+        assert!(result.lines().any(|l| l.starts_with("39,")));
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn render_writes_svg() {
+        let data = tmpfile("render");
+        run_ok(&["generate", "--n", "200", "--out", data.to_str().unwrap()]);
+        let svg_path = {
+            let mut p = std::env::temp_dir();
+            p.push(format!("ssq_cli_render_{}.svg", std::process::id()));
+            p
+        };
+        let msg = run_ok(&[
+            "render",
+            "--data",
+            data.to_str().unwrap(),
+            "--query",
+            "0.4,0.4;0.6,0.5;0.5,0.7",
+            "--out",
+            svg_path.to_str().unwrap(),
+            "--voronoi",
+        ]);
+        assert!(msg.contains("rendered 200 points"));
+        let svg = std::fs::read_to_string(&svg_path).unwrap();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("#d62728")); // at least one skyline dot
+        std::fs::remove_file(&data).ok();
+        std::fs::remove_file(&svg_path).ok();
+    }
+
+    #[test]
+    fn continuous_stream_runs() {
+        let data = tmpfile("cont");
+        run_ok(&["generate", "--n", "400", "--out", data.to_str().unwrap()]);
+        let outp = run_ok(&[
+            "continuous",
+            "--data",
+            data.to_str().unwrap(),
+            "--count",
+            "4",
+            "--updates",
+            "60",
+        ]);
+        assert!(outp.contains("processed 60 updates"));
+        assert!(outp.contains("final skyline:"));
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn usage_errors() {
+        let mut out = Vec::new();
+        assert!(matches!(
+            run(&["query".to_string()], &mut out),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["bogus".to_string()], &mut out),
+            Err(CliError::Usage(_))
+        ));
+        assert!(run(&["--help".to_string()], &mut out).is_ok());
+    }
+}

@@ -1,0 +1,183 @@
+//! Minimal CSV reading/writing for point and attribute files.
+//!
+//! The format is deliberately simple: one row per point, `x,y` for the
+//! first two columns, any further numeric columns treated as static
+//! attributes (minimize semantics). A single optional header row is
+//! detected (any non-numeric first field) and skipped. No quoting — these
+//! are numeric tables.
+
+use ssq_geom::Point;
+use std::io::{BufRead, Write};
+
+/// A parsed point file: locations plus any trailing attribute columns.
+#[derive(Clone, Debug, Default)]
+pub struct PointTable {
+    /// The point locations (columns 1-2).
+    pub points: Vec<Point>,
+    /// Attribute rows (columns 3+); empty vectors when the file has only
+    /// coordinates.
+    pub attrs: Vec<Vec<f64>>,
+}
+
+/// CSV parse errors, with 1-based line numbers.
+#[derive(Debug, PartialEq)]
+pub enum CsvError {
+    /// A row had fewer than two columns.
+    TooFewColumns(usize),
+    /// A field failed to parse as a number.
+    BadNumber(usize, String),
+    /// Rows had inconsistent attribute arity.
+    RaggedRows(usize),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::TooFewColumns(l) => write!(f, "line {l}: need at least x,y"),
+            CsvError::BadNumber(l, s) => write!(f, "line {l}: '{s}' is not a number"),
+            CsvError::RaggedRows(l) => {
+                write!(f, "line {l}: attribute column count differs from earlier rows")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parses a point table from a reader.
+pub fn read_points<R: BufRead>(reader: R) -> Result<PointTable, CsvError> {
+    let mut table = PointTable::default();
+    let mut arity: Option<usize> = None;
+    for (lineno, line) in reader.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line.map_err(|_| CsvError::BadNumber(lineno, "<io error>".into()))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() < 2 {
+            return Err(CsvError::TooFewColumns(lineno));
+        }
+        // Header detection: a non-numeric first field on the first data
+        // line is a header.
+        if table.points.is_empty() && arity.is_none() && fields[0].parse::<f64>().is_err() {
+            continue;
+        }
+        let mut nums = Vec::with_capacity(fields.len());
+        for f in &fields {
+            nums.push(
+                f.parse::<f64>()
+                    .map_err(|_| CsvError::BadNumber(lineno, (*f).to_string()))?,
+            );
+        }
+        let a = nums.len() - 2;
+        match arity {
+            None => arity = Some(a),
+            Some(prev) if prev != a => return Err(CsvError::RaggedRows(lineno)),
+            _ => {}
+        }
+        table.points.push(Point::new(nums[0], nums[1]));
+        table.attrs.push(nums[2..].to_vec());
+    }
+    Ok(table)
+}
+
+/// Writes points (and optional attributes) as CSV.
+pub fn write_points<W: Write>(
+    mut w: W,
+    points: &[Point],
+    attrs: Option<&[Vec<f64>]>,
+) -> std::io::Result<()> {
+    for (i, p) in points.iter().enumerate() {
+        write!(w, "{},{}", p.x, p.y)?;
+        if let Some(attrs) = attrs {
+            for a in &attrs[i] {
+                write!(w, ",{a}")?;
+            }
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Parses a query-point list given on the command line:
+/// `"x1,y1;x2,y2;..."`.
+pub fn parse_query_points(s: &str) -> Result<Vec<Point>, CsvError> {
+    let mut out = Vec::new();
+    for (i, part) in s.split(';').enumerate() {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = part.split(',').map(str::trim).collect();
+        if fields.len() != 2 {
+            return Err(CsvError::TooFewColumns(i + 1));
+        }
+        let x = fields[0]
+            .parse::<f64>()
+            .map_err(|_| CsvError::BadNumber(i + 1, fields[0].to_string()))?;
+        let y = fields[1]
+            .parse::<f64>()
+            .map_err(|_| CsvError::BadNumber(i + 1, fields[1].to_string()))?;
+        out.push(Point::new(x, y));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_plain_points() {
+        let t = read_points(Cursor::new("1,2\n3.5, 4.5\n")).unwrap();
+        assert_eq!(t.points, vec![Point::new(1.0, 2.0), Point::new(3.5, 4.5)]);
+        assert!(t.attrs.iter().all(|a| a.is_empty()));
+    }
+
+    #[test]
+    fn skips_header_comments_and_blanks() {
+        let t = read_points(Cursor::new("x,y\n# comment\n\n1,2\n")).unwrap();
+        assert_eq!(t.points.len(), 1);
+    }
+
+    #[test]
+    fn parses_attributes() {
+        let t = read_points(Cursor::new("1,2,10,0.5\n3,4,20,0.2\n")).unwrap();
+        assert_eq!(t.attrs, vec![vec![10.0, 0.5], vec![20.0, 0.2]]);
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let err = read_points(Cursor::new("1,2,3\n4,5\n")).unwrap_err();
+        assert_eq!(err, CsvError::RaggedRows(2));
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        let err = read_points(Cursor::new("1,2\nfoo,bar\n")).unwrap_err();
+        assert!(matches!(err, CsvError::BadNumber(2, _)));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let points = vec![Point::new(1.5, 2.5), Point::new(-3.0, 0.25)];
+        let attrs = vec![vec![7.0], vec![9.0]];
+        let mut buf = Vec::new();
+        write_points(&mut buf, &points, Some(&attrs)).unwrap();
+        let t = read_points(Cursor::new(buf)).unwrap();
+        assert_eq!(t.points, points);
+        assert_eq!(t.attrs, attrs);
+    }
+
+    #[test]
+    fn query_point_syntax() {
+        let q = parse_query_points("1,2; 3.5,4 ;5,6").unwrap();
+        assert_eq!(q.len(), 3);
+        assert_eq!(q[1], Point::new(3.5, 4.0));
+        assert!(parse_query_points("1,2;3").is_err());
+        assert!(parse_query_points("a,b").is_err());
+    }
+}

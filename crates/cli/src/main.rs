@@ -1,0 +1,10 @@
+//! The `ssq` binary: see [`ssq_cli::commands::USAGE`] or run `ssq --help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    if let Err(e) = ssq_cli::run(&args, &mut stdout) {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,186 @@
+//! SVG rendering of a spatial skyline query.
+//!
+//! `ssq render` draws the data points, the query points with their convex
+//! hull, the skyline result, and optionally the Voronoi diagram — the same
+//! picture as the paper's Figures 2/6/8, generated from live data. The
+//! writer is dependency-free; geometry arrives already computed.
+
+use ssq_geom::{ConvexPolygon, Point, Rect};
+use std::io::Write;
+
+/// Everything one frame renders.
+pub struct Scene<'a> {
+    /// All data points.
+    pub points: &'a [Point],
+    /// Indices of the skyline points (highlighted).
+    pub skyline: &'a [u32],
+    /// The query points.
+    pub query: &'a [Point],
+    /// The convex hull of the query points.
+    pub hull: &'a ConvexPolygon,
+    /// Voronoi cells to draw as light outlines (empty slice to skip).
+    pub cells: &'a [ConvexPolygon],
+}
+
+/// Canvas size in pixels (square).
+const SIZE: f64 = 800.0;
+/// Margin around the data, in data-space fraction.
+const MARGIN: f64 = 0.05;
+
+/// Writes the scene as a standalone SVG document.
+pub fn render<W: Write>(mut w: W, scene: &Scene<'_>) -> std::io::Result<()> {
+    let mut bounds = Rect::bounding(scene.points.iter().copied());
+    for &q in scene.query {
+        bounds.expand_to(q);
+    }
+    if bounds.is_empty() {
+        bounds = Rect::from_corners(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+    }
+    let span = bounds.width().max(bounds.height()).max(f64::MIN_POSITIVE);
+    let pad = span * MARGIN;
+    let origin = Point::new(bounds.min.x - pad, bounds.min.y - pad);
+    let scale = SIZE / (span + 2.0 * pad);
+    // SVG y grows downward; flip so the plot reads like the paper's figures.
+    let tx = |p: Point| -> (f64, f64) {
+        (
+            (p.x - origin.x) * scale,
+            SIZE - (p.y - origin.y) * scale,
+        )
+    };
+
+    writeln!(
+        w,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{SIZE}" height="{SIZE}" viewBox="0 0 {SIZE} {SIZE}">"#
+    )?;
+    writeln!(w, r#"<rect width="100%" height="100%" fill="white"/>"#)?;
+
+    // Voronoi cells first (background layer).
+    for cell in scene.cells {
+        if cell.len() < 3 {
+            continue;
+        }
+        let pts: Vec<String> = cell
+            .vertices()
+            .iter()
+            .map(|&v| {
+                let (x, y) = tx(v);
+                format!("{x:.2},{y:.2}")
+            })
+            .collect();
+        writeln!(
+            w,
+            r##"<polygon points="{}" fill="none" stroke="#d8d8d8" stroke-width="0.6"/>"##,
+            pts.join(" ")
+        )?;
+    }
+
+    // Convex hull of the query set.
+    if scene.hull.len() >= 2 {
+        let pts: Vec<String> = scene
+            .hull
+            .vertices()
+            .iter()
+            .map(|&v| {
+                let (x, y) = tx(v);
+                format!("{x:.2},{y:.2}")
+            })
+            .collect();
+        writeln!(
+            w,
+            r##"<polygon points="{}" fill="#fff3d6" fill-opacity="0.65" stroke="#e0a800" stroke-width="1.5"/>"##,
+            pts.join(" ")
+        )?;
+    }
+
+    // Data points.
+    let is_skyline = |i: usize| scene.skyline.binary_search(&(i as u32)).is_ok();
+    for (i, &p) in scene.points.iter().enumerate() {
+        let (x, y) = tx(p);
+        if is_skyline(i) {
+            writeln!(
+                w,
+                r##"<circle cx="{x:.2}" cy="{y:.2}" r="4.5" fill="#d62728" stroke="black" stroke-width="0.8"/>"##
+            )?;
+        } else {
+            writeln!(
+                w,
+                r##"<circle cx="{x:.2}" cy="{y:.2}" r="2" fill="#7f7f7f" fill-opacity="0.55"/>"##
+            )?;
+        }
+    }
+
+    // Query points on top.
+    for &q in scene.query {
+        let (x, y) = tx(q);
+        writeln!(
+            w,
+            r##"<rect x="{:.2}" y="{:.2}" width="9" height="9" fill="#1f77b4" stroke="black" stroke-width="0.8"/>"##,
+            x - 4.5,
+            y - 4.5
+        )?;
+    }
+
+    writeln!(w, "</svg>")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssq_geom::convex_hull;
+
+    #[test]
+    fn renders_valid_svg_with_all_layers() {
+        let points = vec![
+            Point::new(0.1, 0.1),
+            Point::new(0.5, 0.5),
+            Point::new(0.9, 0.9),
+        ];
+        let query = vec![Point::new(0.3, 0.3), Point::new(0.6, 0.2), Point::new(0.4, 0.6)];
+        let hull = convex_hull(&query);
+        let cells = vec![ConvexPolygon::from_ccw_vertices(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.5, 1.0),
+        ])];
+        let skyline = vec![0u32, 1];
+        let mut buf = Vec::new();
+        render(
+            &mut buf,
+            &Scene {
+                points: &points,
+                skyline: &skyline,
+                query: &query,
+                hull: &hull,
+                cells: &cells,
+            },
+        )
+        .unwrap();
+        let svg = String::from_utf8(buf).unwrap();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // 2 skyline dots + 1 plain dot + 3 query squares + hull + cell.
+        assert_eq!(svg.matches(r##"r="4.5" fill="#d62728""##).count(), 2);
+        assert_eq!(svg.matches(r##"r="2" fill="#7f7f7f""##).count(), 1);
+        assert_eq!(svg.matches(r##"fill="#1f77b4""##).count(), 3);
+        assert!(svg.contains("#e0a800"));
+        assert!(svg.contains("#d8d8d8"));
+    }
+
+    #[test]
+    fn empty_scene_does_not_panic() {
+        let hull = convex_hull(&[]);
+        let mut buf = Vec::new();
+        render(
+            &mut buf,
+            &Scene {
+                points: &[],
+                skyline: &[],
+                query: &[],
+                hull: &hull,
+                cells: &[],
+            },
+        )
+        .unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("</svg>"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Aggregate (group) nearest neighbours — the related query the paper
+//! contrasts SSQ against.
+//!
+//! "Notice that the algorithms for Group or Aggregate Nearest Neighbor
+//! queries are related but not applicable to SSQ as they only find the
+//! optimal (best) object based on a fixed reference function" (§1). This
+//! module provides exactly that query — the single best meeting point
+//! under a fixed aggregate — implemented on top of the ranked skyline
+//! machinery, which also makes the paper's observation executable: the
+//! aggregate optimum is always **one** member of the spatial skyline,
+//! while SSQ returns *every* preference-optimal candidate at once.
+//!
+//! The optimum under any strictly monotone aggregate cannot be spatially
+//! dominated (a dominator would score strictly better), so it is the
+//! first point the ranked branch-and-bound emits.
+
+use crate::index::RTreeIndex;
+use crate::query::QueryContext;
+use crate::ranked::{b2s2_ranked, MaxDistance, Preference, WeightedSum};
+use crate::stats::QueryStats;
+
+/// The aggregate function of a group nearest-neighbour query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Aggregate {
+    /// Minimize the total travel distance of the group (`SUM`).
+    Sum,
+    /// Minimize the worst member's travel distance (`MAX`).
+    Max,
+}
+
+/// Finds the aggregate nearest neighbour of the query group: the data
+/// point minimizing the aggregate of distances to all query points.
+/// Returns `None` for an empty dataset.
+pub fn aggregate_nearest_neighbor(
+    index: &RTreeIndex,
+    ctx: &QueryContext,
+    aggregate: Aggregate,
+) -> Option<(u32, QueryStats)> {
+    let result = match aggregate {
+        Aggregate::Sum => b2s2_ranked(index, ctx, 1, &WeightedSum::uniform()),
+        Aggregate::Max => b2s2_ranked(index, ctx, 1, &MaxDistance),
+    };
+    result.skyline.first().map(|&i| (i, result.stats))
+}
+
+/// Evaluates the aggregate for a data point (over the hull anchors, which
+/// by Theorem 2 is equivalent for monotone aggregates over distances...
+/// for `SUM`/`MAX` over the *full* query set use
+/// [`aggregate_score_full`]).
+pub fn aggregate_score(
+    ctx: &QueryContext,
+    p: ssq_geom::Point,
+    aggregate: Aggregate,
+) -> f64 {
+    let dists: Vec<f64> = ctx.anchors().iter().map(|&q| q.distance(p)).collect();
+    match aggregate {
+        Aggregate::Sum => WeightedSum::uniform().score(&dists),
+        Aggregate::Max => MaxDistance.score(&dists),
+    }
+}
+
+/// The aggregate over the **full** query set — the canonical GNN
+/// objective. Note `SUM` over the full set differs from the anchor sum
+/// when interior query points exist, so the GNN under full-`SUM` may be a
+/// different point than under anchor-`SUM` (both are skyline points).
+pub fn aggregate_score_full(
+    ctx: &QueryContext,
+    p: ssq_geom::Point,
+    aggregate: Aggregate,
+) -> f64 {
+    let dists: Vec<f64> = ctx.query().iter().map(|&q| q.distance(p)).collect();
+    match aggregate {
+        Aggregate::Sum => dists.iter().sum(),
+        Aggregate::Max => dists.iter().copied().fold(0.0, f64::max),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_full;
+    use ssq_geom::Point;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn pseudorandom(n: usize, seed: u64) -> Vec<Point> {
+        let mut s = seed.max(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|_| p(next(), next())).collect()
+    }
+
+    #[test]
+    fn sum_ann_matches_brute_force() {
+        for seed in [1u64, 2, 3] {
+            let points = pseudorandom(150, seed);
+            let q = pseudorandom(4, 100 + seed);
+            let ctx = QueryContext::new(&q);
+            let idx = RTreeIndex::new(&points);
+            let (got, _) = aggregate_nearest_neighbor(&idx, &ctx, Aggregate::Sum).unwrap();
+            let brute = (0..points.len() as u32)
+                .min_by(|&a, &b| {
+                    aggregate_score(&ctx, points[a as usize], Aggregate::Sum)
+                        .partial_cmp(&aggregate_score(&ctx, points[b as usize], Aggregate::Sum))
+                        .unwrap()
+                })
+                .unwrap();
+            assert_eq!(
+                aggregate_score(&ctx, points[got as usize], Aggregate::Sum),
+                aggregate_score(&ctx, points[brute as usize], Aggregate::Sum),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn ann_is_always_a_skyline_point() {
+        // The paper's observation, executable: the group-optimal point is
+        // one member of the spatial skyline.
+        let points = pseudorandom(120, 9);
+        let q = pseudorandom(5, 77);
+        let ctx = QueryContext::new(&q);
+        let idx = RTreeIndex::new(&points);
+        let skyline = naive_full(&points, &ctx);
+        for agg in [Aggregate::Sum, Aggregate::Max] {
+            let (ann, _) = aggregate_nearest_neighbor(&idx, &ctx, agg).unwrap();
+            assert!(skyline.contains(ann), "{agg:?} optimum must be in S(Q)");
+        }
+    }
+
+    #[test]
+    fn empty_dataset_returns_none() {
+        let ctx = QueryContext::new(&[p(0.5, 0.5)]);
+        let idx = RTreeIndex::new(&[]);
+        assert!(aggregate_nearest_neighbor(&idx, &ctx, Aggregate::Sum).is_none());
+    }
+
+    #[test]
+    fn single_query_point_reduces_to_nn() {
+        let points = pseudorandom(80, 4);
+        let q = [p(0.31, 0.47)];
+        let ctx = QueryContext::new(&q);
+        let idx = RTreeIndex::new(&points);
+        let (ann, _) = aggregate_nearest_neighbor(&idx, &ctx, Aggregate::Sum).unwrap();
+        let nn = (0..points.len() as u32)
+            .min_by(|&a, &b| {
+                points[a as usize]
+                    .distance_sq(q[0])
+                    .partial_cmp(&points[b as usize].distance_sq(q[0]))
+                    .unwrap()
+            })
+            .unwrap();
+        assert_eq!(ann, nn);
+    }
+}

@@ -1,0 +1,222 @@
+//! B²S² — the Branch-and-Bound Spatial Skyline algorithm (paper §4.1,
+//! Fig. 5).
+//!
+//! The traversal skeleton is BBS's best-first descent of the R*-tree, but
+//! every step is armed with the geometric foundation of §3:
+//!
+//! * the heap key and all dominance tests use only the hull vertices
+//!   `CHv(Q)` (Theorem 2);
+//! * entries fully inside `CH(Q)` are skyline material without any
+//!   dominance check (Theorem 1);
+//! * a pruning rectangle `B` — the intersection of `MBR(SR(p, Q))` over
+//!   the skyline points found so far — discards entries in `O(d)` before
+//!   any per-skyline-point test runs (`SR(p, Q)` is the union of the
+//!   circles `C(q, D(p, q))`, and every undiscovered skyline point lies
+//!   inside each such MBR).
+
+use ssq_geom::circle::search_region_mbr;
+use ssq_geom::Rect;
+use ssq_rtree::{Entry, NodeId};
+
+use crate::heap::MinHeap;
+use crate::index::RTreeIndex;
+use crate::query::{dominated_by_any, QueryContext};
+use crate::stats::{QueryStats, SkylineResult};
+
+enum Work {
+    Node(NodeId, Rect),
+    Point(u32, Rect),
+}
+
+/// Runs B²S² over the R-tree index.
+pub fn b2s2(index: &RTreeIndex, ctx: &QueryContext) -> SkylineResult {
+    let mut stats = QueryStats::default();
+    index.tree().reset_node_accesses();
+    let anchors = ctx.anchors();
+
+    // Fig. 5 line 03: B starts as the MBR of the root (the data universe).
+    let mut b = index.universe();
+    let mut skyline: Vec<(u32, Vec<f64>)> = Vec::new();
+    let mut heap: MinHeap<Work> = MinHeap::new();
+    if let Some(root) = index.tree().root() {
+        heap.push(0.0, Work::Node(root, index.universe()));
+    }
+
+    while let Some((_, work)) = heap.pop() {
+        stats.entries_visited += 1;
+        match work {
+            Work::Point(i, mbr) => {
+                // Line 07: discard entries outside B.
+                if !mbr.intersects(&b) {
+                    continue;
+                }
+                let p = index.point(i);
+                // Line 08: points inside CH(Q) are skyline by Theorem 1.
+                let certain = ctx.hull().contains(p);
+                stats.points_examined += 1;
+                let v = ctx.dist_vector(p, &mut stats);
+                if certain || !dominated_by_any(&v, &skyline, &mut stats) {
+                    skyline.push((i, v));
+                    // Line 12: B = B ∩ MBR(SR(p, Q)).
+                    b = b.intersection(&search_region_mbr(p, anchors));
+                }
+            }
+            Work::Node(id, mbr) => {
+                if !mbr.intersects(&b) {
+                    continue;
+                }
+                // Line 08-09 re-check on removal: inside hull, or not
+                // dominated by the (possibly grown) skyline.
+                if !ctx.hull().contains_rect(&mbr)
+                    && rect_dominated(&mbr, &skyline, ctx, &mut stats)
+                {
+                    continue;
+                }
+                for e in index.tree().entries(id) {
+                    let embr = e.mbr();
+                    // Line 15: child outside B.
+                    if !embr.intersects(&b) {
+                        continue;
+                    }
+                    // Lines 16-17: inside CH(Q) skips the dominance test.
+                    if !ctx.hull().contains_rect(&embr)
+                        && rect_dominated(&embr, &skyline, ctx, &mut stats)
+                    {
+                        continue;
+                    }
+                    let key = embr.mindist_sum(anchors);
+                    stats.distance_computations += anchors.len() as u64;
+                    match e {
+                        Entry::Node { child, .. } => heap.push(key, Work::Node(child, embr)),
+                        Entry::Item { item, .. } => heap.push(key, Work::Point(item, embr)),
+                    }
+                }
+            }
+        }
+    }
+
+    stats.node_accesses = index.tree().node_accesses();
+    let mut ids: Vec<u32> = skyline.into_iter().map(|(i, _)| i).collect();
+    ids.sort_unstable();
+    SkylineResult {
+        skyline: ids,
+        stats,
+    }
+}
+
+/// Dominance test for a rectangle against the skyline over the hull
+/// vertices only: dominated by `s` iff the rectangle misses every circle
+/// `C(q, D(s, q))`, `q ∈ CHv(Q)` (paper §4.1).
+fn rect_dominated(
+    mbr: &Rect,
+    skyline: &[(u32, Vec<f64>)],
+    ctx: &QueryContext,
+    stats: &mut QueryStats,
+) -> bool {
+    for (_, sv) in skyline {
+        stats.dominance_checks += 1;
+        stats.distance_computations += ctx.anchors().len() as u64;
+        let dominated = ctx
+            .anchors()
+            .iter()
+            .zip(sv)
+            .all(|(&q, &d)| mbr.mindist(q) > d);
+        if dominated {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bbs::bbs;
+    use crate::naive::naive_full;
+    use ssq_geom::Point;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn pseudorandom(n: usize, seed: u64) -> Vec<Point> {
+        let mut s = seed.max(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|_| p(next(), next())).collect()
+    }
+
+    #[test]
+    fn matches_naive_on_random_instances() {
+        for trial in 0..12 {
+            let points = pseudorandom(150, trial + 1);
+            let q = pseudorandom(2 + (trial as usize % 6), 2000 + trial);
+            let ctx = QueryContext::new(&q);
+            let idx = RTreeIndex::with_config(&points, ssq_rtree::RTreeConfig::with_max_entries(4));
+            let got = b2s2(&idx, &ctx);
+            let want = naive_full(&points, &ctx);
+            assert_eq!(got.skyline, want.skyline, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn interior_query_points_do_not_change_result() {
+        // Theorem 2 end-to-end: adding query points inside CH(Q) must not
+        // change the skyline.
+        let points = pseudorandom(200, 9);
+        let q = vec![p(0.2, 0.2), p(0.8, 0.25), p(0.5, 0.9)];
+        let mut q_extra = q.clone();
+        q_extra.push(p(0.5, 0.45)); // inside the triangle
+        q_extra.push(p(0.45, 0.4));
+        let idx = RTreeIndex::with_config(&points, ssq_rtree::RTreeConfig::with_max_entries(8));
+        let a = b2s2(&idx, &QueryContext::new(&q));
+        let b = b2s2(&idx, &QueryContext::new(&q_extra));
+        assert_eq!(a.skyline, b.skyline);
+    }
+
+    #[test]
+    fn does_less_work_than_bbs() {
+        // The headline claim of §4.1: same answer, fewer dominance checks
+        // and no more I/O.
+        let points = pseudorandom(2000, 31);
+        let q = pseudorandom(6, 555)
+            .into_iter()
+            .map(|v| Point::new(0.45 + v.x * 0.1, 0.45 + v.y * 0.1))
+            .collect::<Vec<_>>();
+        let ctx = QueryContext::new(&q);
+        let idx = RTreeIndex::with_config(&points, ssq_rtree::RTreeConfig::with_max_entries(16));
+        let fast = b2s2(&idx, &ctx);
+        let slow = bbs(&idx, &ctx);
+        assert_eq!(fast.skyline, slow.skyline);
+        assert!(
+            fast.stats.dominance_checks < slow.stats.dominance_checks,
+            "B2S2 {} vs BBS {}",
+            fast.stats.dominance_checks,
+            slow.stats.dominance_checks
+        );
+        assert!(fast.stats.node_accesses <= slow.stats.node_accesses);
+    }
+
+    #[test]
+    fn all_points_inside_hull_skip_dominance_checks() {
+        // Every data point inside CH(Q): no dominance checks at all.
+        let points = vec![p(0.4, 0.4), p(0.5, 0.6), p(0.6, 0.45)];
+        let q = [p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0), p(0.0, 1.0)];
+        let ctx = QueryContext::new(&q);
+        let idx = RTreeIndex::new(&points);
+        let r = b2s2(&idx, &ctx);
+        assert_eq!(r.skyline, vec![0, 1, 2]);
+        assert_eq!(r.stats.dominance_checks, 0);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ctx = QueryContext::new(&[p(0.5, 0.5)]);
+        let idx = RTreeIndex::new(&[]);
+        assert!(b2s2(&idx, &ctx).skyline.is_empty());
+    }
+}

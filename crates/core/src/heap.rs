@@ -1,0 +1,127 @@
+//! A small min-heap over `f64` keys with stable tie-breaking.
+//!
+//! Both R-tree algorithms and VS² order their work by a monotone `mindist`
+//! key; `std::collections::BinaryHeap` is a max-heap over `Ord`, so this
+//! adapter flips the order and breaks ties by insertion sequence, making
+//! traversals fully deterministic.
+
+use std::collections::BinaryHeap;
+
+/// A deterministic min-heap of `(f64 key, payload)`.
+#[derive(Debug)]
+pub struct MinHeap<T> {
+    heap: BinaryHeap<Item<T>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Item<T> {
+    key: f64,
+    seq: u64,
+    value: T,
+}
+
+impl<T> PartialEq for Item<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.seq == other.seq
+    }
+}
+impl<T> Eq for Item<T> {}
+impl<T> PartialOrd for Item<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Item<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed so BinaryHeap yields the minimum key first; ties pop in
+        // insertion order.
+        other
+            .key
+            .partial_cmp(&self.key)
+            .expect("NaN heap key")
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl<T> MinHeap<T> {
+    /// An empty heap.
+    pub fn new() -> MinHeap<T> {
+        MinHeap {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Pushes a `(key, value)` pair. Panics on NaN keys (when popped).
+    pub fn push(&mut self, key: f64, value: T) {
+        self.seq += 1;
+        let seq = self.seq;
+        self.heap.push(Item { key, seq, value });
+    }
+
+    /// Pops the minimum-key entry.
+    pub fn pop(&mut self) -> Option<(f64, T)> {
+        self.heap.pop().map(|i| (i.key, i.value))
+    }
+
+    /// Peeks at the minimum-key entry.
+    pub fn peek(&self) -> Option<(f64, &T)> {
+        self.heap.peek().map(|i| (i.key, &i.value))
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of queued entries.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+impl<T> Default for MinHeap<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_ascending_key_order() {
+        let mut h = MinHeap::new();
+        h.push(3.0, 'c');
+        h.push(1.0, 'a');
+        h.push(2.0, 'b');
+        assert_eq!(h.pop(), Some((1.0, 'a')));
+        assert_eq!(h.pop(), Some((2.0, 'b')));
+        assert_eq!(h.pop(), Some((3.0, 'c')));
+        assert_eq!(h.pop(), None);
+    }
+
+    #[test]
+    fn ties_pop_in_insertion_order() {
+        let mut h = MinHeap::new();
+        h.push(1.0, 1);
+        h.push(1.0, 2);
+        h.push(1.0, 3);
+        assert_eq!(h.pop().unwrap().1, 1);
+        assert_eq!(h.pop().unwrap().1, 2);
+        assert_eq!(h.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut h = MinHeap::new();
+        h.push(5.0, "x");
+        assert_eq!(h.peek(), Some((5.0, &"x")));
+        assert_eq!(h.len(), 1);
+        assert!(!h.is_empty());
+        h.pop();
+        assert!(h.is_empty());
+    }
+}

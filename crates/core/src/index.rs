@@ -1,0 +1,311 @@
+//! The two physical designs of the paper's experiments.
+//!
+//! §7 evaluates two storage layouts over the same point set:
+//!
+//! * an **R*-tree** (1 KB pages, ≤ 50 entries/node) used by BBS and B²S²
+//!   — wrapped here as [`RTreeIndex`];
+//! * a **pre-built Delaunay graph** whose adjacency list is stored in a
+//!   flat file paged by Hilbert value, used by VS² and VCS² — wrapped as
+//!   [`VoronoiIndex`].
+//!
+//! Both wrappers own the point set and expose access-counting so the bench
+//! harness can report I/O the way the paper does.
+
+use ssq_delaunay::paged::PagedAdjacency;
+use ssq_delaunay::{DelaunayGraph, Triangulation};
+use ssq_geom::{ConvexPolygon, Point, Rect};
+use ssq_kdtree::KdTree;
+use ssq_rtree::{RTree, RTreeConfig};
+
+/// The R*-tree physical design (for BBS and B²S²).
+pub struct RTreeIndex {
+    points: Vec<Point>,
+    tree: RTree<u32>,
+}
+
+impl RTreeIndex {
+    /// Bulk-loads the index with the paper's default fan-out (50).
+    pub fn new(points: &[Point]) -> RTreeIndex {
+        Self::with_config(points, RTreeConfig::default())
+    }
+
+    /// Bulk-loads with an explicit R-tree configuration.
+    pub fn with_config(points: &[Point], config: RTreeConfig) -> RTreeIndex {
+        RTreeIndex {
+            points: points.to_vec(),
+            tree: RTree::<u32>::bulk_load_points(points, config),
+        }
+    }
+
+    /// The indexed points, in input order.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// The point with index `i`.
+    #[inline]
+    pub fn point(&self, i: u32) -> Point {
+        self.points[i as usize]
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The underlying tree (the skyline algorithms drive it directly).
+    pub fn tree(&self) -> &RTree<u32> {
+        &self.tree
+    }
+
+    /// The data universe (MBR of all points).
+    pub fn universe(&self) -> Rect {
+        self.tree.mbr()
+    }
+}
+
+/// The Voronoi/Delaunay physical design (for VS² and VCS²).
+///
+/// Voronoi cells are materialized at build time — the paper's "pre-built
+/// Delaunay graph" file stores each point's neighbourhood, and the cell
+/// polygon is derived data the query loop should never recompute.
+pub struct VoronoiIndex {
+    graph: DelaunayGraph,
+    pages: PagedAdjacency,
+    cells: Vec<ConvexPolygon>,
+    cell_mbrs: Vec<Rect>,
+    /// Optional O(log n) start-point index (paper §4.2: "Φ(|P|) is
+    /// O(log |P|) if an index structure is used"). `None` reproduces the
+    /// index-free O(√|P|) greedy-walk mode.
+    start_index: Option<KdTree>,
+}
+
+impl VoronoiIndex {
+    /// Builds the Delaunay graph and its Hilbert-paged adjacency layout.
+    ///
+    /// `per_page` mirrors the paper's 50-entries-per-page R-tree nodes so
+    /// the two physical designs report comparable I/O; use
+    /// [`VoronoiIndex::new`] for that default.
+    pub fn with_page_size(points: &[Point], per_page: usize) -> Result<VoronoiIndex, ssq_delaunay::BuildError> {
+        let tri = Triangulation::new(points)?;
+        let graph = DelaunayGraph::from_triangulation(&tri);
+        let pages = PagedAdjacency::new(points, per_page);
+        let clip = graph.default_clip();
+        // Fast path: trace cells from circumcenters (O(deg) per site);
+        // individual numerically-degenerate cells — and fully collinear
+        // inputs — fall back to the bisector half-plane construction.
+        let cells: Vec<ConvexPolygon> =
+            match ssq_delaunay::voronoi::voronoi_cells(&tri, &clip) {
+                Some(fast) => fast
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, c)| c.unwrap_or_else(|| graph.voronoi_cell(i as u32, &clip)))
+                    .collect(),
+                None => (0..points.len() as u32)
+                    .map(|i| graph.voronoi_cell(i, &clip))
+                    .collect(),
+            };
+        let cell_mbrs = cells.iter().map(|c| c.mbr()).collect();
+        Ok(VoronoiIndex {
+            graph,
+            pages,
+            cells,
+            cell_mbrs,
+            start_index: Some(KdTree::build(points)),
+        })
+    }
+
+    /// Builds the index with the default page capacity (50 points/page).
+    pub fn new(points: &[Point]) -> Result<VoronoiIndex, ssq_delaunay::BuildError> {
+        Self::with_page_size(points, 50)
+    }
+
+    /// Builds the index **without** the kd-tree start index: `nearest`
+    /// falls back to the greedy Delaunay walk, reproducing the paper's
+    /// index-free `Φ(|P|) = O(√|P|)` mode (§4.2).
+    pub fn without_start_index(points: &[Point]) -> Result<VoronoiIndex, ssq_delaunay::BuildError> {
+        let mut idx = Self::with_page_size(points, 50)?;
+        idx.start_index = None;
+        Ok(idx)
+    }
+
+    /// The underlying Delaunay graph.
+    pub fn graph(&self) -> &DelaunayGraph {
+        &self.graph
+    }
+
+    /// The indexed points.
+    pub fn points(&self) -> &[Point] {
+        self.graph.points()
+    }
+
+    /// The point with index `i`.
+    #[inline]
+    pub fn point(&self, i: u32) -> Point {
+        self.graph.point(i)
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// `true` when the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// The Voronoi neighbours of point `i`, counting one adjacency-page
+    /// access when the page is cold.
+    pub fn neighbors(&self, i: u32) -> &[u32] {
+        self.pages.touch(i);
+        self.graph.neighbors(i)
+    }
+
+    /// The Voronoi cell of `i` (precomputed, clipped to the default box).
+    pub fn voronoi_cell(&self, i: u32) -> &ConvexPolygon {
+        self.pages.touch(i);
+        &self.cells[i as usize]
+    }
+
+    /// Exact test "does the Voronoi cell of `i` intersect `r`?", tiered so
+    /// the overwhelmingly common cases cost four f64 comparisons: first
+    /// the cell's precomputed MBR (disjoint ⟹ no; fully inside `r` ⟹
+    /// yes), then the exact convex-polygon test only for boundary cells.
+    pub fn cell_intersects_rect(&self, i: u32, r: &Rect) -> bool {
+        self.pages.touch(i);
+        let mbr = &self.cell_mbrs[i as usize];
+        if !mbr.intersects(r) {
+            return false;
+        }
+        if r.contains_rect(mbr) {
+            return true;
+        }
+        self.cells[i as usize].intersects_rect(r)
+    }
+
+    /// Nearest data point to `q`: `O(log |P|)` through the kd-tree start
+    /// index when present, otherwise a greedy Delaunay walk from `hint`
+    /// that touches the adjacency page of every point visited (so the
+    /// walk's I/O is accounted like any other adjacency access).
+    pub fn nearest(&self, q: Point, hint: u32) -> u32 {
+        if let Some(kd) = &self.start_index {
+            if let Some(i) = kd.nearest(q) {
+                self.pages.touch(i);
+                return i;
+            }
+        }
+        let mut cur = hint;
+        let mut cur_d = self.point(cur).distance_sq(q);
+        loop {
+            let mut best = cur;
+            let mut best_d = cur_d;
+            for &j in self.neighbors(cur) {
+                let d = self.point(j).distance_sq(q);
+                if d < best_d {
+                    best = j;
+                    best_d = d;
+                }
+            }
+            if best == cur {
+                return cur;
+            }
+            cur = best;
+            cur_d = best_d;
+        }
+    }
+
+    /// Adjacency-page accesses since the last reset (the VS² I/O metric).
+    pub fn page_accesses(&self) -> u64 {
+        self.pages.accesses()
+    }
+
+    /// Resets the page-access counter (call before each measured query).
+    pub fn reset_page_accesses(&self) {
+        self.pages.reset()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts() -> Vec<Point> {
+        let mut v = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                v.push(Point::new(i as f64, j as f64 + 0.1 * i as f64));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn rtree_index_roundtrip() {
+        let points = pts();
+        let idx = RTreeIndex::new(&points);
+        assert_eq!(idx.len(), 100);
+        assert_eq!(idx.point(7), points[7]);
+        assert!(idx.universe().contains(points[50]));
+    }
+
+    #[test]
+    fn voronoi_index_neighbors_and_cells() {
+        let points = pts();
+        let idx = VoronoiIndex::new(&points).unwrap();
+        assert_eq!(idx.len(), 100);
+        idx.reset_page_accesses();
+        let n = idx.neighbors(0);
+        assert!(!n.is_empty());
+        assert!(idx.page_accesses() >= 1);
+        let cell = idx.voronoi_cell(0);
+        assert!(cell.contains(idx.point(0)));
+    }
+
+    #[test]
+    fn tiered_cell_test_matches_exact_test() {
+        let points = pts();
+        let idx = VoronoiIndex::new(&points).unwrap();
+        // Probe rectangles of several scales against every cell: the
+        // tiered test must agree with the exact polygon test.
+        for (k, probe) in [
+            Rect::from_corners(Point::new(2.2, 2.2), Point::new(2.4, 2.6)),
+            Rect::from_corners(Point::new(0.0, 0.0), Point::new(9.0, 10.0)),
+            Rect::from_corners(Point::new(40.0, 40.0), Point::new(41.0, 41.0)),
+            Rect::from_point(Point::new(5.0, 5.5)),
+        ]
+        .iter()
+        .enumerate()
+        {
+            for i in 0..idx.len() as u32 {
+                let exact = idx.voronoi_cell(i).intersects_rect(probe);
+                assert_eq!(
+                    idx.cell_intersects_rect(i, probe),
+                    exact,
+                    "probe {k}, cell {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn voronoi_index_nearest() {
+        let points = pts();
+        let idx = VoronoiIndex::new(&points).unwrap();
+        let nn = idx.nearest(Point::new(5.05, 5.55), 0);
+        let brute = (0..100u32)
+            .min_by(|&a, &b| {
+                idx.point(a)
+                    .distance_sq(Point::new(5.05, 5.55))
+                    .partial_cmp(&idx.point(b).distance_sq(Point::new(5.05, 5.55)))
+                    .unwrap()
+            })
+            .unwrap();
+        assert_eq!(nn, brute);
+    }
+}

@@ -1,0 +1,281 @@
+//! The query context: `Q`, its convex hull, and spatial dominance.
+//!
+//! Everything the paper's algorithms share lives here. A
+//! [`QueryContext`] is built once per query: it computes `CH(Q)` and its
+//! vertex set `CHv(Q)` (the *anchors*), because by Theorem 2 the spatial
+//! skyline only depends on the hull vertices — every distance computation
+//! and dominance check downstream runs against the anchors instead of the
+//! full query set.
+
+use ssq_geom::{convex_hull, ConvexPolygon, Point};
+
+use crate::stats::QueryStats;
+
+/// A prepared spatial skyline query: the query points, their convex hull
+/// and the hull vertices (anchors).
+#[derive(Clone, Debug)]
+pub struct QueryContext {
+    query: Vec<Point>,
+    hull: ConvexPolygon,
+    anchors: Vec<Point>,
+}
+
+impl QueryContext {
+    /// Prepares a query over `q` (at least one point; duplicates are
+    /// tolerated and collapse in the hull).
+    pub fn new(q: &[Point]) -> QueryContext {
+        assert!(!q.is_empty(), "a spatial skyline query needs at least one query point");
+        let hull = convex_hull(q);
+        let anchors = hull.vertices().to_vec();
+        QueryContext {
+            query: q.to_vec(),
+            hull,
+            anchors,
+        }
+    }
+
+    /// The full query set `Q` as given.
+    pub fn query(&self) -> &[Point] {
+        &self.query
+    }
+
+    /// The convex hull `CH(Q)`.
+    pub fn hull(&self) -> &ConvexPolygon {
+        &self.hull
+    }
+
+    /// The hull vertices `CHv(Q)` — the only query points that matter
+    /// (Theorem 2).
+    pub fn anchors(&self) -> &[Point] {
+        &self.anchors
+    }
+
+    /// The distances from `p` to every anchor, counting them in `stats`.
+    ///
+    /// These vectors are the paper's "derived spatial attributes" (§2.2),
+    /// restricted to `CHv(Q)`.
+    pub fn dist_vector(&self, p: Point, stats: &mut QueryStats) -> Vec<f64> {
+        stats.distance_computations += self.anchors.len() as u64;
+        self.anchors.iter().map(|&q| q.distance(p)).collect()
+    }
+
+    /// The distances from `p` to every point of the **full** query set,
+    /// counting them in `stats`. Used by the BBS baseline, which does not
+    /// know Theorem 2.
+    pub fn dist_vector_full(&self, p: Point, stats: &mut QueryStats) -> Vec<f64> {
+        stats.distance_computations += self.query.len() as u64;
+        self.query.iter().map(|&q| q.distance(p)).collect()
+    }
+
+    /// The monotone ordering key `mindist(p, CHv(Q)) = Σ D(p, q)` used by
+    /// B²S² and VS² (paper Figs. 5 and 7).
+    pub fn mindist(&self, p: Point) -> f64 {
+        self.anchors.iter().map(|&q| q.distance(p)).sum()
+    }
+
+    /// Like [`QueryContext::mindist`] but over the full query set (BBS).
+    pub fn mindist_full(&self, p: Point) -> f64 {
+        self.query.iter().map(|&q| q.distance(p)).sum()
+    }
+}
+
+/// `true` when distance vector `a` spatially dominates `b`: weakly closer
+/// on every component and strictly closer on at least one (§2.2).
+///
+/// The caller accounts the dominance check; this function is pure.
+#[inline]
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strict = false;
+    for (&x, &y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strict = true;
+        }
+    }
+    strict
+}
+
+/// `true` when `candidate` is dominated by any of the `skyline` vectors;
+/// counts one dominance check per comparison performed.
+pub fn dominated_by_any(
+    candidate: &[f64],
+    skyline: &[(u32, Vec<f64>)],
+    stats: &mut QueryStats,
+) -> bool {
+    for (_, vec) in skyline {
+        stats.dominance_checks += 1;
+        if dominates(vec, candidate) {
+            return true;
+        }
+    }
+    false
+}
+
+/// A skyline candidate as collected by a graph traversal: point index,
+/// monotone ordering key (`mindist`), distance vector, and whether the
+/// point is inside `CH(Q)` (a *certain* skyline point by Theorem 1).
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    /// Index into the data set.
+    pub id: u32,
+    /// `mindist(p, CHv(Q))`.
+    pub key: f64,
+    /// Distances to the anchors.
+    pub vector: Vec<f64>,
+    /// Inside `CH(Q)` (Theorem 1: cannot be dominated).
+    pub certain: bool,
+}
+
+/// Resolves a candidate set into the exact skyline with a single pass in
+/// ascending `mindist` order.
+///
+/// Exactness: spatial dominance implies a *strictly* smaller `mindist`
+/// (the sum of anchor distances), so in key order every dominator precedes
+/// its dominatees; a candidate dominated by nothing kept so far is a true
+/// skyline point. Certain (hull-interior) candidates skip their checks
+/// entirely. The input must contain every true skyline point (the
+/// traversals guarantee this); extra dominated candidates are filtered
+/// out here.
+pub fn resolve_candidates(
+    mut candidates: Vec<Candidate>,
+    stats: &mut QueryStats,
+) -> Vec<(u32, Vec<f64>)> {
+    candidates.sort_by(|a, b| a.key.partial_cmp(&b.key).expect("NaN mindist"));
+    let mut skyline: Vec<(u32, Vec<f64>)> = Vec::new();
+    'next: for c in candidates {
+        if !c.certain {
+            for (_, sv) in &skyline {
+                stats.dominance_checks += 1;
+                if dominates(sv, &c.vector) {
+                    continue 'next;
+                }
+            }
+        }
+        skyline.push((c.id, c.vector));
+    }
+    skyline
+}
+
+/// Removes from `skyline` every member dominated by another member (the
+/// final mutual filter the Paper-mode VS² traversal runs to stay exact
+/// under any discovery order). Returns the surviving `(index,
+/// dist-vector)` pairs.
+pub fn mutual_filter(
+    mut skyline: Vec<(u32, Vec<f64>)>,
+    stats: &mut QueryStats,
+) -> Vec<(u32, Vec<f64>)> {
+    let mut keep = vec![true; skyline.len()];
+    for i in 0..skyline.len() {
+        if !keep[i] {
+            continue;
+        }
+        for j in 0..skyline.len() {
+            if i == j || !keep[j] {
+                continue;
+            }
+            stats.dominance_checks += 1;
+            if dominates(&skyline[i].1, &skyline[j].1) {
+                keep[j] = false;
+            }
+        }
+    }
+    let mut idx = 0;
+    skyline.retain(|_| {
+        let k = keep[idx];
+        idx += 1;
+        k
+    });
+    skyline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn anchors_are_hull_vertices_only() {
+        // A square of query points plus one interior point: the interior
+        // point must not appear among the anchors (Theorem 2).
+        let q = [
+            p(0.0, 0.0),
+            p(4.0, 0.0),
+            p(4.0, 4.0),
+            p(0.0, 4.0),
+            p(2.0, 2.0),
+        ];
+        let ctx = QueryContext::new(&q);
+        assert_eq!(ctx.anchors().len(), 4);
+        assert!(!ctx.anchors().contains(&p(2.0, 2.0)));
+        assert_eq!(ctx.query().len(), 5);
+    }
+
+    #[test]
+    fn single_query_point() {
+        let ctx = QueryContext::new(&[p(1.0, 1.0)]);
+        assert_eq!(ctx.anchors(), &[p(1.0, 1.0)]);
+        assert_eq!(ctx.mindist(p(4.0, 5.0)), 5.0);
+    }
+
+    #[test]
+    fn dist_vector_counts_computations() {
+        let ctx = QueryContext::new(&[p(0.0, 0.0), p(3.0, 0.0)]);
+        let mut stats = QueryStats::default();
+        let v = ctx.dist_vector(p(0.0, 4.0), &mut stats);
+        assert_eq!(v, vec![4.0, 5.0]);
+        assert_eq!(stats.distance_computations, 2);
+    }
+
+    #[test]
+    fn dominates_needs_strictness() {
+        assert!(dominates(&[1.0, 2.0], &[1.0, 3.0]));
+        assert!(!dominates(&[1.0, 2.0], &[1.0, 2.0]));
+        assert!(!dominates(&[1.0, 4.0], &[2.0, 3.0]));
+    }
+
+    #[test]
+    fn dominated_by_any_counts_checks() {
+        let skyline = vec![(0u32, vec![5.0, 5.0]), (1u32, vec![1.0, 1.0])];
+        let mut stats = QueryStats::default();
+        assert!(dominated_by_any(&[2.0, 2.0], &skyline, &mut stats));
+        assert_eq!(stats.dominance_checks, 2); // first fails, second hits
+        let mut stats2 = QueryStats::default();
+        assert!(!dominated_by_any(&[0.5, 0.5], &skyline, &mut stats2));
+        assert_eq!(stats2.dominance_checks, 2);
+    }
+
+    #[test]
+    fn mutual_filter_removes_dominated_members() {
+        let mut stats = QueryStats::default();
+        let filtered = mutual_filter(
+            vec![
+                (0u32, vec![1.0, 1.0]),
+                (1u32, vec![2.0, 2.0]), // dominated by 0
+                (2u32, vec![0.5, 3.0]),
+            ],
+            &mut stats,
+        );
+        let ids: Vec<u32> = filtered.iter().map(|&(i, _)| i).collect();
+        assert_eq!(ids, vec![0, 2]);
+    }
+
+    #[test]
+    fn mindist_is_monotone_under_dominance() {
+        // If a dominates b then mindist(a) < mindist(b) — the property
+        // both B²S² and VS² rely on for their processing order.
+        let ctx = QueryContext::new(&[p(0.0, 0.0), p(4.0, 0.0), p(2.0, 3.0)]);
+        let a = p(2.0, 1.0);
+        let b = p(2.0, 8.0); // farther from all three
+        let mut stats = QueryStats::default();
+        let va = ctx.dist_vector(a, &mut stats);
+        let vb = ctx.dist_vector(b, &mut stats);
+        assert!(dominates(&va, &vb));
+        assert!(ctx.mindist(a) < ctx.mindist(b));
+    }
+}

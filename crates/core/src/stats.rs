@@ -1,0 +1,92 @@
+//! Query cost accounting.
+//!
+//! The paper's evaluation (§7, Fig. 12) reports three costs per query:
+//! CPU time, the number of *dominance checks*, and the number of accessed
+//! index nodes (I/O). [`QueryStats`] carries the latter two plus auxiliary
+//! counters; wall-clock time is measured by the bench harness, not here.
+
+/// Cost counters for one skyline query (or one continuous update).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Pairwise dominance checks: one per (candidate, skyline-point)
+    /// comparison — the metric of Fig. 12b/e.
+    pub dominance_checks: u64,
+    /// Point-to-point distance evaluations (each anchor distance counts
+    /// one).
+    pub distance_computations: u64,
+    /// Index nodes read: R-tree nodes for BBS/B²S², adjacency-file pages
+    /// for VS²/VCS² — the metric of Fig. 12c/f.
+    pub node_accesses: u64,
+    /// Data points whose dominance was actually examined.
+    pub points_examined: u64,
+    /// Entries (points or R-tree rectangles / graph vertices) visited by
+    /// the traversal.
+    pub entries_visited: u64,
+}
+
+impl QueryStats {
+    /// Adds another stats record into this one (for averaging batches).
+    pub fn absorb(&mut self, other: &QueryStats) {
+        self.dominance_checks += other.dominance_checks;
+        self.distance_computations += other.distance_computations;
+        self.node_accesses += other.node_accesses;
+        self.points_examined += other.points_examined;
+        self.entries_visited += other.entries_visited;
+    }
+}
+
+/// A computed skyline plus the cost of computing it.
+#[derive(Clone, Debug, Default)]
+pub struct SkylineResult {
+    /// Indices (into the data set) of the spatial skyline points, sorted
+    /// ascending.
+    pub skyline: Vec<u32>,
+    /// Cost counters.
+    pub stats: QueryStats,
+}
+
+impl SkylineResult {
+    /// `true` when `idx` is one of the skyline points.
+    pub fn contains(&self, idx: u32) -> bool {
+        self.skyline.binary_search(&idx).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_fields() {
+        let mut a = QueryStats {
+            dominance_checks: 1,
+            distance_computations: 2,
+            node_accesses: 3,
+            points_examined: 4,
+            entries_visited: 5,
+        };
+        let b = QueryStats {
+            dominance_checks: 10,
+            distance_computations: 20,
+            node_accesses: 30,
+            points_examined: 40,
+            entries_visited: 50,
+        };
+        a.absorb(&b);
+        assert_eq!(a.dominance_checks, 11);
+        assert_eq!(a.distance_computations, 22);
+        assert_eq!(a.node_accesses, 33);
+        assert_eq!(a.points_examined, 44);
+        assert_eq!(a.entries_visited, 55);
+    }
+
+    #[test]
+    fn result_contains_uses_sorted_order() {
+        let r = SkylineResult {
+            skyline: vec![2, 5, 9],
+            stats: QueryStats::default(),
+        };
+        assert!(r.contains(5));
+        assert!(!r.contains(4));
+    }
+}

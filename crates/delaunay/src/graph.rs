@@ -1,0 +1,391 @@
+//! The Delaunay graph: adjacency lists, Voronoi cells and greedy walks.
+//!
+//! VS² (paper §4.2) assumes "the Voronoi neighbors of each data point is
+//! known. To be specific, the adjacency list of the Delaunay graph of the
+//! points in P is stored in a flat file". [`DelaunayGraph`] is that
+//! structure: a compressed sparse row (CSR) adjacency built once from the
+//! triangulation, with the two geometric queries the SSQ algorithms need —
+//! Voronoi cells (for the Theorem 3/4 pruning tests) and greedy
+//! nearest-neighbour walks (to find the traversal's entry point `NN(q₁)`).
+
+use ssq_geom::{ConvexPolygon, HalfPlane, Point, Rect};
+
+use crate::triangulation::{BuildError, Triangulation};
+
+/// The Delaunay graph of a point set.
+///
+/// For degenerate inputs (fewer than three points, or all points collinear)
+/// the graph is the path connecting consecutive points along their common
+/// line — exactly the Delaunay graph limit — so every query below still
+/// behaves correctly.
+pub struct DelaunayGraph {
+    points: Vec<Point>,
+    /// CSR offsets: neighbours of `i` are `adj[offsets[i]..offsets[i+1]]`.
+    offsets: Vec<u32>,
+    adj: Vec<u32>,
+    /// MBR of the points, inflated; used as the default Voronoi clip box.
+    clip: Rect,
+}
+
+impl DelaunayGraph {
+    /// Builds the Delaunay graph of `points`.
+    pub fn new(points: &[Point]) -> Result<DelaunayGraph, BuildError> {
+        let tri = Triangulation::new(points)?;
+        Ok(Self::from_triangulation(&tri))
+    }
+
+    /// Builds the graph from an existing triangulation.
+    pub fn from_triangulation(tri: &Triangulation) -> DelaunayGraph {
+        let points = tri.points().to_vec();
+        let n = points.len();
+        let edges = if tri.is_degenerate() {
+            degenerate_path_edges(&points)
+        } else {
+            tri.edges()
+        };
+
+        // CSR over the undirected edges.
+        let mut degree = vec![0u32; n];
+        for &(a, b) in &edges {
+            degree[a as usize] += 1;
+            degree[b as usize] += 1;
+        }
+        let mut offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        let mut adj = vec![0u32; offsets[n] as usize];
+        let mut cursor = offsets.clone();
+        for &(a, b) in &edges {
+            adj[cursor[a as usize] as usize] = b;
+            cursor[a as usize] += 1;
+            adj[cursor[b as usize] as usize] = a;
+            cursor[b as usize] += 1;
+        }
+        // Sort each neighbour list for determinism and binary search.
+        for i in 0..n {
+            adj[offsets[i] as usize..offsets[i + 1] as usize].sort_unstable();
+        }
+
+        let span = Rect::bounding(points.iter().copied());
+        let margin = (span.width().max(span.height())).max(1.0);
+        DelaunayGraph {
+            points,
+            offsets,
+            adj,
+            clip: span.inflate(margin),
+        }
+    }
+
+    /// The underlying points, in input order.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the graph has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The point with index `i`.
+    #[inline]
+    pub fn point(&self, i: u32) -> Point {
+        self.points[i as usize]
+    }
+
+    /// The Voronoi (Delaunay) neighbours of point `i`, sorted by index.
+    #[inline]
+    pub fn neighbors(&self, i: u32) -> &[u32] {
+        &self.adj[self.offsets[i as usize] as usize..self.offsets[i as usize + 1] as usize]
+    }
+
+    /// Total number of undirected Delaunay edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.len() / 2
+    }
+
+    /// The default clipping rectangle for Voronoi cells: the data MBR
+    /// inflated by its own larger side (so boundary cells comfortably cover
+    /// the data universe).
+    pub fn default_clip(&self) -> Rect {
+        self.clip
+    }
+
+    /// The Voronoi cell of point `i`, clipped to `clip`.
+    ///
+    /// The cell is computed as the intersection of `clip` with the
+    /// bisector half-planes toward each Delaunay neighbour — which equals
+    /// the true Voronoi cell intersected with `clip`, because the Voronoi
+    /// cell of a point is already the intersection of the bisector
+    /// half-planes of its *Delaunay neighbours* alone.
+    pub fn voronoi_cell(&self, i: u32, clip: &Rect) -> ConvexPolygon {
+        let p = self.point(i);
+        let c = clip.corners();
+        let mut poly = ConvexPolygon::from_ccw_vertices(vec![c[0], c[1], c[2], c[3]]);
+        for &j in self.neighbors(i) {
+            poly = poly.clip_halfplane(&HalfPlane::closer_to(p, self.point(j)));
+            if poly.is_empty() {
+                break;
+            }
+        }
+        poly
+    }
+
+    /// The Voronoi cell of point `i` with the default clip box.
+    pub fn voronoi_cell_default(&self, i: u32) -> ConvexPolygon {
+        self.voronoi_cell(i, &self.clip.clone())
+    }
+
+    /// Greedy nearest-neighbour walk: starting from `start`, repeatedly
+    /// moves to any neighbour strictly closer to `q`, stopping at a local
+    /// (= global, on Delaunay graphs) minimum. Returns the index of the
+    /// nearest point to `q` and the number of hops taken.
+    ///
+    /// Greedy routing provably reaches the point whose Voronoi cell
+    /// contains `q` on a Delaunay triangulation (Bose & Morin 2004), which
+    /// is exactly the nearest neighbour. This is the `Φ(√|P|)`-step entry
+    /// point the paper describes when no index is available (§4.2).
+    pub fn greedy_nearest(&self, q: Point, start: u32) -> (u32, usize) {
+        let mut cur = start;
+        let mut cur_d = self.point(cur).distance_sq(q);
+        let mut hops = 0;
+        loop {
+            let mut best = cur;
+            let mut best_d = cur_d;
+            for &j in self.neighbors(cur) {
+                let d = self.point(j).distance_sq(q);
+                if d < best_d {
+                    best = j;
+                    best_d = d;
+                }
+            }
+            if best == cur {
+                return (cur, hops);
+            }
+            cur = best;
+            cur_d = best_d;
+            hops += 1;
+        }
+    }
+
+    /// Exact nearest neighbour of `q` by greedy walk from point 0.
+    pub fn nearest(&self, q: Point) -> Option<u32> {
+        if self.points.is_empty() {
+            return None;
+        }
+        Some(self.greedy_nearest(q, 0).0)
+    }
+}
+
+/// Delaunay edges of a degenerate (collinear or tiny) point set: the path
+/// connecting consecutive points along the line.
+fn degenerate_path_edges(points: &[Point]) -> Vec<(u32, u32)> {
+    let n = points.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    // Order by projection onto the dominant direction (fall back to
+    // lexicographic order, which equals projection order for collinear
+    // sets).
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by(|&i, &j| points[i as usize].lex_cmp(&points[j as usize]));
+    order
+        .windows(2)
+        .map(|w| (w[0].min(w[1]), w[0].max(w[1])))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn grid(w: usize, h: usize) -> Vec<Point> {
+        let mut pts = Vec::new();
+        for i in 0..w {
+            for j in 0..h {
+                pts.push(p(i as f64, j as f64));
+            }
+        }
+        pts
+    }
+
+    fn pseudorandom(n: usize, seed: u64) -> Vec<Point> {
+        let mut s = seed.max(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|_| p(next() * 100.0, next() * 100.0)).collect()
+    }
+
+    #[test]
+    fn neighbors_are_symmetric_and_sorted() {
+        let g = DelaunayGraph::new(&pseudorandom(60, 7)).unwrap();
+        for i in 0..g.len() as u32 {
+            let ns = g.neighbors(i);
+            assert!(ns.windows(2).all(|w| w[0] < w[1]), "sorted, no dupes");
+            for &j in ns {
+                assert!(g.neighbors(j).contains(&i), "symmetry {i} <-> {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn graph_is_connected() {
+        let g = DelaunayGraph::new(&pseudorandom(80, 99)).unwrap();
+        let n = g.len();
+        let mut seen = vec![false; n];
+        let mut stack = vec![0u32];
+        seen[0] = true;
+        let mut count = 0;
+        while let Some(i) = stack.pop() {
+            count += 1;
+            for &j in g.neighbors(i) {
+                if !seen[j as usize] {
+                    seen[j as usize] = true;
+                    stack.push(j);
+                }
+            }
+        }
+        assert_eq!(count, n, "Delaunay graph must be connected");
+    }
+
+    #[test]
+    fn voronoi_cell_contains_owner_and_separates() {
+        let pts = pseudorandom(40, 3);
+        let g = DelaunayGraph::new(&pts).unwrap();
+        let clip = g.default_clip();
+        for i in 0..g.len() as u32 {
+            let cell = g.voronoi_cell(i, &clip);
+            assert!(cell.contains(g.point(i)), "cell contains its site");
+            // Sample the cell's vertices: they must be (weakly) closest to i.
+            for &v in cell.vertices() {
+                let di = v.distance(g.point(i));
+                for j in 0..g.len() as u32 {
+                    assert!(
+                        v.distance(g.point(j)) >= di - 1e-7,
+                        "cell vertex {v:?} of site {i} closer to {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn voronoi_cells_cover_random_probes() {
+        // Brute-force check: the site whose cell contains a probe point is
+        // its nearest site.
+        let pts = pseudorandom(30, 11);
+        let g = DelaunayGraph::new(&pts).unwrap();
+        let clip = g.default_clip();
+        let probes = pseudorandom(50, 1234);
+        for q in probes {
+            let nn = (0..g.len() as u32)
+                .min_by(|&a, &b| {
+                    g.point(a)
+                        .distance_sq(q)
+                        .partial_cmp(&g.point(b).distance_sq(q))
+                        .unwrap()
+                })
+                .unwrap();
+            let cell = g.voronoi_cell(nn, &clip);
+            assert!(
+                cell.contains(q),
+                "probe {q:?} must lie in the cell of its nearest site {nn}"
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_walk_finds_true_nearest() {
+        let pts = pseudorandom(100, 21);
+        let g = DelaunayGraph::new(&pts).unwrap();
+        let probes = pseudorandom(50, 4321);
+        for q in probes {
+            let brute = (0..g.len() as u32)
+                .min_by(|&a, &b| {
+                    g.point(a)
+                        .distance_sq(q)
+                        .partial_cmp(&g.point(b).distance_sq(q))
+                        .unwrap()
+                })
+                .unwrap();
+            let (found, _) = g.greedy_nearest(q, 0);
+            assert_eq!(
+                g.point(found).distance_sq(q),
+                g.point(brute).distance_sq(q),
+                "greedy walk must find a true nearest neighbour"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_interior_degree_is_bounded() {
+        let g = DelaunayGraph::new(&grid(5, 5)).unwrap();
+        // Every vertex of a Delaunay triangulation of a grid has at most 8
+        // neighbours (the 4-neighbourhood plus diagonals).
+        for i in 0..g.len() as u32 {
+            assert!(g.neighbors(i).len() <= 8);
+            assert!(!g.neighbors(i).is_empty());
+        }
+    }
+
+    #[test]
+    fn degenerate_collinear_forms_path() {
+        let g = DelaunayGraph::new(&[p(0.0, 0.0), p(2.0, 0.0), p(1.0, 0.0), p(3.0, 0.0)])
+            .unwrap();
+        // Path order along the line: 0 - 2 - 1 - 3.
+        assert_eq!(g.neighbors(0), &[2]);
+        assert_eq!(g.neighbors(2), &[0, 1]);
+        assert_eq!(g.neighbors(1), &[2, 3]);
+        assert_eq!(g.neighbors(3), &[1]);
+        // NN walks still work.
+        assert_eq!(g.nearest(p(2.9, 1.0)), Some(3));
+    }
+
+    #[test]
+    fn two_points_and_one_point() {
+        let g = DelaunayGraph::new(&[p(0.0, 0.0), p(5.0, 5.0)]).unwrap();
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+        let g1 = DelaunayGraph::new(&[p(1.0, 1.0)]).unwrap();
+        assert!(g1.neighbors(0).is_empty());
+        assert_eq!(g1.nearest(p(0.0, 0.0)), Some(0));
+        assert_eq!(DelaunayGraph::new(&[]).unwrap().nearest(p(0.0, 0.0)), None);
+    }
+
+    #[test]
+    fn voronoi_cell_of_isolated_point_is_clip_box() {
+        let g = DelaunayGraph::new(&[p(1.0, 1.0)]).unwrap();
+        let clip = Rect::from_corners(p(0.0, 0.0), p(2.0, 2.0));
+        let cell = g.voronoi_cell(0, &clip);
+        assert!((cell.area() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn voronoi_cells_tile_the_clip_box() {
+        // Total cell area must equal the clip-box area (cells partition it).
+        let pts = pseudorandom(25, 5);
+        let g = DelaunayGraph::new(&pts).unwrap();
+        let clip = Rect::from_corners(p(-10.0, -10.0), p(110.0, 110.0));
+        let total: f64 = (0..g.len() as u32)
+            .map(|i| g.voronoi_cell(i, &clip).area())
+            .sum();
+        assert!(
+            (total - clip.area()).abs() < 1e-6 * clip.area(),
+            "cells must tile the box: {total} vs {}",
+            clip.area()
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Hilbert-curve ordering.
+//!
+//! Used in two places, both taken from the paper:
+//!
+//! * insertion order for the incremental Delaunay construction (short
+//!   locate walks — a standard locality trick);
+//! * the page layout of the Delaunay adjacency file: "To preserve locality,
+//!   points are organized in pages according to their Hilbert values"
+//!   (§4.2). [`crate::paged::PagedAdjacency`] groups points into pages in
+//!   this order.
+
+use ssq_geom::{Point, Rect};
+
+/// Resolution of the Hilbert grid: coordinates are quantized to
+/// `2^ORDER × 2^ORDER` cells.
+pub const ORDER: u32 = 16;
+
+/// Maps `p` to its Hilbert index on a `2^ORDER` grid spanning `bbox`.
+///
+/// Points outside `bbox` are clamped; degenerate boxes map everything to 0.
+pub fn hilbert_index(p: Point, bbox: &Rect) -> u64 {
+    let side = (1u32 << ORDER) as f64;
+    let w = bbox.width();
+    let h = bbox.height();
+    let x = if w > 0.0 {
+        (((p.x - bbox.min.x) / w) * (side - 1.0)).clamp(0.0, side - 1.0) as u32
+    } else {
+        0
+    };
+    let y = if h > 0.0 {
+        (((p.y - bbox.min.y) / h) * (side - 1.0)).clamp(0.0, side - 1.0) as u32
+    } else {
+        0
+    };
+    xy_to_hilbert(x, y)
+}
+
+/// Converts grid coordinates to the Hilbert curve index (the classic
+/// iterative bit-twiddling formulation).
+pub fn xy_to_hilbert(mut x: u32, mut y: u32) -> u64 {
+    let n: u32 = 1 << ORDER;
+    let mut d: u64 = 0;
+    let mut s: u32 = n / 2;
+    while s > 0 {
+        let rx = u32::from((x & s) > 0);
+        let ry = u32::from((y & s) > 0);
+        d += (s as u64) * (s as u64) * ((3 * rx) ^ ry) as u64;
+        // Rotate the quadrant.
+        if ry == 0 {
+            if rx == 1 {
+                x = n - 1 - x;
+                y = n - 1 - y;
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        s /= 2;
+    }
+    d
+}
+
+/// Sorts `indices` into Hilbert order of their points.
+pub fn sort_by_hilbert(points: &[Point], indices: &mut [u32]) {
+    let bbox = Rect::bounding(points.iter().copied());
+    indices.sort_by_key(|&i| hilbert_index(points[i as usize], &bbox));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hilbert_is_injective_on_small_grid() {
+        // All cells of an 8x8 subgrid must get distinct indices.
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..8u32 {
+            for y in 0..8u32 {
+                assert!(seen.insert(xy_to_hilbert(x, y)), "collision at ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn hilbert_neighbors_are_close() {
+        // Consecutive Hilbert indices correspond to adjacent grid cells:
+        // walk a small curve segment and verify unit steps.
+        let side = 16u32;
+        let mut cells: Vec<(u64, (u32, u32))> = Vec::new();
+        for x in 0..side {
+            for y in 0..side {
+                cells.push((xy_to_hilbert(x, y), (x, y)));
+            }
+        }
+        cells.sort();
+        for w in cells.windows(2) {
+            let (x0, y0) = w[0].1;
+            let (x1, y1) = w[1].1;
+            // Indices within the subgrid are not globally consecutive, so
+            // only check pairs whose indices differ by exactly 1.
+            if w[1].0 == w[0].0 + 1 {
+                let manhattan = x0.abs_diff(x1) + y0.abs_diff(y1);
+                assert_eq!(manhattan, 1, "Hilbert step must be a unit move");
+            }
+        }
+    }
+
+    #[test]
+    fn index_respects_bbox() {
+        let bbox = Rect::from_corners(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+        let a = hilbert_index(Point::new(0.0, 0.0), &bbox);
+        let b = hilbert_index(Point::new(0.1, 0.0), &bbox);
+        let far = hilbert_index(Point::new(10.0, 10.0), &bbox);
+        assert!(a <= b);
+        assert_ne!(a, far);
+        // Clamping: out-of-box points don't panic.
+        let _ = hilbert_index(Point::new(-5.0, 50.0), &bbox);
+    }
+
+    #[test]
+    fn degenerate_bbox_maps_to_zero() {
+        let bbox = Rect::from_point(Point::new(3.0, 3.0));
+        assert_eq!(hilbert_index(Point::new(3.0, 3.0), &bbox), 0);
+    }
+
+    #[test]
+    fn sort_by_hilbert_orders_locally() {
+        let points = vec![
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 100.0),
+            Point::new(1.0, 1.0),
+            Point::new(99.0, 99.0),
+        ];
+        let mut idx: Vec<u32> = (0..4).collect();
+        sort_by_hilbert(&points, &mut idx);
+        // The two near-origin points must be adjacent in the order, as must
+        // the two far points.
+        let pos = |i: u32| idx.iter().position(|&x| x == i).unwrap();
+        assert_eq!(pos(0).abs_diff(pos(2)), 1);
+        assert_eq!(pos(1).abs_diff(pos(3)), 1);
+    }
+}

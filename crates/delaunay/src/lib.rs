@@ -1,0 +1,43 @@
+//! # ssq-delaunay
+//!
+//! The Voronoi/Delaunay substrate of the spatial skyline library.
+//!
+//! The VS² and VCS² algorithms of Sharifzadeh & Shahabi (VLDB 2006) treat
+//! the Delaunay graph of the data points as a *roadmap*: starting from the
+//! nearest neighbour of a query point they expand outward through Voronoi
+//! neighbours in ascending `mindist` order, pruning with the Voronoi-cell
+//! tests of Theorems 3 and 4 (paper §4.2, Fig. 7). This crate provides the
+//! machinery they need:
+//!
+//! * [`Triangulation`] — an incremental (Bowyer–Watson) Delaunay
+//!   triangulation built on the exact predicates of `ssq-geom`, using a
+//!   symbolic *ghost vertex* instead of a super-triangle so hull handling
+//!   is exact;
+//! * [`DelaunayGraph`] — the CSR adjacency ("the adjacency list of the
+//!   Delaunay graph", §4.2) with greedy nearest-neighbour walks;
+//! * Voronoi cells ([`DelaunayGraph::voronoi_cell`]) as clipped convex
+//!   polygons, obtained by intersecting bisector half-planes of the
+//!   Delaunay neighbours;
+//! * [`hilbert`] — Hilbert-curve ordering, both for insertion locality and
+//!   for the paper's page layout ("points are organized in pages according
+//!   to their Hilbert values");
+//! * [`paged::PagedAdjacency`] — a page-access-counting view of the
+//!   adjacency file, so VS²'s I/O can be accounted like the paper does for
+//!   the R-tree.
+//!
+//! Degenerate inputs (all points collinear, fewer than three points) have
+//! no triangulation; [`DelaunayGraph`] still exists for them (a path graph
+//! along the line), so every public query keeps working.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod file;
+pub mod graph;
+pub mod hilbert;
+pub mod paged;
+pub mod triangulation;
+pub mod voronoi;
+
+pub use graph::DelaunayGraph;
+pub use triangulation::{BuildError, Triangulation};

@@ -1,0 +1,673 @@
+//! Incremental Delaunay triangulation (Bowyer–Watson with a ghost vertex).
+//!
+//! # Design
+//!
+//! The triangulation is built by inserting points one at a time: locate the
+//! triangle whose circumdisk contains the new point (a *visibility walk*,
+//! which always terminates on a Delaunay triangulation), grow the *cavity*
+//! of all triangles whose circumdisks contain the point, delete it and
+//! re-triangulate its boundary as a fan around the new point.
+//!
+//! Instead of the classic "super-triangle" (whose finite coordinates make
+//! hull handling subtly wrong for skinny boundary triangles), the region
+//! outside the convex hull is covered by **ghost triangles**: for every CCW
+//! hull edge `a → b` there is a triangle `(b, a, GHOST)` with a symbolic
+//! vertex at infinity. The in-circumdisk test for a ghost triangle
+//! degenerates to an orientation test, so the exact predicates of
+//! `ssq-geom` keep the whole structure exact for any finite `f64` input.
+//!
+//! Points are inserted in Hilbert-curve order, which keeps the locate walks
+//! short and makes construction effectively linear time in practice.
+
+use ssq_geom::predicates::{incircle_sign, orient2d_sign};
+use ssq_geom::{Point, Rect};
+
+use crate::hilbert;
+
+/// The symbolic vertex at infinity used by ghost triangles.
+pub const GHOST: u32 = u32::MAX;
+
+/// Errors reported by [`Triangulation::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// Two input points are exactly identical; the Delaunay diagram of a
+    /// multiset is ill-defined. The payload carries the two input indices.
+    DuplicatePoint(usize, usize),
+    /// A coordinate was NaN or infinite.
+    NonFiniteCoordinate(usize),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::DuplicatePoint(i, j) => {
+                write!(f, "input points {i} and {j} are identical")
+            }
+            BuildError::NonFiniteCoordinate(i) => {
+                write!(f, "input point {i} has a NaN/infinite coordinate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// A triangle record: vertex indices (CCW for finite triangles; ghost
+/// triangles keep `GHOST` in slot 2) and the neighbour opposite each
+/// vertex.
+#[derive(Clone, Copy, Debug)]
+struct Tri {
+    v: [u32; 3],
+    /// `nbr[i]` is the triangle sharing the edge opposite `v[i]`;
+    /// `u32::MAX` means "none" (only during construction).
+    nbr: [u32; 3],
+    alive: bool,
+    /// Cavity-search stamp (epoch marking instead of clearing a bitmap).
+    stamp: u32,
+}
+
+const NO_TRI: u32 = u32::MAX;
+
+/// A Delaunay triangulation of a set of distinct points.
+///
+/// For inputs whose points are all collinear (or fewer than 3 points) no
+/// triangle exists; [`Triangulation::is_degenerate`] reports this and
+/// [`Triangulation::triangles`] is empty. [`crate::DelaunayGraph`] handles
+/// that case with a path graph, so SSQ algorithms never need to care.
+#[derive(Debug)]
+pub struct Triangulation {
+    points: Vec<Point>,
+    tris: Vec<Tri>,
+    /// Some alive triangle, used as the default walk start.
+    seed: u32,
+    /// True when the input was collinear/too small to triangulate.
+    degenerate: bool,
+    epoch: u32,
+}
+
+impl Triangulation {
+    /// Builds the Delaunay triangulation of `points`.
+    ///
+    /// `O(n log n)` for the Hilbert sort plus effectively linear insertion.
+    /// Exact duplicates and non-finite coordinates are rejected.
+    pub fn new(points: &[Point]) -> Result<Triangulation, BuildError> {
+        for (i, p) in points.iter().enumerate() {
+            if !p.is_finite() {
+                return Err(BuildError::NonFiniteCoordinate(i));
+            }
+        }
+        // Duplicate detection via lexicographic sort of indices.
+        let mut order: Vec<u32> = (0..points.len() as u32).collect();
+        order.sort_by(|&i, &j| points[i as usize].lex_cmp(&points[j as usize]));
+        for w in order.windows(2) {
+            if points[w[0] as usize] == points[w[1] as usize] {
+                let (a, b) = (w[0] as usize, w[1] as usize);
+                return Err(BuildError::DuplicatePoint(a.min(b), a.max(b)));
+            }
+        }
+
+        let mut t = Triangulation {
+            points: points.to_vec(),
+            tris: Vec::new(),
+            seed: NO_TRI,
+            degenerate: true,
+            epoch: 0,
+        };
+        if points.len() < 3 {
+            return Ok(t);
+        }
+
+        // Hilbert insertion order over the data MBR.
+        let bbox = Rect::bounding(points.iter().copied());
+        let mut insert_order: Vec<u32> = (0..points.len() as u32).collect();
+        insert_order.sort_by_key(|&i| hilbert::hilbert_index(points[i as usize], &bbox));
+
+        // Find the first non-collinear triple in insertion order to seed the
+        // triangulation: (first two distinct points, first point off their
+        // line).
+        let i0 = insert_order[0];
+        let mut i1 = None;
+        let mut i2 = None;
+        for &i in &insert_order[1..] {
+            if i1.is_none() {
+                i1 = Some(i);
+                continue;
+            }
+            let a = points[i0 as usize];
+            let b = points[i1.expect("set above") as usize];
+            if orient2d_sign(a, b, points[i as usize]) != 0 {
+                i2 = Some(i);
+                break;
+            }
+        }
+        let Some(i2) = i2 else {
+            return Ok(t); // all points collinear: degenerate
+        };
+        let i1 = i1.expect("at least two points");
+        t.degenerate = false;
+        t.init_first_triangle(i0, i1, i2);
+        for &i in &insert_order[1..] {
+            if i == i1 || i == i2 {
+                continue;
+            }
+            t.insert(i);
+        }
+        Ok(t)
+    }
+
+    /// The input points, in their original order.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// `true` when the input had no non-collinear triple.
+    pub fn is_degenerate(&self) -> bool {
+        self.degenerate
+    }
+
+    /// Iterates over the finite triangles as CCW vertex-index triples.
+    pub fn triangles(&self) -> impl Iterator<Item = [u32; 3]> + '_ {
+        self.tris
+            .iter()
+            .filter(|t| t.alive && t.v[2] != GHOST)
+            .map(|t| t.v)
+    }
+
+    /// Collects the undirected Delaunay edges (each reported once, with
+    /// `a < b`).
+    pub fn edges(&self) -> Vec<(u32, u32)> {
+        let mut edges = Vec::new();
+        for t in self.tris.iter().filter(|t| t.alive) {
+            for k in 0..3 {
+                let a = t.v[k];
+                let b = t.v[(k + 1) % 3];
+                if a == GHOST || b == GHOST {
+                    continue;
+                }
+                if a < b {
+                    edges.push((a, b));
+                }
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        edges
+    }
+
+    // -- crate-internal accessors (used by the Voronoi extraction) ---------
+
+    /// Number of triangle slots (alive or dead).
+    pub(crate) fn slot_count(&self) -> usize {
+        self.tris.len()
+    }
+
+    /// Is slot `t` an alive triangle?
+    pub(crate) fn slot_alive(&self, t: u32) -> bool {
+        self.tris[t as usize].alive
+    }
+
+    /// Vertex indices of slot `t` (slot 2 is `GHOST` for ghost triangles).
+    pub(crate) fn slot_verts(&self, t: u32) -> [u32; 3] {
+        self.tris[t as usize].v
+    }
+
+    /// Neighbour of slot `t` opposite its vertex `k`.
+    pub(crate) fn slot_nbr(&self, t: u32, k: usize) -> u32 {
+        self.tris[t as usize].nbr[k]
+    }
+
+    // -- construction internals --------------------------------------------
+
+    fn init_first_triangle(&mut self, i0: u32, i1: u32, i2: u32) {
+        let (a, b, c) = (
+            self.points[i0 as usize],
+            self.points[i1 as usize],
+            self.points[i2 as usize],
+        );
+        let (i0, i1, i2) = if orient2d_sign(a, b, c) > 0 {
+            (i0, i1, i2)
+        } else {
+            (i0, i2, i1)
+        };
+        // Finite triangle 0 plus ghosts 1..=3, one per CCW hull edge.
+        // Hull edge (v[k+1] -> v[k+2]) is opposite vertex k; its ghost is
+        // stored reversed: (v[k+2], v[k+1], GHOST).
+        let f = self.alloc([i0, i1, i2]);
+        let v = [i0, i1, i2];
+        let mut ghosts = [NO_TRI; 3];
+        for (k, g) in ghosts.iter_mut().enumerate() {
+            let a = v[(k + 1) % 3];
+            let b = v[(k + 2) % 3];
+            *g = self.alloc([b, a, GHOST]);
+        }
+        for k in 0..3 {
+            self.tris[f as usize].nbr[k] = ghosts[k];
+            self.tris[ghosts[k] as usize].nbr[2] = f;
+            // Ghost (b, a, GHOST) for hull edge a->b:
+            //  - edge opposite v0=b is (a, GHOST): shared with the ghost of
+            //    the previous CCW hull edge (the one ending at a);
+            //  - edge opposite v1=a is (GHOST, b): shared with the ghost of
+            //    the next CCW hull edge (the one starting at b).
+            // Hull edge k goes v[k+1] -> v[k+2]; the previous edge is k-1
+            // (ends at v[k+1]), the next is k+1 (starts at v[k+2]).
+            self.tris[ghosts[k] as usize].nbr[0] = ghosts[(k + 2) % 3];
+            self.tris[ghosts[k] as usize].nbr[1] = ghosts[(k + 1) % 3];
+        }
+        self.seed = f;
+    }
+
+    fn alloc(&mut self, v: [u32; 3]) -> u32 {
+        let id = self.tris.len() as u32;
+        self.tris.push(Tri {
+            v,
+            nbr: [NO_TRI; 3],
+            alive: true,
+            stamp: 0,
+        });
+        id
+    }
+
+    #[inline]
+    fn pt(&self, i: u32) -> Point {
+        self.points[i as usize]
+    }
+
+    #[inline]
+    fn is_ghost(&self, t: u32) -> bool {
+        self.tris[t as usize].v[2] == GHOST
+    }
+
+    /// Is `p` inside the (open, plus the degenerate boundary cases discussed
+    /// in the module docs) circumdisk of triangle `t`?
+    fn in_disk(&self, t: u32, p: Point) -> bool {
+        let tri = &self.tris[t as usize];
+        if tri.v[2] == GHOST {
+            // Ghost (u, w, GHOST) for CCW hull edge w -> u: its "disk" is
+            // the open half-plane strictly left of u -> w (strictly outside
+            // the hull edge), plus — for points exactly on the supporting
+            // line — the open edge segment itself, so a point splitting a
+            // hull edge swallows the ghost instead of creating a degenerate
+            // finite triangle. A collinear point *beyond* the segment must
+            // NOT enter this ghost's cavity: it belongs to the adjacent
+            // hull edge's ghost, and including this one would fan a
+            // zero-area triangle.
+            let u = self.pt(tri.v[0]);
+            let w = self.pt(tri.v[1]);
+            match orient2d_sign(u, w, p) {
+                1 => true,
+                0 => {
+                    let t = (p - u).dot(w - u);
+                    t > 0.0 && t < (w - u).norm_sq()
+                }
+                _ => false,
+            }
+        } else {
+            incircle_sign(self.pt(tri.v[0]), self.pt(tri.v[1]), self.pt(tri.v[2]), p) > 0
+        }
+    }
+
+    /// Visibility walk from `start` to the triangle containing `p` (or a
+    /// ghost triangle when `p` is outside the hull). Always terminates on a
+    /// Delaunay triangulation.
+    fn locate(&self, p: Point, start: u32) -> u32 {
+        let mut cur = if self.is_ghost(start) {
+            self.tris[start as usize].nbr[2]
+        } else {
+            start
+        };
+        let mut prev = NO_TRI;
+        loop {
+            let tri = &self.tris[cur as usize];
+            debug_assert!(tri.alive);
+            let mut next = NO_TRI;
+            for k in 0..3 {
+                let a = tri.v[(k + 1) % 3];
+                let b = tri.v[(k + 2) % 3];
+                if orient2d_sign(self.pt(a), self.pt(b), p) < 0 {
+                    let n = tri.nbr[k];
+                    if n != prev {
+                        next = n;
+                        break;
+                    }
+                    // Don't walk straight back; try another crossing edge.
+                    if next == NO_TRI {
+                        next = n;
+                    }
+                }
+            }
+            if next == NO_TRI {
+                return cur; // inside (or on the boundary of) cur
+            }
+            if self.is_ghost(next) {
+                return next; // p is outside the hull, beyond this hull edge
+            }
+            prev = cur;
+            cur = next;
+        }
+    }
+
+    /// Inserts point index `pi` (which must not duplicate an existing
+    /// vertex).
+    fn insert(&mut self, pi: u32) {
+        let p = self.pt(pi);
+        let seed = self.locate(p, self.seed);
+        debug_assert!(self.in_disk(seed, p), "locate returned a non-containing triangle");
+
+        // Grow the cavity: BFS over triangles whose circumdisk contains p.
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let mut cavity: Vec<u32> = Vec::with_capacity(8);
+        let mut stack = vec![seed];
+        self.tris[seed as usize].stamp = epoch;
+        while let Some(t) = stack.pop() {
+            cavity.push(t);
+            for k in 0..3 {
+                let n = self.tris[t as usize].nbr[k];
+                if n == NO_TRI || self.tris[n as usize].stamp == epoch {
+                    continue;
+                }
+                if self.in_disk(n, p) {
+                    self.tris[n as usize].stamp = epoch;
+                    stack.push(n);
+                }
+            }
+        }
+
+        // Collect the directed boundary edges (x, y): edges of cavity
+        // triangles whose opposite neighbour is outside the cavity, directed
+        // so the cavity (hence p) lies to the left.
+        struct Boundary {
+            x: u32,
+            y: u32,
+            outside: u32,
+            outside_edge: usize,
+        }
+        let mut boundary: Vec<Boundary> = Vec::with_capacity(cavity.len() + 2);
+        for &t in &cavity {
+            let tri = self.tris[t as usize];
+            for k in 0..3 {
+                let n = tri.nbr[k];
+                debug_assert_ne!(n, NO_TRI, "triangulation boundary is closed by ghosts");
+                if self.tris[n as usize].stamp == epoch {
+                    continue; // internal cavity edge
+                }
+                let x = tri.v[(k + 1) % 3];
+                let y = tri.v[(k + 2) % 3];
+                // Which edge of `n` faces back to the cavity?
+                let ntri = &self.tris[n as usize];
+                let outside_edge = (0..3)
+                    .find(|&j| ntri.nbr[j] == t)
+                    .expect("neighbour links must be symmetric");
+                boundary.push(Boundary {
+                    x,
+                    y,
+                    outside: n,
+                    outside_edge,
+                });
+            }
+        }
+
+        // Delete the cavity and fan new triangles (x, y, p) around p.
+        for &t in &cavity {
+            self.tris[t as usize].alive = false;
+        }
+        let mut edge_map: std::collections::HashMap<(u32, u32), (u32, usize)> =
+            std::collections::HashMap::with_capacity(boundary.len() * 2);
+        let mut first_new = NO_TRI;
+        for b in &boundary {
+            // Rotate so a GHOST vertex (if any) sits in slot 2. The rotation
+            // permutes edges consistently: rotating vertices left by one
+            // also rotates the "opposite" indexing left by one.
+            let (v, rot) = if b.x == GHOST {
+                ([b.y, pi, GHOST], 1) // (x,y,p) rotated left once
+            } else if b.y == GHOST {
+                ([pi, b.x, GHOST], 2) // rotated left twice
+            } else {
+                ([b.x, b.y, pi], 0)
+            };
+            let nt = self.alloc(v);
+            if first_new == NO_TRI {
+                first_new = nt;
+            }
+            // In (x, y, p) coordinates: edge opposite p (index 2) borders
+            // `outside`; edge opposite x (index 0) is (y, p); edge opposite
+            // y (index 1) is (p, x). Map through the rotation.
+            let opp = |orig: usize| (orig + 3 - rot) % 3;
+            self.tris[nt as usize].nbr[opp(2)] = b.outside;
+            self.tris[b.outside as usize].nbr[b.outside_edge] = nt;
+            // Stitch the p-incident edges via the shared non-p endpoint,
+            // keyed by undirected (min, max).
+            for (orig_idx, shared) in [(0usize, b.y), (1usize, b.x)] {
+                let key = (shared.min(pi), shared.max(pi));
+                if let Some(&(other, other_edge)) = edge_map.get(&key) {
+                    self.tris[nt as usize].nbr[opp(orig_idx)] = other;
+                    self.tris[other as usize].nbr[other_edge] = nt;
+                } else {
+                    edge_map.insert(key, (nt, opp(orig_idx)));
+                }
+            }
+        }
+        debug_assert!(first_new != NO_TRI);
+        self.seed = first_new;
+    }
+
+    /// Checks the structural invariants (symmetric neighbour links, CCW
+    /// finite triangles, closed ghost ring). Used by tests.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        if self.degenerate {
+            return;
+        }
+        for (id, t) in self.tris.iter().enumerate() {
+            if !t.alive {
+                continue;
+            }
+            if t.v[2] != GHOST {
+                assert_eq!(
+                    orient2d_sign(self.pt(t.v[0]), self.pt(t.v[1]), self.pt(t.v[2])),
+                    1,
+                    "finite triangle {id} must be CCW"
+                );
+            }
+            for k in 0..3 {
+                let n = t.nbr[k];
+                assert_ne!(n, NO_TRI, "triangle {id} missing neighbour {k}");
+                let nt = &self.tris[n as usize];
+                assert!(nt.alive, "triangle {id} points at dead neighbour {n}");
+                assert!(
+                    (0..3).any(|j| nt.nbr[j] == id as u32),
+                    "neighbour link {id} -> {n} is not symmetric"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    /// Brute-force Delaunay check: no point lies strictly inside any
+    /// triangle's circumcircle.
+    fn assert_delaunay(t: &Triangulation) {
+        t.check_invariants();
+        let pts = t.points();
+        for tri in t.triangles() {
+            let (a, b, c) = (
+                pts[tri[0] as usize],
+                pts[tri[1] as usize],
+                pts[tri[2] as usize],
+            );
+            for (i, &d) in pts.iter().enumerate() {
+                if tri.contains(&(i as u32)) {
+                    continue;
+                }
+                assert!(
+                    incircle_sign(a, b, c, d) <= 0,
+                    "point {i} {d:?} violates the empty-circumcircle property of {tri:?}"
+                );
+            }
+        }
+    }
+
+    /// Euler check: for a triangulation of n points with h points on the
+    /// hull *boundary* (corner vertices plus collinear boundary points),
+    /// #triangles = 2n - h - 2 and #edges = 3n - h - 3.
+    fn assert_euler(t: &Triangulation) {
+        let n = t.points().len();
+        let hull = ssq_geom::convex_hull(t.points());
+        let h = t
+            .points()
+            .iter()
+            .filter(|&&p| hull.contains(p) && !hull.contains_strict(p))
+            .count();
+        let tri_count = t.triangles().count();
+        let edge_count = t.edges().len();
+        assert_eq!(tri_count, 2 * n - h - 2, "triangle count (n={n}, h={h})");
+        assert_eq!(edge_count, 3 * n - h - 3, "edge count (n={n}, h={h})");
+    }
+
+    #[test]
+    fn single_triangle() {
+        let t = Triangulation::new(&[p(0.0, 0.0), p(1.0, 0.0), p(0.0, 1.0)]).unwrap();
+        assert!(!t.is_degenerate());
+        assert_eq!(t.triangles().count(), 1);
+        assert_delaunay(&t);
+        assert_euler(&t);
+    }
+
+    #[test]
+    fn square_produces_two_triangles() {
+        let t = Triangulation::new(&[p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0), p(0.0, 1.0)])
+            .unwrap();
+        assert_eq!(t.triangles().count(), 2);
+        assert_delaunay(&t);
+        assert_euler(&t);
+    }
+
+    #[test]
+    fn interior_point() {
+        let t = Triangulation::new(&[
+            p(0.0, 0.0),
+            p(4.0, 0.0),
+            p(4.0, 4.0),
+            p(0.0, 4.0),
+            p(2.0, 2.0),
+        ])
+        .unwrap();
+        assert_eq!(t.triangles().count(), 4);
+        assert_delaunay(&t);
+        assert_euler(&t);
+    }
+
+    #[test]
+    fn point_outside_hull_extends_it() {
+        let t = Triangulation::new(&[p(0.0, 0.0), p(1.0, 0.0), p(0.0, 1.0), p(3.0, 3.0)])
+            .unwrap();
+        assert_delaunay(&t);
+        assert_euler(&t);
+    }
+
+    #[test]
+    fn collinear_point_on_hull_edge_line() {
+        // (2,0) is collinear with hull edge (0,0)-(1,0) and beyond it.
+        let t = Triangulation::new(&[p(0.0, 0.0), p(1.0, 0.0), p(0.0, 1.0), p(2.0, 0.0)])
+            .unwrap();
+        assert_delaunay(&t);
+        assert_euler(&t);
+        // Splitting point exactly ON a hull edge.
+        let t = Triangulation::new(&[p(0.0, 0.0), p(2.0, 0.0), p(0.0, 2.0), p(1.0, 0.0)])
+            .unwrap();
+        assert_delaunay(&t);
+        assert_euler(&t);
+    }
+
+    #[test]
+    fn cocircular_points() {
+        // Four cocircular points: either diagonal is a valid Delaunay
+        // triangulation; both must satisfy the (non-strict) empty-circle
+        // property and the invariants.
+        let t = Triangulation::new(&[p(1.0, 0.0), p(0.0, 1.0), p(-1.0, 0.0), p(0.0, -1.0)])
+            .unwrap();
+        assert_eq!(t.triangles().count(), 2);
+        assert_delaunay(&t);
+        assert_euler(&t);
+    }
+
+    #[test]
+    fn grid_with_many_cocircular_quads() {
+        let mut pts = Vec::new();
+        for i in 0..6 {
+            for j in 0..6 {
+                pts.push(p(i as f64, j as f64));
+            }
+        }
+        let t = Triangulation::new(&pts).unwrap();
+        assert_delaunay(&t);
+        assert_euler(&t);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(Triangulation::new(&[]).unwrap().is_degenerate());
+        assert!(Triangulation::new(&[p(1.0, 2.0)]).unwrap().is_degenerate());
+        assert!(Triangulation::new(&[p(0.0, 0.0), p(1.0, 1.0)])
+            .unwrap()
+            .is_degenerate());
+        let collinear =
+            Triangulation::new(&[p(0.0, 0.0), p(1.0, 1.0), p(2.0, 2.0), p(5.0, 5.0)]).unwrap();
+        assert!(collinear.is_degenerate());
+        assert_eq!(collinear.triangles().count(), 0);
+    }
+
+    #[test]
+    fn duplicate_points_rejected() {
+        let err = Triangulation::new(&[p(0.0, 0.0), p(1.0, 0.0), p(0.0, 0.0)]).unwrap_err();
+        assert_eq!(err, BuildError::DuplicatePoint(0, 2));
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let err = Triangulation::new(&[p(0.0, 0.0), p(f64::NAN, 0.0)]).unwrap_err();
+        assert_eq!(err, BuildError::NonFiniteCoordinate(1));
+    }
+
+    #[test]
+    fn pseudorandom_sets_are_delaunay() {
+        let mut seed = 0xDEADBEEFu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for trial in 0..20 {
+            let n = 4 + trial * 7;
+            let pts: Vec<Point> = (0..n).map(|_| p(next() * 100.0, next() * 100.0)).collect();
+            let t = Triangulation::new(&pts).unwrap();
+            assert_delaunay(&t);
+            assert_euler(&t);
+        }
+    }
+
+    #[test]
+    fn clustered_points_with_near_degeneracies() {
+        // Tight clusters plus points on a shared circle: stresses both the
+        // exact predicates and the ghost machinery.
+        let mut pts = Vec::new();
+        for k in 0..12 {
+            let a = k as f64 * std::f64::consts::TAU / 12.0;
+            pts.push(p(a.cos() * 10.0, a.sin() * 10.0));
+        }
+        for k in 0..8 {
+            pts.push(p(1e-7 * k as f64, 2e-7 * (k as f64).powi(2)));
+        }
+        let t = Triangulation::new(&pts).unwrap();
+        assert_delaunay(&t);
+        assert_euler(&t);
+    }
+}

@@ -1,0 +1,306 @@
+//! Voronoi cell extraction from the Delaunay triangulation.
+//!
+//! The Voronoi cell of a site is the convex polygon whose vertices are the
+//! circumcenters of the site's incident Delaunay triangles, in rotational
+//! order; hull sites additionally own two unbounded edges perpendicular to
+//! their hull edges. This module traces those cells directly — `O(deg)`
+//! per site — which is both the textbook construction and markedly faster
+//! than intersecting bisector half-planes (the fallback used for
+//! degenerate inputs).
+//!
+//! All cells are clipped to a caller-provided rectangle (the SSQ
+//! algorithms only ever test cells against bounded regions), and the
+//! construction is validated against the half-plane method by the tests.
+
+use ssq_geom::{ConvexPolygon, Point, Rect};
+
+use crate::triangulation::{Triangulation, GHOST};
+
+/// Circumcenter of triangle `(a, b, c)`, or `None` when the triangle is
+/// numerically too flat for a finite center (the *exact* orientation can
+/// be nonzero while the double-precision denominator underflows).
+pub fn circumcenter(a: Point, b: Point, c: Point) -> Option<Point> {
+    let abx = b.x - a.x;
+    let aby = b.y - a.y;
+    let acx = c.x - a.x;
+    let acy = c.y - a.y;
+    let d = 2.0 * (abx * acy - aby * acx);
+    if d == 0.0 || !d.is_finite() {
+        return None;
+    }
+    let ab2 = abx * abx + aby * aby;
+    let ac2 = acx * acx + acy * acy;
+    let ux = (acy * ab2 - aby * ac2) / d;
+    let uy = (abx * ac2 - acx * ab2) / d;
+    let cc = Point::new(a.x + ux, a.y + uy);
+    cc.is_finite().then_some(cc)
+}
+
+/// Computes the Voronoi cell polygons of every site, clipped to `clip`.
+///
+/// Returns `None` for degenerate triangulations (collinear input) — the
+/// caller should fall back to [`crate::DelaunayGraph::voronoi_cell`]'s
+/// half-plane construction, which handles those. Individual cells whose
+/// circumcenters are numerically unusable are also built by the fallback,
+/// signalled with `None` in the per-site vector.
+pub fn voronoi_cells(tri: &Triangulation, clip: &Rect) -> Option<Vec<Option<ConvexPolygon>>> {
+    if tri.is_degenerate() {
+        return None;
+    }
+    let points = tri.points();
+    let n = points.len();
+
+    // One incident (finite) triangle per site, with the site's slot index.
+    let mut incident: Vec<(u32, u8)> = vec![(u32::MAX, 0); n];
+    for t in 0..tri.slot_count() as u32 {
+        if !tri.slot_alive(t) {
+            continue;
+        }
+        let v = tri.slot_verts(t);
+        if v[2] == GHOST {
+            continue;
+        }
+        for (k, &vi) in v.iter().enumerate() {
+            incident[vi as usize] = (t, k as u8);
+        }
+    }
+
+    // Scale for the synthetic "far" endpoints of unbounded edges: anything
+    // that comfortably exits the clip rectangle.
+    let clip_diag = (clip.width() + clip.height()).max(1.0);
+
+    let mut cells: Vec<Option<ConvexPolygon>> = Vec::with_capacity(n);
+    'site: for site in 0..n as u32 {
+        let (t0, k0) = incident[site as usize];
+        if t0 == u32::MAX {
+            cells.push(None);
+            continue;
+        }
+
+        // Rotate clockwise around the site to find the CW-most finite
+        // triangle (or detect a full interior loop).
+        let mut start = (t0, k0 as usize);
+        let mut interior = false;
+        {
+            let mut cur = start;
+            loop {
+                // CW neighbour: across edge (site, v[k+1]).
+                let nbr = tri.slot_nbr(cur.0, (cur.1 + 2) % 3);
+                if tri.slot_verts(nbr)[2] == GHOST {
+                    break; // hull site: cur is the CW-most finite triangle
+                }
+                if nbr == t0 {
+                    interior = true;
+                    break;
+                }
+                let k = vertex_index(tri, nbr, site);
+                cur = (nbr, k);
+                if cur == start {
+                    interior = true;
+                    break;
+                }
+            }
+            if !interior {
+                // Walk again to actually land on the CW-most triangle.
+                let mut cur2 = start;
+                loop {
+                    let nbr = tri.slot_nbr(cur2.0, (cur2.1 + 2) % 3);
+                    if tri.slot_verts(nbr)[2] == GHOST {
+                        break;
+                    }
+                    cur2 = (nbr, vertex_index(tri, nbr, site));
+                }
+                start = cur2;
+            }
+        }
+
+        // Collect circumcenters rotating counter-clockwise from `start`.
+        let mut ccs: Vec<Point> = Vec::with_capacity(8);
+        let mut fan: Vec<(u32, usize)> = Vec::with_capacity(8);
+        let mut cur = start;
+        loop {
+            let v = tri.slot_verts(cur.0);
+            let Some(cc) = circumcenter(
+                points[v[0] as usize],
+                points[v[1] as usize],
+                points[v[2] as usize],
+            ) else {
+                cells.push(None); // numerically flat triangle: fallback
+                continue 'site;
+            };
+            ccs.push(cc);
+            fan.push(cur);
+            // CCW neighbour: across edge (site, v[k+2]).
+            let nbr = tri.slot_nbr(cur.0, (cur.1 + 1) % 3);
+            if tri.slot_verts(nbr)[2] == GHOST {
+                break; // hull site: fan complete
+            }
+            let k = vertex_index(tri, nbr, site);
+            cur = (nbr, k);
+            if cur == start {
+                break; // interior site: loop closed
+            }
+        }
+
+        let poly = if interior {
+            ConvexPolygon::from_ccw_dirty(ccs, 1e-12)
+        } else {
+            // Hull site: prepend/append far points along the two unbounded
+            // bisector rays. The CW-most triangle's hull edge is
+            // (site, v[k+1]); the CCW-most triangle's hull edge is
+            // (site, v[k+2]).
+            let site_pt = points[site as usize];
+            let big = 4.0
+                * (clip_diag
+                    + ccs
+                        .iter()
+                        .map(|c| c.distance(clip.center()))
+                        .fold(0.0, f64::max));
+
+            let (t_first, k_first) = fan[0];
+            let vfirst = tri.slot_verts(t_first);
+            let other_first = points[vfirst[(k_first + 1) % 3] as usize];
+            let third_first = points[vfirst[(k_first + 2) % 3] as usize];
+            let ray_first = outward_ray(site_pt, other_first, third_first);
+
+            let (t_last, k_last) = *fan.last().expect("nonempty fan");
+            let vlast = tri.slot_verts(t_last);
+            let other_last = points[vlast[(k_last + 2) % 3] as usize];
+            let third_last = points[vlast[(k_last + 1) % 3] as usize];
+            let ray_last = outward_ray(site_pt, other_last, third_last);
+
+            let mut ring: Vec<Point> = Vec::with_capacity(ccs.len() + 2);
+            ring.push(ccs[0] + ray_first * big);
+            ring.extend(ccs.iter().copied());
+            ring.push(*ccs.last().expect("nonempty") + ray_last * big);
+            ConvexPolygon::from_ccw_dirty(ring, 1e-12).clip_rect(clip)
+        };
+        let poly = if interior { poly.clip_rect(clip) } else { poly };
+        if poly.is_empty() || !poly.contains(points[site as usize]) {
+            // Numerical trouble (e.g. huge circumcenters collapsing the
+            // ring): let the caller rebuild this cell by half-planes.
+            cells.push(None);
+        } else {
+            cells.push(Some(poly));
+        }
+    }
+    Some(cells)
+}
+
+/// Index of `site` within triangle `t`'s vertex array.
+fn vertex_index(tri: &Triangulation, t: u32, site: u32) -> usize {
+    tri.slot_verts(t)
+        .iter()
+        .position(|&v| v == site)
+        .expect("triangle must contain the site")
+}
+
+/// Unit direction of the unbounded Voronoi edge dual to hull edge
+/// `(site, other)`: perpendicular to the edge, pointing away from the
+/// triangle's third vertex (i.e. out of the hull).
+fn outward_ray(site: Point, other: Point, third: Point) -> Point {
+    let edge = other - site;
+    let mut dir = edge.perp();
+    let mid = site.midpoint(other);
+    if dir.dot(third - mid) > 0.0 {
+        dir = -dir;
+    }
+    dir.normalized().unwrap_or(Point::new(1.0, 0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DelaunayGraph;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn pseudorandom(n: usize, seed: u64) -> Vec<Point> {
+        let mut s = seed.max(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|_| p(next() * 100.0, next() * 100.0)).collect()
+    }
+
+    #[test]
+    fn circumcenter_equidistant() {
+        let (a, b, c) = (p(0.0, 0.0), p(4.0, 0.0), p(0.0, 6.0));
+        let cc = circumcenter(a, b, c).unwrap();
+        let (da, db, dc) = (cc.distance(a), cc.distance(b), cc.distance(c));
+        assert!((da - db).abs() < 1e-9);
+        assert!((da - dc).abs() < 1e-9);
+    }
+
+    #[test]
+    fn circumcenter_degenerate_is_none() {
+        assert!(circumcenter(p(0.0, 0.0), p(1.0, 1.0), p(2.0, 2.0)).is_none());
+    }
+
+    #[test]
+    fn cells_match_halfplane_construction() {
+        for seed in [1u64, 7, 42] {
+            let pts = pseudorandom(60, seed);
+            let tri = Triangulation::new(&pts).unwrap();
+            let graph = DelaunayGraph::from_triangulation(&tri);
+            let clip = graph.default_clip();
+            let fast = voronoi_cells(&tri, &clip).expect("non-degenerate");
+            for (i, cell) in fast.iter().enumerate() {
+                let slow = graph.voronoi_cell(i as u32, &clip);
+                let Some(cell) = cell else {
+                    continue; // fallback case, nothing to compare
+                };
+                assert!(
+                    (cell.area() - slow.area()).abs() < 1e-6 * slow.area().max(1.0),
+                    "site {i}: area {} vs {}",
+                    cell.area(),
+                    slow.area()
+                );
+                // Mutual vertex containment within tolerance.
+                for &v in cell.vertices() {
+                    assert!(slow.distance(v) < 1e-6, "site {i}: vertex {v:?} escapes");
+                }
+                for &v in slow.vertices() {
+                    assert!(cell.distance(v) < 1e-6, "site {i}: missing region at {v:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cells_on_grid_with_cocircular_quads() {
+        let mut pts = Vec::new();
+        for i in 0..5 {
+            for j in 0..5 {
+                pts.push(p(i as f64, j as f64));
+            }
+        }
+        let tri = Triangulation::new(&pts).unwrap();
+        let graph = DelaunayGraph::from_triangulation(&tri);
+        let clip = graph.default_clip();
+        let fast = voronoi_cells(&tri, &clip).expect("non-degenerate");
+        let mut total = 0.0;
+        for (i, cell) in fast.iter().enumerate() {
+            let cell = cell
+                .clone()
+                .unwrap_or_else(|| graph.voronoi_cell(i as u32, &clip));
+            assert!(cell.contains(pts[i]));
+            total += cell.area();
+        }
+        assert!(
+            (total - clip.area()).abs() < 1e-6 * clip.area(),
+            "cells must tile the clip box"
+        );
+    }
+
+    #[test]
+    fn degenerate_input_returns_none() {
+        let tri = Triangulation::new(&[p(0.0, 0.0), p(1.0, 1.0), p(2.0, 2.0)]).unwrap();
+        assert!(voronoi_cells(&tri, &Rect::from_corners(p(-1.0, -1.0), p(3.0, 3.0))).is_none());
+    }
+}

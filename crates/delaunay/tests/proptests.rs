@@ -1,0 +1,132 @@
+//! Property-based tests for the Delaunay/Voronoi substrate.
+
+use proptest::prelude::*;
+use ssq_delaunay::{DelaunayGraph, Triangulation};
+use ssq_geom::predicates::incircle_sign;
+use ssq_geom::Point;
+
+fn distinct_points(max: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 1..max).prop_map(|v| {
+        let mut pts: Vec<Point> = v.into_iter().map(|(x, y)| Point::new(x, y)).collect();
+        pts.sort_by(Point::lex_cmp);
+        pts.dedup();
+        pts
+    })
+}
+
+/// Low-entropy points on a coarse grid: maximal stress for the exact
+/// predicates (many collinear and cocircular subsets).
+fn grid_points(max: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec((0i32..8, 0i32..8), 3..max).prop_map(|v| {
+        let mut pts: Vec<Point> = v
+            .into_iter()
+            .map(|(x, y)| Point::new(x as f64, y as f64))
+            .collect();
+        pts.sort_by(Point::lex_cmp);
+        pts.dedup();
+        pts
+    })
+}
+
+fn assert_delaunay(t: &Triangulation) {
+    t.check_invariants();
+    let pts = t.points();
+    for tri in t.triangles() {
+        let (a, b, c) = (
+            pts[tri[0] as usize],
+            pts[tri[1] as usize],
+            pts[tri[2] as usize],
+        );
+        for (i, &d) in pts.iter().enumerate() {
+            if tri.contains(&(i as u32)) {
+                continue;
+            }
+            assert!(
+                incircle_sign(a, b, c, d) <= 0,
+                "empty-circumcircle violated by point {i}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn triangulation_is_always_delaunay(points in distinct_points(60)) {
+        let t = Triangulation::new(&points).unwrap();
+        assert_delaunay(&t);
+    }
+
+    #[test]
+    fn degenerate_grids_are_delaunay(points in grid_points(30)) {
+        let t = Triangulation::new(&points).unwrap();
+        assert_delaunay(&t);
+    }
+
+    #[test]
+    fn graph_is_connected_and_symmetric(points in distinct_points(50)) {
+        let g = DelaunayGraph::new(&points).unwrap();
+        let n = g.len();
+        prop_assume!(n >= 2);
+        // Symmetry.
+        for i in 0..n as u32 {
+            for &j in g.neighbors(i) {
+                prop_assert!(g.neighbors(j).contains(&i));
+            }
+        }
+        // Connectivity.
+        let mut seen = vec![false; n];
+        let mut stack = vec![0u32];
+        seen[0] = true;
+        let mut count = 0;
+        while let Some(i) = stack.pop() {
+            count += 1;
+            for &j in g.neighbors(i) {
+                if !seen[j as usize] {
+                    seen[j as usize] = true;
+                    stack.push(j);
+                }
+            }
+        }
+        prop_assert_eq!(count, n);
+    }
+
+    #[test]
+    fn greedy_walk_always_finds_nearest(points in distinct_points(40), qx in -60.0f64..60.0, qy in -60.0f64..60.0) {
+        let g = DelaunayGraph::new(&points).unwrap();
+        prop_assume!(!g.is_empty());
+        let q = Point::new(qx, qy);
+        let (found, _) = g.greedy_nearest(q, 0);
+        let best = (0..g.len() as u32)
+            .map(|i| g.point(i).distance_sq(q))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(g.point(found).distance_sq(q), best);
+    }
+
+    #[test]
+    fn voronoi_cell_separation(points in distinct_points(25)) {
+        let g = DelaunayGraph::new(&points).unwrap();
+        prop_assume!(g.len() >= 2);
+        let clip = g.default_clip();
+        for i in 0..g.len() as u32 {
+            let cell = g.voronoi_cell(i, &clip);
+            prop_assert!(cell.contains(g.point(i)));
+            let centroid = cell.centroid();
+            // The cell centroid's nearest site is its owner (ties possible
+            // only in degenerate symmetric cases; allow epsilon).
+            let d_own = centroid.distance(g.point(i));
+            for j in 0..g.len() as u32 {
+                prop_assert!(centroid.distance(g.point(j)) >= d_own - 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn edges_match_cell_adjacency_count(points in distinct_points(30)) {
+        // Handshake: sum of degrees = 2 * edge count.
+        let g = DelaunayGraph::new(&points).unwrap();
+        let degree_sum: usize = (0..g.len() as u32).map(|i| g.neighbors(i).len()).sum();
+        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+    }
+}

@@ -1,0 +1,155 @@
+//! Circles — the dominance circles `C(q, D(q, p))` of the paper.
+//!
+//! For a data point `p` and query point `q`, every point strictly inside
+//! `C(q, D(q, p))` is closer to `q` than `p` is. The *dominator region* of
+//! `p` is the intersection of these circles over all (hull-vertex) query
+//! points, and the *dominance region* is the intersection of their
+//! exteriors (paper §2.2, Fig. 2). `SR(p, Q)` — the union of the circles —
+//! bounds where any point dominating **or dominated-comparison-relevant**
+//! candidate may live, and its MBR is what B²S² intersects into its pruning
+//! rectangle `B`.
+
+use crate::point::Point;
+use crate::rect::Rect;
+
+/// A circle with center and radius.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Circle {
+    /// Center.
+    pub center: Point,
+    /// Radius (non-negative).
+    pub radius: f64,
+}
+
+impl Circle {
+    /// Creates a circle. Panics in debug builds on a negative radius.
+    pub fn new(center: Point, radius: f64) -> Circle {
+        debug_assert!(radius >= 0.0, "negative circle radius {radius}");
+        Circle { center, radius }
+    }
+
+    /// The dominance circle `C(q, D(q, p))` centered at query point `q`
+    /// through data point `p`.
+    pub fn through(q: Point, p: Point) -> Circle {
+        Circle::new(q, q.distance(p))
+    }
+
+    /// `true` when `p` lies inside or on the circle.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        self.center.distance_sq(p) <= self.radius * self.radius
+    }
+
+    /// `true` when `p` lies strictly inside the circle.
+    #[inline]
+    pub fn contains_strict(&self, p: Point) -> bool {
+        self.center.distance_sq(p) < self.radius * self.radius
+    }
+
+    /// The circle's minimum bounding rectangle.
+    pub fn mbr(&self) -> Rect {
+        Rect {
+            min: Point::new(self.center.x - self.radius, self.center.y - self.radius),
+            max: Point::new(self.center.x + self.radius, self.center.y + self.radius),
+        }
+    }
+
+    /// `true` when the circle and rectangle share at least one point.
+    pub fn intersects_rect(&self, r: &Rect) -> bool {
+        !r.is_empty() && r.mindist_sq(self.center) <= self.radius * self.radius
+    }
+
+    /// `true` when the rectangle lies entirely inside the circle.
+    pub fn contains_rect(&self, r: &Rect) -> bool {
+        r.is_empty() || r.maxdist_sq(self.center) <= self.radius * self.radius
+    }
+
+    /// Area of the circle.
+    pub fn area(&self) -> f64 {
+        std::f64::consts::PI * self.radius * self.radius
+    }
+}
+
+/// The MBR of the *search region* `SR(p, Q) = ∪_{q ∈ anchors} C(q, D(q, p))`
+/// (paper §4.1).
+///
+/// `anchors` should be the convex-hull vertices `CHv(Q)` — by Theorem 2 the
+/// interior query points neither shrink nor grow the dominance geometry.
+/// Every skyline point not yet discovered lies inside this box, because it
+/// must beat `p` on at least one anchor distance and hence sit inside at
+/// least one of the circles.
+pub fn search_region_mbr(p: Point, anchors: &[Point]) -> Rect {
+    anchors
+        .iter()
+        .map(|&q| Circle::through(q, p).mbr())
+        .fold(Rect::EMPTY, |acc, r| acc.union(&r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn through_has_right_radius() {
+        let c = Circle::through(Point::new(0.0, 0.0), Point::new(3.0, 4.0));
+        assert_eq!(c.radius, 5.0);
+        assert!(c.contains(Point::new(3.0, 4.0)));
+        assert!(!c.contains_strict(Point::new(3.0, 4.0)));
+    }
+
+    #[test]
+    fn containment() {
+        let c = Circle::new(Point::new(1.0, 1.0), 2.0);
+        assert!(c.contains(Point::new(1.0, 1.0)));
+        assert!(c.contains(Point::new(3.0, 1.0))); // on boundary
+        assert!(!c.contains(Point::new(3.1, 1.0)));
+    }
+
+    #[test]
+    fn mbr_is_tight() {
+        let c = Circle::new(Point::new(2.0, -1.0), 3.0);
+        let m = c.mbr();
+        assert_eq!(m.min, Point::new(-1.0, -4.0));
+        assert_eq!(m.max, Point::new(5.0, 2.0));
+    }
+
+    #[test]
+    fn rect_intersection_tests() {
+        let c = Circle::new(Point::new(0.0, 0.0), 1.0);
+        let far = Rect::from_corners(Point::new(2.0, 2.0), Point::new(3.0, 3.0));
+        let overlapping = Rect::from_corners(Point::new(0.5, -0.5), Point::new(2.0, 0.5));
+        let inside = Rect::from_corners(Point::new(-0.5, -0.5), Point::new(0.5, 0.5));
+        assert!(!c.intersects_rect(&far));
+        assert!(c.intersects_rect(&overlapping));
+        assert!(c.intersects_rect(&inside));
+        assert!(c.contains_rect(&inside));
+        assert!(!c.contains_rect(&overlapping));
+    }
+
+    #[test]
+    fn corner_case_rect_outside_but_mbr_overlapping() {
+        // Rect overlaps the circle's MBR but not the circle itself
+        // (sits in the MBR corner outside the disc).
+        let c = Circle::new(Point::new(0.0, 0.0), 1.0);
+        let corner = Rect::from_corners(Point::new(0.8, 0.8), Point::new(0.95, 0.95));
+        assert!(c.mbr().intersects(&corner));
+        assert!(!c.intersects_rect(&corner));
+    }
+
+    #[test]
+    fn search_region_mbr_covers_each_circle() {
+        let p = Point::new(1.0, 1.0);
+        let anchors = [Point::new(0.0, 0.0), Point::new(4.0, 0.0)];
+        let sr = search_region_mbr(p, &anchors);
+        for &q in &anchors {
+            assert!(sr.contains_rect(&Circle::through(q, p).mbr()));
+        }
+        // p itself is always inside the search region.
+        assert!(sr.contains(p));
+    }
+
+    #[test]
+    fn search_region_mbr_of_no_anchors_is_empty() {
+        assert!(search_region_mbr(Point::new(0.0, 0.0), &[]).is_empty());
+    }
+}

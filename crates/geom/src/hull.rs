@@ -1,0 +1,272 @@
+//! Convex hull construction.
+//!
+//! `CH(Q)` — the convex hull of the query points — is the first thing every
+//! SSQ algorithm computes (paper Fig. 5 line 1, Fig. 7 line 1): by
+//! Theorem 2 only the hull **vertices** `CHv(Q)` influence spatial
+//! dominance, so all subsequent distance computations run against the hull
+//! vertices instead of the full query set.
+//!
+//! Two constructions are provided:
+//!
+//! * [`graham_scan`] — the algorithm the paper itself uses for VS²/VCS²
+//!   (§7: "we used the Graham Scan algorithm for convex hull computation");
+//! * [`monotone_chain`] — Andrew's variant, used as the default
+//!   ([`convex_hull`]) because its lexicographic presort makes degeneracy
+//!   handling simpler.
+//!
+//! Both produce identical vertex sets (asserted by unit and property tests)
+//! in counter-clockwise order with collinear and duplicate points removed,
+//! and both rely on the exact [`crate::predicates::orient2d`] sign, so the
+//! output is correct for any finite input.
+
+use crate::convex::ConvexPolygon;
+use crate::point::Point;
+use crate::predicates::orient2d_sign;
+
+/// Computes the convex hull of `points` with the default algorithm
+/// (Andrew's monotone chain).
+///
+/// Returns the hull as a [`ConvexPolygon`] whose vertices are in
+/// counter-clockwise order, starting from the lexicographically smallest
+/// point, with no duplicate or collinear vertices. Degenerate inputs yield
+/// degenerate hulls: a single vertex for coincident points, two vertices for
+/// collinear point sets, and an empty polygon for no input.
+pub fn convex_hull(points: &[Point]) -> ConvexPolygon {
+    monotone_chain(points)
+}
+
+/// Andrew's monotone-chain convex hull, `O(n log n)`.
+pub fn monotone_chain(points: &[Point]) -> ConvexPolygon {
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(Point::lex_cmp);
+    pts.dedup();
+    let n = pts.len();
+    if n <= 2 {
+        return ConvexPolygon::from_ccw_vertices(pts);
+    }
+
+    // Lower hull then upper hull; non-left turns are popped, so collinear
+    // interior points are dropped.
+    let build = |iter: &mut dyn Iterator<Item = Point>| {
+        let mut chain: Vec<Point> = Vec::with_capacity(n);
+        for p in iter {
+            while chain.len() >= 2
+                && orient2d_sign(chain[chain.len() - 2], chain[chain.len() - 1], p) <= 0
+            {
+                chain.pop();
+            }
+            chain.push(p);
+        }
+        chain
+    };
+    let mut lower = build(&mut pts.iter().copied());
+    let mut upper = build(&mut pts.iter().rev().copied());
+    // The endpoints appear in both chains; drop each chain's last vertex.
+    lower.pop();
+    upper.pop();
+    lower.extend(upper);
+    ConvexPolygon::from_ccw_vertices(lower)
+}
+
+/// Graham-scan convex hull, `O(n log n)` — the construction named in the
+/// paper's experimental setup (§7).
+pub fn graham_scan(points: &[Point]) -> ConvexPolygon {
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(Point::lex_cmp);
+    pts.dedup();
+    let n = pts.len();
+    if n <= 2 {
+        return ConvexPolygon::from_ccw_vertices(pts);
+    }
+
+    // Pivot: lowest y, then lowest x.
+    let pivot = *pts
+        .iter()
+        .min_by(|a, b| {
+            a.y.partial_cmp(&b.y)
+                .expect("NaN coordinate")
+                .then(a.x.partial_cmp(&b.x).expect("NaN coordinate"))
+        })
+        .expect("nonempty");
+
+    // Sort by polar angle around the pivot; break angle ties by distance so
+    // that collinear points appear near-to-far and the scan drops the inner
+    // ones.
+    let mut rest: Vec<Point> = pts.into_iter().filter(|&p| p != pivot).collect();
+    rest.sort_by(|&a, &b| {
+        match orient2d_sign(pivot, a, b) {
+            1 => std::cmp::Ordering::Less,
+            -1 => std::cmp::Ordering::Greater,
+            _ => pivot
+                .distance_sq(a)
+                .partial_cmp(&pivot.distance_sq(b))
+                .expect("NaN coordinate"),
+        }
+    });
+
+    // For the farthest ray (points collinear with the pivot at the maximum
+    // angle) the near-to-far order must be reversed so the scan keeps the
+    // farthest point; handle it by reversing the trailing collinear run.
+    if rest.len() > 1 {
+        let last = *rest.last().expect("nonempty");
+        let mut i = rest.len() - 1;
+        while i > 0 && orient2d_sign(pivot, rest[i - 1], last) == 0 {
+            i -= 1;
+        }
+        // When i == 0 every point is collinear with the pivot; near-to-far
+        // order already yields the correct degenerate (segment) hull.
+        if i > 0 {
+            rest[i..].reverse();
+        }
+    }
+
+    let mut hull: Vec<Point> = vec![pivot];
+    for p in rest {
+        while hull.len() >= 2
+            && orient2d_sign(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Cleanup for the closing edge: drop trailing vertices collinear with
+    // (or right of) the edge back to the pivot.
+    while hull.len() >= 3
+        && orient2d_sign(hull[hull.len() - 2], hull[hull.len() - 1], hull[0]) <= 0
+    {
+        hull.pop();
+    }
+    if hull.len() == 2 && hull[0] == hull[1] {
+        hull.pop();
+    }
+    // Rotate so the first vertex is the lexicographic minimum, matching the
+    // monotone-chain canonical form.
+    let min_idx = hull
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| a.lex_cmp(b))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    hull.rotate_left(min_idx);
+    ConvexPolygon::from_ccw_vertices(hull)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn hull_pts(poly: &ConvexPolygon) -> Vec<Point> {
+        poly.vertices().to_vec()
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert_eq!(convex_hull(&[]).vertices().len(), 0);
+        assert_eq!(convex_hull(&[p(1.0, 1.0)]).vertices(), &[p(1.0, 1.0)]);
+        let two = convex_hull(&[p(0.0, 0.0), p(1.0, 1.0)]);
+        assert_eq!(two.vertices().len(), 2);
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let h = convex_hull(&[p(1.0, 1.0), p(1.0, 1.0), p(1.0, 1.0)]);
+        assert_eq!(h.vertices(), &[p(1.0, 1.0)]);
+    }
+
+    #[test]
+    fn collinear_input_gives_segment() {
+        let h = convex_hull(&[p(0.0, 0.0), p(1.0, 1.0), p(2.0, 2.0), p(3.0, 3.0)]);
+        assert_eq!(h.vertices(), &[p(0.0, 0.0), p(3.0, 3.0)]);
+    }
+
+    #[test]
+    fn square_with_interior_and_edge_points() {
+        let pts = [
+            p(0.0, 0.0),
+            p(4.0, 0.0),
+            p(4.0, 4.0),
+            p(0.0, 4.0),
+            p(2.0, 2.0), // interior
+            p(2.0, 0.0), // on an edge
+            p(0.0, 2.0), // on an edge
+        ];
+        let h = convex_hull(&pts);
+        assert_eq!(
+            hull_pts(&h),
+            vec![p(0.0, 0.0), p(4.0, 0.0), p(4.0, 4.0), p(0.0, 4.0)]
+        );
+    }
+
+    #[test]
+    fn hull_is_ccw() {
+        let pts = [p(0.0, 0.0), p(5.0, 1.0), p(3.0, 6.0), p(-1.0, 3.0), p(2.0, 2.0)];
+        let h = convex_hull(&pts);
+        let v = h.vertices();
+        for i in 0..v.len() {
+            let a = v[i];
+            let b = v[(i + 1) % v.len()];
+            let c = v[(i + 2) % v.len()];
+            assert_eq!(orient2d_sign(a, b, c), 1, "strictly convex CCW turn");
+        }
+    }
+
+    #[test]
+    fn graham_and_monotone_agree() {
+        // A grid with many collinear runs — the hard case for both.
+        let mut pts = Vec::new();
+        for i in 0..5 {
+            for j in 0..5 {
+                pts.push(p(i as f64, j as f64));
+            }
+        }
+        let a = hull_pts(&monotone_chain(&pts));
+        let b = hull_pts(&graham_scan(&pts));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn graham_and_monotone_agree_on_pseudorandom_sets() {
+        let mut seed = 42u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) * 20.0 - 10.0
+        };
+        for trial in 0..50 {
+            let n = 3 + (trial % 17);
+            let pts: Vec<Point> = (0..n).map(|_| p(next(), next())).collect();
+            let a = hull_pts(&monotone_chain(&pts));
+            let b = hull_pts(&graham_scan(&pts));
+            assert_eq!(a, b, "trial {trial}: {pts:?}");
+        }
+    }
+
+    #[test]
+    fn hull_contains_all_input_points() {
+        let pts = [
+            p(0.0, 0.0),
+            p(5.0, 1.0),
+            p(3.0, 6.0),
+            p(-1.0, 3.0),
+            p(2.0, 2.0),
+            p(1.0, 1.0),
+        ];
+        let h = convex_hull(&pts);
+        for &q in &pts {
+            assert!(h.contains(q), "{q:?} must be inside hull");
+        }
+    }
+
+    #[test]
+    fn hull_vertices_are_subset_of_input() {
+        let pts = [p(0.0, 0.0), p(5.0, 1.0), p(3.0, 6.0), p(-1.0, 3.0)];
+        let h = convex_hull(&pts);
+        for v in h.vertices() {
+            assert!(pts.contains(v));
+        }
+    }
+}

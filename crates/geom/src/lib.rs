@@ -1,0 +1,49 @@
+//! # ssq-geom
+//!
+//! The 2-D computational-geometry substrate for the spatial skyline query
+//! (SSQ) library, reproducing the geometric machinery of Sharifzadeh &
+//! Shahabi, *The Spatial Skyline Queries*, VLDB 2006.
+//!
+//! The SSQ algorithms (B²S², VS², VCS²) lean on a small set of geometric
+//! facts about points, rectangles, circles, perpendicular bisectors and the
+//! convex hull of the query set. This crate provides exactly those
+//! primitives, built from scratch:
+//!
+//! * [`Point`] — a point in `R²` with Euclidean vector arithmetic;
+//! * [`Rect`] — axis-aligned rectangles with `mindist`/`maxdist`, the
+//!   workhorse of R-tree pruning;
+//! * [`Circle`] — the dominance circles `C(q, D(q, p))` of the paper;
+//! * [`Line`], [`Segment`], [`HalfPlane`] — perpendicular bisectors and the
+//!   half-plane reasoning behind the dominance lemmas;
+//! * [`ConvexPolygon`] and the hull constructors in [`hull`] — `CH(Q)`, its
+//!   tangents and visible regions (paper §5);
+//! * adaptive-precision [`predicates`] (`orient2d`, `incircle`) in the style
+//!   of Shewchuk, so the Delaunay substrate is robust against the
+//!   floating-point degeneracies that plague naive implementations;
+//! * [`Metric`] — pluggable distance metrics obeying the triangle
+//!   inequality, as required by the paper's problem definition (§2.2).
+//!
+//! All coordinates are `f64`. The predicates are exact for all `f64`
+//! inputs; everything else uses ordinary floating-point arithmetic with
+//! explicit, documented tolerance choices.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod circle;
+pub mod convex;
+pub mod hull;
+pub mod line;
+pub mod metric;
+pub mod point;
+pub mod predicates;
+pub mod rect;
+
+pub use circle::Circle;
+pub use convex::ConvexPolygon;
+pub use hull::{convex_hull, graham_scan, monotone_chain};
+pub use line::{HalfPlane, Line, Segment};
+pub use metric::{Chebyshev, Euclidean, Manhattan, Metric};
+pub use point::Point;
+pub use predicates::{incircle, orient2d, Orientation};
+pub use rect::Rect;

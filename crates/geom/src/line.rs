@@ -1,0 +1,317 @@
+//! Lines, segments and half-planes.
+//!
+//! The spatial-dominance proofs of the paper (§3.2) all hinge on one
+//! observation: if `p'` spatially dominates `p`, the perpendicular bisector
+//! of segment `p p'` puts **every** query point on `p'`'s side. Half-plane
+//! reasoning is therefore the backbone of Theorems 1–3 and of the visible
+//! region construction used by VCS² (§5).
+
+use crate::point::Point;
+
+/// An infinite directed line through two points.
+///
+/// The direction `b - a` gives the line an orientation, so "left of" is
+/// well-defined: `side(p) > 0` iff `p` is strictly to the left of the
+/// directed line `a → b`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Line {
+    /// First anchor point.
+    pub a: Point,
+    /// Second anchor point (defines the direction `a → b`).
+    pub b: Point,
+}
+
+impl Line {
+    /// Creates the directed line through `a` and `b`. The two points must be
+    /// distinct for the line to be meaningful.
+    pub fn new(a: Point, b: Point) -> Line {
+        Line { a, b }
+    }
+
+    /// The perpendicular bisector of segment `p q`, directed so that `p`
+    /// lies strictly to its **left** (for distinct `p`, `q`).
+    ///
+    /// The bisector's defining property — used throughout §3 of the paper —
+    /// is that points on `p`'s side are strictly closer to `p` than to `q`.
+    pub fn bisector(p: Point, q: Point) -> Line {
+        let mid = p.midpoint(q);
+        // Rotating (q - p) by +90° gives a boundary direction d with
+        // d × (p - mid) > 0, i.e. p strictly to the left.
+        let d = (q - p).perp();
+        Line::new(mid, mid + d)
+    }
+
+    /// Twice the signed area of triangle `(a, b, p)`; positive when `p` is
+    /// strictly left of the directed line.
+    #[inline]
+    pub fn side(&self, p: Point) -> f64 {
+        (self.b - self.a).cross(p - self.a)
+    }
+
+    /// The direction vector `b - a`.
+    #[inline]
+    pub fn direction(&self) -> Point {
+        self.b - self.a
+    }
+
+    /// Projects `p` orthogonally onto the line.
+    pub fn project(&self, p: Point) -> Point {
+        let d = self.direction();
+        let t = (p - self.a).dot(d) / d.norm_sq();
+        self.a + d * t
+    }
+
+    /// Euclidean distance from `p` to the line.
+    pub fn distance(&self, p: Point) -> f64 {
+        self.side(p).abs() / self.direction().norm()
+    }
+
+    /// Intersection point with `other`, or `None` when (near-)parallel.
+    pub fn intersect(&self, other: &Line) -> Option<Point> {
+        let d1 = self.direction();
+        let d2 = other.direction();
+        let denom = d1.cross(d2);
+        if denom == 0.0 {
+            return None;
+        }
+        let t = (other.a - self.a).cross(d2) / denom;
+        Some(self.a + d1 * t)
+    }
+}
+
+/// A closed line segment between two endpoints.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Segment {
+    /// First endpoint.
+    pub a: Point,
+    /// Second endpoint.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates a segment.
+    pub fn new(a: Point, b: Point) -> Segment {
+        Segment { a, b }
+    }
+
+    /// Segment length.
+    pub fn length(&self) -> f64 {
+        self.a.distance(self.b)
+    }
+
+    /// Midpoint of the segment.
+    pub fn midpoint(&self) -> Point {
+        self.a.midpoint(self.b)
+    }
+
+    /// The supporting line, directed `a → b`.
+    pub fn line(&self) -> Line {
+        Line::new(self.a, self.b)
+    }
+
+    /// The closest point on the segment to `p`.
+    pub fn closest_point(&self, p: Point) -> Point {
+        let d = self.b - self.a;
+        let len_sq = d.norm_sq();
+        if len_sq == 0.0 {
+            return self.a;
+        }
+        let t = ((p - self.a).dot(d) / len_sq).clamp(0.0, 1.0);
+        self.a + d * t
+    }
+
+    /// Euclidean distance from `p` to the segment.
+    pub fn distance(&self, p: Point) -> f64 {
+        self.closest_point(p).distance(p)
+    }
+
+    /// `true` when the two closed segments share at least one point.
+    ///
+    /// Handles all degeneracies (collinear overlap, shared endpoints,
+    /// zero-length segments) using exact sign tests via
+    /// [`crate::predicates::orient2d`].
+    pub fn intersects(&self, other: &Segment) -> bool {
+        use crate::predicates::orient2d_sign;
+        let d1 = orient2d_sign(other.a, other.b, self.a);
+        let d2 = orient2d_sign(other.a, other.b, self.b);
+        let d3 = orient2d_sign(self.a, self.b, other.a);
+        let d4 = orient2d_sign(self.a, self.b, other.b);
+        if d1 != d2 && d3 != d4 && d1 != 0 && d2 != 0 && d3 != 0 && d4 != 0 {
+            return true;
+        }
+        // Collinear / endpoint-touching cases.
+        let on = |s: &Segment, p: Point| {
+            orient2d_sign(s.a, s.b, p) == 0
+                && p.x >= s.a.x.min(s.b.x)
+                && p.x <= s.a.x.max(s.b.x)
+                && p.y >= s.a.y.min(s.b.y)
+                && p.y <= s.a.y.max(s.b.y)
+        };
+        on(self, other.a) || on(self, other.b) || on(other, self.a) || on(other, self.b)
+            || (d1 != d2 && d3 != d4)
+    }
+
+    /// Intersection point of two properly crossing segments, or `None`
+    /// when they do not cross or are collinear.
+    pub fn intersection_point(&self, other: &Segment) -> Option<Point> {
+        let d1 = self.b - self.a;
+        let d2 = other.b - other.a;
+        let denom = d1.cross(d2);
+        if denom == 0.0 {
+            return None;
+        }
+        let t = (other.a - self.a).cross(d2) / denom;
+        let u = (other.a - self.a).cross(d1) / denom;
+        if (0.0..=1.0).contains(&t) && (0.0..=1.0).contains(&u) {
+            Some(self.a + d1 * t)
+        } else {
+            None
+        }
+    }
+}
+
+/// A closed half-plane: the set of points `p` with `line.side(p) >= 0`,
+/// i.e. everything on or to the **left** of the directed boundary line.
+#[derive(Clone, Copy, Debug)]
+pub struct HalfPlane {
+    /// The directed boundary line; the half-plane is its left side.
+    pub boundary: Line,
+}
+
+impl HalfPlane {
+    /// The half-plane left of the directed line `a → b`.
+    pub fn left_of(a: Point, b: Point) -> HalfPlane {
+        HalfPlane {
+            boundary: Line::new(a, b),
+        }
+    }
+
+    /// The half-plane of points (weakly) closer to `p` than to `q`
+    /// — bounded by the perpendicular bisector of `p q`.
+    pub fn closer_to(p: Point, q: Point) -> HalfPlane {
+        HalfPlane {
+            boundary: Line::bisector(p, q),
+        }
+    }
+
+    /// `true` when `pt` lies in the closed half-plane.
+    #[inline]
+    pub fn contains(&self, pt: Point) -> bool {
+        self.boundary.side(pt) >= 0.0
+    }
+
+    /// `true` when `pt` lies strictly inside the half-plane.
+    #[inline]
+    pub fn contains_strict(&self, pt: Point) -> bool {
+        self.boundary.side(pt) > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn side_sign() {
+        let l = Line::new(Point::new(0.0, 0.0), Point::new(1.0, 0.0));
+        assert!(l.side(Point::new(0.5, 1.0)) > 0.0); // left (above)
+        assert!(l.side(Point::new(0.5, -1.0)) < 0.0); // right (below)
+        assert_eq!(l.side(Point::new(2.0, 0.0)), 0.0); // on line
+    }
+
+    #[test]
+    fn bisector_separates_correctly() {
+        let p = Point::new(0.0, 0.0);
+        let q = Point::new(4.0, 0.0);
+        let bis = Line::bisector(p, q);
+        // p left, q right
+        assert!(bis.side(p) > 0.0);
+        assert!(bis.side(q) < 0.0);
+        // midpoint on the line
+        assert!(bis.side(Point::new(2.0, 5.0)).abs() < 1e-12);
+        // the defining property: left side is closer to p
+        let probe = Point::new(1.0, 3.0);
+        assert!(bis.side(probe) > 0.0);
+        assert!(probe.distance(p) < probe.distance(q));
+    }
+
+    #[test]
+    fn closer_to_halfplane_matches_distances() {
+        let p = Point::new(1.0, 2.0);
+        let q = Point::new(-3.0, 5.0);
+        let h = HalfPlane::closer_to(p, q);
+        for probe in [
+            Point::new(0.0, 0.0),
+            Point::new(10.0, -4.0),
+            Point::new(-5.0, 8.0),
+            Point::new(2.0, 2.0),
+        ] {
+            let closer = probe.distance(p) < probe.distance(q);
+            assert_eq!(h.contains_strict(probe), closer, "probe {probe:?}");
+        }
+    }
+
+    #[test]
+    fn project_and_distance() {
+        let l = Line::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        assert_eq!(l.project(Point::new(3.0, 7.0)), Point::new(3.0, 0.0));
+        assert_eq!(l.distance(Point::new(3.0, 7.0)), 7.0);
+    }
+
+    #[test]
+    fn line_intersection() {
+        let l1 = Line::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        let l2 = Line::new(Point::new(0.0, 2.0), Point::new(1.0, 1.0));
+        let x = l1.intersect(&l2).unwrap();
+        assert!(x.approx_eq(Point::new(1.0, 1.0), 1e-12));
+        // Parallel lines don't intersect.
+        let l3 = Line::new(Point::new(0.0, 1.0), Point::new(1.0, 2.0));
+        assert!(l1.intersect(&l3).is_none());
+    }
+
+    #[test]
+    fn segment_closest_point_clamps() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(4.0, 0.0));
+        assert_eq!(s.closest_point(Point::new(2.0, 3.0)), Point::new(2.0, 0.0));
+        assert_eq!(s.closest_point(Point::new(-2.0, 3.0)), Point::new(0.0, 0.0));
+        assert_eq!(s.closest_point(Point::new(9.0, -1.0)), Point::new(4.0, 0.0));
+    }
+
+    #[test]
+    fn segment_intersection_cases() {
+        let s1 = Segment::new(Point::new(0.0, 0.0), Point::new(4.0, 4.0));
+        let s2 = Segment::new(Point::new(0.0, 4.0), Point::new(4.0, 0.0));
+        assert!(s1.intersects(&s2));
+        let x = s1.intersection_point(&s2).unwrap();
+        assert!(x.approx_eq(Point::new(2.0, 2.0), 1e-12));
+
+        // Disjoint
+        let s3 = Segment::new(Point::new(10.0, 10.0), Point::new(11.0, 11.0));
+        assert!(!s1.intersects(&s3));
+        assert!(s1.intersection_point(&s3).is_none());
+
+        // Shared endpoint
+        let s4 = Segment::new(Point::new(4.0, 4.0), Point::new(8.0, 0.0));
+        assert!(s1.intersects(&s4));
+
+        // Collinear overlap
+        let s5 = Segment::new(Point::new(2.0, 2.0), Point::new(6.0, 6.0));
+        assert!(s1.intersects(&s5));
+
+        // Collinear disjoint
+        let s6 = Segment::new(Point::new(5.0, 5.0), Point::new(6.0, 6.0));
+        assert!(!s1.intersects(&s6));
+
+        // T-junction: endpoint of one in the interior of the other
+        let s7 = Segment::new(Point::new(2.0, 2.0), Point::new(2.0, -5.0));
+        assert!(s1.intersects(&s7));
+    }
+
+    #[test]
+    fn degenerate_segment() {
+        let pt = Segment::new(Point::new(1.0, 1.0), Point::new(1.0, 1.0));
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0));
+        assert!(pt.intersects(&s));
+        assert_eq!(pt.closest_point(Point::new(5.0, 5.0)), Point::new(1.0, 1.0));
+    }
+}

@@ -1,0 +1,109 @@
+//! Distance metrics.
+//!
+//! The paper defines spatial dominance for any distance function `D(·,·)`
+//! obeying the triangle inequality (§2.2) but develops the geometric
+//! machinery (bisectors, circles, Voronoi diagrams) for the Euclidean
+//! metric, which is also what the experiments use. We mirror that: the
+//! [`Metric`] trait makes the *dominance definitions and the naive
+//! algorithm* metric-generic, while the geometric algorithms (B²S², VS²,
+//! VCS²) are Euclidean, as in the paper.
+
+use crate::point::Point;
+
+/// A distance metric on `R²` obeying the triangle inequality.
+pub trait Metric: Copy + Send + Sync + 'static {
+    /// The distance between two points.
+    fn distance(&self, a: Point, b: Point) -> f64;
+
+    /// A value that orders pairs identically to [`Metric::distance`]
+    /// but may skip expensive operations (e.g. the square root of the
+    /// Euclidean metric). Defaults to the distance itself.
+    #[inline]
+    fn distance_cmp(&self, a: Point, b: Point) -> f64 {
+        self.distance(a, b)
+    }
+}
+
+/// The Euclidean (`L2`) metric — the metric of the paper's algorithms.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Euclidean;
+
+impl Metric for Euclidean {
+    #[inline]
+    fn distance(&self, a: Point, b: Point) -> f64 {
+        a.distance(b)
+    }
+
+    #[inline]
+    fn distance_cmp(&self, a: Point, b: Point) -> f64 {
+        a.distance_sq(b)
+    }
+}
+
+/// The Manhattan (`L1`) metric.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Manhattan;
+
+impl Metric for Manhattan {
+    #[inline]
+    fn distance(&self, a: Point, b: Point) -> f64 {
+        (a.x - b.x).abs() + (a.y - b.y).abs()
+    }
+}
+
+/// The Chebyshev (`L∞`) metric.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Chebyshev;
+
+impl Metric for Chebyshev {
+    #[inline]
+    fn distance(&self, a: Point, b: Point) -> f64 {
+        (a.x - b.x).abs().max((a.y - b.y).abs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn euclidean_matches_point_distance() {
+        assert_eq!(Euclidean.distance(p(0.0, 0.0), p(3.0, 4.0)), 5.0);
+        assert_eq!(Euclidean.distance_cmp(p(0.0, 0.0), p(3.0, 4.0)), 25.0);
+    }
+
+    #[test]
+    fn manhattan_and_chebyshev() {
+        assert_eq!(Manhattan.distance(p(0.0, 0.0), p(3.0, 4.0)), 7.0);
+        assert_eq!(Chebyshev.distance(p(0.0, 0.0), p(3.0, 4.0)), 4.0);
+    }
+
+    #[test]
+    fn triangle_inequality_spot_checks() {
+        let pts = [p(0.0, 0.0), p(2.5, -1.0), p(-3.0, 4.0)];
+        fn check<M: Metric>(m: M, pts: &[Point; 3]) {
+            let (a, b, c) = (pts[0], pts[1], pts[2]);
+            assert!(m.distance(a, c) <= m.distance(a, b) + m.distance(b, c) + 1e-12);
+        }
+        check(Euclidean, &pts);
+        check(Manhattan, &pts);
+        check(Chebyshev, &pts);
+    }
+
+    #[test]
+    fn metrics_are_symmetric_and_zero_on_diagonal() {
+        fn check<M: Metric>(m: M) {
+            let a = p(1.25, -7.5);
+            let b = p(-0.5, 3.0);
+            assert_eq!(m.distance(a, b), m.distance(b, a));
+            assert_eq!(m.distance(a, a), 0.0);
+        }
+        check(Euclidean);
+        check(Manhattan);
+        check(Chebyshev);
+    }
+}

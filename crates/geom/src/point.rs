@@ -1,0 +1,287 @@
+//! Points in the Euclidean plane.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A point (equivalently, a vector) in `R²`.
+///
+/// `Point` is the coordinate type shared by every crate in the workspace:
+/// data points `p ∈ P`, query points `q ∈ Q`, Voronoi vertices, rectangle
+/// corners and so on. It is a plain `Copy` pair of `f64`s with the usual
+/// vector arithmetic.
+///
+/// # Examples
+///
+/// ```
+/// use ssq_geom::Point;
+///
+/// let p = Point::new(3.0, 4.0);
+/// assert_eq!(p.distance(Point::ORIGIN), 5.0);
+/// assert_eq!((p + Point::new(1.0, -4.0)), Point::new(4.0, 0.0));
+/// ```
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// The x coordinate.
+    pub x: f64,
+    /// The y coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(self, other: Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// Comparing squared distances avoids the `sqrt` in hot paths; the
+    /// ordering is identical because `sqrt` is monotone.
+    #[inline]
+    pub fn distance_sq(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Dot product, treating both points as vectors.
+    #[inline]
+    pub fn dot(self, other: Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Z component of the cross product, treating both points as vectors.
+    ///
+    /// Positive when `other` is counter-clockwise of `self`.
+    #[inline]
+    pub fn cross(self, other: Point) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Euclidean norm, treating the point as a vector.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// The midpoint of the segment from `self` to `other`.
+    #[inline]
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// Rotates the vector by 90° counter-clockwise.
+    #[inline]
+    pub fn perp(self) -> Point {
+        Point::new(-self.y, self.x)
+    }
+
+    /// Returns the unit vector in the direction of `self`, or `None` for the
+    /// zero vector.
+    pub fn normalized(self) -> Option<Point> {
+        let n = self.norm();
+        if n == 0.0 {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    #[inline]
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// `true` when both coordinates are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Lexicographic comparison by `(x, y)`.
+    ///
+    /// Hull construction and canonicalization need a total order on points;
+    /// `f64` only offers `PartialOrd`, so we expose the lexicographic order
+    /// explicitly (callers must not pass NaN coordinates).
+    pub fn lex_cmp(&self, other: &Point) -> std::cmp::Ordering {
+        self.x
+            .partial_cmp(&other.x)
+            .expect("NaN coordinate")
+            .then(self.y.partial_cmp(&other.y).expect("NaN coordinate"))
+    }
+
+    /// `true` when `self` and `other` coincide within `tol` in both
+    /// coordinates.
+    #[inline]
+    pub fn approx_eq(self, other: Point, tol: f64) -> bool {
+        (self.x - other.x).abs() <= tol && (self.y - other.y).abs() <= tol
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Div<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn div(self, rhs: f64) -> Point {
+        Point::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Point {
+    type Output = Point;
+    #[inline]
+    fn neg(self) -> Point {
+        Point::new(-self.x, -self.y)
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.6}, {:.6})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric_and_positive() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(-3.0, 5.0);
+        assert_eq!(a.distance(b), b.distance(a));
+        assert!(a.distance(b) > 0.0);
+        assert_eq!(a.distance(a), 0.0);
+    }
+
+    #[test]
+    fn distance_sq_matches_distance() {
+        let a = Point::new(0.5, -0.25);
+        let b = Point::new(2.0, 7.0);
+        assert!((a.distance(b).powi(2) - a.distance_sq(b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vector_arithmetic() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, -1.0);
+        assert_eq!(a + b, Point::new(4.0, 1.0));
+        assert_eq!(a - b, Point::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+        assert_eq!(b / 2.0, Point::new(1.5, -0.5));
+        assert_eq!(-a, Point::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn cross_sign_encodes_turn_direction() {
+        let east = Point::new(1.0, 0.0);
+        let north = Point::new(0.0, 1.0);
+        assert!(east.cross(north) > 0.0); // CCW
+        assert!(north.cross(east) < 0.0); // CW
+        assert_eq!(east.cross(east), 0.0); // collinear
+    }
+
+    #[test]
+    fn perp_rotates_ccw() {
+        assert_eq!(Point::new(1.0, 0.0).perp(), Point::new(0.0, 1.0));
+        assert_eq!(Point::new(0.0, 1.0).perp(), Point::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn midpoint_and_lerp_agree() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(4.0, 8.0);
+        assert_eq!(a.midpoint(b), Point::new(2.0, 4.0));
+        assert_eq!(a.lerp(b, 0.5), a.midpoint(b));
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+    }
+
+    #[test]
+    fn normalized_handles_zero() {
+        assert!(Point::ORIGIN.normalized().is_none());
+        let u = Point::new(3.0, 4.0).normalized().unwrap();
+        assert!((u.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lex_cmp_orders_by_x_then_y() {
+        use std::cmp::Ordering::*;
+        let a = Point::new(1.0, 5.0);
+        let b = Point::new(2.0, 0.0);
+        let c = Point::new(1.0, 6.0);
+        assert_eq!(a.lex_cmp(&b), Less);
+        assert_eq!(b.lex_cmp(&a), Greater);
+        assert_eq!(a.lex_cmp(&c), Less);
+        assert_eq!(a.lex_cmp(&a), Equal);
+    }
+
+    #[test]
+    fn conversions() {
+        let p: Point = (1.5, 2.5).into();
+        assert_eq!(p, Point::new(1.5, 2.5));
+        let t: (f64, f64) = p.into();
+        assert_eq!(t, (1.5, 2.5));
+    }
+}

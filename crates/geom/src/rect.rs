@@ -1,0 +1,368 @@
+//! Axis-aligned rectangles (minimum bounding rectangles).
+//!
+//! Rectangles are the currency of R-tree pruning. B²S² additionally
+//! maintains a rectangle `B` — the intersection of the `MBR(SR(p, Q))`
+//! boxes of the skyline points found so far — and discards any R-tree entry
+//! disjoint from `B` (paper §4.1).
+
+use crate::point::Point;
+
+/// An axis-aligned rectangle, stored as its min and max corners.
+///
+/// The empty rectangle (used as the identity of [`Rect::intersection`]
+/// chains that have run dry) is representable: any rect with
+/// `min.x > max.x` or `min.y > max.y` is treated as empty.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Rect {
+    /// Lower-left corner.
+    pub min: Point,
+    /// Upper-right corner.
+    pub max: Point,
+}
+
+impl Rect {
+    /// An empty rectangle: intersects nothing, contains nothing, and is the
+    /// identity for [`Rect::union`].
+    pub const EMPTY: Rect = Rect {
+        min: Point {
+            x: f64::INFINITY,
+            y: f64::INFINITY,
+        },
+        max: Point {
+            x: f64::NEG_INFINITY,
+            y: f64::NEG_INFINITY,
+        },
+    };
+
+    /// The whole plane: contains everything and is the identity for
+    /// [`Rect::intersection`]. B²S² initializes its pruning rectangle `B`
+    /// to the data universe; `EVERYTHING` is the safe over-approximation.
+    pub const EVERYTHING: Rect = Rect {
+        min: Point {
+            x: f64::NEG_INFINITY,
+            y: f64::NEG_INFINITY,
+        },
+        max: Point {
+            x: f64::INFINITY,
+            y: f64::INFINITY,
+        },
+    };
+
+    /// Creates a rectangle from two opposite corners (in any order).
+    pub fn from_corners(a: Point, b: Point) -> Rect {
+        Rect {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Creates a degenerate rectangle containing exactly `p`.
+    pub fn from_point(p: Point) -> Rect {
+        Rect { min: p, max: p }
+    }
+
+    /// The smallest rectangle containing every point of `pts`, or
+    /// [`Rect::EMPTY`] if `pts` is empty.
+    pub fn bounding(pts: impl IntoIterator<Item = Point>) -> Rect {
+        pts.into_iter()
+            .fold(Rect::EMPTY, |r, p| r.union(&Rect::from_point(p)))
+    }
+
+    /// `true` when the rectangle contains no point.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y
+    }
+
+    /// Width (0 for degenerate/empty rectangles).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        (self.max.x - self.min.x).max(0.0)
+    }
+
+    /// Height (0 for degenerate/empty rectangles).
+    #[inline]
+    pub fn height(&self) -> f64 {
+        (self.max.y - self.min.y).max(0.0)
+    }
+
+    /// Area (0 for empty rectangles).
+    #[inline]
+    pub fn area(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.width() * self.height()
+        }
+    }
+
+    /// Perimeter (0 for empty rectangles). Used by the R* split heuristic.
+    #[inline]
+    pub fn perimeter(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            2.0 * (self.width() + self.height())
+        }
+    }
+
+    /// Center point. Meaningless for empty rectangles.
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+
+    /// The four corners in counter-clockwise order starting at `min`.
+    pub fn corners(&self) -> [Point; 4] {
+        [
+            self.min,
+            Point::new(self.max.x, self.min.y),
+            self.max,
+            Point::new(self.min.x, self.max.y),
+        ]
+    }
+
+    /// `true` when `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// `true` when `other` lies entirely inside `self` (boundaries may
+    /// touch). The empty rectangle is contained in everything.
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.is_empty()
+            || (other.min.x >= self.min.x
+                && other.max.x <= self.max.x
+                && other.min.y >= self.min.y
+                && other.max.y <= self.max.y)
+    }
+
+    /// `true` when the rectangles share at least one point (touching
+    /// boundaries count).
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+    }
+
+    /// The intersection of the two rectangles (possibly empty).
+    pub fn intersection(&self, other: &Rect) -> Rect {
+        Rect {
+            min: Point::new(self.min.x.max(other.min.x), self.min.y.max(other.min.y)),
+            max: Point::new(self.max.x.min(other.max.x), self.max.y.min(other.max.y)),
+        }
+    }
+
+    /// The smallest rectangle containing both rectangles.
+    pub fn union(&self, other: &Rect) -> Rect {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Rect {
+            min: Point::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            max: Point::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        }
+    }
+
+    /// Grows the rectangle (in place) to cover `p`.
+    pub fn expand_to(&mut self, p: Point) {
+        *self = self.union(&Rect::from_point(p));
+    }
+
+    /// The closest point of the rectangle to `p` (i.e. `p` clamped to the
+    /// rectangle). Meaningless for empty rectangles.
+    #[inline]
+    pub fn clamp_point(&self, p: Point) -> Point {
+        Point::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
+    }
+
+    /// `mindist(e, q)`: the minimum Euclidean distance from `p` to any point
+    /// of the rectangle; 0 when `p` is inside.
+    ///
+    /// This is the classic R-tree lower bound used both for best-first NN
+    /// search and for the SSQ dominance test on intermediate entries: an
+    /// entry `e` is dominated by a skyline point `s` iff
+    /// `mindist(e, q) > D(s, q)` for every hull vertex `q`, i.e. `e` misses
+    /// every circle `C(q, D(s, q))` (paper §4.1).
+    #[inline]
+    pub fn mindist(&self, p: Point) -> f64 {
+        self.mindist_sq(p).sqrt()
+    }
+
+    /// Squared [`Rect::mindist`], avoiding the `sqrt` in hot comparisons.
+    #[inline]
+    pub fn mindist_sq(&self, p: Point) -> f64 {
+        self.clamp_point(p).distance_sq(p)
+    }
+
+    /// `maxdist(e, q)`: the maximum Euclidean distance from `p` to any point
+    /// of the rectangle (attained at a corner).
+    pub fn maxdist(&self, p: Point) -> f64 {
+        self.maxdist_sq(p).sqrt()
+    }
+
+    /// Squared [`Rect::maxdist`].
+    pub fn maxdist_sq(&self, p: Point) -> f64 {
+        let dx = (p.x - self.min.x).abs().max((p.x - self.max.x).abs());
+        let dy = (p.y - self.min.y).abs().max((p.y - self.max.y).abs());
+        dx * dx + dy * dy
+    }
+
+    /// Sum of [`Rect::mindist`] over a set of anchor points.
+    ///
+    /// This is the `mindist(e, CHv(Q))` monotone ordering key of B²S²
+    /// (paper Fig. 5): the sum of minimum distances from the rectangle to
+    /// each convex-hull vertex of the query set.
+    pub fn mindist_sum(&self, anchors: &[Point]) -> f64 {
+        anchors.iter().map(|&q| self.mindist(q)).sum()
+    }
+
+    /// Expands each side outward by `margin` (shrinks when negative).
+    pub fn inflate(&self, margin: f64) -> Rect {
+        Rect {
+            min: Point::new(self.min.x - margin, self.min.y - margin),
+            max: Point::new(self.max.x + margin, self.max.y + margin),
+        }
+    }
+}
+
+impl From<(Point, Point)> for Rect {
+    fn from((a, b): (Point, Point)) -> Self {
+        Rect::from_corners(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect::from_corners(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    #[test]
+    fn from_corners_normalizes_order() {
+        let r = Rect::from_corners(Point::new(3.0, 1.0), Point::new(1.0, 4.0));
+        assert_eq!(r.min, Point::new(1.0, 1.0));
+        assert_eq!(r.max, Point::new(3.0, 4.0));
+    }
+
+    #[test]
+    fn empty_semantics() {
+        assert!(Rect::EMPTY.is_empty());
+        assert_eq!(Rect::EMPTY.area(), 0.0);
+        let r = rect(0.0, 0.0, 1.0, 1.0);
+        assert!(!Rect::EMPTY.intersects(&r));
+        assert_eq!(Rect::EMPTY.union(&r), r);
+        assert!(r.contains_rect(&Rect::EMPTY));
+    }
+
+    #[test]
+    fn everything_is_intersection_identity() {
+        let r = rect(-2.0, 3.0, 5.0, 7.0);
+        assert_eq!(Rect::EVERYTHING.intersection(&r), r);
+        assert!(Rect::EVERYTHING.contains_rect(&r));
+    }
+
+    #[test]
+    fn area_and_perimeter() {
+        let r = rect(0.0, 0.0, 3.0, 4.0);
+        assert_eq!(r.area(), 12.0);
+        assert_eq!(r.perimeter(), 14.0);
+        assert_eq!(r.center(), Point::new(1.5, 2.0));
+    }
+
+    #[test]
+    fn containment_and_intersection() {
+        let a = rect(0.0, 0.0, 10.0, 10.0);
+        let b = rect(2.0, 2.0, 5.0, 5.0);
+        let c = rect(9.0, 9.0, 12.0, 12.0);
+        let d = rect(20.0, 20.0, 30.0, 30.0);
+        assert!(a.contains_rect(&b));
+        assert!(!b.contains_rect(&a));
+        assert!(a.intersects(&c));
+        assert!(!a.intersects(&d));
+        assert_eq!(a.intersection(&c), rect(9.0, 9.0, 10.0, 10.0));
+        assert!(a.intersection(&d).is_empty());
+    }
+
+    #[test]
+    fn touching_rects_intersect() {
+        let a = rect(0.0, 0.0, 1.0, 1.0);
+        let b = rect(1.0, 0.0, 2.0, 1.0);
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection(&b).area(), 0.0);
+    }
+
+    #[test]
+    fn mindist_inside_is_zero() {
+        let r = rect(0.0, 0.0, 4.0, 4.0);
+        assert_eq!(r.mindist(Point::new(2.0, 2.0)), 0.0);
+        assert_eq!(r.mindist(Point::new(0.0, 0.0)), 0.0); // boundary
+    }
+
+    #[test]
+    fn mindist_outside() {
+        let r = rect(0.0, 0.0, 4.0, 4.0);
+        assert_eq!(r.mindist(Point::new(7.0, 2.0)), 3.0); // right side
+        assert_eq!(r.mindist(Point::new(7.0, 8.0)), 5.0); // corner 3-4-5
+    }
+
+    #[test]
+    fn maxdist_is_farthest_corner() {
+        let r = rect(0.0, 0.0, 4.0, 4.0);
+        assert_eq!(r.maxdist(Point::new(0.0, 0.0)), (32.0f64).sqrt());
+        assert_eq!(r.maxdist(Point::new(2.0, 2.0)), (8.0f64).sqrt());
+    }
+
+    #[test]
+    fn mindist_sum_matches_manual() {
+        let r = rect(0.0, 0.0, 1.0, 1.0);
+        let anchors = [Point::new(3.0, 0.5), Point::new(0.5, 5.0)];
+        assert!((r.mindist_sum(&anchors) - (2.0 + 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounding_covers_all_points() {
+        let pts = [
+            Point::new(1.0, 2.0),
+            Point::new(-3.0, 4.0),
+            Point::new(0.0, -1.0),
+        ];
+        let r = Rect::bounding(pts);
+        for p in pts {
+            assert!(r.contains(p));
+        }
+        assert_eq!(r, rect(-3.0, -1.0, 1.0, 4.0));
+    }
+
+    #[test]
+    fn inflate_grows_symmetrically() {
+        let r = rect(0.0, 0.0, 2.0, 2.0).inflate(1.0);
+        assert_eq!(r, rect(-1.0, -1.0, 3.0, 3.0));
+    }
+
+    #[test]
+    fn corners_are_ccw() {
+        let c = rect(0.0, 0.0, 2.0, 1.0).corners();
+        // shoelace area positive => counter-clockwise
+        let mut area2 = 0.0;
+        for i in 0..4 {
+            let a = c[i];
+            let b = c[(i + 1) % 4];
+            area2 += a.cross(b);
+        }
+        assert!(area2 > 0.0);
+    }
+}

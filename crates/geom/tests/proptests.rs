@@ -1,0 +1,175 @@
+//! Property-based tests for the geometry substrate.
+
+use proptest::prelude::*;
+use ssq_geom::predicates::{incircle_sign, orient2d_sign};
+use ssq_geom::{convex_hull, graham_scan, Circle, HalfPlane, Point, Rect};
+
+fn pt() -> impl Strategy<Value = Point> {
+    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn pts(max: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(pt(), 1..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn orient2d_antisymmetry_and_cyclicity(a in pt(), b in pt(), c in pt()) {
+        let s = orient2d_sign(a, b, c);
+        prop_assert_eq!(s, orient2d_sign(b, c, a));
+        prop_assert_eq!(s, orient2d_sign(c, a, b));
+        prop_assert_eq!(-s, orient2d_sign(b, a, c));
+        prop_assert_eq!(-s, orient2d_sign(a, c, b));
+    }
+
+    #[test]
+    fn orient2d_degenerate_duplicates(a in pt(), b in pt()) {
+        prop_assert_eq!(orient2d_sign(a, a, b), 0);
+        prop_assert_eq!(orient2d_sign(a, b, a), 0);
+        prop_assert_eq!(orient2d_sign(b, a, a), 0);
+    }
+
+    #[test]
+    fn incircle_symmetry_under_even_permutation(a in pt(), b in pt(), c in pt(), d in pt()) {
+        let s = incircle_sign(a, b, c, d);
+        // Even permutations of (a, b, c) preserve the sign.
+        prop_assert_eq!(s, incircle_sign(b, c, a, d));
+        prop_assert_eq!(s, incircle_sign(c, a, b, d));
+        // Odd permutations flip it.
+        prop_assert_eq!(-s, incircle_sign(b, a, c, d));
+    }
+
+    #[test]
+    fn hull_contains_inputs_and_is_convex(points in pts(40)) {
+        let h = convex_hull(&points);
+        for &p in &points {
+            prop_assert!(h.contains(p), "input {:?} escaped hull", p);
+        }
+        let v = h.vertices();
+        if v.len() >= 3 {
+            for i in 0..v.len() {
+                prop_assert_eq!(
+                    orient2d_sign(v[i], v[(i + 1) % v.len()], v[(i + 2) % v.len()]),
+                    1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hull_is_idempotent(points in pts(30)) {
+        let h1 = convex_hull(&points);
+        let h2 = convex_hull(h1.vertices());
+        prop_assert_eq!(h1.vertices(), h2.vertices());
+    }
+
+    #[test]
+    fn graham_equals_monotone_chain(points in pts(30)) {
+        let g = graham_scan(&points);
+        let m = convex_hull(&points);
+        prop_assert_eq!(g.vertices(), m.vertices());
+    }
+
+    #[test]
+    fn hull_vertices_are_extreme(points in pts(25)) {
+        // Removing any hull vertex must change the hull (vertices are
+        // irredundant).
+        let h = convex_hull(&points);
+        for &v in h.vertices() {
+            let rest: Vec<Point> = points.iter().copied().filter(|&p| p != v).collect();
+            let h2 = convex_hull(&rest);
+            prop_assert!(!h2.vertices().contains(&v));
+        }
+    }
+
+    #[test]
+    fn bisector_halfplane_matches_metric(a in pt(), b in pt(), probe in pt()) {
+        prop_assume!(a != b);
+        let h = HalfPlane::closer_to(a, b);
+        let closer = probe.distance_sq(a) < probe.distance_sq(b);
+        // On the exact bisector the closed test may differ; skip ties.
+        prop_assume!((probe.distance_sq(a) - probe.distance_sq(b)).abs() > 1e-9);
+        prop_assert_eq!(h.contains_strict(probe), closer);
+    }
+
+    #[test]
+    fn rect_mindist_maxdist_bracket_true_distance(
+        a in pt(), b in pt(), q in pt(), t in 0.0f64..1.0, u in 0.0f64..1.0,
+    ) {
+        let r = Rect::from_corners(a, b);
+        // A point inside the rect by construction:
+        let inside = Point::new(
+            r.min.x + t * (r.max.x - r.min.x),
+            r.min.y + u * (r.max.y - r.min.y),
+        );
+        let d = q.distance(inside);
+        prop_assert!(r.mindist(q) <= d + 1e-9);
+        prop_assert!(r.maxdist(q) >= d - 1e-9);
+    }
+
+    #[test]
+    fn rect_intersection_is_contained_in_both(a in pt(), b in pt(), c in pt(), d in pt()) {
+        let r1 = Rect::from_corners(a, b);
+        let r2 = Rect::from_corners(c, d);
+        let i = r1.intersection(&r2);
+        if !i.is_empty() {
+            prop_assert!(r1.contains_rect(&i));
+            prop_assert!(r2.contains_rect(&i));
+            prop_assert!(r1.intersects(&r2));
+        } else {
+            prop_assert!(!r1.intersects(&r2) || i.area() == 0.0);
+        }
+    }
+
+    #[test]
+    fn circle_rect_tests_agree_with_sampling(center in pt(), radius in 0.1f64..50.0, a in pt(), b in pt()) {
+        let c = Circle::new(center, radius);
+        let r = Rect::from_corners(a, b);
+        if c.contains_rect(&r) {
+            // All corners inside.
+            for corner in r.corners() {
+                prop_assert!(c.contains(corner));
+            }
+            prop_assert!(c.intersects_rect(&r));
+        }
+        if !c.intersects_rect(&r) {
+            // No corner inside, and center's clamp is outside the circle.
+            for corner in r.corners() {
+                prop_assert!(!c.contains(corner));
+            }
+        }
+    }
+
+    #[test]
+    fn clip_halfplane_shrinks_area(points in pts(20), a in pt(), b in pt()) {
+        prop_assume!(a != b);
+        let h = convex_hull(&points);
+        prop_assume!(!h.is_degenerate());
+        let clipped = h.clip_halfplane(&HalfPlane::left_of(a, b));
+        prop_assert!(clipped.area() <= h.area() + 1e-6);
+        // Every clipped vertex is in the original hull (within tolerance)
+        // and in the half-plane.
+        for &v in clipped.vertices() {
+            prop_assert!(h.distance(v) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn closer_chain_is_contiguous_and_nonempty_outside(points in pts(20), q in pt()) {
+        let h = convex_hull(&points);
+        prop_assume!(!h.is_degenerate());
+        prop_assume!(!h.contains(q));
+        let chain = h.closer_chain(q);
+        prop_assert!(!chain.is_empty(), "external point must see some edge");
+        // The chain indices are sorted and form a contiguous run on the
+        // hull ring (possibly wrapping).
+        let n = h.len();
+        let in_chain: Vec<bool> = (0..n).map(|i| chain.contains(&i)).collect();
+        let transitions = (0..n)
+            .filter(|&i| in_chain[i] != in_chain[(i + 1) % n])
+            .count();
+        prop_assert!(transitions <= 2, "chain must be one contiguous arc");
+    }
+}

@@ -1,0 +1,296 @@
+//! # ssq-kdtree
+//!
+//! A static 2-D kd-tree, built once over the data points.
+//!
+//! The paper's complexity analysis of VS² (§4.2) separates the traversal
+//! cost from the cost `Φ(|P|)` of finding the entry point `NN(q₁)`:
+//! "`Φ(|P|)` is `O(log |P|)` if an index structure is used. Otherwise
+//! [greedy walking the Delaunay graph] takes `Φ(|P|) = O(√|P|)` steps."
+//! This crate is that index structure: `ssq_core::VoronoiIndex` builds
+//! one by default so VS²/VCS² start in logarithmic time, and can be
+//! constructed without it to reproduce the paper's index-free `O(√|P|)`
+//! mode.
+//!
+//! The tree is an implicit median-split kd-tree over point indices —
+//! array-backed, no allocation per node, `O(n log n)` construction,
+//! `O(log n)` expected nearest-neighbour queries.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use ssq_geom::{Point, Rect};
+
+/// A static kd-tree over a point set. Indices returned by queries refer
+/// to the original point slice passed to [`KdTree::build`].
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    points: Vec<Point>,
+    /// Point indices arranged in kd order: the subtree covering
+    /// `order[lo..hi]` has its median at `(lo + hi) / 2`.
+    order: Vec<u32>,
+}
+
+impl KdTree {
+    /// Builds the tree; `O(n log n)`.
+    pub fn build(points: &[Point]) -> KdTree {
+        let mut order: Vec<u32> = (0..points.len() as u32).collect();
+        let n = order.len();
+        if n > 1 {
+            build_rec(points, &mut order, 0);
+        }
+        KdTree {
+            points: points.to_vec(),
+            order,
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Index of the nearest point to `q` (ties broken arbitrarily), or
+    /// `None` when the tree is empty. Expected `O(log n)`.
+    pub fn nearest(&self, q: Point) -> Option<u32> {
+        if self.order.is_empty() {
+            return None;
+        }
+        let mut best = (f64::INFINITY, 0u32);
+        self.nearest_rec(q, 0, self.order.len(), 0, &mut best);
+        Some(best.1)
+    }
+
+    /// Indices of the `k` nearest points to `q`, ascending by distance.
+    pub fn k_nearest(&self, q: Point, k: usize) -> Vec<u32> {
+        if k == 0 || self.order.is_empty() {
+            return Vec::new();
+        }
+        // A simple bounded max-heap over (distance, index).
+        let mut heap: Vec<(f64, u32)> = Vec::with_capacity(k + 1);
+        self.knn_rec(q, 0, self.order.len(), 0, k, &mut heap);
+        heap.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN distance"));
+        heap.into_iter().map(|(_, i)| i).collect()
+    }
+
+    /// Indices of all points inside `rect` (closed).
+    pub fn range(&self, rect: &Rect) -> Vec<u32> {
+        let mut out = Vec::new();
+        if !self.order.is_empty() {
+            self.range_rec(rect, 0, self.order.len(), 0, &mut out);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn nearest_rec(&self, q: Point, lo: usize, hi: usize, axis: usize, best: &mut (f64, u32)) {
+        if lo >= hi {
+            return;
+        }
+        let mid = (lo + hi) / 2;
+        let idx = self.order[mid];
+        let p = self.points[idx as usize];
+        let d = p.distance_sq(q);
+        if d < best.0 {
+            *best = (d, idx);
+        }
+        let delta = if axis == 0 { q.x - p.x } else { q.y - p.y };
+        let (near, far) = if delta < 0.0 {
+            ((lo, mid), (mid + 1, hi))
+        } else {
+            ((mid + 1, hi), (lo, mid))
+        };
+        self.nearest_rec(q, near.0, near.1, axis ^ 1, best);
+        if delta * delta < best.0 {
+            self.nearest_rec(q, far.0, far.1, axis ^ 1, best);
+        }
+    }
+
+    fn knn_rec(
+        &self,
+        q: Point,
+        lo: usize,
+        hi: usize,
+        axis: usize,
+        k: usize,
+        heap: &mut Vec<(f64, u32)>,
+    ) {
+        if lo >= hi {
+            return;
+        }
+        let mid = (lo + hi) / 2;
+        let idx = self.order[mid];
+        let p = self.points[idx as usize];
+        let d = p.distance_sq(q);
+        if heap.len() < k {
+            heap.push((d, idx));
+        } else if let Some(pos) = heap
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("NaN distance"))
+            .map(|(i, _)| i)
+        {
+            if d < heap[pos].0 {
+                heap[pos] = (d, idx);
+            }
+        }
+        let delta = if axis == 0 { q.x - p.x } else { q.y - p.y };
+        let (near, far) = if delta < 0.0 {
+            ((lo, mid), (mid + 1, hi))
+        } else {
+            ((mid + 1, hi), (lo, mid))
+        };
+        self.knn_rec(q, near.0, near.1, axis ^ 1, k, heap);
+        // Prune the far side only when the heap is full and the splitting
+        // plane is farther than the current worst answer.
+        let bound = if heap.len() < k {
+            f64::INFINITY
+        } else {
+            heap.iter().map(|&(w, _)| w).fold(0.0, f64::max)
+        };
+        if delta * delta < bound {
+            self.knn_rec(q, far.0, far.1, axis ^ 1, k, heap);
+        }
+    }
+
+    fn range_rec(&self, rect: &Rect, lo: usize, hi: usize, axis: usize, out: &mut Vec<u32>) {
+        if lo >= hi {
+            return;
+        }
+        let mid = (lo + hi) / 2;
+        let idx = self.order[mid];
+        let p = self.points[idx as usize];
+        if rect.contains(p) {
+            out.push(idx);
+        }
+        let (coord, min_c, max_c) = if axis == 0 {
+            (p.x, rect.min.x, rect.max.x)
+        } else {
+            (p.y, rect.min.y, rect.max.y)
+        };
+        if min_c <= coord {
+            self.range_rec(rect, lo, mid, axis ^ 1, out);
+        }
+        if coord <= max_c {
+            self.range_rec(rect, mid + 1, hi, axis ^ 1, out);
+        }
+    }
+}
+
+/// Recursively arranges `order[..]` so the median (by the split axis) sits
+/// in the middle, using `select_nth_unstable` — `O(n log n)` total.
+fn build_rec(points: &[Point], order: &mut [u32], axis: usize) {
+    let n = order.len();
+    if n <= 1 {
+        return;
+    }
+    let mid = n / 2;
+    order.select_nth_unstable_by(mid, |&a, &b| {
+        let (ka, kb) = if axis == 0 {
+            (points[a as usize].x, points[b as usize].x)
+        } else {
+            (points[a as usize].y, points[b as usize].y)
+        };
+        ka.partial_cmp(&kb)
+            .expect("NaN coordinate")
+            .then(a.cmp(&b))
+    });
+    let (left, rest) = order.split_at_mut(mid);
+    build_rec(points, left, axis ^ 1);
+    build_rec(points, &mut rest[1..], axis ^ 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn pseudorandom(n: usize, seed: u64) -> Vec<Point> {
+        let mut s = seed.max(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|_| p(next() * 100.0, next() * 100.0)).collect()
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let t = KdTree::build(&[]);
+        assert!(t.nearest(p(0.0, 0.0)).is_none());
+        assert!(t.k_nearest(p(0.0, 0.0), 3).is_empty());
+        let t1 = KdTree::build(&[p(1.0, 1.0)]);
+        assert_eq!(t1.nearest(p(5.0, 5.0)), Some(0));
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let pts = pseudorandom(500, 7);
+        let t = KdTree::build(&pts);
+        for q in pseudorandom(100, 99) {
+            let got = t.nearest(q).unwrap();
+            let best = pts
+                .iter()
+                .map(|x| x.distance_sq(q))
+                .fold(f64::INFINITY, f64::min);
+            assert_eq!(pts[got as usize].distance_sq(q), best);
+        }
+    }
+
+    #[test]
+    fn k_nearest_matches_brute_force() {
+        let pts = pseudorandom(300, 13);
+        let t = KdTree::build(&pts);
+        for q in pseudorandom(30, 5) {
+            for k in [1usize, 3, 10] {
+                let got = t.k_nearest(q, k);
+                assert_eq!(got.len(), k.min(pts.len()));
+                let mut want: Vec<u32> = (0..pts.len() as u32).collect();
+                want.sort_by(|&a, &b| {
+                    pts[a as usize]
+                        .distance_sq(q)
+                        .partial_cmp(&pts[b as usize].distance_sq(q))
+                        .unwrap()
+                });
+                // Compare by distance (ties make index comparison fragile).
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(
+                        pts[*g as usize].distance_sq(q),
+                        pts[*w as usize].distance_sq(q)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn range_matches_linear_scan() {
+        let pts = pseudorandom(400, 21);
+        let t = KdTree::build(&pts);
+        for (a, b) in [(p(10.0, 10.0), p(40.0, 60.0)), (p(0.0, 0.0), p(100.0, 100.0))] {
+            let r = Rect::from_corners(a, b);
+            let got = t.range(&r);
+            let want: Vec<u32> = (0..pts.len() as u32)
+                .filter(|&i| r.contains(pts[i as usize]))
+                .collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn duplicate_coordinates_are_handled() {
+        let pts = vec![p(1.0, 1.0), p(1.0, 2.0), p(1.0, 3.0), p(2.0, 1.0)];
+        let t = KdTree::build(&pts);
+        assert_eq!(t.nearest(p(1.0, 2.1)), Some(1));
+        assert_eq!(t.range(&Rect::from_corners(p(1.0, 1.0), p(1.0, 3.0))), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the R*-tree.
+
+use proptest::prelude::*;
+use ssq_geom::{Point, Rect};
+use ssq_rtree::{RTree, RTreeConfig};
+
+fn pt() -> impl Strategy<Value = Point> {
+    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn small_tree_configs() -> impl Strategy<Value = RTreeConfig> {
+    (4usize..12).prop_map(RTreeConfig::with_max_entries)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn incremental_insert_preserves_invariants_and_queries(
+        points in prop::collection::vec(pt(), 1..150),
+        qa in pt(),
+        qb in pt(),
+        config in small_tree_configs(),
+    ) {
+        let mut tree = RTree::with_config(config);
+        for (i, &p) in points.iter().enumerate() {
+            tree.insert(Rect::from_point(p), i as u32);
+        }
+        tree.check_invariants();
+
+        let query = Rect::from_corners(qa, qb);
+        let mut got = tree.query_rect(&query);
+        got.sort_unstable();
+        let mut want: Vec<u32> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| query.contains(p))
+            .map(|(i, _)| i as u32)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn bulk_load_equals_incremental_queries(
+        points in prop::collection::vec(pt(), 1..200),
+        qa in pt(),
+        qb in pt(),
+    ) {
+        let config = RTreeConfig::with_max_entries(6);
+        let bulk = RTree::<u32>::bulk_load_points(
+            &points,
+            config,
+        );
+        bulk.check_invariants();
+        let query = Rect::from_corners(qa, qb);
+        let mut got = bulk.query_rect(&query);
+        got.sort_unstable();
+        let mut want: Vec<u32> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| query.contains(p))
+            .map(|(i, _)| i as u32)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn nearest_is_exact(points in prop::collection::vec(pt(), 1..120), q in pt()) {
+        let tree = RTree::<u32>::bulk_load_points(&points, RTreeConfig::with_max_entries(5));
+        let got = tree.nearest(q).unwrap();
+        let best = points
+            .iter()
+            .map(|p| p.distance_sq(q))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(points[got as usize].distance_sq(q), best);
+    }
+
+    #[test]
+    fn tree_mbr_covers_everything(points in prop::collection::vec(pt(), 1..100)) {
+        let tree = RTree::<u32>::bulk_load_points(&points, RTreeConfig::with_max_entries(8));
+        let mbr = tree.mbr();
+        for &p in &points {
+            prop_assert!(mbr.contains(p));
+        }
+    }
+
+    #[test]
+    fn height_is_logarithmic(n in 1usize..400) {
+        let points: Vec<Point> = (0..n)
+            .map(|i| Point::new((i % 20) as f64, (i / 20) as f64 + (i as f64) * 1e-6))
+            .collect();
+        let tree = RTree::<u32>::bulk_load_points(&points, RTreeConfig::with_max_entries(8));
+        tree.check_invariants();
+        // ceil(log_2-of-fanout bound): generous upper bound for min fill 3.
+        let bound = ((n as f64).ln() / 2.0f64.ln()).ceil() as usize + 2;
+        prop_assert!(tree.height() <= bound);
+    }
+}

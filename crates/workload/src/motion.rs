@@ -1,0 +1,198 @@
+//! Moving-object streams for the continuous SSQ (VCS²) experiments.
+//!
+//! Section 5/7 of the paper evaluates VCS² on "synthetically moving
+//! objects": the query points are mobile agents that report location
+//! updates one at a time, and each update moves a *single* query point
+//! (the stream model of §5: "Arrival of each new location causes an update
+//! to a single point of Q"). [`MovingQuerySet`] reproduces that: a
+//! random-waypoint walk per object, emitting `(object index, new location)`
+//! update events.
+
+use ssq_geom::{Point, Rect};
+
+use crate::rng::Xoshiro256;
+
+/// Parameters of a moving query-object simulation.
+#[derive(Clone, Copy, Debug)]
+pub struct MotionConfig {
+    /// Number of moving objects (`|Q|`).
+    pub count: usize,
+    /// Maximum step length per update, as a fraction of the universe side.
+    /// The paper's updates are frequent relative to object speed, so steps
+    /// are small; `0.01` (1% of the universe side) is the default.
+    pub step: f64,
+    /// The universe the objects roam in (they bounce off its walls).
+    pub universe: Rect,
+    /// Side of the starting box the objects are packed into, as a fraction
+    /// of the universe side (so the initial `MBR(Q)` is realistic).
+    pub start_box: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MotionConfig {
+    fn default() -> Self {
+        MotionConfig {
+            count: 5,
+            step: 0.01,
+            universe: Rect::from_corners(Point::new(0.0, 0.0), Point::new(1.0, 1.0)),
+            start_box: 0.05,
+            seed: 0xB0B,
+        }
+    }
+}
+
+/// One location update: object `index` moved to `location`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Update {
+    /// Which query object moved.
+    pub index: usize,
+    /// Its new location.
+    pub location: Point,
+}
+
+/// A deterministic stream of single-object location updates.
+///
+/// Objects take random-direction steps of random length up to
+/// [`MotionConfig::step`]; each call to [`MovingQuerySet::next_update`]
+/// moves one object (round-robin with jitter, so consecutive updates
+/// usually concern different objects, like interleaved GPS reports).
+#[derive(Clone, Debug)]
+pub struct MovingQuerySet {
+    positions: Vec<Point>,
+    config: MotionConfig,
+    rng: Xoshiro256,
+    ticks: u64,
+}
+
+impl MovingQuerySet {
+    /// Creates the stream and places the objects in a random start box.
+    pub fn new(config: MotionConfig) -> MovingQuerySet {
+        assert!(config.count >= 1);
+        let mut rng = Xoshiro256::seed_from_u64(config.seed);
+        let u = config.universe;
+        let side = (u.width().min(u.height()) * config.start_box).max(f64::MIN_POSITIVE);
+        let ox = u.min.x + rng.f64() * (u.width() - side).max(0.0);
+        let oy = u.min.y + rng.f64() * (u.height() - side).max(0.0);
+        let positions = (0..config.count)
+            .map(|_| {
+                Point::new(
+                    ox + rng.f64() * side,
+                    oy + rng.f64() * side,
+                )
+            })
+            .collect();
+        MovingQuerySet {
+            positions,
+            config,
+            rng,
+            ticks: 0,
+        }
+    }
+
+    /// Current positions of all objects (the current query set `Q`).
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// Advances the simulation by one update: moves one object and returns
+    /// the event.
+    pub fn next_update(&mut self) -> Update {
+        let index = if self.config.count == 1 {
+            0
+        } else {
+            // Mostly round-robin, occasionally a random object, so the
+            // stream is not perfectly periodic.
+            if self.rng.f64() < 0.85 {
+                (self.ticks % self.config.count as u64) as usize
+            } else {
+                self.rng.range_usize(self.config.count)
+            }
+        };
+        self.ticks += 1;
+
+        let u = self.config.universe;
+        let max_step = u.width().min(u.height()) * self.config.step;
+        let angle = self.rng.f64() * std::f64::consts::TAU;
+        let len = self.rng.f64() * max_step;
+        let p = self.positions[index];
+        let mut np = Point::new(p.x + angle.cos() * len, p.y + angle.sin() * len);
+        // Bounce off the walls by clamping (reflective boundary).
+        np.x = np.x.clamp(u.min.x, u.max.x);
+        np.y = np.y.clamp(u.min.y, u.max.y);
+        self.positions[index] = np;
+        Update {
+            index,
+            location: np,
+        }
+    }
+
+    /// Convenience: collects the next `n` updates.
+    pub fn take_updates(&mut self, n: usize) -> Vec<Update> {
+        (0..n).map(|_| self.next_update()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn updates_stay_in_universe_and_are_small() {
+        let cfg = MotionConfig {
+            count: 4,
+            step: 0.02,
+            ..MotionConfig::default()
+        };
+        let mut m = MovingQuerySet::new(cfg);
+        let mut prev = m.positions().to_vec();
+        for _ in 0..500 {
+            let up = m.next_update();
+            assert!(cfg.universe.contains(up.location));
+            let moved = prev[up.index].distance(up.location);
+            assert!(moved <= 0.02 + 1e-12, "step too large: {moved}");
+            prev[up.index] = up.location;
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = MotionConfig::default();
+        let mut a = MovingQuerySet::new(cfg);
+        let mut b = MovingQuerySet::new(cfg);
+        assert_eq!(a.take_updates(100), b.take_updates(100));
+    }
+
+    #[test]
+    fn all_objects_eventually_move() {
+        let mut m = MovingQuerySet::new(MotionConfig {
+            count: 7,
+            ..MotionConfig::default()
+        });
+        let ups = m.take_updates(100);
+        let moved: std::collections::HashSet<usize> = ups.iter().map(|u| u.index).collect();
+        assert_eq!(moved.len(), 7);
+    }
+
+    #[test]
+    fn positions_track_updates() {
+        let mut m = MovingQuerySet::new(MotionConfig::default());
+        for _ in 0..50 {
+            let up = m.next_update();
+            assert_eq!(m.positions()[up.index], up.location);
+        }
+    }
+
+    #[test]
+    fn start_box_packs_objects() {
+        let cfg = MotionConfig {
+            count: 10,
+            start_box: 0.03,
+            ..MotionConfig::default()
+        };
+        let m = MovingQuerySet::new(cfg);
+        let mbr = Rect::bounding(m.positions().iter().copied());
+        assert!(mbr.width() <= 0.03 + 1e-12);
+        assert!(mbr.height() <= 0.03 + 1e-12);
+    }
+}

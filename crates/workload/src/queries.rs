@@ -1,0 +1,136 @@
+//! Query-set generators.
+//!
+//! The paper's experiments vary two query parameters (§7, Fig. 12):
+//! the number of query points `|Q|` (2–10) and the area covered by
+//! `MBR(Q)` as a fraction of the universe (0.01%–0.7%). A query set is a
+//! batch of points placed inside a randomly positioned box of the target
+//! area.
+
+use ssq_geom::{Point, Rect};
+
+use crate::rng::Xoshiro256;
+
+/// Parameters of a random query set.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryConfig {
+    /// Number of query points `|Q|`.
+    pub count: usize,
+    /// Area of `MBR(Q)` as a fraction of the universe area (e.g. `0.001`
+    /// for the paper's 0.1%).
+    pub mbr_area_fraction: f64,
+    /// The universe rectangle the query box is placed in.
+    pub universe: Rect,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl QueryConfig {
+    /// The paper's default setting: `MBR(Q)` covering 0.1% of the unit
+    /// universe.
+    pub fn paper_default(count: usize, seed: u64) -> QueryConfig {
+        QueryConfig {
+            count,
+            mbr_area_fraction: 0.001,
+            universe: Rect::from_corners(Point::new(0.0, 0.0), Point::new(1.0, 1.0)),
+            seed,
+        }
+    }
+}
+
+/// Draws a random query set: a square box of the target area placed
+/// uniformly inside the universe, then `count` points uniform in the box,
+/// with the first two nudged to opposite corners so the realized `MBR(Q)`
+/// actually attains (approximately) the target area.
+pub fn random_query_set(config: &QueryConfig) -> Vec<Point> {
+    assert!(config.count >= 1, "a query set needs at least one point");
+    assert!(
+        config.mbr_area_fraction > 0.0 && config.mbr_area_fraction <= 1.0,
+        "area fraction must be in (0, 1]"
+    );
+    let mut rng = Xoshiro256::seed_from_u64(config.seed);
+    let u = config.universe;
+    let side = (u.area() * config.mbr_area_fraction).sqrt();
+    let side = side.min(u.width()).min(u.height());
+
+    let ox = u.min.x + rng.f64() * (u.width() - side);
+    let oy = u.min.y + rng.f64() * (u.height() - side);
+    let boxx = Rect::from_corners(Point::new(ox, oy), Point::new(ox + side, oy + side));
+
+    let mut q: Vec<Point> = Vec::with_capacity(config.count);
+    let mut seen = std::collections::HashSet::new();
+    while q.len() < config.count {
+        let p = if q.is_empty() {
+            boxx.min
+        } else if q.len() == 1 {
+            boxx.max
+        } else {
+            Point::new(
+                ox + rng.f64() * side,
+                oy + rng.f64() * side,
+            )
+        };
+        if seen.insert((p.x.to_bits(), p.y.to_bits())) {
+            q.push(p);
+        }
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_count_and_area() {
+        for count in [1, 2, 4, 8, 16] {
+            let cfg = QueryConfig::paper_default(count, 7);
+            let q = random_query_set(&cfg);
+            assert_eq!(q.len(), count);
+            let mbr = Rect::bounding(q.iter().copied());
+            if count >= 2 {
+                let frac = mbr.area() / cfg.universe.area();
+                assert!(
+                    (frac - cfg.mbr_area_fraction).abs() < 0.2 * cfg.mbr_area_fraction,
+                    "count {count}: got area fraction {frac}"
+                );
+            }
+            for p in &q {
+                assert!(cfg.universe.contains(*p));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = QueryConfig::paper_default(5, 42);
+        assert_eq!(random_query_set(&cfg), random_query_set(&cfg));
+        let other = QueryConfig::paper_default(5, 43);
+        assert_ne!(random_query_set(&cfg), random_query_set(&other));
+    }
+
+    #[test]
+    fn area_sweep_produces_growing_boxes() {
+        let mut last = 0.0;
+        for frac in [0.0001, 0.0005, 0.001, 0.003, 0.007] {
+            let cfg = QueryConfig {
+                count: 6,
+                mbr_area_fraction: frac,
+                universe: Rect::from_corners(Point::new(0.0, 0.0), Point::new(1.0, 1.0)),
+                seed: 1,
+            };
+            let q = random_query_set(&cfg);
+            let area = Rect::bounding(q.iter().copied()).area();
+            assert!(area > last, "areas must grow along the sweep");
+            last = area;
+        }
+    }
+
+    #[test]
+    fn points_are_distinct() {
+        let q = random_query_set(&QueryConfig::paper_default(50, 3));
+        let mut keys: Vec<_> = q.iter().map(|p| (p.x.to_bits(), p.y.to_bits())).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 50);
+    }
+}

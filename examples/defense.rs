@@ -1,0 +1,76 @@
+//! Defense/intelligence scenario from the paper's introduction (§1).
+//!
+//! "Consider the locations of soldiers penetrating into enemy's camps as
+//! query locations and the enemy's guard stations as data points. The
+//! stations in the spatial skyline are those from which an attack might
+//! be initiated against the platoon of soldiers."
+//!
+//! Any station NOT in the skyline is strictly farther from every soldier
+//! than some skyline station — it can never be the first threat. The
+//! example also shows Lemma 5's *closer chain*: for each threatening
+//! station the subset of soldiers whose positions actually determine its
+//! dominance.
+//!
+//! Run with: `cargo run --example defense`
+
+use spatial_skyline::prelude::*;
+use spatial_skyline::workload::usgs::uniform_points;
+
+fn main() {
+    // Guard stations scattered over the theatre (10 km square).
+    let stations: Vec<Point> = uniform_points(400, 0xDEF)
+        .into_iter()
+        .map(|p| Point::new(p.x * 10.0, p.y * 10.0))
+        .collect();
+
+    // A platoon of five soldiers advancing in formation.
+    let platoon = vec![
+        Point::new(4.2, 4.0),
+        Point::new(4.6, 4.3),
+        Point::new(5.0, 4.0),
+        Point::new(4.6, 3.7),
+        Point::new(4.6, 4.0), // the radio operator in the middle
+    ];
+
+    let ctx = QueryContext::new(&platoon);
+    let index = VoronoiIndex::new(&stations).expect("distinct station positions");
+    let threats = vs2(&index, &ctx);
+
+    println!(
+        "{} of {} guard stations are potential first threats:",
+        threats.skyline.len(),
+        stations.len()
+    );
+
+    // Theorem 2 in action: the radio operator is inside the formation's
+    // convex hull, so his position is irrelevant to the threat set.
+    assert_eq!(
+        ctx.anchors().len(),
+        4,
+        "the interior soldier must not be an anchor"
+    );
+    let without_op = QueryContext::new(&platoon[..4]);
+    let same = vs2(&index, &without_op);
+    assert_eq!(threats.skyline, same.skyline);
+    println!("(the interior soldier's position does not affect the set — Theorem 2)");
+
+    // For each threat, report which soldiers "pin" it: the closer chain of
+    // the formation hull seen from the station (Lemma 5).
+    println!("\nthreat  position            pinned by soldiers (closer chain)");
+    for &i in threats.skyline.iter().take(8) {
+        let s = stations[i as usize];
+        let chain = ctx.hull().closer_chain(s);
+        let who: Vec<String> = chain.iter().map(|&k| format!("#{k}")).collect();
+        let label = if who.is_empty() {
+            "TRAPPED inside the formation".to_string()
+        } else {
+            who.join(", ")
+        };
+        println!("{i:>6}  ({:>6.2}, {:>6.2})   {label}", s.x, s.y);
+    }
+
+    // Cross-check with the R-tree algorithm.
+    let rt = RTreeIndex::new(&stations);
+    assert_eq!(threats.skyline, b2s2(&rt, &ctx).skyline);
+    println!("\nB²S² agrees with VS² on the threat set ✓");
+}

@@ -1,0 +1,87 @@
+//! Trip planning with mixed spatial + non-spatial skylines (paper §1, §6).
+//!
+//! "In the domain of trip planning, the spatial skyline of hotels with
+//! respect to the fixed locations of conference venue, beaches and museums
+//! includes all the interesting hotels for lodging" — and §6 adds static
+//! attributes: "the best restaurant in LA might be dominated in terms of
+//! distance [...] but it is still in the skyline because of its rating."
+//!
+//! This example computes three skylines over the same hotel set:
+//!   1. the pure spatial skyline S(Q)        (distance only),
+//!   2. the static skyline S(A)              (price/rating only),
+//!   3. the mixed skyline S(A, Q)            (both) — a superset of each.
+//!
+//! Run with: `cargo run --example trip_planning`
+
+use spatial_skyline::prelude::*;
+
+struct Hotel {
+    name: &'static str,
+    location: Point,
+    price: f64,  // $ per night (lower is better)
+    rating: f64, // 0-10, flipped to "badness" so lower is better
+}
+
+fn main() {
+    let hotels = [Hotel { name: "Grand Marina", location: Point::new(1.0, 8.5), price: 320.0, rating: 9.1 },
+        Hotel { name: "Conference Inn", location: Point::new(5.1, 5.2), price: 180.0, rating: 7.4 },
+        Hotel { name: "Beach Hostel", location: Point::new(0.8, 1.2), price: 60.0, rating: 5.9 },
+        Hotel { name: "Museum Suites", location: Point::new(8.9, 6.8), price: 240.0, rating: 8.2 },
+        Hotel { name: "Midtown Budget", location: Point::new(4.8, 4.4), price: 95.0, rating: 6.1 },
+        Hotel { name: "Harbor View", location: Point::new(2.2, 7.1), price: 210.0, rating: 8.8 },
+        Hotel { name: "Airport Express", location: Point::new(9.7, 0.5), price: 110.0, rating: 6.6 },
+        Hotel { name: "Old Town B&B", location: Point::new(6.3, 7.9), price: 150.0, rating: 7.9 }];
+
+    // The three must-see locations of the trip.
+    let venue = Point::new(5.0, 5.0); // conference venue
+    let beach = Point::new(1.0, 1.0); // the beach
+    let museum = Point::new(8.5, 7.0); // the museum
+    let q = vec![venue, beach, museum];
+
+    let points: Vec<Point> = hotels.iter().map(|h| h.location).collect();
+    // Attributes are minimized: price as-is, rating flipped.
+    let attrs: Vec<Vec<f64>> = hotels.iter().map(|h| vec![h.price, 10.0 - h.rating]).collect();
+
+    let ctx = QueryContext::new(&q);
+    let index = RTreeIndex::new(&points);
+    let vindex = VoronoiIndex::new(&points).expect("distinct hotel locations");
+
+    // 1. Pure spatial skyline.
+    let spatial = b2s2(&index, &ctx);
+    println!("S(Q) — interesting by distance to venue/beach/museum alone:");
+    for &i in &spatial.skyline {
+        println!("  {}", hotels[i as usize].name);
+    }
+
+    // 2. Static skyline over (price, 10 - rating).
+    let static_ids = spatial_skyline::skyline::bnl(&attrs);
+    println!("\nS(A) — interesting by price/rating alone:");
+    for &i in &static_ids {
+        let h = &hotels[i];
+        println!("  {:<16} ${} rating {}", h.name, h.price, h.rating);
+    }
+
+    // 3. Mixed skyline: both criteria at once.
+    let mctx = MixedContext::new(&points, &attrs, &ctx);
+    let mixed = mixed_vs2(&vindex, &mctx);
+    println!("\nS(A, Q) — the full shortlist (distances AND price/rating):");
+    for &i in &mixed.skyline {
+        let h = &hotels[i as usize];
+        let d: Vec<String> = q.iter().map(|&x| format!("{:.1}", x.distance(h.location))).collect();
+        println!(
+            "  {:<16} ${:<4} rating {:<4} distances [{}]",
+            h.name, h.price, h.rating, d.join(", ")
+        );
+    }
+
+    // The containment laws of §6.
+    for &i in &spatial.skyline {
+        assert!(mixed.contains(i), "S(Q) ⊆ S(A,Q) violated");
+    }
+    for &i in &static_ids {
+        assert!(mixed.contains(i as u32), "S(A) ⊆ S(A,Q) violated");
+    }
+    // And the R-tree variant agrees with the Voronoi variant.
+    assert_eq!(mixed.skyline, mixed_b2s2(&index, &mctx).skyline);
+    println!("\nS(A) ⊆ S(A,Q) and S(Q) ⊆ S(A,Q) hold; both algorithms agree.");
+}

@@ -1,0 +1,183 @@
+//! Cross-algorithm equivalence: every algorithm in the paper must return
+//! the same spatial skyline. Property-based with proptest, plus targeted
+//! deterministic cases.
+
+use proptest::prelude::*;
+use spatial_skyline::prelude::*;
+use spatial_skyline::rtree::RTreeConfig;
+
+/// Strategy: a set of distinct data points in the unit square.
+fn points_strategy(max: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..max).prop_map(|v| {
+        let mut pts: Vec<Point> = v.into_iter().map(|(x, y)| Point::new(x, y)).collect();
+        pts.sort_by(Point::lex_cmp);
+        pts.dedup();
+        pts
+    })
+}
+
+fn query_strategy(max: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..max)
+        .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_algorithms_agree(points in points_strategy(60), q in query_strategy(8)) {
+        let ctx = QueryContext::new(&q);
+        let want = naive_full(&points, &ctx).skyline;
+
+        prop_assert_eq!(&naive_sorted(&points, &ctx).skyline, &want);
+
+        let rt = RTreeIndex::with_config(&points, RTreeConfig::with_max_entries(4));
+        prop_assert_eq!(&bbs(&rt, &ctx).skyline, &want);
+        prop_assert_eq!(&b2s2(&rt, &ctx).skyline, &want);
+
+        let vi = VoronoiIndex::new(&points).unwrap();
+        prop_assert_eq!(&vs2(&vi, &ctx).skyline, &want);
+
+        // The verbatim paper traversal may miss points but must never
+        // fabricate one.
+        let paper = vs2_with(&vi, &ctx, VsExpansion::Paper, None);
+        for id in &paper.skyline {
+            prop_assert!(want.contains(id), "paper mode fabricated {}", id);
+        }
+    }
+
+    #[test]
+    fn skyline_is_never_empty_for_nonempty_data(
+        points in points_strategy(40),
+        q in query_strategy(6),
+    ) {
+        // Lemma 1 guarantees at least NN(q1) is in the skyline.
+        let ctx = QueryContext::new(&q);
+        let r = naive_full(&points, &ctx);
+        prop_assert!(!r.skyline.is_empty());
+    }
+
+    #[test]
+    fn skyline_members_are_pairwise_incomparable(
+        points in points_strategy(50),
+        q in query_strategy(6),
+    ) {
+        let ctx = QueryContext::new(&q);
+        let r = naive_full(&points, &ctx);
+        let vecs: Vec<Vec<f64>> = r
+            .skyline
+            .iter()
+            .map(|&i| q.iter().map(|&x| x.distance(points[i as usize])).collect())
+            .collect();
+        for i in 0..vecs.len() {
+            for j in 0..vecs.len() {
+                if i == j { continue; }
+                let dominates = vecs[i].iter().zip(&vecs[j]).all(|(a, b)| a <= b)
+                    && vecs[i].iter().zip(&vecs[j]).any(|(a, b)| a < b);
+                prop_assert!(!dominates, "skyline members {i} and {j} comparable");
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_algorithms_agree(
+        points in points_strategy(40),
+        q in query_strategy(5),
+        seed in 0u64..1000,
+    ) {
+        // Attributes derived deterministically from the seed.
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+        let mut next = move || {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let attrs: Vec<Vec<f64>> = (0..points.len()).map(|_| vec![next(), next()]).collect();
+        let ctx = QueryContext::new(&q);
+        let mctx = MixedContext::new(&points, &attrs, &ctx);
+        let want = mixed_naive(&points, &mctx).skyline;
+
+        let rt = RTreeIndex::with_config(&points, RTreeConfig::with_max_entries(4));
+        prop_assert_eq!(&mixed_b2s2(&rt, &mctx).skyline, &want);
+        let vi = VoronoiIndex::new(&points).unwrap();
+        prop_assert_eq!(&mixed_vs2(&vi, &mctx).skyline, &want);
+    }
+}
+
+#[test]
+fn duplicate_query_points_are_harmless() {
+    let points: Vec<Point> = (0..20)
+        .map(|i| Point::new((i as f64 * 0.37) % 1.0, (i as f64 * 0.61) % 1.0))
+        .collect();
+    let q = vec![
+        Point::new(0.3, 0.3),
+        Point::new(0.3, 0.3),
+        Point::new(0.7, 0.6),
+    ];
+    let ctx = QueryContext::new(&q);
+    let want = naive_full(&points, &ctx).skyline;
+    let rt = RTreeIndex::new(&points);
+    let vi = VoronoiIndex::new(&points).unwrap();
+    assert_eq!(b2s2(&rt, &ctx).skyline, want);
+    assert_eq!(vs2(&vi, &ctx).skyline, want);
+}
+
+#[test]
+fn collinear_query_points_degenerate_hull() {
+    let points: Vec<Point> = (0..30)
+        .map(|i| Point::new((i as f64 * 0.17) % 1.0, (i as f64 * 0.43) % 1.0))
+        .collect();
+    // All query points on one line: CH(Q) is a segment with an empty
+    // interior.
+    let q = vec![
+        Point::new(0.2, 0.2),
+        Point::new(0.5, 0.5),
+        Point::new(0.8, 0.8),
+    ];
+    let ctx = QueryContext::new(&q);
+    assert_eq!(ctx.anchors().len(), 2, "interior collinear point dropped");
+    let want = naive_full(&points, &ctx).skyline;
+    let rt = RTreeIndex::new(&points);
+    let vi = VoronoiIndex::new(&points).unwrap();
+    assert_eq!(bbs(&rt, &ctx).skyline, want);
+    assert_eq!(b2s2(&rt, &ctx).skyline, want);
+    assert_eq!(vs2(&vi, &ctx).skyline, want);
+}
+
+#[test]
+fn data_point_coinciding_with_query_point() {
+    // A data point exactly at a query location dominates everything for
+    // that query point's distance (distance 0).
+    let points = vec![
+        Point::new(0.5, 0.5),
+        Point::new(0.6, 0.6),
+        Point::new(0.1, 0.9),
+    ];
+    let q = vec![Point::new(0.5, 0.5), Point::new(0.65, 0.6)];
+    let ctx = QueryContext::new(&q);
+    let want = naive_full(&points, &ctx).skyline;
+    assert!(want.contains(&0));
+    let rt = RTreeIndex::new(&points);
+    let vi = VoronoiIndex::new(&points).unwrap();
+    assert_eq!(b2s2(&rt, &ctx).skyline, want);
+    assert_eq!(vs2(&vi, &ctx).skyline, want);
+}
+
+#[test]
+fn large_clustered_instance_all_agree() {
+    use spatial_skyline::workload::usgs::{synthetic_usgs_points, UsgsConfig};
+    let points = synthetic_usgs_points(&UsgsConfig {
+        n: 3000,
+        seed: 1234,
+        ..UsgsConfig::default()
+    });
+    let q = spatial_skyline::workload::random_query_set(
+        &spatial_skyline::workload::QueryConfig::paper_default(7, 42),
+    );
+    let ctx = QueryContext::new(&q);
+    let want = naive_sorted(&points, &ctx).skyline;
+    let rt = RTreeIndex::new(&points);
+    let vi = VoronoiIndex::new(&points).unwrap();
+    assert_eq!(bbs(&rt, &ctx).skyline, want);
+    assert_eq!(b2s2(&rt, &ctx).skyline, want);
+    assert_eq!(vs2(&vi, &ctx).skyline, want);
+}

@@ -1,0 +1,154 @@
+//! End-to-end validation of VCS² (continuous SSQ, paper §5): the
+//! maintained skyline must equal a from-scratch recomputation after every
+//! single update, across motion patterns, query-set sizes and datasets.
+
+use spatial_skyline::prelude::*;
+use spatial_skyline::workload::motion::{MotionConfig, MovingQuerySet};
+use spatial_skyline::workload::usgs::{synthetic_usgs_points, uniform_points, UsgsConfig};
+
+fn check_stream(points: &[Point], cfg: MotionConfig, updates: usize) {
+    let index = VoronoiIndex::new(points).unwrap();
+    let mut team = MovingQuerySet::new(cfg);
+    let mut cont = ContinuousSkyline::new(&index, team.positions());
+    for step in 0..updates {
+        let up = team.next_update();
+        let (outcome, _) = cont.update(up.index, up.location);
+        let fresh = vs2(&index, &QueryContext::new(team.positions()));
+        assert_eq!(
+            cont.skyline(),
+            fresh.skyline,
+            "divergence at step {step} (outcome {outcome:?}, |Q| = {})",
+            cfg.count
+        );
+    }
+}
+
+#[test]
+fn uniform_data_small_team() {
+    let points = uniform_points(300, 11);
+    check_stream(
+        &points,
+        MotionConfig {
+            count: 3,
+            step: 0.02,
+            start_box: 0.1,
+            seed: 1,
+            ..MotionConfig::default()
+        },
+        80,
+    );
+}
+
+#[test]
+fn clustered_data_medium_team() {
+    let points = synthetic_usgs_points(&UsgsConfig {
+        n: 400,
+        seed: 5,
+        ..UsgsConfig::default()
+    });
+    check_stream(
+        &points,
+        MotionConfig {
+            count: 6,
+            step: 0.015,
+            start_box: 0.08,
+            seed: 2,
+            ..MotionConfig::default()
+        },
+        80,
+    );
+}
+
+#[test]
+fn large_steps_force_recomputations() {
+    // Steps of 10% of the universe per update: hull changes are often
+    // complex, exercising the recompute path heavily.
+    let points = uniform_points(250, 17);
+    let index = VoronoiIndex::new(&points).unwrap();
+    let mut team = MovingQuerySet::new(MotionConfig {
+        count: 4,
+        step: 0.1,
+        start_box: 0.2,
+        seed: 3,
+        ..MotionConfig::default()
+    });
+    let mut cont = ContinuousSkyline::new(&index, team.positions());
+    for step in 0..60 {
+        let up = team.next_update();
+        cont.update(up.index, up.location);
+        let fresh = vs2(&index, &QueryContext::new(team.positions()));
+        assert_eq!(cont.skyline(), fresh.skyline, "divergence at step {step}");
+    }
+}
+
+#[test]
+fn single_moving_query_point() {
+    // |Q| = 1: the skyline is exactly the nearest neighbour of the single
+    // query point at all times.
+    let points = uniform_points(200, 23);
+    let index = VoronoiIndex::new(&points).unwrap();
+    let mut team = MovingQuerySet::new(MotionConfig {
+        count: 1,
+        step: 0.05,
+        start_box: 0.01,
+        seed: 4,
+        ..MotionConfig::default()
+    });
+    let mut cont = ContinuousSkyline::new(&index, team.positions());
+    for _ in 0..50 {
+        let up = team.next_update();
+        cont.update(up.index, up.location);
+        let q = team.positions()[0];
+        let nn = (0..points.len() as u32)
+            .min_by(|&a, &b| {
+                points[a as usize]
+                    .distance_sq(q)
+                    .partial_cmp(&points[b as usize].distance_sq(q))
+                    .unwrap()
+            })
+            .unwrap();
+        let sky = cont.skyline();
+        assert!(sky.contains(&nn));
+        // All skyline members tie the NN distance exactly.
+        for &s in &sky {
+            assert_eq!(
+                points[s as usize].distance_sq(q),
+                points[nn as usize].distance_sq(q)
+            );
+        }
+    }
+}
+
+#[test]
+fn incremental_dominates_outcome_mix_for_small_steps() {
+    // The paper's headline continuous result: with small movements, only a
+    // tiny fraction of updates needs a full recomputation.
+    let points = synthetic_usgs_points(&UsgsConfig {
+        n: 2000,
+        seed: 31,
+        ..UsgsConfig::default()
+    });
+    let index = VoronoiIndex::new(&points).unwrap();
+    let mut team = MovingQuerySet::new(MotionConfig {
+        count: 7,
+        step: 0.005,
+        start_box: 0.05,
+        seed: 6,
+        ..MotionConfig::default()
+    });
+    let mut cont = ContinuousSkyline::new(&index, team.positions());
+    for _ in 0..400 {
+        let up = team.next_update();
+        cont.update(up.index, up.location);
+    }
+    let counts = cont.counts();
+    assert_eq!(counts.total(), 400);
+    let recompute_frac = counts.recomputed as f64 / counts.total() as f64;
+    assert!(
+        recompute_frac < 0.15,
+        "too many full recomputations: {recompute_frac} ({counts:?})"
+    );
+    // Final state still exact.
+    let fresh = vs2(&index, &QueryContext::new(team.positions()));
+    assert_eq!(cont.skyline(), fresh.skyline);
+}

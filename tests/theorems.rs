@@ -1,0 +1,194 @@
+//! The paper's geometric foundation (§3) as executable properties:
+//! Lemma 1, Theorems 1–3, Lemmas 5/6 and Lemma 7 are each checked on
+//! randomized instances against the ground-truth skyline.
+
+use proptest::prelude::*;
+use spatial_skyline::geom::convex_hull;
+use spatial_skyline::prelude::*;
+
+fn pts(v: Vec<(f64, f64)>) -> Vec<Point> {
+    let mut p: Vec<Point> = v.into_iter().map(|(x, y)| Point::new(x, y)).collect();
+    p.sort_by(Point::lex_cmp);
+    p.dedup();
+    p
+}
+
+fn points_strategy(max: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 3..max).prop_map(pts)
+}
+
+fn query_strategy(max: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 2..max)
+        .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Lemma 1: the nearest data point to each query point is a skyline
+    /// point.
+    #[test]
+    fn lemma1_nearest_neighbors_are_skyline(
+        points in points_strategy(40),
+        q in query_strategy(7),
+    ) {
+        let ctx = QueryContext::new(&q);
+        let sky = naive_full(&points, &ctx);
+        for &qi in &q {
+            let nn = (0..points.len() as u32)
+                .min_by(|&a, &b| {
+                    points[a as usize].distance_sq(qi)
+                        .partial_cmp(&points[b as usize].distance_sq(qi)).unwrap()
+                })
+                .unwrap();
+            prop_assert!(sky.contains(nn), "NN({:?}) not in skyline", qi);
+        }
+    }
+
+    /// Theorem 1: every data point inside CH(Q) is a skyline point.
+    #[test]
+    fn theorem1_hull_interior_points_are_skyline(
+        points in points_strategy(40),
+        q in query_strategy(7),
+    ) {
+        let ctx = QueryContext::new(&q);
+        let sky = naive_full(&points, &ctx);
+        for (i, &p) in points.iter().enumerate() {
+            if ctx.hull().contains(p) {
+                prop_assert!(sky.contains(i as u32), "interior point {} missing", i);
+            }
+        }
+    }
+
+    /// Theorem 2: removing non-convex (interior) query points does not
+    /// change the skyline.
+    #[test]
+    fn theorem2_interior_query_points_are_irrelevant(
+        points in points_strategy(40),
+        q in query_strategy(8),
+    ) {
+        let hull = convex_hull(&q);
+        let hull_only: Vec<Point> = hull.vertices().to_vec();
+        prop_assume!(!hull_only.is_empty());
+        let full = naive_full(&points, &QueryContext::new(&q));
+        let reduced = naive_full(&points, &QueryContext::new(&hull_only));
+        prop_assert_eq!(full.skyline, reduced.skyline);
+    }
+
+    /// Theorem 3: a data point whose Voronoi cell intersects CH(Q) is a
+    /// skyline point.
+    #[test]
+    fn theorem3_cells_meeting_hull_are_skyline(
+        points in points_strategy(30),
+        q in query_strategy(6),
+    ) {
+        let ctx = QueryContext::new(&q);
+        prop_assume!(!ctx.hull().is_degenerate());
+        let sky = naive_full(&points, &ctx);
+        let vi = VoronoiIndex::new(&points).unwrap();
+        for i in 0..points.len() as u32 {
+            let cell = vi.voronoi_cell(i);
+            if cell.intersects_convex(ctx.hull()) {
+                prop_assert!(sky.contains(i), "cell of {} meets CH(Q) but not skyline", i);
+            }
+        }
+    }
+
+    /// Lemmas 5/6: a point OUTSIDE the visible region of hull vertex q is
+    /// insensitive to q — removing q from Q cannot change whether that
+    /// point is dominated.
+    #[test]
+    fn lemma6_invisible_points_ignore_the_vertex(
+        points in points_strategy(30),
+        q in query_strategy(7),
+    ) {
+        let ctx = QueryContext::new(&q);
+        let hull = ctx.hull();
+        prop_assume!(hull.len() >= 3);
+        let sky_full = naive_full(&points, &ctx);
+        // Drop one hull vertex.
+        let victim = hull.vertices()[0];
+        let reduced: Vec<Point> = q.iter().copied().filter(|&x| x != victim).collect();
+        prop_assume!(!reduced.is_empty());
+        let sky_reduced = naive_full(&points, &QueryContext::new(&reduced));
+        let vr = hull.visible_region(0);
+        for (i, &p) in points.iter().enumerate() {
+            if !vr.contains(p) && !hull.contains(p) {
+                // Outside the visible region (and outside the hull): the
+                // vertex cannot affect this point's membership.
+                prop_assert_eq!(
+                    sky_full.contains(i as u32),
+                    sky_reduced.contains(i as u32),
+                    "invisible point {} changed status when removing the vertex", i
+                );
+            }
+        }
+    }
+
+    /// Lemma 7: every mixed-skyline member lies within the search bound
+    /// built from S(A).
+    #[test]
+    fn lemma7_mixed_results_live_in_the_bound(
+        points in points_strategy(30),
+        q in query_strategy(5),
+        seed in 0u64..500,
+    ) {
+        let mut s = seed.wrapping_mul(0x2545F4914F6CDD1D).max(1);
+        let mut next = move || {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let attrs: Vec<Vec<f64>> = (0..points.len()).map(|_| vec![next()]).collect();
+        let ctx = QueryContext::new(&q);
+        let mctx = MixedContext::new(&points, &attrs, &ctx);
+        let bound = mctx.search_bound();
+        for id in mixed_naive(&points, &mctx).skyline {
+            prop_assert!(bound.contains(points[id as usize]));
+        }
+    }
+
+    /// The B²S² pruning invariant: every skyline point lies inside
+    /// MBR(SR(p, Q)) of every other data point (this is what justifies
+    /// intersecting B with each new skyline point's box).
+    #[test]
+    fn search_region_boxes_cover_the_skyline(
+        points in points_strategy(25),
+        q in query_strategy(5),
+    ) {
+        use spatial_skyline::geom::circle::search_region_mbr;
+        let ctx = QueryContext::new(&q);
+        let sky = naive_full(&points, &ctx);
+        for &x in &points {
+            let mbr = search_region_mbr(x, ctx.anchors());
+            for &s in &sky.skyline {
+                prop_assert!(
+                    mbr.contains(points[s as usize]),
+                    "skyline point {} escapes SR box of {:?}", s, x
+                );
+            }
+        }
+    }
+}
+
+/// Deterministic Theorem 1 edge case: data points exactly on the hull
+/// boundary are also skyline points (closed containment).
+#[test]
+fn theorem1_boundary_points() {
+    let q = vec![
+        Point::new(0.0, 0.0),
+        Point::new(1.0, 0.0),
+        Point::new(0.5, 1.0),
+    ];
+    let points = vec![
+        Point::new(0.5, 0.0),  // on hull edge
+        Point::new(0.0, 0.0),  // on hull vertex
+        Point::new(0.5, 0.4),  // interior
+        Point::new(3.0, 3.0),  // far outside
+    ];
+    let ctx = QueryContext::new(&q);
+    let sky = naive_full(&points, &ctx);
+    assert!(sky.contains(0));
+    assert!(sky.contains(1));
+    assert!(sky.contains(2));
+    assert!(!sky.contains(3));
+}
