@@ -46,7 +46,9 @@ fn naive_ablation(c: &mut Criterion) {
     group.bench_function("naive_full_quadratic", |b| {
         b.iter(|| naive_full(&fix.points, &ctx))
     });
-    group.bench_function("naive_sorted", |b| b.iter(|| naive_sorted(&fix.points, &ctx)));
+    group.bench_function("naive_sorted", |b| {
+        b.iter(|| naive_sorted(&fix.points, &ctx))
+    });
     group.finish();
 }
 

@@ -19,11 +19,9 @@ fn query_count_sweep(c: &mut Criterion) {
         let q = random_query_set(&QueryConfig::paper_default(count, 42 + count as u64));
         let ctx = QueryContext::new(&q);
         for algo in [Algo::Bbs, Algo::B2s2, Algo::Vs2] {
-            group.bench_with_input(
-                BenchmarkId::new(algo.to_string(), count),
-                &ctx,
-                |b, ctx| b.iter(|| run_once(&fix, algo, ctx)),
-            );
+            group.bench_with_input(BenchmarkId::new(algo.to_string(), count), &ctx, |b, ctx| {
+                b.iter(|| run_once(&fix, algo, ctx))
+            });
         }
     }
     group.finish();
@@ -48,11 +46,9 @@ fn mbr_area_sweep(c: &mut Criterion) {
         });
         let ctx = QueryContext::new(&q);
         for algo in [Algo::Bbs, Algo::B2s2, Algo::Vs2] {
-            group.bench_with_input(
-                BenchmarkId::new(algo.to_string(), label),
-                &ctx,
-                |b, ctx| b.iter(|| run_once(&fix, algo, ctx)),
-            );
+            group.bench_with_input(BenchmarkId::new(algo.to_string(), label), &ctx, |b, ctx| {
+                b.iter(|| run_once(&fix, algo, ctx))
+            });
         }
     }
     group.finish();

@@ -58,7 +58,11 @@ const AREAS: [(f64, &str); 5] = [
 ];
 
 fn fig12_query_sweep(fix: &Fixture, opts: &Opts, metric: &str) {
-    println!("\n|Q| sweep (MBR(Q) = 0.1% of universe, |P| = {}, {} queries/setting)", fix.points.len(), opts.batch);
+    println!(
+        "\n|Q| sweep (MBR(Q) = 0.1% of universe, |P| = {}, {} queries/setting)",
+        fix.points.len(),
+        opts.batch
+    );
     println!("{:>5}  {:>12}  {:>12}  {:>12}", "|Q|", "BBS", "B2S2", "VS2");
     for count in QCOUNTS {
         let rows: Vec<f64> = [Algo::Bbs, Algo::B2s2, Algo::Vs2]
@@ -81,8 +85,15 @@ fn fig12_query_sweep(fix: &Fixture, opts: &Opts, metric: &str) {
 }
 
 fn fig12_area_sweep(fix: &Fixture, opts: &Opts, metric: &str) {
-    println!("\nMBR(Q) sweep (|Q| = 6, |P| = {}, {} queries/setting)", fix.points.len(), opts.batch);
-    println!("{:>7}  {:>12}  {:>12}  {:>12}", "MBR(Q)", "BBS", "B2S2", "VS2");
+    println!(
+        "\nMBR(Q) sweep (|Q| = 6, |P| = {}, {} queries/setting)",
+        fix.points.len(),
+        opts.batch
+    );
+    println!(
+        "{:>7}  {:>12}  {:>12}  {:>12}",
+        "MBR(Q)", "BBS", "B2S2", "VS2"
+    );
     for (frac, label) in AREAS {
         let rows: Vec<f64> = [Algo::Bbs, Algo::B2s2, Algo::Vs2]
             .iter()
@@ -105,11 +116,17 @@ fn fig12_area_sweep(fix: &Fixture, opts: &Opts, metric: &str) {
 
 fn main() {
     let opts = parse_args();
-    println!("spatial-skyline reproduction harness (|P| = {}, batch = {})", opts.n, opts.batch);
+    println!(
+        "spatial-skyline reproduction harness (|P| = {}, batch = {})",
+        opts.n, opts.batch
+    );
 
     if wants(&opts, "table5") {
         println!("\n== Table 5: synthetic USGS dataset composition ==");
-        println!("{:<16} {:>8} {:>10} {:>10}", "category", "count", "fraction", "target");
+        println!(
+            "{:<16} {:>8} {:>10} {:>10}",
+            "category", "count", "fraction", "target"
+        );
         for (name, count, target) in table5(opts.n, 0x5567_5347) {
             println!(
                 "{:<16} {:>8} {:>9.2}% {:>9.2}%",
@@ -121,9 +138,18 @@ fn main() {
         }
     }
 
-    let needs_fixture = ["fig12a", "fig12b", "fig12c", "fig12d", "fig12e", "fig12f", "continuous", "mixed"]
-        .iter()
-        .any(|f| wants(&opts, f));
+    let needs_fixture = [
+        "fig12a",
+        "fig12b",
+        "fig12c",
+        "fig12d",
+        "fig12e",
+        "fig12f",
+        "continuous",
+        "mixed",
+    ]
+    .iter()
+    .any(|f| wants(&opts, f));
     let fix = if needs_fixture {
         eprintln!("building indexes over {} points ...", opts.n);
         Some(Fixture::usgs(opts.n, 0x5567_5347))
@@ -172,13 +198,22 @@ fn main() {
                 .iter()
                 .map(|&a| run_batch(&f, a, 6, 0.001, opts.batch, n as u64).time_ms)
                 .collect();
-            println!("{:>8}  {:>12.3}  {:>12.3}  {:>12.3}", n, rows[0], rows[1], rows[2]);
+            println!(
+                "{:>8}  {:>12.3}  {:>12.3}  {:>12.3}",
+                n, rows[0], rows[1], rows[2]
+            );
         }
     }
 
     if wants(&opts, "density") {
-        println!("\n== Density sweep: CPU time (ms) vs cluster σ (|P| = {}, |Q| = 6) ==", opts.n);
-        println!("{:>8}  {:>12}  {:>12}  {:>12}  {:>10}", "sigma", "BBS", "B2S2", "VS2", "|skyline|");
+        println!(
+            "\n== Density sweep: CPU time (ms) vs cluster σ (|P| = {}, |Q| = 6) ==",
+            opts.n
+        );
+        println!(
+            "{:>8}  {:>12}  {:>12}  {:>12}  {:>10}",
+            "sigma", "BBS", "B2S2", "VS2", "|skyline|"
+        );
         for sigma in [0.005, 0.01, 0.02, 0.05, 0.1] {
             let points: Vec<_> = synthetic_usgs(&UsgsConfig {
                 n: opts.n,
@@ -211,7 +246,14 @@ fn main() {
             println!("\n== Continuous SSQ (VCS², §5): outcome mix and speedup vs |Q| ==");
             println!(
                 "{:>5}  {:>10} {:>12} {:>11}  {:>9} {:>9} {:>9} {:>8}",
-                "|Q|", "unchanged", "incremental", "recomputed", "VCS2 ms", "fast ms", "VS2 ms", "speedup"
+                "|Q|",
+                "unchanged",
+                "incremental",
+                "recomputed",
+                "VCS2 ms",
+                "fast ms",
+                "VS2 ms",
+                "speedup"
             );
             let updates = if opts.n <= 3_000 { 100 } else { 300 };
             for count in 3..=10usize {

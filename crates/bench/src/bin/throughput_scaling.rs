@@ -1,0 +1,47 @@
+//! Records engine throughput as the worker pool grows.
+//!
+//! ```text
+//! cargo run --release -p ssq-bench --bin throughput_scaling [-- n requests distinct]
+//! ```
+//!
+//! One synthetic USGS dataset, one randomized request stream (repeats
+//! drawn from a fixed set of query sets so the context cache engages),
+//! served by pools of 1, 2, 4, ... workers up to the core count. The
+//! single-thread row is the baseline the multi-thread rows are judged
+//! against.
+
+use ssq_bench::{throughput_scaling, Fixture};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(10_000);
+    let requests: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4_000);
+    let distinct: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(32);
+
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let mut ladder = vec![1usize];
+    while ladder.last().copied().unwrap_or(1) * 2 <= cores {
+        ladder.push(ladder.last().unwrap() * 2);
+    }
+
+    println!("# engine throughput scaling");
+    println!("# dataset: {n} synthetic USGS points; {requests} requests over {distinct} query sets; {cores} cores");
+    let fix = Fixture::usgs(n, 42);
+    let rows = throughput_scaling(&fix.points, &ladder, requests, distinct, 42);
+    let base = rows.first().map_or(1.0, |r| r.reqs_per_sec);
+    println!(
+        "{:>8} {:>12} {:>10} {:>10} {:>10} {:>8}",
+        "threads", "req/s", "speedup", "p50(us)", "p99(us)", "hit%"
+    );
+    for r in &rows {
+        println!(
+            "{:>8} {:>12.1} {:>9.2}x {:>10.1} {:>10.1} {:>7.1}%",
+            r.threads,
+            r.reqs_per_sec,
+            r.reqs_per_sec / base,
+            r.p50_us,
+            r.p99_us,
+            r.cache_hit_rate * 100.0
+        );
+    }
+}

@@ -96,7 +96,11 @@ impl Fixture {
 }
 
 /// Runs `algo` once and returns `(time_ms, stats, skyline_len)`.
-pub fn run_once(fix: &Fixture, algo: Algo, ctx: &QueryContext) -> (f64, ssq_core::QueryStats, usize) {
+pub fn run_once(
+    fix: &Fixture,
+    algo: Algo,
+    ctx: &QueryContext,
+) -> (f64, ssq_core::QueryStats, usize) {
     let t0 = Instant::now();
     let result = match algo {
         Algo::Bbs => bbs(&fix.rtree, ctx),
@@ -257,7 +261,10 @@ pub fn run_mixed(fix: &Fixture, attr_count: usize, seed: u64) -> MixedRow {
     let t2 = Instant::now();
     let rv = mixed_vs2(&fix.voronoi, &mctx);
     let vs2_ms = t2.elapsed().as_secs_f64() * 1e3;
-    assert_eq!(naive.skyline, rb.skyline, "mixed B2S2 disagrees with oracle");
+    assert_eq!(
+        naive.skyline, rb.skyline,
+        "mixed B2S2 disagrees with oracle"
+    );
     assert_eq!(naive.skyline, rv.skyline, "mixed VS2 disagrees with oracle");
 
     let spatial = b2s2(&fix.rtree, &ctx);
@@ -270,6 +277,89 @@ pub fn run_mixed(fix: &Fixture, attr_count: usize, seed: u64) -> MixedRow {
         b2s2_ms,
         vs2_ms,
     }
+}
+
+/// One row of the engine throughput-scaling experiment: the same request
+/// stream pushed through [`ssq_engine::Engine`] pools of different sizes.
+#[derive(Clone, Copy, Debug)]
+pub struct ThroughputRow {
+    /// Worker threads in the pool.
+    pub threads: usize,
+    /// Requests served.
+    pub requests: usize,
+    /// Wall-clock service rate.
+    pub reqs_per_sec: f64,
+    /// Median per-query latency, microseconds (bucketed upper bound).
+    pub p50_us: f64,
+    /// 99th-percentile latency, microseconds (bucketed upper bound).
+    pub p99_us: f64,
+    /// Context-cache hit rate over the run.
+    pub cache_hit_rate: f64,
+}
+
+/// Serves `requests` queries (drawn from `distinct` random query sets of
+/// `count` points, so repeats hit the context cache) through an engine
+/// with `threads` workers, and reports the aggregate rates.
+pub fn run_throughput(
+    points: &[Point],
+    threads: usize,
+    requests: usize,
+    distinct: usize,
+    count: usize,
+    seed: u64,
+) -> ThroughputRow {
+    use ssq_engine::{Engine, EngineConfig, QueryRequest};
+
+    let universe = ssq_geom::Rect::bounding(points.iter().copied());
+    let query_sets: Vec<Vec<Point>> = (0..distinct)
+        .map(|i| {
+            random_query_set(&QueryConfig {
+                count,
+                mbr_area_fraction: 0.001,
+                universe,
+                seed: seed.wrapping_add(i as u64 * 131),
+            })
+        })
+        .collect();
+    let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xBEEF);
+    let stream: Vec<QueryRequest> = (0..requests)
+        .map(|_| QueryRequest::new(query_sets[rng.range_usize(distinct)].clone()))
+        .collect();
+
+    let config = EngineConfig::default().with_workers(threads);
+    let engine = Engine::new(points, config).expect("distinct points");
+    let t0 = Instant::now();
+    let handles = engine.submit_batch(stream);
+    for h in handles {
+        h.wait();
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let m = engine.metrics();
+    let row = ThroughputRow {
+        threads,
+        requests,
+        reqs_per_sec: requests as f64 / elapsed,
+        p50_us: m.latency.percentile(0.50).as_nanos() as f64 / 1e3,
+        p99_us: m.latency.percentile(0.99).as_nanos() as f64 / 1e3,
+        cache_hit_rate: m.cache_hit_rate(),
+    };
+    engine.shutdown();
+    row
+}
+
+/// [`run_throughput`] over a ladder of pool sizes — the single- vs
+/// multi-thread scaling record.
+pub fn throughput_scaling(
+    points: &[Point],
+    threads: &[usize],
+    requests: usize,
+    distinct: usize,
+    seed: u64,
+) -> Vec<ThroughputRow> {
+    threads
+        .iter()
+        .map(|&t| run_throughput(points, t, requests, distinct, 5, seed))
+        .collect()
 }
 
 /// Prints the Table 5 substitute: the synthetic dataset's category mix.
@@ -327,6 +417,39 @@ mod tests {
         let fix = Fixture::usgs(300, 4);
         let row = run_mixed(&fix, 2, 21);
         assert!(row.mixed_size >= row.static_size.max(row.spatial_size));
+    }
+
+    #[test]
+    fn throughput_runner_smoke() {
+        let fix = Fixture::usgs(600, 6);
+        let row = run_throughput(&fix.points, 2, 64, 8, 5, 31);
+        assert_eq!(row.threads, 2);
+        assert_eq!(row.requests, 64);
+        assert!(row.reqs_per_sec > 0.0);
+        assert!(row.p99_us >= row.p50_us);
+        // 64 requests over 8 distinct query sets must produce hits.
+        assert!(row.cache_hit_rate > 0.0);
+    }
+
+    #[test]
+    fn multi_thread_throughput_beats_single_thread() {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cores < 4 {
+            // Scaling cannot be observed without real parallelism; the
+            // smoke test above still covers correctness.
+            return;
+        }
+        let fix = Fixture::usgs(2500, 8);
+        // Warm-up build pass keeps page-cache noise out of the record.
+        run_throughput(&fix.points, 1, 50, 4, 5, 17);
+        let single = run_throughput(&fix.points, 1, 1200, 16, 5, 17);
+        let multi = run_throughput(&fix.points, 4, 1200, 16, 5, 17);
+        assert!(
+            multi.reqs_per_sec > single.reqs_per_sec,
+            "4 workers ({:.0} req/s) not faster than 1 ({:.0} req/s)",
+            multi.reqs_per_sec,
+            single.reqs_per_sec
+        );
     }
 
     #[test]

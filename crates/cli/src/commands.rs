@@ -7,6 +7,9 @@
 //!              [--algorithm naive|bbs|b2s2|vs2] [--mixed] [--top K]
 //! ssq render   --data points.csv --query "..." --out picture.svg [--voronoi]
 //! ssq continuous --data points.csv --count 5 --updates 500 [--step 0.01]
+//! ssq throughput --data points.csv [--requests 2000] [--threads 0]
+//!                [--distinct 16] [--count 5] [--area 0.001] [--seed 7]
+//!                [--algorithm naive|bbs|b2s2|vs2]
 //! ```
 //!
 //! `query` prints one result row per skyline point:
@@ -78,10 +81,17 @@ USAGE:
                [--voronoi]
   ssq continuous --data <file.csv> --count <movers> --updates <n>
                [--step <frac>] [--seed <u64>]
+  ssq throughput --data <file.csv> [--requests <n>] [--threads <n>]
+               [--distinct <sets>] [--count <pts/set>] [--area <frac>]
+               [--seed <u64>] [--algorithm naive|bbs|b2s2|vs2]
 
 A data CSV has rows `x,y[,attr1,attr2,...]`; attribute columns are used
 only with --mixed (minimize semantics). Query points are separated by
-semicolons.";
+semicolons. `throughput` drives the ssq-engine worker pool with a
+randomized stream of `--requests` queries drawn from `--distinct` query
+sets (repeats exercise the context cache) and reports req/s, latency
+percentiles, and the cache hit rate; `--threads 0` means one worker per
+CPU core.";
 
 /// Entry point: parses `args` (without the program name) and runs.
 pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
@@ -91,6 +101,7 @@ pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         Some("query") => query(&args[1..], out),
         Some("render") => render_cmd(&args[1..], out),
         Some("continuous") => continuous(&args[1..], out),
+        Some("throughput") => throughput(&args[1..], out),
         Some("--help") | Some("-h") | Some("help") => {
             writeln!(out, "{USAGE}")?;
             Ok(())
@@ -119,7 +130,10 @@ fn generate<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         flag_value(args, "--out").ok_or_else(|| CliError::Usage("generate needs --out".into()))?,
     );
     let seed: u64 = flag_value(args, "--seed")
-        .map(|s| s.parse().map_err(|_| CliError::Usage("--seed must be an integer".into())))
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--seed must be an integer".into()))
+        })
         .transpose()?
         .unwrap_or(0x5567_5347);
 
@@ -172,7 +186,10 @@ fn query<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
     let algorithm = flag_value(args, "--algorithm").unwrap_or_else(|| "b2s2".into());
     let mixed = has_flag(args, "--mixed");
     let top: Option<usize> = flag_value(args, "--top")
-        .map(|s| s.parse().map_err(|_| CliError::Usage("--top must be an integer".into())))
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--top must be an integer".into()))
+        })
         .transpose()?;
 
     let table = csv::read_points(BufReader::new(File::open(&path)?))?;
@@ -257,11 +274,17 @@ fn continuous<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         .parse()
         .map_err(|_| CliError::Usage("--updates must be an integer".into()))?;
     let step: f64 = flag_value(args, "--step")
-        .map(|s| s.parse().map_err(|_| CliError::Usage("--step must be a number".into())))
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--step must be a number".into()))
+        })
         .transpose()?
         .unwrap_or(0.01);
     let seed: u64 = flag_value(args, "--seed")
-        .map(|s| s.parse().map_err(|_| CliError::Usage("--seed must be an integer".into())))
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--seed must be an integer".into()))
+        })
         .transpose()?
         .unwrap_or(0xC027);
 
@@ -288,11 +311,161 @@ fn continuous<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
     }
     let dt = t0.elapsed().as_secs_f64();
     let c = cont.counts();
-    writeln!(out, "processed {} updates in {:.3}s ({:.1} updates/ms)", c.total(), dt, c.total() as f64 / (dt * 1e3))?;
+    writeln!(
+        out,
+        "processed {} updates in {:.3}s ({:.1} updates/ms)",
+        c.total(),
+        dt,
+        c.total() as f64 / (dt * 1e3)
+    )?;
     writeln!(out, "  unchanged (pattern I):     {}", c.unchanged)?;
     writeln!(out, "  incremental (II-V):        {}", c.incremental)?;
     writeln!(out, "  full recomputations:       {}", c.recomputed)?;
     writeln!(out, "final skyline: {} points", cont.skyline().len())?;
+    Ok(())
+}
+
+fn throughput<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
+    use ssq_engine::{Algorithm, Engine, EngineConfig, QueryRequest};
+    use ssq_workload::rng::Xoshiro256;
+    use ssq_workload::{random_query_set, QueryConfig};
+
+    let data = PathBuf::from(
+        flag_value(args, "--data")
+            .ok_or_else(|| CliError::Usage("throughput needs --data".into()))?,
+    );
+    let requests: usize = flag_value(args, "--requests")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--requests must be an integer".into()))
+        })
+        .transpose()?
+        .unwrap_or(2000);
+    let threads: usize = flag_value(args, "--threads")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--threads must be an integer".into()))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    let distinct: usize = flag_value(args, "--distinct")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--distinct must be an integer".into()))
+        })
+        .transpose()?
+        .unwrap_or(16);
+    let count: usize = flag_value(args, "--count")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--count must be an integer".into()))
+        })
+        .transpose()?
+        .unwrap_or(5);
+    let area: f64 = flag_value(args, "--area")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--area must be a number".into()))
+        })
+        .transpose()?
+        .unwrap_or(0.001);
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--seed must be an integer".into()))
+        })
+        .transpose()?
+        .unwrap_or(7);
+    let forced: Option<Algorithm> = flag_value(args, "--algorithm")
+        .map(|s| s.parse().map_err(CliError::Usage))
+        .transpose()?;
+    if requests == 0 || distinct == 0 || count == 0 {
+        return Err(CliError::Usage(
+            "--requests, --distinct and --count must be nonzero".into(),
+        ));
+    }
+
+    let table = csv::read_points(BufReader::new(File::open(&data)?))?;
+    if table.points.is_empty() {
+        return Err(CliError::Other("data file has no points".into()));
+    }
+    let universe = Rect::bounding(table.points.iter().copied());
+    let config = EngineConfig {
+        workers: threads,
+        forced_algorithm: forced,
+        ..EngineConfig::default()
+    };
+    let engine = Engine::new(&table.points, config)
+        .map_err(|e| CliError::Other(format!("cannot start engine: {e}")))?;
+
+    // `distinct` query sets; the request stream samples them uniformly,
+    // so every set past the first occurrence is a context-cache hit.
+    let query_sets: Vec<Vec<ssq_geom::Point>> = (0..distinct)
+        .map(|i| {
+            random_query_set(&QueryConfig {
+                count,
+                mbr_area_fraction: area,
+                universe,
+                seed: seed.wrapping_add(i as u64),
+            })
+        })
+        .collect();
+    let mut rng = Xoshiro256::seed_from_u64(seed ^ 0x7472_7075);
+    let stream: Vec<QueryRequest> = (0..requests)
+        .map(|_| QueryRequest::new(query_sets[rng.range_usize(distinct)].clone()))
+        .collect();
+
+    let t0 = std::time::Instant::now();
+    let handles = engine.submit_batch(stream);
+    for h in handles {
+        h.wait();
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let m = engine.metrics();
+    writeln!(
+        out,
+        "dataset:    {} points ({})",
+        table.points.len(),
+        data.display()
+    )?;
+    writeln!(out, "workers:    {}", engine.workers())?;
+    writeln!(
+        out,
+        "requests:   {requests} ({distinct} distinct query sets, {count} points each)"
+    )?;
+    writeln!(
+        out,
+        "elapsed:    {:.3}s  ({:.1} req/s)",
+        elapsed,
+        requests as f64 / elapsed
+    )?;
+    writeln!(
+        out,
+        "latency:    p50={:.1}us p90={:.1}us p99={:.1}us (bucketed upper bounds)",
+        m.latency.percentile(0.50).as_nanos() as f64 / 1e3,
+        m.latency.percentile(0.90).as_nanos() as f64 / 1e3,
+        m.latency.percentile(0.99).as_nanos() as f64 / 1e3,
+    )?;
+    writeln!(
+        out,
+        "cache:      {:.1}% hit rate ({} hits / {} misses)",
+        m.cache_hit_rate() * 100.0,
+        m.cache_hits,
+        m.cache_misses
+    )?;
+    let plan: Vec<String> = Algorithm::ALL
+        .iter()
+        .filter(|&&a| m.requests_for(a) > 0)
+        .map(|&a| format!("{a}={}", m.requests_for(a)))
+        .collect();
+    writeln!(out, "plans:      {}", plan.join(" "))?;
+    writeln!(
+        out,
+        "work:       dominance_checks={} distance_computations={} node_accesses={}",
+        m.stats.dominance_checks, m.stats.distance_computations, m.stats.node_accesses
+    )?;
+    engine.shutdown();
     Ok(())
 }
 
@@ -522,6 +695,57 @@ mod tests {
         ]);
         assert!(outp.contains("processed 60 updates"));
         assert!(outp.contains("final skyline:"));
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn throughput_reports_rate_and_cache_hits() {
+        let data = tmpfile("throughput");
+        run_ok(&["generate", "--n", "400", "--out", data.to_str().unwrap()]);
+        let outp = run_ok(&[
+            "throughput",
+            "--data",
+            data.to_str().unwrap(),
+            "--requests",
+            "200",
+            "--distinct",
+            "8",
+            "--threads",
+            "2",
+        ]);
+        assert!(outp.contains("req/s"), "missing rate: {outp}");
+        assert!(outp.contains("p50="), "missing percentiles: {outp}");
+        // 200 requests over 8 distinct query sets: at most 8 misses, so
+        // the hit count is necessarily nonzero.
+        assert!(outp.contains("cache:"), "missing cache line: {outp}");
+        assert!(
+            !outp.contains("(0 hits"),
+            "repeated-Q workload never hit: {outp}"
+        );
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn throughput_forced_algorithm_is_respected() {
+        let data = tmpfile("throughput_forced");
+        run_ok(&["generate", "--n", "300", "--out", data.to_str().unwrap()]);
+        let outp = run_ok(&[
+            "throughput",
+            "--data",
+            data.to_str().unwrap(),
+            "--requests",
+            "50",
+            "--distinct",
+            "4",
+            "--threads",
+            "1",
+            "--algorithm",
+            "b2s2",
+        ]);
+        assert!(
+            outp.contains("plans:      b2s2=50"),
+            "wrong plan line: {outp}"
+        );
         std::fs::remove_file(&data).ok();
     }
 

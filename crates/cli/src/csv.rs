@@ -36,7 +36,10 @@ impl std::fmt::Display for CsvError {
             CsvError::TooFewColumns(l) => write!(f, "line {l}: need at least x,y"),
             CsvError::BadNumber(l, s) => write!(f, "line {l}: '{s}' is not a number"),
             CsvError::RaggedRows(l) => {
-                write!(f, "line {l}: attribute column count differs from earlier rows")
+                write!(
+                    f,
+                    "line {l}: attribute column count differs from earlier rows"
+                )
             }
         }
     }

@@ -41,12 +41,8 @@ pub fn render<W: Write>(mut w: W, scene: &Scene<'_>) -> std::io::Result<()> {
     let origin = Point::new(bounds.min.x - pad, bounds.min.y - pad);
     let scale = SIZE / (span + 2.0 * pad);
     // SVG y grows downward; flip so the plot reads like the paper's figures.
-    let tx = |p: Point| -> (f64, f64) {
-        (
-            (p.x - origin.x) * scale,
-            SIZE - (p.y - origin.y) * scale,
-        )
-    };
+    let tx =
+        |p: Point| -> (f64, f64) { ((p.x - origin.x) * scale, SIZE - (p.y - origin.y) * scale) };
 
     writeln!(
         w,
@@ -135,7 +131,11 @@ mod tests {
             Point::new(0.5, 0.5),
             Point::new(0.9, 0.9),
         ];
-        let query = vec![Point::new(0.3, 0.3), Point::new(0.6, 0.2), Point::new(0.4, 0.6)];
+        let query = vec![
+            Point::new(0.3, 0.3),
+            Point::new(0.6, 0.2),
+            Point::new(0.4, 0.6),
+        ];
         let hull = convex_hull(&query);
         let cells = vec![ConvexPolygon::from_ccw_vertices(vec![
             Point::new(0.0, 0.0),

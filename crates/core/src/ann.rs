@@ -47,11 +47,7 @@ pub fn aggregate_nearest_neighbor(
 /// by Theorem 2 is equivalent for monotone aggregates over distances...
 /// for `SUM`/`MAX` over the *full* query set use
 /// [`aggregate_score_full`]).
-pub fn aggregate_score(
-    ctx: &QueryContext,
-    p: ssq_geom::Point,
-    aggregate: Aggregate,
-) -> f64 {
+pub fn aggregate_score(ctx: &QueryContext, p: ssq_geom::Point, aggregate: Aggregate) -> f64 {
     let dists: Vec<f64> = ctx.anchors().iter().map(|&q| q.distance(p)).collect();
     match aggregate {
         Aggregate::Sum => WeightedSum::uniform().score(&dists),
@@ -63,11 +59,7 @@ pub fn aggregate_score(
 /// objective. Note `SUM` over the full set differs from the anchor sum
 /// when interior query points exist, so the GNN under full-`SUM` may be a
 /// different point than under anchor-`SUM` (both are skyline points).
-pub fn aggregate_score_full(
-    ctx: &QueryContext,
-    p: ssq_geom::Point,
-    aggregate: Aggregate,
-) -> f64 {
+pub fn aggregate_score_full(ctx: &QueryContext, p: ssq_geom::Point, aggregate: Aggregate) -> f64 {
     let dists: Vec<f64> = ctx.query().iter().map(|&q| q.distance(p)).collect();
     match aggregate {
         Aggregate::Sum => dists.iter().sum(),

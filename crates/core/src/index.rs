@@ -91,7 +91,10 @@ impl VoronoiIndex {
     /// `per_page` mirrors the paper's 50-entries-per-page R-tree nodes so
     /// the two physical designs report comparable I/O; use
     /// [`VoronoiIndex::new`] for that default.
-    pub fn with_page_size(points: &[Point], per_page: usize) -> Result<VoronoiIndex, ssq_delaunay::BuildError> {
+    pub fn with_page_size(
+        points: &[Point],
+        per_page: usize,
+    ) -> Result<VoronoiIndex, ssq_delaunay::BuildError> {
         let tri = Triangulation::new(points)?;
         let graph = DelaunayGraph::from_triangulation(&tri);
         let pages = PagedAdjacency::new(points, per_page);
@@ -99,17 +102,16 @@ impl VoronoiIndex {
         // Fast path: trace cells from circumcenters (O(deg) per site);
         // individual numerically-degenerate cells — and fully collinear
         // inputs — fall back to the bisector half-plane construction.
-        let cells: Vec<ConvexPolygon> =
-            match ssq_delaunay::voronoi::voronoi_cells(&tri, &clip) {
-                Some(fast) => fast
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, c)| c.unwrap_or_else(|| graph.voronoi_cell(i as u32, &clip)))
-                    .collect(),
-                None => (0..points.len() as u32)
-                    .map(|i| graph.voronoi_cell(i, &clip))
-                    .collect(),
-            };
+        let cells: Vec<ConvexPolygon> = match ssq_delaunay::voronoi::voronoi_cells(&tri, &clip) {
+            Some(fast) => fast
+                .into_iter()
+                .enumerate()
+                .map(|(i, c)| c.unwrap_or_else(|| graph.voronoi_cell(i as u32, &clip)))
+                .collect(),
+            None => (0..points.len() as u32)
+                .map(|i| graph.voronoi_cell(i, &clip))
+                .collect(),
+        };
         let cell_mbrs = cells.iter().map(|c| c.mbr()).collect();
         Ok(VoronoiIndex {
             graph,

@@ -140,8 +140,14 @@ mod tests {
                 if a == b {
                     continue;
                 }
-                let va: Vec<f64> = q.iter().map(|&x| m.distance(points[a as usize], x)).collect();
-                let vb: Vec<f64> = q.iter().map(|&x| m.distance(points[b as usize], x)).collect();
+                let va: Vec<f64> = q
+                    .iter()
+                    .map(|&x| m.distance(points[a as usize], x))
+                    .collect();
+                let vb: Vec<f64> = q
+                    .iter()
+                    .map(|&x| m.distance(points[b as usize], x))
+                    .collect();
                 assert!(!dominates(&va, &vb));
             }
         }

@@ -320,8 +320,16 @@ mod tests {
             let want = mixed_naive(&points, &mctx);
             let rt = RTreeIndex::with_config(&points, ssq_rtree::RTreeConfig::with_max_entries(4));
             let vi = VoronoiIndex::new(&points).unwrap();
-            assert_eq!(mixed_b2s2(&rt, &mctx).skyline, want.skyline, "b2s2 trial {trial}");
-            assert_eq!(mixed_vs2(&vi, &mctx).skyline, want.skyline, "vs2 trial {trial}");
+            assert_eq!(
+                mixed_b2s2(&rt, &mctx).skyline,
+                want.skyline,
+                "b2s2 trial {trial}"
+            );
+            assert_eq!(
+                mixed_vs2(&vi, &mctx).skyline,
+                want.skyline,
+                "vs2 trial {trial}"
+            );
         }
     }
 

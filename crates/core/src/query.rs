@@ -24,7 +24,10 @@ impl QueryContext {
     /// Prepares a query over `q` (at least one point; duplicates are
     /// tolerated and collapse in the hull).
     pub fn new(q: &[Point]) -> QueryContext {
-        assert!(!q.is_empty(), "a spatial skyline query needs at least one query point");
+        assert!(
+            !q.is_empty(),
+            "a spatial skyline query needs at least one query point"
+        );
         let hull = convex_hull(q);
         let anchors = hull.vertices().to_vec();
         QueryContext {

@@ -188,8 +188,15 @@ mod tests {
 
     #[test]
     fn top_k_is_prefix_of_score_sorted_skyline() {
-        for (trial, pref) in [(1u64, WeightedSum::uniform()), (2, WeightedSum { weights: vec![2.0, 1.0, 0.5] })]
-        {
+        for (trial, pref) in [
+            (1u64, WeightedSum::uniform()),
+            (
+                2,
+                WeightedSum {
+                    weights: vec![2.0, 1.0, 0.5],
+                },
+            ),
+        ] {
             let points = pseudorandom(200, trial * 11);
             let q = pseudorandom(3, 900 + trial);
             let ctx = QueryContext::new(&q);

@@ -63,8 +63,18 @@ impl OutcomeCounts {
 }
 
 /// The maintained continuous spatial skyline over a moving query set.
-pub struct ContinuousSkyline<'a> {
-    index: &'a VoronoiIndex,
+///
+/// Generic over how the index is held: `I` can be a plain borrow
+/// (`&VoronoiIndex`, the library default) or a shared-ownership handle
+/// such as `Arc<VoronoiIndex>` — anything that derefs to the index. The
+/// latter lets long-lived serving layers (see the `ssq-engine` crate)
+/// keep many concurrent sessions alive over one immutable index snapshot
+/// without tying session lifetimes to a stack borrow.
+pub struct ContinuousSkyline<I = &'static VoronoiIndex>
+where
+    I: std::ops::Deref<Target = VoronoiIndex>,
+{
+    index: I,
     query: Vec<Point>,
     ctx: QueryContext,
     /// Current skyline with distance vectors w.r.t. the current anchors.
@@ -80,11 +90,14 @@ pub struct ContinuousSkyline<'a> {
     epoch: u32,
 }
 
-impl<'a> ContinuousSkyline<'a> {
+impl<I> ContinuousSkyline<I>
+where
+    I: std::ops::Deref<Target = VoronoiIndex>,
+{
     /// Initializes the skyline for query set `q` with a fresh VS² run.
-    pub fn new(index: &'a VoronoiIndex, q: &[Point]) -> ContinuousSkyline<'a> {
+    pub fn new(index: I, q: &[Point]) -> ContinuousSkyline<I> {
         let ctx = QueryContext::new(q);
-        let result = vs2_with(index, &ctx, VsExpansion::Safe, None);
+        let result = vs2_with(&index, &ctx, VsExpansion::Safe, None);
         let mut stats = QueryStats::default();
         let skyline = result
             .skyline
@@ -176,7 +189,7 @@ impl<'a> ContinuousSkyline<'a> {
         }
 
         // Complex pattern: recompute with VS².
-        let result = vs2_with(self.index, &self.ctx, VsExpansion::Safe, Some(self.hint));
+        let result = vs2_with(&self.index, &self.ctx, VsExpansion::Safe, Some(self.hint));
         let mut stats = result.stats;
         self.skyline = result
             .skyline
@@ -201,7 +214,7 @@ impl<'a> ContinuousSkyline<'a> {
     ) -> QueryStats {
         let mut stats = QueryStats::default();
         self.index.reset_page_accesses();
-        let index = self.index;
+        let index = &*self.index;
         let n = index.len();
         let anchors = self.ctx.anchors().to_vec();
         let new_hull = self.ctx.hull().clone();

@@ -141,10 +141,7 @@ pub fn vs2_with(
                 VsExpansion::Safe => true,
                 VsExpansion::Paper => {
                     skyline.is_empty()
-                        || index
-                            .neighbors(p)
-                            .iter()
-                            .any(|&nb| in_skyline[nb as usize])
+                        || index.neighbors(p).iter().any(|&nb| in_skyline[nb as usize])
                 }
             };
             if expand {

@@ -185,8 +185,7 @@ impl AdjacencyFile {
         if &header[..8] != MAGIC {
             return Err(FileError::Format("bad magic".into()));
         }
-        let read_u64 =
-            |b: &[u8]| u64::from_le_bytes(b.try_into().expect("8-byte slice"));
+        let read_u64 = |b: &[u8]| u64::from_le_bytes(b.try_into().expect("8-byte slice"));
         let n = read_u64(&header[8..16]) as usize;
         let page_size = read_u64(&header[16..24]) as usize;
         let page_count = read_u64(&header[24..32]) as usize;
@@ -389,7 +388,9 @@ mod tests {
         let mut pts: Vec<Point> = (0..100)
             .map(|i| Point::new(0.001 * i as f64, 0.001 * i as f64))
             .collect();
-        pts.extend((0..100).map(|i| Point::new(50.0 + (i % 10) as f64 * 7.0, (i / 10) as f64 * 9.0)));
+        pts.extend(
+            (0..100).map(|i| Point::new(50.0 + (i % 10) as f64 * 7.0, (i / 10) as f64 * 9.0)),
+        );
         let g = DelaunayGraph::new(&pts).unwrap();
         let path = tmp("locality");
         write_adjacency_file(&g, &path, DEFAULT_PAGE_SIZE).unwrap();

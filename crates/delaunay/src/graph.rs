@@ -343,8 +343,7 @@ mod tests {
 
     #[test]
     fn degenerate_collinear_forms_path() {
-        let g = DelaunayGraph::new(&[p(0.0, 0.0), p(2.0, 0.0), p(1.0, 0.0), p(3.0, 0.0)])
-            .unwrap();
+        let g = DelaunayGraph::new(&[p(0.0, 0.0), p(2.0, 0.0), p(1.0, 0.0), p(3.0, 0.0)]).unwrap();
         // Path order along the line: 0 - 2 - 1 - 3.
         assert_eq!(g.neighbors(0), &[2]);
         assert_eq!(g.neighbors(2), &[0, 1]);

@@ -10,19 +10,25 @@
 //! same accounting the R-tree side uses.
 
 use ssq_geom::Point;
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 use crate::hilbert;
 
 /// Page assignment plus an access counter for a point set.
+///
+/// The counters use relaxed atomics so a shared index stays `Sync` and can
+/// serve queries from many threads at once; under concurrent use the page
+/// counts are best-effort (a page touched simultaneously by two threads may
+/// be counted twice), which is fine for the paper's single-query I/O
+/// accounting the counter exists to reproduce.
 pub struct PagedAdjacency {
     /// `page_of[i]` is the page holding point `i`'s adjacency list.
     page_of: Vec<u32>,
     page_count: u32,
     /// Epoch-stamped "page in buffer" marks.
-    stamps: Vec<Cell<u32>>,
-    epoch: Cell<u32>,
-    accesses: Cell<u64>,
+    stamps: Vec<AtomicU32>,
+    epoch: AtomicU32,
+    accesses: AtomicU64,
 }
 
 impl PagedAdjacency {
@@ -42,9 +48,9 @@ impl PagedAdjacency {
         PagedAdjacency {
             page_of,
             page_count,
-            stamps: vec![Cell::new(0); page_count as usize],
-            epoch: Cell::new(1),
-            accesses: Cell::new(0),
+            stamps: (0..page_count).map(|_| AtomicU32::new(0)).collect(),
+            epoch: AtomicU32::new(1),
+            accesses: AtomicU64::new(0),
         }
     }
 
@@ -62,21 +68,21 @@ impl PagedAdjacency {
     /// access the first time the page is touched in the current epoch.
     pub fn touch(&self, i: u32) {
         let page = self.page_of[i as usize] as usize;
-        if self.stamps[page].get() != self.epoch.get() {
-            self.stamps[page].set(self.epoch.get());
-            self.accesses.set(self.accesses.get() + 1);
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        if self.stamps[page].swap(epoch, Ordering::Relaxed) != epoch {
+            self.accesses.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Number of distinct page accesses since the last reset.
     pub fn accesses(&self) -> u64 {
-        self.accesses.get()
+        self.accesses.load(Ordering::Relaxed)
     }
 
     /// Resets the counter and empties the simulated buffer.
     pub fn reset(&self) {
-        self.epoch.set(self.epoch.get().wrapping_add(1));
-        self.accesses.set(0);
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+        self.accesses.store(0, Ordering::Relaxed);
     }
 }
 

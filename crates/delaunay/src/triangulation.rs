@@ -351,7 +351,10 @@ impl Triangulation {
     fn insert(&mut self, pi: u32) {
         let p = self.pt(pi);
         let seed = self.locate(p, self.seed);
-        debug_assert!(self.in_disk(seed, p), "locate returned a non-containing triangle");
+        debug_assert!(
+            self.in_disk(seed, p),
+            "locate returned a non-containing triangle"
+        );
 
         // Grow the cavity: BFS over triangles whose circumdisk contains p.
         self.epoch += 1;
@@ -542,8 +545,7 @@ mod tests {
 
     #[test]
     fn square_produces_two_triangles() {
-        let t = Triangulation::new(&[p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0), p(0.0, 1.0)])
-            .unwrap();
+        let t = Triangulation::new(&[p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0), p(0.0, 1.0)]).unwrap();
         assert_eq!(t.triangles().count(), 2);
         assert_delaunay(&t);
         assert_euler(&t);
@@ -566,8 +568,7 @@ mod tests {
 
     #[test]
     fn point_outside_hull_extends_it() {
-        let t = Triangulation::new(&[p(0.0, 0.0), p(1.0, 0.0), p(0.0, 1.0), p(3.0, 3.0)])
-            .unwrap();
+        let t = Triangulation::new(&[p(0.0, 0.0), p(1.0, 0.0), p(0.0, 1.0), p(3.0, 3.0)]).unwrap();
         assert_delaunay(&t);
         assert_euler(&t);
     }
@@ -575,13 +576,11 @@ mod tests {
     #[test]
     fn collinear_point_on_hull_edge_line() {
         // (2,0) is collinear with hull edge (0,0)-(1,0) and beyond it.
-        let t = Triangulation::new(&[p(0.0, 0.0), p(1.0, 0.0), p(0.0, 1.0), p(2.0, 0.0)])
-            .unwrap();
+        let t = Triangulation::new(&[p(0.0, 0.0), p(1.0, 0.0), p(0.0, 1.0), p(2.0, 0.0)]).unwrap();
         assert_delaunay(&t);
         assert_euler(&t);
         // Splitting point exactly ON a hull edge.
-        let t = Triangulation::new(&[p(0.0, 0.0), p(2.0, 0.0), p(0.0, 2.0), p(1.0, 0.0)])
-            .unwrap();
+        let t = Triangulation::new(&[p(0.0, 0.0), p(2.0, 0.0), p(0.0, 2.0), p(1.0, 0.0)]).unwrap();
         assert_delaunay(&t);
         assert_euler(&t);
     }
@@ -591,8 +590,8 @@ mod tests {
         // Four cocircular points: either diagonal is a valid Delaunay
         // triangulation; both must satisfy the (non-strict) empty-circle
         // property and the invariants.
-        let t = Triangulation::new(&[p(1.0, 0.0), p(0.0, 1.0), p(-1.0, 0.0), p(0.0, -1.0)])
-            .unwrap();
+        let t =
+            Triangulation::new(&[p(1.0, 0.0), p(0.0, 1.0), p(-1.0, 0.0), p(0.0, -1.0)]).unwrap();
         assert_eq!(t.triangles().count(), 2);
         assert_delaunay(&t);
         assert_euler(&t);

@@ -1,31 +1,32 @@
-//! Property-based tests for the Delaunay/Voronoi substrate.
+//! Randomized property tests for the Delaunay/Voronoi substrate
+//! (deterministic, hermetic: cases come from the in-repo `ssq_rng`
+//! generator, so failures replay exactly by case number).
 
-use proptest::prelude::*;
 use ssq_delaunay::{DelaunayGraph, Triangulation};
 use ssq_geom::predicates::incircle_sign;
 use ssq_geom::Point;
+use ssq_rng::Xoshiro256;
 
-fn distinct_points(max: usize) -> impl Strategy<Value = Vec<Point>> {
-    prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 1..max).prop_map(|v| {
-        let mut pts: Vec<Point> = v.into_iter().map(|(x, y)| Point::new(x, y)).collect();
-        pts.sort_by(Point::lex_cmp);
-        pts.dedup();
-        pts
-    })
+fn distinct_points(rng: &mut Xoshiro256, lo: usize, hi: usize) -> Vec<Point> {
+    let n = lo + rng.range_usize(hi - lo);
+    let mut pts: Vec<Point> = (0..n)
+        .map(|_| Point::new(rng.range_f64(-50.0, 50.0), rng.range_f64(-50.0, 50.0)))
+        .collect();
+    pts.sort_by(Point::lex_cmp);
+    pts.dedup();
+    pts
 }
 
 /// Low-entropy points on a coarse grid: maximal stress for the exact
 /// predicates (many collinear and cocircular subsets).
-fn grid_points(max: usize) -> impl Strategy<Value = Vec<Point>> {
-    prop::collection::vec((0i32..8, 0i32..8), 3..max).prop_map(|v| {
-        let mut pts: Vec<Point> = v
-            .into_iter()
-            .map(|(x, y)| Point::new(x as f64, y as f64))
-            .collect();
-        pts.sort_by(Point::lex_cmp);
-        pts.dedup();
-        pts
-    })
+fn grid_points(rng: &mut Xoshiro256, lo: usize, hi: usize) -> Vec<Point> {
+    let n = lo + rng.range_usize(hi - lo);
+    let mut pts: Vec<Point> = (0..n)
+        .map(|_| Point::new(rng.range_usize(8) as f64, rng.range_usize(8) as f64))
+        .collect();
+    pts.sort_by(Point::lex_cmp);
+    pts.dedup();
+    pts
 }
 
 fn assert_delaunay(t: &Triangulation) {
@@ -49,30 +50,40 @@ fn assert_delaunay(t: &Triangulation) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn triangulation_is_always_delaunay(points in distinct_points(60)) {
+#[test]
+fn triangulation_is_always_delaunay() {
+    let mut rng = Xoshiro256::seed_from_u64(0xDE01);
+    for _ in 0..64 {
+        let points = distinct_points(&mut rng, 1, 60);
         let t = Triangulation::new(&points).unwrap();
         assert_delaunay(&t);
     }
+}
 
-    #[test]
-    fn degenerate_grids_are_delaunay(points in grid_points(30)) {
+#[test]
+fn degenerate_grids_are_delaunay() {
+    let mut rng = Xoshiro256::seed_from_u64(0xDE02);
+    for _ in 0..64 {
+        let points = grid_points(&mut rng, 3, 30);
         let t = Triangulation::new(&points).unwrap();
         assert_delaunay(&t);
     }
+}
 
-    #[test]
-    fn graph_is_connected_and_symmetric(points in distinct_points(50)) {
+#[test]
+fn graph_is_connected_and_symmetric() {
+    let mut rng = Xoshiro256::seed_from_u64(0xDE03);
+    for case in 0..64 {
+        let points = distinct_points(&mut rng, 1, 50);
         let g = DelaunayGraph::new(&points).unwrap();
         let n = g.len();
-        prop_assume!(n >= 2);
+        if n < 2 {
+            continue;
+        }
         // Symmetry.
         for i in 0..n as u32 {
             for &j in g.neighbors(i) {
-                prop_assert!(g.neighbors(j).contains(&i));
+                assert!(g.neighbors(j).contains(&i), "case {case}");
             }
         }
         // Connectivity.
@@ -89,44 +100,60 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(count, n);
+        assert_eq!(count, n, "case {case}");
     }
+}
 
-    #[test]
-    fn greedy_walk_always_finds_nearest(points in distinct_points(40), qx in -60.0f64..60.0, qy in -60.0f64..60.0) {
+#[test]
+fn greedy_walk_always_finds_nearest() {
+    let mut rng = Xoshiro256::seed_from_u64(0xDE04);
+    for case in 0..64 {
+        let points = distinct_points(&mut rng, 1, 40);
+        let q = Point::new(rng.range_f64(-60.0, 60.0), rng.range_f64(-60.0, 60.0));
         let g = DelaunayGraph::new(&points).unwrap();
-        prop_assume!(!g.is_empty());
-        let q = Point::new(qx, qy);
+        if g.is_empty() {
+            continue;
+        }
         let (found, _) = g.greedy_nearest(q, 0);
         let best = (0..g.len() as u32)
             .map(|i| g.point(i).distance_sq(q))
             .fold(f64::INFINITY, f64::min);
-        prop_assert_eq!(g.point(found).distance_sq(q), best);
+        assert_eq!(g.point(found).distance_sq(q), best, "case {case}");
     }
+}
 
-    #[test]
-    fn voronoi_cell_separation(points in distinct_points(25)) {
+#[test]
+fn voronoi_cell_separation() {
+    let mut rng = Xoshiro256::seed_from_u64(0xDE05);
+    for case in 0..64 {
+        let points = distinct_points(&mut rng, 1, 25);
         let g = DelaunayGraph::new(&points).unwrap();
-        prop_assume!(g.len() >= 2);
+        if g.len() < 2 {
+            continue;
+        }
         let clip = g.default_clip();
         for i in 0..g.len() as u32 {
             let cell = g.voronoi_cell(i, &clip);
-            prop_assert!(cell.contains(g.point(i)));
+            assert!(cell.contains(g.point(i)), "case {case}");
             let centroid = cell.centroid();
             // The cell centroid's nearest site is its owner (ties possible
             // only in degenerate symmetric cases; allow epsilon).
             let d_own = centroid.distance(g.point(i));
             for j in 0..g.len() as u32 {
-                prop_assert!(centroid.distance(g.point(j)) >= d_own - 1e-7);
+                assert!(centroid.distance(g.point(j)) >= d_own - 1e-7, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn edges_match_cell_adjacency_count(points in distinct_points(30)) {
+#[test]
+fn edges_match_cell_adjacency_count() {
+    let mut rng = Xoshiro256::seed_from_u64(0xDE06);
+    for case in 0..64 {
         // Handshake: sum of degrees = 2 * edge count.
+        let points = distinct_points(&mut rng, 1, 30);
         let g = DelaunayGraph::new(&points).unwrap();
         let degree_sum: usize = (0..g.len() as u32).map(|i| g.neighbors(i).len()).sum();
-        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+        assert_eq!(degree_sum, 2 * g.edge_count(), "case {case}");
     }
 }

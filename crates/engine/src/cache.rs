@@ -1,0 +1,293 @@
+//! The LRU query-context cache.
+//!
+//! Building a [`QueryContext`] means computing `CH(Q)` and its anchor
+//! list; a serving engine sees the same handful of query sets over and
+//! over (the same team of friends re-asking as one member drives around),
+//! so contexts are worth caching. The interesting part is the key.
+//!
+//! # Cache-key semantics
+//!
+//! Theorem 2 of the paper: the spatial skyline depends **only on the
+//! vertices of `CH(Q)`** — interior query points are irrelevant. The key
+//! is therefore the canonicalized hull of `Q`:
+//!
+//! 1. compute the convex hull of the query set,
+//! 2. quantize each vertex coordinate to a grid (default `1e-9`),
+//! 3. sort the quantized vertices lexicographically.
+//!
+//! Consequences, by construction:
+//!
+//! * permuting `Q` hits the same entry;
+//! * duplicating query points hits the same entry;
+//! * adding or moving *interior* query points hits the same entry — the
+//!   cached context's `query()` may differ from the submitted `Q`, but
+//!   every algorithm's result only depends on `anchors()`, which agree;
+//! * two query sets whose hull vertices differ by less than the quantum
+//!   collide; the entry built first wins. The default quantum (`1e-9` of
+//!   a coordinate unit) only merges hulls that are equal up to
+//!   floating-point noise. A coarser quantum trades exactness for hit
+//!   rate — that is a deliberate knob, not an accident.
+
+use ssq_core::QueryContext;
+use ssq_geom::Point;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
+
+/// A canonicalized, quantized query-set key. See the module docs.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryKey(Vec<(i64, i64)>);
+
+impl QueryKey {
+    /// Canonicalizes `q` with the given coordinate quantum.
+    ///
+    /// Panics if a quantized coordinate overflows `i64` — at the default
+    /// quantum that needs coordinates beyond ±9×10⁹, far outside any
+    /// dataset universe in this repo.
+    pub fn canonical(q: &[Point], quantum: f64) -> QueryKey {
+        assert!(quantum > 0.0, "quantum must be positive");
+        let hull = ssq_geom::convex_hull(q);
+        let mut cells: Vec<(i64, i64)> = hull
+            .vertices()
+            .iter()
+            .map(|v| {
+                let x = (v.x / quantum).round();
+                let y = (v.y / quantum).round();
+                assert!(
+                    x.abs() < i64::MAX as f64 && y.abs() < i64::MAX as f64,
+                    "query coordinate overflows the cache-key grid"
+                );
+                (x as i64, y as i64)
+            })
+            .collect();
+        cells.sort_unstable();
+        cells.dedup();
+        QueryKey(cells)
+    }
+
+    /// Number of quantized hull vertices in the key.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` for the empty key (empty query set).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+struct Slot {
+    ctx: Arc<QueryContext>,
+    /// Tick of the most recent touch; also the slot's key into `order`.
+    tick: u64,
+}
+
+struct Inner {
+    map: HashMap<QueryKey, Slot>,
+    /// Recency index: tick → key. The smallest tick is the LRU victim.
+    order: BTreeMap<u64, QueryKey>,
+    tick: u64,
+}
+
+impl Inner {
+    fn touch(&mut self, key: &QueryKey) {
+        self.tick += 1;
+        let slot = self.map.get_mut(key).expect("touched a missing key");
+        self.order.remove(&slot.tick);
+        slot.tick = self.tick;
+        self.order.insert(self.tick, key.clone());
+    }
+}
+
+/// A thread-safe LRU cache of [`QueryContext`]s keyed by [`QueryKey`].
+pub struct ContextCache {
+    capacity: usize,
+    quantum: f64,
+    inner: Mutex<Inner>,
+}
+
+impl ContextCache {
+    /// Default coordinate quantum: merges only floating-point noise.
+    pub const DEFAULT_QUANTUM: f64 = 1e-9;
+
+    /// A cache holding at most `capacity` contexts (capacity ≥ 1).
+    pub fn new(capacity: usize, quantum: f64) -> ContextCache {
+        assert!(capacity > 0, "cache capacity must be nonzero");
+        assert!(quantum > 0.0, "quantum must be positive");
+        ContextCache {
+            capacity,
+            quantum,
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: BTreeMap::new(),
+                tick: 0,
+            }),
+        }
+    }
+
+    /// The cached context for `q`, building and inserting it on a miss.
+    ///
+    /// Returns `(context, hit)`; `hit` is `true` when the context came
+    /// from the cache. The miss path builds the context *outside* the
+    /// lock candidate-free: the hull pass needed for the key is the same
+    /// work, so a duplicate build on a racing miss is possible but
+    /// harmless (last writer wins, both callers get a valid context).
+    pub fn get_or_build(&self, q: &[Point]) -> (Arc<QueryContext>, bool) {
+        let key = QueryKey::canonical(q, self.quantum);
+        {
+            let mut inner = self.inner.lock().unwrap();
+            if inner.map.contains_key(&key) {
+                inner.touch(&key);
+                return (Arc::clone(&inner.map[&key].ctx), true);
+            }
+        }
+        let ctx = Arc::new(QueryContext::new(q));
+        let mut inner = self.inner.lock().unwrap();
+        if inner.map.contains_key(&key) {
+            // A racing thread inserted the same key first; keep its entry.
+            inner.touch(&key);
+            return (Arc::clone(&inner.map[&key].ctx), true);
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(
+            key.clone(),
+            Slot {
+                ctx: Arc::clone(&ctx),
+                tick,
+            },
+        );
+        inner.order.insert(tick, key);
+        while inner.map.len() > self.capacity {
+            let (&victim_tick, _) = inner.order.iter().next().expect("order/map desync");
+            let victim = inner.order.remove(&victim_tick).expect("victim vanished");
+            inner.map.remove(&victim);
+        }
+        (ctx, false)
+    }
+
+    /// `true` when `q`'s canonical key is cached. Does not touch recency.
+    pub fn contains(&self, q: &[Point]) -> bool {
+        let key = QueryKey::canonical(q, self.quantum);
+        self.inner.lock().unwrap().map.contains_key(&key)
+    }
+
+    /// Number of cached contexts.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured coordinate quantum.
+    pub fn quantum(&self) -> f64 {
+        self.quantum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(pts: &[(f64, f64)]) -> Vec<Point> {
+        pts.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    #[test]
+    fn permuted_query_sets_share_a_key() {
+        let quantum = ContextCache::DEFAULT_QUANTUM;
+        let a = QueryKey::canonical(&q(&[(0.0, 0.0), (1.0, 0.0), (0.5, 1.0)]), quantum);
+        let b = QueryKey::canonical(&q(&[(0.5, 1.0), (0.0, 0.0), (1.0, 0.0)]), quantum);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn interior_query_points_do_not_change_the_key() {
+        // Theorem 2: the skyline ignores interior query points, so the
+        // cache may too.
+        let quantum = ContextCache::DEFAULT_QUANTUM;
+        let hull_only = q(&[(0.0, 0.0), (1.0, 0.0), (0.5, 1.0)]);
+        let with_interior = q(&[(0.0, 0.0), (1.0, 0.0), (0.5, 1.0), (0.5, 0.3), (0.4, 0.2)]);
+        assert_eq!(
+            QueryKey::canonical(&hull_only, quantum),
+            QueryKey::canonical(&with_interior, quantum)
+        );
+    }
+
+    #[test]
+    fn duplicate_query_points_do_not_change_the_key() {
+        let quantum = ContextCache::DEFAULT_QUANTUM;
+        let once = q(&[(0.0, 0.0), (1.0, 1.0)]);
+        let twice = q(&[(0.0, 0.0), (1.0, 1.0), (0.0, 0.0)]);
+        assert_eq!(
+            QueryKey::canonical(&once, quantum),
+            QueryKey::canonical(&twice, quantum)
+        );
+    }
+
+    #[test]
+    fn distinct_hulls_get_distinct_keys() {
+        let quantum = ContextCache::DEFAULT_QUANTUM;
+        let a = QueryKey::canonical(&q(&[(0.0, 0.0), (1.0, 0.0), (0.5, 1.0)]), quantum);
+        let b = QueryKey::canonical(&q(&[(0.0, 0.0), (1.0, 0.0), (0.5, 2.0)]), quantum);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn quantization_merges_noise_but_not_structure() {
+        let a = QueryKey::canonical(&q(&[(0.0, 0.0), (1.0, 1.0)]), 1e-6);
+        let noisy = QueryKey::canonical(&q(&[(1e-9, -1e-9), (1.0 + 1e-9, 1.0)]), 1e-6);
+        let moved = QueryKey::canonical(&q(&[(0.0, 0.0), (1.0, 1.001)]), 1e-6);
+        assert_eq!(a, noisy);
+        assert_ne!(a, moved);
+    }
+
+    #[test]
+    fn hit_and_miss_are_reported() {
+        let cache = ContextCache::new(8, ContextCache::DEFAULT_QUANTUM);
+        let qa = q(&[(0.0, 0.0), (1.0, 0.0), (0.5, 1.0)]);
+        let (_, hit) = cache.get_or_build(&qa);
+        assert!(!hit, "first lookup must miss");
+        let (_, hit) = cache.get_or_build(&qa);
+        assert!(hit, "second lookup must hit");
+        // A permutation with an extra interior point is still a hit.
+        let qb = q(&[(0.5, 1.0), (0.5, 0.3), (1.0, 0.0), (0.0, 0.0)]);
+        let (ctx, hit) = cache.get_or_build(&qb);
+        assert!(hit, "canonically-equal query must hit");
+        // The cached context is the one built from the FIRST query seen
+        // for this key — anchors agree, raw query() may not.
+        assert_eq!(ctx.query().len(), 3);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = ContextCache::new(2, ContextCache::DEFAULT_QUANTUM);
+        let qa = q(&[(0.0, 0.0), (1.0, 0.0)]);
+        let qb = q(&[(0.0, 0.0), (2.0, 0.0)]);
+        let qc = q(&[(0.0, 0.0), (3.0, 0.0)]);
+        cache.get_or_build(&qa);
+        cache.get_or_build(&qb);
+        // Touch A so B becomes the LRU victim.
+        assert!(cache.get_or_build(&qa).1);
+        cache.get_or_build(&qc);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.contains(&qa), "recently-touched entry evicted");
+        assert!(!cache.contains(&qb), "LRU entry survived eviction");
+        assert!(cache.contains(&qc));
+    }
+
+    #[test]
+    fn capacity_one_still_works() {
+        let cache = ContextCache::new(1, ContextCache::DEFAULT_QUANTUM);
+        let qa = q(&[(0.0, 0.0), (1.0, 0.0)]);
+        let qb = q(&[(0.0, 0.0), (2.0, 0.0)]);
+        assert!(!cache.get_or_build(&qa).1);
+        assert!(cache.get_or_build(&qa).1);
+        assert!(!cache.get_or_build(&qb).1);
+        assert!(!cache.contains(&qa));
+        assert_eq!(cache.len(), 1);
+    }
+}

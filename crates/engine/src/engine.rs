@@ -1,0 +1,628 @@
+//! The engine proper: snapshot, pool, cache, planner, metrics, sessions.
+
+use crate::cache::ContextCache;
+use crate::metrics::{EngineMetrics, MetricsSnapshot};
+use crate::planner::{Algorithm, Planner};
+use crate::pool::WorkerPool;
+use ssq_core::{
+    b2s2, bbs, naive_sorted, vs2, ContinuousSkyline, QueryStats, RTreeIndex, SkylineResult,
+    UpdateOutcome, VoronoiIndex,
+};
+use ssq_geom::Point;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Engine construction / submission errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The dataset was empty — there is nothing to index or serve.
+    EmptyDataset,
+    /// The Voronoi index could not be built (duplicate or non-finite
+    /// points); the message is the underlying builder's.
+    Index(String),
+    /// The engine is shutting down and no longer accepts work.
+    Closed,
+    /// The session id is unknown (never opened, or already closed).
+    NoSuchSession,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::EmptyDataset => write!(f, "cannot serve an empty dataset"),
+            EngineError::Index(msg) => write!(f, "index build failed: {msg}"),
+            EngineError::Closed => write!(f, "engine is shut down"),
+            EngineError::NoSuchSession => write!(f, "unknown session id"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Tuning knobs for [`Engine::new`].
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Worker threads. `0` means one per available CPU core.
+    pub workers: usize,
+    /// Bounded job-queue capacity (backpressure threshold).
+    pub queue_capacity: usize,
+    /// Maximum cached query contexts.
+    pub cache_capacity: usize,
+    /// Coordinate quantum for the cache key
+    /// ([`ContextCache::DEFAULT_QUANTUM`] merges only fp noise).
+    pub cache_quantum: f64,
+    /// Pin every query to one algorithm instead of planning adaptively.
+    pub forced_algorithm: Option<Algorithm>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            workers: 0,
+            queue_capacity: 1024,
+            cache_capacity: 128,
+            cache_quantum: ContextCache::DEFAULT_QUANTUM,
+            forced_algorithm: None,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// This config with exactly `workers` worker threads.
+    pub fn with_workers(mut self, workers: usize) -> EngineConfig {
+        self.workers = workers;
+        self
+    }
+
+    /// This config with every query pinned to `algorithm`.
+    pub fn with_forced_algorithm(mut self, algorithm: Algorithm) -> EngineConfig {
+        self.forced_algorithm = Some(algorithm);
+        self
+    }
+
+    fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// One spatial skyline query headed for the pool.
+#[derive(Clone, Debug)]
+pub struct QueryRequest {
+    /// The query set `Q` (at least one point).
+    pub query: Vec<Point>,
+    /// Per-request algorithm override; beats the engine-wide force.
+    pub force: Option<Algorithm>,
+}
+
+impl QueryRequest {
+    /// A request served by whatever the planner picks.
+    pub fn new(query: Vec<Point>) -> QueryRequest {
+        QueryRequest { query, force: None }
+    }
+
+    /// A request pinned to `algorithm`.
+    pub fn forced(query: Vec<Point>, algorithm: Algorithm) -> QueryRequest {
+        QueryRequest {
+            query,
+            force: Some(algorithm),
+        }
+    }
+}
+
+/// The answer to one [`QueryRequest`].
+#[derive(Clone, Debug)]
+pub struct QueryResponse {
+    /// Skyline point ids, ascending.
+    pub skyline: Vec<u32>,
+    /// The algorithm that actually ran.
+    pub algorithm: Algorithm,
+    /// Whether the query context came from the cache.
+    pub cache_hit: bool,
+    /// End-to-end service time (cache lookup + algorithm), excluding
+    /// queue wait.
+    pub latency: Duration,
+    /// The algorithm's work counters.
+    pub stats: QueryStats,
+}
+
+/// The result of one applied motion update in a continuous session.
+#[derive(Clone, Debug)]
+pub struct SessionUpdate {
+    /// How VCS² classified the update (pattern I–V machinery).
+    pub outcome: UpdateOutcome,
+    /// The session's skyline after this update, ascending.
+    pub skyline: Vec<u32>,
+    /// Work counters for this update.
+    pub stats: QueryStats,
+}
+
+/// A one-shot slot a worker fills and a caller waits on.
+pub struct Ticket<T> {
+    cell: Arc<Cell<T>>,
+}
+
+struct Cell<T> {
+    slot: Mutex<Option<T>>,
+    ready: Condvar,
+}
+
+impl<T> Ticket<T> {
+    fn new() -> (Ticket<T>, Arc<Cell<T>>) {
+        let cell = Arc::new(Cell {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        (
+            Ticket {
+                cell: Arc::clone(&cell),
+            },
+            cell,
+        )
+    }
+
+    /// Blocks until the worker delivers, consuming the ticket.
+    pub fn wait(self) -> T {
+        let mut slot = self.cell.slot.lock().unwrap();
+        loop {
+            if let Some(value) = slot.take() {
+                return value;
+            }
+            slot = self.cell.ready.wait(slot).unwrap();
+        }
+    }
+
+    /// `true` once the result is available (`wait` will not block).
+    pub fn is_ready(&self) -> bool {
+        self.cell.slot.lock().unwrap().is_some()
+    }
+}
+
+impl<T> Cell<T> {
+    fn fill(&self, value: T) {
+        *self.slot.lock().unwrap() = Some(value);
+        self.ready.notify_all();
+    }
+}
+
+/// Handle for a submitted snapshot query.
+pub type QueryHandle = Ticket<QueryResponse>;
+/// Handle for a submitted session update.
+pub type UpdateHandle = Ticket<SessionUpdate>;
+
+/// Identifies one continuous (VCS²) session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(u64);
+
+type PendingUpdate = (usize, Point, Arc<Cell<SessionUpdate>>);
+
+struct Pending {
+    updates: VecDeque<PendingUpdate>,
+    /// `true` while a drain job for this session is queued or running —
+    /// at most one at a time, so updates apply in submission order.
+    scheduled: bool,
+}
+
+struct Session {
+    sky: Mutex<ContinuousSkyline<Arc<VoronoiIndex>>>,
+    pending: Mutex<Pending>,
+}
+
+struct EngineShared {
+    rtree: Arc<RTreeIndex>,
+    voronoi: Arc<VoronoiIndex>,
+    cache: ContextCache,
+    planner: Planner,
+    metrics: EngineMetrics,
+    sessions: Mutex<HashMap<u64, Arc<Session>>>,
+    next_session: Mutex<u64>,
+}
+
+/// A concurrent spatial-skyline serving engine over one immutable
+/// dataset snapshot. See the [crate docs](crate) for the architecture.
+pub struct Engine {
+    shared: Arc<EngineShared>,
+    pool: WorkerPool,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("data_len", &self.data_len())
+            .field("workers", &self.workers())
+            .field("open_sessions", &self.open_sessions())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Builds both index snapshots over `points` and starts the pool.
+    ///
+    /// `points` must be non-empty, finite, and duplicate-free (the
+    /// Voronoi builder's requirements).
+    pub fn new(points: &[Point], config: EngineConfig) -> Result<Engine, EngineError> {
+        if points.is_empty() {
+            return Err(EngineError::EmptyDataset);
+        }
+        let rtree = Arc::new(RTreeIndex::new(points));
+        let voronoi =
+            Arc::new(VoronoiIndex::new(points).map_err(|e| EngineError::Index(e.to_string()))?);
+        Ok(Self::with_indexes(rtree, voronoi, config))
+    }
+
+    /// Starts an engine over pre-built snapshots (they can be shared
+    /// with other engines or with code outside the engine).
+    pub fn with_indexes(
+        rtree: Arc<RTreeIndex>,
+        voronoi: Arc<VoronoiIndex>,
+        config: EngineConfig,
+    ) -> Engine {
+        assert_eq!(
+            rtree.len(),
+            voronoi.len(),
+            "R-tree and Voronoi snapshots index different datasets"
+        );
+        let workers = config.resolved_workers();
+        let shared = Arc::new(EngineShared {
+            rtree,
+            voronoi,
+            cache: ContextCache::new(config.cache_capacity, config.cache_quantum),
+            planner: Planner::new(config.forced_algorithm),
+            metrics: EngineMetrics::new(),
+            sessions: Mutex::new(HashMap::new()),
+            next_session: Mutex::new(0),
+        });
+        let pool = WorkerPool::new(workers, config.queue_capacity);
+        Engine { shared, pool }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Number of data points in the snapshot.
+    pub fn data_len(&self) -> usize {
+        self.shared.rtree.len()
+    }
+
+    /// A point-in-time copy of the engine's metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Submits one query; blocks only while the job queue is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request's query set is empty.
+    pub fn submit(&self, request: QueryRequest) -> QueryHandle {
+        assert!(
+            !request.query.is_empty(),
+            "a spatial skyline query needs at least one query point"
+        );
+        let (ticket, cell) = Ticket::new();
+        let shared = Arc::clone(&self.shared);
+        self.pool
+            .submit(Box::new(move || run_query(&shared, request, &cell)))
+            .expect("engine pool closed while the engine was alive");
+        ticket
+    }
+
+    /// Submits a batch, returning one handle per request in order.
+    pub fn submit_batch(&self, requests: Vec<QueryRequest>) -> Vec<QueryHandle> {
+        requests.into_iter().map(|r| self.submit(r)).collect()
+    }
+
+    /// Opens a continuous (VCS²) session for query set `q`.
+    ///
+    /// The initial skyline is computed synchronously; motion updates are
+    /// applied through the worker pool via [`Engine::update_session`].
+    pub fn open_session(&self, q: &[Point]) -> SessionId {
+        let sky = ContinuousSkyline::new(Arc::clone(&self.shared.voronoi), q);
+        let id = {
+            let mut next = self.shared.next_session.lock().unwrap();
+            *next += 1;
+            *next
+        };
+        let session = Arc::new(Session {
+            sky: Mutex::new(sky),
+            pending: Mutex::new(Pending {
+                updates: VecDeque::new(),
+                scheduled: false,
+            }),
+        });
+        self.shared.sessions.lock().unwrap().insert(id, session);
+        self.shared.metrics.record_session_opened();
+        SessionId(id)
+    }
+
+    /// Queues a motion update — query object `obj` of the session moves
+    /// to `new_loc` — and returns a handle to its result.
+    ///
+    /// Updates to one session are applied in submission order; distinct
+    /// sessions proceed in parallel across the pool.
+    pub fn update_session(
+        &self,
+        id: SessionId,
+        obj: usize,
+        new_loc: Point,
+    ) -> Result<UpdateHandle, EngineError> {
+        let session = self
+            .shared
+            .sessions
+            .lock()
+            .unwrap()
+            .get(&id.0)
+            .cloned()
+            .ok_or(EngineError::NoSuchSession)?;
+        let (ticket, cell) = Ticket::new();
+        let need_submit = {
+            let mut pending = session.pending.lock().unwrap();
+            pending.updates.push_back((obj, new_loc, cell));
+            if pending.scheduled {
+                false
+            } else {
+                pending.scheduled = true;
+                true
+            }
+        };
+        if need_submit {
+            // Submit OUTSIDE the pending lock: a full queue blocks here,
+            // and the drain job needs that lock to make progress.
+            let shared = Arc::clone(&self.shared);
+            let job_session = Arc::clone(&session);
+            let submitted = self
+                .pool
+                .submit(Box::new(move || drain_session(&shared, &job_session)));
+            if submitted.is_err() {
+                session.pending.lock().unwrap().scheduled = false;
+                return Err(EngineError::Closed);
+            }
+        }
+        Ok(ticket)
+    }
+
+    /// The session's current skyline (updates still queued are not yet
+    /// reflected), or `None` for an unknown id.
+    pub fn session_skyline(&self, id: SessionId) -> Option<Vec<u32>> {
+        let session = self.shared.sessions.lock().unwrap().get(&id.0).cloned()?;
+        let sky = session.sky.lock().unwrap();
+        Some(sky.skyline())
+    }
+
+    /// Closes a session. Already-queued updates still apply (their
+    /// handles resolve); the id stops resolving immediately.
+    pub fn close_session(&self, id: SessionId) -> bool {
+        self.shared.sessions.lock().unwrap().remove(&id.0).is_some()
+    }
+
+    /// Number of open sessions.
+    pub fn open_sessions(&self) -> usize {
+        self.shared.sessions.lock().unwrap().len()
+    }
+
+    /// Drains every queued job and joins the workers.
+    ///
+    /// Every handle obtained before this call resolves; dropping the
+    /// engine performs the same drain.
+    pub fn shutdown(self) {
+        self.pool.shutdown();
+    }
+}
+
+fn run_query(shared: &EngineShared, request: QueryRequest, cell: &Cell<QueryResponse>) {
+    let start = Instant::now();
+    let (ctx, cache_hit) = shared.cache.get_or_build(&request.query);
+    shared.metrics.record_cache(cache_hit);
+    let algorithm = request
+        .force
+        .unwrap_or_else(|| shared.planner.choose(shared.rtree.len(), &ctx));
+    let SkylineResult { skyline, stats } = match algorithm {
+        Algorithm::Naive => naive_sorted(shared.rtree.points(), &ctx),
+        Algorithm::Bbs => bbs(&shared.rtree, &ctx),
+        Algorithm::B2s2 => b2s2(&shared.rtree, &ctx),
+        Algorithm::Vs2 => vs2(&shared.voronoi, &ctx),
+    };
+    let latency = start.elapsed();
+    shared.metrics.record_query(algorithm, latency, &stats);
+    cell.fill(QueryResponse {
+        skyline,
+        algorithm,
+        cache_hit,
+        latency,
+        stats,
+    });
+}
+
+/// Applies every pending update of one session, in FIFO order. At most
+/// one drain job per session exists at a time (see `Pending::scheduled`),
+/// which is what serializes a session's updates without blocking a
+/// worker on a session-wide lock.
+fn drain_session(shared: &EngineShared, session: &Session) {
+    loop {
+        let (obj, new_loc, cell) = {
+            let mut pending = session.pending.lock().unwrap();
+            match pending.updates.pop_front() {
+                Some(update) => update,
+                None => {
+                    pending.scheduled = false;
+                    return;
+                }
+            }
+        };
+        let (outcome, skyline, stats) = {
+            let mut sky = session.sky.lock().unwrap();
+            let (outcome, stats) = sky.update(obj, new_loc);
+            (outcome, sky.skyline(), stats)
+        };
+        shared.metrics.record_session_update(&stats);
+        cell.fill(SessionUpdate {
+            outcome,
+            skyline,
+            stats,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssq_core::{naive_full, QueryContext};
+
+    fn grid(n: usize) -> Vec<Point> {
+        // Irregular but duplicate-free.
+        (0..n)
+            .map(|i| {
+                Point::new(
+                    (i % 17) as f64 + 1e-4 * i as f64,
+                    (i / 17) as f64 + 3e-5 * i as f64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn engine_matches_the_naive_oracle() {
+        let data = grid(300);
+        let engine = Engine::new(&data, EngineConfig::default().with_workers(2)).unwrap();
+        let q = vec![
+            Point::new(3.0, 4.0),
+            Point::new(9.0, 2.0),
+            Point::new(6.0, 10.0),
+        ];
+        let want = naive_full(&data, &QueryContext::new(&q)).skyline;
+        let got = engine.submit(QueryRequest::new(q)).wait();
+        assert_eq!(got.skyline, want);
+        assert_eq!(got.algorithm, Algorithm::Vs2, "300 points, proper hull");
+        assert!(!got.cache_hit);
+    }
+
+    #[test]
+    fn forced_algorithms_all_agree() {
+        let data = grid(150);
+        let engine = Engine::new(&data, EngineConfig::default().with_workers(2)).unwrap();
+        let q = vec![
+            Point::new(2.0, 2.0),
+            Point::new(11.0, 3.0),
+            Point::new(7.0, 7.0),
+        ];
+        let responses: Vec<QueryResponse> = engine
+            .submit_batch(
+                Algorithm::ALL
+                    .iter()
+                    .map(|&a| QueryRequest::forced(q.clone(), a))
+                    .collect(),
+            )
+            .into_iter()
+            .map(Ticket::wait)
+            .collect();
+        for r in &responses {
+            assert_eq!(r.skyline, responses[0].skyline, "{} disagrees", r.algorithm);
+        }
+        let m = engine.metrics();
+        for a in Algorithm::ALL {
+            assert_eq!(m.requests_for(a), 1);
+        }
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache() {
+        let data = grid(100);
+        let engine = Engine::new(&data, EngineConfig::default().with_workers(1)).unwrap();
+        let q = vec![
+            Point::new(1.0, 1.0),
+            Point::new(5.0, 4.0),
+            Point::new(2.0, 5.0),
+        ];
+        engine.submit(QueryRequest::new(q.clone())).wait();
+        let second = engine.submit(QueryRequest::new(q)).wait();
+        assert!(second.cache_hit);
+        let m = engine.metrics();
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.cache_misses, 1);
+        assert!((m.cache_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_dataset_is_rejected() {
+        assert_eq!(
+            Engine::new(&[], EngineConfig::default()).unwrap_err(),
+            EngineError::EmptyDataset
+        );
+    }
+
+    #[test]
+    fn duplicate_points_surface_the_index_error() {
+        let data = vec![Point::new(1.0, 1.0), Point::new(1.0, 1.0)];
+        match Engine::new(&data, EngineConfig::default()) {
+            Err(EngineError::Index(_)) => {}
+            other => panic!("expected an index error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sessions_update_through_the_pool() {
+        let data = grid(200);
+        let engine = Engine::new(&data, EngineConfig::default().with_workers(2)).unwrap();
+        let q = vec![
+            Point::new(4.0, 4.0),
+            Point::new(10.0, 5.0),
+            Point::new(7.0, 9.0),
+        ];
+        let id = engine.open_session(&q);
+        assert_eq!(engine.open_sessions(), 1);
+
+        // Mirror serially.
+        let mut mirror_q = q.clone();
+        let moves = [
+            (0usize, Point::new(4.5, 4.25)),
+            (1, Point::new(9.5, 5.5)),
+            (0, Point::new(5.0, 4.5)),
+            (2, Point::new(7.25, 8.5)),
+        ];
+        for &(obj, loc) in &moves {
+            let update = engine.update_session(id, obj, loc).unwrap().wait();
+            mirror_q[obj] = loc;
+            let want = naive_full(&data, &QueryContext::new(&mirror_q)).skyline;
+            assert_eq!(update.skyline, want, "after moving {obj} to {loc:?}");
+        }
+        assert_eq!(
+            engine.session_skyline(id).unwrap(),
+            naive_full(&data, &QueryContext::new(&mirror_q)).skyline
+        );
+        assert_eq!(engine.metrics().session_updates, moves.len() as u64);
+        assert!(engine.close_session(id));
+        assert!(engine.session_skyline(id).is_none());
+        assert!(matches!(
+            engine.update_session(id, 0, Point::new(0.0, 0.0)),
+            Err(EngineError::NoSuchSession)
+        ));
+    }
+
+    #[test]
+    fn shutdown_resolves_every_outstanding_handle() {
+        let data = grid(120);
+        let engine = Engine::new(&data, EngineConfig::default().with_workers(1)).unwrap();
+        let handles: Vec<QueryHandle> = (0..20)
+            .map(|i| {
+                engine.submit(QueryRequest::new(vec![
+                    Point::new(1.0 + i as f64 * 0.1, 2.0),
+                    Point::new(6.0, 3.0 + i as f64 * 0.1),
+                    Point::new(3.0, 6.0),
+                ]))
+            })
+            .collect();
+        engine.shutdown();
+        for h in handles {
+            assert!(h.is_ready(), "shutdown left a handle unresolved");
+            assert!(!h.wait().skyline.is_empty());
+        }
+    }
+}

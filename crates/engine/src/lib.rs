@@ -1,0 +1,68 @@
+//! # ssq-engine
+//!
+//! A concurrent query-serving engine for spatial skyline queries — the
+//! layer that turns the single-query algorithms of [`ssq_core`] into a
+//! multi-tenant service over one immutable dataset snapshot.
+//!
+//! The engine composes five pieces:
+//!
+//! * **Snapshot sharing** — one [`RTreeIndex`](ssq_core::RTreeIndex) and
+//!   one [`VoronoiIndex`](ssq_core::VoronoiIndex) are built per dataset
+//!   and shared via [`Arc`](std::sync::Arc) across all worker threads;
+//!   both indexes are immutable (and `Sync`) after construction.
+//! * **Worker pool** ([`pool`]) — a fixed set of `std::thread` workers
+//!   fed by a bounded MPMC job queue; [`Engine::submit`] returns a
+//!   per-query [`QueryHandle`] immediately and `submit` blocks only when
+//!   the queue is full (backpressure). Shutdown drains in-flight work.
+//! * **Query-context cache** ([`cache`]) — an LRU keyed by the
+//!   *canonicalized* query set: the convex-hull vertices of `Q`, sorted
+//!   and quantized. By Theorem 2 of the paper the skyline depends only on
+//!   those vertices, so permuting `Q` or adding interior query points
+//!   hits the same entry.
+//! * **Adaptive planner** ([`planner`]) — picks naive vs B²S² vs VS²
+//!   from `|P|` and the shape of `CH(Q)`, with a forced-algorithm
+//!   override for experiments.
+//! * **Metrics** ([`metrics`]) — per-algorithm request counts, cache
+//!   hit/miss counters, a log-bucketed latency histogram, and aggregated
+//!   [`QueryStats`](ssq_core::QueryStats).
+//!
+//! Continuous queries (VCS², §5 of the paper) are served by the
+//! [session manager](Engine::open_session): each session owns a
+//! [`ContinuousSkyline`](ssq_core::ContinuousSkyline) over the shared
+//! Voronoi snapshot, and motion updates are applied through the same
+//! worker pool, in submission order per session.
+//!
+//! ```
+//! use ssq_engine::{Engine, EngineConfig, QueryRequest};
+//! use ssq_geom::Point;
+//!
+//! let data: Vec<Point> = (0..200)
+//!     .map(|i| Point::new((i % 14) as f64, (i / 14) as f64 + 0.01 * i as f64))
+//!     .collect();
+//! let engine = Engine::new(&data, EngineConfig::default()).unwrap();
+//! let handle = engine.submit(QueryRequest::new(vec![
+//!     Point::new(3.0, 4.0),
+//!     Point::new(8.0, 2.0),
+//!     Point::new(5.0, 9.0),
+//! ]));
+//! let response = handle.wait();
+//! assert!(!response.skyline.is_empty());
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cache;
+pub mod engine;
+pub mod metrics;
+pub mod planner;
+pub mod pool;
+
+pub use cache::{ContextCache, QueryKey};
+pub use engine::{
+    Engine, EngineConfig, EngineError, QueryHandle, QueryRequest, QueryResponse, SessionId,
+    SessionUpdate, Ticket, UpdateHandle,
+};
+pub use metrics::{EngineMetrics, LatencyHistogram, LatencySnapshot, MetricsSnapshot};
+pub use planner::{Algorithm, Planner};
+pub use pool::{PoolClosed, WorkerPool};

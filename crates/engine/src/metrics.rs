@@ -1,0 +1,255 @@
+//! Engine-side observability: request counters, cache hit/miss, a
+//! log-bucketed latency histogram, and aggregated [`QueryStats`].
+//!
+//! Everything is lock-free except the [`QueryStats`] aggregate (a plain
+//! mutex absorbed once per finished query — nanoseconds next to an
+//! algorithm run). Latencies go into power-of-two nanosecond buckets, so
+//! percentile estimates are upper bounds with at most 2× resolution —
+//! plenty for a throughput report, constant memory forever.
+
+use crate::planner::Algorithm;
+use ssq_core::QueryStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+const BUCKETS: usize = 64;
+
+/// A histogram of durations in power-of-two nanosecond buckets.
+///
+/// Bucket `i` (for `i >= 1`) covers `[2^(i-1), 2^i)` nanoseconds; bucket 0
+/// holds exact zeros. Recording is a single relaxed `fetch_add`.
+pub struct LatencyHistogram {
+    counts: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn bucket(nanos: u64) -> usize {
+        (64 - nanos.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one duration.
+    pub fn record(&self, d: Duration) {
+        let nanos = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.counts[Self::bucket(nanos)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            counts: std::array::from_fn(|i| self.counts[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// An immutable copy of a [`LatencyHistogram`].
+#[derive(Clone)]
+pub struct LatencySnapshot {
+    counts: [u64; BUCKETS],
+}
+
+impl LatencySnapshot {
+    /// Total number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) as an upper bound: the top edge
+    /// of the bucket holding that rank. Zero when nothing was recorded.
+    pub fn percentile(&self, q: f64) -> Duration {
+        let total = self.count();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                // Upper edge of bucket i: 2^i ns (bucket 0 holds zeros).
+                let nanos = if i == 0 { 0 } else { 1u64 << i.min(63) };
+                return Duration::from_nanos(nanos);
+            }
+        }
+        Duration::from_nanos(u64::MAX)
+    }
+}
+
+/// Shared counters for one [`Engine`](crate::Engine).
+#[derive(Default)]
+pub struct EngineMetrics {
+    requests: [AtomicU64; Algorithm::ALL.len()],
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    sessions_opened: AtomicU64,
+    session_updates: AtomicU64,
+    latency: LatencyHistogram,
+    stats: Mutex<QueryStats>,
+}
+
+impl EngineMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> EngineMetrics {
+        EngineMetrics::default()
+    }
+
+    /// Records a cache lookup outcome.
+    pub fn record_cache(&self, hit: bool) {
+        if hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one finished snapshot query: which algorithm ran, how long
+    /// it took end to end, and its work counters.
+    pub fn record_query(&self, algorithm: Algorithm, latency: Duration, stats: &QueryStats) {
+        self.requests[algorithm.index()].fetch_add(1, Ordering::Relaxed);
+        self.latency.record(latency);
+        self.stats.lock().unwrap().absorb(stats);
+    }
+
+    /// Records a continuous session being opened.
+    pub fn record_session_opened(&self) {
+        self.sessions_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one applied motion update (kept out of the query latency
+    /// histogram: updates and snapshot queries are different workloads).
+    pub fn record_session_update(&self, stats: &QueryStats) {
+        self.session_updates.fetch_add(1, Ordering::Relaxed);
+        self.stats.lock().unwrap().absorb(stats);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests: std::array::from_fn(|i| self.requests[i].load(Ordering::Relaxed)),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
+            session_updates: self.session_updates.load(Ordering::Relaxed),
+            latency: self.latency.snapshot(),
+            stats: *self.stats.lock().unwrap(),
+        }
+    }
+}
+
+/// A point-in-time copy of an engine's metrics.
+#[derive(Clone)]
+pub struct MetricsSnapshot {
+    /// Completed requests per algorithm, indexed by [`Algorithm::index`].
+    pub requests: [u64; Algorithm::ALL.len()],
+    /// Context-cache hits.
+    pub cache_hits: u64,
+    /// Context-cache misses.
+    pub cache_misses: u64,
+    /// Continuous sessions opened over the engine's lifetime.
+    pub sessions_opened: u64,
+    /// Motion updates applied across all sessions.
+    pub session_updates: u64,
+    /// Latency histogram of snapshot queries.
+    pub latency: LatencySnapshot,
+    /// Work counters absorbed from every query and update.
+    pub stats: QueryStats,
+}
+
+impl MetricsSnapshot {
+    /// Completed snapshot queries (sum over algorithms).
+    pub fn queries(&self) -> u64 {
+        self.requests.iter().sum()
+    }
+
+    /// Requests served by `algorithm`.
+    pub fn requests_for(&self, algorithm: Algorithm) -> u64 {
+        self.requests[algorithm.index()]
+    }
+
+    /// Cache hits / lookups, or 0.0 before any lookup.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        assert_eq!(LatencyHistogram::bucket(0), 0);
+        assert_eq!(LatencyHistogram::bucket(1), 1);
+        assert_eq!(LatencyHistogram::bucket(2), 2);
+        assert_eq!(LatencyHistogram::bucket(3), 2);
+        assert_eq!(LatencyHistogram::bucket(4), 3);
+        assert_eq!(LatencyHistogram::bucket(1023), 10);
+        assert_eq!(LatencyHistogram::bucket(1024), 11);
+        assert_eq!(LatencyHistogram::bucket(u64::MAX), 63);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_upper_bounds() {
+        let h = LatencyHistogram::new();
+        for nanos in [100u64, 200, 400, 800, 1600, 3200, 6400, 12800] {
+            h.record(Duration::from_nanos(nanos));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 8);
+        let p50 = s.percentile(0.5);
+        let p99 = s.percentile(0.99);
+        assert!(p50 >= Duration::from_nanos(800), "p50 = {p50:?}");
+        assert!(p99 >= p50);
+        // Upper bound: the largest sample (12800 ns) sits in [8192, 16384).
+        assert!(p99 <= Duration::from_nanos(16384), "p99 = {p99:?}");
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let s = LatencyHistogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.percentile(0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn cache_and_request_accounting() {
+        let m = EngineMetrics::new();
+        m.record_cache(true);
+        m.record_cache(true);
+        m.record_cache(false);
+        let stats = QueryStats {
+            dominance_checks: 7,
+            ..QueryStats::default()
+        };
+        m.record_query(Algorithm::Vs2, Duration::from_micros(3), &stats);
+        m.record_query(Algorithm::Naive, Duration::from_micros(1), &stats);
+        let s = m.snapshot();
+        assert_eq!(s.cache_hits, 2);
+        assert_eq!(s.cache_misses, 1);
+        assert!((s.cache_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.queries(), 2);
+        assert_eq!(s.requests_for(Algorithm::Vs2), 1);
+        assert_eq!(s.requests_for(Algorithm::Naive), 1);
+        assert_eq!(s.requests_for(Algorithm::B2s2), 0);
+        assert_eq!(s.stats.dominance_checks, 14);
+        assert_eq!(s.latency.count(), 2);
+    }
+}

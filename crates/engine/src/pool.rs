@@ -1,0 +1,246 @@
+//! A fixed-size worker pool over a bounded MPMC job queue.
+//!
+//! Plain `std` building blocks: a `Mutex<VecDeque>` holds the queue, one
+//! condvar wakes workers when jobs arrive, a second wakes producers when
+//! space frees up. [`WorkerPool::submit`] blocks while the queue is full —
+//! that backpressure is the point of the bound: a burst of queries parks
+//! the submitting threads instead of growing an unbounded backlog.
+//!
+//! Shutdown is graceful: workers finish every job that was accepted before
+//! the pool closed, then exit. Dropping the pool performs the same drain.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of work: boxed closure run on one worker thread.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Error returned by [`WorkerPool::submit`] after shutdown has begun.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolClosed;
+
+impl std::fmt::Display for PoolClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker pool is shut down")
+    }
+}
+
+impl std::error::Error for PoolClosed {}
+
+struct Queue {
+    jobs: VecDeque<Job>,
+    capacity: usize,
+    closed: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    /// Signalled when a job is pushed or the pool closes (workers wait).
+    not_empty: Condvar,
+    /// Signalled when a job is popped (producers wait while full).
+    not_full: Condvar,
+}
+
+/// Fixed-size thread pool with a bounded job queue.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads sharing a queue of at most `capacity`
+    /// pending jobs. Both must be nonzero.
+    pub fn new(workers: usize, capacity: usize) -> WorkerPool {
+        assert!(workers > 0, "a pool needs at least one worker");
+        assert!(capacity > 0, "the job queue needs nonzero capacity");
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::with_capacity(capacity.min(1024)),
+                capacity,
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        let workers = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ssq-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job, blocking while the queue is at capacity.
+    ///
+    /// Returns [`PoolClosed`] if shutdown has begun; the job is dropped
+    /// unexecuted in that case.
+    pub fn submit(&self, job: Job) -> Result<(), PoolClosed> {
+        let mut q = self.shared.queue.lock().unwrap();
+        while q.jobs.len() >= q.capacity && !q.closed {
+            q = self.shared.not_full.wait(q).unwrap();
+        }
+        if q.closed {
+            return Err(PoolClosed);
+        }
+        q.jobs.push_back(job);
+        drop(q);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Jobs currently waiting in the queue (not the ones being run).
+    pub fn queued(&self) -> usize {
+        self.shared.queue.lock().unwrap().jobs.len()
+    }
+
+    /// Begins shutdown and joins every worker.
+    ///
+    /// Every job accepted before this call still runs — the queue is
+    /// drained, not discarded.
+    pub fn shutdown(mut self) {
+        self.close_and_join();
+    }
+
+    fn close_and_join(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.closed = true;
+        }
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                if q.closed {
+                    return;
+                }
+                q = shared.not_empty.wait(q).unwrap();
+            }
+        };
+        shared.not_full.notify_one();
+        // A panicking job must not take the worker down with it — the
+        // panic is contained and the worker moves on. (The job's ticket
+        // is abandoned; Engine jobs never panic on valid input.)
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn runs_every_submitted_job() {
+        let pool = WorkerPool::new(4, 8);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            pool.submit(Box::new(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            }))
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn tiny_queue_still_completes_all_jobs() {
+        // Capacity 1 forces submit() to exercise the backpressure path.
+        let pool = WorkerPool::new(2, 1);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let c = Arc::clone(&counter);
+            pool.submit(Box::new(move || {
+                std::thread::sleep(Duration::from_micros(100));
+                c.fetch_add(1, Ordering::Relaxed);
+            }))
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn shutdown_drains_pending_jobs() {
+        let pool = WorkerPool::new(1, 64);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            let c = Arc::clone(&counter);
+            pool.submit(Box::new(move || {
+                std::thread::sleep(Duration::from_micros(200));
+                c.fetch_add(1, Ordering::Relaxed);
+            }))
+            .unwrap();
+        }
+        // Shutdown must wait for all 32, not just the in-flight one.
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_kill_the_worker() {
+        let pool = WorkerPool::new(1, 8);
+        pool.submit(Box::new(|| panic!("boom"))).unwrap();
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        pool.submit(Box::new(move || {
+            c.fetch_add(1, Ordering::Relaxed);
+        }))
+        .unwrap();
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn jobs_run_concurrently_across_workers() {
+        let pool = WorkerPool::new(4, 16);
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        for _ in 0..16 {
+            let in_flight = Arc::clone(&in_flight);
+            let peak = Arc::clone(&peak);
+            pool.submit(Box::new(move || {
+                let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(5));
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+            }))
+            .unwrap();
+        }
+        pool.shutdown();
+        assert!(
+            peak.load(Ordering::SeqCst) >= 2,
+            "4 workers never overlapped on 16 sleeping jobs"
+        );
+    }
+}

@@ -130,9 +130,8 @@ impl ConvexPolygon {
     /// The edges as segments, in counter-clockwise order.
     pub fn edges(&self) -> impl Iterator<Item = Segment> + '_ {
         let n = self.vertices.len();
-        (0..if n >= 3 { n } else { n.saturating_sub(1) }).map(move |i| {
-            Segment::new(self.vertices[i], self.vertices[(i + 1) % n])
-        })
+        (0..if n >= 3 { n } else { n.saturating_sub(1) })
+            .map(move |i| Segment::new(self.vertices[i], self.vertices[(i + 1) % n]))
     }
 
     /// Index of `p` among the vertices, if it is one.
@@ -244,10 +243,7 @@ impl ConvexPolygon {
             return Point::ORIGIN;
         }
         if n < 3 {
-            let sum = self
-                .vertices
-                .iter()
-                .fold(Point::ORIGIN, |acc, &v| acc + v);
+            let sum = self.vertices.iter().fold(Point::ORIGIN, |acc, &v| acc + v);
             return sum / n as f64;
         }
         let mut cx = 0.0;
@@ -457,12 +453,7 @@ mod tests {
     }
 
     fn unit_square() -> ConvexPolygon {
-        ConvexPolygon::from_ccw_vertices(vec![
-            p(0.0, 0.0),
-            p(4.0, 0.0),
-            p(4.0, 4.0),
-            p(0.0, 4.0),
-        ])
+        ConvexPolygon::from_ccw_vertices(vec![p(0.0, 0.0), p(4.0, 0.0), p(4.0, 4.0), p(0.0, 4.0)])
     }
 
     fn triangle() -> ConvexPolygon {
@@ -589,7 +580,7 @@ mod tests {
     #[test]
     fn closer_chain_faces_the_point() {
         let sq = unit_square(); // vertices 0..4 CCW from (0,0)
-        // p to the right of the square sees edge (4,0)-(4,4): vertices 1,2.
+                                // p to the right of the square sees edge (4,0)-(4,4): vertices 1,2.
         let chain = sq.closer_chain(p(10.0, 2.0));
         assert_eq!(chain, vec![1, 2]);
         // p at the lower-right corner direction sees two edges: 0-1 and 1-2.

@@ -93,15 +93,13 @@ pub fn graham_scan(points: &[Point]) -> ConvexPolygon {
     // that collinear points appear near-to-far and the scan drops the inner
     // ones.
     let mut rest: Vec<Point> = pts.into_iter().filter(|&p| p != pivot).collect();
-    rest.sort_by(|&a, &b| {
-        match orient2d_sign(pivot, a, b) {
-            1 => std::cmp::Ordering::Less,
-            -1 => std::cmp::Ordering::Greater,
-            _ => pivot
-                .distance_sq(a)
-                .partial_cmp(&pivot.distance_sq(b))
-                .expect("NaN coordinate"),
-        }
+    rest.sort_by(|&a, &b| match orient2d_sign(pivot, a, b) {
+        1 => std::cmp::Ordering::Less,
+        -1 => std::cmp::Ordering::Greater,
+        _ => pivot
+            .distance_sq(a)
+            .partial_cmp(&pivot.distance_sq(b))
+            .expect("NaN coordinate"),
     });
 
     // For the farthest ray (points collinear with the pivot at the maximum
@@ -122,17 +120,14 @@ pub fn graham_scan(points: &[Point]) -> ConvexPolygon {
 
     let mut hull: Vec<Point> = vec![pivot];
     for p in rest {
-        while hull.len() >= 2
-            && orient2d_sign(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0
-        {
+        while hull.len() >= 2 && orient2d_sign(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0 {
             hull.pop();
         }
         hull.push(p);
     }
     // Cleanup for the closing edge: drop trailing vertices collinear with
     // (or right of) the edge back to the pivot.
-    while hull.len() >= 3
-        && orient2d_sign(hull[hull.len() - 2], hull[hull.len() - 1], hull[0]) <= 0
+    while hull.len() >= 3 && orient2d_sign(hull[hull.len() - 2], hull[hull.len() - 1], hull[0]) <= 0
     {
         hull.pop();
     }
@@ -203,7 +198,13 @@ mod tests {
 
     #[test]
     fn hull_is_ccw() {
-        let pts = [p(0.0, 0.0), p(5.0, 1.0), p(3.0, 6.0), p(-1.0, 3.0), p(2.0, 2.0)];
+        let pts = [
+            p(0.0, 0.0),
+            p(5.0, 1.0),
+            p(3.0, 6.0),
+            p(-1.0, 3.0),
+            p(2.0, 2.0),
+        ];
         let h = convex_hull(&pts);
         let v = h.vertices();
         for i in 0..v.len() {
@@ -233,7 +234,9 @@ mod tests {
     fn graham_and_monotone_agree_on_pseudorandom_sets() {
         let mut seed = 42u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) * 20.0 - 10.0
         };
         for trial in 0..50 {

@@ -147,7 +147,10 @@ impl Segment {
                 && p.y >= s.a.y.min(s.b.y)
                 && p.y <= s.a.y.max(s.b.y)
         };
-        on(self, other.a) || on(self, other.b) || on(other, self.a) || on(other, self.b)
+        on(self, other.a)
+            || on(self, other.b)
+            || on(other, self.a)
+            || on(other, self.b)
             || (d1 != d2 && d3 != d4)
     }
 

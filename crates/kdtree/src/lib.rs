@@ -195,9 +195,7 @@ fn build_rec(points: &[Point], order: &mut [u32], axis: usize) {
         } else {
             (points[a as usize].y, points[b as usize].y)
         };
-        ka.partial_cmp(&kb)
-            .expect("NaN coordinate")
-            .then(a.cmp(&b))
+        ka.partial_cmp(&kb).expect("NaN coordinate").then(a.cmp(&b))
     });
     let (left, rest) = order.split_at_mut(mid);
     build_rec(points, left, axis ^ 1);
@@ -276,7 +274,10 @@ mod tests {
     fn range_matches_linear_scan() {
         let pts = pseudorandom(400, 21);
         let t = KdTree::build(&pts);
-        for (a, b) in [(p(10.0, 10.0), p(40.0, 60.0)), (p(0.0, 0.0), p(100.0, 100.0))] {
+        for (a, b) in [
+            (p(10.0, 10.0), p(40.0, 60.0)),
+            (p(0.0, 0.0), p(100.0, 100.0)),
+        ] {
             let r = Rect::from_corners(a, b);
             let got = t.range(&r);
             let want: Vec<u32> = (0..pts.len() as u32)
@@ -291,6 +292,9 @@ mod tests {
         let pts = vec![p(1.0, 1.0), p(1.0, 2.0), p(1.0, 3.0), p(2.0, 1.0)];
         let t = KdTree::build(&pts);
         assert_eq!(t.nearest(p(1.0, 2.1)), Some(1));
-        assert_eq!(t.range(&Rect::from_corners(p(1.0, 1.0), p(1.0, 3.0))), vec![0, 1, 2]);
+        assert_eq!(
+            t.range(&Rect::from_corners(p(1.0, 1.0), p(1.0, 3.0))),
+            vec![0, 1, 2]
+        );
     }
 }

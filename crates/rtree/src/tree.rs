@@ -10,7 +10,7 @@
 //! datasets) produces near-optimal packing anyway.
 
 use ssq_geom::{Point, Rect};
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Default node capacity, matching the paper's setup ("a maximum of 50
 /// entries in each node", §7).
@@ -109,9 +109,7 @@ impl<T> Node<T> {
     }
 
     fn mbr(&self) -> Rect {
-        self.rects
-            .iter()
-            .fold(Rect::EMPTY, |acc, r| acc.union(r))
+        self.rects.iter().fold(Rect::EMPTY, |acc, r| acc.union(r))
     }
 }
 
@@ -128,7 +126,9 @@ pub struct RTree<T: Copy> {
     root: Option<u32>,
     len: usize,
     config: RTreeConfig,
-    accesses: Cell<u64>,
+    // Relaxed atomic (not `Cell`) so a shared tree stays `Sync`; counts
+    // are best-effort when several threads query concurrently.
+    accesses: AtomicU64,
 }
 
 impl<T: Copy> RTree<T> {
@@ -146,7 +146,7 @@ impl<T: Copy> RTree<T> {
             root: None,
             len: 0,
             config,
-            accesses: Cell::new(0),
+            accesses: AtomicU64::new(0),
         }
     }
 
@@ -293,7 +293,7 @@ impl<T: Copy> RTree<T> {
     /// This is the primitive the skyline algorithms build their best-first
     /// traversals on.
     pub fn entries(&self, id: NodeId) -> Vec<Entry<T>> {
-        self.accesses.set(self.accesses.get() + 1);
+        self.accesses.fetch_add(1, Ordering::Relaxed);
         let node = &self.nodes[id.0 as usize];
         if node.is_leaf {
             node.rects
@@ -315,12 +315,12 @@ impl<T: Copy> RTree<T> {
 
     /// Node accesses since the last reset.
     pub fn node_accesses(&self) -> u64 {
-        self.accesses.get()
+        self.accesses.load(Ordering::Relaxed)
     }
 
     /// Resets the node-access counter.
     pub fn reset_node_accesses(&self) {
-        self.accesses.set(0);
+        self.accesses.store(0, Ordering::Relaxed);
     }
 
     /// Inserts an item with the given MBR (R* heuristics).
@@ -508,8 +508,8 @@ impl<T: Copy> RTree<T> {
                     if i == j {
                         continue;
                     }
-                    overlap_delta += enlarged.intersection(other).area()
-                        - r.intersection(other).area();
+                    overlap_delta +=
+                        enlarged.intersection(other).area() - r.intersection(other).area();
                 }
                 (overlap_delta, area_enlargement, r.area())
             } else {
@@ -586,10 +586,7 @@ impl<T: Copy> RTree<T> {
                 let cut = m + split_at;
                 let left = group_mbr(&rects, &order[..cut]);
                 let right = group_mbr(&rects, &order[cut..]);
-                let key = (
-                    left.intersection(&right).area(),
-                    left.area() + right.area(),
-                );
+                let key = (left.intersection(&right).area(), left.area() + right.area());
                 if key < best_key {
                     best_key = key;
                     best_cut = Some((order.clone(), cut));
@@ -636,10 +633,7 @@ impl<T: Copy> RTree<T> {
         while let Some((id, parent_mbr)) = stack.pop() {
             let node = &self.nodes[id as usize];
             if let Some(pm) = parent_mbr {
-                assert!(
-                    pm.contains_rect(&node.mbr()),
-                    "parent MBR must cover child"
-                );
+                assert!(pm.contains_rect(&node.mbr()), "parent MBR must cover child");
                 // Non-root nodes respect the capacity; STR packing may
                 // leave one trailing node per level below the R* minimum
                 // fill, so only non-emptiness is asserted on the low side.
@@ -694,7 +688,9 @@ mod tests {
             s ^= s << 17;
             (s >> 11) as f64 / (1u64 << 53) as f64
         };
-        (0..n).map(|_| p(next() * 1000.0, next() * 1000.0)).collect()
+        (0..n)
+            .map(|_| p(next() * 1000.0, next() * 1000.0))
+            .collect()
     }
 
     fn small_config() -> RTreeConfig {

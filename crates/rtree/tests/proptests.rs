@@ -1,27 +1,27 @@
-//! Property-based tests for the R*-tree.
+//! Randomized property tests for the R*-tree (deterministic, hermetic:
+//! cases come from the in-repo `ssq_rng` generator, so failures replay
+//! exactly by case number).
 
-use proptest::prelude::*;
 use ssq_geom::{Point, Rect};
+use ssq_rng::Xoshiro256;
 use ssq_rtree::{RTree, RTreeConfig};
 
-fn pt() -> impl Strategy<Value = Point> {
-    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Point::new(x, y))
+fn pt(rng: &mut Xoshiro256) -> Point {
+    Point::new(rng.range_f64(-100.0, 100.0), rng.range_f64(-100.0, 100.0))
 }
 
-fn small_tree_configs() -> impl Strategy<Value = RTreeConfig> {
-    (4usize..12).prop_map(RTreeConfig::with_max_entries)
+fn pts(rng: &mut Xoshiro256, lo: usize, hi: usize) -> Vec<Point> {
+    let n = lo + rng.range_usize(hi - lo);
+    (0..n).map(|_| pt(rng)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn incremental_insert_preserves_invariants_and_queries(
-        points in prop::collection::vec(pt(), 1..150),
-        qa in pt(),
-        qb in pt(),
-        config in small_tree_configs(),
-    ) {
+#[test]
+fn incremental_insert_preserves_invariants_and_queries() {
+    let mut rng = Xoshiro256::seed_from_u64(0x7501);
+    for case in 0..48 {
+        let points = pts(&mut rng, 1, 150);
+        let (qa, qb) = (pt(&mut rng), pt(&mut rng));
+        let config = RTreeConfig::with_max_entries(4 + rng.range_usize(8));
         let mut tree = RTree::with_config(config);
         for (i, &p) in points.iter().enumerate() {
             tree.insert(Rect::from_point(p), i as u32);
@@ -38,20 +38,17 @@ proptest! {
             .map(|(i, _)| i as u32)
             .collect();
         want.sort_unstable();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}");
     }
+}
 
-    #[test]
-    fn bulk_load_equals_incremental_queries(
-        points in prop::collection::vec(pt(), 1..200),
-        qa in pt(),
-        qb in pt(),
-    ) {
-        let config = RTreeConfig::with_max_entries(6);
-        let bulk = RTree::<u32>::bulk_load_points(
-            &points,
-            config,
-        );
+#[test]
+fn bulk_load_equals_incremental_queries() {
+    let mut rng = Xoshiro256::seed_from_u64(0x7502);
+    for case in 0..48 {
+        let points = pts(&mut rng, 1, 200);
+        let (qa, qb) = (pt(&mut rng), pt(&mut rng));
+        let bulk = RTree::<u32>::bulk_load_points(&points, RTreeConfig::with_max_entries(6));
         bulk.check_invariants();
         let query = Rect::from_corners(qa, qb);
         let mut got = bulk.query_rect(&query);
@@ -63,31 +60,44 @@ proptest! {
             .map(|(i, _)| i as u32)
             .collect();
         want.sort_unstable();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}");
     }
+}
 
-    #[test]
-    fn nearest_is_exact(points in prop::collection::vec(pt(), 1..120), q in pt()) {
+#[test]
+fn nearest_is_exact() {
+    let mut rng = Xoshiro256::seed_from_u64(0x7503);
+    for case in 0..48 {
+        let points = pts(&mut rng, 1, 120);
+        let q = pt(&mut rng);
         let tree = RTree::<u32>::bulk_load_points(&points, RTreeConfig::with_max_entries(5));
         let got = tree.nearest(q).unwrap();
         let best = points
             .iter()
             .map(|p| p.distance_sq(q))
             .fold(f64::INFINITY, f64::min);
-        prop_assert_eq!(points[got as usize].distance_sq(q), best);
+        assert_eq!(points[got as usize].distance_sq(q), best, "case {case}");
     }
+}
 
-    #[test]
-    fn tree_mbr_covers_everything(points in prop::collection::vec(pt(), 1..100)) {
+#[test]
+fn tree_mbr_covers_everything() {
+    let mut rng = Xoshiro256::seed_from_u64(0x7504);
+    for case in 0..48 {
+        let points = pts(&mut rng, 1, 100);
         let tree = RTree::<u32>::bulk_load_points(&points, RTreeConfig::with_max_entries(8));
         let mbr = tree.mbr();
         for &p in &points {
-            prop_assert!(mbr.contains(p));
+            assert!(mbr.contains(p), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn height_is_logarithmic(n in 1usize..400) {
+#[test]
+fn height_is_logarithmic() {
+    let mut rng = Xoshiro256::seed_from_u64(0x7505);
+    for _ in 0..48 {
+        let n = 1 + rng.range_usize(399);
         let points: Vec<Point> = (0..n)
             .map(|i| Point::new((i % 20) as f64, (i / 20) as f64 + (i as f64) * 1e-6))
             .collect();
@@ -95,6 +105,6 @@ proptest! {
         tree.check_invariants();
         // ceil(log_2-of-fanout bound): generous upper bound for min fill 3.
         let bound = ((n as f64).ln() / 2.0f64.ln()).ceil() as usize + 2;
-        prop_assert!(tree.height() <= bound);
+        assert!(tree.height() <= bound, "n = {n}");
     }
 }

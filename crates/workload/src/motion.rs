@@ -75,12 +75,7 @@ impl MovingQuerySet {
         let ox = u.min.x + rng.f64() * (u.width() - side).max(0.0);
         let oy = u.min.y + rng.f64() * (u.height() - side).max(0.0);
         let positions = (0..config.count)
-            .map(|_| {
-                Point::new(
-                    ox + rng.f64() * side,
-                    oy + rng.f64() * side,
-                )
-            })
+            .map(|_| Point::new(ox + rng.f64() * side, oy + rng.f64() * side))
             .collect();
         MovingQuerySet {
             positions,

@@ -64,10 +64,7 @@ pub fn random_query_set(config: &QueryConfig) -> Vec<Point> {
         } else if q.len() == 1 {
             boxx.max
         } else {
-            Point::new(
-                ox + rng.f64() * side,
-                oy + rng.f64() * side,
-            )
+            Point::new(ox + rng.f64() * side, oy + rng.f64() * side)
         };
         if seen.insert((p.x.to_bits(), p.y.to_bits())) {
             q.push(p);

@@ -244,10 +244,8 @@ mod tests {
             n: 5000,
             ..UsgsConfig::default()
         });
-        let mut keys: Vec<(u64, u64)> = pts
-            .iter()
-            .map(|p| (p.x.to_bits(), p.y.to_bits()))
-            .collect();
+        let mut keys: Vec<(u64, u64)> =
+            pts.iter().map(|p| (p.x.to_bits(), p.y.to_bits())).collect();
         keys.sort_unstable();
         keys.dedup();
         assert_eq!(keys.len(), 5000);
@@ -271,10 +269,7 @@ mod tests {
                 grid[gy * 10 + gx] += 1;
             }
             let mean = pts.len() as f64 / 100.0;
-            grid.iter()
-                .map(|&c| (c as f64 - mean).powi(2))
-                .sum::<f64>()
-                / 100.0
+            grid.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / 100.0
         };
         assert!(
             var(&clustered) > 4.0 * var(&uniform),

@@ -55,7 +55,10 @@ fn main() {
 
     let counts = cont.counts();
     let pct = |x: u64| 100.0 * x as f64 / counts.total() as f64;
-    println!("\nprocessed {} single-member location updates:", counts.total());
+    println!(
+        "\nprocessed {} single-member location updates:",
+        counts.total()
+    );
     println!(
         "  pattern I  (hull unchanged, free):        {:>4}  ({:.1}%)",
         counts.unchanged,

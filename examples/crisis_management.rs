@@ -74,9 +74,7 @@ fn main() {
         .filter(|&&b| ctx.hull().contains(b))
         .count();
     assert_eq!(inside_count, trapped.len(), "Theorem 1 violated");
-    println!(
-        "Theorem 1 check: all {inside_count} buildings inside CH(fires) are on the list."
-    );
+    println!("Theorem 1 check: all {inside_count} buildings inside CH(fires) are on the list.");
 
     // Show a few of the most urgent (closest to any fire) entries.
     let mut urgent: Vec<u32> = result.skyline.clone();
@@ -94,8 +92,15 @@ fn main() {
     println!("\nMost urgent (nearest to a fire):");
     for &i in urgent.iter().take(5) {
         let b = buildings[i as usize];
-        let d = fires.iter().map(|&f| f.distance(b)).fold(f64::INFINITY, f64::min);
-        let status = if ctx.hull().contains(b) { "TRAPPED" } else { "edge" };
+        let d = fires
+            .iter()
+            .map(|&f| f.distance(b))
+            .fold(f64::INFINITY, f64::min);
+        let status = if ctx.hull().contains(b) {
+            "TRAPPED"
+        } else {
+            "edge"
+        };
         println!("  building {i:>5} at {b}  min fire distance {d:.4}  [{status}]");
     }
 }

@@ -20,8 +20,8 @@ fn main() {
     let graph = DelaunayGraph::new(&points).expect("distinct points");
     let mut path = std::env::temp_dir();
     path.push("ssq_example_adjacency.bin");
-    let pages = write_adjacency_file(&graph, &path, DEFAULT_PAGE_SIZE)
-        .expect("write adjacency file");
+    let pages =
+        write_adjacency_file(&graph, &path, DEFAULT_PAGE_SIZE).expect("write adjacency file");
     let size = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
     println!(
         "wrote {} points / {} Delaunay edges as {} pages ({} KiB) to {}",

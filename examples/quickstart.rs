@@ -11,14 +11,16 @@ use spatial_skyline::prelude::*;
 
 fn main() {
     // Restaurants in a 10 km × 10 km downtown grid.
-    let restaurants = [("Pasta Palace", Point::new(2.0, 3.0)),
+    let restaurants = [
+        ("Pasta Palace", Point::new(2.0, 3.0)),
         ("Taco Tower", Point::new(4.5, 4.8)),
         ("Sushi Spot", Point::new(5.2, 5.0)),
         ("Burger Barn", Point::new(9.0, 1.0)),
         ("Curry Corner", Point::new(4.0, 6.5)),
         ("Pho Place", Point::new(6.8, 4.2)),
         ("Deli Downtown", Point::new(5.0, 9.5)),
-        ("Bistro Nine", Point::new(0.5, 9.0))];
+        ("Bistro Nine", Point::new(0.5, 9.0)),
+    ];
     // The three team members' offices.
     let offices = vec![
         Point::new(3.5, 4.0),
@@ -31,7 +33,11 @@ fn main() {
     let ctx = QueryContext::new(&offices);
     let result = b2s2(&index, &ctx);
 
-    println!("Spatial skyline of {} restaurants w.r.t. {} offices:", points.len(), offices.len());
+    println!(
+        "Spatial skyline of {} restaurants w.r.t. {} offices:",
+        points.len(),
+        offices.len()
+    );
     for &i in &result.skyline {
         let (name, p) = restaurants[i as usize];
         let dists: Vec<String> = offices

@@ -23,14 +23,56 @@ struct Hotel {
 }
 
 fn main() {
-    let hotels = [Hotel { name: "Grand Marina", location: Point::new(1.0, 8.5), price: 320.0, rating: 9.1 },
-        Hotel { name: "Conference Inn", location: Point::new(5.1, 5.2), price: 180.0, rating: 7.4 },
-        Hotel { name: "Beach Hostel", location: Point::new(0.8, 1.2), price: 60.0, rating: 5.9 },
-        Hotel { name: "Museum Suites", location: Point::new(8.9, 6.8), price: 240.0, rating: 8.2 },
-        Hotel { name: "Midtown Budget", location: Point::new(4.8, 4.4), price: 95.0, rating: 6.1 },
-        Hotel { name: "Harbor View", location: Point::new(2.2, 7.1), price: 210.0, rating: 8.8 },
-        Hotel { name: "Airport Express", location: Point::new(9.7, 0.5), price: 110.0, rating: 6.6 },
-        Hotel { name: "Old Town B&B", location: Point::new(6.3, 7.9), price: 150.0, rating: 7.9 }];
+    let hotels = [
+        Hotel {
+            name: "Grand Marina",
+            location: Point::new(1.0, 8.5),
+            price: 320.0,
+            rating: 9.1,
+        },
+        Hotel {
+            name: "Conference Inn",
+            location: Point::new(5.1, 5.2),
+            price: 180.0,
+            rating: 7.4,
+        },
+        Hotel {
+            name: "Beach Hostel",
+            location: Point::new(0.8, 1.2),
+            price: 60.0,
+            rating: 5.9,
+        },
+        Hotel {
+            name: "Museum Suites",
+            location: Point::new(8.9, 6.8),
+            price: 240.0,
+            rating: 8.2,
+        },
+        Hotel {
+            name: "Midtown Budget",
+            location: Point::new(4.8, 4.4),
+            price: 95.0,
+            rating: 6.1,
+        },
+        Hotel {
+            name: "Harbor View",
+            location: Point::new(2.2, 7.1),
+            price: 210.0,
+            rating: 8.8,
+        },
+        Hotel {
+            name: "Airport Express",
+            location: Point::new(9.7, 0.5),
+            price: 110.0,
+            rating: 6.6,
+        },
+        Hotel {
+            name: "Old Town B&B",
+            location: Point::new(6.3, 7.9),
+            price: 150.0,
+            rating: 7.9,
+        },
+    ];
 
     // The three must-see locations of the trip.
     let venue = Point::new(5.0, 5.0); // conference venue
@@ -40,7 +82,10 @@ fn main() {
 
     let points: Vec<Point> = hotels.iter().map(|h| h.location).collect();
     // Attributes are minimized: price as-is, rating flipped.
-    let attrs: Vec<Vec<f64>> = hotels.iter().map(|h| vec![h.price, 10.0 - h.rating]).collect();
+    let attrs: Vec<Vec<f64>> = hotels
+        .iter()
+        .map(|h| vec![h.price, 10.0 - h.rating])
+        .collect();
 
     let ctx = QueryContext::new(&q);
     let index = RTreeIndex::new(&points);
@@ -67,10 +112,16 @@ fn main() {
     println!("\nS(A, Q) — the full shortlist (distances AND price/rating):");
     for &i in &mixed.skyline {
         let h = &hotels[i as usize];
-        let d: Vec<String> = q.iter().map(|&x| format!("{:.1}", x.distance(h.location))).collect();
+        let d: Vec<String> = q
+            .iter()
+            .map(|&x| format!("{:.1}", x.distance(h.location)))
+            .collect();
         println!(
             "  {:<16} ${:<4} rating {:<4} distances [{}]",
-            h.name, h.price, h.rating, d.join(", ")
+            h.name,
+            h.price,
+            h.rating,
+            d.join(", ")
         );
     }
 

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# The whole local gate, fully offline. Run before pushing.
+#
+#   scripts/ci.sh
+#
+# Mirrors what reviewers run: format check, clippy (best-effort if the
+# component is missing from the toolchain), release build, full tests.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy"
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "    (clippy not installed; skipping)"
+fi
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> ci.sh: all green"

@@ -17,7 +17,10 @@
 //! * [`rtree`] — the R*-tree substrate;
 //! * [`skyline`] — classic non-spatial skyline algorithms (BNL, SFS, D&C);
 //! * [`workload`] — synthetic datasets and query/motion generators for the
-//!   paper's experiments.
+//!   paper's experiments;
+//! * [`engine`] — a concurrent query-serving engine (worker pool, LRU
+//!   query-context cache, adaptive planner, continuous sessions, metrics)
+//!   over shared immutable index snapshots.
 //!
 //! ## Quickstart
 //!
@@ -47,6 +50,7 @@
 
 pub use ssq_core as core;
 pub use ssq_delaunay as delaunay;
+pub use ssq_engine as engine;
 pub use ssq_geom as geom;
 pub use ssq_rtree as rtree;
 pub use ssq_skyline as skyline;

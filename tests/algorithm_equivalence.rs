@@ -1,67 +1,72 @@
 //! Cross-algorithm equivalence: every algorithm in the paper must return
-//! the same spatial skyline. Property-based with proptest, plus targeted
-//! deterministic cases.
+//! the same spatial skyline. Randomized (deterministic, hermetic — cases
+//! come from the in-repo `ssq_rng` generator) plus targeted deterministic
+//! cases.
 
-use proptest::prelude::*;
 use spatial_skyline::prelude::*;
 use spatial_skyline::rtree::RTreeConfig;
+use ssq_rng::Xoshiro256;
 
-/// Strategy: a set of distinct data points in the unit square.
-fn points_strategy(max: usize) -> impl Strategy<Value = Vec<Point>> {
-    prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..max).prop_map(|v| {
-        let mut pts: Vec<Point> = v.into_iter().map(|(x, y)| Point::new(x, y)).collect();
-        pts.sort_by(Point::lex_cmp);
-        pts.dedup();
-        pts
-    })
+/// A set of distinct data points in the unit square.
+fn random_points(rng: &mut Xoshiro256, lo: usize, hi: usize) -> Vec<Point> {
+    let n = lo + rng.range_usize(hi - lo);
+    let mut pts: Vec<Point> = (0..n).map(|_| Point::new(rng.f64(), rng.f64())).collect();
+    pts.sort_by(Point::lex_cmp);
+    pts.dedup();
+    pts
 }
 
-fn query_strategy(max: usize) -> impl Strategy<Value = Vec<Point>> {
-    prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..max)
-        .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+fn random_query(rng: &mut Xoshiro256, lo: usize, hi: usize) -> Vec<Point> {
+    let n = lo + rng.range_usize(hi - lo);
+    (0..n).map(|_| Point::new(rng.f64(), rng.f64())).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn all_algorithms_agree(points in points_strategy(60), q in query_strategy(8)) {
+#[test]
+fn all_algorithms_agree() {
+    let mut rng = Xoshiro256::seed_from_u64(0xA1);
+    for case in 0..64 {
+        let points = random_points(&mut rng, 1, 60);
+        let q = random_query(&mut rng, 1, 8);
         let ctx = QueryContext::new(&q);
         let want = naive_full(&points, &ctx).skyline;
 
-        prop_assert_eq!(&naive_sorted(&points, &ctx).skyline, &want);
+        assert_eq!(naive_sorted(&points, &ctx).skyline, want, "case {case}");
 
         let rt = RTreeIndex::with_config(&points, RTreeConfig::with_max_entries(4));
-        prop_assert_eq!(&bbs(&rt, &ctx).skyline, &want);
-        prop_assert_eq!(&b2s2(&rt, &ctx).skyline, &want);
+        assert_eq!(bbs(&rt, &ctx).skyline, want, "case {case}");
+        assert_eq!(b2s2(&rt, &ctx).skyline, want, "case {case}");
 
         let vi = VoronoiIndex::new(&points).unwrap();
-        prop_assert_eq!(&vs2(&vi, &ctx).skyline, &want);
+        assert_eq!(vs2(&vi, &ctx).skyline, want, "case {case}");
 
         // The verbatim paper traversal may miss points but must never
         // fabricate one.
         let paper = vs2_with(&vi, &ctx, VsExpansion::Paper, None);
         for id in &paper.skyline {
-            prop_assert!(want.contains(id), "paper mode fabricated {}", id);
+            assert!(want.contains(id), "case {case}: paper mode fabricated {id}");
         }
     }
+}
 
-    #[test]
-    fn skyline_is_never_empty_for_nonempty_data(
-        points in points_strategy(40),
-        q in query_strategy(6),
-    ) {
+#[test]
+fn skyline_is_never_empty_for_nonempty_data() {
+    let mut rng = Xoshiro256::seed_from_u64(0xA2);
+    for case in 0..64 {
         // Lemma 1 guarantees at least NN(q1) is in the skyline.
+        let points = random_points(&mut rng, 1, 40);
+        let q = random_query(&mut rng, 1, 6);
         let ctx = QueryContext::new(&q);
         let r = naive_full(&points, &ctx);
-        prop_assert!(!r.skyline.is_empty());
+        assert!(!r.skyline.is_empty(), "case {case}");
     }
+}
 
-    #[test]
-    fn skyline_members_are_pairwise_incomparable(
-        points in points_strategy(50),
-        q in query_strategy(6),
-    ) {
+#[test]
+fn skyline_members_are_pairwise_incomparable() {
+    let mut rng = Xoshiro256::seed_from_u64(0xA3);
+    for case in 0..64 {
+        let points = random_points(&mut rng, 1, 50);
+        let q = random_query(&mut rng, 1, 6);
         let ctx = QueryContext::new(&q);
         let r = naive_full(&points, &ctx);
         let vecs: Vec<Vec<f64>> = r
@@ -71,35 +76,37 @@ proptest! {
             .collect();
         for i in 0..vecs.len() {
             for j in 0..vecs.len() {
-                if i == j { continue; }
+                if i == j {
+                    continue;
+                }
                 let dominates = vecs[i].iter().zip(&vecs[j]).all(|(a, b)| a <= b)
                     && vecs[i].iter().zip(&vecs[j]).any(|(a, b)| a < b);
-                prop_assert!(!dominates, "skyline members {i} and {j} comparable");
+                assert!(
+                    !dominates,
+                    "case {case}: skyline members {i} and {j} comparable"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn mixed_algorithms_agree(
-        points in points_strategy(40),
-        q in query_strategy(5),
-        seed in 0u64..1000,
-    ) {
-        // Attributes derived deterministically from the seed.
-        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
-        let mut next = move || {
-            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
-            (s >> 11) as f64 / (1u64 << 53) as f64
-        };
-        let attrs: Vec<Vec<f64>> = (0..points.len()).map(|_| vec![next(), next()]).collect();
+#[test]
+fn mixed_algorithms_agree() {
+    let mut rng = Xoshiro256::seed_from_u64(0xA4);
+    for case in 0..64 {
+        let points = random_points(&mut rng, 1, 40);
+        let q = random_query(&mut rng, 1, 5);
+        let attrs: Vec<Vec<f64>> = (0..points.len())
+            .map(|_| vec![rng.f64(), rng.f64()])
+            .collect();
         let ctx = QueryContext::new(&q);
         let mctx = MixedContext::new(&points, &attrs, &ctx);
         let want = mixed_naive(&points, &mctx).skyline;
 
         let rt = RTreeIndex::with_config(&points, RTreeConfig::with_max_entries(4));
-        prop_assert_eq!(&mixed_b2s2(&rt, &mctx).skyline, &want);
+        assert_eq!(mixed_b2s2(&rt, &mctx).skyline, want, "case {case}");
         let vi = VoronoiIndex::new(&points).unwrap();
-        prop_assert_eq!(&mixed_vs2(&vi, &mctx).skyline, &want);
+        assert_eq!(mixed_vs2(&vi, &mctx).skyline, want, "case {case}");
     }
 }
 

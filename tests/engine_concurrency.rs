@@ -1,0 +1,208 @@
+//! The engine under concurrency must be indistinguishable from the
+//! single-threaded naive oracle.
+//!
+//! Two fronts:
+//!
+//! * **Snapshot queries** — many client threads submit randomized query
+//!   sets (with deliberate duplicates, so the context cache serves some
+//!   of them); every response must equal `naive_full` on the same `Q`.
+//! * **Continuous sessions** — several VCS² sessions are driven through
+//!   the pool while a serial `ContinuousSkyline` mirrors each one; the
+//!   skylines must agree after every applied update.
+//!
+//! Deterministic and hermetic: all randomness comes from the in-repo
+//! `ssq_rng` generator.
+
+use spatial_skyline::engine::{Algorithm, Engine, EngineConfig, QueryRequest};
+use spatial_skyline::prelude::*;
+use ssq_rng::Xoshiro256;
+use std::sync::Arc;
+
+fn dataset(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut pts: Vec<Point> = (0..n)
+        .map(|_| Point::new(rng.f64() * 10.0, rng.f64() * 10.0))
+        .collect();
+    pts.sort_by(Point::lex_cmp);
+    pts.dedup();
+    pts
+}
+
+fn random_query(rng: &mut Xoshiro256) -> Vec<Point> {
+    let n = 2 + rng.range_usize(6);
+    (0..n)
+        .map(|_| Point::new(rng.f64() * 10.0, rng.f64() * 10.0))
+        .collect()
+}
+
+#[test]
+fn concurrent_clients_match_the_naive_oracle() {
+    let data = dataset(400, 0xE1);
+    let engine = Arc::new(Engine::new(&data, EngineConfig::default().with_workers(4)).unwrap());
+
+    // 6 client threads, 25 queries each. Every client draws from a pool
+    // of 10 shared query sets (cache hits) *and* fresh private ones
+    // (cache misses), interleaved.
+    let mut rng = Xoshiro256::seed_from_u64(0xE2);
+    let shared_queries: Vec<Vec<Point>> = (0..10).map(|_| random_query(&mut rng)).collect();
+    let shared_queries = Arc::new(shared_queries);
+
+    type ClientOutcomes = Vec<(Vec<Point>, Vec<u32>)>;
+    let clients: Vec<std::thread::JoinHandle<ClientOutcomes>> = (0..6)
+        .map(|client| {
+            let engine = Arc::clone(&engine);
+            let shared = Arc::clone(&shared_queries);
+            std::thread::spawn(move || {
+                let mut rng = Xoshiro256::seed_from_u64(0xE3 + client);
+                let mut outcomes = Vec::new();
+                for i in 0..25 {
+                    let q = if i % 2 == 0 {
+                        shared[rng.range_usize(shared.len())].clone()
+                    } else {
+                        random_query(&mut rng)
+                    };
+                    let response = engine.submit(QueryRequest::new(q.clone())).wait();
+                    outcomes.push((q, response.skyline));
+                }
+                outcomes
+            })
+        })
+        .collect();
+
+    for client in clients {
+        for (q, got) in client.join().unwrap() {
+            let want = naive_full(&data, &QueryContext::new(&q)).skyline;
+            assert_eq!(got, want, "engine diverged from the oracle on {q:?}");
+        }
+    }
+
+    // The duplicate-heavy stream must have produced real cache traffic.
+    let m = engine.metrics();
+    assert_eq!(m.queries(), 6 * 25);
+    assert!(m.cache_hits > 0, "shared query sets never hit the cache");
+    assert!(m.cache_misses > 0);
+    assert!(m.latency.count() == 6 * 25);
+}
+
+#[test]
+fn forced_algorithms_agree_under_concurrency() {
+    let data = dataset(250, 0xE4);
+    let engine = Engine::new(&data, EngineConfig::default().with_workers(3)).unwrap();
+    let mut rng = Xoshiro256::seed_from_u64(0xE5);
+    for case in 0..12 {
+        let q = random_query(&mut rng);
+        let handles = engine.submit_batch(
+            Algorithm::ALL
+                .iter()
+                .map(|&a| QueryRequest::forced(q.clone(), a))
+                .collect(),
+        );
+        let skylines: Vec<Vec<u32>> = handles.into_iter().map(|h| h.wait().skyline).collect();
+        let want = naive_full(&data, &QueryContext::new(&q)).skyline;
+        for (algo, sky) in Algorithm::ALL.iter().zip(&skylines) {
+            assert_eq!(sky, &want, "case {case}: {algo} diverged");
+        }
+    }
+}
+
+#[test]
+fn pooled_sessions_match_serial_continuous_skylines() {
+    let data = dataset(350, 0xE6);
+    let engine = Engine::new(&data, EngineConfig::default().with_workers(4)).unwrap();
+    let index = VoronoiIndex::new(&data).unwrap();
+
+    let mut rng = Xoshiro256::seed_from_u64(0xE7);
+    const SESSIONS: usize = 4;
+    const UPDATES: usize = 30;
+
+    let queries: Vec<Vec<Point>> = (0..SESSIONS).map(|_| random_query(&mut rng)).collect();
+    let ids: Vec<_> = queries.iter().map(|q| engine.open_session(q)).collect();
+    let mut mirrors: Vec<ContinuousSkyline<&VoronoiIndex>> = queries
+        .iter()
+        .map(|q| ContinuousSkyline::new(&index, q))
+        .collect();
+
+    for (i, (&id, q)) in ids.iter().zip(&queries).enumerate() {
+        assert_eq!(
+            engine.session_skyline(id).unwrap(),
+            mirrors[i].skyline(),
+            "session {i} initial skyline diverged for {q:?}"
+        );
+    }
+
+    // Interleave small random motions across all sessions. Updates to one
+    // session go through the pool; the serial mirror is ground truth.
+    for step in 0..UPDATES {
+        let s = rng.range_usize(SESSIONS);
+        let obj = rng.range_usize(queries[s].len());
+        let current = mirrors[s].query()[obj];
+        let new_loc = Point::new(
+            (current.x + (rng.f64() - 0.5) * 0.4).clamp(0.0, 10.0),
+            (current.y + (rng.f64() - 0.5) * 0.4).clamp(0.0, 10.0),
+        );
+        let update = engine.update_session(ids[s], obj, new_loc).unwrap().wait();
+        let (mirror_outcome, _) = mirrors[s].update(obj, new_loc);
+        assert_eq!(
+            update.skyline,
+            mirrors[s].skyline(),
+            "step {step}: session {s} diverged after moving object {obj}"
+        );
+        assert_eq!(
+            update.outcome, mirror_outcome,
+            "step {step}: VCS² classified the update differently in the pool"
+        );
+        // And the session skyline must also match the naive oracle.
+        let want = naive_full(&data, &QueryContext::new(mirrors[s].query())).skyline;
+        assert_eq!(
+            update.skyline, want,
+            "step {step}: session diverged from oracle"
+        );
+    }
+
+    assert_eq!(engine.metrics().session_updates, UPDATES as u64);
+    for &id in &ids {
+        assert!(engine.close_session(id));
+    }
+    assert_eq!(engine.open_sessions(), 0);
+}
+
+#[test]
+fn burst_of_session_updates_applies_in_submission_order() {
+    let data = dataset(300, 0xE8);
+    let engine = Engine::new(&data, EngineConfig::default().with_workers(4)).unwrap();
+    let index = VoronoiIndex::new(&data).unwrap();
+    let q = vec![
+        Point::new(2.0, 2.0),
+        Point::new(7.0, 3.0),
+        Point::new(5.0, 8.0),
+    ];
+    let id = engine.open_session(&q);
+    let mut mirror = ContinuousSkyline::new(&index, &q);
+
+    // Submit a whole burst WITHOUT waiting in between: per-session FIFO
+    // ordering is what keeps the final state well-defined.
+    let mut rng = Xoshiro256::seed_from_u64(0xE9);
+    let moves: Vec<(usize, Point)> = (0..20)
+        .map(|_| {
+            (
+                rng.range_usize(q.len()),
+                Point::new(rng.f64() * 10.0, rng.f64() * 10.0),
+            )
+        })
+        .collect();
+    let handles: Vec<_> = moves
+        .iter()
+        .map(|&(obj, loc)| engine.update_session(id, obj, loc).unwrap())
+        .collect();
+    let pooled: Vec<Vec<u32>> = handles.into_iter().map(|h| h.wait().skyline).collect();
+
+    for (k, (&(obj, loc), got)) in moves.iter().zip(&pooled).enumerate() {
+        mirror.update(obj, loc);
+        assert_eq!(
+            got,
+            &mirror.skyline(),
+            "burst update {k} applied out of order"
+        );
+    }
+    assert_eq!(engine.session_skyline(id).unwrap(), mirror.skyline());
+}

@@ -34,7 +34,11 @@ fn all_algorithms_agree_at_20k() {
         let want = naive_sorted(&points, &ctx).skyline;
         assert!(!want.is_empty());
         assert_eq!(bbs(&rt, &ctx).skyline, want, "bbs |Q|={count} frac={frac}");
-        assert_eq!(b2s2(&rt, &ctx).skyline, want, "b2s2 |Q|={count} frac={frac}");
+        assert_eq!(
+            b2s2(&rt, &ctx).skyline,
+            want,
+            "b2s2 |Q|={count} frac={frac}"
+        );
         assert_eq!(vs2(&vi, &ctx).skyline, want, "vs2 |Q|={count} frac={frac}");
         assert_eq!(
             vs2(&vi_greedy, &ctx).skyline,
