@@ -1,16 +1,46 @@
-//! Records engine throughput as the worker pool grows.
+//! Records engine throughput as the worker pool grows, then as the
+//! dataset is sharded.
 //!
 //! ```text
 //! cargo run --release -p ssq-bench --bin throughput_scaling [-- n requests distinct]
 //! ```
 //!
 //! One synthetic USGS dataset, one randomized request stream (repeats
-//! drawn from a fixed set of query sets so the context cache engages),
-//! served by pools of 1, 2, 4, ... workers up to the core count. The
-//! single-thread row is the baseline the multi-thread rows are judged
-//! against.
+//! drawn from a fixed set of query sets so the context cache engages).
+//! Three sections:
+//!
+//! 1. **Worker ladder** — pools of 1, 2, 4, ... workers up to the core
+//!    count; the single-thread row is the baseline.
+//! 2. **Shard ladder** — the same stream through a `ShardedEngine` with
+//!    1, 2, 4, 8 shards (grid policy), concurrent clients driving it.
+//! 3. **Corner workload** — query sets crowded into one corner of the
+//!    universe, where the dominance bound prunes far shards; the pruned
+//!    column must be nonzero here.
 
-use ssq_bench::{throughput_scaling, Fixture};
+use ssq_bench::{
+    corner_query_sets, run_sharded_throughput, sharded_scaling, throughput_scaling, Fixture,
+};
+
+fn print_sharded(rows: &[ssq_bench::ShardedThroughputRow]) {
+    let base = rows.first().map_or(1.0, |r| r.reqs_per_sec);
+    println!(
+        "{:>8} {:>12} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8}",
+        "shards", "req/s", "speedup", "p50(us)", "p99(us)", "fanout", "prune%", "pruned"
+    );
+    for r in rows {
+        println!(
+            "{:>8} {:>12.1} {:>9.2}x {:>10.1} {:>10.1} {:>8.2} {:>7.1}% {:>8}",
+            r.shards,
+            r.reqs_per_sec,
+            r.reqs_per_sec / base,
+            r.p50_us,
+            r.p99_us,
+            r.mean_fanout,
+            r.prune_rate * 100.0,
+            r.shards_pruned
+        );
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,5 +73,20 @@ fn main() {
             r.p99_us,
             r.cache_hit_rate * 100.0
         );
+    }
+
+    let clients = cores.clamp(2, 8);
+    println!();
+    println!("# sharded scaling (grid policy, {clients} clients, uniform workload)");
+    let sharded = sharded_scaling(&fix.points, &[1, 2, 4, 8], clients, requests, distinct, 42);
+    print_sharded(&sharded);
+
+    println!();
+    println!("# sharded corner workload (8 shards — dominance bound prunes far shards)");
+    let corner = corner_query_sets(&fix.points, distinct, 5, 42);
+    let row = run_sharded_throughput(&fix.points, 8, clients, &corner, requests, 42);
+    print_sharded(std::slice::from_ref(&row));
+    if row.shards_pruned == 0 {
+        println!("# WARNING: corner workload pruned no shards");
     }
 }

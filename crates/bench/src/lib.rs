@@ -362,6 +362,156 @@ pub fn throughput_scaling(
         .collect()
 }
 
+/// One row of the sharded scaling ladder: the same stream served by a
+/// [`ssq_shard::ShardedEngine`] with a given shard count.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardedThroughputRow {
+    /// Target shard count.
+    pub shards: usize,
+    /// Requests served.
+    pub requests: usize,
+    /// Wall-clock service rate.
+    pub reqs_per_sec: f64,
+    /// Median end-to-end latency, microseconds (bucketed upper bound).
+    pub p50_us: f64,
+    /// 99th-percentile latency, microseconds (bucketed upper bound).
+    pub p99_us: f64,
+    /// Mean shards executed per query.
+    pub mean_fanout: f64,
+    /// Fraction of shard visits skipped by the dominance bound.
+    pub prune_rate: f64,
+    /// Total shard visits skipped over the run.
+    pub shards_pruned: u64,
+}
+
+/// `distinct` small-MBR query sets placed uniformly in the data universe.
+pub fn uniform_query_sets(
+    points: &[Point],
+    distinct: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<Vec<Point>> {
+    let universe = ssq_geom::Rect::bounding(points.iter().copied());
+    (0..distinct)
+        .map(|i| {
+            random_query_set(&QueryConfig {
+                count,
+                mbr_area_fraction: 0.001,
+                universe,
+                seed: seed.wrapping_add(i as u64 * 131),
+            })
+        })
+        .collect()
+}
+
+/// `distinct` query sets crowded into the low corner of the universe
+/// (a box covering ~1% of each axis) — the workload where the shard
+/// router's dominance bound prunes most aggressively, since the corner
+/// shard's skyline dominates every far shard's best-possible vectors.
+pub fn corner_query_sets(
+    points: &[Point],
+    distinct: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<Vec<Point>> {
+    let universe = ssq_geom::Rect::bounding(points.iter().copied());
+    let corner = ssq_geom::Rect::from_corners(
+        universe.min,
+        Point::new(
+            universe.min.x + universe.width() * 0.01,
+            universe.min.y + universe.height() * 0.01,
+        ),
+    );
+    let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xC04E);
+    (0..distinct)
+        .map(|_| {
+            (0..count)
+                .map(|_| {
+                    Point::new(
+                        rng.range_f64(corner.min.x, corner.max.x),
+                        rng.range_f64(corner.min.y, corner.max.y),
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Serves `requests` queries (sampled from `query_sets`) through a
+/// sharded engine with `shards` shards, driven by `clients` concurrent
+/// client threads, and reports rates plus routing behaviour.
+pub fn run_sharded_throughput(
+    points: &[Point],
+    shards: usize,
+    clients: usize,
+    query_sets: &[Vec<Point>],
+    requests: usize,
+    seed: u64,
+) -> ShardedThroughputRow {
+    use ssq_shard::{PartitionPolicy, ShardConfig, ShardedEngine};
+
+    let config = ShardConfig::default()
+        .with_shards(shards)
+        .with_policy(PartitionPolicy::Grid);
+    let engine = ShardedEngine::new(points, config).expect("valid sharded config");
+    let clients = clients.max(1);
+
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        let engine = &engine;
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                // Every client replays the same deterministic sample
+                // stream and serves the indices congruent to it.
+                scope.spawn(move || {
+                    let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xBEEF);
+                    for i in 0..requests {
+                        let q = &query_sets[rng.range_usize(query_sets.len())];
+                        if i % clients == c {
+                            engine.query(q).expect("sharded query failed");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread panicked");
+        }
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let m = engine.metrics();
+    let row = ShardedThroughputRow {
+        shards,
+        requests,
+        reqs_per_sec: requests as f64 / elapsed,
+        p50_us: m.latency.percentile(0.50).as_nanos() as f64 / 1e3,
+        p99_us: m.latency.percentile(0.99).as_nanos() as f64 / 1e3,
+        mean_fanout: m.mean_fanout(),
+        prune_rate: m.prune_rate(),
+        shards_pruned: m.shards_pruned,
+    };
+    engine.shutdown();
+    row
+}
+
+/// [`run_sharded_throughput`] over a ladder of shard counts — the
+/// sharded counterpart of [`throughput_scaling`].
+pub fn sharded_scaling(
+    points: &[Point],
+    shard_counts: &[usize],
+    clients: usize,
+    requests: usize,
+    distinct: usize,
+    seed: u64,
+) -> Vec<ShardedThroughputRow> {
+    let query_sets = uniform_query_sets(points, distinct, 5, seed);
+    shard_counts
+        .iter()
+        .map(|&s| run_sharded_throughput(points, s, clients, &query_sets, requests, seed))
+        .collect()
+}
+
 /// Prints the Table 5 substitute: the synthetic dataset's category mix.
 pub fn table5(n: usize, seed: u64) -> Vec<(String, usize, f64)> {
     let data = synthetic_usgs(&UsgsConfig {
@@ -450,6 +600,42 @@ mod tests {
             multi.reqs_per_sec,
             single.reqs_per_sec
         );
+    }
+
+    #[test]
+    fn sharded_runner_smoke() {
+        let fix = Fixture::usgs(800, 9);
+        let sets = uniform_query_sets(&fix.points, 8, 5, 23);
+        let row = run_sharded_throughput(&fix.points, 4, 2, &sets, 64, 23);
+        assert_eq!(row.shards, 4);
+        assert_eq!(row.requests, 64);
+        assert!(row.reqs_per_sec > 0.0);
+        assert!(row.p99_us >= row.p50_us);
+        assert!(row.mean_fanout >= 1.0 && row.mean_fanout <= 4.0);
+    }
+
+    #[test]
+    fn corner_workload_makes_pruning_observable() {
+        let fix = Fixture::usgs(1200, 10);
+        let sets = corner_query_sets(&fix.points, 8, 4, 29);
+        let row = run_sharded_throughput(&fix.points, 8, 2, &sets, 48, 29);
+        assert!(
+            row.shards_pruned > 0,
+            "corner queries pruned nothing (fan-out {:.2})",
+            row.mean_fanout
+        );
+        assert!(row.prune_rate > 0.0);
+    }
+
+    #[test]
+    fn sharded_ladder_covers_requested_counts() {
+        let fix = Fixture::usgs(600, 11);
+        let rows = sharded_scaling(&fix.points, &[1, 2, 4], 2, 32, 6, 37);
+        let shards: Vec<usize> = rows.iter().map(|r| r.shards).collect();
+        assert_eq!(shards, vec![1, 2, 4]);
+        for r in &rows {
+            assert!(r.reqs_per_sec > 0.0);
+        }
     }
 
     #[test]

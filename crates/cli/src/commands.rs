@@ -10,6 +10,9 @@
 //! ssq throughput --data points.csv [--requests 2000] [--threads 0]
 //!                [--distinct 16] [--count 5] [--area 0.001] [--seed 7]
 //!                [--algorithm naive|bbs|b2s2|vs2]
+//!                [--shards N] [--policy grid|kd] [--clients C]
+//! ssq shard-stats --data points.csv --shards N [--policy grid|kd]
+//!                [--queries 200] [--count 5] [--area 0.001] [--seed 7]
 //! ```
 //!
 //! `query` prints one result row per skyline point:
@@ -20,7 +23,7 @@
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use ssq_core::mixed::{mixed_b2s2, MixedContext};
 use ssq_core::ranked::{b2s2_ranked, WeightedSum};
@@ -84,6 +87,10 @@ USAGE:
   ssq throughput --data <file.csv> [--requests <n>] [--threads <n>]
                [--distinct <sets>] [--count <pts/set>] [--area <frac>]
                [--seed <u64>] [--algorithm naive|bbs|b2s2|vs2]
+               [--shards <n>] [--policy grid|kd] [--clients <n>]
+  ssq shard-stats --data <file.csv> --shards <n> [--policy grid|kd]
+               [--queries <n>] [--count <pts/set>] [--area <frac>]
+               [--seed <u64>]
 
 A data CSV has rows `x,y[,attr1,attr2,...]`; attribute columns are used
 only with --mixed (minimize semantics). Query points are separated by
@@ -91,7 +98,11 @@ semicolons. `throughput` drives the ssq-engine worker pool with a
 randomized stream of `--requests` queries drawn from `--distinct` query
 sets (repeats exercise the context cache) and reports req/s, latency
 percentiles, and the cache hit rate; `--threads 0` means one worker per
-CPU core.";
+CPU core. With `--shards N` (N > 0) the same stream is routed through a
+ShardedEngine — one engine per spatial shard with dominance-based shard
+pruning — driven by `--clients` concurrent client threads. `shard-stats`
+partitions the data, runs a probe workload, and reports per-shard sizes,
+rects, fan-out and prune rates.";
 
 /// Entry point: parses `args` (without the program name) and runs.
 pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
@@ -102,6 +113,7 @@ pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         Some("render") => render_cmd(&args[1..], out),
         Some("continuous") => continuous(&args[1..], out),
         Some("throughput") => throughput(&args[1..], out),
+        Some("shard-stats") => shard_stats(&args[1..], out),
         Some("--help") | Some("-h") | Some("help") => {
             writeln!(out, "{USAGE}")?;
             Ok(())
@@ -379,6 +391,25 @@ fn throughput<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
     let forced: Option<Algorithm> = flag_value(args, "--algorithm")
         .map(|s| s.parse().map_err(CliError::Usage))
         .transpose()?;
+    let shards: usize = flag_value(args, "--shards")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--shards must be an integer".into()))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    let policy: ssq_shard::PartitionPolicy = flag_value(args, "--policy")
+        .map(|s| s.parse().map_err(CliError::Usage))
+        .transpose()?
+        .unwrap_or(ssq_shard::PartitionPolicy::Grid);
+    let clients: usize = flag_value(args, "--clients")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--clients must be an integer".into()))
+        })
+        .transpose()?
+        .unwrap_or(4)
+        .max(1);
     if requests == 0 || distinct == 0 || count == 0 {
         return Err(CliError::Usage(
             "--requests, --distinct and --count must be nonzero".into(),
@@ -390,13 +421,12 @@ fn throughput<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         return Err(CliError::Other("data file has no points".into()));
     }
     let universe = Rect::bounding(table.points.iter().copied());
-    let config = EngineConfig {
-        workers: threads,
-        forced_algorithm: forced,
-        ..EngineConfig::default()
-    };
-    let engine = Engine::new(&table.points, config)
-        .map_err(|e| CliError::Other(format!("cannot start engine: {e}")))?;
+    // `--threads 0` keeps the default (one worker per core).
+    let mut config = EngineConfig::default();
+    if threads > 0 {
+        config.workers = threads;
+    }
+    config.forced_algorithm = forced;
 
     // `distinct` query sets; the request stream samples them uniformly,
     // so every set past the first occurrence is a context-cache hit.
@@ -410,6 +440,24 @@ fn throughput<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
             })
         })
         .collect();
+
+    if shards > 0 {
+        return sharded_throughput(
+            out,
+            &data,
+            &table.points,
+            &query_sets,
+            requests,
+            shards,
+            policy,
+            config,
+            clients,
+            seed,
+        );
+    }
+
+    let engine = Engine::new(&table.points, config)
+        .map_err(|e| CliError::Other(format!("cannot start engine: {e}")))?;
     let mut rng = Xoshiro256::seed_from_u64(seed ^ 0x7472_7075);
     let stream: Vec<QueryRequest> = (0..requests)
         .map(|_| QueryRequest::new(query_sets[rng.range_usize(distinct)].clone()))
@@ -464,6 +512,246 @@ fn throughput<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         out,
         "work:       dominance_checks={} distance_computations={} node_accesses={}",
         m.stats.dominance_checks, m.stats.distance_computations, m.stats.node_accesses
+    )?;
+    engine.shutdown();
+    Ok(())
+}
+
+/// Drives a request stream through a [`ssq_shard::ShardedEngine`] with
+/// `clients` concurrent client threads and prints the routing report.
+#[allow(clippy::too_many_arguments)]
+fn sharded_throughput<W: Write>(
+    out: &mut W,
+    data: &Path,
+    points: &[ssq_geom::Point],
+    query_sets: &[Vec<ssq_geom::Point>],
+    requests: usize,
+    shards: usize,
+    policy: ssq_shard::PartitionPolicy,
+    engine_config: ssq_engine::EngineConfig,
+    clients: usize,
+    seed: u64,
+) -> Result<(), CliError> {
+    use ssq_shard::{ShardConfig, ShardedEngine};
+    use ssq_workload::rng::Xoshiro256;
+
+    let config = ShardConfig::default()
+        .with_shards(shards)
+        .with_policy(policy)
+        .with_engine(engine_config);
+    let engine = ShardedEngine::new(points, config)
+        .map_err(|e| CliError::Other(format!("cannot start sharded engine: {e}")))?;
+
+    let t0 = std::time::Instant::now();
+    std::thread::scope(|scope| -> Result<(), CliError> {
+        let engine = &engine;
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                // Client c serves every request index ≡ c (mod clients).
+                scope.spawn(move || -> Result<(), String> {
+                    let mut rng = Xoshiro256::seed_from_u64(seed ^ 0x7472_7075);
+                    for i in 0..requests {
+                        let q = &query_sets[rng.range_usize(query_sets.len())];
+                        if i % clients == c {
+                            engine.query(q).map_err(|e| e.to_string())?;
+                        }
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join()
+                .map_err(|_| CliError::Other("client thread panicked".into()))?
+                .map_err(CliError::Other)?;
+        }
+        Ok(())
+    })?;
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let m = engine.metrics();
+    writeln!(
+        out,
+        "dataset:    {} points ({})",
+        points.len(),
+        data.display()
+    )?;
+    writeln!(
+        out,
+        "shards:     {} ({} policy), {} clients",
+        engine.shard_count(),
+        policy,
+        clients
+    )?;
+    writeln!(
+        out,
+        "requests:   {requests} ({} distinct query sets)",
+        query_sets.len()
+    )?;
+    writeln!(
+        out,
+        "elapsed:    {:.3}s  ({:.1} req/s)",
+        elapsed,
+        requests as f64 / elapsed
+    )?;
+    writeln!(
+        out,
+        "latency:    p50={:.1}us p90={:.1}us p99={:.1}us (bucketed upper bounds)",
+        m.latency.percentile(0.50).as_nanos() as f64 / 1e3,
+        m.latency.percentile(0.90).as_nanos() as f64 / 1e3,
+        m.latency.percentile(0.99).as_nanos() as f64 / 1e3,
+    )?;
+    writeln!(
+        out,
+        "routing:    mean fan-out {:.2} of {} shards, prune rate {:.1}% ({} pruned)",
+        m.mean_fanout(),
+        engine.shard_count(),
+        m.prune_rate() * 100.0,
+        m.shards_pruned
+    )?;
+    writeln!(
+        out,
+        "merge:      {:.1} candidates/query",
+        if m.queries == 0 {
+            0.0
+        } else {
+            m.merge_candidates as f64 / m.queries as f64
+        }
+    )?;
+    writeln!(
+        out,
+        "fleet:      {} shard queries, {:.1}% cache hit rate",
+        m.engines.queries(),
+        m.engines.cache_hit_rate() * 100.0
+    )?;
+    engine.shutdown();
+    Ok(())
+}
+
+fn shard_stats<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
+    use ssq_shard::{ShardConfig, ShardedEngine};
+    use ssq_workload::{random_query_set, QueryConfig};
+
+    let data = PathBuf::from(
+        flag_value(args, "--data")
+            .ok_or_else(|| CliError::Usage("shard-stats needs --data".into()))?,
+    );
+    let shards: usize = flag_value(args, "--shards")
+        .ok_or_else(|| CliError::Usage("shard-stats needs --shards".into()))?
+        .parse()
+        .map_err(|_| CliError::Usage("--shards must be an integer".into()))?;
+    let policy: ssq_shard::PartitionPolicy = flag_value(args, "--policy")
+        .map(|s| s.parse().map_err(CliError::Usage))
+        .transpose()?
+        .unwrap_or(ssq_shard::PartitionPolicy::Grid);
+    let queries: usize = flag_value(args, "--queries")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--queries must be an integer".into()))
+        })
+        .transpose()?
+        .unwrap_or(200);
+    let count: usize = flag_value(args, "--count")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--count must be an integer".into()))
+        })
+        .transpose()?
+        .unwrap_or(5);
+    let area: f64 = flag_value(args, "--area")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--area must be a number".into()))
+        })
+        .transpose()?
+        .unwrap_or(0.001);
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--seed must be an integer".into()))
+        })
+        .transpose()?
+        .unwrap_or(7);
+    if shards == 0 || count == 0 {
+        return Err(CliError::Usage(
+            "--shards and --count must be nonzero".into(),
+        ));
+    }
+
+    let table = csv::read_points(BufReader::new(File::open(&data)?))?;
+    if table.points.is_empty() {
+        return Err(CliError::Other("data file has no points".into()));
+    }
+    let universe = Rect::bounding(table.points.iter().copied());
+    let config = ShardConfig::default()
+        .with_shards(shards)
+        .with_policy(policy);
+    let engine = ShardedEngine::new(&table.points, config)
+        .map_err(|e| CliError::Other(format!("cannot start sharded engine: {e}")))?;
+
+    writeln!(
+        out,
+        "dataset:    {} points ({}), {} policy",
+        table.points.len(),
+        data.display(),
+        policy
+    )?;
+    writeln!(
+        out,
+        "shards:     {} (target {})",
+        engine.shard_count(),
+        shards
+    )?;
+    for info in engine.shard_infos() {
+        writeln!(
+            out,
+            "  shard {:>3}: {:>8} points  rect ({:.4}, {:.4}) .. ({:.4}, {:.4})",
+            info.index,
+            info.len,
+            info.rect.min.x,
+            info.rect.min.y,
+            info.rect.max.x,
+            info.rect.max.y
+        )?;
+    }
+
+    // Probe workload: small-MBR query sets placed uniformly, so some
+    // land in corners and exercise the pruning bound.
+    for i in 0..queries {
+        let q = random_query_set(&QueryConfig {
+            count,
+            mbr_area_fraction: area,
+            universe,
+            seed: seed.wrapping_add(0x9E37).wrapping_add(i as u64),
+        });
+        engine
+            .query(&q)
+            .map_err(|e| CliError::Other(format!("probe query failed: {e}")))?;
+    }
+    let m = engine.metrics();
+    writeln!(out, "probe:      {queries} queries ({count} points each)")?;
+    writeln!(
+        out,
+        "routing:    mean fan-out {:.2}, prune rate {:.1}% ({} of {} shard visits avoided)",
+        m.mean_fanout(),
+        m.prune_rate() * 100.0,
+        m.shards_pruned,
+        m.shards_pruned + m.shards_queried
+    )?;
+    writeln!(
+        out,
+        "merge:      {:.1} candidates/query",
+        if m.queries == 0 {
+            0.0
+        } else {
+            m.merge_candidates as f64 / m.queries as f64
+        }
+    )?;
+    writeln!(
+        out,
+        "fleet:      {} shard queries, {:.1}% cache hit rate",
+        m.engines.queries(),
+        m.engines.cache_hit_rate() * 100.0
     )?;
     engine.shutdown();
     Ok(())
@@ -746,6 +1034,62 @@ mod tests {
             outp.contains("plans:      b2s2=50"),
             "wrong plan line: {outp}"
         );
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn sharded_throughput_reports_routing() {
+        let data = tmpfile("throughput_sharded");
+        run_ok(&["generate", "--n", "600", "--out", data.to_str().unwrap()]);
+        let outp = run_ok(&[
+            "throughput",
+            "--data",
+            data.to_str().unwrap(),
+            "--requests",
+            "120",
+            "--distinct",
+            "6",
+            "--threads",
+            "2",
+            "--shards",
+            "4",
+            "--policy",
+            "kd",
+            "--clients",
+            "3",
+        ]);
+        assert!(outp.contains("req/s"), "missing rate: {outp}");
+        assert!(outp.contains("kd policy"), "missing policy: {outp}");
+        assert!(outp.contains("mean fan-out"), "missing routing: {outp}");
+        assert!(outp.contains("candidates/query"), "missing merge: {outp}");
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn shard_stats_reports_per_shard_sizes() {
+        let data = tmpfile("shard_stats");
+        run_ok(&["generate", "--n", "500", "--out", data.to_str().unwrap()]);
+        let outp = run_ok(&[
+            "shard-stats",
+            "--data",
+            data.to_str().unwrap(),
+            "--shards",
+            "4",
+            "--queries",
+            "40",
+        ]);
+        assert!(
+            outp.contains("shards:     4"),
+            "missing shard count: {outp}"
+        );
+        assert_eq!(
+            outp.lines()
+                .filter(|l| l.trim_start().starts_with("shard "))
+                .count(),
+            4,
+            "missing per-shard rows: {outp}"
+        );
+        assert!(outp.contains("prune rate"), "missing prune rate: {outp}");
         std::fs::remove_file(&data).ok();
     }
 

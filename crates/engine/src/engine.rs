@@ -18,6 +18,18 @@ use std::time::{Duration, Instant};
 pub enum EngineError {
     /// The dataset was empty — there is nothing to index or serve.
     EmptyDataset,
+    /// [`EngineConfig::workers`] was zero — a pool with no workers would
+    /// accept jobs that can never run.
+    ZeroWorkers,
+    /// [`EngineConfig::queue_capacity`] was zero — every submission would
+    /// deadlock waiting for queue space that cannot exist.
+    ZeroQueueCapacity,
+    /// [`EngineConfig::cache_capacity`] was zero — the LRU cache needs at
+    /// least one slot.
+    ZeroCacheCapacity,
+    /// [`EngineConfig::cache_quantum`] was zero, negative, or NaN — the
+    /// cache-key grid needs a positive cell size.
+    InvalidCacheQuantum,
     /// The Voronoi index could not be built (duplicate or non-finite
     /// points); the message is the underlying builder's.
     Index(String),
@@ -31,6 +43,16 @@ impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EngineError::EmptyDataset => write!(f, "cannot serve an empty dataset"),
+            EngineError::ZeroWorkers => write!(f, "config: workers must be nonzero"),
+            EngineError::ZeroQueueCapacity => {
+                write!(f, "config: queue capacity must be nonzero")
+            }
+            EngineError::ZeroCacheCapacity => {
+                write!(f, "config: cache capacity must be nonzero")
+            }
+            EngineError::InvalidCacheQuantum => {
+                write!(f, "config: cache quantum must be positive and finite")
+            }
             EngineError::Index(msg) => write!(f, "index build failed: {msg}"),
             EngineError::Closed => write!(f, "engine is shut down"),
             EngineError::NoSuchSession => write!(f, "unknown session id"),
@@ -41,9 +63,15 @@ impl std::fmt::Display for EngineError {
 impl std::error::Error for EngineError {}
 
 /// Tuning knobs for [`Engine::new`].
+///
+/// Validated at engine construction by [`EngineConfig::validate`]: zero
+/// workers, a zero queue or cache capacity, and a non-positive cache
+/// quantum are rejected with typed [`EngineError`]s instead of panicking
+/// deep inside the pool or cache constructors.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
-    /// Worker threads. `0` means one per available CPU core.
+    /// Worker threads (must be nonzero; the default is one per available
+    /// CPU core).
     pub workers: usize,
     /// Bounded job-queue capacity (backpressure threshold).
     pub queue_capacity: usize,
@@ -59,7 +87,9 @@ pub struct EngineConfig {
 impl Default for EngineConfig {
     fn default() -> EngineConfig {
         EngineConfig {
-            workers: 0,
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
             queue_capacity: 1024,
             cache_capacity: 128,
             cache_quantum: ContextCache::DEFAULT_QUANTUM,
@@ -81,14 +111,21 @@ impl EngineConfig {
         self
     }
 
-    fn resolved_workers(&self) -> usize {
-        if self.workers > 0 {
-            self.workers
-        } else {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
+    /// Checks every knob, returning the first violation as a typed error.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        if self.workers == 0 {
+            return Err(EngineError::ZeroWorkers);
         }
+        if self.queue_capacity == 0 {
+            return Err(EngineError::ZeroQueueCapacity);
+        }
+        if self.cache_capacity == 0 {
+            return Err(EngineError::ZeroCacheCapacity);
+        }
+        if !(self.cache_quantum > 0.0 && self.cache_quantum.is_finite()) {
+            return Err(EngineError::InvalidCacheQuantum);
+        }
+        Ok(())
     }
 }
 
@@ -178,6 +215,30 @@ impl<T> Ticket<T> {
         }
     }
 
+    /// Like [`Ticket::wait`] but gives up after `timeout`, handing the
+    /// ticket back so the caller can retry, escalate, or abandon it.
+    ///
+    /// This is how clients — and the shard router — bound their exposure
+    /// to a wedged or overloaded worker instead of blocking forever: a
+    /// timed-out ticket is still live, and the worker's eventual `fill`
+    /// is not lost.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<T, Ticket<T>> {
+        let deadline = Instant::now() + timeout;
+        let cell = Arc::clone(&self.cell);
+        let mut slot = cell.slot.lock().unwrap();
+        loop {
+            if let Some(value) = slot.take() {
+                return Ok(value);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                drop(slot);
+                return Err(self);
+            }
+            slot = cell.ready.wait_timeout(slot, deadline - now).unwrap().0;
+        }
+    }
+
     /// `true` once the result is available (`wait` will not block).
     pub fn is_ready(&self) -> bool {
         self.cell.slot.lock().unwrap().is_some()
@@ -245,15 +306,17 @@ impl Engine {
     /// Builds both index snapshots over `points` and starts the pool.
     ///
     /// `points` must be non-empty, finite, and duplicate-free (the
-    /// Voronoi builder's requirements).
+    /// Voronoi builder's requirements), and `config` must pass
+    /// [`EngineConfig::validate`].
     pub fn new(points: &[Point], config: EngineConfig) -> Result<Engine, EngineError> {
+        config.validate()?;
         if points.is_empty() {
             return Err(EngineError::EmptyDataset);
         }
         let rtree = Arc::new(RTreeIndex::new(points));
         let voronoi =
             Arc::new(VoronoiIndex::new(points).map_err(|e| EngineError::Index(e.to_string()))?);
-        Ok(Self::with_indexes(rtree, voronoi, config))
+        Self::with_indexes(rtree, voronoi, config)
     }
 
     /// Starts an engine over pre-built snapshots (they can be shared
@@ -262,13 +325,16 @@ impl Engine {
         rtree: Arc<RTreeIndex>,
         voronoi: Arc<VoronoiIndex>,
         config: EngineConfig,
-    ) -> Engine {
+    ) -> Result<Engine, EngineError> {
+        config.validate()?;
+        if rtree.is_empty() {
+            return Err(EngineError::EmptyDataset);
+        }
         assert_eq!(
             rtree.len(),
             voronoi.len(),
             "R-tree and Voronoi snapshots index different datasets"
         );
-        let workers = config.resolved_workers();
         let shared = Arc::new(EngineShared {
             rtree,
             voronoi,
@@ -278,8 +344,8 @@ impl Engine {
             sessions: Mutex::new(HashMap::new()),
             next_session: Mutex::new(0),
         });
-        let pool = WorkerPool::new(workers, config.queue_capacity);
-        Engine { shared, pool }
+        let pool = WorkerPool::new(config.workers, config.queue_capacity);
+        Ok(Engine { shared, pool })
     }
 
     /// Number of worker threads.
@@ -290,6 +356,18 @@ impl Engine {
     /// Number of data points in the snapshot.
     pub fn data_len(&self) -> usize {
         self.shared.rtree.len()
+    }
+
+    /// The snapshot's points, in index order. Response skylines index
+    /// into this slice; a routing layer uses it to translate per-shard
+    /// results back into global candidates.
+    pub fn points(&self) -> &[Point] {
+        self.shared.rtree.points()
+    }
+
+    /// The bounding rectangle of the snapshot's points.
+    pub fn universe(&self) -> ssq_geom::Rect {
+        self.shared.rtree.universe()
     }
 
     /// A point-in-time copy of the engine's metrics.
@@ -556,6 +634,109 @@ mod tests {
             Engine::new(&[], EngineConfig::default()).unwrap_err(),
             EngineError::EmptyDataset
         );
+    }
+
+    #[test]
+    fn zero_workers_are_rejected() {
+        assert_eq!(
+            Engine::new(&grid(10), EngineConfig::default().with_workers(0)).unwrap_err(),
+            EngineError::ZeroWorkers
+        );
+    }
+
+    #[test]
+    fn zero_queue_capacity_is_rejected() {
+        let config = EngineConfig {
+            queue_capacity: 0,
+            ..EngineConfig::default()
+        };
+        assert_eq!(
+            Engine::new(&grid(10), config).unwrap_err(),
+            EngineError::ZeroQueueCapacity
+        );
+    }
+
+    #[test]
+    fn zero_cache_capacity_is_rejected() {
+        let config = EngineConfig {
+            cache_capacity: 0,
+            ..EngineConfig::default()
+        };
+        assert_eq!(
+            Engine::new(&grid(10), config).unwrap_err(),
+            EngineError::ZeroCacheCapacity
+        );
+    }
+
+    #[test]
+    fn invalid_cache_quantum_is_rejected() {
+        for quantum in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let config = EngineConfig {
+                cache_quantum: quantum,
+                ..EngineConfig::default()
+            };
+            assert_eq!(
+                Engine::new(&grid(10), config).unwrap_err(),
+                EngineError::InvalidCacheQuantum,
+                "quantum {quantum} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn default_config_validates() {
+        assert!(EngineConfig::default().validate().is_ok());
+        assert!(EngineConfig::default().workers >= 1);
+    }
+
+    #[test]
+    fn wait_timeout_returns_the_ticket_and_then_the_value() {
+        let (ticket, cell) = Ticket::new();
+        let filler = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            cell.fill(42u32);
+        });
+        // Too short: the ticket comes back unfilled...
+        let ticket = match ticket.wait_timeout(Duration::from_millis(1)) {
+            Ok(v) => panic!("value {v} arrived before the filler ran"),
+            Err(t) => t,
+        };
+        // ...and the same ticket still delivers once the worker does.
+        match ticket.wait_timeout(Duration::from_secs(30)) {
+            Ok(v) => assert_eq!(v, 42),
+            Err(_) => panic!("filled ticket timed out"),
+        }
+        filler.join().unwrap();
+    }
+
+    #[test]
+    fn wait_timeout_bounds_a_wait_behind_a_slow_query() {
+        // One worker, and a deliberately slow query parked in front: the
+        // victim's handle cannot be ready, so a tiny timeout must hand
+        // the ticket back instead of blocking until the queue drains.
+        let data = grid(4000);
+        let engine = Engine::new(&data, EngineConfig::default().with_workers(1)).unwrap();
+        let q = |i: f64| {
+            vec![
+                Point::new(1.0 + i, 2.0),
+                Point::new(8.0, 3.0 + i),
+                Point::new(4.0, 9.0),
+            ]
+        };
+        let slow: Vec<QueryHandle> = (0..8)
+            .map(|i| engine.submit(QueryRequest::forced(q(i as f64 * 0.01), Algorithm::Bbs)))
+            .collect();
+        let victim = engine.submit(QueryRequest::new(q(0.5)));
+        let victim = match victim.wait_timeout(Duration::from_nanos(1)) {
+            Ok(_) => panic!("victim ran before the slow queries ahead of it"),
+            Err(t) => t,
+        };
+        // The recovered ticket still resolves to the correct answer.
+        let response = victim.wait();
+        let want = naive_full(&data, &QueryContext::new(&q(0.5))).skyline;
+        assert_eq!(response.skyline, want);
+        drop(slow);
+        engine.shutdown();
     }
 
     #[test]

@@ -61,10 +61,27 @@ pub struct LatencySnapshot {
     counts: [u64; BUCKETS],
 }
 
+impl Default for LatencySnapshot {
+    fn default() -> LatencySnapshot {
+        LatencySnapshot {
+            counts: [0; BUCKETS],
+        }
+    }
+}
+
 impl LatencySnapshot {
     /// Total number of recorded durations.
     pub fn count(&self) -> u64 {
         self.counts.iter().sum()
+    }
+
+    /// Adds every bucket of `other` into `self`. Because the buckets are
+    /// fixed power-of-two ranges, merging histograms from different
+    /// engines (e.g. one per shard) is exact.
+    pub fn absorb(&mut self, other: &LatencySnapshot) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
     }
 
     /// The `q`-quantile (`q` in `[0, 1]`) as an upper bound: the top edge
@@ -150,7 +167,7 @@ impl EngineMetrics {
 }
 
 /// A point-in-time copy of an engine's metrics.
-#[derive(Clone)]
+#[derive(Clone, Default)]
 pub struct MetricsSnapshot {
     /// Completed requests per algorithm, indexed by [`Algorithm::index`].
     pub requests: [u64; Algorithm::ALL.len()],
@@ -187,6 +204,23 @@ impl MetricsSnapshot {
         } else {
             self.cache_hits as f64 / total as f64
         }
+    }
+
+    /// Folds another snapshot into this one — the fleet view over many
+    /// engines. Counters add, histograms merge bucket-wise, and the
+    /// [`QueryStats`] aggregate absorbs; every derived quantity
+    /// ([`queries`](MetricsSnapshot::queries), percentiles, hit rate)
+    /// then reads as the combined population.
+    pub fn absorb(&mut self, other: &MetricsSnapshot) {
+        for (mine, theirs) in self.requests.iter_mut().zip(&other.requests) {
+            *mine += theirs;
+        }
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.sessions_opened += other.sessions_opened;
+        self.session_updates += other.session_updates;
+        self.latency.absorb(&other.latency);
+        self.stats.absorb(&other.stats);
     }
 }
 
@@ -251,5 +285,34 @@ mod tests {
         assert_eq!(s.requests_for(Algorithm::B2s2), 0);
         assert_eq!(s.stats.dominance_checks, 14);
         assert_eq!(s.latency.count(), 2);
+    }
+
+    #[test]
+    fn snapshots_absorb_into_a_fleet_view() {
+        let a = EngineMetrics::new();
+        let b = EngineMetrics::new();
+        let stats = QueryStats {
+            dominance_checks: 3,
+            ..QueryStats::default()
+        };
+        a.record_cache(true);
+        a.record_query(Algorithm::Vs2, Duration::from_micros(2), &stats);
+        b.record_cache(false);
+        b.record_query(Algorithm::Naive, Duration::from_micros(8), &stats);
+        b.record_query(Algorithm::B2s2, Duration::from_micros(1), &stats);
+
+        let mut fleet = MetricsSnapshot::default();
+        fleet.absorb(&a.snapshot());
+        fleet.absorb(&b.snapshot());
+        assert_eq!(fleet.queries(), 3);
+        assert_eq!(fleet.requests_for(Algorithm::Vs2), 1);
+        assert_eq!(fleet.requests_for(Algorithm::Naive), 1);
+        assert_eq!(fleet.requests_for(Algorithm::B2s2), 1);
+        assert_eq!(fleet.cache_hits, 1);
+        assert_eq!(fleet.cache_misses, 1);
+        assert_eq!(fleet.latency.count(), 3);
+        assert_eq!(fleet.stats.dominance_checks, 9);
+        // Percentiles read the merged population.
+        assert!(fleet.latency.percentile(1.0) >= Duration::from_micros(8));
     }
 }

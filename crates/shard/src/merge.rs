@@ -1,0 +1,112 @@
+//! Cross-shard skyline merge.
+//!
+//! Correctness rests on the union lemma: a point dominated within its
+//! own shard is dominated in the union, so
+//! `skyline(P_1 ∪ … ∪ P_k) ⊆ skyline(P_1) ∪ … ∪ skyline(P_k)`.
+//! The merge therefore only has to run a dominance filter over the
+//! per-shard skylines (the *candidates*), never the full dataset.
+//!
+//! The filter exploits a standard trick: dominance implies a strictly
+//! smaller distance *sum*, so after sorting candidates by
+//! `sum_i d(p, q_i)` every possible dominator of a candidate precedes
+//! it, and one forward sweep suffices — no back-substitution pass.
+
+use ssq_core::{query::dominates, QueryContext, QueryStats};
+use ssq_geom::Point;
+
+/// Reduces per-shard skyline candidates `(global_id, location)` to the
+/// exact skyline of their union w.r.t. `ctx`, returning ascending global
+/// ids. Dominance tests are counted into `stats`.
+pub fn merge_candidates(
+    ctx: &QueryContext,
+    candidates: &[(u32, Point)],
+    stats: &mut QueryStats,
+) -> Vec<u32> {
+    // Distance vectors to CHv(Q) once per candidate, plus the sum key.
+    let mut scored: Vec<(f64, u32, Vec<f64>)> = candidates
+        .iter()
+        .map(|&(id, p)| {
+            let v = ctx.dist_vector(p, stats);
+            (v.iter().sum::<f64>(), id, v)
+        })
+        .collect();
+    scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+    let mut skyline: Vec<(u32, Vec<f64>)> = Vec::new();
+    'next: for (_, id, v) in scored {
+        for (_, kept) in &skyline {
+            stats.dominance_checks += 1;
+            if dominates(kept, &v) {
+                continue 'next;
+            }
+        }
+        skyline.push((id, v));
+    }
+    let mut ids: Vec<u32> = skyline.into_iter().map(|(id, _)| id).collect();
+    ids.sort_unstable();
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssq_core::naive_full;
+
+    fn cloud(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                Point::new(
+                    (i % 23) as f64 + 2e-4 * i as f64,
+                    (i / 23) as f64 + 7e-5 * i as f64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merging_all_points_reproduces_the_skyline() {
+        let data = cloud(300);
+        let q = vec![
+            Point::new(4.0, 5.0),
+            Point::new(12.0, 2.0),
+            Point::new(8.0, 9.0),
+        ];
+        let ctx = QueryContext::new(&q);
+        let candidates: Vec<(u32, Point)> = data
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (i as u32, p))
+            .collect();
+        let mut stats = QueryStats::default();
+        let got = merge_candidates(&ctx, &candidates, &mut stats);
+        assert_eq!(got, naive_full(&data, &ctx).skyline);
+        assert!(stats.dominance_checks > 0);
+    }
+
+    #[test]
+    fn merge_of_partition_skylines_is_the_union_skyline() {
+        let data = cloud(240);
+        let q = vec![Point::new(3.0, 3.0), Point::new(15.0, 6.0)];
+        let ctx = QueryContext::new(&q);
+        // Split round-robin into 3 parts, take each part's skyline.
+        let mut candidates = Vec::new();
+        for r in 0..3usize {
+            let ids: Vec<u32> = (0..data.len() as u32)
+                .filter(|i| *i as usize % 3 == r)
+                .collect();
+            let pts: Vec<Point> = ids.iter().map(|&i| data[i as usize]).collect();
+            let local = naive_full(&pts, &ctx).skyline;
+            candidates.extend(local.iter().map(|&l| (ids[l as usize], pts[l as usize])));
+        }
+        let mut stats = QueryStats::default();
+        let got = merge_candidates(&ctx, &candidates, &mut stats);
+        assert_eq!(got, naive_full(&data, &ctx).skyline);
+    }
+
+    #[test]
+    fn empty_candidates_merge_to_empty() {
+        let q = vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)];
+        let mut stats = QueryStats::default();
+        assert!(merge_candidates(&QueryContext::new(&q), &[], &mut stats).is_empty());
+    }
+}

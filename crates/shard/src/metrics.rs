@@ -1,0 +1,116 @@
+//! Router-side observability: per-query shard fan-out, pruning
+//! effectiveness, merge workload, and end-to-end latency — plus the
+//! aggregated fleet view over every shard engine's own metrics.
+
+use ssq_engine::{LatencyHistogram, LatencySnapshot, MetricsSnapshot};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Shared counters for one [`ShardedEngine`](crate::ShardedEngine).
+#[derive(Default)]
+pub struct ShardMetrics {
+    queries: AtomicU64,
+    shards_queried: AtomicU64,
+    shards_pruned: AtomicU64,
+    merge_candidates: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+impl ShardMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> ShardMetrics {
+        ShardMetrics::default()
+    }
+
+    /// Records one routed query: how many shards ran, how many the
+    /// pruning bound skipped, how many candidates the merge saw, and the
+    /// end-to-end latency (routing + slowest shard + merge).
+    pub fn record_query(&self, queried: u64, pruned: u64, candidates: u64, latency: Duration) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.shards_queried.fetch_add(queried, Ordering::Relaxed);
+        self.shards_pruned.fetch_add(pruned, Ordering::Relaxed);
+        self.merge_candidates
+            .fetch_add(candidates, Ordering::Relaxed);
+        self.latency.record(latency);
+    }
+
+    /// A point-in-time copy, with the per-shard engine snapshots folded
+    /// into one fleet-wide [`MetricsSnapshot`].
+    pub fn snapshot<'a>(
+        &self,
+        engines: impl IntoIterator<Item = &'a MetricsSnapshot>,
+    ) -> ShardedMetricsSnapshot {
+        let mut fleet = MetricsSnapshot::default();
+        for snap in engines {
+            fleet.absorb(snap);
+        }
+        ShardedMetricsSnapshot {
+            queries: self.queries.load(Ordering::Relaxed),
+            shards_queried: self.shards_queried.load(Ordering::Relaxed),
+            shards_pruned: self.shards_pruned.load(Ordering::Relaxed),
+            merge_candidates: self.merge_candidates.load(Ordering::Relaxed),
+            latency: self.latency.snapshot(),
+            engines: fleet,
+        }
+    }
+}
+
+/// A point-in-time copy of a sharded engine's metrics.
+#[derive(Clone)]
+pub struct ShardedMetricsSnapshot {
+    /// Queries routed.
+    pub queries: u64,
+    /// Shard sub-queries actually executed, summed over queries.
+    pub shards_queried: u64,
+    /// Shards skipped by the dominance bound, summed over queries.
+    pub shards_pruned: u64,
+    /// Candidates fed to the cross-shard merge, summed over queries.
+    pub merge_candidates: u64,
+    /// End-to-end latency histogram of routed queries.
+    pub latency: LatencySnapshot,
+    /// Every shard engine's counters folded into one fleet view.
+    pub engines: MetricsSnapshot,
+}
+
+impl ShardedMetricsSnapshot {
+    /// Mean shards executed per query, or 0.0 before any query.
+    pub fn mean_fanout(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.shards_queried as f64 / self.queries as f64
+        }
+    }
+
+    /// Fraction of shard visits avoided by pruning, or 0.0.
+    pub fn prune_rate(&self) -> f64 {
+        let total = self.shards_queried + self.shards_pruned;
+        if total == 0 {
+            0.0
+        } else {
+            self.shards_pruned as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fanout_and_prune_rates() {
+        let m = ShardMetrics::new();
+        m.record_query(4, 0, 10, Duration::from_micros(5));
+        m.record_query(1, 3, 3, Duration::from_micros(2));
+        let no_engines: [&MetricsSnapshot; 0] = [];
+        let s = m.snapshot(no_engines);
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.shards_queried, 5);
+        assert_eq!(s.shards_pruned, 3);
+        assert_eq!(s.merge_candidates, 13);
+        assert!((s.mean_fanout() - 2.5).abs() < 1e-12);
+        assert!((s.prune_rate() - 3.0 / 8.0).abs() < 1e-12);
+        assert_eq!(s.latency.count(), 2);
+        assert_eq!(s.engines.queries(), 0);
+    }
+}

@@ -1,0 +1,280 @@
+//! Spatial partitioning of the dataset into shards.
+//!
+//! Two policies over the point set's bounding rect:
+//!
+//! * **Grid** — the universe is cut into an `rows × cols` lattice whose
+//!   factor pair is closest to square (more cells along the longer
+//!   axis); points land in cells by coordinates, empty cells are
+//!   dropped. Cheap, and shard rects tile the space, which makes the
+//!   router's lower-bound pruning effective for queries near a corner.
+//! * **Kd-split** — recursive median splits along the longer axis,
+//!   dividing the target shard count proportionally, so every shard
+//!   holds nearly the same number of points regardless of skew.
+//!   Balanced load, at the cost of skinnier rects under heavy skew.
+//!
+//! Either way a [`ShardSpec`] carries the *tight* MBR of the points it
+//! actually holds (not the cell boundary) — the tighter the rect, the
+//! stronger the router's pruning bound.
+
+use ssq_geom::{Point, Rect};
+
+/// How the dataset is cut into shards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartitionPolicy {
+    /// Near-square lattice over the bounding rect; empty cells dropped.
+    Grid,
+    /// Recursive median splits along the longer axis (balanced counts).
+    KdSplit,
+}
+
+impl PartitionPolicy {
+    /// All policies, for sweeps and tests.
+    pub const ALL: [PartitionPolicy; 2] = [PartitionPolicy::Grid, PartitionPolicy::KdSplit];
+
+    /// Short stable name (`grid` / `kd`).
+    pub fn name(self) -> &'static str {
+        match self {
+            PartitionPolicy::Grid => "grid",
+            PartitionPolicy::KdSplit => "kd",
+        }
+    }
+}
+
+impl std::fmt::Display for PartitionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for PartitionPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<PartitionPolicy, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "grid" => Ok(PartitionPolicy::Grid),
+            "kd" | "kdsplit" | "kd-split" => Ok(PartitionPolicy::KdSplit),
+            other => Err(format!("unknown partition policy `{other}` (grid | kd)")),
+        }
+    }
+}
+
+/// One shard's slice of the dataset.
+#[derive(Clone, Debug)]
+pub struct ShardSpec {
+    /// Global ids (indexes into the original point slice) of the points
+    /// assigned here, ascending.
+    pub ids: Vec<u32>,
+    /// The points themselves, parallel to `ids`.
+    pub points: Vec<Point>,
+    /// Tight bounding rect of `points` — the geometric footprint the
+    /// router prunes against.
+    pub rect: Rect,
+}
+
+impl ShardSpec {
+    fn from_ids(mut ids: Vec<u32>, data: &[Point]) -> ShardSpec {
+        ids.sort_unstable();
+        let points: Vec<Point> = ids.iter().map(|&i| data[i as usize]).collect();
+        ShardSpec {
+            rect: Rect::bounding(points.iter().copied()),
+            ids,
+            points,
+        }
+    }
+
+    /// Number of points in this shard.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` when the shard holds no points (never produced by
+    /// [`partition`], which drops empties).
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+/// Splits `data` into at most `shards` non-empty [`ShardSpec`]s under
+/// `policy`. Fewer shards come back only when there are fewer points
+/// than requested shards (every returned shard is non-empty). Panics if
+/// `shards == 0` or `data` is empty — the router validates both first.
+pub fn partition(data: &[Point], shards: usize, policy: PartitionPolicy) -> Vec<ShardSpec> {
+    assert!(shards > 0, "shard count must be nonzero");
+    assert!(!data.is_empty(), "cannot partition an empty dataset");
+    let k = shards.min(data.len());
+    if k == 1 {
+        return vec![ShardSpec::from_ids((0..data.len() as u32).collect(), data)];
+    }
+    match policy {
+        PartitionPolicy::Grid => grid_partition(data, k),
+        PartitionPolicy::KdSplit => kd_partition(data, k),
+    }
+}
+
+/// The factor pair `(rows, cols)` of `k` minimizing `|rows - cols|`,
+/// oriented so the longer rect axis gets the larger count.
+fn lattice_shape(k: usize, rect: &Rect) -> (usize, usize) {
+    let mut best: (usize, usize) = (1, k);
+    for a in 1..=k {
+        if k.is_multiple_of(a) {
+            let b = k / a;
+            if a.abs_diff(b) < best.0.abs_diff(best.1) {
+                best = (a, b);
+            }
+        }
+    }
+    let (small, large) = (best.0.min(best.1), best.0.max(best.1));
+    if rect.height() > rect.width() {
+        (large, small) // more rows along the taller axis
+    } else {
+        (small, large)
+    }
+}
+
+fn grid_partition(data: &[Point], k: usize) -> Vec<ShardSpec> {
+    let universe = Rect::bounding(data.iter().copied());
+    let (rows, cols) = lattice_shape(k, &universe);
+    let w = universe.width().max(f64::MIN_POSITIVE);
+    let h = universe.height().max(f64::MIN_POSITIVE);
+    let mut cells: Vec<Vec<u32>> = vec![Vec::new(); rows * cols];
+    for (i, p) in data.iter().enumerate() {
+        let cx = (((p.x - universe.min.x) / w * cols as f64) as usize).min(cols - 1);
+        let cy = (((p.y - universe.min.y) / h * rows as f64) as usize).min(rows - 1);
+        cells[cy * cols + cx].push(i as u32);
+    }
+    cells
+        .into_iter()
+        .filter(|ids| !ids.is_empty())
+        .map(|ids| ShardSpec::from_ids(ids, data))
+        .collect()
+}
+
+fn kd_partition(data: &[Point], k: usize) -> Vec<ShardSpec> {
+    let mut out = Vec::with_capacity(k);
+    let ids: Vec<u32> = (0..data.len() as u32).collect();
+    kd_split(ids, k, data, &mut out);
+    out
+}
+
+/// Recursively splits `ids` into `k` chunks: the longer axis of the
+/// chunk's MBR is cut at the proportional rank so the two halves are
+/// asked for `⌊k/2⌋` and `⌈k/2⌉` shards with point counts to match.
+fn kd_split(mut ids: Vec<u32>, k: usize, data: &[Point], out: &mut Vec<ShardSpec>) {
+    if k <= 1 || ids.len() <= 1 {
+        out.push(ShardSpec::from_ids(ids, data));
+        return;
+    }
+    let rect = Rect::bounding(ids.iter().map(|&i| data[i as usize]));
+    let by_x = rect.width() >= rect.height();
+    let k_lo = k / 2;
+    // Rank proportional to the shard budget of the low side; clamp so
+    // both sides stay non-empty.
+    let cut = (ids.len() * k_lo / k).clamp(1, ids.len() - 1);
+    ids.select_nth_unstable_by(cut, |&a, &b| {
+        let (pa, pb) = (data[a as usize], data[b as usize]);
+        if by_x {
+            pa.x.total_cmp(&pb.x).then(pa.y.total_cmp(&pb.y))
+        } else {
+            pa.y.total_cmp(&pb.y).then(pa.x.total_cmp(&pb.x))
+        }
+    });
+    let hi = ids.split_off(cut);
+    kd_split(ids, k_lo, data, out);
+    kd_split(hi, k - k_lo, data, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloud(n: usize, seed: u64) -> Vec<Point> {
+        // Deterministic, duplicate-free, irregular.
+        (0..n)
+            .map(|i| {
+                let x = ((i as u64).wrapping_mul(seed | 1) % 997) as f64 / 99.7;
+                let y = ((i as u64).wrapping_mul(0x9E3779B9) % 991) as f64 / 99.1;
+                Point::new(x + 1e-6 * i as f64, y)
+            })
+            .collect()
+    }
+
+    fn assert_exact_cover(specs: &[ShardSpec], n: usize) {
+        let mut all: Vec<u32> = specs.iter().flat_map(|s| s.ids.iter().copied()).collect();
+        all.sort_unstable();
+        let want: Vec<u32> = (0..n as u32).collect();
+        assert_eq!(all, want, "partition must cover every point exactly once");
+        for s in specs {
+            assert!(!s.is_empty());
+            assert_eq!(s.ids.len(), s.points.len());
+            for p in &s.points {
+                assert!(s.rect.contains(*p), "tight rect excludes its own point");
+            }
+        }
+    }
+
+    #[test]
+    fn both_policies_cover_exactly() {
+        let data = cloud(500, 0xA1);
+        for policy in PartitionPolicy::ALL {
+            for k in [1, 2, 3, 4, 7, 8, 16] {
+                let specs = partition(&data, k, policy);
+                assert!(specs.len() <= k);
+                assert!(!specs.is_empty());
+                assert_exact_cover(&specs, data.len());
+            }
+        }
+    }
+
+    #[test]
+    fn kd_split_is_balanced_and_exact() {
+        let data = cloud(512, 0xB2);
+        for k in [2, 3, 4, 5, 8] {
+            let specs = partition(&data, k, PartitionPolicy::KdSplit);
+            assert_eq!(specs.len(), k, "kd must hit the target when n >= k");
+            let (lo, hi) = specs.iter().fold((usize::MAX, 0), |(lo, hi), s| {
+                (lo.min(s.len()), hi.max(s.len()))
+            });
+            assert!(
+                hi <= 2 * lo + 1,
+                "k={k}: shard sizes too skewed ({lo}..{hi})"
+            );
+        }
+    }
+
+    #[test]
+    fn more_shards_than_points_collapses() {
+        let data = cloud(3, 0xC3);
+        for policy in PartitionPolicy::ALL {
+            let specs = partition(&data, 8, policy);
+            assert!(specs.len() <= 3);
+            assert_exact_cover(&specs, 3);
+        }
+    }
+
+    #[test]
+    fn single_point_dataset() {
+        let data = vec![Point::new(1.0, 2.0)];
+        for policy in PartitionPolicy::ALL {
+            let specs = partition(&data, 4, policy);
+            assert_eq!(specs.len(), 1);
+            assert_eq!(specs[0].ids, vec![0]);
+        }
+    }
+
+    #[test]
+    fn grid_orients_along_the_longer_axis() {
+        let wide = Rect::from_corners(Point::new(0.0, 0.0), Point::new(10.0, 1.0));
+        assert_eq!(lattice_shape(8, &wide), (2, 4));
+        let tall = Rect::from_corners(Point::new(0.0, 0.0), Point::new(1.0, 10.0));
+        assert_eq!(lattice_shape(8, &tall), (4, 2));
+        assert_eq!(lattice_shape(7, &wide), (1, 7));
+    }
+
+    #[test]
+    fn policy_round_trips_through_strings() {
+        for policy in PartitionPolicy::ALL {
+            assert_eq!(policy.name().parse::<PartitionPolicy>().unwrap(), policy);
+        }
+        assert!("voronoi".parse::<PartitionPolicy>().is_err());
+    }
+}

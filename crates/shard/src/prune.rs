@@ -1,0 +1,84 @@
+//! The geometric shard-pruning bound.
+//!
+//! For a shard whose points all lie inside rect `R`, and a query whose
+//! anchors are the convex-hull vertices `CHv(Q)` (by Theorem 2 of the
+//! paper only those matter), the vector
+//! `lb = (mindist(R, q_1), …, mindist(R, q_m))` is a component-wise
+//! lower bound on the distance vector of *every* point in the shard.
+//! If some already-known point `p` has `d(p, q_i) <= lb_i` for all `i`
+//! and `d(p, q_j) < lb_j` for some `j`, then `p` dominates every point
+//! the shard could possibly contain — strictly closer to `q_j` than any
+//! shard point can be, and no farther from the rest — so the shard
+//! cannot contribute to the global skyline and is skipped without being
+//! queried. This is the shard-granular form of the visible-region
+//! pruning of Lemmas 5 and 6: strictness is checked against the *bound*
+//! rather than `p`'s own vector because a shard point may attain `lb`
+//! exactly (e.g. on the rect boundary), and ties never dominate.
+
+use ssq_geom::{Point, Rect};
+
+/// The component-wise best-possible (smallest) distance vector from any
+/// point inside `rect` to each anchor of `CHv(Q)`.
+pub fn rect_lower_bounds(rect: &Rect, anchors: &[Point]) -> Vec<f64> {
+    anchors.iter().map(|&q| rect.mindist(q)).collect()
+}
+
+/// `true` when a point with distance vector `v` dominates every point a
+/// shard with lower-bound vector `lb` could hold: `v <= lb` everywhere
+/// and `v < lb` somewhere.
+pub fn dominates_rect(v: &[f64], lb: &[f64]) -> bool {
+    debug_assert_eq!(v.len(), lb.len());
+    let mut strict = false;
+    for (&a, &b) in v.iter().zip(lb) {
+        if a > b {
+            return false;
+        }
+        if a < b {
+            strict = true;
+        }
+    }
+    strict
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_bounds_are_zero_inside_and_positive_outside() {
+        let rect = Rect::from_corners(Point::new(2.0, 2.0), Point::new(4.0, 4.0));
+        let anchors = [
+            Point::new(3.0, 3.0),
+            Point::new(0.0, 3.0),
+            Point::new(7.0, 4.0),
+        ];
+        let lb = rect_lower_bounds(&rect, &anchors);
+        assert_eq!(lb, vec![0.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn domination_needs_strictness_against_the_bound() {
+        // Equal on every component: no shard point can be *dominated*
+        // by a tie, so the shard must not be pruned.
+        assert!(!dominates_rect(&[1.0, 2.0], &[1.0, 2.0]));
+        assert!(dominates_rect(&[1.0, 1.5], &[1.0, 2.0]));
+        assert!(!dominates_rect(&[1.0, 2.5], &[1.5, 2.0]));
+    }
+
+    #[test]
+    fn bound_is_sound_for_every_point_in_the_rect() {
+        // Any point inside the rect has a distance vector >= lb
+        // component-wise, so a vector dominating lb dominates them all.
+        let rect = Rect::from_corners(Point::new(5.0, 5.0), Point::new(6.0, 7.0));
+        let anchors = [Point::new(0.0, 0.0), Point::new(9.0, 1.0)];
+        let lb = rect_lower_bounds(&rect, &anchors);
+        for i in 0..=10 {
+            for j in 0..=10 {
+                let p = Point::new(5.0 + i as f64 / 10.0, 5.0 + 2.0 * j as f64 / 10.0);
+                for (k, &q) in anchors.iter().enumerate() {
+                    assert!(p.distance(q) >= lb[k] - 1e-12);
+                }
+            }
+        }
+    }
+}

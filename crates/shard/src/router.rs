@@ -1,0 +1,483 @@
+//! The sharded engine: partition, route, prune, fan out, merge.
+//!
+//! [`ShardedEngine::new`] partitions the dataset under a
+//! [`PartitionPolicy`] and builds one full
+//! [`Engine`] (indexes, worker pool, cache) per shard. A query then
+//! goes through four steps:
+//!
+//! 1. **Bound** — compute each shard rect's lower-bound distance vector
+//!    to `CHv(Q)` ([`rect_lower_bounds`]).
+//! 2. **Seed** — query the *primary* shard (smallest lower-bound sum,
+//!    i.e. the shard the query sits in or nearest to) synchronously;
+//!    its skyline points are real, so their distance vectors become
+//!    pruning ammunition.
+//! 3. **Fan out** — every remaining shard whose bound is dominated by a
+//!    seed vector is skipped ([`dominates_rect`]);
+//!    the rest are queried concurrently through their engines' tickets,
+//!    bounded by [`ShardConfig::shard_timeout`] when set.
+//! 4. **Merge** — per-shard skylines, remapped to global ids, pass
+//!    through the exact dominance filter
+//!    ([`merge_candidates`]).
+//!
+//! Pruning never affects the answer (the bound is sound — see
+//! [`prune`](crate::prune)); it only avoids work, which the metrics
+//! make observable.
+
+use crate::merge::merge_candidates;
+use crate::metrics::{ShardMetrics, ShardedMetricsSnapshot};
+use crate::partition::{partition, PartitionPolicy, ShardSpec};
+use crate::prune::{dominates_rect, rect_lower_bounds};
+use ssq_core::{QueryContext, QueryStats};
+use ssq_engine::{Engine, EngineConfig, EngineError, QueryRequest};
+use ssq_geom::{Point, Rect};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`ShardedEngine::new`].
+#[derive(Clone, Debug)]
+pub struct ShardConfig {
+    /// Target shard count (the partitioner may return fewer on tiny
+    /// datasets; must be nonzero).
+    pub shards: usize,
+    /// How the dataset is cut into shards.
+    pub policy: PartitionPolicy,
+    /// Per-shard engine configuration (workers, cache, queue).
+    pub engine: EngineConfig,
+    /// Upper bound on waiting for any one shard's sub-query; `None`
+    /// waits indefinitely. On expiry the query fails with
+    /// [`ShardError::Timeout`] instead of wedging the router.
+    pub shard_timeout: Option<Duration>,
+    /// Whether the dominance bound may skip shards (on by default;
+    /// turning it off forces full fan-out, useful for A/B measurement).
+    pub prune: bool,
+}
+
+impl Default for ShardConfig {
+    fn default() -> ShardConfig {
+        ShardConfig {
+            shards: 4,
+            policy: PartitionPolicy::Grid,
+            engine: EngineConfig::default(),
+            shard_timeout: None,
+            prune: true,
+        }
+    }
+}
+
+impl ShardConfig {
+    /// This config with exactly `shards` target shards.
+    pub fn with_shards(mut self, shards: usize) -> ShardConfig {
+        self.shards = shards;
+        self
+    }
+
+    /// This config with partition policy `policy`.
+    pub fn with_policy(mut self, policy: PartitionPolicy) -> ShardConfig {
+        self.policy = policy;
+        self
+    }
+
+    /// This config with per-shard engine configuration `engine`.
+    pub fn with_engine(mut self, engine: EngineConfig) -> ShardConfig {
+        self.engine = engine;
+        self
+    }
+
+    /// This config with a bound on each shard sub-query wait.
+    pub fn with_shard_timeout(mut self, timeout: Duration) -> ShardConfig {
+        self.shard_timeout = Some(timeout);
+        self
+    }
+
+    /// This config with shard pruning enabled or disabled.
+    pub fn with_prune(mut self, prune: bool) -> ShardConfig {
+        self.prune = prune;
+        self
+    }
+}
+
+/// Failures surfaced by the sharded engine.
+#[derive(Debug)]
+pub enum ShardError {
+    /// Construction or validation failed inside a shard engine.
+    Engine(EngineError),
+    /// The dataset was empty or the shard count zero.
+    InvalidConfig(String),
+    /// Shard `shard` did not answer within
+    /// [`ShardConfig::shard_timeout`].
+    Timeout {
+        /// Index of the shard that timed out.
+        shard: usize,
+    },
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Engine(e) => write!(f, "shard engine: {e}"),
+            ShardError::InvalidConfig(msg) => write!(f, "shard config: {msg}"),
+            ShardError::Timeout { shard } => write!(f, "shard {shard} timed out"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<EngineError> for ShardError {
+    fn from(e: EngineError) -> ShardError {
+        ShardError::Engine(e)
+    }
+}
+
+/// Static facts about one shard, for reports.
+#[derive(Clone, Debug)]
+pub struct ShardInfo {
+    /// Shard index.
+    pub index: usize,
+    /// Points held.
+    pub len: usize,
+    /// Tight bounding rect of the shard's points.
+    pub rect: Rect,
+}
+
+/// The answer to one routed query.
+#[derive(Clone, Debug)]
+pub struct ShardedResponse {
+    /// Global skyline point ids, ascending — exactly the single-engine
+    /// answer on the union dataset.
+    pub skyline: Vec<u32>,
+    /// Shards whose engines actually ran the query.
+    pub shards_queried: usize,
+    /// Shards skipped by the dominance bound.
+    pub shards_pruned: usize,
+    /// End-to-end service time: bound + fan-out + merge.
+    pub latency: Duration,
+    /// Work counters summed over shard sub-queries plus the merge.
+    pub stats: QueryStats,
+}
+
+struct Shard {
+    engine: Engine,
+    ids: Vec<u32>,
+    rect: Rect,
+}
+
+/// One [`Engine`] per spatial shard behind a pruning router.
+pub struct ShardedEngine {
+    shards: Vec<Shard>,
+    metrics: ShardMetrics,
+    timeout: Option<Duration>,
+    prune: bool,
+}
+
+impl ShardedEngine {
+    /// Partitions `points` and builds the per-shard engines.
+    pub fn new(points: &[Point], config: ShardConfig) -> Result<ShardedEngine, ShardError> {
+        if config.shards == 0 {
+            return Err(ShardError::InvalidConfig(
+                "shard count must be nonzero".into(),
+            ));
+        }
+        if points.is_empty() {
+            return Err(ShardError::Engine(EngineError::EmptyDataset));
+        }
+        config.engine.validate()?;
+        let specs = partition(points, config.shards, config.policy);
+        let shards = specs
+            .into_iter()
+            .map(|spec: ShardSpec| {
+                Ok(Shard {
+                    engine: Engine::new(&spec.points, config.engine.clone())?,
+                    ids: spec.ids,
+                    rect: spec.rect,
+                })
+            })
+            .collect::<Result<Vec<Shard>, EngineError>>()?;
+        Ok(ShardedEngine {
+            shards,
+            metrics: ShardMetrics::new(),
+            timeout: config.shard_timeout,
+            prune: config.prune,
+        })
+    }
+
+    /// Number of shards actually built (≤ the configured target).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total points across all shards.
+    pub fn data_len(&self) -> usize {
+        self.shards.iter().map(|s| s.ids.len()).sum()
+    }
+
+    /// Static per-shard facts, for `shard-stats` style reports.
+    pub fn shard_infos(&self) -> Vec<ShardInfo> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(index, s)| ShardInfo {
+                index,
+                len: s.ids.len(),
+                rect: s.rect,
+            })
+            .collect()
+    }
+
+    /// Routes one query: seed the primary shard, prune, fan out, merge.
+    pub fn query(&self, q: &[Point]) -> Result<ShardedResponse, ShardError> {
+        let start = Instant::now();
+        let ctx = QueryContext::new(q);
+        let anchors = ctx.anchors();
+        let mut stats = QueryStats::default();
+
+        // Lower-bound vector and its sum per shard; the primary shard is
+        // the one the query can be served cheapest from.
+        let bounds: Vec<Vec<f64>> = self
+            .shards
+            .iter()
+            .map(|s| rect_lower_bounds(&s.rect, anchors))
+            .collect();
+        let primary = (0..self.shards.len())
+            .min_by(|&a, &b| {
+                let (sa, sb) = (bounds[a].iter().sum::<f64>(), bounds[b].iter().sum::<f64>());
+                sa.total_cmp(&sb)
+            })
+            .expect("at least one shard");
+
+        // Seed: the primary shard's skyline points are real answers whose
+        // distance vectors prune distant shards.
+        let seed = self.wait_shard(
+            primary,
+            self.shards[primary]
+                .engine
+                .submit(QueryRequest::new(q.to_vec())),
+        )?;
+        stats.absorb(&seed.stats);
+        let mut candidates: Vec<(u32, Point)> = self.remap(primary, &seed.skyline);
+        let seed_vectors: Vec<Vec<f64>> = candidates
+            .iter()
+            .map(|&(_, p)| ctx.dist_vector(p, &mut stats))
+            .collect();
+
+        // Fan out to every other shard the seed cannot rule out.
+        let mut pruned = 0usize;
+        let mut pending: Vec<(usize, ssq_engine::QueryHandle)> = Vec::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            if i == primary {
+                continue;
+            }
+            let skip = self.prune && seed_vectors.iter().any(|v| dominates_rect(v, &bounds[i]));
+            if skip {
+                pruned += 1;
+            } else {
+                pending.push((i, shard.engine.submit(QueryRequest::new(q.to_vec()))));
+            }
+        }
+        let queried = 1 + pending.len();
+        for (i, handle) in pending {
+            let response = self.wait_shard(i, handle)?;
+            stats.absorb(&response.stats);
+            candidates.extend(self.remap(i, &response.skyline));
+        }
+
+        // Merge to the exact global skyline.
+        let skyline = merge_candidates(&ctx, &candidates, &mut stats);
+        let latency = start.elapsed();
+        self.metrics.record_query(
+            queried as u64,
+            pruned as u64,
+            candidates.len() as u64,
+            latency,
+        );
+        Ok(ShardedResponse {
+            skyline,
+            shards_queried: queried,
+            shards_pruned: pruned,
+            latency,
+            stats,
+        })
+    }
+
+    fn wait_shard(
+        &self,
+        shard: usize,
+        handle: ssq_engine::QueryHandle,
+    ) -> Result<ssq_engine::QueryResponse, ShardError> {
+        match self.timeout {
+            None => Ok(handle.wait()),
+            Some(t) => handle
+                .wait_timeout(t)
+                .map_err(|_| ShardError::Timeout { shard }),
+        }
+    }
+
+    /// Local skyline ids of `shard` mapped back to global ids + points.
+    fn remap(&self, shard: usize, local: &[u32]) -> Vec<(u32, Point)> {
+        let s = &self.shards[shard];
+        local
+            .iter()
+            .map(|&l| {
+                let global = s.ids[l as usize];
+                (global, s.engine.points()[l as usize])
+            })
+            .collect()
+    }
+
+    /// Router metrics plus the folded per-shard engine metrics.
+    pub fn metrics(&self) -> ShardedMetricsSnapshot {
+        let engine_snaps: Vec<_> = self.shards.iter().map(|s| s.engine.metrics()).collect();
+        self.metrics.snapshot(engine_snaps.iter())
+    }
+
+    /// Drains and joins every shard engine's worker pool.
+    pub fn shutdown(self) {
+        for shard in self.shards {
+            shard.engine.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssq_core::naive_full;
+
+    fn cloud(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                Point::new(
+                    (i % 19) as f64 + 3e-4 * i as f64,
+                    (i / 19) as f64 + 5e-5 * i as f64,
+                )
+            })
+            .collect()
+    }
+
+    fn small_engines() -> EngineConfig {
+        EngineConfig::default().with_workers(2)
+    }
+
+    #[test]
+    fn sharded_answer_equals_the_oracle_for_odd_shard_counts() {
+        let data = cloud(400);
+        let q = vec![
+            Point::new(5.0, 5.0),
+            Point::new(14.0, 8.0),
+            Point::new(9.0, 18.0),
+        ];
+        let want = naive_full(&data, &QueryContext::new(&q)).skyline;
+        for policy in PartitionPolicy::ALL {
+            for shards in [1, 3, 5, 6] {
+                let config = ShardConfig::default()
+                    .with_shards(shards)
+                    .with_policy(policy)
+                    .with_engine(small_engines());
+                let engine = ShardedEngine::new(&data, config).unwrap();
+                let got = engine.query(&q).unwrap();
+                assert_eq!(
+                    got.skyline, want,
+                    "policy {policy}, {shards} shards diverged"
+                );
+                assert_eq!(got.shards_queried + got.shards_pruned, engine.shard_count());
+                engine.shutdown();
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_fires_on_a_corner_query_without_changing_the_answer() {
+        let data = cloud(600);
+        // A tight query in one corner of the universe: far shards are
+        // dominated by the primary shard's skyline.
+        let q = vec![
+            Point::new(0.4, 0.3),
+            Point::new(1.2, 0.8),
+            Point::new(0.7, 1.5),
+        ];
+        let config = ShardConfig::default()
+            .with_shards(8)
+            .with_engine(small_engines());
+        let engine = ShardedEngine::new(&data, config).unwrap();
+        let got = engine.query(&q).unwrap();
+        assert_eq!(
+            got.skyline,
+            naive_full(&data, &QueryContext::new(&q)).skyline
+        );
+        assert!(got.shards_pruned > 0, "corner query should prune shards");
+        let m = engine.metrics();
+        assert_eq!(m.queries, 1);
+        assert_eq!(m.shards_pruned, got.shards_pruned as u64);
+        assert!(m.prune_rate() > 0.0);
+        assert_eq!(m.engines.queries(), got.shards_queried as u64);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn disabling_prune_queries_every_shard() {
+        let data = cloud(300);
+        let q = vec![Point::new(0.5, 0.5), Point::new(1.5, 1.0)];
+        let config = ShardConfig::default()
+            .with_shards(4)
+            .with_engine(small_engines())
+            .with_prune(false);
+        let engine = ShardedEngine::new(&data, config).unwrap();
+        let got = engine.query(&q).unwrap();
+        assert_eq!(got.shards_pruned, 0);
+        assert_eq!(got.shards_queried, engine.shard_count());
+        assert_eq!(
+            got.skyline,
+            naive_full(&data, &QueryContext::new(&q)).skyline
+        );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn invalid_configs_are_typed_errors() {
+        let data = cloud(10);
+        assert!(matches!(
+            ShardedEngine::new(&data, ShardConfig::default().with_shards(0)),
+            Err(ShardError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            ShardedEngine::new(&[], ShardConfig::default()),
+            Err(ShardError::Engine(EngineError::EmptyDataset))
+        ));
+        let bad_engine =
+            ShardConfig::default().with_engine(EngineConfig::default().with_workers(0));
+        assert!(matches!(
+            ShardedEngine::new(&data, bad_engine),
+            Err(ShardError::Engine(EngineError::ZeroWorkers))
+        ));
+    }
+
+    #[test]
+    fn generous_timeout_still_answers() {
+        let data = cloud(200);
+        let config = ShardConfig::default()
+            .with_shards(4)
+            .with_engine(small_engines())
+            .with_shard_timeout(Duration::from_secs(30));
+        let engine = ShardedEngine::new(&data, config).unwrap();
+        let q = vec![Point::new(4.0, 4.0), Point::new(10.0, 6.0)];
+        let got = engine.query(&q).unwrap();
+        assert_eq!(
+            got.skyline,
+            naive_full(&data, &QueryContext::new(&q)).skyline
+        );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn tiny_dataset_collapses_but_answers() {
+        let data = vec![Point::new(1.0, 1.0), Point::new(2.0, 3.0)];
+        let engine = ShardedEngine::new(&data, ShardConfig::default().with_shards(8)).unwrap();
+        assert!(engine.shard_count() <= 2);
+        let q = vec![Point::new(0.0, 0.0), Point::new(3.0, 3.0)];
+        let got = engine.query(&q).unwrap();
+        assert_eq!(
+            got.skyline,
+            naive_full(&data, &QueryContext::new(&q)).skyline
+        );
+        engine.shutdown();
+    }
+}

@@ -20,7 +20,10 @@
 //!   paper's experiments;
 //! * [`engine`] — a concurrent query-serving engine (worker pool, LRU
 //!   query-context cache, adaptive planner, continuous sessions, metrics)
-//!   over shared immutable index snapshots.
+//!   over shared immutable index snapshots;
+//! * [`shard`] — sharded serving: spatial partitioner (grid / kd-split),
+//!   one engine per shard, a dominance-bound shard-pruning router, and an
+//!   exact cross-shard skyline merge.
 //!
 //! ## Quickstart
 //!
@@ -53,6 +56,7 @@ pub use ssq_delaunay as delaunay;
 pub use ssq_engine as engine;
 pub use ssq_geom as geom;
 pub use ssq_rtree as rtree;
+pub use ssq_shard as shard;
 pub use ssq_skyline as skyline;
 pub use ssq_workload as workload;
 
