@@ -512,6 +512,172 @@ pub fn sharded_scaling(
         .collect()
 }
 
+/// One row of the swap-under-load experiment: the same mid-stream
+/// dataset replacement served either as a **live** snapshot-catalog swap
+/// ([`ssq_engine::Engine::reindex`]) or as a **cold restart**
+/// (drain every in-flight query, drop the engine, rebuild from scratch,
+/// then resume). Latencies are *client-observed* — measured around
+/// `submit` + `wait` at the call site — because the engine's own
+/// histogram excludes queue wait and any restart stall, which is exactly
+/// the cost this experiment exists to show.
+#[derive(Clone, Copy, Debug)]
+pub struct SwapRow {
+    /// `true` for the cold-restart arm, `false` for the live swap.
+    pub cold_restart: bool,
+    /// Requests served across the run (the swap lands halfway).
+    pub requests: usize,
+    /// Wall-clock service rate.
+    pub reqs_per_sec: f64,
+    /// Median client-observed latency, microseconds (bucketed upper
+    /// bound).
+    pub p50_us: f64,
+    /// 99th-percentile client-observed latency, microseconds.
+    pub p99_us: f64,
+    /// The single worst client-observed latency, milliseconds — the
+    /// stall a user at the wrong moment actually ate.
+    pub max_stall_ms: f64,
+    /// How long the dataset replacement itself took, milliseconds.
+    pub swap_ms: f64,
+}
+
+/// Serves `requests` queries from `clients` concurrent client threads
+/// and replaces the dataset with `new_points` halfway through — live
+/// catalog swap when `cold_restart` is false, drain-and-rebuild when
+/// true. In both arms every response's skyline ids are checked against
+/// the dataset size of the generation it reports.
+#[allow(clippy::too_many_arguments)]
+pub fn run_swap_under_load(
+    old_points: &[Point],
+    new_points: &[Point],
+    threads: usize,
+    clients: usize,
+    requests: usize,
+    distinct: usize,
+    seed: u64,
+    cold_restart: bool,
+) -> SwapRow {
+    use ssq_engine::{Engine, EngineConfig, LatencyHistogram, QueryRequest};
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::RwLock;
+
+    let universe = ssq_geom::Rect::bounding(old_points.iter().chain(new_points).copied());
+    let query_sets: Vec<Vec<Point>> = (0..distinct)
+        .map(|i| {
+            random_query_set(&QueryConfig {
+                count: 5,
+                mbr_area_fraction: 0.001,
+                universe,
+                seed: seed.wrapping_add(i as u64 * 131),
+            })
+        })
+        .collect();
+    let config = EngineConfig::default().with_workers(threads.max(1));
+    // Both arms go through the same slot so the client code path is
+    // identical; only the replacement strategy differs. The live arm
+    // never takes the write lock — reindex works through `&Engine`.
+    let slot = RwLock::new(Engine::new(old_points, config.clone()).expect("distinct points"));
+    let observed = LatencyHistogram::new();
+    let started = AtomicUsize::new(0);
+    let max_nanos = AtomicU64::new(0);
+    let swap_at = requests / 2;
+    let clients = clients.max(1);
+
+    let t0 = Instant::now();
+    let swap_ms = std::thread::scope(|scope| {
+        let slot = &slot;
+        let observed = &observed;
+        let started = &started;
+        let max_nanos = &max_nanos;
+        let query_sets = &query_sets;
+        for c in 0..clients {
+            scope.spawn(move || {
+                let mut rng = Xoshiro256::seed_from_u64(seed ^ 0x53_57 ^ c as u64);
+                loop {
+                    if started.fetch_add(1, Ordering::Relaxed) >= requests {
+                        break;
+                    }
+                    let q = query_sets[rng.range_usize(query_sets.len())].clone();
+                    let t = Instant::now();
+                    let r = {
+                        let engine = slot.read().unwrap();
+                        engine.submit(QueryRequest::new(q)).wait()
+                    };
+                    let dt = t.elapsed();
+                    observed.record(dt);
+                    let nanos = u64::try_from(dt.as_nanos()).unwrap_or(u64::MAX);
+                    max_nanos.fetch_max(nanos, Ordering::Relaxed);
+                    let limit = if r.generation == 0 {
+                        old_points.len()
+                    } else {
+                        new_points.len()
+                    };
+                    assert!(
+                        r.skyline.iter().all(|&i| (i as usize) < limit),
+                        "response ids exceed generation {} dataset",
+                        r.generation
+                    );
+                }
+            });
+        }
+        while started.load(Ordering::Relaxed) < swap_at {
+            std::thread::yield_now();
+        }
+        let ts = Instant::now();
+        if cold_restart {
+            // Write lock = drain: acquired only once every in-flight
+            // query (read lock) finishes; clients then block until the
+            // rebuilt engine is published. The replacement starts at
+            // generation 1 so responses keep reporting which dataset
+            // they were answered against.
+            let replacement = ssq_engine::Snapshot::build(1, new_points).expect("distinct points");
+            let mut engine = slot.write().unwrap();
+            let old = std::mem::replace(
+                &mut *engine,
+                Engine::with_snapshot(std::sync::Arc::new(replacement), config.clone())
+                    .expect("valid config"),
+            );
+            old.shutdown();
+        } else {
+            let engine = slot.read().unwrap();
+            engine.reindex(new_points).expect("reindex failed");
+        }
+        ts.elapsed().as_secs_f64() * 1e3
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let snap = observed.snapshot();
+    SwapRow {
+        cold_restart,
+        requests,
+        reqs_per_sec: requests as f64 / elapsed,
+        p50_us: snap.percentile(0.50).as_nanos() as f64 / 1e3,
+        p99_us: snap.percentile(0.99).as_nanos() as f64 / 1e3,
+        max_stall_ms: max_nanos.load(Ordering::Relaxed) as f64 / 1e6,
+        swap_ms,
+    }
+}
+
+/// Both arms of the swap experiment on the same datasets and stream:
+/// `(live, cold)`.
+#[allow(clippy::too_many_arguments)]
+pub fn swap_comparison(
+    old_points: &[Point],
+    new_points: &[Point],
+    threads: usize,
+    clients: usize,
+    requests: usize,
+    distinct: usize,
+    seed: u64,
+) -> (SwapRow, SwapRow) {
+    let live = run_swap_under_load(
+        old_points, new_points, threads, clients, requests, distinct, seed, false,
+    );
+    let cold = run_swap_under_load(
+        old_points, new_points, threads, clients, requests, distinct, seed, true,
+    );
+    (live, cold)
+}
+
 /// Prints the Table 5 substitute: the synthetic dataset's category mix.
 pub fn table5(n: usize, seed: u64) -> Vec<(String, usize, f64)> {
     let data = synthetic_usgs(&UsgsConfig {
@@ -636,6 +802,21 @@ mod tests {
         for r in &rows {
             assert!(r.reqs_per_sec > 0.0);
         }
+    }
+
+    #[test]
+    fn swap_under_load_smoke() {
+        let old = Fixture::usgs(500, 12).points;
+        let new = Fixture::usgs(700, 13).points;
+        let live = run_swap_under_load(&old, &new, 2, 2, 80, 8, 41, false);
+        assert!(!live.cold_restart);
+        assert_eq!(live.requests, 80);
+        assert!(live.reqs_per_sec > 0.0);
+        assert!(live.p99_us >= live.p50_us);
+        assert!(live.swap_ms > 0.0);
+        let cold = run_swap_under_load(&old, &new, 2, 2, 80, 8, 41, true);
+        assert!(cold.cold_restart);
+        assert!(cold.max_stall_ms > 0.0);
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //!                [--distinct 16] [--count 5] [--area 0.001] [--seed 7]
 //!                [--algorithm naive|bbs|b2s2|vs2]
 //!                [--shards N] [--policy grid|kd] [--clients C]
+//! ssq reindex  --data old.csv --next new.csv [--requests 2000]
+//!                [--threads 0] [--clients 4] [--distinct 16] [--count 5]
+//!                [--area 0.001] [--seed 7] [--shards N] [--policy grid|kd]
 //! ssq shard-stats --data points.csv --shards N [--policy grid|kd]
 //!                [--queries 200] [--count 5] [--area 0.001] [--seed 7]
 //! ```
@@ -24,6 +27,7 @@
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use ssq_core::mixed::{mixed_b2s2, MixedContext};
 use ssq_core::ranked::{b2s2_ranked, WeightedSum};
@@ -88,6 +92,10 @@ USAGE:
                [--distinct <sets>] [--count <pts/set>] [--area <frac>]
                [--seed <u64>] [--algorithm naive|bbs|b2s2|vs2]
                [--shards <n>] [--policy grid|kd] [--clients <n>]
+  ssq reindex  --data <old.csv> --next <new.csv> [--requests <n>]
+               [--threads <n>] [--clients <n>] [--distinct <sets>]
+               [--count <pts/set>] [--area <frac>] [--seed <u64>]
+               [--shards <n>] [--policy grid|kd]
   ssq shard-stats --data <file.csv> --shards <n> [--policy grid|kd]
                [--queries <n>] [--count <pts/set>] [--area <frac>]
                [--seed <u64>]
@@ -100,9 +108,16 @@ sets (repeats exercise the context cache) and reports req/s, latency
 percentiles, and the cache hit rate; `--threads 0` means one worker per
 CPU core. With `--shards N` (N > 0) the same stream is routed through a
 ShardedEngine — one engine per spatial shard with dominance-based shard
-pruning — driven by `--clients` concurrent client threads. `shard-stats`
+pruning — driven by `--clients` concurrent client threads. `reindex`
+runs the same serve loop over <old.csv> and, halfway through the
+request stream, builds and atomically publishes <new.csv> as the next
+snapshot generation — queries never pause, the stream keeps serving
+until the swap has published (plus a short tail, so both generations
+see traffic), and the report shows the build time and how many queries
+each generation served. `shard-stats`
 partitions the data, runs a probe workload, and reports per-shard sizes,
-rects, fan-out and prune rates.";
+rects, fan-out and prune rates, plus the fleet's snapshot generation and
+swap counters.";
 
 /// Entry point: parses `args` (without the program name) and runs.
 pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
@@ -113,6 +128,7 @@ pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         Some("render") => render_cmd(&args[1..], out),
         Some("continuous") => continuous(&args[1..], out),
         Some("throughput") => throughput(&args[1..], out),
+        Some("reindex") => reindex_cmd(&args[1..], out),
         Some("shard-stats") => shard_stats(&args[1..], out),
         Some("--help") | Some("-h") | Some("help") => {
             writeln!(out, "{USAGE}")?;
@@ -628,6 +644,342 @@ fn sharded_throughput<W: Write>(
     Ok(())
 }
 
+/// A running serve loop with a live reindex in the middle: client
+/// threads hammer the engine with queries while the main thread builds
+/// the next snapshot generation from `--next` and publishes it
+/// atomically. No query is paused, dropped, or answered inconsistently;
+/// the report shows the swap cost and the per-generation query split.
+fn reindex_cmd<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
+    use ssq_engine::{Engine, EngineConfig, QueryRequest};
+    use ssq_workload::rng::Xoshiro256;
+    use ssq_workload::{random_query_set, QueryConfig};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    let data = PathBuf::from(
+        flag_value(args, "--data").ok_or_else(|| CliError::Usage("reindex needs --data".into()))?,
+    );
+    let next = PathBuf::from(
+        flag_value(args, "--next").ok_or_else(|| CliError::Usage("reindex needs --next".into()))?,
+    );
+    let requests: usize = flag_value(args, "--requests")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--requests must be an integer".into()))
+        })
+        .transpose()?
+        .unwrap_or(2000);
+    let threads: usize = flag_value(args, "--threads")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--threads must be an integer".into()))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    let clients: usize = flag_value(args, "--clients")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--clients must be an integer".into()))
+        })
+        .transpose()?
+        .unwrap_or(4)
+        .max(1);
+    let distinct: usize = flag_value(args, "--distinct")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--distinct must be an integer".into()))
+        })
+        .transpose()?
+        .unwrap_or(16);
+    let count: usize = flag_value(args, "--count")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--count must be an integer".into()))
+        })
+        .transpose()?
+        .unwrap_or(5);
+    let area: f64 = flag_value(args, "--area")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--area must be a number".into()))
+        })
+        .transpose()?
+        .unwrap_or(0.001);
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--seed must be an integer".into()))
+        })
+        .transpose()?
+        .unwrap_or(7);
+    let shards: usize = flag_value(args, "--shards")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--shards must be an integer".into()))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    let policy: ssq_shard::PartitionPolicy = flag_value(args, "--policy")
+        .map(|s| s.parse().map_err(CliError::Usage))
+        .transpose()?
+        .unwrap_or(ssq_shard::PartitionPolicy::Grid);
+    if requests == 0 || distinct == 0 || count == 0 {
+        return Err(CliError::Usage(
+            "--requests, --distinct and --count must be nonzero".into(),
+        ));
+    }
+
+    let old_table = csv::read_points(BufReader::new(File::open(&data)?))?;
+    let new_table = csv::read_points(BufReader::new(File::open(&next)?))?;
+    if old_table.points.is_empty() || new_table.points.is_empty() {
+        return Err(CliError::Other("data files must have points".into()));
+    }
+    // Query sets drawn from the union footprint so they make sense
+    // against both generations.
+    let universe = Rect::bounding(
+        old_table
+            .points
+            .iter()
+            .chain(new_table.points.iter())
+            .copied(),
+    );
+    let query_sets: Vec<Vec<ssq_geom::Point>> = (0..distinct)
+        .map(|i| {
+            random_query_set(&QueryConfig {
+                count,
+                mbr_area_fraction: area,
+                universe,
+                seed: seed.wrapping_add(i as u64),
+            })
+        })
+        .collect();
+    let mut config = EngineConfig::default();
+    if threads > 0 {
+        config.workers = threads;
+    }
+
+    // Per-generation dataset sizes: each response's skyline ids must
+    // index into the dataset of the generation it reports.
+    let len_of = |generation: u64| -> usize {
+        if generation == 0 {
+            old_table.points.len()
+        } else {
+            new_table.points.len()
+        }
+    };
+    let swap_at = requests / 2;
+    let started = AtomicUsize::new(0);
+    let served = AtomicUsize::new(0);
+    let errors = AtomicUsize::new(0);
+    // Clients claim from `budget` but may only exit once the swap has
+    // published: the stream must outlive the build so the new generation
+    // demonstrably serves traffic. After publishing, the swap thread
+    // raises the budget by a post-swap tail in case the original stream
+    // drained while the indexes were still building.
+    let budget = AtomicUsize::new(requests);
+    let swapped = AtomicBool::new(false);
+    let swap_result: Result<(u64, Duration), String>;
+
+    if shards > 0 {
+        use ssq_shard::{ShardConfig, ShardedEngine};
+        let engine = ShardedEngine::new(
+            &old_table.points,
+            ShardConfig::default()
+                .with_shards(shards)
+                .with_policy(policy)
+                .with_engine(config),
+        )
+        .map_err(|e| CliError::Other(format!("cannot start sharded engine: {e}")))?;
+        swap_result = std::thread::scope(|scope| {
+            let engine = &engine;
+            let started = &started;
+            let served = &served;
+            let errors = &errors;
+            let budget = &budget;
+            let swapped = &swapped;
+            for c in 0..clients {
+                let query_sets = &query_sets;
+                scope.spawn(move || {
+                    let mut rng = Xoshiro256::seed_from_u64(seed ^ 0x5245 ^ c as u64);
+                    loop {
+                        if started.fetch_add(1, Ordering::Relaxed) >= budget.load(Ordering::Acquire)
+                        {
+                            if swapped.load(Ordering::Acquire) {
+                                break;
+                            }
+                            std::thread::yield_now();
+                            continue;
+                        }
+                        let q = &query_sets[rng.range_usize(query_sets.len())];
+                        match engine.query(q) {
+                            Ok(r) => {
+                                served.fetch_add(1, Ordering::Relaxed);
+                                let limit = len_of(r.generation);
+                                if r.skyline.iter().any(|&i| i as usize >= limit) {
+                                    errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            Err(_) => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+            while started.load(Ordering::Relaxed) < swap_at {
+                std::thread::yield_now();
+            }
+            let t0 = std::time::Instant::now();
+            let generation = engine.reindex(&new_table.points).map_err(|e| e.to_string());
+            let took = t0.elapsed();
+            budget.fetch_max(
+                started.load(Ordering::Relaxed) + requests / 4 + 1,
+                Ordering::Release,
+            );
+            swapped.store(true, Ordering::Release);
+            generation.map(|g| (g, took))
+        });
+        let m = engine.metrics();
+        report_reindex(
+            out,
+            &data,
+            &next,
+            &old_table.points,
+            &new_table.points,
+            requests,
+            served.load(Ordering::Relaxed),
+            clients,
+            swap_result,
+            errors.load(Ordering::Relaxed),
+            // Folded per-engine counts: shard *sub-queries*, not routed
+            // requests (a routed query fans out to >= 1 shards).
+            "subqueries:",
+            m.engines.queries_per_generation.clone(),
+            &m.latency,
+        )?;
+        engine.shutdown();
+    } else {
+        let engine = Engine::new(&old_table.points, config)
+            .map_err(|e| CliError::Other(format!("cannot start engine: {e}")))?;
+        swap_result = std::thread::scope(|scope| {
+            let engine = &engine;
+            let started = &started;
+            let served = &served;
+            let errors = &errors;
+            let budget = &budget;
+            let swapped = &swapped;
+            for c in 0..clients {
+                let query_sets = &query_sets;
+                scope.spawn(move || {
+                    let mut rng = Xoshiro256::seed_from_u64(seed ^ 0x5245 ^ c as u64);
+                    loop {
+                        if started.fetch_add(1, Ordering::Relaxed) >= budget.load(Ordering::Acquire)
+                        {
+                            if swapped.load(Ordering::Acquire) {
+                                break;
+                            }
+                            std::thread::yield_now();
+                            continue;
+                        }
+                        let q = query_sets[rng.range_usize(query_sets.len())].clone();
+                        let r = engine.submit(QueryRequest::new(q)).wait();
+                        served.fetch_add(1, Ordering::Relaxed);
+                        let limit = len_of(r.generation);
+                        if r.skyline.iter().any(|&i| i as usize >= limit) {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+            while started.load(Ordering::Relaxed) < swap_at {
+                std::thread::yield_now();
+            }
+            let t0 = std::time::Instant::now();
+            let generation = engine.reindex(&new_table.points).map_err(|e| e.to_string());
+            let took = t0.elapsed();
+            budget.fetch_max(
+                started.load(Ordering::Relaxed) + requests / 4 + 1,
+                Ordering::Release,
+            );
+            swapped.store(true, Ordering::Release);
+            generation.map(|g| (g, took))
+        });
+        let m = engine.metrics();
+        report_reindex(
+            out,
+            &data,
+            &next,
+            &old_table.points,
+            &new_table.points,
+            requests,
+            served.load(Ordering::Relaxed),
+            clients,
+            swap_result,
+            errors.load(Ordering::Relaxed),
+            "queries:   ",
+            m.queries_per_generation.clone(),
+            &m.latency,
+        )?;
+        engine.shutdown();
+    }
+    Ok(())
+}
+
+/// The common tail of `ssq reindex`: swap outcome, per-generation query
+/// split, latency, and the error count (always 0 unless something is
+/// deeply wrong — the swap is supposed to be invisible to clients).
+#[allow(clippy::too_many_arguments)]
+fn report_reindex<W: Write>(
+    out: &mut W,
+    data: &Path,
+    next: &Path,
+    old_points: &[ssq_geom::Point],
+    new_points: &[ssq_geom::Point],
+    requests: usize,
+    served: usize,
+    clients: usize,
+    swap: Result<(u64, Duration), String>,
+    errors: usize,
+    split_label: &str,
+    per_generation: std::collections::BTreeMap<u64, u64>,
+    latency: &ssq_engine::LatencySnapshot,
+) -> Result<(), CliError> {
+    writeln!(
+        out,
+        "dataset:    {} points ({}) -> {} points ({})",
+        old_points.len(),
+        data.display(),
+        new_points.len(),
+        next.display()
+    )?;
+    writeln!(
+        out,
+        "requests:   {served} served across {clients} clients ({requests} budgeted; the stream outlives the swap)"
+    )?;
+    match swap {
+        Ok((generation, took)) => writeln!(
+            out,
+            "swap:       generation {} -> {} published in {:.1}ms, queries never paused",
+            generation - 1,
+            generation,
+            took.as_secs_f64() * 1e3
+        )?,
+        Err(e) => writeln!(out, "swap:       FAILED: {e}")?,
+    }
+    let split: Vec<String> = per_generation
+        .iter()
+        .map(|(g, n)| format!("gen{g}={n}"))
+        .collect();
+    writeln!(out, "{split_label} {}", split.join(" "))?;
+    writeln!(
+        out,
+        "latency:    p50={:.1}us p99={:.1}us (bucketed upper bounds)",
+        latency.percentile(0.50).as_nanos() as f64 / 1e3,
+        latency.percentile(0.99).as_nanos() as f64 / 1e3,
+    )?;
+    writeln!(out, "errors:     {errors}")?;
+    Ok(())
+}
+
 fn shard_stats<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
     use ssq_shard::{ShardConfig, ShardedEngine};
     use ssq_workload::{random_query_set, QueryConfig};
@@ -753,6 +1105,20 @@ fn shard_stats<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         m.engines.queries(),
         m.engines.cache_hit_rate() * 100.0
     )?;
+    writeln!(
+        out,
+        "snapshot:   generation {}, {} reindexes (last build {:.1}ms)",
+        m.generation,
+        m.swaps,
+        m.last_build.as_secs_f64() * 1e3
+    )?;
+    let split: Vec<String> = m
+        .engines
+        .queries_per_generation
+        .iter()
+        .map(|(g, n)| format!("gen{g}={n}"))
+        .collect();
+    writeln!(out, "queries/gen: {}", split.join(" "))?;
     engine.shutdown();
     Ok(())
 }
@@ -1090,7 +1456,115 @@ mod tests {
             "missing per-shard rows: {outp}"
         );
         assert!(outp.contains("prune rate"), "missing prune rate: {outp}");
+        assert!(
+            outp.contains("snapshot:   generation 0, 0 reindexes"),
+            "missing snapshot counters: {outp}"
+        );
+        assert!(outp.contains("queries/gen: gen0="), "missing split: {outp}");
         std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn reindex_swaps_mid_stream_without_errors() {
+        let old_data = tmpfile("reindex_old");
+        let new_data = tmpfile("reindex_new");
+        run_ok(&[
+            "generate",
+            "--n",
+            "400",
+            "--out",
+            old_data.to_str().unwrap(),
+            "--seed",
+            "3",
+        ]);
+        run_ok(&[
+            "generate",
+            "--n",
+            "600",
+            "--out",
+            new_data.to_str().unwrap(),
+            "--seed",
+            "9",
+        ]);
+        let outp = run_ok(&[
+            "reindex",
+            "--data",
+            old_data.to_str().unwrap(),
+            "--next",
+            new_data.to_str().unwrap(),
+            "--requests",
+            "300",
+            "--threads",
+            "2",
+            "--clients",
+            "3",
+        ]);
+        assert!(
+            outp.contains("generation 0 -> 1 published"),
+            "missing swap line: {outp}"
+        );
+        assert!(outp.contains("errors:     0"), "errors reported: {outp}");
+        assert!(outp.contains("queries:    gen"), "missing split: {outp}");
+        assert!(
+            outp.contains("gen1="),
+            "the new generation never served a query: {outp}"
+        );
+        std::fs::remove_file(&old_data).ok();
+        std::fs::remove_file(&new_data).ok();
+    }
+
+    #[test]
+    fn sharded_reindex_swaps_the_fleet() {
+        let old_data = tmpfile("reindex_shard_old");
+        let new_data = tmpfile("reindex_shard_new");
+        run_ok(&[
+            "generate",
+            "--n",
+            "500",
+            "--out",
+            old_data.to_str().unwrap(),
+            "--seed",
+            "5",
+        ]);
+        run_ok(&[
+            "generate",
+            "--n",
+            "350",
+            "--out",
+            new_data.to_str().unwrap(),
+            "--seed",
+            "11",
+        ]);
+        let outp = run_ok(&[
+            "reindex",
+            "--data",
+            old_data.to_str().unwrap(),
+            "--next",
+            new_data.to_str().unwrap(),
+            "--requests",
+            "200",
+            "--threads",
+            "2",
+            "--clients",
+            "2",
+            "--shards",
+            "4",
+        ]);
+        assert!(
+            outp.contains("generation 0 -> 1 published"),
+            "missing swap line: {outp}"
+        );
+        assert!(outp.contains("errors:     0"), "errors reported: {outp}");
+        assert!(
+            outp.contains("subqueries: gen"),
+            "missing sub-query split: {outp}"
+        );
+        assert!(
+            outp.contains("gen1="),
+            "the new fleet generation never served a sub-query: {outp}"
+        );
+        std::fs::remove_file(&old_data).ok();
+        std::fs::remove_file(&new_data).ok();
     }
 
     #[test]

@@ -15,6 +15,13 @@
 //! 2. quantize each vertex coordinate to a grid (default `1e-9`),
 //! 3. sort the quantized vertices lexicographically.
 //!
+//! Since the engine serves a *versioned* dataset (see
+//! [`snapshot`](crate::snapshot)), every entry is additionally scoped by
+//! the snapshot **generation** it was computed against: the full key is
+//! `(generation, QueryKey)`. A reindex therefore needs no global cache
+//! flush — entries of retired generations simply stop being looked up
+//! and die by LRU eviction as new-generation traffic displaces them.
+//!
 //! Consequences, by construction:
 //!
 //! * permuting `Q` hits the same entry;
@@ -75,6 +82,22 @@ impl QueryKey {
     }
 }
 
+/// The full cache key: which dataset generation the context was built
+/// for, plus the canonicalized query key.
+///
+/// A [`QueryContext`] is derived from `Q` alone today, but scoping
+/// entries by generation makes the dataset lifetime part of the cache
+/// contract: contexts belonging to retired generations stop being hit
+/// the moment a new snapshot is published, and are reclaimed by normal
+/// LRU pressure rather than an explicit flush.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey {
+    /// Snapshot generation the entry is scoped to.
+    pub generation: u64,
+    /// Canonicalized query key within that generation.
+    pub query: QueryKey,
+}
+
 struct Slot {
     ctx: Arc<QueryContext>,
     /// Tick of the most recent touch; also the slot's key into `order`.
@@ -82,14 +105,14 @@ struct Slot {
 }
 
 struct Inner {
-    map: HashMap<QueryKey, Slot>,
+    map: HashMap<CacheKey, Slot>,
     /// Recency index: tick → key. The smallest tick is the LRU victim.
-    order: BTreeMap<u64, QueryKey>,
+    order: BTreeMap<u64, CacheKey>,
     tick: u64,
 }
 
 impl Inner {
-    fn touch(&mut self, key: &QueryKey) {
+    fn touch(&mut self, key: &CacheKey) {
         self.tick += 1;
         let slot = self.map.get_mut(key).expect("touched a missing key");
         self.order.remove(&slot.tick);
@@ -98,7 +121,8 @@ impl Inner {
     }
 }
 
-/// A thread-safe LRU cache of [`QueryContext`]s keyed by [`QueryKey`].
+/// A thread-safe LRU cache of [`QueryContext`]s keyed by
+/// `(generation, QueryKey)`.
 pub struct ContextCache {
     capacity: usize,
     quantum: f64,
@@ -124,15 +148,22 @@ impl ContextCache {
         }
     }
 
-    /// The cached context for `q`, building and inserting it on a miss.
+    /// The cached context for `q` under snapshot `generation`, building
+    /// and inserting it on a miss.
     ///
     /// Returns `(context, hit)`; `hit` is `true` when the context came
     /// from the cache. The miss path builds the context *outside* the
     /// lock candidate-free: the hull pass needed for the key is the same
     /// work, so a duplicate build on a racing miss is possible but
     /// harmless (last writer wins, both callers get a valid context).
-    pub fn get_or_build(&self, q: &[Point]) -> (Arc<QueryContext>, bool) {
-        let key = QueryKey::canonical(q, self.quantum);
+    /// Entries of other generations never match; after a snapshot swap
+    /// they age out through LRU eviction as the new generation's
+    /// working set fills the cache.
+    pub fn get_or_build(&self, generation: u64, q: &[Point]) -> (Arc<QueryContext>, bool) {
+        let key = CacheKey {
+            generation,
+            query: QueryKey::canonical(q, self.quantum),
+        };
         {
             let mut inner = self.inner.lock().unwrap();
             if inner.map.contains_key(&key) {
@@ -165,10 +196,26 @@ impl ContextCache {
         (ctx, false)
     }
 
-    /// `true` when `q`'s canonical key is cached. Does not touch recency.
-    pub fn contains(&self, q: &[Point]) -> bool {
-        let key = QueryKey::canonical(q, self.quantum);
+    /// `true` when `q`'s canonical key is cached for `generation`. Does
+    /// not touch recency.
+    pub fn contains(&self, generation: u64, q: &[Point]) -> bool {
+        let key = CacheKey {
+            generation,
+            query: QueryKey::canonical(q, self.quantum),
+        };
         self.inner.lock().unwrap().map.contains_key(&key)
+    }
+
+    /// Number of cached contexts scoped to `generation` — how much of
+    /// the cache a given dataset generation still occupies.
+    pub fn len_for_generation(&self, generation: u64) -> usize {
+        self.inner
+            .lock()
+            .unwrap()
+            .map
+            .keys()
+            .filter(|k| k.generation == generation)
+            .count()
     }
 
     /// Number of cached contexts.
@@ -248,13 +295,13 @@ mod tests {
     fn hit_and_miss_are_reported() {
         let cache = ContextCache::new(8, ContextCache::DEFAULT_QUANTUM);
         let qa = q(&[(0.0, 0.0), (1.0, 0.0), (0.5, 1.0)]);
-        let (_, hit) = cache.get_or_build(&qa);
+        let (_, hit) = cache.get_or_build(0, &qa);
         assert!(!hit, "first lookup must miss");
-        let (_, hit) = cache.get_or_build(&qa);
+        let (_, hit) = cache.get_or_build(0, &qa);
         assert!(hit, "second lookup must hit");
         // A permutation with an extra interior point is still a hit.
         let qb = q(&[(0.5, 1.0), (0.5, 0.3), (1.0, 0.0), (0.0, 0.0)]);
-        let (ctx, hit) = cache.get_or_build(&qb);
+        let (ctx, hit) = cache.get_or_build(0, &qb);
         assert!(hit, "canonically-equal query must hit");
         // The cached context is the one built from the FIRST query seen
         // for this key — anchors agree, raw query() may not.
@@ -268,15 +315,15 @@ mod tests {
         let qa = q(&[(0.0, 0.0), (1.0, 0.0)]);
         let qb = q(&[(0.0, 0.0), (2.0, 0.0)]);
         let qc = q(&[(0.0, 0.0), (3.0, 0.0)]);
-        cache.get_or_build(&qa);
-        cache.get_or_build(&qb);
+        cache.get_or_build(0, &qa);
+        cache.get_or_build(0, &qb);
         // Touch A so B becomes the LRU victim.
-        assert!(cache.get_or_build(&qa).1);
-        cache.get_or_build(&qc);
+        assert!(cache.get_or_build(0, &qa).1);
+        cache.get_or_build(0, &qc);
         assert_eq!(cache.len(), 2);
-        assert!(cache.contains(&qa), "recently-touched entry evicted");
-        assert!(!cache.contains(&qb), "LRU entry survived eviction");
-        assert!(cache.contains(&qc));
+        assert!(cache.contains(0, &qa), "recently-touched entry evicted");
+        assert!(!cache.contains(0, &qb), "LRU entry survived eviction");
+        assert!(cache.contains(0, &qc));
     }
 
     #[test]
@@ -284,10 +331,52 @@ mod tests {
         let cache = ContextCache::new(1, ContextCache::DEFAULT_QUANTUM);
         let qa = q(&[(0.0, 0.0), (1.0, 0.0)]);
         let qb = q(&[(0.0, 0.0), (2.0, 0.0)]);
-        assert!(!cache.get_or_build(&qa).1);
-        assert!(cache.get_or_build(&qa).1);
-        assert!(!cache.get_or_build(&qb).1);
-        assert!(!cache.contains(&qa));
+        assert!(!cache.get_or_build(0, &qa).1);
+        assert!(cache.get_or_build(0, &qa).1);
+        assert!(!cache.get_or_build(0, &qb).1);
+        assert!(!cache.contains(0, &qa));
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn generations_scope_entries() {
+        let cache = ContextCache::new(8, ContextCache::DEFAULT_QUANTUM);
+        let qa = q(&[(0.0, 0.0), (1.0, 0.0), (0.5, 1.0)]);
+        assert!(!cache.get_or_build(0, &qa).1);
+        // The same query under a newer generation is a MISS: contexts do
+        // not leak across snapshot swaps.
+        assert!(!cache.get_or_build(1, &qa).1);
+        assert!(cache.get_or_build(1, &qa).1);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.len_for_generation(0), 1);
+        assert_eq!(cache.len_for_generation(1), 1);
+        assert!(cache.contains(0, &qa));
+        assert!(cache.contains(1, &qa));
+        assert!(!cache.contains(2, &qa));
+    }
+
+    #[test]
+    fn old_generation_entries_die_by_lru_pressure() {
+        let cache = ContextCache::new(4, ContextCache::DEFAULT_QUANTUM);
+        let sets: Vec<Vec<Point>> = (0..4)
+            .map(|i| q(&[(0.0, 0.0), (1.0 + i as f64, 0.0), (0.5, 1.0)]))
+            .collect();
+        for s in &sets {
+            cache.get_or_build(0, s);
+        }
+        assert_eq!(cache.len_for_generation(0), 4);
+        // A "swap": the same working set now arrives under generation 1.
+        // Without any explicit flush, the old generation's entries are
+        // displaced one by one until none remain.
+        for s in &sets {
+            cache.get_or_build(1, s);
+        }
+        assert_eq!(cache.len(), 4, "capacity must be respected");
+        assert_eq!(
+            cache.len_for_generation(0),
+            0,
+            "stale generation survived LRU pressure"
+        );
+        assert_eq!(cache.len_for_generation(1), 4);
     }
 }

@@ -1,9 +1,10 @@
-//! The engine proper: snapshot, pool, cache, planner, metrics, sessions.
+//! The engine proper: catalog, pool, cache, planner, metrics, sessions.
 
 use crate::cache::ContextCache;
 use crate::metrics::{EngineMetrics, MetricsSnapshot};
 use crate::planner::{Algorithm, Planner};
 use crate::pool::WorkerPool;
+use crate::snapshot::{Snapshot, SnapshotCatalog, StaleSnapshot};
 use ssq_core::{
     b2s2, bbs, naive_sorted, vs2, ContinuousSkyline, QueryStats, RTreeIndex, SkylineResult,
     UpdateOutcome, VoronoiIndex,
@@ -33,6 +34,9 @@ pub enum EngineError {
     /// The Voronoi index could not be built (duplicate or non-finite
     /// points); the message is the underlying builder's.
     Index(String),
+    /// An offered snapshot was not newer than the published one — the
+    /// catalog refuses to roll the dataset backwards.
+    Stale(StaleSnapshot),
     /// The engine is shutting down and no longer accepts work.
     Closed,
     /// The session id is unknown (never opened, or already closed).
@@ -54,6 +58,7 @@ impl std::fmt::Display for EngineError {
                 write!(f, "config: cache quantum must be positive and finite")
             }
             EngineError::Index(msg) => write!(f, "index build failed: {msg}"),
+            EngineError::Stale(stale) => write!(f, "{stale}"),
             EngineError::Closed => write!(f, "engine is shut down"),
             EngineError::NoSuchSession => write!(f, "unknown session id"),
         }
@@ -156,8 +161,14 @@ impl QueryRequest {
 /// The answer to one [`QueryRequest`].
 #[derive(Clone, Debug)]
 pub struct QueryResponse {
-    /// Skyline point ids, ascending.
+    /// Skyline point ids, ascending — indexes into the points of the
+    /// snapshot generation this response reports.
     pub skyline: Vec<u32>,
+    /// The snapshot generation the query was answered against. Pinned
+    /// when a worker dequeues the job, so a response is always exactly
+    /// correct for this generation's dataset even if a swap landed
+    /// mid-flight.
+    pub generation: u64,
     /// The algorithm that actually ran.
     pub algorithm: Algorithm,
     /// Whether the query context came from the cache.
@@ -169,13 +180,33 @@ pub struct QueryResponse {
     pub stats: QueryStats,
 }
 
+/// Notice that a continuous session's pinned snapshot generation is no
+/// longer the engine's current one: a reindex was published since the
+/// session opened. The session keeps answering — exactly, against its
+/// pinned generation, whose indexes its `Arc` keeps alive — but callers
+/// that want fresh data should close it and re-open against the current
+/// generation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnapshotSuperseded {
+    /// The generation the session pinned at open.
+    pub pinned: u64,
+    /// The generation the engine serves now.
+    pub current: u64,
+}
+
 /// The result of one applied motion update in a continuous session.
 #[derive(Clone, Debug)]
 pub struct SessionUpdate {
     /// How VCS² classified the update (pattern I–V machinery).
     pub outcome: UpdateOutcome,
-    /// The session's skyline after this update, ascending.
+    /// The session's skyline after this update, ascending — indexes
+    /// into the session's pinned generation.
     pub skyline: Vec<u32>,
+    /// The snapshot generation this session is pinned to.
+    pub generation: u64,
+    /// `Some` when a newer snapshot has been published since the
+    /// session opened — the resubscription signal.
+    pub superseded: Option<SnapshotSuperseded>,
     /// Work counters for this update.
     pub stats: QueryStats,
 }
@@ -271,13 +302,23 @@ struct Pending {
 }
 
 struct Session {
+    /// The snapshot generation this session pinned at open. The
+    /// `ContinuousSkyline` below holds the generation's Voronoi index
+    /// alive; this field is what lets update results report it and
+    /// compare it against the catalog's current generation.
+    generation: u64,
     sky: Mutex<ContinuousSkyline<Arc<VoronoiIndex>>>,
     pending: Mutex<Pending>,
 }
 
 struct EngineShared {
-    rtree: Arc<RTreeIndex>,
-    voronoi: Arc<VoronoiIndex>,
+    /// Owns the *current* dataset generation. Workers pin a snapshot
+    /// here at dequeue time; nothing else in the engine holds indexes.
+    catalog: SnapshotCatalog,
+    /// Serializes [`Engine::reindex`] calls so two concurrent builds
+    /// cannot race for the same generation number. Never held on the
+    /// query path.
+    reindex_lock: Mutex<()>,
     cache: ContextCache,
     planner: Planner,
     metrics: EngineMetrics,
@@ -285,8 +326,8 @@ struct EngineShared {
     next_session: Mutex<u64>,
 }
 
-/// A concurrent spatial-skyline serving engine over one immutable
-/// dataset snapshot. See the [crate docs](crate) for the architecture.
+/// A concurrent spatial-skyline serving engine over a versioned dataset
+/// snapshot catalog. See the [crate docs](crate) for the architecture.
 pub struct Engine {
     shared: Arc<EngineShared>,
     pool: WorkerPool,
@@ -303,7 +344,7 @@ impl std::fmt::Debug for Engine {
 }
 
 impl Engine {
-    /// Builds both index snapshots over `points` and starts the pool.
+    /// Builds generation 0's indexes over `points` and starts the pool.
     ///
     /// `points` must be non-empty, finite, and duplicate-free (the
     /// Voronoi builder's requirements), and `config` must pass
@@ -313,34 +354,43 @@ impl Engine {
         if points.is_empty() {
             return Err(EngineError::EmptyDataset);
         }
-        let rtree = Arc::new(RTreeIndex::new(points));
-        let voronoi =
-            Arc::new(VoronoiIndex::new(points).map_err(|e| EngineError::Index(e.to_string()))?);
-        Self::with_indexes(rtree, voronoi, config)
+        let snapshot = Snapshot::build(0, points).map_err(EngineError::Index)?;
+        Self::with_snapshot(Arc::new(snapshot), config)
     }
 
-    /// Starts an engine over pre-built snapshots (they can be shared
-    /// with other engines or with code outside the engine).
+    /// Starts an engine over pre-built indexes (they can be shared with
+    /// other engines or with code outside the engine) as generation 0.
     pub fn with_indexes(
         rtree: Arc<RTreeIndex>,
         voronoi: Arc<VoronoiIndex>,
         config: EngineConfig,
     ) -> Result<Engine, EngineError> {
-        config.validate()?;
-        if rtree.is_empty() {
-            return Err(EngineError::EmptyDataset);
-        }
         assert_eq!(
             rtree.len(),
             voronoi.len(),
             "R-tree and Voronoi snapshots index different datasets"
         );
+        Self::with_snapshot(Arc::new(Snapshot::from_indexes(0, rtree, voronoi)), config)
+    }
+
+    /// Starts an engine serving `snapshot` (any generation) as the
+    /// catalog's initial publication.
+    pub fn with_snapshot(
+        snapshot: Arc<Snapshot>,
+        config: EngineConfig,
+    ) -> Result<Engine, EngineError> {
+        config.validate()?;
+        if snapshot.is_empty() {
+            return Err(EngineError::EmptyDataset);
+        }
+        let metrics = EngineMetrics::new();
+        metrics.note_generation(snapshot.generation());
         let shared = Arc::new(EngineShared {
-            rtree,
-            voronoi,
+            catalog: SnapshotCatalog::new(snapshot),
+            reindex_lock: Mutex::new(()),
             cache: ContextCache::new(config.cache_capacity, config.cache_quantum),
             planner: Planner::new(config.forced_algorithm),
-            metrics: EngineMetrics::new(),
+            metrics,
             sessions: Mutex::new(HashMap::new()),
             next_session: Mutex::new(0),
         });
@@ -353,21 +403,29 @@ impl Engine {
         self.pool.workers()
     }
 
-    /// Number of data points in the snapshot.
+    /// Number of data points in the current snapshot.
     pub fn data_len(&self) -> usize {
-        self.shared.rtree.len()
+        self.shared.catalog.current().len()
     }
 
-    /// The snapshot's points, in index order. Response skylines index
-    /// into this slice; a routing layer uses it to translate per-shard
-    /// results back into global candidates.
-    pub fn points(&self) -> &[Point] {
-        self.shared.rtree.points()
+    /// Pins the current snapshot: the returned `Arc` keeps its
+    /// generation's points and indexes alive regardless of later
+    /// reindexes. Response skylines index into
+    /// [`Snapshot::points`] of the generation they report; a routing
+    /// layer uses a pinned snapshot to translate per-shard results back
+    /// into global candidates.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.shared.catalog.current()
     }
 
-    /// The bounding rectangle of the snapshot's points.
+    /// The snapshot generation currently being served.
+    pub fn generation(&self) -> u64 {
+        self.shared.catalog.generation()
+    }
+
+    /// The bounding rectangle of the current snapshot's points.
     pub fn universe(&self) -> ssq_geom::Rect {
-        self.shared.rtree.universe()
+        self.shared.catalog.current().universe()
     }
 
     /// A point-in-time copy of the engine's metrics.
@@ -375,7 +433,54 @@ impl Engine {
         self.shared.metrics.snapshot()
     }
 
+    /// Builds indexes over `points` as the next generation and publishes
+    /// them atomically, returning the new generation number.
+    ///
+    /// The build runs on the calling thread, entirely off the serving
+    /// path: queries keep flowing against the old snapshot until the
+    /// install, and in-flight queries that already pinned the old
+    /// generation finish against it. Concurrent `reindex` calls are
+    /// serialized; the dataset never rolls backwards.
+    pub fn reindex(&self, points: &[Point]) -> Result<u64, EngineError> {
+        let _guard = self.shared.reindex_lock.lock().unwrap();
+        let next = self.shared.catalog.generation() + 1;
+        let start = Instant::now();
+        let snapshot = Snapshot::build(next, points).map_err(EngineError::Index)?;
+        let build = start.elapsed();
+        self.shared
+            .catalog
+            .install(Arc::new(snapshot))
+            .map_err(EngineError::Stale)?;
+        self.shared.metrics.record_swap(next, build);
+        Ok(next)
+    }
+
+    /// Publishes a pre-built snapshot (built elsewhere — e.g. by a shard
+    /// router that partitions one dataset across many engines). `build`
+    /// is the off-line build duration, recorded in the metrics.
+    pub fn install_snapshot(
+        &self,
+        snapshot: Arc<Snapshot>,
+        build: Duration,
+    ) -> Result<(), EngineError> {
+        if snapshot.is_empty() {
+            return Err(EngineError::EmptyDataset);
+        }
+        let generation = snapshot.generation();
+        self.shared
+            .catalog
+            .install(snapshot)
+            .map_err(EngineError::Stale)?;
+        self.shared.metrics.record_swap(generation, build);
+        Ok(())
+    }
+
     /// Submits one query; blocks only while the job queue is full.
+    ///
+    /// The snapshot generation is pinned *at dequeue time*: the worker
+    /// reads the catalog when it picks the job up, so a query that
+    /// waited in the queue across a reindex is answered against the new
+    /// generation, and the response reports which one it used.
     ///
     /// # Panics
     ///
@@ -388,7 +493,38 @@ impl Engine {
         let (ticket, cell) = Ticket::new();
         let shared = Arc::clone(&self.shared);
         self.pool
-            .submit(Box::new(move || run_query(&shared, request, &cell)))
+            .submit(Box::new(move || {
+                // Dequeue-time pin: the clone happens on the worker,
+                // not at submission.
+                let snapshot = shared.catalog.current();
+                run_query(&shared, &snapshot, request, &cell);
+            }))
+            .expect("engine pool closed while the engine was alive");
+        ticket
+    }
+
+    /// Like [`Engine::submit`] but answers against a caller-pinned
+    /// snapshot instead of the catalog's current one.
+    ///
+    /// This is how a routing layer keeps a multi-engine fan-out
+    /// consistent: it pins one generation's view up front and submits
+    /// every per-shard query against it, so pruning bounds derived from
+    /// that view stay sound even if a shard's catalog swaps mid-request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request's query set is empty.
+    pub fn submit_on(&self, request: QueryRequest, snapshot: Arc<Snapshot>) -> QueryHandle {
+        assert!(
+            !request.query.is_empty(),
+            "a spatial skyline query needs at least one query point"
+        );
+        let (ticket, cell) = Ticket::new();
+        let shared = Arc::clone(&self.shared);
+        self.pool
+            .submit(Box::new(move || {
+                run_query(&shared, &snapshot, request, &cell)
+            }))
             .expect("engine pool closed while the engine was alive");
         ticket
     }
@@ -398,18 +534,25 @@ impl Engine {
         requests.into_iter().map(|r| self.submit(r)).collect()
     }
 
-    /// Opens a continuous (VCS²) session for query set `q`.
+    /// Opens a continuous (VCS²) session for query set `q`, pinned to
+    /// the snapshot generation current at this moment.
     ///
     /// The initial skyline is computed synchronously; motion updates are
     /// applied through the worker pool via [`Engine::update_session`].
+    /// The session's `Arc` on the pinned Voronoi index keeps that
+    /// generation alive for the session's lifetime; when a reindex is
+    /// published, every subsequent [`SessionUpdate`] carries a
+    /// [`SnapshotSuperseded`] notice so the caller can re-open.
     pub fn open_session(&self, q: &[Point]) -> SessionId {
-        let sky = ContinuousSkyline::new(Arc::clone(&self.shared.voronoi), q);
+        let snapshot = self.shared.catalog.current();
+        let sky = ContinuousSkyline::new(Arc::clone(snapshot.voronoi()), q);
         let id = {
             let mut next = self.shared.next_session.lock().unwrap();
             *next += 1;
             *next
         };
         let session = Arc::new(Session {
+            generation: snapshot.generation(),
             sky: Mutex::new(sky),
             pending: Mutex::new(Pending {
                 updates: VecDeque::new(),
@@ -419,6 +562,13 @@ impl Engine {
         self.shared.sessions.lock().unwrap().insert(id, session);
         self.shared.metrics.record_session_opened();
         SessionId(id)
+    }
+
+    /// The snapshot generation a session pinned at open, or `None` for
+    /// an unknown id.
+    pub fn session_generation(&self, id: SessionId) -> Option<u64> {
+        let sessions = self.shared.sessions.lock().unwrap();
+        sessions.get(&id.0).map(|s| s.generation)
     }
 
     /// Queues a motion update — query object `obj` of the session moves
@@ -495,23 +645,32 @@ impl Engine {
     }
 }
 
-fn run_query(shared: &EngineShared, request: QueryRequest, cell: &Cell<QueryResponse>) {
+fn run_query(
+    shared: &EngineShared,
+    snapshot: &Arc<Snapshot>,
+    request: QueryRequest,
+    cell: &Cell<QueryResponse>,
+) {
     let start = Instant::now();
-    let (ctx, cache_hit) = shared.cache.get_or_build(&request.query);
+    let generation = snapshot.generation();
+    let (ctx, cache_hit) = shared.cache.get_or_build(generation, &request.query);
     shared.metrics.record_cache(cache_hit);
     let algorithm = request
         .force
-        .unwrap_or_else(|| shared.planner.choose(shared.rtree.len(), &ctx));
+        .unwrap_or_else(|| shared.planner.choose(snapshot.len(), &ctx));
     let SkylineResult { skyline, stats } = match algorithm {
-        Algorithm::Naive => naive_sorted(shared.rtree.points(), &ctx),
-        Algorithm::Bbs => bbs(&shared.rtree, &ctx),
-        Algorithm::B2s2 => b2s2(&shared.rtree, &ctx),
-        Algorithm::Vs2 => vs2(&shared.voronoi, &ctx),
+        Algorithm::Naive => naive_sorted(snapshot.points(), &ctx),
+        Algorithm::Bbs => bbs(snapshot.rtree(), &ctx),
+        Algorithm::B2s2 => b2s2(snapshot.rtree(), &ctx),
+        Algorithm::Vs2 => vs2(snapshot.voronoi(), &ctx),
     };
     let latency = start.elapsed();
-    shared.metrics.record_query(algorithm, latency, &stats);
+    shared
+        .metrics
+        .record_query(algorithm, generation, latency, &stats);
     cell.fill(QueryResponse {
         skyline,
+        generation,
         algorithm,
         cache_hit,
         latency,
@@ -541,9 +700,16 @@ fn drain_session(shared: &EngineShared, session: &Session) {
             (outcome, sky.skyline(), stats)
         };
         shared.metrics.record_session_update(&stats);
+        let current = shared.catalog.generation();
+        let superseded = (current > session.generation).then_some(SnapshotSuperseded {
+            pinned: session.generation,
+            current,
+        });
         cell.fill(SessionUpdate {
             outcome,
             skyline,
+            generation: session.generation,
+            superseded,
             stats,
         });
     }
@@ -805,5 +971,194 @@ mod tests {
             assert!(h.is_ready(), "shutdown left a handle unresolved");
             assert!(!h.wait().skyline.is_empty());
         }
+    }
+
+    #[test]
+    fn reindex_publishes_a_new_generation() {
+        let old_data = grid(120);
+        let engine = Engine::new(&old_data, EngineConfig::default().with_workers(2)).unwrap();
+        assert_eq!(engine.generation(), 0);
+        let q = vec![
+            Point::new(2.0, 3.0),
+            Point::new(8.0, 4.0),
+            Point::new(5.0, 8.0),
+        ];
+        let before = engine.submit(QueryRequest::new(q.clone())).wait();
+        assert_eq!(before.generation, 0);
+        assert_eq!(
+            before.skyline,
+            naive_full(&old_data, &QueryContext::new(&q)).skyline
+        );
+
+        let new_data = grid(250);
+        assert_eq!(engine.reindex(&new_data).unwrap(), 1);
+        assert_eq!(engine.generation(), 1);
+        assert_eq!(engine.data_len(), 250);
+        let after = engine.submit(QueryRequest::new(q.clone())).wait();
+        assert_eq!(after.generation, 1);
+        assert_eq!(
+            after.skyline,
+            naive_full(&new_data, &QueryContext::new(&q)).skyline
+        );
+        let m = engine.metrics();
+        assert_eq!(m.generation, 1);
+        assert_eq!(m.swaps, 1);
+        assert_eq!(m.queries_per_generation.get(&0), Some(&1));
+        assert_eq!(m.queries_per_generation.get(&1), Some(&1));
+    }
+
+    #[test]
+    fn reindex_rejects_bad_datasets_and_keeps_serving() {
+        let data = grid(60);
+        let engine = Engine::new(&data, EngineConfig::default().with_workers(1)).unwrap();
+        assert!(matches!(engine.reindex(&[]), Err(EngineError::Index(_))));
+        let dup = vec![Point::new(1.0, 1.0), Point::new(1.0, 1.0)];
+        assert!(matches!(engine.reindex(&dup), Err(EngineError::Index(_))));
+        assert_eq!(engine.generation(), 0);
+        assert_eq!(engine.data_len(), 60, "failed reindex must not swap");
+    }
+
+    #[test]
+    fn stale_installs_surface_the_typed_error() {
+        let engine = Engine::new(&grid(40), EngineConfig::default().with_workers(1)).unwrap();
+        engine.reindex(&grid(50)).unwrap();
+        let stale = Arc::new(Snapshot::build(1, &grid(30)).unwrap());
+        assert_eq!(
+            engine.install_snapshot(stale, Duration::ZERO).unwrap_err(),
+            EngineError::Stale(StaleSnapshot {
+                offered: 1,
+                current: 1
+            })
+        );
+        assert_eq!(engine.data_len(), 50);
+    }
+
+    #[test]
+    fn sessions_pin_their_generation_and_learn_of_swaps() {
+        let old_data = grid(150);
+        let engine = Engine::new(&old_data, EngineConfig::default().with_workers(2)).unwrap();
+        let mut q = vec![
+            Point::new(3.0, 3.0),
+            Point::new(9.0, 4.0),
+            Point::new(6.0, 8.0),
+        ];
+        let id = engine.open_session(&q);
+        assert_eq!(engine.session_generation(id), Some(0));
+
+        engine.reindex(&grid(220)).unwrap();
+
+        // The session still answers exactly against its pinned
+        // generation's data, and flags the supersession.
+        let update = engine
+            .update_session(id, 0, Point::new(3.5, 3.25))
+            .unwrap()
+            .wait();
+        q[0] = Point::new(3.5, 3.25);
+        assert_eq!(update.generation, 0);
+        assert_eq!(
+            update.superseded,
+            Some(SnapshotSuperseded {
+                pinned: 0,
+                current: 1
+            })
+        );
+        assert_eq!(
+            update.skyline,
+            naive_full(&old_data, &QueryContext::new(&q)).skyline
+        );
+
+        // A fresh session pins the new generation and reports no notice.
+        let fresh = engine.open_session(&q);
+        assert_eq!(engine.session_generation(fresh), Some(1));
+        let update = engine
+            .update_session(fresh, 1, Point::new(8.5, 4.5))
+            .unwrap()
+            .wait();
+        assert_eq!(update.generation, 1);
+        assert_eq!(update.superseded, None);
+    }
+
+    #[test]
+    fn queries_pinned_before_a_swap_stay_exact_for_their_generation() {
+        // One worker with a queue full of slow jobs; a reindex lands
+        // while the victim query is still queued. Dequeue-time pinning
+        // means it must be answered against the NEW generation.
+        let old_data = grid(200);
+        let new_data = grid(90);
+        let engine = Engine::new(&old_data, EngineConfig::default().with_workers(1)).unwrap();
+        let q = vec![
+            Point::new(2.0, 2.0),
+            Point::new(7.0, 3.0),
+            Point::new(4.0, 7.0),
+        ];
+        let slow: Vec<QueryHandle> = (0..4)
+            .map(|i| {
+                engine.submit(QueryRequest::forced(
+                    vec![
+                        Point::new(1.0 + i as f64 * 0.01, 2.0),
+                        Point::new(8.0, 3.0),
+                        Point::new(4.0, 9.0),
+                    ],
+                    Algorithm::Bbs,
+                ))
+            })
+            .collect();
+        engine.reindex(&new_data).unwrap();
+        let victim = engine.submit(QueryRequest::new(q.clone())).wait();
+        assert_eq!(victim.generation, 1, "dequeued after the swap");
+        assert_eq!(
+            victim.skyline,
+            naive_full(&new_data, &QueryContext::new(&q)).skyline
+        );
+        for h in slow {
+            let r = h.wait();
+            let data = if r.generation == 0 {
+                &old_data
+            } else {
+                &new_data
+            };
+            assert!(!r.skyline.is_empty());
+            assert!(r.skyline.iter().all(|&i| (i as usize) < data.len()));
+        }
+    }
+
+    #[test]
+    fn submit_on_answers_against_the_caller_pinned_snapshot() {
+        let old_data = grid(130);
+        let engine = Engine::new(&old_data, EngineConfig::default().with_workers(2)).unwrap();
+        let pinned = engine.snapshot();
+        engine.reindex(&grid(260)).unwrap();
+        let q = vec![
+            Point::new(4.0, 2.0),
+            Point::new(10.0, 5.0),
+            Point::new(6.0, 9.0),
+        ];
+        let r = engine
+            .submit_on(QueryRequest::new(q.clone()), pinned)
+            .wait();
+        assert_eq!(r.generation, 0, "caller pin beats the catalog");
+        assert_eq!(
+            r.skyline,
+            naive_full(&old_data, &QueryContext::new(&q)).skyline
+        );
+    }
+
+    #[test]
+    fn retired_generations_are_freed_once_unpinned() {
+        let engine = Engine::new(&grid(80), EngineConfig::default().with_workers(1)).unwrap();
+        let weak = Arc::downgrade(&engine.snapshot());
+        engine.reindex(&grid(100)).unwrap();
+        // Drain the pool so no worker still holds a pin.
+        engine
+            .submit(QueryRequest::new(vec![
+                Point::new(1.0, 1.0),
+                Point::new(5.0, 2.0),
+                Point::new(3.0, 6.0),
+            ]))
+            .wait();
+        assert!(
+            weak.upgrade().is_none(),
+            "generation 0 leaked after retirement"
+        );
     }
 }

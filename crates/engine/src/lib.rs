@@ -2,23 +2,29 @@
 //!
 //! A concurrent query-serving engine for spatial skyline queries — the
 //! layer that turns the single-query algorithms of [`ssq_core`] into a
-//! multi-tenant service over one immutable dataset snapshot.
+//! multi-tenant service over a *versioned* catalog of immutable dataset
+//! snapshots.
 //!
-//! The engine composes five pieces:
+//! The engine composes six pieces:
 //!
-//! * **Snapshot sharing** — one [`RTreeIndex`](ssq_core::RTreeIndex) and
-//!   one [`VoronoiIndex`](ssq_core::VoronoiIndex) are built per dataset
-//!   and shared via [`Arc`](std::sync::Arc) across all worker threads;
-//!   both indexes are immutable (and `Sync`) after construction.
+//! * **Snapshot catalog** ([`snapshot`]) — each dataset generation is an
+//!   immutable [`Snapshot`] bundling the points with one
+//!   [`RTreeIndex`](ssq_core::RTreeIndex) and one
+//!   [`VoronoiIndex`](ssq_core::VoronoiIndex), shared via
+//!   [`Arc`](std::sync::Arc) across all worker threads. A
+//!   [`SnapshotCatalog`] publishes new generations atomically
+//!   ([`Engine::reindex`]): in-flight queries keep their pinned `Arc`
+//!   while new queries see the new generation — no drain, no pause.
 //! * **Worker pool** ([`pool`]) — a fixed set of `std::thread` workers
 //!   fed by a bounded MPMC job queue; [`Engine::submit`] returns a
 //!   per-query [`QueryHandle`] immediately and `submit` blocks only when
 //!   the queue is full (backpressure). Shutdown drains in-flight work.
-//! * **Query-context cache** ([`cache`]) — an LRU keyed by the
-//!   *canonicalized* query set: the convex-hull vertices of `Q`, sorted
-//!   and quantized. By Theorem 2 of the paper the skyline depends only on
-//!   those vertices, so permuting `Q` or adding interior query points
-//!   hits the same entry.
+//! * **Query-context cache** ([`cache`]) — an LRU keyed by the snapshot
+//!   generation plus the *canonicalized* query set: the convex-hull
+//!   vertices of `Q`, sorted and quantized. By Theorem 2 of the paper
+//!   the skyline depends only on those vertices, so permuting `Q` or
+//!   adding interior query points hits the same entry; entries of
+//!   retired generations die by normal LRU eviction, never a flush.
 //! * **Adaptive planner** ([`planner`]) — picks naive vs B²S² vs VS²
 //!   from `|P|` and the shape of `CH(Q)`, with a forced-algorithm
 //!   override for experiments.
@@ -28,9 +34,11 @@
 //!
 //! Continuous queries (VCS², §5 of the paper) are served by the
 //! [session manager](Engine::open_session): each session owns a
-//! [`ContinuousSkyline`](ssq_core::ContinuousSkyline) over the shared
-//! Voronoi snapshot, and motion updates are applied through the same
-//! worker pool, in submission order per session.
+//! [`ContinuousSkyline`](ssq_core::ContinuousSkyline) over the Voronoi
+//! index of the generation it pinned at open, and motion updates are
+//! applied through the same worker pool, in submission order per
+//! session. After a reindex, updates carry a [`SnapshotSuperseded`]
+//! notice so callers can re-open against fresh data.
 //!
 //! ```
 //! use ssq_engine::{Engine, EngineConfig, QueryRequest};
@@ -57,12 +65,14 @@ pub mod engine;
 pub mod metrics;
 pub mod planner;
 pub mod pool;
+pub mod snapshot;
 
-pub use cache::{ContextCache, QueryKey};
+pub use cache::{CacheKey, ContextCache, QueryKey};
 pub use engine::{
     Engine, EngineConfig, EngineError, QueryHandle, QueryRequest, QueryResponse, SessionId,
-    SessionUpdate, Ticket, UpdateHandle,
+    SessionUpdate, SnapshotSuperseded, Ticket, UpdateHandle,
 };
 pub use metrics::{EngineMetrics, LatencyHistogram, LatencySnapshot, MetricsSnapshot};
 pub use planner::{Algorithm, Planner};
 pub use pool::{PoolClosed, WorkerPool};
+pub use snapshot::{Snapshot, SnapshotCatalog, StaleSnapshot};

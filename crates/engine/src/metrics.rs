@@ -9,6 +9,7 @@
 
 use crate::planner::Algorithm;
 use ssq_core::QueryStats;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -113,6 +114,17 @@ pub struct EngineMetrics {
     cache_misses: AtomicU64,
     sessions_opened: AtomicU64,
     session_updates: AtomicU64,
+    /// Current snapshot generation, mirrored here so one metrics read
+    /// answers "what is this engine serving right now".
+    generation: AtomicU64,
+    /// Snapshot swaps performed over the engine's lifetime.
+    swaps: AtomicU64,
+    /// Wall-clock nanoseconds the most recent reindex build took.
+    last_build_nanos: AtomicU64,
+    /// Queries served per snapshot generation — the observable form of
+    /// "dataset lifetime": a generation whose count stops moving has
+    /// fully drained.
+    per_generation: Mutex<BTreeMap<u64, u64>>,
     latency: LatencyHistogram,
     stats: Mutex<QueryStats>,
 }
@@ -132,12 +144,40 @@ impl EngineMetrics {
         }
     }
 
-    /// Records one finished snapshot query: which algorithm ran, how long
-    /// it took end to end, and its work counters.
-    pub fn record_query(&self, algorithm: Algorithm, latency: Duration, stats: &QueryStats) {
+    /// Records one finished snapshot query: which algorithm ran, which
+    /// dataset generation it was answered against, how long it took end
+    /// to end, and its work counters.
+    pub fn record_query(
+        &self,
+        algorithm: Algorithm,
+        generation: u64,
+        latency: Duration,
+        stats: &QueryStats,
+    ) {
         self.requests[algorithm.index()].fetch_add(1, Ordering::Relaxed);
+        *self
+            .per_generation
+            .lock()
+            .unwrap()
+            .entry(generation)
+            .or_insert(0) += 1;
         self.latency.record(latency);
         self.stats.lock().unwrap().absorb(stats);
+    }
+
+    /// Records the generation currently being served (at construction
+    /// and after every swap).
+    pub fn note_generation(&self, generation: u64) {
+        self.generation.store(generation, Ordering::Relaxed);
+    }
+
+    /// Records one completed snapshot swap: the new generation and how
+    /// long its off-line index build took.
+    pub fn record_swap(&self, generation: u64, build: Duration) {
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        self.generation.store(generation, Ordering::Relaxed);
+        let nanos = u64::try_from(build.as_nanos()).unwrap_or(u64::MAX);
+        self.last_build_nanos.store(nanos, Ordering::Relaxed);
     }
 
     /// Records a continuous session being opened.
@@ -160,6 +200,10 @@ impl EngineMetrics {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
             session_updates: self.session_updates.load(Ordering::Relaxed),
+            generation: self.generation.load(Ordering::Relaxed),
+            swaps: self.swaps.load(Ordering::Relaxed),
+            last_build: Duration::from_nanos(self.last_build_nanos.load(Ordering::Relaxed)),
+            queries_per_generation: self.per_generation.lock().unwrap().clone(),
             latency: self.latency.snapshot(),
             stats: *self.stats.lock().unwrap(),
         }
@@ -179,6 +223,18 @@ pub struct MetricsSnapshot {
     pub sessions_opened: u64,
     /// Motion updates applied across all sessions.
     pub session_updates: u64,
+    /// Snapshot generation being served when the snapshot was taken
+    /// (the newest generation across the fleet after
+    /// [`absorb`](MetricsSnapshot::absorb)).
+    pub generation: u64,
+    /// Snapshot swaps performed (reindexes published).
+    pub swaps: u64,
+    /// Wall-clock duration of the most recent reindex build (zero until
+    /// the first swap; the slowest last build across the fleet after
+    /// [`absorb`](MetricsSnapshot::absorb)).
+    pub last_build: Duration,
+    /// Queries served per snapshot generation, in generation order.
+    pub queries_per_generation: BTreeMap<u64, u64>,
     /// Latency histogram of snapshot queries.
     pub latency: LatencySnapshot,
     /// Work counters absorbed from every query and update.
@@ -219,6 +275,16 @@ impl MetricsSnapshot {
         self.cache_misses += other.cache_misses;
         self.sessions_opened += other.sessions_opened;
         self.session_updates += other.session_updates;
+        // Generations are fleet-wide (the router stamps every shard's
+        // snapshot from one counter), so the max is the newest published
+        // anywhere; swap counts add, and the slowest last build is the
+        // fleet's effective reindex cost.
+        self.generation = self.generation.max(other.generation);
+        self.swaps += other.swaps;
+        self.last_build = self.last_build.max(other.last_build);
+        for (&generation, &count) in &other.queries_per_generation {
+            *self.queries_per_generation.entry(generation).or_insert(0) += count;
+        }
         self.latency.absorb(&other.latency);
         self.stats.absorb(&other.stats);
     }
@@ -273,8 +339,8 @@ mod tests {
             dominance_checks: 7,
             ..QueryStats::default()
         };
-        m.record_query(Algorithm::Vs2, Duration::from_micros(3), &stats);
-        m.record_query(Algorithm::Naive, Duration::from_micros(1), &stats);
+        m.record_query(Algorithm::Vs2, 0, Duration::from_micros(3), &stats);
+        m.record_query(Algorithm::Naive, 1, Duration::from_micros(1), &stats);
         let s = m.snapshot();
         assert_eq!(s.cache_hits, 2);
         assert_eq!(s.cache_misses, 1);
@@ -285,6 +351,22 @@ mod tests {
         assert_eq!(s.requests_for(Algorithm::B2s2), 0);
         assert_eq!(s.stats.dominance_checks, 14);
         assert_eq!(s.latency.count(), 2);
+        assert_eq!(s.queries_per_generation.get(&0), Some(&1));
+        assert_eq!(s.queries_per_generation.get(&1), Some(&1));
+    }
+
+    #[test]
+    fn swap_accounting() {
+        let m = EngineMetrics::new();
+        m.note_generation(0);
+        assert_eq!(m.snapshot().swaps, 0);
+        assert_eq!(m.snapshot().last_build, Duration::ZERO);
+        m.record_swap(1, Duration::from_millis(7));
+        m.record_swap(2, Duration::from_millis(3));
+        let s = m.snapshot();
+        assert_eq!(s.generation, 2);
+        assert_eq!(s.swaps, 2);
+        assert_eq!(s.last_build, Duration::from_millis(3));
     }
 
     #[test]
@@ -296,15 +378,21 @@ mod tests {
             ..QueryStats::default()
         };
         a.record_cache(true);
-        a.record_query(Algorithm::Vs2, Duration::from_micros(2), &stats);
+        a.record_query(Algorithm::Vs2, 1, Duration::from_micros(2), &stats);
+        a.record_swap(1, Duration::from_millis(5));
         b.record_cache(false);
-        b.record_query(Algorithm::Naive, Duration::from_micros(8), &stats);
-        b.record_query(Algorithm::B2s2, Duration::from_micros(1), &stats);
+        b.record_query(Algorithm::Naive, 0, Duration::from_micros(8), &stats);
+        b.record_query(Algorithm::B2s2, 1, Duration::from_micros(1), &stats);
 
         let mut fleet = MetricsSnapshot::default();
         fleet.absorb(&a.snapshot());
         fleet.absorb(&b.snapshot());
         assert_eq!(fleet.queries(), 3);
+        assert_eq!(fleet.generation, 1);
+        assert_eq!(fleet.swaps, 1);
+        assert_eq!(fleet.last_build, Duration::from_millis(5));
+        assert_eq!(fleet.queries_per_generation.get(&0), Some(&1));
+        assert_eq!(fleet.queries_per_generation.get(&1), Some(&2));
         assert_eq!(fleet.requests_for(Algorithm::Vs2), 1);
         assert_eq!(fleet.requests_for(Algorithm::Naive), 1);
         assert_eq!(fleet.requests_for(Algorithm::B2s2), 1);

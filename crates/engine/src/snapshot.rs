@@ -1,0 +1,286 @@
+//! Versioned dataset snapshots and the catalog that publishes them.
+//!
+//! The paper's algorithms assume *immutable* R-tree / Voronoi indexes,
+//! and everything in this workspace preserves that assumption — what
+//! changes here is **which** immutable bundle the serving layer reads.
+//! A [`Snapshot`] packages one dataset together with both physical
+//! designs built over it, stamped with a monotonically increasing
+//! `generation`. A [`SnapshotCatalog`] owns the *current* snapshot and
+//! replaces it atomically: readers pin an `Arc<Snapshot>` and keep
+//! computing against it even while a newer generation is published, so
+//! a reindex never drains or pauses in-flight queries.
+//!
+//! # Lifecycle
+//!
+//! 1. **Build** — [`Snapshot::build`] constructs both indexes off the
+//!    serving path (any thread; typically a dedicated reindex thread).
+//!    Building touches nothing shared, so queries proceed untouched.
+//! 2. **Publish** — [`SnapshotCatalog::install`] swaps the current
+//!    `Arc` under a mutex held only for the pointer exchange. New
+//!    queries (which pin at dequeue time) see the new generation.
+//! 3. **Pin** — every query clones the `Arc` once and works against
+//!    that bundle; continuous sessions pin at session open.
+//! 4. **Retire** — when the last pinned `Arc` drops, the old indexes
+//!    are freed. There is no epoch machinery: `Arc` reference counting
+//!    *is* the retirement protocol.
+
+use ssq_core::{RTreeIndex, VoronoiIndex};
+use ssq_geom::{Point, Rect};
+use std::sync::{Arc, Mutex};
+
+/// One immutable dataset generation: the points plus both index
+/// structures the planner can choose between.
+///
+/// Snapshots are cheap to share (`Arc` all the way down) and never
+/// mutated after construction; a new dataset means a new snapshot with
+/// a higher [`generation`](Snapshot::generation).
+pub struct Snapshot {
+    generation: u64,
+    rtree: Arc<RTreeIndex>,
+    voronoi: Arc<VoronoiIndex>,
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("generation", &self.generation)
+            .field("len", &self.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Snapshot {
+    /// Builds both indexes over `points` and stamps the bundle with
+    /// `generation`.
+    ///
+    /// `points` must be non-empty, finite, and duplicate-free (the
+    /// Voronoi builder's requirements); the error string is the
+    /// underlying builder's.
+    pub fn build(generation: u64, points: &[Point]) -> Result<Snapshot, String> {
+        if points.is_empty() {
+            return Err("cannot build a snapshot over an empty dataset".into());
+        }
+        let rtree = Arc::new(RTreeIndex::new(points));
+        let voronoi = Arc::new(VoronoiIndex::new(points).map_err(|e| e.to_string())?);
+        Ok(Snapshot {
+            generation,
+            rtree,
+            voronoi,
+        })
+    }
+
+    /// Wraps pre-built indexes (they can be shared with code outside the
+    /// engine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two indexes cover different numbers of points.
+    pub fn from_indexes(
+        generation: u64,
+        rtree: Arc<RTreeIndex>,
+        voronoi: Arc<VoronoiIndex>,
+    ) -> Snapshot {
+        assert_eq!(
+            rtree.len(),
+            voronoi.len(),
+            "R-tree and Voronoi snapshots index different datasets"
+        );
+        Snapshot {
+            generation,
+            rtree,
+            voronoi,
+        }
+    }
+
+    /// The dataset generation this snapshot carries.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The R*-tree over this generation's points (BBS, B²S²).
+    pub fn rtree(&self) -> &Arc<RTreeIndex> {
+        &self.rtree
+    }
+
+    /// The Voronoi index over this generation's points (VS², VCS²).
+    pub fn voronoi(&self) -> &Arc<VoronoiIndex> {
+        &self.voronoi
+    }
+
+    /// The snapshot's points, in index order. Skyline ids index into
+    /// this slice.
+    pub fn points(&self) -> &[Point] {
+        self.rtree.points()
+    }
+
+    /// Number of data points.
+    pub fn len(&self) -> usize {
+        self.rtree.len()
+    }
+
+    /// `true` when the snapshot holds no points (never constructed by
+    /// [`Snapshot::build`], which rejects empty datasets).
+    pub fn is_empty(&self) -> bool {
+        self.rtree.is_empty()
+    }
+
+    /// The bounding rectangle of this generation's points.
+    pub fn universe(&self) -> Rect {
+        self.rtree.universe()
+    }
+}
+
+/// The publication point for [`Snapshot`]s: one *current* generation,
+/// replaced atomically by [`install`](SnapshotCatalog::install).
+///
+/// The mutex guards only the `Arc` exchange —
+/// [`current`](SnapshotCatalog::current) holds it for a single clone,
+/// never across an index build or a query, so the read path is
+/// contention-free in practice and readers can never block a publisher
+/// for long (nor vice versa).
+pub struct SnapshotCatalog {
+    current: Mutex<Arc<Snapshot>>,
+}
+
+impl std::fmt::Debug for SnapshotCatalog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotCatalog")
+            .field("generation", &self.generation())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SnapshotCatalog {
+    /// A catalog whose current snapshot is `initial`.
+    pub fn new(initial: Arc<Snapshot>) -> SnapshotCatalog {
+        SnapshotCatalog {
+            current: Mutex::new(initial),
+        }
+    }
+
+    /// Pins the current snapshot: the returned `Arc` stays valid (and
+    /// keeps its generation's indexes alive) for as long as the caller
+    /// holds it, regardless of later installs.
+    pub fn current(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.current.lock().unwrap())
+    }
+
+    /// The current generation number.
+    pub fn generation(&self) -> u64 {
+        self.current.lock().unwrap().generation
+    }
+
+    /// Atomically replaces the current snapshot, returning the retired
+    /// one (callers usually drop it; tests inspect its strong count).
+    ///
+    /// Rejects a snapshot whose generation is not strictly newer than
+    /// the current one — installs must move time forward, otherwise a
+    /// slow build racing a fast one could roll the dataset back.
+    pub fn install(&self, snapshot: Arc<Snapshot>) -> Result<Arc<Snapshot>, StaleSnapshot> {
+        let mut current = self.current.lock().unwrap();
+        if snapshot.generation <= current.generation {
+            return Err(StaleSnapshot {
+                offered: snapshot.generation,
+                current: current.generation,
+            });
+        }
+        Ok(std::mem::replace(&mut *current, snapshot))
+    }
+}
+
+/// Rejected install: the offered snapshot is not newer than the
+/// published one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaleSnapshot {
+    /// Generation of the snapshot that was offered.
+    pub offered: u64,
+    /// Generation the catalog already serves.
+    pub current: u64,
+}
+
+impl std::fmt::Display for StaleSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "stale snapshot: offered generation {} <= current {}",
+            self.offered, self.current
+        )
+    }
+}
+
+impl std::error::Error for StaleSnapshot {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| Point::new((i % 13) as f64 + 1e-4 * i as f64, (i / 13) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn build_stamps_generation_and_indexes_agree() {
+        let snap = Snapshot::build(3, &pts(50)).unwrap();
+        assert_eq!(snap.generation(), 3);
+        assert_eq!(snap.len(), 50);
+        assert_eq!(snap.rtree().len(), snap.voronoi().len());
+        assert!(!snap.is_empty());
+    }
+
+    #[test]
+    fn empty_and_degenerate_datasets_are_rejected() {
+        assert!(Snapshot::build(0, &[]).is_err());
+        let dup = vec![Point::new(1.0, 1.0), Point::new(1.0, 1.0)];
+        assert!(Snapshot::build(0, &dup).is_err());
+    }
+
+    #[test]
+    fn install_swaps_and_returns_the_retired_snapshot() {
+        let catalog = SnapshotCatalog::new(Arc::new(Snapshot::build(0, &pts(20)).unwrap()));
+        let pinned = catalog.current();
+        assert_eq!(pinned.generation(), 0);
+
+        let next = Arc::new(Snapshot::build(1, &pts(30)).unwrap());
+        let retired = catalog.install(next).unwrap();
+        assert_eq!(retired.generation(), 0);
+        assert_eq!(catalog.generation(), 1);
+        // The pinned Arc still reads generation 0's data.
+        assert_eq!(pinned.len(), 20);
+        assert_eq!(catalog.current().len(), 30);
+    }
+
+    #[test]
+    fn stale_installs_are_rejected() {
+        let catalog = SnapshotCatalog::new(Arc::new(Snapshot::build(5, &pts(20)).unwrap()));
+        let stale = Arc::new(Snapshot::build(5, &pts(10)).unwrap());
+        assert_eq!(
+            catalog.install(stale).unwrap_err(),
+            StaleSnapshot {
+                offered: 5,
+                current: 5
+            }
+        );
+        assert_eq!(catalog.generation(), 5);
+        assert_eq!(catalog.current().len(), 20, "rollback must not happen");
+    }
+
+    #[test]
+    fn retirement_is_arc_reference_counting() {
+        let catalog = SnapshotCatalog::new(Arc::new(Snapshot::build(0, &pts(20)).unwrap()));
+        let weak = {
+            let pinned = catalog.current();
+            let weak = Arc::downgrade(&pinned);
+            catalog
+                .install(Arc::new(Snapshot::build(1, &pts(25)).unwrap()))
+                .unwrap();
+            assert!(weak.upgrade().is_some(), "pinned generation freed early");
+            weak
+        };
+        assert!(
+            weak.upgrade().is_none(),
+            "old generation leaked after the last pin dropped"
+        );
+    }
+}

@@ -13,6 +13,16 @@ pub struct ShardMetrics {
     shards_queried: AtomicU64,
     shards_pruned: AtomicU64,
     merge_candidates: AtomicU64,
+    /// Fleet generation currently routed to.
+    generation: AtomicU64,
+    /// Fleet-wide reindexes published (one per
+    /// [`reindex`](crate::ShardedEngine::reindex), regardless of shard
+    /// count — the per-engine swap counters in the folded engine view
+    /// count each shard's install separately).
+    swaps: AtomicU64,
+    /// Wall-clock nanoseconds the most recent reindex took: partition
+    /// plus every shard's index build.
+    last_build_nanos: AtomicU64,
     latency: LatencyHistogram,
 }
 
@@ -34,6 +44,15 @@ impl ShardMetrics {
         self.latency.record(latency);
     }
 
+    /// Records one published fleet reindex: the new generation and how
+    /// long the partition + per-shard builds took.
+    pub fn record_swap(&self, generation: u64, build: Duration) {
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        self.generation.store(generation, Ordering::Relaxed);
+        let nanos = u64::try_from(build.as_nanos()).unwrap_or(u64::MAX);
+        self.last_build_nanos.store(nanos, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy, with the per-shard engine snapshots folded
     /// into one fleet-wide [`MetricsSnapshot`].
     pub fn snapshot<'a>(
@@ -49,6 +68,9 @@ impl ShardMetrics {
             shards_queried: self.shards_queried.load(Ordering::Relaxed),
             shards_pruned: self.shards_pruned.load(Ordering::Relaxed),
             merge_candidates: self.merge_candidates.load(Ordering::Relaxed),
+            generation: self.generation.load(Ordering::Relaxed),
+            swaps: self.swaps.load(Ordering::Relaxed),
+            last_build: Duration::from_nanos(self.last_build_nanos.load(Ordering::Relaxed)),
             latency: self.latency.snapshot(),
             engines: fleet,
         }
@@ -66,9 +88,18 @@ pub struct ShardedMetricsSnapshot {
     pub shards_pruned: u64,
     /// Candidates fed to the cross-shard merge, summed over queries.
     pub merge_candidates: u64,
+    /// Fleet generation being routed to when the snapshot was taken.
+    pub generation: u64,
+    /// Fleet reindexes published (one per router-level
+    /// [`reindex`](crate::ShardedEngine::reindex) call).
+    pub swaps: u64,
+    /// Wall-clock duration of the most recent reindex (partition plus
+    /// every shard's index build); zero until the first reindex.
+    pub last_build: Duration,
     /// End-to-end latency histogram of routed queries.
     pub latency: LatencySnapshot,
-    /// Every shard engine's counters folded into one fleet view.
+    /// Every shard engine's counters folded into one fleet view
+    /// (including per-engine swap counts and queries per generation).
     pub engines: MetricsSnapshot,
 }
 
@@ -112,5 +143,20 @@ mod tests {
         assert!((s.prune_rate() - 3.0 / 8.0).abs() < 1e-12);
         assert_eq!(s.latency.count(), 2);
         assert_eq!(s.engines.queries(), 0);
+        assert_eq!(s.generation, 0);
+        assert_eq!(s.swaps, 0);
+        assert_eq!(s.last_build, Duration::ZERO);
+    }
+
+    #[test]
+    fn swap_accounting() {
+        let m = ShardMetrics::new();
+        m.record_swap(1, Duration::from_millis(9));
+        m.record_swap(2, Duration::from_millis(4));
+        let no_engines: [&MetricsSnapshot; 0] = [];
+        let s = m.snapshot(no_engines);
+        assert_eq!(s.generation, 2);
+        assert_eq!(s.swaps, 2);
+        assert_eq!(s.last_build, Duration::from_millis(4));
     }
 }

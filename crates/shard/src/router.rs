@@ -22,14 +22,28 @@
 //! Pruning never affects the answer (the bound is sound — see
 //! [`prune`](crate::prune)); it only avoids work, which the metrics
 //! make observable.
+//!
+//! # Live reindex
+//!
+//! [`ShardedEngine::reindex`] re-partitions a new dataset, builds one
+//! [`Snapshot`] per shard at the next fleet generation, installs them
+//! into the per-shard engine catalogs, and publishes a new [`Fleet`
+//! view](ShardedEngine::reindex) — the id remap tables and pruning rects
+//! re-derived from the new data. Every routed query pins **one** fleet
+//! view for its whole fan-out, so its pruning bounds, sub-queries, and
+//! remap tables all describe the same generation even while per-engine
+//! catalogs are being swapped underneath it; the answer is always
+//! exactly the single-engine answer on one real dataset generation
+//! (the one [`ShardedResponse::generation`] reports).
 
 use crate::merge::merge_candidates;
 use crate::metrics::{ShardMetrics, ShardedMetricsSnapshot};
 use crate::partition::{partition, PartitionPolicy, ShardSpec};
 use crate::prune::{dominates_rect, rect_lower_bounds};
 use ssq_core::{QueryContext, QueryStats};
-use ssq_engine::{Engine, EngineConfig, EngineError, QueryRequest};
+use ssq_engine::{Engine, EngineConfig, EngineError, QueryRequest, Snapshot};
 use ssq_geom::{Point, Rect};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`ShardedEngine::new`].
@@ -143,8 +157,12 @@ pub struct ShardInfo {
 #[derive(Clone, Debug)]
 pub struct ShardedResponse {
     /// Global skyline point ids, ascending — exactly the single-engine
-    /// answer on the union dataset.
+    /// answer on the union dataset of the generation reported below.
     pub skyline: Vec<u32>,
+    /// The fleet generation this query was answered against: every
+    /// shard sub-query, pruning bound, and remap table came from this
+    /// one generation's view.
+    pub generation: u64,
     /// Shards whose engines actually ran the query.
     pub shards_queried: usize,
     /// Shards skipped by the dominance bound.
@@ -155,22 +173,42 @@ pub struct ShardedResponse {
     pub stats: QueryStats,
 }
 
-struct Shard {
-    engine: Engine,
+/// One shard's slice of a single fleet generation: the pinned snapshot
+/// its engine answers from, the local→global id map, and the rect the
+/// router prunes against. All three describe the *same* dataset, which
+/// is what keeps pruning sound across swaps.
+struct ShardView {
+    snapshot: Arc<Snapshot>,
     ids: Vec<u32>,
     rect: Rect,
 }
 
+/// A consistent routing view over every shard at one generation. A query
+/// pins one `Arc<Fleet>` for its whole fan-out.
+struct Fleet {
+    generation: u64,
+    views: Vec<ShardView>,
+}
+
 /// One [`Engine`] per spatial shard behind a pruning router.
+///
+/// The engines (worker pools, caches, metrics) persist across
+/// [`reindex`](ShardedEngine::reindex) calls; only their snapshot
+/// catalogs and the router's fleet view are swapped.
 pub struct ShardedEngine {
-    shards: Vec<Shard>,
+    engines: Vec<Engine>,
+    fleet: Mutex<Arc<Fleet>>,
+    /// Serializes reindex calls so generation numbers stay monotone.
+    reindex_lock: Mutex<()>,
+    policy: PartitionPolicy,
     metrics: ShardMetrics,
     timeout: Option<Duration>,
     prune: bool,
 }
 
 impl ShardedEngine {
-    /// Partitions `points` and builds the per-shard engines.
+    /// Partitions `points` and builds the per-shard engines, publishing
+    /// the result as fleet generation 0.
     pub fn new(points: &[Point], config: ShardConfig) -> Result<ShardedEngine, ShardError> {
         if config.shards == 0 {
             return Err(ShardError::InvalidConfig(
@@ -182,62 +220,142 @@ impl ShardedEngine {
         }
         config.engine.validate()?;
         let specs = partition(points, config.shards, config.policy);
-        let shards = specs
-            .into_iter()
-            .map(|spec: ShardSpec| {
-                Ok(Shard {
-                    engine: Engine::new(&spec.points, config.engine.clone())?,
-                    ids: spec.ids,
-                    rect: spec.rect,
-                })
-            })
-            .collect::<Result<Vec<Shard>, EngineError>>()?;
+        let mut engines = Vec::with_capacity(specs.len());
+        let mut views = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let ShardSpec { ids, points, rect } = spec;
+            let snapshot = Arc::new(
+                Snapshot::build(0, &points)
+                    .map_err(|e| ShardError::Engine(EngineError::Index(e)))?,
+            );
+            engines.push(Engine::with_snapshot(
+                Arc::clone(&snapshot),
+                config.engine.clone(),
+            )?);
+            views.push(ShardView {
+                snapshot,
+                ids,
+                rect,
+            });
+        }
         Ok(ShardedEngine {
-            shards,
+            engines,
+            fleet: Mutex::new(Arc::new(Fleet {
+                generation: 0,
+                views,
+            })),
+            reindex_lock: Mutex::new(()),
+            policy: config.policy,
             metrics: ShardMetrics::new(),
             timeout: config.shard_timeout,
             prune: config.prune,
         })
     }
 
-    /// Number of shards actually built (≤ the configured target).
-    pub fn shard_count(&self) -> usize {
-        self.shards.len()
+    /// Pins the current fleet view (lock held only for the clone).
+    fn current_fleet(&self) -> Arc<Fleet> {
+        Arc::clone(&self.fleet.lock().unwrap())
     }
 
-    /// Total points across all shards.
+    /// Number of shards holding data in the current generation (≤ the
+    /// configured target; a reindex onto a tiny dataset may leave
+    /// trailing engines idle).
+    pub fn shard_count(&self) -> usize {
+        self.current_fleet().views.len()
+    }
+
+    /// The fleet generation currently being served.
+    pub fn generation(&self) -> u64 {
+        self.current_fleet().generation
+    }
+
+    /// Total points across all shards in the current generation.
     pub fn data_len(&self) -> usize {
-        self.shards.iter().map(|s| s.ids.len()).sum()
+        self.current_fleet().views.iter().map(|v| v.ids.len()).sum()
     }
 
     /// Static per-shard facts, for `shard-stats` style reports.
     pub fn shard_infos(&self) -> Vec<ShardInfo> {
-        self.shards
+        self.current_fleet()
+            .views
             .iter()
             .enumerate()
-            .map(|(index, s)| ShardInfo {
+            .map(|(index, v)| ShardInfo {
                 index,
-                len: s.ids.len(),
-                rect: s.rect,
+                len: v.ids.len(),
+                rect: v.rect,
             })
             .collect()
     }
 
+    /// Re-partitions `points` as the next fleet generation, builds one
+    /// snapshot per shard, installs them into the per-shard engine
+    /// catalogs, and atomically publishes the new routing view. Returns
+    /// the new generation number.
+    ///
+    /// The partition and every index build run on the calling thread,
+    /// entirely off the serving path: queries that pinned the old fleet
+    /// keep using it (its snapshots, rects, and id maps stay alive via
+    /// their `Arc`s) and finish exactly; queries routed after the
+    /// publish see only the new generation. Nothing is installed unless
+    /// **every** shard's build succeeded, so the fleet can never end up
+    /// half-swapped.
+    pub fn reindex(&self, points: &[Point]) -> Result<u64, ShardError> {
+        if points.is_empty() {
+            return Err(ShardError::Engine(EngineError::EmptyDataset));
+        }
+        let _guard = self.reindex_lock.lock().unwrap();
+        let next = self.current_fleet().generation + 1;
+        let start = Instant::now();
+        // Never more shards than engines: each view needs a pool to run
+        // its sub-queries on.
+        let specs = partition(points, self.engines.len(), self.policy);
+        let mut views = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let ShardSpec { ids, points, rect } = spec;
+            let snapshot = Arc::new(
+                Snapshot::build(next, &points)
+                    .map_err(|e| ShardError::Engine(EngineError::Index(e)))?,
+            );
+            views.push(ShardView {
+                snapshot,
+                ids,
+                rect,
+            });
+        }
+        let build = start.elapsed();
+        for (engine, view) in self.engines.iter().zip(&views) {
+            engine.install_snapshot(Arc::clone(&view.snapshot), build)?;
+        }
+        *self.fleet.lock().unwrap() = Arc::new(Fleet {
+            generation: next,
+            views,
+        });
+        self.metrics.record_swap(next, build);
+        Ok(next)
+    }
+
     /// Routes one query: seed the primary shard, prune, fan out, merge.
+    ///
+    /// The whole fan-out runs against one pinned fleet generation, so
+    /// the answer is exact for the dataset of
+    /// [`ShardedResponse::generation`] even if a
+    /// [`reindex`](ShardedEngine::reindex) publishes mid-flight.
     pub fn query(&self, q: &[Point]) -> Result<ShardedResponse, ShardError> {
         let start = Instant::now();
+        let fleet = self.current_fleet();
         let ctx = QueryContext::new(q);
         let anchors = ctx.anchors();
         let mut stats = QueryStats::default();
 
         // Lower-bound vector and its sum per shard; the primary shard is
         // the one the query can be served cheapest from.
-        let bounds: Vec<Vec<f64>> = self
-            .shards
+        let bounds: Vec<Vec<f64>> = fleet
+            .views
             .iter()
-            .map(|s| rect_lower_bounds(&s.rect, anchors))
+            .map(|v| rect_lower_bounds(&v.rect, anchors))
             .collect();
-        let primary = (0..self.shards.len())
+        let primary = (0..fleet.views.len())
             .min_by(|&a, &b| {
                 let (sa, sb) = (bounds[a].iter().sum::<f64>(), bounds[b].iter().sum::<f64>());
                 sa.total_cmp(&sb)
@@ -248,12 +366,13 @@ impl ShardedEngine {
         // distance vectors prune distant shards.
         let seed = self.wait_shard(
             primary,
-            self.shards[primary]
-                .engine
-                .submit(QueryRequest::new(q.to_vec())),
+            self.engines[primary].submit_on(
+                QueryRequest::new(q.to_vec()),
+                Arc::clone(&fleet.views[primary].snapshot),
+            ),
         )?;
         stats.absorb(&seed.stats);
-        let mut candidates: Vec<(u32, Point)> = self.remap(primary, &seed.skyline);
+        let mut candidates: Vec<(u32, Point)> = remap(&fleet.views[primary], &seed.skyline);
         let seed_vectors: Vec<Vec<f64>> = candidates
             .iter()
             .map(|&(_, p)| ctx.dist_vector(p, &mut stats))
@@ -262,7 +381,7 @@ impl ShardedEngine {
         // Fan out to every other shard the seed cannot rule out.
         let mut pruned = 0usize;
         let mut pending: Vec<(usize, ssq_engine::QueryHandle)> = Vec::new();
-        for (i, shard) in self.shards.iter().enumerate() {
+        for (i, view) in fleet.views.iter().enumerate() {
             if i == primary {
                 continue;
             }
@@ -270,14 +389,18 @@ impl ShardedEngine {
             if skip {
                 pruned += 1;
             } else {
-                pending.push((i, shard.engine.submit(QueryRequest::new(q.to_vec()))));
+                pending.push((
+                    i,
+                    self.engines[i]
+                        .submit_on(QueryRequest::new(q.to_vec()), Arc::clone(&view.snapshot)),
+                ));
             }
         }
         let queried = 1 + pending.len();
         for (i, handle) in pending {
             let response = self.wait_shard(i, handle)?;
             stats.absorb(&response.stats);
-            candidates.extend(self.remap(i, &response.skyline));
+            candidates.extend(remap(&fleet.views[i], &response.skyline));
         }
 
         // Merge to the exact global skyline.
@@ -291,6 +414,7 @@ impl ShardedEngine {
         );
         Ok(ShardedResponse {
             skyline,
+            generation: fleet.generation,
             shards_queried: queried,
             shards_pruned: pruned,
             latency,
@@ -311,30 +435,28 @@ impl ShardedEngine {
         }
     }
 
-    /// Local skyline ids of `shard` mapped back to global ids + points.
-    fn remap(&self, shard: usize, local: &[u32]) -> Vec<(u32, Point)> {
-        let s = &self.shards[shard];
-        local
-            .iter()
-            .map(|&l| {
-                let global = s.ids[l as usize];
-                (global, s.engine.points()[l as usize])
-            })
-            .collect()
-    }
-
     /// Router metrics plus the folded per-shard engine metrics.
     pub fn metrics(&self) -> ShardedMetricsSnapshot {
-        let engine_snaps: Vec<_> = self.shards.iter().map(|s| s.engine.metrics()).collect();
+        let engine_snaps: Vec<_> = self.engines.iter().map(Engine::metrics).collect();
         self.metrics.snapshot(engine_snaps.iter())
     }
 
     /// Drains and joins every shard engine's worker pool.
     pub fn shutdown(self) {
-        for shard in self.shards {
-            shard.engine.shutdown();
+        for engine in self.engines {
+            engine.shutdown();
         }
     }
+}
+
+/// Local skyline ids of one shard view mapped back to global ids +
+/// points. The id table and the points come from the same [`ShardView`],
+/// so the mapping is exact for that view's generation.
+fn remap(view: &ShardView, local: &[u32]) -> Vec<(u32, Point)> {
+    local
+        .iter()
+        .map(|&l| (view.ids[l as usize], view.snapshot.points()[l as usize]))
+        .collect()
 }
 
 #[cfg(test)]
@@ -476,6 +598,123 @@ mod tests {
         let got = engine.query(&q).unwrap();
         assert_eq!(
             got.skyline,
+            naive_full(&data, &QueryContext::new(&q)).skyline
+        );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn reindex_swaps_every_shard_and_stays_exact() {
+        let old_data = cloud(300);
+        let new_data: Vec<Point> = cloud(450)
+            .into_iter()
+            .map(|p| Point::new(p.x + 0.25, p.y + 0.125))
+            .collect();
+        let q = vec![
+            Point::new(5.0, 5.0),
+            Point::new(14.0, 8.0),
+            Point::new(9.0, 18.0),
+        ];
+        let config = ShardConfig::default()
+            .with_shards(4)
+            .with_engine(small_engines());
+        let engine = ShardedEngine::new(&old_data, config).unwrap();
+
+        let before = engine.query(&q).unwrap();
+        assert_eq!(before.generation, 0);
+        assert_eq!(
+            before.skyline,
+            naive_full(&old_data, &QueryContext::new(&q)).skyline
+        );
+
+        assert_eq!(engine.reindex(&new_data).unwrap(), 1);
+        assert_eq!(engine.generation(), 1);
+        assert_eq!(engine.data_len(), new_data.len());
+
+        let after = engine.query(&q).unwrap();
+        assert_eq!(after.generation, 1);
+        assert_eq!(
+            after.skyline,
+            naive_full(&new_data, &QueryContext::new(&q)).skyline
+        );
+
+        let m = engine.metrics();
+        assert_eq!(m.generation, 1);
+        assert_eq!(m.swaps, 1, "one router-level reindex");
+        assert!(m.last_build > Duration::ZERO);
+        assert_eq!(
+            m.engines.swaps,
+            engine.shard_count() as u64,
+            "every shard engine installed once"
+        );
+        assert_eq!(m.engines.generation, 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn reindex_onto_a_tiny_dataset_idles_trailing_engines() {
+        let engine = ShardedEngine::new(
+            &cloud(400),
+            ShardConfig::default()
+                .with_shards(6)
+                .with_engine(small_engines()),
+        )
+        .unwrap();
+        let shards_before = engine.shard_count();
+        let tiny = vec![
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 3.0),
+            Point::new(0.5, 2.5),
+        ];
+        engine.reindex(&tiny).unwrap();
+        assert!(engine.shard_count() <= tiny.len());
+        assert!(engine.shard_count() <= shards_before);
+        assert_eq!(engine.data_len(), tiny.len());
+        let q = vec![Point::new(0.0, 0.0), Point::new(3.0, 3.0)];
+        let got = engine.query(&q).unwrap();
+        assert_eq!(got.generation, 1);
+        assert_eq!(
+            got.skyline,
+            naive_full(&tiny, &QueryContext::new(&q)).skyline
+        );
+        // And back up again: idle engines rejoin the fleet.
+        let big = cloud(500);
+        engine.reindex(&big).unwrap();
+        assert_eq!(engine.generation(), 2);
+        let got = engine.query(&q).unwrap();
+        assert_eq!(got.generation, 2);
+        assert_eq!(
+            got.skyline,
+            naive_full(&big, &QueryContext::new(&q)).skyline
+        );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn failed_reindex_leaves_the_fleet_untouched() {
+        let data = cloud(200);
+        let engine = ShardedEngine::new(
+            &data,
+            ShardConfig::default()
+                .with_shards(3)
+                .with_engine(small_engines()),
+        )
+        .unwrap();
+        assert!(matches!(
+            engine.reindex(&[]),
+            Err(ShardError::Engine(EngineError::EmptyDataset))
+        ));
+        let dup = vec![Point::new(1.0, 1.0), Point::new(1.0, 1.0)];
+        assert!(matches!(
+            engine.reindex(&dup),
+            Err(ShardError::Engine(EngineError::Index(_)))
+        ));
+        assert_eq!(engine.generation(), 0);
+        assert_eq!(engine.data_len(), data.len());
+        assert_eq!(engine.metrics().swaps, 0);
+        let q = vec![Point::new(4.0, 4.0), Point::new(10.0, 6.0)];
+        assert_eq!(
+            engine.query(&q).unwrap().skyline,
             naive_full(&data, &QueryContext::new(&q)).skyline
         );
         engine.shutdown();

@@ -3,20 +3,16 @@
 #
 #   scripts/ci.sh
 #
-# Mirrors what reviewers run: format check, clippy (best-effort if the
-# component is missing from the toolchain), release build, full tests.
+# Mirrors what reviewers run: format check, clippy (mandatory — a missing
+# clippy component fails the gate), release build, full tests.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> cargo clippy"
-if cargo clippy --version >/dev/null 2>&1; then
-    cargo clippy --workspace --all-targets -- -D warnings
-else
-    echo "    (clippy not installed; skipping)"
-fi
+echo "==> cargo clippy (mandatory, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo build --release"
 cargo build --workspace --release

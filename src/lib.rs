@@ -20,10 +20,11 @@
 //!   paper's experiments;
 //! * [`engine`] — a concurrent query-serving engine (worker pool, LRU
 //!   query-context cache, adaptive planner, continuous sessions, metrics)
-//!   over shared immutable index snapshots;
+//!   over a versioned snapshot catalog: immutable index snapshots that
+//!   swap atomically under load (live reindex, generation-pinned queries);
 //! * [`shard`] — sharded serving: spatial partitioner (grid / kd-split),
-//!   one engine per shard, a dominance-bound shard-pruning router, and an
-//!   exact cross-shard skyline merge.
+//!   one engine per shard, a dominance-bound shard-pruning router, an
+//!   exact cross-shard skyline merge, and atomic whole-fleet reindexing.
 //!
 //! ## Quickstart
 //!

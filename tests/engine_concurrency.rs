@@ -16,7 +16,9 @@
 use spatial_skyline::engine::{Algorithm, Engine, EngineConfig, QueryRequest};
 use spatial_skyline::prelude::*;
 use ssq_rng::Xoshiro256;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 fn dataset(n: usize, seed: u64) -> Vec<Point> {
     let mut rng = Xoshiro256::seed_from_u64(seed);
@@ -164,6 +166,93 @@ fn pooled_sessions_match_serial_continuous_skylines() {
         assert!(engine.close_session(id));
     }
     assert_eq!(engine.open_sessions(), 0);
+}
+
+#[test]
+fn shutdown_completes_while_swaps_and_a_tiny_queue_race() {
+    // A deliberately tiny bounded queue keeps submitters blocked on
+    // backpressure while a reindexer spams catalog swaps — the exact
+    // interleaving where a shutdown that took locks in the wrong order
+    // would deadlock. The whole teardown runs under a watchdog.
+    let datasets = Arc::new([dataset(220, 0xEA), dataset(260, 0xEB)]);
+    let mut config = EngineConfig::default().with_workers(2);
+    config.queue_capacity = 4;
+    let engine = Arc::new(Engine::new(&datasets[0], config).unwrap());
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let submitters: Vec<_> = (0..3)
+        .map(|client| {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut rng = Xoshiro256::seed_from_u64(0xEC + client);
+                let mut handles = Vec::new();
+                while !stop.load(Ordering::SeqCst) {
+                    let q = random_query(&mut rng);
+                    handles.push((q.clone(), engine.submit(QueryRequest::new(q))));
+                }
+                handles
+            })
+        })
+        .collect();
+    let reindexer = {
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        let datasets = Arc::clone(&datasets);
+        std::thread::spawn(move || {
+            let mut swaps = 0u64;
+            while !stop.load(Ordering::SeqCst) {
+                // Generations alternate between the two datasets:
+                // odd generations carry datasets[1], even ones datasets[0].
+                let next = &datasets[(swaps as usize + 1) % 2];
+                engine.reindex(next).unwrap();
+                swaps += 1;
+            }
+            swaps
+        })
+    };
+
+    std::thread::sleep(Duration::from_millis(40));
+    stop.store(true, Ordering::SeqCst);
+    let handle_sets: Vec<_> = submitters.into_iter().map(|s| s.join().unwrap()).collect();
+    let swaps = reindexer.join().unwrap();
+    assert_eq!(engine.generation(), swaps);
+
+    // Shutdown with jobs still queued must terminate; run it under a
+    // watchdog so a deadlock fails the test instead of hanging it.
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    let closer = std::thread::spawn(move || {
+        Arc::try_unwrap(engine)
+            .unwrap_or_else(|_| panic!("an engine handle leaked past the joins"))
+            .shutdown();
+        done_tx.send(()).unwrap();
+    });
+    done_rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("engine shutdown deadlocked with queued jobs and swaps in flight");
+    closer.join().unwrap();
+
+    // Every accepted job still ran, each answered against the dataset of
+    // the generation it reports: ids stay in range for all of them, and a
+    // sample is held to full oracle equality.
+    for (k, (q, handle)) in handle_sets.into_iter().flatten().enumerate() {
+        let response = handle.wait();
+        let data = &datasets[usize::try_from(response.generation).unwrap() % 2];
+        let limit = u32::try_from(data.len()).unwrap();
+        assert!(
+            response.skyline.iter().all(|&id| id < limit),
+            "response ids exceed generation {}'s dataset",
+            response.generation
+        );
+        if k % 9 == 0 {
+            let want = naive_full(data, &QueryContext::new(&q)).skyline;
+            assert_eq!(
+                response.skyline, want,
+                "a drained job diverged from generation {}'s oracle",
+                response.generation
+            );
+        }
+    }
 }
 
 #[test]

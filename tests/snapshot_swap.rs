@@ -1,0 +1,260 @@
+//! Live reindex acceptance: snapshots swap under load without pausing,
+//! corrupting, or leaking.
+//!
+//! Three fronts:
+//!
+//! * **Engine swaps** — client threads query continuously while the
+//!   catalog publishes two new generations mid-stream; every response
+//!   must be *exactly* the naive-oracle skyline of the dataset belonging
+//!   to the generation it reports, and the retired generation's snapshot
+//!   must be freed (its `Weak` dies) once nothing pins it.
+//! * **Fleet swaps** — the sharded router republishes its whole fleet
+//!   mid-stream; responses stay exact against the union dataset of the
+//!   generation they report.
+//! * **Session pinning** — a VCS² session opened before a swap keeps
+//!   answering exactly against its pinned generation, reports
+//!   `SnapshotSuperseded`, and releases the pinned indexes on close.
+//!
+//! Deterministic and hermetic: all randomness comes from the in-repo
+//! `ssq_rng` generator; swap timing only shifts *which* generation a
+//! response reports, never whether it is correct.
+
+use spatial_skyline::engine::{
+    Engine, EngineConfig, QueryRequest, QueryResponse, SnapshotSuperseded,
+};
+use spatial_skyline::prelude::*;
+use spatial_skyline::shard::{ShardConfig, ShardedEngine, ShardedResponse};
+use ssq_rng::Xoshiro256;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn dataset(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut pts: Vec<Point> = (0..n)
+        .map(|_| Point::new(rng.f64() * 10.0, rng.f64() * 10.0))
+        .collect();
+    pts.sort_by(Point::lex_cmp);
+    pts.dedup();
+    pts
+}
+
+fn random_query(rng: &mut Xoshiro256) -> Vec<Point> {
+    let n = 2 + rng.range_usize(5);
+    (0..n)
+        .map(|_| Point::new(rng.f64() * 10.0, rng.f64() * 10.0))
+        .collect()
+}
+
+/// Spin until `counter` reaches `at` (the swap thread's trigger).
+fn wait_for(counter: &AtomicUsize, at: usize) {
+    while counter.load(Ordering::SeqCst) < at {
+        std::thread::yield_now();
+    }
+}
+
+/// What one client thread brings home: each query paired with its response.
+type Outcomes<R> = Vec<(Vec<Point>, R)>;
+
+#[test]
+fn clients_stay_exact_through_two_live_swaps() {
+    // One dataset per generation; the third is *smaller* than the first,
+    // so any response carrying a stale generation number would point past
+    // the end of its claimed dataset.
+    let generations: Vec<Vec<Point>> =
+        vec![dataset(400, 0xA1), dataset(520, 0xA2), dataset(300, 0xA3)];
+    let engine =
+        Arc::new(Engine::new(&generations[0], EngineConfig::default().with_workers(4)).unwrap());
+    let retired = Arc::downgrade(&engine.snapshot());
+
+    const CLIENTS: usize = 4;
+    const REQUESTS: usize = 160;
+    let started = Arc::new(AtomicUsize::new(0));
+
+    let clients: Vec<std::thread::JoinHandle<Outcomes<QueryResponse>>> = (0..CLIENTS)
+        .map(|client| {
+            let engine = Arc::clone(&engine);
+            let started = Arc::clone(&started);
+            std::thread::spawn(move || {
+                let mut rng = Xoshiro256::seed_from_u64(0xB0 + client as u64);
+                let mut outcomes = Vec::new();
+                // Claim requests from the shared budget so the stream
+                // keeps flowing across both swaps no matter how the
+                // scheduler interleaves the clients.
+                while started.fetch_add(1, Ordering::SeqCst) < REQUESTS {
+                    let q = random_query(&mut rng);
+                    let response = engine.submit(QueryRequest::new(q.clone())).wait();
+                    outcomes.push((q, response));
+                }
+                outcomes
+            })
+        })
+        .collect();
+
+    // Publish generation 1 a third of the way through the stream and
+    // generation 2 at two thirds, while the clients keep querying.
+    for (generation, at) in [(1u64, REQUESTS / 3), (2u64, 2 * REQUESTS / 3)] {
+        wait_for(&started, at);
+        let published = engine.reindex(&generations[generation as usize]).unwrap();
+        assert_eq!(published, generation);
+    }
+
+    let mut per_generation = [0usize; 3];
+    for client in clients {
+        for (q, response) in client.join().unwrap() {
+            let generation = usize::try_from(response.generation).unwrap();
+            assert!(generation < generations.len(), "unknown generation");
+            let want = naive_full(&generations[generation], &QueryContext::new(&q)).skyline;
+            assert_eq!(
+                response.skyline, want,
+                "response for generation {generation} diverged from that generation's oracle on {q:?}"
+            );
+            per_generation[generation] += 1;
+        }
+    }
+    assert_eq!(per_generation.iter().sum::<usize>(), REQUESTS);
+    assert!(
+        per_generation[2] > 0,
+        "no query was ever answered against the final generation"
+    );
+
+    // The metrics carry the swap history and the per-generation split.
+    let m = engine.metrics();
+    assert_eq!(m.generation, 2);
+    assert_eq!(m.swaps, 2);
+    assert!(m.last_build > std::time::Duration::ZERO);
+    assert_eq!(
+        m.queries_per_generation.values().sum::<u64>(),
+        REQUESTS as u64
+    );
+    for (generation, &count) in per_generation.iter().enumerate() {
+        if count > 0 {
+            assert_eq!(
+                m.queries_per_generation.get(&(generation as u64)),
+                Some(&(count as u64)),
+                "metrics split diverged for generation {generation}"
+            );
+        }
+    }
+
+    // Retirement: with every pinned query drained, nothing holds the
+    // generation-0 snapshot any more — its memory is actually released.
+    assert!(
+        retired.upgrade().is_none(),
+        "generation 0 snapshot is still alive after the swap drained"
+    );
+}
+
+#[test]
+fn sharded_fleet_swaps_stay_exact_for_concurrent_clients() {
+    let old_points = dataset(380, 0xC1);
+    let new_points = dataset(460, 0xC2);
+    let config = ShardConfig::default().with_shards(4);
+    let engine = Arc::new(ShardedEngine::new(&old_points, config).unwrap());
+
+    const CLIENTS: usize = 4;
+    const REQUESTS: usize = 120;
+    let started = Arc::new(AtomicUsize::new(0));
+
+    let clients: Vec<std::thread::JoinHandle<Outcomes<ShardedResponse>>> = (0..CLIENTS)
+        .map(|client| {
+            let engine = Arc::clone(&engine);
+            let started = Arc::clone(&started);
+            std::thread::spawn(move || {
+                let mut rng = Xoshiro256::seed_from_u64(0xC3 + client as u64);
+                let mut outcomes = Vec::new();
+                while started.fetch_add(1, Ordering::SeqCst) < REQUESTS {
+                    let q = random_query(&mut rng);
+                    let response = engine.query(&q).expect("routed query failed mid-swap");
+                    outcomes.push((q, response));
+                }
+                outcomes
+            })
+        })
+        .collect();
+
+    // Republish the whole fleet halfway through the stream.
+    wait_for(&started, REQUESTS / 2);
+    assert_eq!(engine.reindex(&new_points).unwrap(), 1);
+
+    let mut per_generation = [0usize; 2];
+    for client in clients {
+        for (q, response) in client.join().unwrap() {
+            let generation = usize::try_from(response.generation).unwrap();
+            let data = if generation == 0 {
+                &old_points
+            } else {
+                &new_points
+            };
+            let want = naive_full(data, &QueryContext::new(&q)).skyline;
+            assert_eq!(
+                response.skyline, want,
+                "fleet generation {generation} diverged from the union-dataset oracle on {q:?}"
+            );
+            per_generation[generation] += 1;
+        }
+    }
+    assert_eq!(per_generation.iter().sum::<usize>(), REQUESTS);
+
+    let m = engine.metrics();
+    assert_eq!(m.generation, 1);
+    assert_eq!(m.swaps, 1);
+    assert_eq!(engine.data_len(), new_points.len());
+}
+
+#[test]
+fn sessions_pin_their_generation_and_release_it_on_close() {
+    let d0 = dataset(300, 0xD1);
+    let d1 = dataset(340, 0xD2);
+    let engine = Engine::new(&d0, EngineConfig::default().with_workers(2)).unwrap();
+
+    let snapshot0 = engine.snapshot();
+    let weak_snapshot = Arc::downgrade(&snapshot0);
+    let weak_voronoi = Arc::downgrade(snapshot0.voronoi());
+    drop(snapshot0);
+
+    let q = vec![
+        Point::new(2.0, 2.0),
+        Point::new(7.0, 3.0),
+        Point::new(5.0, 8.0),
+    ];
+    let id = engine.open_session(&q);
+    assert_eq!(engine.session_generation(id), Some(0));
+
+    assert_eq!(engine.reindex(&d1).unwrap(), 1);
+    assert_eq!(engine.generation(), 1);
+    // The catalog dropped the generation-0 snapshot wrapper at install;
+    // only the Voronoi index the session pinned stays alive.
+    assert!(weak_snapshot.upgrade().is_none());
+    assert!(
+        weak_voronoi.upgrade().is_some(),
+        "the open session lost its pinned Voronoi index"
+    );
+
+    // The session still answers exactly — against its pinned generation 0.
+    let index = VoronoiIndex::new(&d0).unwrap();
+    let mut mirror = ContinuousSkyline::new(&index, &q);
+    let moved = Point::new(3.1, 2.4);
+    let update = engine.update_session(id, 0, moved).unwrap().wait();
+    mirror.update(0, moved);
+    assert_eq!(update.generation, 0);
+    assert_eq!(
+        update.superseded,
+        Some(SnapshotSuperseded {
+            pinned: 0,
+            current: 1
+        })
+    );
+    assert_eq!(update.skyline, mirror.skyline());
+    assert_eq!(
+        update.skyline,
+        naive_full(&d0, &QueryContext::new(mirror.query())).skyline,
+        "the pinned session diverged from its own generation's oracle"
+    );
+
+    // Closing the session releases the last pin on generation 0.
+    assert!(engine.close_session(id));
+    assert!(
+        weak_voronoi.upgrade().is_none(),
+        "closing the session did not release the pinned generation-0 index"
+    );
+}
