@@ -1,0 +1,262 @@
+//! Kernel-path microbenchmark: scalar query paths vs the zero-allocation
+//! scratch-arena kernels, on identical query streams.
+//!
+//! For each of the three single-query algorithms (naive scan, VS², B²S²)
+//! the same prebuilt contexts are run through the **scalar** entry point
+//! (one `Vec<f64>` distance vector per candidate) and the **kernel**
+//! entry point (one warm [`DistanceScratch`] arena, squared distances on
+//! the Euclidean fast path). Both paths are warmed first, so the record
+//! shows steady-state behaviour — the regime the arena is built for.
+//!
+//! [`hotpath_json`] renders the rows as the `BENCH_hotpath.json`
+//! artifact; [`validate_rows`] rejects non-finite numbers so the CI smoke
+//! step fails loudly instead of committing NaNs.
+
+use std::time::Instant;
+
+use crate::Fixture;
+use ssq_core::{
+    b2s2, b2s2_kernel, naive_sorted, naive_sorted_kernel, vs2_kernel, vs2_with, DistanceScratch,
+    QueryContext, SkylineResult, VsExpansion,
+};
+use ssq_geom::Point;
+
+/// One (path, algorithm) cell of the hot-path record.
+#[derive(Clone, Copy, Debug)]
+pub struct HotpathRow {
+    /// `"scalar"` or `"kernel"`.
+    pub path: &'static str,
+    /// `"naive"`, `"vs2"`, or `"b2s2"`.
+    pub algo: &'static str,
+    /// Queries measured (query sets × repeats).
+    pub queries: usize,
+    /// Median per-query latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-query latency, microseconds.
+    pub p99_us: f64,
+    /// Queries per second over the whole measured run.
+    pub qps: f64,
+    /// Distance computations per second.
+    pub dist_per_sec: f64,
+    /// Heap allocations per query, as counted by
+    /// [`QueryStats::allocations`](ssq_core::QueryStats) (scalar paths
+    /// count each materialized distance vector; kernel paths count arena
+    /// growth events, which a warm arena no longer has).
+    pub allocs_per_query: f64,
+    /// Dominance tests per query.
+    pub dominance_per_query: f64,
+}
+
+fn measure(
+    path: &'static str,
+    algo: &'static str,
+    ctxs: &[QueryContext],
+    repeats: usize,
+    mut run: impl FnMut(&QueryContext) -> SkylineResult,
+) -> HotpathRow {
+    let mut lat_us: Vec<f64> = Vec::with_capacity(ctxs.len() * repeats);
+    let (mut dist, mut allocs, mut dom) = (0u64, 0u64, 0u64);
+    let t0 = Instant::now();
+    for _ in 0..repeats {
+        for ctx in ctxs {
+            let t = Instant::now();
+            let r = run(ctx);
+            lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+            dist += r.stats.distance_computations;
+            allocs += r.stats.allocations;
+            dom += r.stats.dominance_checks;
+            std::hint::black_box(&r);
+        }
+    }
+    let total = t0.elapsed().as_secs_f64().max(1e-9);
+    lat_us.sort_unstable_by(f64::total_cmp);
+    let q = lat_us.len();
+    HotpathRow {
+        path,
+        algo,
+        queries: q,
+        p50_us: lat_us[q / 2],
+        p99_us: lat_us[(q * 99 / 100).min(q - 1)],
+        qps: q as f64 / total,
+        dist_per_sec: dist as f64 / total,
+        allocs_per_query: allocs as f64 / q as f64,
+        dominance_per_query: dom as f64 / q as f64,
+    }
+}
+
+/// Runs the scalar-vs-kernel comparison over `query_sets`, each repeated
+/// `repeats` times, and returns one row per (path, algorithm) cell.
+///
+/// One warm-up pass per variant runs before any timing so the kernel
+/// arena has grown to the workload's shape and both paths start from a
+/// hot index.
+pub fn run_hotpath(fix: &Fixture, query_sets: &[Vec<Point>], repeats: usize) -> Vec<HotpathRow> {
+    assert!(!query_sets.is_empty(), "hotpath needs at least one query");
+    assert!(repeats > 0, "hotpath needs at least one repeat");
+    let ctxs: Vec<QueryContext> = query_sets.iter().map(|q| QueryContext::new(q)).collect();
+    let mut scratch = DistanceScratch::new();
+    for ctx in &ctxs {
+        std::hint::black_box(naive_sorted(&fix.points, ctx));
+        std::hint::black_box(vs2_with(&fix.voronoi, ctx, VsExpansion::Safe, None));
+        std::hint::black_box(b2s2(&fix.rtree, ctx));
+        std::hint::black_box(naive_sorted_kernel(&fix.points, ctx, &mut scratch));
+        std::hint::black_box(vs2_kernel(&fix.voronoi, ctx, &mut scratch));
+        std::hint::black_box(b2s2_kernel(&fix.rtree, ctx, &mut scratch));
+    }
+    vec![
+        measure("scalar", "naive", &ctxs, repeats, |ctx| {
+            naive_sorted(&fix.points, ctx)
+        }),
+        measure("kernel", "naive", &ctxs, repeats, |ctx| {
+            naive_sorted_kernel(&fix.points, ctx, &mut scratch)
+        }),
+        measure("scalar", "vs2", &ctxs, repeats, |ctx| {
+            vs2_with(&fix.voronoi, ctx, VsExpansion::Safe, None)
+        }),
+        measure("kernel", "vs2", &ctxs, repeats, |ctx| {
+            vs2_kernel(&fix.voronoi, ctx, &mut scratch)
+        }),
+        measure("scalar", "b2s2", &ctxs, repeats, |ctx| {
+            b2s2(&fix.rtree, ctx)
+        }),
+        measure("kernel", "b2s2", &ctxs, repeats, |ctx| {
+            b2s2_kernel(&fix.rtree, ctx, &mut scratch)
+        }),
+    ]
+}
+
+/// Mean allocations/query of `(scalar, kernel)` rows.
+pub fn mean_allocs(rows: &[HotpathRow]) -> (f64, f64) {
+    let mean = |path: &str| {
+        let picked: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.path == path)
+            .map(|r| r.allocs_per_query)
+            .collect();
+        picked.iter().sum::<f64>() / picked.len().max(1) as f64
+    };
+    (mean("scalar"), mean("kernel"))
+}
+
+/// Mean queries/sec of `(scalar, kernel)` rows.
+pub fn mean_qps(rows: &[HotpathRow]) -> (f64, f64) {
+    let mean = |path: &str| {
+        let picked: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.path == path)
+            .map(|r| r.qps)
+            .collect();
+        picked.iter().sum::<f64>() / picked.len().max(1) as f64
+    };
+    (mean("scalar"), mean("kernel"))
+}
+
+/// Rejects rows containing non-finite numbers (a NaN here means a broken
+/// kernel, and must fail CI rather than be serialized).
+pub fn validate_rows(rows: &[HotpathRow]) -> Result<(), String> {
+    for r in rows {
+        let fields = [
+            ("p50_us", r.p50_us),
+            ("p99_us", r.p99_us),
+            ("qps", r.qps),
+            ("dist_per_sec", r.dist_per_sec),
+            ("allocs_per_query", r.allocs_per_query),
+            ("dominance_per_query", r.dominance_per_query),
+        ];
+        for (name, v) in fields {
+            if !v.is_finite() {
+                return Err(format!("{}/{}: {name} is {v}", r.path, r.algo));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Renders the hot-path record as the `BENCH_hotpath.json` document.
+///
+/// Hand-rolled writer (the workspace is std-only); call [`validate_rows`]
+/// first — non-finite values are not representable in JSON.
+pub fn hotpath_json(dataset_points: usize, rows: &[HotpathRow]) -> String {
+    let (scalar_allocs, kernel_allocs) = mean_allocs(rows);
+    let (scalar_qps, kernel_qps) = mean_qps(rows);
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"dataset_points\": {dataset_points},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"path\": \"{}\", \"algo\": \"{}\", \"queries\": {}, \
+             \"p50_us\": {:.3}, \"p99_us\": {:.3}, \"qps\": {:.1}, \
+             \"dist_per_sec\": {:.1}, \"allocs_per_query\": {:.3}, \
+             \"dominance_per_query\": {:.3}}}{}\n",
+            r.path,
+            r.algo,
+            r.queries,
+            r.p50_us,
+            r.p99_us,
+            r.qps,
+            r.dist_per_sec,
+            r.allocs_per_query,
+            r.dominance_per_query,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"summary\": {\n");
+    out.push_str(&format!(
+        "    \"scalar_allocs_per_query\": {scalar_allocs:.3},\n"
+    ));
+    out.push_str(&format!(
+        "    \"kernel_allocs_per_query\": {kernel_allocs:.3},\n"
+    ));
+    out.push_str(&format!(
+        "    \"alloc_improvement\": {:.1},\n",
+        scalar_allocs / kernel_allocs.max(1e-9)
+    ));
+    out.push_str(&format!("    \"scalar_qps\": {scalar_qps:.1},\n"));
+    out.push_str(&format!("    \"kernel_qps\": {kernel_qps:.1}\n"));
+    out.push_str("  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform_query_sets;
+
+    #[test]
+    fn hotpath_rows_are_finite_and_kernel_allocates_less() {
+        let fix = Fixture::usgs(500, 14);
+        let sets = uniform_query_sets(&fix.points, 6, 4, 43);
+        let rows = run_hotpath(&fix, &sets, 2);
+        assert_eq!(rows.len(), 6);
+        validate_rows(&rows).expect("finite rows");
+        let (scalar, kernel) = mean_allocs(&rows);
+        assert!(
+            kernel * 2.0 <= scalar,
+            "warm kernel path should allocate at least 2x less \
+             (scalar {scalar:.2}/query vs kernel {kernel:.2}/query)"
+        );
+        let json = hotpath_json(500, &rows);
+        assert!(json.contains("\"alloc_improvement\""));
+        assert!(json.contains("\"path\": \"kernel\""));
+        assert!(!json.contains("NaN"));
+    }
+
+    #[test]
+    fn validation_catches_non_finite_fields() {
+        let mut row = HotpathRow {
+            path: "scalar",
+            algo: "naive",
+            queries: 1,
+            p50_us: 1.0,
+            p99_us: 1.0,
+            qps: 1.0,
+            dist_per_sec: 1.0,
+            allocs_per_query: 1.0,
+            dominance_per_query: 1.0,
+        };
+        assert!(validate_rows(&[row]).is_ok());
+        row.qps = f64::NAN;
+        assert!(validate_rows(&[row]).is_err());
+    }
+}

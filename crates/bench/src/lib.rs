@@ -12,6 +12,10 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod hotpath;
+
+pub use hotpath::{hotpath_json, mean_allocs, mean_qps, run_hotpath, validate_rows, HotpathRow};
+
 use std::time::Instant;
 
 use ssq_core::mixed::{mixed_b2s2, mixed_naive, mixed_vs2, MixedContext};
@@ -300,12 +304,21 @@ pub struct ThroughputRow {
 /// Serves `requests` queries (drawn from `distinct` random query sets of
 /// `count` points, so repeats hit the context cache) through an engine
 /// with `threads` workers, and reports the aggregate rates.
+///
+/// `batch == 0` submits every request individually
+/// ([`ssq_engine::Engine::submit`], one queue hop per query); `batch > 0`
+/// chunks the stream into [`ssq_engine::Engine::submit_batch`] calls of
+/// that size, amortizing the queue hop, snapshot pin, and cache probe
+/// across each chunk. Chunks are pool jobs, so they still spread over the
+/// workers.
+#[allow(clippy::too_many_arguments)]
 pub fn run_throughput(
     points: &[Point],
     threads: usize,
     requests: usize,
     distinct: usize,
     count: usize,
+    batch: usize,
     seed: u64,
 ) -> ThroughputRow {
     use ssq_engine::{Engine, EngineConfig, QueryRequest};
@@ -322,16 +335,28 @@ pub fn run_throughput(
         })
         .collect();
     let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xBEEF);
-    let stream: Vec<QueryRequest> = (0..requests)
+    let mut stream: Vec<QueryRequest> = (0..requests)
         .map(|_| QueryRequest::new(query_sets[rng.range_usize(distinct)].clone()))
         .collect();
 
     let config = EngineConfig::default().with_workers(threads);
     let engine = Engine::new(points, config).expect("distinct points");
     let t0 = Instant::now();
-    let handles = engine.submit_batch(stream);
-    for h in handles {
-        h.wait();
+    if batch == 0 {
+        let handles: Vec<_> = stream.into_iter().map(|r| engine.submit(r)).collect();
+        for h in handles {
+            h.wait();
+        }
+    } else {
+        let mut tickets = Vec::new();
+        while !stream.is_empty() {
+            let rest = stream.split_off(batch.min(stream.len()));
+            tickets.push(engine.submit_batch(stream));
+            stream = rest;
+        }
+        for t in tickets {
+            t.wait();
+        }
     }
     let elapsed = t0.elapsed().as_secs_f64();
     let m = engine.metrics();
@@ -348,17 +373,18 @@ pub fn run_throughput(
 }
 
 /// [`run_throughput`] over a ladder of pool sizes — the single- vs
-/// multi-thread scaling record.
+/// multi-thread scaling record. `batch` is forwarded to every rung.
 pub fn throughput_scaling(
     points: &[Point],
     threads: &[usize],
     requests: usize,
     distinct: usize,
+    batch: usize,
     seed: u64,
 ) -> Vec<ThroughputRow> {
     threads
         .iter()
-        .map(|&t| run_throughput(points, t, requests, distinct, 5, seed))
+        .map(|&t| run_throughput(points, t, requests, distinct, 5, batch, seed))
         .collect()
 }
 
@@ -738,12 +764,24 @@ mod tests {
     #[test]
     fn throughput_runner_smoke() {
         let fix = Fixture::usgs(600, 6);
-        let row = run_throughput(&fix.points, 2, 64, 8, 5, 31);
+        let row = run_throughput(&fix.points, 2, 64, 8, 5, 0, 31);
         assert_eq!(row.threads, 2);
         assert_eq!(row.requests, 64);
         assert!(row.reqs_per_sec > 0.0);
         assert!(row.p99_us >= row.p50_us);
         // 64 requests over 8 distinct query sets must produce hits.
+        assert!(row.cache_hit_rate > 0.0);
+    }
+
+    #[test]
+    fn batched_throughput_runner_smoke() {
+        let fix = Fixture::usgs(600, 6);
+        let row = run_throughput(&fix.points, 2, 64, 8, 5, 16, 31);
+        assert_eq!(row.requests, 64);
+        assert!(row.reqs_per_sec > 0.0);
+        assert!(row.p99_us >= row.p50_us);
+        // The batch memo answers repeats inside a chunk as cache hits,
+        // so the hit rate stays observable.
         assert!(row.cache_hit_rate > 0.0);
     }
 
@@ -757,9 +795,9 @@ mod tests {
         }
         let fix = Fixture::usgs(2500, 8);
         // Warm-up build pass keeps page-cache noise out of the record.
-        run_throughput(&fix.points, 1, 50, 4, 5, 17);
-        let single = run_throughput(&fix.points, 1, 1200, 16, 5, 17);
-        let multi = run_throughput(&fix.points, 4, 1200, 16, 5, 17);
+        run_throughput(&fix.points, 1, 50, 4, 5, 0, 17);
+        let single = run_throughput(&fix.points, 1, 1200, 16, 5, 0, 17);
+        let multi = run_throughput(&fix.points, 4, 1200, 16, 5, 0, 17);
         assert!(
             multi.reqs_per_sec > single.reqs_per_sec,
             "4 workers ({:.0} req/s) not faster than 1 ({:.0} req/s)",

@@ -9,7 +9,7 @@
 //! ssq continuous --data points.csv --count 5 --updates 500 [--step 0.01]
 //! ssq throughput --data points.csv [--requests 2000] [--threads 0]
 //!                [--distinct 16] [--count 5] [--area 0.001] [--seed 7]
-//!                [--algorithm naive|bbs|b2s2|vs2]
+//!                [--algorithm naive|bbs|b2s2|vs2] [--batch N]
 //!                [--shards N] [--policy grid|kd] [--clients C]
 //! ssq reindex  --data old.csv --next new.csv [--requests 2000]
 //!                [--threads 0] [--clients 4] [--distinct 16] [--count 5]
@@ -91,7 +91,8 @@ USAGE:
   ssq throughput --data <file.csv> [--requests <n>] [--threads <n>]
                [--distinct <sets>] [--count <pts/set>] [--area <frac>]
                [--seed <u64>] [--algorithm naive|bbs|b2s2|vs2]
-               [--shards <n>] [--policy grid|kd] [--clients <n>]
+               [--batch <n>] [--shards <n>] [--policy grid|kd]
+               [--clients <n>]
   ssq reindex  --data <old.csv> --next <new.csv> [--requests <n>]
                [--threads <n>] [--clients <n>] [--distinct <sets>]
                [--count <pts/set>] [--area <frac>] [--seed <u64>]
@@ -106,7 +107,10 @@ semicolons. `throughput` drives the ssq-engine worker pool with a
 randomized stream of `--requests` queries drawn from `--distinct` query
 sets (repeats exercise the context cache) and reports req/s, latency
 percentiles, and the cache hit rate; `--threads 0` means one worker per
-CPU core. With `--shards N` (N > 0) the same stream is routed through a
+CPU core. `--batch N` (N > 0) submits the stream in chunks of N through
+the engine's batched path — one queue hop, snapshot pin, and cache probe
+per chunk instead of per query. With `--shards N` (N > 0) the same
+stream is routed through a
 ShardedEngine — one engine per spatial shard with dominance-based shard
 pruning — driven by `--clients` concurrent client threads. `reindex`
 runs the same serve loop over <old.csv> and, halfway through the
@@ -426,6 +430,13 @@ fn throughput<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         .transpose()?
         .unwrap_or(4)
         .max(1);
+    let batch: usize = flag_value(args, "--batch")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--batch must be an integer".into()))
+        })
+        .transpose()?
+        .unwrap_or(0);
     if requests == 0 || distinct == 0 || count == 0 {
         return Err(CliError::Usage(
             "--requests, --distinct and --count must be nonzero".into(),
@@ -468,6 +479,7 @@ fn throughput<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
             policy,
             config,
             clients,
+            batch,
             seed,
         );
     }
@@ -475,14 +487,26 @@ fn throughput<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
     let engine = Engine::new(&table.points, config)
         .map_err(|e| CliError::Other(format!("cannot start engine: {e}")))?;
     let mut rng = Xoshiro256::seed_from_u64(seed ^ 0x7472_7075);
-    let stream: Vec<QueryRequest> = (0..requests)
+    let mut stream: Vec<QueryRequest> = (0..requests)
         .map(|_| QueryRequest::new(query_sets[rng.range_usize(distinct)].clone()))
         .collect();
 
     let t0 = std::time::Instant::now();
-    let handles = engine.submit_batch(stream);
-    for h in handles {
-        h.wait();
+    if batch == 0 {
+        let handles: Vec<_> = stream.into_iter().map(|r| engine.submit(r)).collect();
+        for h in handles {
+            h.wait();
+        }
+    } else {
+        let mut tickets = Vec::new();
+        while !stream.is_empty() {
+            let rest = stream.split_off(batch.min(stream.len()));
+            tickets.push(engine.submit_batch(stream));
+            stream = rest;
+        }
+        for t in tickets {
+            t.wait();
+        }
     }
     let elapsed = t0.elapsed().as_secs_f64();
 
@@ -498,6 +522,9 @@ fn throughput<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         out,
         "requests:   {requests} ({distinct} distinct query sets, {count} points each)"
     )?;
+    if batch > 0 {
+        writeln!(out, "batch:      {batch} requests per submission")?;
+    }
     writeln!(
         out,
         "elapsed:    {:.3}s  ({:.1} req/s)",
@@ -526,8 +553,11 @@ fn throughput<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
     writeln!(out, "plans:      {}", plan.join(" "))?;
     writeln!(
         out,
-        "work:       dominance_checks={} distance_computations={} node_accesses={}",
-        m.stats.dominance_checks, m.stats.distance_computations, m.stats.node_accesses
+        "work:       dominance_checks={} distance_computations={} node_accesses={} allocations={}",
+        m.stats.dominance_checks,
+        m.stats.distance_computations,
+        m.stats.node_accesses,
+        m.stats.allocations
     )?;
     engine.shutdown();
     Ok(())
@@ -535,6 +565,11 @@ fn throughput<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
 
 /// Drives a request stream through a [`ssq_shard::ShardedEngine`] with
 /// `clients` concurrent client threads and prints the routing report.
+///
+/// `batch == 0` routes each query individually; `batch > 0` has every
+/// client accumulate its queries into chunks of that size and route each
+/// chunk through [`ssq_shard::ShardedEngine::query_batch`], which fans
+/// whole batches out shard-wise.
 #[allow(clippy::too_many_arguments)]
 fn sharded_throughput<W: Write>(
     out: &mut W,
@@ -546,6 +581,7 @@ fn sharded_throughput<W: Write>(
     policy: ssq_shard::PartitionPolicy,
     engine_config: ssq_engine::EngineConfig,
     clients: usize,
+    batch: usize,
     seed: u64,
 ) -> Result<(), CliError> {
     use ssq_shard::{ShardConfig, ShardedEngine};
@@ -566,11 +602,24 @@ fn sharded_throughput<W: Write>(
                 // Client c serves every request index ≡ c (mod clients).
                 scope.spawn(move || -> Result<(), String> {
                     let mut rng = Xoshiro256::seed_from_u64(seed ^ 0x7472_7075);
+                    let mut chunk: Vec<Vec<ssq_geom::Point>> = Vec::new();
                     for i in 0..requests {
                         let q = &query_sets[rng.range_usize(query_sets.len())];
-                        if i % clients == c {
-                            engine.query(q).map_err(|e| e.to_string())?;
+                        if i % clients != c {
+                            continue;
                         }
+                        if batch == 0 {
+                            engine.query(q).map_err(|e| e.to_string())?;
+                        } else {
+                            chunk.push(q.clone());
+                            if chunk.len() == batch {
+                                engine.query_batch(&chunk).map_err(|e| e.to_string())?;
+                                chunk.clear();
+                            }
+                        }
+                    }
+                    if !chunk.is_empty() {
+                        engine.query_batch(&chunk).map_err(|e| e.to_string())?;
                     }
                     Ok(())
                 })
@@ -604,6 +653,9 @@ fn sharded_throughput<W: Write>(
         "requests:   {requests} ({} distinct query sets)",
         query_sets.len()
     )?;
+    if batch > 0 {
+        writeln!(out, "batch:      {batch} queries per routed batch")?;
+    }
     writeln!(
         out,
         "elapsed:    {:.3}s  ({:.1} req/s)",
@@ -639,6 +691,13 @@ fn sharded_throughput<W: Write>(
         "fleet:      {} shard queries, {:.1}% cache hit rate",
         m.engines.queries(),
         m.engines.cache_hit_rate() * 100.0
+    )?;
+    writeln!(
+        out,
+        "work:       dominance_checks={} distance_computations={} allocations={}",
+        m.engines.stats.dominance_checks,
+        m.engines.stats.distance_computations,
+        m.engines.stats.allocations
     )?;
     engine.shutdown();
     Ok(())
@@ -1107,6 +1166,13 @@ fn shard_stats<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
     )?;
     writeln!(
         out,
+        "work:       dominance_checks={} distance_computations={} allocations={}",
+        m.engines.stats.dominance_checks,
+        m.engines.stats.distance_computations,
+        m.engines.stats.allocations
+    )?;
+    writeln!(
+        out,
         "snapshot:   generation {}, {} reindexes (last build {:.1}ms)",
         m.generation,
         m.swaps,
@@ -1380,6 +1446,35 @@ mod tests {
     }
 
     #[test]
+    fn batched_throughput_reports_batch_and_allocations() {
+        let data = tmpfile("throughput_batched");
+        run_ok(&["generate", "--n", "400", "--out", data.to_str().unwrap()]);
+        let outp = run_ok(&[
+            "throughput",
+            "--data",
+            data.to_str().unwrap(),
+            "--requests",
+            "200",
+            "--distinct",
+            "8",
+            "--threads",
+            "2",
+            "--batch",
+            "32",
+        ]);
+        assert!(
+            outp.contains("batch:      32 requests per submission"),
+            "missing batch line: {outp}"
+        );
+        assert!(outp.contains("req/s"), "missing rate: {outp}");
+        assert!(
+            outp.contains("allocations="),
+            "missing allocations in work line: {outp}"
+        );
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
     fn throughput_forced_algorithm_is_respected() {
         let data = tmpfile("throughput_forced");
         run_ok(&["generate", "--n", "300", "--out", data.to_str().unwrap()]);
@@ -1432,6 +1527,39 @@ mod tests {
     }
 
     #[test]
+    fn batched_sharded_throughput_routes_chunks() {
+        let data = tmpfile("throughput_sharded_batched");
+        run_ok(&["generate", "--n", "600", "--out", data.to_str().unwrap()]);
+        let outp = run_ok(&[
+            "throughput",
+            "--data",
+            data.to_str().unwrap(),
+            "--requests",
+            "120",
+            "--distinct",
+            "6",
+            "--threads",
+            "2",
+            "--shards",
+            "4",
+            "--clients",
+            "2",
+            "--batch",
+            "16",
+        ]);
+        assert!(
+            outp.contains("batch:      16 queries per routed batch"),
+            "missing batch line: {outp}"
+        );
+        assert!(outp.contains("mean fan-out"), "missing routing: {outp}");
+        assert!(
+            outp.contains("work:       dominance_checks="),
+            "missing work line: {outp}"
+        );
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
     fn shard_stats_reports_per_shard_sizes() {
         let data = tmpfile("shard_stats");
         run_ok(&["generate", "--n", "500", "--out", data.to_str().unwrap()]);
@@ -1456,6 +1584,14 @@ mod tests {
             "missing per-shard rows: {outp}"
         );
         assert!(outp.contains("prune rate"), "missing prune rate: {outp}");
+        assert!(
+            outp.contains("work:       dominance_checks="),
+            "missing work line: {outp}"
+        );
+        assert!(
+            outp.contains("allocations="),
+            "missing allocations counter: {outp}"
+        );
         assert!(
             outp.contains("snapshot:   generation 0, 0 reindexes"),
             "missing snapshot counters: {outp}"

@@ -26,6 +26,10 @@ pub enum CsvError {
     TooFewColumns(usize),
     /// A field failed to parse as a number.
     BadNumber(usize, String),
+    /// A field parsed but is NaN or infinite. Rejected at load time so
+    /// the query kernels can rely on `total_cmp`-ordered finite inputs
+    /// instead of guarding every comparison.
+    NonFiniteCoordinate(usize, String),
     /// Rows had inconsistent attribute arity.
     RaggedRows(usize),
 }
@@ -35,6 +39,9 @@ impl std::fmt::Display for CsvError {
         match self {
             CsvError::TooFewColumns(l) => write!(f, "line {l}: need at least x,y"),
             CsvError::BadNumber(l, s) => write!(f, "line {l}: '{s}' is not a number"),
+            CsvError::NonFiniteCoordinate(l, s) => {
+                write!(f, "line {l}: '{s}' is not finite (NaN/inf rejected)")
+            }
             CsvError::RaggedRows(l) => {
                 write!(
                     f,
@@ -69,10 +76,13 @@ pub fn read_points<R: BufRead>(reader: R) -> Result<PointTable, CsvError> {
         }
         let mut nums = Vec::with_capacity(fields.len());
         for f in &fields {
-            nums.push(
-                f.parse::<f64>()
-                    .map_err(|_| CsvError::BadNumber(lineno, (*f).to_string()))?,
-            );
+            let v = f
+                .parse::<f64>()
+                .map_err(|_| CsvError::BadNumber(lineno, (*f).to_string()))?;
+            if !v.is_finite() {
+                return Err(CsvError::NonFiniteCoordinate(lineno, (*f).to_string()));
+            }
+            nums.push(v);
         }
         let a = nums.len() - 2;
         match arity {
@@ -123,6 +133,9 @@ pub fn parse_query_points(s: &str) -> Result<Vec<Point>, CsvError> {
         let y = fields[1]
             .parse::<f64>()
             .map_err(|_| CsvError::BadNumber(i + 1, fields[1].to_string()))?;
+        if !x.is_finite() || !y.is_finite() {
+            return Err(CsvError::NonFiniteCoordinate(i + 1, part.to_string()));
+        }
         out.push(Point::new(x, y));
     }
     Ok(out)
@@ -162,6 +175,20 @@ mod tests {
     fn rejects_bad_numbers() {
         let err = read_points(Cursor::new("1,2\nfoo,bar\n")).unwrap_err();
         assert!(matches!(err, CsvError::BadNumber(2, _)));
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        let err = read_points(Cursor::new("1,2\nnan,3\n")).unwrap_err();
+        assert!(matches!(err, CsvError::NonFiniteCoordinate(2, _)));
+        let err = read_points(Cursor::new("1,2\n3,inf\n")).unwrap_err();
+        assert!(matches!(err, CsvError::NonFiniteCoordinate(2, _)));
+        // Attribute columns are rejected too: they feed the same
+        // total_cmp-ordered dominance kernel as the coordinates.
+        let err = read_points(Cursor::new("1,2,0.5\n3,4,NaN\n")).unwrap_err();
+        assert!(matches!(err, CsvError::NonFiniteCoordinate(2, _)));
+        let err = parse_query_points("1,2;inf,4").unwrap_err();
+        assert!(matches!(err, CsvError::NonFiniteCoordinate(2, _)));
     }
 
     #[test]

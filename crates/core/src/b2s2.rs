@@ -21,6 +21,7 @@ use ssq_rtree::{Entry, NodeId};
 use crate::heap::MinHeap;
 use crate::index::RTreeIndex;
 use crate::query::{dominated_by_any, QueryContext};
+use crate::scratch::DistanceScratch;
 use crate::stats::{QueryStats, SkylineResult};
 
 enum Work {
@@ -104,6 +105,85 @@ pub fn b2s2(index: &RTreeIndex, ctx: &QueryContext) -> SkylineResult {
     }
 }
 
+/// The kernel-path B²S²: identical traversal and output to [`b2s2`], but
+/// skyline distance vectors live as **squared**-distance rows of the
+/// scratch arena (the dominance relation is unchanged under squaring, see
+/// [`ssq_geom::kernel`]), so the per-point `Vec` allocations of the scalar
+/// path disappear. Heap keys stay the *true* `mindist` sums — BBS-style
+/// popped-point finality needs dominators to pop first, which the true-sum
+/// order guarantees directly.
+pub fn b2s2_kernel(
+    index: &RTreeIndex,
+    ctx: &QueryContext,
+    scratch: &mut DistanceScratch,
+) -> SkylineResult {
+    let mut stats = QueryStats::default();
+    index.tree().reset_node_accesses();
+    let anchors = ctx.anchors();
+    scratch.begin(anchors.len());
+
+    let mut b = index.universe();
+    let mut heap: MinHeap<Work> = MinHeap::new();
+    if let Some(root) = index.tree().root() {
+        heap.push(0.0, Work::Node(root, index.universe()));
+    }
+
+    while let Some((_, work)) = heap.pop() {
+        stats.entries_visited += 1;
+        match work {
+            Work::Point(i, mbr) => {
+                if !mbr.intersects(&b) {
+                    continue;
+                }
+                let p = index.point(i);
+                let certain = ctx.hull().contains(p);
+                stats.points_examined += 1;
+                // Stage the row, then keep or retract it — the arena's
+                // last row plays the role of the scalar path's `v`.
+                scratch.push_row(i, certain, p, anchors);
+                stats.distance_computations += anchors.len() as u64;
+                if certain || !scratch.last_dominated(&mut stats) {
+                    b = b.intersection(&search_region_mbr(p, anchors));
+                } else {
+                    scratch.pop_row();
+                }
+            }
+            Work::Node(id, mbr) => {
+                if !mbr.intersects(&b) {
+                    continue;
+                }
+                if !ctx.hull().contains_rect(&mbr)
+                    && rect_dominated_sq(&mbr, scratch, ctx, &mut stats)
+                {
+                    continue;
+                }
+                for e in index.tree().entries(id) {
+                    let embr = e.mbr();
+                    if !embr.intersects(&b) {
+                        continue;
+                    }
+                    if !ctx.hull().contains_rect(&embr)
+                        && rect_dominated_sq(&embr, scratch, ctx, &mut stats)
+                    {
+                        continue;
+                    }
+                    let key = embr.mindist_sum(anchors);
+                    stats.distance_computations += anchors.len() as u64;
+                    match e {
+                        Entry::Node { child, .. } => heap.push(key, Work::Node(child, embr)),
+                        Entry::Item { item, .. } => heap.push(key, Work::Point(item, embr)),
+                    }
+                }
+            }
+        }
+    }
+
+    stats.node_accesses = index.tree().node_accesses();
+    let skyline = scratch.ids_sorted().to_vec();
+    stats.allocations += scratch.take_allocations();
+    SkylineResult { skyline, stats }
+}
+
 /// Dominance test for a rectangle against the skyline over the hull
 /// vertices only: dominated by `s` iff the rectangle misses every circle
 /// `C(q, D(s, q))`, `q ∈ CHv(Q)` (paper §4.1).
@@ -121,6 +201,30 @@ fn rect_dominated(
             .iter()
             .zip(sv)
             .all(|(&q, &d)| mbr.mindist(q) > d);
+        if dominated {
+            return true;
+        }
+    }
+    false
+}
+
+/// [`rect_dominated`] over the arena's squared-distance rows: the
+/// rectangle is dominated by row `s` iff `mindist(mbr, q)² > s[q]` for
+/// every anchor `q` (squaring both sides of the scalar comparison — both
+/// are nonnegative, so the predicate is unchanged).
+fn rect_dominated_sq(
+    mbr: &Rect,
+    scratch: &DistanceScratch,
+    ctx: &QueryContext,
+    stats: &mut QueryStats,
+) -> bool {
+    for r in 0..scratch.len() {
+        stats.dominance_checks += 1;
+        stats.distance_computations += ctx.anchors().len() as u64;
+        let dominated = ctx.anchors().iter().zip(scratch.row(r)).all(|(&q, &d_sq)| {
+            let m = mbr.mindist(q);
+            m * m > d_sq
+        });
         if dominated {
             return true;
         }
@@ -218,5 +322,39 @@ mod tests {
         let ctx = QueryContext::new(&[p(0.5, 0.5)]);
         let idx = RTreeIndex::new(&[]);
         assert!(b2s2(&idx, &ctx).skyline.is_empty());
+        let mut scratch = DistanceScratch::new();
+        assert!(b2s2_kernel(&idx, &ctx, &mut scratch).skyline.is_empty());
+    }
+
+    #[test]
+    fn kernel_variant_mirrors_the_scalar_traversal() {
+        // Same heap keys, same pruning decisions: the kernel path must
+        // reproduce not just the skyline but the work counters too.
+        let mut scratch = DistanceScratch::new();
+        for trial in 0..12 {
+            let points = pseudorandom(150, 300 + trial);
+            let q = pseudorandom(2 + (trial as usize % 6), 7000 + trial);
+            let ctx = QueryContext::new(&q);
+            let idx = RTreeIndex::with_config(&points, ssq_rtree::RTreeConfig::with_max_entries(4));
+            let scalar = b2s2(&idx, &ctx);
+            let kernel = b2s2_kernel(&idx, &ctx, &mut scratch);
+            assert_eq!(scalar.skyline, kernel.skyline, "trial {trial}");
+            assert_eq!(
+                scalar.stats.dominance_checks, kernel.stats.dominance_checks,
+                "trial {trial}"
+            );
+            assert_eq!(
+                scalar.stats.entries_visited, kernel.stats.entries_visited,
+                "trial {trial}"
+            );
+            // Trial 0 warms the arena (growth events are counted as
+            // allocations); warm trials must not exceed the scalar path.
+            if trial > 0 {
+                assert!(
+                    kernel.stats.allocations <= scalar.stats.allocations,
+                    "trial {trial}"
+                );
+            }
+        }
     }
 }

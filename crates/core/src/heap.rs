@@ -70,6 +70,13 @@ impl<T> MinHeap<T> {
         self.heap.peek().map(|i| (i.key, &i.value))
     }
 
+    /// Removes every entry and resets the tie-break sequence, keeping the
+    /// backing allocation — for heap reuse across queries.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.seq = 0;
+    }
+
     /// `true` when empty.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()

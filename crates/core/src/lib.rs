@@ -58,19 +58,21 @@ pub mod mixed;
 pub mod naive;
 pub mod query;
 pub mod ranked;
+pub mod scratch;
 pub mod stats;
 pub mod vcs2;
 pub mod vs2;
 
 pub use ann::{aggregate_nearest_neighbor, Aggregate};
-pub use b2s2::b2s2;
+pub use b2s2::{b2s2, b2s2_kernel};
 pub use bbs::bbs;
 pub use continuous_mixed::ContinuousMixedSkyline;
 pub use index::{RTreeIndex, VoronoiIndex};
-pub use metric_naive::naive_metric;
-pub use naive::{naive_full, naive_sorted};
+pub use metric_naive::{naive_metric, naive_metric_with};
+pub use naive::{naive_full, naive_sorted, naive_sorted_into, naive_sorted_kernel};
 pub use query::QueryContext;
-pub use ranked::{b2s2_ranked, MaxDistance, Preference, WeightedSum};
+pub use ranked::{b2s2_ranked, b2s2_ranked_with, MaxDistance, Preference, WeightedSum};
+pub use scratch::DistanceScratch;
 pub use stats::{QueryStats, SkylineResult};
 pub use vcs2::{ContinuousSkyline, OutcomeCounts, UpdateOutcome};
-pub use vs2::{vs2, vs2_with, VsExpansion};
+pub use vs2::{vs2, vs2_kernel, vs2_with, VsExpansion};

@@ -15,6 +15,7 @@
 use ssq_geom::{Metric, Point};
 
 use crate::query::dominates;
+use crate::scratch::DistanceScratch;
 use crate::stats::{QueryStats, SkylineResult};
 
 /// Exact spatial skyline of `points` w.r.t. `query` under an arbitrary
@@ -31,16 +32,13 @@ pub fn naive_metric<M: Metric>(points: &[Point], query: &[Point], metric: M) -> 
         .iter()
         .map(|&p| {
             stats.distance_computations += query.len() as u64;
+            stats.allocations += 1;
             query.iter().map(|&q| metric.distance(p, q)).collect()
         })
         .collect();
     let mut order: Vec<u32> = (0..points.len() as u32).collect();
     let sums: Vec<f64> = vectors.iter().map(|v| v.iter().sum()).collect();
-    order.sort_by(|&a, &b| {
-        sums[a as usize]
-            .partial_cmp(&sums[b as usize])
-            .expect("NaN distance")
-    });
+    order.sort_by(|&a, &b| sums[a as usize].total_cmp(&sums[b as usize]));
 
     let mut skyline: Vec<u32> = Vec::new();
     'next: for &i in &order {
@@ -54,6 +52,29 @@ pub fn naive_metric<M: Metric>(points: &[Point], query: &[Point], metric: M) -> 
         skyline.push(i);
     }
     skyline.sort_unstable();
+    SkylineResult { skyline, stats }
+}
+
+/// The kernel-path metric scan: identical output to [`naive_metric`], but
+/// every distance vector is a row of the scratch arena. Rows hold **true**
+/// metric distances (the squared shortcut is Euclidean-only); the win here
+/// is the allocation-free steady state, not skipped square roots.
+pub fn naive_metric_with<M: Metric>(
+    points: &[Point],
+    query: &[Point],
+    metric: M,
+    scratch: &mut DistanceScratch,
+) -> SkylineResult {
+    assert!(!query.is_empty(), "need at least one query point");
+    let mut stats = QueryStats::default();
+    scratch.begin(query.len());
+    for (i, &p) in points.iter().enumerate() {
+        scratch.push_row_with(i as u32, false, query, |q| metric.distance(p, q));
+    }
+    stats.distance_computations += (points.len() * query.len()) as u64;
+    stats.points_examined += points.len() as u64;
+    let skyline = scratch.resolve(&mut stats).to_vec();
+    stats.allocations += scratch.take_allocations();
     SkylineResult { skyline, stats }
 }
 
@@ -109,6 +130,28 @@ mod tests {
         check(&points, &q, Euclidean);
         check(&points, &q, Manhattan);
         check(&points, &q, Chebyshev);
+    }
+
+    #[test]
+    fn kernel_variant_matches_for_every_metric() {
+        let mut scratch = DistanceScratch::new();
+        for seed in 0..8u64 {
+            let points = pseudorandom(70, 10 + seed);
+            let q = pseudorandom(1 + (seed as usize % 4), 40 + seed);
+            fn check<M: Metric + Copy>(
+                points: &[Point],
+                q: &[Point],
+                m: M,
+                scratch: &mut DistanceScratch,
+            ) {
+                let scalar = naive_metric(points, q, m);
+                let kernel = naive_metric_with(points, q, m, scratch);
+                assert_eq!(scalar.skyline, kernel.skyline);
+            }
+            check(&points, &q, Euclidean, &mut scratch);
+            check(&points, &q, Manhattan, &mut scratch);
+            check(&points, &q, Chebyshev, &mut scratch);
+        }
     }
 
     #[test]

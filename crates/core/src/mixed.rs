@@ -89,6 +89,7 @@ impl<'a> MixedContext<'a> {
     /// anchor distances.
     pub fn combined_vector(&self, i: u32, p: Point, stats: &mut QueryStats) -> Vec<f64> {
         let mut v = self.attrs[i as usize].clone();
+        stats.allocations += 1;
         stats.distance_computations += self.ctx.anchors().len() as u64;
         v.extend(self.ctx.anchors().iter().map(|&q| q.distance(p)));
         v
@@ -97,6 +98,7 @@ impl<'a> MixedContext<'a> {
     /// Combined vector over the **full** query set (for the oracle).
     fn combined_vector_full(&self, i: u32, p: Point, stats: &mut QueryStats) -> Vec<f64> {
         let mut v = self.attrs[i as usize].clone();
+        stats.allocations += 1;
         stats.distance_computations += self.ctx.query().len() as u64;
         v.extend(self.ctx.query().iter().map(|&q| q.distance(p)));
         v

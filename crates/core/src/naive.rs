@@ -4,6 +4,7 @@
 use ssq_geom::Point;
 
 use crate::query::{dominates, QueryContext};
+use crate::scratch::DistanceScratch;
 use crate::stats::{QueryStats, SkylineResult};
 
 /// The literal `O(|P|² · |Q|)` brute force of §2.2: every point is checked
@@ -46,11 +47,7 @@ pub fn naive_sorted(points: &[Point], ctx: &QueryContext) -> SkylineResult {
     let mut order: Vec<u32> = (0..points.len() as u32).collect();
     let keys: Vec<f64> = points.iter().map(|&p| ctx.mindist(p)).collect();
     stats.distance_computations += (points.len() * ctx.anchors().len()) as u64;
-    order.sort_by(|&a, &b| {
-        keys[a as usize]
-            .partial_cmp(&keys[b as usize])
-            .expect("NaN mindist")
-    });
+    order.sort_by(|&a, &b| keys[a as usize].total_cmp(&keys[b as usize]));
 
     let mut skyline: Vec<(u32, Vec<f64>)> = Vec::new();
     'next: for &i in &order {
@@ -70,6 +67,45 @@ pub fn naive_sorted(points: &[Point], ctx: &QueryContext) -> SkylineResult {
         skyline: ids,
         stats,
     }
+}
+
+/// The kernel-path sorted scan: identical output to
+/// [`naive_sorted`], but every distance vector lives as a squared-distance
+/// row of the scratch arena (sound — see [`ssq_geom::kernel`]) and the
+/// steady-state query performs no heap allocation beyond arena growth.
+pub fn naive_sorted_kernel(
+    points: &[Point],
+    ctx: &QueryContext,
+    scratch: &mut DistanceScratch,
+) -> SkylineResult {
+    let mut stats = QueryStats::default();
+    let n = naive_sorted_into(points, ctx, scratch, &mut stats);
+    let mut skyline = Vec::with_capacity(n);
+    skyline.extend_from_slice(scratch.result());
+    SkylineResult { skyline, stats }
+}
+
+/// The allocation-free core of [`naive_sorted_kernel`]: computes the
+/// skyline ids into the arena's result buffer (read them back via
+/// [`DistanceScratch::result`]) and returns how many there are. After one
+/// warm-up call on a given workload shape, subsequent calls perform zero
+/// heap allocations.
+pub fn naive_sorted_into(
+    points: &[Point],
+    ctx: &QueryContext,
+    scratch: &mut DistanceScratch,
+    stats: &mut QueryStats,
+) -> usize {
+    let anchors = ctx.anchors();
+    scratch.begin(anchors.len());
+    for (i, &p) in points.iter().enumerate() {
+        scratch.push_row(i as u32, false, p, anchors);
+    }
+    stats.distance_computations += (points.len() * anchors.len()) as u64;
+    stats.points_examined += points.len() as u64;
+    let n = scratch.resolve(stats).len();
+    stats.allocations += scratch.take_allocations();
+    n
 }
 
 #[cfg(test)]
@@ -136,6 +172,36 @@ mod tests {
             let full = naive_full(&points, &ctx);
             let sorted = naive_sorted(&points, &ctx);
             assert_eq!(full.skyline, sorted.skyline, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn kernel_scan_matches_the_scalar_scan() {
+        let mut seed = 99u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut scratch = DistanceScratch::new();
+        for trial in 0..25 {
+            let n = 5 + trial * 4;
+            let points: Vec<Point> = (0..n).map(|_| p(next(), next())).collect();
+            let q: Vec<Point> = (0..2 + trial % 5).map(|_| p(next(), next())).collect();
+            let ctx = QueryContext::new(&q);
+            let scalar = naive_sorted(&points, &ctx);
+            let kernel = naive_sorted_kernel(&points, &ctx, &mut scratch);
+            assert_eq!(scalar.skyline, kernel.skyline, "trial {trial}");
+            // Skip trial 0: the cold arena's one-time growth events can
+            // outnumber the scalar Vecs on a tiny input. Once warm, the
+            // kernel path stops allocating entirely.
+            if trial > 0 {
+                assert!(
+                    kernel.stats.allocations <= scalar.stats.allocations,
+                    "trial {trial}: kernel allocated more than scalar"
+                );
+            }
         }
     }
 

@@ -59,6 +59,7 @@ impl QueryContext {
     /// restricted to `CHv(Q)`.
     pub fn dist_vector(&self, p: Point, stats: &mut QueryStats) -> Vec<f64> {
         stats.distance_computations += self.anchors.len() as u64;
+        stats.allocations += 1;
         self.anchors.iter().map(|&q| q.distance(p)).collect()
     }
 
@@ -67,6 +68,7 @@ impl QueryContext {
     /// know Theorem 2.
     pub fn dist_vector_full(&self, p: Point, stats: &mut QueryStats) -> Vec<f64> {
         stats.distance_computations += self.query.len() as u64;
+        stats.allocations += 1;
         self.query.iter().map(|&q| q.distance(p)).collect()
     }
 
@@ -85,20 +87,12 @@ impl QueryContext {
 /// `true` when distance vector `a` spatially dominates `b`: weakly closer
 /// on every component and strictly closer on at least one (§2.2).
 ///
+/// Delegates to the shared early-exit kernel
+/// [`ssq_geom::kernel::dominates`] (also valid over squared distances).
 /// The caller accounts the dominance check; this function is pure.
 #[inline]
 pub fn dominates(a: &[f64], b: &[f64]) -> bool {
-    debug_assert_eq!(a.len(), b.len());
-    let mut strict = false;
-    for (&x, &y) in a.iter().zip(b) {
-        if x > y {
-            return false;
-        }
-        if x < y {
-            strict = true;
-        }
-    }
-    strict
+    ssq_geom::kernel::dominates(a, b)
 }
 
 /// `true` when `candidate` is dominated by any of the `skyline` vectors;
@@ -146,7 +140,7 @@ pub fn resolve_candidates(
     mut candidates: Vec<Candidate>,
     stats: &mut QueryStats,
 ) -> Vec<(u32, Vec<f64>)> {
-    candidates.sort_by(|a, b| a.key.partial_cmp(&b.key).expect("NaN mindist"));
+    candidates.sort_by(|a, b| a.key.total_cmp(&b.key));
     let mut skyline: Vec<(u32, Vec<f64>)> = Vec::new();
     'next: for c in candidates {
         if !c.certain {
@@ -233,6 +227,7 @@ mod tests {
         let v = ctx.dist_vector(p(0.0, 4.0), &mut stats);
         assert_eq!(v, vec![4.0, 5.0]);
         assert_eq!(stats.distance_computations, 2);
+        assert_eq!(stats.allocations, 1, "one Vec per scalar dist_vector");
     }
 
     #[test]

@@ -23,12 +23,14 @@
 //! The search therefore terminates as soon as `k` skyline points have been
 //! emitted, without materializing the full skyline.
 
+use ssq_geom::circle::search_region_mbr;
 use ssq_geom::Rect;
 use ssq_rtree::{Entry, NodeId};
 
 use crate::heap::MinHeap;
 use crate::index::RTreeIndex;
-use crate::query::{dominated_by_any, QueryContext};
+use crate::query::QueryContext;
+use crate::scratch::DistanceScratch;
 use crate::stats::{QueryStats, SkylineResult};
 
 /// A monotone preference function over the anchor-distance vector.
@@ -100,16 +102,35 @@ pub fn b2s2_ranked<P: Preference>(
     k: usize,
     pref: &P,
 ) -> SkylineResult {
+    let mut scratch = DistanceScratch::new();
+    b2s2_ranked_with(index, ctx, k, pref, &mut scratch)
+}
+
+/// [`b2s2_ranked`] with a caller-provided scratch arena: the skyline's
+/// distance vectors live as arena rows and the per-node lower-bound vector
+/// reuses the arena's spare buffer, so repeated queries through one
+/// arena stay allocation-free (modulo the returned rank vector).
+///
+/// Rows here hold **true** distances, not squared ones — the preference
+/// function is scored on real distances, and squaring would change every
+/// non-linear preference (e.g. [`MaxDistance`]'s ε-sum tie-break).
+pub fn b2s2_ranked_with<P: Preference>(
+    index: &RTreeIndex,
+    ctx: &QueryContext,
+    k: usize,
+    pref: &P,
+    scratch: &mut DistanceScratch,
+) -> SkylineResult {
     let mut stats = QueryStats::default();
     index.tree().reset_node_accesses();
     let anchors = ctx.anchors();
+    scratch.begin(anchors.len());
 
     enum Work {
         Node(NodeId, Rect),
         Point(u32, Rect),
     }
     let mut b = index.universe();
-    let mut skyline: Vec<(u32, Vec<f64>)> = Vec::new();
     let mut ranked: Vec<u32> = Vec::new();
     let mut heap: MinHeap<Work> = MinHeap::new();
     if let Some(root) = index.tree().root() {
@@ -128,11 +149,14 @@ pub fn b2s2_ranked<P: Preference>(
                 }
                 let p = index.point(i);
                 stats.points_examined += 1;
-                let v = ctx.dist_vector(p, &mut stats);
-                if ctx.hull().contains(p) || !dominated_by_any(&v, &skyline, &mut stats) {
-                    b = b.intersection(&ssq_geom::circle::search_region_mbr(p, anchors));
-                    skyline.push((i, v));
+                let certain = ctx.hull().contains(p);
+                scratch.push_row_with(i, certain, anchors, |q| q.distance(p));
+                stats.distance_computations += anchors.len() as u64;
+                if certain || !scratch.last_dominated(&mut stats) {
+                    b = b.intersection(&search_region_mbr(p, anchors));
                     ranked.push(i);
+                } else {
+                    scratch.pop_row();
                 }
             }
             Work::Node(id, mbr) => {
@@ -145,10 +169,9 @@ pub fn b2s2_ranked<P: Preference>(
                         continue;
                     }
                     // Admissible key: the preference applied to per-anchor
-                    // lower bounds.
-                    let lb: Vec<f64> = anchors.iter().map(|&q| embr.mindist(q)).collect();
+                    // lower bounds (held in the arena's spare buffer).
+                    let key = pref.score(scratch.fill_spare_mindist(&embr, anchors));
                     stats.distance_computations += anchors.len() as u64;
-                    let key = pref.score(&lb);
                     match e {
                         Entry::Node { child, .. } => heap.push(key, Work::Node(child, embr)),
                         Entry::Item { item, .. } => heap.push(key, Work::Point(item, embr)),
@@ -159,6 +182,7 @@ pub fn b2s2_ranked<P: Preference>(
     }
 
     stats.node_accesses = index.tree().node_accesses();
+    stats.allocations += scratch.take_allocations();
     SkylineResult {
         skyline: ranked,
         stats,

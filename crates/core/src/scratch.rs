@@ -1,0 +1,392 @@
+//! The per-worker distance-scratch arena.
+//!
+//! Every kernel-path algorithm ([`naive_sorted_kernel`](crate::naive::naive_sorted_kernel),
+//! [`vs2_kernel`](crate::vs2::vs2_kernel), [`b2s2_kernel`](crate::b2s2::b2s2_kernel),
+//! the shard merge) stores its candidate distance vectors as rows of one
+//! flat structure-of-arrays buffer instead of a `Vec<f64>` per candidate.
+//! The arena is **grown monotonically and never freed per query**: a
+//! serving worker owns one [`DistanceScratch`] for its whole lifetime,
+//! `begin` resets lengths but keeps every allocation, and after the first
+//! (warm-up) query on a given workload shape the steady-state query path
+//! performs no heap allocation at all.
+//!
+//! Rows hold **squared** Euclidean distances by default (see
+//! [`ssq_geom::kernel`] for why this preserves the dominance relation
+//! exactly); [`DistanceScratch::push_row_with`] lets metric-generic
+//! callers fill rows with arbitrary distances instead.
+//!
+//! Arena *growth events* (a buffer needing more capacity) are counted and
+//! drained into [`QueryStats::allocations`] by the kernel algorithms, so
+//! the zero-alloc claim is observable: after warm-up the counter stays 0,
+//! while the scalar path counts one allocation per materialized distance
+//! vector.
+
+use ssq_geom::{kernel, Point, Rect};
+
+use crate::heap::MinHeap;
+use crate::stats::QueryStats;
+
+/// A reusable structure-of-arrays arena of distance rows plus the
+/// auxiliary buffers (sort permutation, result ids, traversal flags, a
+/// min-heap) the kernel algorithms need. See the module docs.
+#[derive(Debug, Default)]
+pub struct DistanceScratch {
+    /// Row-major `rows × width` distance entries.
+    dists: Vec<f64>,
+    /// Row width (= anchor count) set by [`DistanceScratch::begin`].
+    width: usize,
+    /// Per-row monotone ordering key (the row sum).
+    keys: Vec<f64>,
+    /// Per-row point id.
+    ids: Vec<u32>,
+    /// Per-row Theorem-1 certainty flag (inside `CH(Q)`).
+    certain: Vec<bool>,
+    /// Sort permutation over row indices.
+    order: Vec<u32>,
+    /// Resolved skyline ids (the arena's output buffer).
+    result: Vec<u32>,
+    /// Reusable traversal flags (VS² visited set).
+    visited: Vec<bool>,
+    /// Reusable traversal flags (VS² extracted set).
+    extracted: Vec<bool>,
+    /// Reusable traversal heap (VS²).
+    heap: MinHeap<u32>,
+    /// Spare row for transient vectors (rect lower bounds, etc.).
+    spare: Vec<f64>,
+    /// Buffer-growth events since the last [`DistanceScratch::take_allocations`].
+    grown: u64,
+}
+
+impl DistanceScratch {
+    /// An empty arena; buffers are allocated lazily on first use.
+    pub fn new() -> DistanceScratch {
+        DistanceScratch::default()
+    }
+
+    /// Starts a new query over `width` anchors: every row, key, and
+    /// result is discarded, every allocation is kept.
+    pub fn begin(&mut self, width: usize) {
+        assert!(width > 0, "a query has at least one anchor");
+        self.width = width;
+        self.dists.clear();
+        self.keys.clear();
+        self.ids.clear();
+        self.certain.clear();
+        self.order.clear();
+        self.result.clear();
+    }
+
+    /// The row width set by the last [`DistanceScratch::begin`].
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows currently in the arena.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` when the arena holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Row `r` as a slice of `width` distances.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.dists[r * self.width..(r + 1) * self.width]
+    }
+
+    /// The point id of row `r`.
+    #[inline]
+    pub fn id(&self, r: usize) -> u32 {
+        self.ids[r]
+    }
+
+    /// The ordering key (row sum) of row `r`.
+    #[inline]
+    pub fn key(&self, r: usize) -> f64 {
+        self.keys[r]
+    }
+
+    fn note_growth<T>(vec: &Vec<T>, need: usize, grown: &mut u64) {
+        if need > vec.capacity() {
+            *grown += 1;
+        }
+    }
+
+    /// Appends a row of **squared** Euclidean anchor distances for point
+    /// `id` at location `p`, returning the new row's index. The row key
+    /// is the squared-distance sum (monotone under dominance).
+    pub fn push_row(&mut self, id: u32, certain: bool, p: Point, anchors: &[Point]) -> usize {
+        self.push_row_with(id, certain, anchors, |q| p.distance_sq(q))
+    }
+
+    /// Like [`DistanceScratch::push_row`] but fills the row with
+    /// `dist(anchor)` for each anchor — the metric-generic entry point
+    /// (rows must all use the same distance convention within one query).
+    pub fn push_row_with<F: FnMut(Point) -> f64>(
+        &mut self,
+        id: u32,
+        certain: bool,
+        anchors: &[Point],
+        mut dist: F,
+    ) -> usize {
+        debug_assert_eq!(anchors.len(), self.width, "row width mismatch");
+        let r = self.keys.len();
+        Self::note_growth(&self.dists, self.dists.len() + self.width, &mut self.grown);
+        Self::note_growth(&self.keys, r + 1, &mut self.grown);
+        Self::note_growth(&self.ids, r + 1, &mut self.grown);
+        Self::note_growth(&self.certain, r + 1, &mut self.grown);
+        let mut sum = 0.0;
+        for &q in anchors {
+            let d = dist(q);
+            sum += d;
+            self.dists.push(d);
+        }
+        self.keys.push(sum);
+        self.ids.push(id);
+        self.certain.push(certain);
+        r
+    }
+
+    /// Removes the most recently pushed row (used by incremental
+    /// traversals that stage a candidate row, test it, and reject it).
+    pub fn pop_row(&mut self) {
+        debug_assert!(!self.keys.is_empty(), "pop from an empty arena");
+        self.keys.pop();
+        self.ids.pop();
+        self.certain.pop();
+        self.dists.truncate(self.dists.len() - self.width);
+    }
+
+    /// `true` when the **last** row is dominated by any earlier row,
+    /// counting one dominance check per comparison into `stats`.
+    pub fn last_dominated(&self, stats: &mut QueryStats) -> bool {
+        let last = self.keys.len() - 1;
+        let candidate = self.row(last);
+        for r in 0..last {
+            stats.dominance_checks += 1;
+            if kernel::dominates(self.row(r), candidate) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Resolves the pushed rows into the exact skyline: sorts row indices
+    /// by `(key, id)`, sweeps in ascending key order testing each
+    /// non-certain row against the rows kept so far (dominance implies a
+    /// strictly smaller key, so dominators always precede dominatees),
+    /// and returns the surviving ids sorted ascending. The returned slice
+    /// lives in the arena's result buffer — copy it out before the next
+    /// [`DistanceScratch::begin`].
+    pub fn resolve(&mut self, stats: &mut QueryStats) -> &[u32] {
+        let n = self.keys.len();
+        Self::note_growth(&self.order, n, &mut self.grown);
+        self.order.clear();
+        self.order.extend(0..n as u32);
+        let keys = &self.keys;
+        let ids = &self.ids;
+        self.order.sort_unstable_by(|&a, &b| {
+            keys[a as usize]
+                .total_cmp(&keys[b as usize])
+                .then(ids[a as usize].cmp(&ids[b as usize]))
+        });
+        Self::note_growth(&self.result, n, &mut self.grown);
+        self.result.clear();
+        // The result buffer holds KEPT ROW INDICES during the sweep and
+        // is rewritten to point ids afterwards — no extra buffer needed.
+        'next: for oi in 0..n {
+            let r = self.order[oi] as usize;
+            if !self.certain[r] {
+                let candidate = self.row(r);
+                for ki in 0..self.result.len() {
+                    let kept = self.result[ki] as usize;
+                    stats.dominance_checks += 1;
+                    if kernel::dominates(self.row(kept), candidate) {
+                        continue 'next;
+                    }
+                }
+            }
+            self.result.push(r as u32);
+        }
+        for slot in &mut self.result {
+            *slot = self.ids[*slot as usize];
+        }
+        self.result.sort_unstable();
+        &self.result
+    }
+
+    /// The arena's result buffer — the ids produced by the last
+    /// [`DistanceScratch::resolve`] or [`DistanceScratch::ids_sorted`]
+    /// call (empty after [`DistanceScratch::begin`]).
+    pub fn result(&self) -> &[u32] {
+        &self.result
+    }
+
+    /// The ids currently in the arena, sorted ascending, via the result
+    /// buffer — for traversals whose rows are already the exact skyline.
+    pub fn ids_sorted(&mut self) -> &[u32] {
+        Self::note_growth(&self.result, self.ids.len(), &mut self.grown);
+        self.result.clear();
+        self.result.extend_from_slice(&self.ids);
+        self.result.sort_unstable();
+        &self.result
+    }
+
+    /// Takes the two reusable traversal-flag buffers, cleared and resized
+    /// to `n` `false` entries. Return them with
+    /// [`DistanceScratch::restore_flags`] so their capacity survives to
+    /// the next query. (Moved out rather than borrowed so the caller can
+    /// keep using the arena while holding them.)
+    pub fn take_flags(&mut self, n: usize) -> (Vec<bool>, Vec<bool>) {
+        Self::note_growth(&self.visited, n, &mut self.grown);
+        Self::note_growth(&self.extracted, n, &mut self.grown);
+        let mut visited = std::mem::take(&mut self.visited);
+        let mut extracted = std::mem::take(&mut self.extracted);
+        visited.clear();
+        visited.resize(n, false);
+        extracted.clear();
+        extracted.resize(n, false);
+        (visited, extracted)
+    }
+
+    /// Returns the flag buffers taken by [`DistanceScratch::take_flags`].
+    pub fn restore_flags(&mut self, visited: Vec<bool>, extracted: Vec<bool>) {
+        self.visited = visited;
+        self.extracted = extracted;
+    }
+
+    /// Takes the reusable traversal heap, cleared. Return it with
+    /// [`DistanceScratch::restore_heap`].
+    pub fn take_heap(&mut self) -> MinHeap<u32> {
+        let mut heap = std::mem::take(&mut self.heap);
+        heap.clear();
+        heap
+    }
+
+    /// Returns the heap taken by [`DistanceScratch::take_heap`].
+    pub fn restore_heap(&mut self, heap: MinHeap<u32>) {
+        self.heap = heap;
+    }
+
+    /// Fills the spare row with `mbr.mindist(q)` per anchor (the
+    /// admissible per-anchor lower bound used by the ranked search) and
+    /// returns it.
+    pub fn fill_spare_mindist(&mut self, mbr: &Rect, anchors: &[Point]) -> &[f64] {
+        Self::note_growth(&self.spare, anchors.len(), &mut self.grown);
+        self.spare.clear();
+        self.spare.extend(anchors.iter().map(|&q| mbr.mindist(q)));
+        &self.spare
+    }
+
+    /// Buffer-growth events since the last call, resetting the counter.
+    /// Kernel algorithms drain this into [`QueryStats::allocations`] at
+    /// the end of each query: 0 means the query ran allocation-free.
+    pub fn take_allocations(&mut self) -> u64 {
+        std::mem::take(&mut self.grown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn rows_hold_squared_distances_and_keys_their_sums() {
+        let anchors = [p(0.0, 0.0), p(3.0, 0.0)];
+        let mut s = DistanceScratch::new();
+        s.begin(2);
+        let r = s.push_row(7, false, p(0.0, 4.0), &anchors);
+        assert_eq!(s.row(r), &[16.0, 25.0]);
+        assert_eq!(s.key(r), 41.0);
+        assert_eq!(s.id(r), 7);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn resolve_matches_a_naive_dominance_filter() {
+        let anchors = [p(0.0, 0.0), p(1.0, 0.0)];
+        let pts = [p(0.2, 0.1), p(0.5, 0.5), p(0.9, 0.05), p(0.5, 0.9)];
+        let mut s = DistanceScratch::new();
+        s.begin(2);
+        for (i, &pt) in pts.iter().enumerate() {
+            s.push_row(i as u32, false, pt, &anchors);
+        }
+        let mut stats = QueryStats::default();
+        let got: Vec<u32> = s.resolve(&mut stats).to_vec();
+        // Oracle over true distances.
+        let vecs: Vec<Vec<f64>> = pts
+            .iter()
+            .map(|&pt| anchors.iter().map(|&q| pt.distance(q)).collect())
+            .collect();
+        let want: Vec<u32> = (0..pts.len() as u32)
+            .filter(|&i| {
+                !vecs
+                    .iter()
+                    .enumerate()
+                    .any(|(j, v)| j != i as usize && kernel::dominates(v, &vecs[i as usize]))
+            })
+            .collect();
+        assert_eq!(got, want);
+        assert!(stats.dominance_checks > 0);
+    }
+
+    #[test]
+    fn certain_rows_skip_checks_and_always_survive() {
+        let anchors = [p(0.0, 0.0)];
+        let mut s = DistanceScratch::new();
+        s.begin(1);
+        s.push_row(0, false, p(0.1, 0.0), &anchors);
+        // Dominated, but marked certain — must survive with no checks.
+        s.push_row(1, true, p(0.9, 0.0), &anchors);
+        let mut stats = QueryStats::default();
+        assert_eq!(s.resolve(&mut stats), &[0, 1]);
+        assert_eq!(stats.dominance_checks, 0);
+    }
+
+    #[test]
+    fn growth_is_counted_once_then_reuse_is_free() {
+        let anchors = [p(0.0, 0.0), p(1.0, 1.0), p(2.0, 0.0)];
+        let mut s = DistanceScratch::new();
+        let run = |s: &mut DistanceScratch| {
+            s.begin(3);
+            for i in 0..64u32 {
+                s.push_row(i, false, p(i as f64 * 0.01, 0.5), &anchors);
+            }
+            let mut stats = QueryStats::default();
+            s.resolve(&mut stats);
+            let (v, e) = s.take_flags(64);
+            s.restore_flags(v, e);
+            let h = s.take_heap();
+            s.restore_heap(h);
+            s.take_allocations()
+        };
+        let warmup = run(&mut s);
+        assert!(warmup > 0, "first query must grow the arena");
+        for trial in 0..5 {
+            assert_eq!(run(&mut s), 0, "steady-state trial {trial} allocated");
+        }
+    }
+
+    #[test]
+    fn pop_row_and_last_dominated_support_incremental_use() {
+        let anchors = [p(0.0, 0.0), p(1.0, 0.0)];
+        let mut s = DistanceScratch::new();
+        s.begin(2);
+        s.push_row(0, false, p(0.1, 0.0), &anchors);
+        let mut stats = QueryStats::default();
+        s.push_row(1, false, p(0.2, 1.0), &anchors); // farther from both
+        assert!(s.last_dominated(&mut stats));
+        s.pop_row();
+        assert_eq!(s.len(), 1);
+        s.push_row(2, false, p(0.9, 0.0), &anchors); // closer to anchor 1
+        assert!(!s.last_dominated(&mut stats));
+        assert_eq!(s.ids_sorted(), &[0, 2]);
+    }
+}

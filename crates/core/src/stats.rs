@@ -22,6 +22,11 @@ pub struct QueryStats {
     /// Entries (points or R-tree rectangles / graph vertices) visited by
     /// the traversal.
     pub entries_visited: u64,
+    /// Tracked heap allocations on the query path: the scalar algorithms
+    /// count one per materialized distance vector, the kernel algorithms
+    /// count only scratch-arena growth events (0 once warm) — the
+    /// observable form of the zero-alloc claim.
+    pub allocations: u64,
 }
 
 impl QueryStats {
@@ -32,6 +37,7 @@ impl QueryStats {
         self.node_accesses += other.node_accesses;
         self.points_examined += other.points_examined;
         self.entries_visited += other.entries_visited;
+        self.allocations += other.allocations;
     }
 }
 
@@ -64,6 +70,7 @@ mod tests {
             node_accesses: 3,
             points_examined: 4,
             entries_visited: 5,
+            allocations: 6,
         };
         let b = QueryStats {
             dominance_checks: 10,
@@ -71,6 +78,7 @@ mod tests {
             node_accesses: 30,
             points_examined: 40,
             entries_visited: 50,
+            allocations: 60,
         };
         a.absorb(&b);
         assert_eq!(a.dominance_checks, 11);
@@ -78,6 +86,7 @@ mod tests {
         assert_eq!(a.node_accesses, 33);
         assert_eq!(a.points_examined, 44);
         assert_eq!(a.entries_visited, 55);
+        assert_eq!(a.allocations, 66);
     }
 
     #[test]

@@ -33,10 +33,12 @@
 //! after this pass; `Paper` may miss points, `Safe` provably does not.
 
 use ssq_geom::circle::search_region_mbr;
+use ssq_geom::kernel;
 
 use crate::heap::MinHeap;
 use crate::index::VoronoiIndex;
 use crate::query::{dominated_by_any, resolve_candidates, Candidate, QueryContext};
+use crate::scratch::DistanceScratch;
 use crate::stats::{QueryStats, SkylineResult};
 
 /// Neighbour-expansion policy for VS² — see the module docs.
@@ -53,6 +55,74 @@ pub enum VsExpansion {
 /// Runs VS² with the default (provably exact) expansion policy.
 pub fn vs2(index: &VoronoiIndex, ctx: &QueryContext) -> SkylineResult {
     vs2_with(index, ctx, VsExpansion::Safe, None)
+}
+
+/// The kernel-path VS²: identical output to [`vs2`] (Safe expansion), but
+/// the traversal reuses the scratch arena's heap and flag buffers, keys
+/// the heap by the **squared**-distance sum (no `sqrt` anywhere on the
+/// traversal — sound because any monotone-under-dominance key yields the
+/// same resolved skyline, see [`ssq_geom::kernel`]), and stores candidate
+/// vectors as squared-distance rows. Steady-state queries allocate only
+/// for the returned id vector.
+pub fn vs2_kernel(
+    index: &VoronoiIndex,
+    ctx: &QueryContext,
+    scratch: &mut DistanceScratch,
+) -> SkylineResult {
+    let mut stats = QueryStats::default();
+    index.reset_page_accesses();
+    if index.is_empty() {
+        return SkylineResult::default();
+    }
+    let n = index.len();
+    let anchors = ctx.anchors();
+    scratch.begin(anchors.len());
+    let (mut visited, mut extracted) = scratch.take_flags(n);
+    let mut heap = scratch.take_heap();
+
+    let start = index.nearest(ctx.query()[0], 0);
+    let mut b = search_region_mbr(index.point(start), anchors);
+    heap.push(kernel::dist_sq_sum(index.point(start), anchors), start);
+    stats.distance_computations += anchors.len() as u64;
+    visited[start as usize] = true;
+
+    while let Some((_, &p)) = heap.peek() {
+        if extracted[p as usize] {
+            // Second phase: pop, collect the survivor as an arena row and
+            // tighten B (Safe policy — see `vs2_with` for the comments).
+            heap.pop();
+            let pt = index.point(p);
+            if !b.contains(pt) {
+                continue;
+            }
+            stats.points_examined += 1;
+            scratch.push_row(p, ctx.hull().contains(pt), pt, anchors);
+            stats.distance_computations += anchors.len() as u64;
+            b = b.intersection(&search_region_mbr(pt, anchors));
+        } else {
+            // First phase: extract, enqueue the Voronoi neighbours.
+            extracted[p as usize] = true;
+            stats.entries_visited += 1;
+            for &nb in index.neighbors(p) {
+                if visited[nb as usize] {
+                    continue;
+                }
+                let nbp = index.point(nb);
+                if b.contains(nbp) || index.cell_intersects_rect(nb, &b) {
+                    visited[nb as usize] = true;
+                    heap.push(kernel::dist_sq_sum(nbp, anchors), nb);
+                    stats.distance_computations += anchors.len() as u64;
+                }
+            }
+        }
+    }
+
+    scratch.restore_flags(visited, extracted);
+    scratch.restore_heap(heap);
+    let skyline = scratch.resolve(&mut stats).to_vec();
+    stats.node_accesses = index.page_accesses();
+    stats.allocations += scratch.take_allocations();
+    SkylineResult { skyline, stats }
 }
 
 /// Runs VS² with an explicit expansion policy and an optional walk hint

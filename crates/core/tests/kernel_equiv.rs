@@ -1,0 +1,150 @@
+//! Property test: the scratch-arena kernel paths are byte-identical to
+//! the scalar paths.
+//!
+//! The kernels compute dominance on squared Euclidean distances
+//! (monotone, so the dominance relation is unchanged — see
+//! `ssq_geom::kernel`), reuse one `DistanceScratch` arena across every
+//! query, and defer all `sqrt` calls. None of that may change a single
+//! skyline id. This test sweeps uniform and clustered datasets crossed
+//! with 1, 3, and 8 query anchors and asserts, for every cell:
+//!
+//! - `naive_sorted_kernel == naive_sorted == naive_full` (oracle),
+//! - `vs2_kernel == vs2_with(Safe, None)`,
+//! - `b2s2_kernel == b2s2`,
+//!
+//! with the shared arena carried warm from one query to the next, so any
+//! cross-query state leak in the arena would also surface here.
+
+use ssq_core::{
+    b2s2, b2s2_kernel, naive_full, naive_sorted, naive_sorted_kernel, vs2_kernel, vs2_with,
+    DistanceScratch, QueryContext, RTreeIndex, VoronoiIndex, VsExpansion,
+};
+use ssq_geom::Point;
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next_f64(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn uniform(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = XorShift(seed | 1);
+    (0..n)
+        .map(|_| Point::new(rng.next_f64() * 100.0, rng.next_f64() * 100.0))
+        .collect()
+}
+
+fn clustered(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = XorShift(seed | 1);
+    let centers: Vec<Point> = (0..4)
+        .map(|_| Point::new(rng.next_f64() * 100.0, rng.next_f64() * 100.0))
+        .collect();
+    (0..n)
+        .map(|i| {
+            let c = centers[i % centers.len()];
+            Point::new(
+                c.x + (rng.next_f64() - 0.5) * 8.0,
+                c.y + (rng.next_f64() - 0.5) * 8.0,
+            )
+        })
+        .collect()
+}
+
+fn anchors(k: usize, rng: &mut XorShift) -> Vec<Point> {
+    (0..k)
+        .map(|_| Point::new(10.0 + rng.next_f64() * 80.0, 10.0 + rng.next_f64() * 80.0))
+        .collect()
+}
+
+#[test]
+fn kernel_paths_match_scalar_paths_exactly() {
+    let datasets = [
+        ("uniform", uniform(400, 0xA11CE)),
+        ("clustered", clustered(400, 0xB0B)),
+    ];
+    // One shared arena across every dataset, anchor count, and trial:
+    // equivalence must hold with the arena warm, not just freshly built.
+    let mut scratch = DistanceScratch::new();
+    for (shape, points) in &datasets {
+        let rtree = RTreeIndex::new(points);
+        let voronoi = VoronoiIndex::new(points).expect("distinct points");
+        let mut rng = XorShift(0xC0FFEE ^ points.len() as u64);
+        for k in [1usize, 3, 8] {
+            for trial in 0..4 {
+                let q = anchors(k, &mut rng);
+                let ctx = QueryContext::new(&q);
+                let tag = format!("{shape}/k={k}/trial={trial}");
+
+                let oracle = naive_full(points, &ctx).skyline;
+                let scalar_naive = naive_sorted(points, &ctx);
+                assert_eq!(
+                    scalar_naive.skyline, oracle,
+                    "scalar naive vs oracle [{tag}]"
+                );
+
+                let kern_naive = naive_sorted_kernel(points, &ctx, &mut scratch);
+                assert_eq!(kern_naive.skyline, oracle, "kernel naive vs oracle [{tag}]");
+
+                let scalar_vs2 = vs2_with(&voronoi, &ctx, VsExpansion::Safe, None);
+                let kern_vs2 = vs2_kernel(&voronoi, &ctx, &mut scratch);
+                assert_eq!(
+                    kern_vs2.skyline, scalar_vs2.skyline,
+                    "vs2 kernel vs scalar [{tag}]"
+                );
+                assert_eq!(kern_vs2.skyline, oracle, "vs2 kernel vs oracle [{tag}]");
+
+                let scalar_b2s2 = b2s2(&rtree, &ctx);
+                let kern_b2s2 = b2s2_kernel(&rtree, &ctx, &mut scratch);
+                assert_eq!(
+                    kern_b2s2.skyline, scalar_b2s2.skyline,
+                    "b2s2 kernel vs scalar [{tag}]"
+                );
+                assert_eq!(kern_b2s2.skyline, oracle, "b2s2 kernel vs oracle [{tag}]");
+                // B²S² kernel keeps true mindist heap keys so its traversal
+                // mirrors the scalar branch-and-bound exactly, counters
+                // included.
+                assert_eq!(
+                    kern_b2s2.stats.node_accesses, scalar_b2s2.stats.node_accesses,
+                    "b2s2 node accesses [{tag}]"
+                );
+                assert_eq!(
+                    kern_b2s2.stats.points_examined, scalar_b2s2.stats.points_examined,
+                    "b2s2 points examined [{tag}]"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn warm_kernel_allocates_less_than_scalar() {
+    let points = uniform(600, 0xFEED);
+    let mut rng = XorShift(7);
+    let mut scratch = DistanceScratch::new();
+    for k in [1usize, 3, 8] {
+        let mut scalar_allocs = 0u64;
+        let mut kernel_allocs = 0u64;
+        for trial in 0..3 {
+            let ctx = QueryContext::new(&anchors(k, &mut rng));
+            let s = naive_sorted(&points, &ctx);
+            let kr = naive_sorted_kernel(&points, &ctx, &mut scratch);
+            assert_eq!(s.skyline, kr.skyline);
+            // Trial 0 may grow a cold arena; steady state is what the
+            // arena is for.
+            if trial > 0 {
+                scalar_allocs += s.stats.allocations;
+                kernel_allocs += kr.stats.allocations;
+            }
+        }
+        assert!(
+            kernel_allocs * 2 <= scalar_allocs,
+            "k={k}: warm kernel should allocate at least 2x less \
+             (scalar {scalar_allocs} vs kernel {kernel_allocs})"
+        );
+    }
+}

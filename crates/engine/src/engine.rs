@@ -3,11 +3,11 @@
 use crate::cache::ContextCache;
 use crate::metrics::{EngineMetrics, MetricsSnapshot};
 use crate::planner::{Algorithm, Planner};
-use crate::pool::WorkerPool;
+use crate::pool::{WorkerPool, WorkerState};
 use crate::snapshot::{Snapshot, SnapshotCatalog, StaleSnapshot};
 use ssq_core::{
-    b2s2, bbs, naive_sorted, vs2, ContinuousSkyline, QueryStats, RTreeIndex, SkylineResult,
-    UpdateOutcome, VoronoiIndex,
+    b2s2_kernel, bbs, naive_sorted_kernel, vs2_kernel, ContinuousSkyline, DistanceScratch,
+    QueryContext, QueryStats, RTreeIndex, SkylineResult, UpdateOutcome, VoronoiIndex,
 };
 use ssq_geom::Point;
 use std::collections::{HashMap, VecDeque};
@@ -287,6 +287,9 @@ impl<T> Cell<T> {
 pub type QueryHandle = Ticket<QueryResponse>;
 /// Handle for a submitted session update.
 pub type UpdateHandle = Ticket<SessionUpdate>;
+/// Handle for a submitted batch: resolves to one [`QueryResponse`] per
+/// request, in submission order.
+pub type BatchTicket = Ticket<Vec<QueryResponse>>;
 
 /// Identifies one continuous (VCS²) session.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -493,11 +496,11 @@ impl Engine {
         let (ticket, cell) = Ticket::new();
         let shared = Arc::clone(&self.shared);
         self.pool
-            .submit(Box::new(move || {
+            .submit(Box::new(move |state: &mut WorkerState| {
                 // Dequeue-time pin: the clone happens on the worker,
                 // not at submission.
                 let snapshot = shared.catalog.current();
-                run_query(&shared, &snapshot, request, &cell);
+                run_query(&shared, &snapshot, request, &cell, &mut state.scratch);
             }))
             .expect("engine pool closed while the engine was alive");
         ticket
@@ -522,16 +525,83 @@ impl Engine {
         let (ticket, cell) = Ticket::new();
         let shared = Arc::clone(&self.shared);
         self.pool
-            .submit(Box::new(move || {
-                run_query(&shared, &snapshot, request, &cell)
+            .submit(Box::new(move |state: &mut WorkerState| {
+                run_query(&shared, &snapshot, request, &cell, &mut state.scratch)
             }))
             .expect("engine pool closed while the engine was alive");
         ticket
     }
 
-    /// Submits a batch, returning one handle per request in order.
-    pub fn submit_batch(&self, requests: Vec<QueryRequest>) -> Vec<QueryHandle> {
-        requests.into_iter().map(|r| self.submit(r)).collect()
+    /// Submits a batch as **one** pool job, resolving to one response per
+    /// request in order.
+    ///
+    /// Against per-request [`Engine::submit`] calls this amortizes one
+    /// queue hop (one submission, one dequeue), one snapshot pin (the
+    /// whole batch answers against a single dequeue-time generation), and
+    /// — for repeated query sets within the batch — one cache probe per
+    /// *distinct* query set: repeats reuse a batch-local context memo and
+    /// report `cache_hit` without touching the shared cache lock. The
+    /// whole batch runs on one worker; use several batches (or
+    /// [`Engine::submit`]) when cross-request parallelism matters more
+    /// than per-request overhead.
+    ///
+    /// An empty batch resolves immediately to an empty vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request's query set is empty.
+    pub fn submit_batch(&self, requests: Vec<QueryRequest>) -> BatchTicket {
+        for r in &requests {
+            assert!(
+                !r.query.is_empty(),
+                "a spatial skyline query needs at least one query point"
+            );
+        }
+        let (ticket, cell) = Ticket::new();
+        if requests.is_empty() {
+            cell.fill(Vec::new());
+            return ticket;
+        }
+        let shared = Arc::clone(&self.shared);
+        self.pool
+            .submit(Box::new(move |state: &mut WorkerState| {
+                let snapshot = shared.catalog.current();
+                cell.fill(run_batch(&shared, &snapshot, requests, &mut state.scratch));
+            }))
+            .expect("engine pool closed while the engine was alive");
+        ticket
+    }
+
+    /// Like [`Engine::submit_batch`] but answers against a caller-pinned
+    /// snapshot (see [`Engine::submit_on`]) — the shard router's fan-out
+    /// primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request's query set is empty.
+    pub fn submit_batch_on(
+        &self,
+        requests: Vec<QueryRequest>,
+        snapshot: Arc<Snapshot>,
+    ) -> BatchTicket {
+        for r in &requests {
+            assert!(
+                !r.query.is_empty(),
+                "a spatial skyline query needs at least one query point"
+            );
+        }
+        let (ticket, cell) = Ticket::new();
+        if requests.is_empty() {
+            cell.fill(Vec::new());
+            return ticket;
+        }
+        let shared = Arc::clone(&self.shared);
+        self.pool
+            .submit(Box::new(move |state: &mut WorkerState| {
+                cell.fill(run_batch(&shared, &snapshot, requests, &mut state.scratch));
+            }))
+            .expect("engine pool closed while the engine was alive");
+        ticket
     }
 
     /// Opens a continuous (VCS²) session for query set `q`, pinned to
@@ -606,9 +676,9 @@ impl Engine {
             // and the drain job needs that lock to make progress.
             let shared = Arc::clone(&self.shared);
             let job_session = Arc::clone(&session);
-            let submitted = self
-                .pool
-                .submit(Box::new(move || drain_session(&shared, &job_session)));
+            let submitted = self.pool.submit(Box::new(move |_state: &mut WorkerState| {
+                drain_session(&shared, &job_session)
+            }));
             if submitted.is_err() {
                 session.pending.lock().unwrap().scheduled = false;
                 return Err(EngineError::Closed);
@@ -650,32 +720,82 @@ fn run_query(
     snapshot: &Arc<Snapshot>,
     request: QueryRequest,
     cell: &Cell<QueryResponse>,
+    scratch: &mut DistanceScratch,
 ) {
     let start = Instant::now();
-    let generation = snapshot.generation();
-    let (ctx, cache_hit) = shared.cache.get_or_build(generation, &request.query);
+    let (ctx, cache_hit) = shared
+        .cache
+        .get_or_build(snapshot.generation(), &request.query);
     shared.metrics.record_cache(cache_hit);
+    cell.fill(execute(
+        shared, snapshot, &request, &ctx, cache_hit, start, scratch,
+    ));
+}
+
+/// Runs every request of a batch on the calling worker against one pinned
+/// snapshot. Repeated query sets within the batch resolve their context
+/// through a batch-local memo: only the first occurrence probes (and
+/// counts against) the shared cache; repeats are reported as cache hits
+/// without taking the cache lock.
+fn run_batch(
+    shared: &EngineShared,
+    snapshot: &Arc<Snapshot>,
+    requests: Vec<QueryRequest>,
+    scratch: &mut DistanceScratch,
+) -> Vec<QueryResponse> {
+    let generation = snapshot.generation();
+    let mut memo: Vec<(Vec<Point>, Arc<QueryContext>)> = Vec::new();
+    requests
+        .into_iter()
+        .map(|request| {
+            let start = Instant::now();
+            let (ctx, cache_hit) = match memo.iter().find(|(q, _)| *q == request.query) {
+                Some((_, ctx)) => (Arc::clone(ctx), true),
+                None => {
+                    let (ctx, hit) = shared.cache.get_or_build(generation, &request.query);
+                    shared.metrics.record_cache(hit);
+                    memo.push((request.query.clone(), Arc::clone(&ctx)));
+                    (ctx, hit)
+                }
+            };
+            execute(shared, snapshot, &request, &ctx, cache_hit, start, scratch)
+        })
+        .collect()
+}
+
+/// The shared tail of the single and batched paths: plan, run the chosen
+/// algorithm through the worker's scratch arena, record metrics.
+fn execute(
+    shared: &EngineShared,
+    snapshot: &Arc<Snapshot>,
+    request: &QueryRequest,
+    ctx: &QueryContext,
+    cache_hit: bool,
+    start: Instant,
+    scratch: &mut DistanceScratch,
+) -> QueryResponse {
+    let generation = snapshot.generation();
     let algorithm = request
         .force
-        .unwrap_or_else(|| shared.planner.choose(snapshot.len(), &ctx));
+        .unwrap_or_else(|| shared.planner.choose(snapshot.len(), ctx));
     let SkylineResult { skyline, stats } = match algorithm {
-        Algorithm::Naive => naive_sorted(snapshot.points(), &ctx),
-        Algorithm::Bbs => bbs(snapshot.rtree(), &ctx),
-        Algorithm::B2s2 => b2s2(snapshot.rtree(), &ctx),
-        Algorithm::Vs2 => vs2(snapshot.voronoi(), &ctx),
+        Algorithm::Naive => naive_sorted_kernel(snapshot.points(), ctx, scratch),
+        Algorithm::Bbs => bbs(snapshot.rtree(), ctx),
+        Algorithm::B2s2 => b2s2_kernel(snapshot.rtree(), ctx, scratch),
+        Algorithm::Vs2 => vs2_kernel(snapshot.voronoi(), ctx, scratch),
     };
     let latency = start.elapsed();
     shared
         .metrics
         .record_query(algorithm, generation, latency, &stats);
-    cell.fill(QueryResponse {
+    QueryResponse {
         skyline,
         generation,
         algorithm,
         cache_hit,
         latency,
         stats,
-    });
+    }
 }
 
 /// Applies every pending update of one session, in FIFO order. At most
@@ -764,15 +884,88 @@ mod tests {
                     .map(|&a| QueryRequest::forced(q.clone(), a))
                     .collect(),
             )
-            .into_iter()
-            .map(Ticket::wait)
-            .collect();
+            .wait();
         for r in &responses {
             assert_eq!(r.skyline, responses[0].skyline, "{} disagrees", r.algorithm);
         }
         let m = engine.metrics();
         for a in Algorithm::ALL {
             assert_eq!(m.requests_for(a), 1);
+        }
+    }
+
+    #[test]
+    fn batch_answers_match_individual_submission() {
+        let data = grid(250);
+        let engine = Engine::new(&data, EngineConfig::default().with_workers(2)).unwrap();
+        let queries: Vec<Vec<Point>> = (0..6)
+            .map(|i| {
+                vec![
+                    Point::new(2.0 + i as f64 * 0.3, 3.0),
+                    Point::new(9.0, 2.0 + i as f64 * 0.2),
+                    Point::new(5.0, 9.0),
+                ]
+            })
+            .collect();
+        let batch = engine
+            .submit_batch(queries.iter().cloned().map(QueryRequest::new).collect())
+            .wait();
+        assert_eq!(batch.len(), queries.len());
+        for (q, r) in queries.iter().zip(&batch) {
+            let want = naive_full(&data, &QueryContext::new(q)).skyline;
+            assert_eq!(r.skyline, want);
+            assert_eq!(r.generation, 0);
+        }
+    }
+
+    #[test]
+    fn a_batch_of_identical_queries_probes_the_cache_once() {
+        let data = grid(120);
+        let engine = Engine::new(&data, EngineConfig::default().with_workers(1)).unwrap();
+        let q = vec![
+            Point::new(2.0, 2.0),
+            Point::new(6.0, 3.0),
+            Point::new(4.0, 6.0),
+        ];
+        let responses = engine
+            .submit_batch(vec![QueryRequest::new(q.clone()); 5])
+            .wait();
+        assert_eq!(responses.len(), 5);
+        assert!(!responses[0].cache_hit, "cold cache: the first one misses");
+        assert!(responses[1..].iter().all(|r| r.cache_hit));
+        let m = engine.metrics();
+        assert_eq!(m.cache_misses, 1, "one probe for five identical queries");
+        assert_eq!(m.cache_hits, 0, "memo hits never reach the shared cache");
+    }
+
+    #[test]
+    fn empty_batch_resolves_immediately() {
+        let engine = Engine::new(&grid(30), EngineConfig::default().with_workers(1)).unwrap();
+        let ticket = engine.submit_batch(Vec::new());
+        assert!(ticket.is_ready());
+        assert!(ticket.wait().is_empty());
+    }
+
+    #[test]
+    fn submit_batch_on_answers_against_the_pinned_snapshot() {
+        let old_data = grid(130);
+        let engine = Engine::new(&old_data, EngineConfig::default().with_workers(2)).unwrap();
+        let pinned = engine.snapshot();
+        engine.reindex(&grid(260)).unwrap();
+        let q = vec![
+            Point::new(4.0, 2.0),
+            Point::new(10.0, 5.0),
+            Point::new(6.0, 9.0),
+        ];
+        let responses = engine
+            .submit_batch_on(vec![QueryRequest::new(q.clone()); 2], pinned)
+            .wait();
+        for r in &responses {
+            assert_eq!(r.generation, 0, "caller pin beats the catalog");
+            assert_eq!(
+                r.skyline,
+                naive_full(&old_data, &QueryContext::new(&q)).skyline
+            );
         }
     }
 

@@ -69,10 +69,10 @@ pub mod snapshot;
 
 pub use cache::{CacheKey, ContextCache, QueryKey};
 pub use engine::{
-    Engine, EngineConfig, EngineError, QueryHandle, QueryRequest, QueryResponse, SessionId,
-    SessionUpdate, SnapshotSuperseded, Ticket, UpdateHandle,
+    BatchTicket, Engine, EngineConfig, EngineError, QueryHandle, QueryRequest, QueryResponse,
+    SessionId, SessionUpdate, SnapshotSuperseded, Ticket, UpdateHandle,
 };
 pub use metrics::{EngineMetrics, LatencyHistogram, LatencySnapshot, MetricsSnapshot};
 pub use planner::{Algorithm, Planner};
-pub use pool::{PoolClosed, WorkerPool};
+pub use pool::{PoolClosed, WorkerPool, WorkerState};
 pub use snapshot::{Snapshot, SnapshotCatalog, StaleSnapshot};

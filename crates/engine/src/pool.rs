@@ -13,8 +13,24 @@ use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-/// A unit of work: boxed closure run on one worker thread.
-type Job = Box<dyn FnOnce() + Send + 'static>;
+use ssq_core::DistanceScratch;
+
+/// Per-worker mutable state handed to every job.
+///
+/// Each worker thread owns one instance for its whole lifetime — no
+/// locking, no sharing — so the scratch arena inside stays warm across
+/// queries: after the first few jobs its buffers have grown to the
+/// workload's shape and the steady-state query path stops allocating.
+#[derive(Debug, Default)]
+pub struct WorkerState {
+    /// The worker's distance/dominance arena (see
+    /// [`ssq_core::DistanceScratch`]).
+    pub scratch: DistanceScratch,
+}
+
+/// A unit of work: boxed closure run on one worker thread with that
+/// worker's private [`WorkerState`].
+type Job = Box<dyn FnOnce(&mut WorkerState) + Send + 'static>;
 
 /// Error returned by [`WorkerPool::submit`] after shutdown has begun.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,6 +147,7 @@ impl Drop for WorkerPool {
 }
 
 fn worker_loop(shared: &Shared) {
+    let mut state = WorkerState::default();
     loop {
         let job = {
             let mut q = shared.queue.lock().unwrap();
@@ -147,8 +164,11 @@ fn worker_loop(shared: &Shared) {
         shared.not_full.notify_one();
         // A panicking job must not take the worker down with it — the
         // panic is contained and the worker moves on. (The job's ticket
-        // is abandoned; Engine jobs never panic on valid input.)
-        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        // is abandoned; Engine jobs never panic on valid input. The
+        // worker state survives: the arena holds no query-specific
+        // invariants, every query re-`begin`s it.)
+        let state_ref = &mut state;
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || job(state_ref)));
     }
 }
 
@@ -164,7 +184,7 @@ mod tests {
         let counter = Arc::new(AtomicUsize::new(0));
         for _ in 0..100 {
             let c = Arc::clone(&counter);
-            pool.submit(Box::new(move || {
+            pool.submit(Box::new(move |_state: &mut WorkerState| {
                 c.fetch_add(1, Ordering::Relaxed);
             }))
             .unwrap();
@@ -180,7 +200,7 @@ mod tests {
         let counter = Arc::new(AtomicUsize::new(0));
         for _ in 0..50 {
             let c = Arc::clone(&counter);
-            pool.submit(Box::new(move || {
+            pool.submit(Box::new(move |_state: &mut WorkerState| {
                 std::thread::sleep(Duration::from_micros(100));
                 c.fetch_add(1, Ordering::Relaxed);
             }))
@@ -196,7 +216,7 @@ mod tests {
         let counter = Arc::new(AtomicUsize::new(0));
         for _ in 0..32 {
             let c = Arc::clone(&counter);
-            pool.submit(Box::new(move || {
+            pool.submit(Box::new(move |_state: &mut WorkerState| {
                 std::thread::sleep(Duration::from_micros(200));
                 c.fetch_add(1, Ordering::Relaxed);
             }))
@@ -210,10 +230,11 @@ mod tests {
     #[test]
     fn a_panicking_job_does_not_kill_the_worker() {
         let pool = WorkerPool::new(1, 8);
-        pool.submit(Box::new(|| panic!("boom"))).unwrap();
+        pool.submit(Box::new(|_state: &mut WorkerState| panic!("boom")))
+            .unwrap();
         let counter = Arc::new(AtomicUsize::new(0));
         let c = Arc::clone(&counter);
-        pool.submit(Box::new(move || {
+        pool.submit(Box::new(move |_state: &mut WorkerState| {
             c.fetch_add(1, Ordering::Relaxed);
         }))
         .unwrap();
@@ -229,7 +250,7 @@ mod tests {
         for _ in 0..16 {
             let in_flight = Arc::clone(&in_flight);
             let peak = Arc::clone(&peak);
-            pool.submit(Box::new(move || {
+            pool.submit(Box::new(move |_state: &mut WorkerState| {
                 let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
                 peak.fetch_max(now, Ordering::SeqCst);
                 std::thread::sleep(Duration::from_millis(5));

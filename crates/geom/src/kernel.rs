@@ -1,0 +1,119 @@
+//! Allocation-free distance/dominance kernels over flat `f64` rows.
+//!
+//! Every algorithm in the paper bottoms out in the same two operations:
+//! filling a distance vector from a candidate point to the anchors
+//! `CHv(Q)` (Theorem 2) and testing one vector against another for
+//! spatial dominance (§2.2). These kernels perform both over
+//! caller-provided slices — typically rows of a structure-of-arrays
+//! scratch arena — so the steady-state hot path never allocates.
+//!
+//! # Squared distances preserve dominance
+//!
+//! Dominance compares distances *to the same anchor* componentwise, and
+//! `x ↦ x²` is strictly increasing on the non-negative reals, so
+//! `D(a, qᵢ) ≤ D(b, qᵢ) ⇔ D(a, qᵢ)² ≤ D(b, qᵢ)²` for every anchor `qᵢ`
+//! (and likewise for the strict comparison). A vector of squared
+//! distances therefore induces **exactly** the same dominance relation
+//! as the vector of true distances — the Euclidean fast path can skip
+//! every `sqrt`, deferring it to result reporting (where nothing in this
+//! repo ever needs it: skylines are reported as point ids). The same
+//! argument makes the squared-distance *sum* a valid monotone ordering
+//! key: if `a` dominates `b` then every squared component of `a` is `≤`
+//! and at least one is `<`, so the sum is strictly smaller.
+
+use crate::point::Point;
+
+/// Writes the **squared** Euclidean distances from `p` to every anchor
+/// into `out` (`out.len()` must equal `anchors.len()`).
+#[inline]
+pub fn fill_dist_sq_row(p: Point, anchors: &[Point], out: &mut [f64]) {
+    debug_assert_eq!(anchors.len(), out.len(), "row width mismatch");
+    for (slot, &q) in out.iter_mut().zip(anchors) {
+        *slot = p.distance_sq(q);
+    }
+}
+
+/// The sum of **squared** Euclidean distances from `p` to the anchors —
+/// a monotone-under-dominance ordering key computed without `sqrt` and
+/// without materializing the vector (see the module docs).
+#[inline]
+pub fn dist_sq_sum(p: Point, anchors: &[Point]) -> f64 {
+    anchors.iter().map(|&q| p.distance_sq(q)).sum()
+}
+
+/// The sum of the entries of one row (the row's ordering key).
+#[inline]
+pub fn row_sum(row: &[f64]) -> f64 {
+    row.iter().sum()
+}
+
+/// `true` when row `a` dominates row `b`: weakly smaller on every
+/// component and strictly smaller on at least one, with an early exit on
+/// the first component where `a` loses.
+///
+/// Valid for true distances, squared distances, or any componentwise
+/// strictly-monotone transform of them (the relation is identical — see
+/// the module docs). This is the single dominance loop shared by
+/// `ssq-core`, `ssq-skyline`, and the shard merge.
+#[inline]
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len(), "vector arity mismatch");
+    let mut strict = false;
+    for (&x, &y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strict = true;
+        }
+    }
+    strict
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn squared_rows_match_squared_scalar_distances() {
+        let anchors = [p(0.0, 0.0), p(3.0, 0.0), p(0.0, 4.0)];
+        let c = p(3.0, 4.0);
+        let mut row = [0.0; 3];
+        fill_dist_sq_row(c, &anchors, &mut row);
+        for (i, &q) in anchors.iter().enumerate() {
+            assert_eq!(row[i], c.distance(q) * c.distance(q));
+        }
+        assert_eq!(dist_sq_sum(c, &anchors), row_sum(&row));
+    }
+
+    #[test]
+    fn dominance_needs_strictness_and_exits_early() {
+        assert!(dominates(&[1.0, 2.0], &[1.0, 3.0]));
+        assert!(!dominates(&[1.0, 2.0], &[1.0, 2.0]));
+        assert!(!dominates(&[1.0, 4.0], &[2.0, 3.0]));
+        assert!(!dominates(&[2.0, 0.0], &[1.0, 9.0])); // early exit on [0]
+    }
+
+    #[test]
+    fn squaring_preserves_the_dominance_relation() {
+        let mut seed = 0x5EEDu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..200 {
+            let a: Vec<f64> = (0..4).map(|_| next() * 10.0).collect();
+            let b: Vec<f64> = (0..4).map(|_| next() * 10.0).collect();
+            let a2: Vec<f64> = a.iter().map(|x| x * x).collect();
+            let b2: Vec<f64> = b.iter().map(|x| x * x).collect();
+            assert_eq!(dominates(&a, &b), dominates(&a2, &b2));
+            assert_eq!(dominates(&b, &a), dominates(&b2, &a2));
+        }
+    }
+}

@@ -21,7 +21,9 @@
 //!   of Shewchuk, so the Delaunay substrate is robust against the
 //!   floating-point degeneracies that plague naive implementations;
 //! * [`Metric`] — pluggable distance metrics obeying the triangle
-//!   inequality, as required by the paper's problem definition (§2.2).
+//!   inequality, as required by the paper's problem definition (§2.2);
+//! * [`kernel`] — allocation-free distance/dominance kernels over flat
+//!   `f64` rows, including the squared-distance fast path.
 //!
 //! All coordinates are `f64`. The predicates are exact for all `f64`
 //! inputs; everything else uses ordinary floating-point arithmetic with
@@ -33,6 +35,7 @@
 pub mod circle;
 pub mod convex;
 pub mod hull;
+pub mod kernel;
 pub mod line;
 pub mod metric;
 pub mod point;

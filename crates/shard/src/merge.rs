@@ -11,7 +11,7 @@
 //! `sum_i d(p, q_i)` every possible dominator of a candidate precedes
 //! it, and one forward sweep suffices — no back-substitution pass.
 
-use ssq_core::{query::dominates, QueryContext, QueryStats};
+use ssq_core::{query::dominates, DistanceScratch, QueryContext, QueryStats};
 use ssq_geom::Point;
 
 /// Reduces per-shard skyline candidates `(global_id, location)` to the
@@ -44,6 +44,28 @@ pub fn merge_candidates(
     }
     let mut ids: Vec<u32> = skyline.into_iter().map(|(id, _)| id).collect();
     ids.sort_unstable();
+    ids
+}
+
+/// [`merge_candidates`] through a scratch arena: candidate vectors live as
+/// **squared**-distance rows (the dominance relation is unchanged under
+/// squaring — see [`ssq_geom::kernel`]) and candidates inside `CH(Q)` skip
+/// their dominance checks outright (Theorem 1), so the steady-state merge
+/// allocates nothing beyond arena growth and the returned id vector.
+pub fn merge_candidates_with(
+    ctx: &QueryContext,
+    candidates: &[(u32, Point)],
+    stats: &mut QueryStats,
+    scratch: &mut DistanceScratch,
+) -> Vec<u32> {
+    let anchors = ctx.anchors();
+    scratch.begin(anchors.len());
+    for &(id, p) in candidates {
+        scratch.push_row(id, ctx.hull().contains(p), p, anchors);
+    }
+    stats.distance_computations += (candidates.len() * anchors.len()) as u64;
+    let ids = scratch.resolve(stats).to_vec();
+    stats.allocations += scratch.take_allocations();
     ids
 }
 
@@ -108,5 +130,36 @@ mod tests {
         let q = vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)];
         let mut stats = QueryStats::default();
         assert!(merge_candidates(&QueryContext::new(&q), &[], &mut stats).is_empty());
+        let mut scratch = DistanceScratch::new();
+        assert!(
+            merge_candidates_with(&QueryContext::new(&q), &[], &mut stats, &mut scratch).is_empty()
+        );
+    }
+
+    #[test]
+    fn kernel_merge_matches_the_scalar_merge() {
+        let data = cloud(300);
+        let mut scratch = DistanceScratch::new();
+        for trial in 0..6u32 {
+            let q = vec![
+                Point::new(2.0 + trial as f64, 5.0),
+                Point::new(12.0, 2.0 + trial as f64),
+                Point::new(8.0, 9.0),
+            ];
+            let ctx = QueryContext::new(&q);
+            let candidates: Vec<(u32, Point)> = data
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| (i as u32, p))
+                .collect();
+            let mut s1 = QueryStats::default();
+            let mut s2 = QueryStats::default();
+            let scalar = merge_candidates(&ctx, &candidates, &mut s1);
+            let kernel = merge_candidates_with(&ctx, &candidates, &mut s2, &mut scratch);
+            assert_eq!(scalar, kernel, "trial {trial}");
+            if trial > 0 {
+                assert!(s2.allocations <= s1.allocations, "trial {trial}");
+            }
+        }
     }
 }

@@ -16,8 +16,13 @@
 //!    the rest are queried concurrently through their engines' tickets,
 //!    bounded by [`ShardConfig::shard_timeout`] when set.
 //! 4. **Merge** — per-shard skylines, remapped to global ids, pass
-//!    through the exact dominance filter
-//!    ([`merge_candidates`]).
+//!    through the exact dominance filter, run in the router's warm
+//!    scratch arena ([`merge_candidates_with`]).
+//!
+//! [`ShardedEngine::query_batch`] routes many queries at once: whole
+//! batches are fanned out shard-wise through
+//! [`Engine::submit_batch_on`], so queue hops, snapshot pins, and cache
+//! probes are paid once per batch-per-shard instead of once per query.
 //!
 //! Pruning never affects the answer (the bound is sound — see
 //! [`prune`](crate::prune)); it only avoids work, which the metrics
@@ -36,12 +41,12 @@
 //! exactly the single-engine answer on one real dataset generation
 //! (the one [`ShardedResponse::generation`] reports).
 
-use crate::merge::merge_candidates;
+use crate::merge::merge_candidates_with;
 use crate::metrics::{ShardMetrics, ShardedMetricsSnapshot};
 use crate::partition::{partition, PartitionPolicy, ShardSpec};
 use crate::prune::{dominates_rect, rect_lower_bounds};
-use ssq_core::{QueryContext, QueryStats};
-use ssq_engine::{Engine, EngineConfig, EngineError, QueryRequest, Snapshot};
+use ssq_core::{DistanceScratch, QueryContext, QueryStats};
+use ssq_engine::{BatchTicket, Engine, EngineConfig, EngineError, QueryRequest, Snapshot};
 use ssq_geom::{Point, Rect};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -200,6 +205,10 @@ pub struct ShardedEngine {
     fleet: Mutex<Arc<Fleet>>,
     /// Serializes reindex calls so generation numbers stay monotone.
     reindex_lock: Mutex<()>,
+    /// The router's merge arena: cross-shard candidate filtering runs
+    /// through one warm [`DistanceScratch`] instead of allocating a
+    /// distance vector per candidate per query.
+    merge_scratch: Mutex<DistanceScratch>,
     policy: PartitionPolicy,
     metrics: ShardMetrics,
     timeout: Option<Duration>,
@@ -245,6 +254,7 @@ impl ShardedEngine {
                 views,
             })),
             reindex_lock: Mutex::new(()),
+            merge_scratch: Mutex::new(DistanceScratch::new()),
             policy: config.policy,
             metrics: ShardMetrics::new(),
             timeout: config.shard_timeout,
@@ -403,8 +413,11 @@ impl ShardedEngine {
             candidates.extend(remap(&fleet.views[i], &response.skyline));
         }
 
-        // Merge to the exact global skyline.
-        let skyline = merge_candidates(&ctx, &candidates, &mut stats);
+        // Merge to the exact global skyline through the warm arena.
+        let skyline = {
+            let mut scratch = self.merge_scratch.lock().unwrap();
+            merge_candidates_with(&ctx, &candidates, &mut stats, &mut scratch)
+        };
         let latency = start.elapsed();
         self.metrics.record_query(
             queried as u64,
@@ -422,6 +435,148 @@ impl ShardedEngine {
         })
     }
 
+    /// Routes a batch of queries through one pinned fleet view, fanning
+    /// whole batches out shard-wise.
+    ///
+    /// The answer of each query is exactly what [`query`](Self::query)
+    /// would return for it, but the work is amortized: each shard engine
+    /// sees at most **two** batch submissions for the whole batch (one
+    /// carrying every query it is the primary shard of — the seeds — and
+    /// one carrying every query its bound could not rule out), so queue
+    /// hops, snapshot pins, and cache probes are paid per batch-per-shard
+    /// instead of per query. Pruning stays per-query and per-shard, driven
+    /// by each query's own seed skyline, so it is exactly as aggressive as
+    /// in the single-query path.
+    pub fn query_batch(&self, queries: &[Vec<Point>]) -> Result<Vec<ShardedResponse>, ShardError> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let start = Instant::now();
+        let fleet = self.current_fleet();
+        let shards = fleet.views.len();
+        let ctxs: Vec<QueryContext> = queries.iter().map(|q| QueryContext::new(q)).collect();
+        let mut stats: Vec<QueryStats> = vec![QueryStats::default(); queries.len()];
+
+        // Per-query lower-bound vectors and primary shard.
+        let mut bounds: Vec<Vec<Vec<f64>>> = Vec::with_capacity(queries.len());
+        let mut primaries: Vec<usize> = Vec::with_capacity(queries.len());
+        for ctx in &ctxs {
+            let b: Vec<Vec<f64>> = fleet
+                .views
+                .iter()
+                .map(|v| rect_lower_bounds(&v.rect, ctx.anchors()))
+                .collect();
+            let primary = (0..shards)
+                .min_by(|&i, &j| {
+                    let (si, sj) = (b[i].iter().sum::<f64>(), b[j].iter().sum::<f64>());
+                    si.total_cmp(&sj)
+                })
+                .expect("at least one shard");
+            bounds.push(b);
+            primaries.push(primary);
+        }
+
+        // Seed phase: one batch per distinct primary shard.
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); shards];
+        for (qi, &p) in primaries.iter().enumerate() {
+            members[p].push(qi);
+        }
+        let mut candidates: Vec<Vec<(u32, Point)>> = vec![Vec::new(); queries.len()];
+        for (shard, responses) in self.fan_batches(&fleet, queries, &members)? {
+            for (&qi, resp) in members[shard].iter().zip(responses) {
+                stats[qi].absorb(&resp.stats);
+                candidates[qi] = remap(&fleet.views[shard], &resp.skyline);
+            }
+        }
+
+        // Prune per query, then one batch per remaining shard.
+        let mut fanout: Vec<Vec<usize>> = vec![Vec::new(); shards];
+        let mut pruned: Vec<usize> = vec![0; queries.len()];
+        for (qi, ctx) in ctxs.iter().enumerate() {
+            let seed_vectors: Vec<Vec<f64>> = candidates[qi]
+                .iter()
+                .map(|&(_, p)| ctx.dist_vector(p, &mut stats[qi]))
+                .collect();
+            for shard in 0..shards {
+                if shard == primaries[qi] {
+                    continue;
+                }
+                let skip = self.prune
+                    && seed_vectors
+                        .iter()
+                        .any(|v| dominates_rect(v, &bounds[qi][shard]));
+                if skip {
+                    pruned[qi] += 1;
+                } else {
+                    fanout[shard].push(qi);
+                }
+            }
+        }
+        let mut queried: Vec<usize> = vec![1; queries.len()];
+        for (shard, responses) in self.fan_batches(&fleet, queries, &fanout)? {
+            for (&qi, resp) in fanout[shard].iter().zip(responses) {
+                queried[qi] += 1;
+                stats[qi].absorb(&resp.stats);
+                candidates[qi].extend(remap(&fleet.views[shard], &resp.skyline));
+            }
+        }
+
+        // Merge every query through the same warm arena.
+        let mut scratch = self.merge_scratch.lock().unwrap();
+        let mut out = Vec::with_capacity(queries.len());
+        for (qi, ctx) in ctxs.iter().enumerate() {
+            let skyline = merge_candidates_with(ctx, &candidates[qi], &mut stats[qi], &mut scratch);
+            let latency = start.elapsed();
+            self.metrics.record_query(
+                queried[qi] as u64,
+                pruned[qi] as u64,
+                candidates[qi].len() as u64,
+                latency,
+            );
+            out.push(ShardedResponse {
+                skyline,
+                generation: fleet.generation,
+                shards_queried: queried[qi],
+                shards_pruned: pruned[qi],
+                latency,
+                stats: stats[qi],
+            });
+        }
+        Ok(out)
+    }
+
+    /// Submits one [`Engine::submit_batch_on`] per shard with a nonempty
+    /// member list and waits for them all, returning each shard's
+    /// responses in member order. Submission happens before any wait so
+    /// the shards run concurrently.
+    fn fan_batches(
+        &self,
+        fleet: &Fleet,
+        queries: &[Vec<Point>],
+        members: &[Vec<usize>],
+    ) -> Result<Vec<(usize, Vec<ssq_engine::QueryResponse>)>, ShardError> {
+        let tickets: Vec<(usize, BatchTicket)> = members
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| !m.is_empty())
+            .map(|(shard, m)| {
+                let requests = m
+                    .iter()
+                    .map(|&qi| QueryRequest::new(queries[qi].clone()))
+                    .collect();
+                (
+                    shard,
+                    self.engines[shard]
+                        .submit_batch_on(requests, Arc::clone(&fleet.views[shard].snapshot)),
+                )
+            })
+            .collect();
+        tickets
+            .into_iter()
+            .map(|(shard, ticket)| Ok((shard, self.wait_batch(shard, ticket)?)))
+            .collect()
+    }
+
     fn wait_shard(
         &self,
         shard: usize,
@@ -430,6 +585,19 @@ impl ShardedEngine {
         match self.timeout {
             None => Ok(handle.wait()),
             Some(t) => handle
+                .wait_timeout(t)
+                .map_err(|_| ShardError::Timeout { shard }),
+        }
+    }
+
+    fn wait_batch(
+        &self,
+        shard: usize,
+        ticket: BatchTicket,
+    ) -> Result<Vec<ssq_engine::QueryResponse>, ShardError> {
+        match self.timeout {
+            None => Ok(ticket.wait()),
+            Some(t) => ticket
                 .wait_timeout(t)
                 .map_err(|_| ShardError::Timeout { shard }),
         }
@@ -550,6 +718,41 @@ mod tests {
             got.skyline,
             naive_full(&data, &QueryContext::new(&q)).skyline
         );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn batched_routing_matches_individual_routing() {
+        let data = cloud(500);
+        let config = ShardConfig::default()
+            .with_shards(5)
+            .with_engine(small_engines());
+        let engine = ShardedEngine::new(&data, config).unwrap();
+        let queries: Vec<Vec<Point>> = vec![
+            vec![Point::new(5.0, 5.0), Point::new(14.0, 8.0)],
+            vec![
+                Point::new(0.4, 0.3),
+                Point::new(1.2, 0.8),
+                Point::new(0.7, 1.5),
+            ],
+            vec![Point::new(9.0, 18.0)],
+            // A repeat of the first query: must still be answered exactly.
+            vec![Point::new(5.0, 5.0), Point::new(14.0, 8.0)],
+        ];
+        let batch = engine.query_batch(&queries).unwrap();
+        assert_eq!(batch.len(), queries.len());
+        for (q, got) in queries.iter().zip(&batch) {
+            let solo = engine.query(q).unwrap();
+            assert_eq!(got.skyline, solo.skyline);
+            assert_eq!(
+                got.skyline,
+                naive_full(&data, &QueryContext::new(q)).skyline
+            );
+            assert_eq!(got.shards_queried, solo.shards_queried);
+            assert_eq!(got.shards_pruned, solo.shards_pruned);
+            assert_eq!(got.generation, 0);
+        }
+        assert!(engine.query_batch(&[]).unwrap().is_empty());
         engine.shutdown();
     }
 

@@ -31,19 +31,15 @@
 /// Returns `true` when `a` dominates `b`: `a[i] <= b[i]` on every
 /// attribute and `a[j] < b[j]` on at least one (minimize semantics).
 ///
+/// Delegates to the shared early-exit kernel
+/// [`ssq_geom::kernel::dominates`], so the spatial and non-spatial halves
+/// of the codebase agree on one dominance implementation.
+///
 /// Panics in debug builds when the vectors' lengths differ.
+#[inline]
 pub fn dominates(a: &[f64], b: &[f64]) -> bool {
     debug_assert_eq!(a.len(), b.len(), "attribute arity mismatch");
-    let mut strictly = false;
-    for (&x, &y) in a.iter().zip(b) {
-        if x > y {
-            return false;
-        }
-        if x < y {
-            strictly = true;
-        }
-    }
-    strictly
+    ssq_geom::kernel::dominates(a, b)
 }
 
 /// The naive `O(n²)` skyline, used as the test oracle.
@@ -94,7 +90,7 @@ pub fn bnl(rows: &[Vec<f64>]) -> Vec<usize> {
 pub fn sfs(rows: &[Vec<f64>]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..rows.len()).collect();
     let score = |i: usize| rows[i].iter().sum::<f64>();
-    order.sort_by(|&a, &b| score(a).partial_cmp(&score(b)).expect("NaN attribute"));
+    order.sort_by(|&a, &b| score(a).total_cmp(&score(b)));
 
     let mut skyline: Vec<usize> = Vec::new();
     'next: for &i in &order {
@@ -118,7 +114,7 @@ pub fn divide_and_conquer(rows: &[Vec<f64>]) -> Vec<usize> {
     idx.sort_by(|&a, &b| {
         let ka = rows[a].first().copied().unwrap_or(0.0);
         let kb = rows[b].first().copied().unwrap_or(0.0);
-        ka.partial_cmp(&kb).expect("NaN attribute").then(a.cmp(&b))
+        ka.total_cmp(&kb).then(a.cmp(&b))
     });
     let mut result = dac(rows, &idx);
     result.sort_unstable();

@@ -23,4 +23,8 @@ cargo test --workspace -q
 echo "==> cargo doc (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
+echo "==> bench smoke (kernel hot path; fails on panics or non-finite numbers)"
+cargo run --release -p ssq-bench --bin throughput_scaling -- --smoke
+test -s BENCH_hotpath.json
+
 echo "==> ci.sh: all green"

@@ -93,13 +93,13 @@ fn forced_algorithms_agree_under_concurrency() {
     let mut rng = Xoshiro256::seed_from_u64(0xE5);
     for case in 0..12 {
         let q = random_query(&mut rng);
-        let handles = engine.submit_batch(
+        let ticket = engine.submit_batch(
             Algorithm::ALL
                 .iter()
                 .map(|&a| QueryRequest::forced(q.clone(), a))
                 .collect(),
         );
-        let skylines: Vec<Vec<u32>> = handles.into_iter().map(|h| h.wait().skyline).collect();
+        let skylines: Vec<Vec<u32>> = ticket.wait().into_iter().map(|r| r.skyline).collect();
         let want = naive_full(&data, &QueryContext::new(&q)).skyline;
         for (algo, sky) in Algorithm::ALL.iter().zip(&skylines) {
             assert_eq!(sky, &want, "case {case}: {algo} diverged");
