@@ -1,0 +1,72 @@
+//! `ssq-analyze`: repo-invariant static analysis for the
+//! spatial-skyline workspace.
+//!
+//! A std-only, dependency-free lint pass. It does not replace clippy;
+//! it enforces the handful of *repo-specific* conventions the
+//! concurrent serving stack (PRs 1–4) relies on but which no general
+//! tool checks:
+//!
+//! | rule | what it enforces |
+//! |------|------------------|
+//! | `float-cmp` | no `partial_cmp(..).unwrap()/.expect(..)` — use `total_cmp` |
+//! | `shared-cell` | no `RefCell`/`UnsafeCell`/`cell::Cell`/`static mut` in snapshot/shared-state modules |
+//! | `deny-alloc` | no allocating calls in functions annotated `// ssq-analyze: deny-alloc` |
+//! | `no-panic` | no `unwrap`/`expect`/`panic!`-family in non-test engine/shard library code |
+//! | `safety-comment` | every `unsafe` carries a nearby `// SAFETY:` comment |
+//!
+//! Suppress a finding with `// ssq-analyze: allow(<rule>): <reason>`
+//! on the offending line or the line above; the reason is mandatory.
+//!
+//! The binary (`cargo run -p ssq-analyze`) walks the workspace and
+//! exits 0 when clean, 1 on violations, 2 on an internal error
+//! (unreadable file, unlexable source). See `DESIGN.md` §12.
+
+#![deny(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(clippy::all)]
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{analyze_source, FileConfig, Rule, Violation};
+
+/// Returns the [`FileConfig`] the workspace gate applies to `path`
+/// (which may be absolute or repo-relative; matching is by path
+/// suffix/substring with `/`-normalized separators).
+///
+/// * `shared-cell` guards the snapshot/shared-state modules: the whole
+///   of `rtree` and `delaunay` (their structures are published inside
+///   immutable `Snapshot`s), the engine's snapshot types, and the
+///   core spatial index they wrap.
+/// * `no-panic` guards non-test library code of `engine` and `shard` —
+///   the crates whose public contract is typed errors.
+pub fn config_for_path(path: &str) -> FileConfig {
+    let p = path.replace('\\', "/");
+    let shared_cell = p.contains("crates/rtree/src/")
+        || p.contains("crates/delaunay/src/")
+        || p.ends_with("crates/engine/src/snapshot.rs")
+        || p.ends_with("crates/core/src/index.rs");
+    let no_panic = p.contains("crates/engine/src/") || p.contains("crates/shard/src/");
+    FileConfig {
+        shared_cell,
+        no_panic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_scoping_matches_the_documented_table() {
+        assert!(config_for_path("crates/rtree/src/tree.rs").shared_cell);
+        assert!(config_for_path("/root/repo/crates/delaunay/src/graph.rs").shared_cell);
+        assert!(config_for_path("crates/engine/src/snapshot.rs").shared_cell);
+        assert!(!config_for_path("crates/engine/src/engine.rs").shared_cell);
+
+        assert!(config_for_path("crates/engine/src/engine.rs").no_panic);
+        assert!(config_for_path("crates/shard/src/router.rs").no_panic);
+        assert!(!config_for_path("crates/engine/tests/lock_order.rs").no_panic);
+        assert!(!config_for_path("crates/geom/src/kernel.rs").no_panic);
+    }
+}

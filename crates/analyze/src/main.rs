@@ -1,0 +1,108 @@
+//! The `ssq-analyze` binary: walks the workspace's Rust sources and
+//! reports rule violations.
+//!
+//! Exit codes: 0 = clean, 1 = violations found, 2 = internal error
+//! (IO failure or a file the lexer cannot process).
+
+#![deny(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(clippy::all)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use ssq_analyze::{analyze_source, config_for_path, Violation};
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).map_or_else(
+        || {
+            // Default to the workspace root: the binary runs from
+            // anywhere inside the repo via `cargo run -p ssq-analyze`,
+            // which sets CARGO_MANIFEST_DIR to crates/analyze.
+            std::env::var("CARGO_MANIFEST_DIR").map_or_else(
+                |_| PathBuf::from("."),
+                |dir| PathBuf::from(dir).join("../.."),
+            )
+        },
+        PathBuf::from,
+    );
+
+    let mut files = Vec::new();
+    if let Err(err) = collect_rust_files(&root, &mut files) {
+        eprintln!(
+            "ssq-analyze: internal error walking {}: {err}",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    files.sort();
+
+    let mut total = 0usize;
+    for file in &files {
+        let display = relative_display(&root, file);
+        let src = match std::fs::read_to_string(file) {
+            Ok(src) => src,
+            Err(err) => {
+                eprintln!("ssq-analyze: internal error reading {display}: {err}");
+                return ExitCode::from(2);
+            }
+        };
+        let config = config_for_path(&display);
+        match analyze_source(&src, config) {
+            Ok(violations) => {
+                for Violation {
+                    rule,
+                    line,
+                    message,
+                } in &violations
+                {
+                    println!("{display}:{line}: [{}] {message}", rule.name());
+                }
+                total += violations.len();
+            }
+            Err(err) => {
+                eprintln!("ssq-analyze: internal error lexing {display}: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if total > 0 {
+        println!(
+            "ssq-analyze: {total} violation(s) in {} file(s) checked",
+            files.len()
+        );
+        ExitCode::from(1)
+    } else {
+        println!("ssq-analyze: clean ({} files checked)", files.len());
+        ExitCode::SUCCESS
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping build output,
+/// VCS metadata, and the analyzer's own rule fixtures (which violate
+/// the rules on purpose).
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if entry.file_type()?.is_dir() {
+            if name == "target" || name == ".git" || name == "fixtures" {
+                continue;
+            }
+            collect_rust_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Renders `file` relative to `root` with `/` separators for stable,
+/// clickable report lines.
+fn relative_display(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.to_string_lossy().replace('\\', "/")
+}

@@ -1,0 +1,645 @@
+//! The rule engine: token-pattern scans over a [`lexed`](crate::lexer)
+//! file.
+//!
+//! Five rules, mirroring the conventions PRs 1–4 established by hand:
+//!
+//! * **float-cmp (R1)** — `partial_cmp(..).unwrap()` /
+//!   `partial_cmp(..).expect(..)` is banned; floats must use
+//!   `total_cmp`. A `partial_cmp` whose result is handled (matched,
+//!   `?`-propagated, mapped) is fine; only the NaN-panicking tail call
+//!   is flagged.
+//! * **shared-cell (R2)** — snapshot/shared-state modules must not
+//!   smuggle interior mutability past `Sync`: `RefCell`, `UnsafeCell`,
+//!   the `cell::Cell` path, and `static mut` are banned in configured
+//!   files. A bare `Cell` identifier is *not* matched — the engine has
+//!   its own `Cell` ticket type that is a `Mutex` + `Condvar` pair.
+//! * **deny-alloc (R3)** — inside a function annotated with a
+//!   `// ssq-analyze: deny-alloc` comment, allocating calls are banned.
+//!   These are the kernel cores whose alloc-freedom `zero_alloc.rs`
+//!   proves at runtime; the annotation keeps them that way at review
+//!   time.
+//! * **no-panic (R4)** — non-test `engine`/`shard` library code must
+//!   not `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/
+//!   `unimplemented!`; failures must surface as typed errors.
+//!   `assert!`/`debug_assert!` remain allowed as invariant
+//!   documentation, and `#[cfg(test)] mod` blocks are skipped.
+//! * **safety-comment (R5)** — every `unsafe` keyword (block, fn,
+//!   impl) must carry a `// SAFETY:` comment on the same line or
+//!   within the three lines above it.
+//!
+//! Any violation can be suppressed with
+//! `// ssq-analyze: allow(<rule>): <reason>` on the same line or the
+//! line above; the reason is mandatory, and a directive without one is
+//! itself reported.
+
+use crate::lexer::{lex, LexError, Token, TokenKind};
+
+/// The rule a [`Violation`] belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rule {
+    /// R1: `partial_cmp(..).unwrap()/.expect(..)` on floats.
+    FloatCmp,
+    /// R2: interior mutability in snapshot/shared-state modules.
+    SharedCell,
+    /// R3: allocation inside a `deny-alloc` annotated function.
+    DenyAlloc,
+    /// R4: panicking calls in non-test engine/shard library code.
+    NoPanic,
+    /// R5: `unsafe` without a `// SAFETY:` comment.
+    SafetyComment,
+    /// A malformed `ssq-analyze:` directive (unknown rule name or
+    /// missing reason).
+    BadDirective,
+}
+
+impl Rule {
+    /// The kebab-case name used in reports and allow directives.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::FloatCmp => "float-cmp",
+            Rule::SharedCell => "shared-cell",
+            Rule::DenyAlloc => "deny-alloc",
+            Rule::NoPanic => "no-panic",
+            Rule::SafetyComment => "safety-comment",
+            Rule::BadDirective => "bad-directive",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Rule> {
+        match name {
+            "float-cmp" => Some(Rule::FloatCmp),
+            "shared-cell" => Some(Rule::SharedCell),
+            "deny-alloc" => Some(Rule::DenyAlloc),
+            "no-panic" => Some(Rule::NoPanic),
+            "safety-comment" => Some(Rule::SafetyComment),
+            _ => None,
+        }
+    }
+}
+
+/// One rule violation in one file.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// The violated rule.
+    pub rule: Rule,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description with the expected fix.
+    pub message: String,
+}
+
+/// Which path-scoped rules apply to the file being analyzed.
+/// `float-cmp`, `deny-alloc`, and `safety-comment` always apply.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FileConfig {
+    /// Apply R2 (file is a snapshot/shared-state module).
+    pub shared_cell: bool,
+    /// Apply R4 (file is non-test engine/shard library code).
+    pub no_panic: bool,
+}
+
+/// Analyzes one source file. Returns the surviving (non-suppressed)
+/// violations, or a [`LexError`] when the file cannot be lexed — the
+/// caller maps that to the internal-error exit code.
+pub fn analyze_source(src: &str, config: FileConfig) -> Result<Vec<Violation>, LexError> {
+    let lexed = lex(src)?;
+    let tokens = &lexed.tokens;
+
+    let test_regions = test_mod_regions(tokens);
+    let in_test = |idx: usize| test_regions.iter().any(|&(s, e)| idx >= s && idx <= e);
+
+    let mut violations = Vec::new();
+    let mut allows: Vec<(Rule, u32)> = Vec::new();
+
+    // Pass 0: directives. Allow directives are collected; deny-alloc
+    // markers become function-body regions; malformed directives are
+    // violations in their own right.
+    let mut alloc_regions: Vec<(usize, usize)> = Vec::new();
+    for comment in &lexed.comments {
+        let text = comment.text.trim();
+        let Some(rest) = text.strip_prefix("ssq-analyze:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        if rest == "deny-alloc" {
+            if let Some(region) = fn_body_after(tokens, comment.line) {
+                alloc_regions.push(region);
+            } else {
+                violations.push(Violation {
+                    rule: Rule::BadDirective,
+                    line: comment.line,
+                    message: "`deny-alloc` directive is not followed by a function".into(),
+                });
+            }
+        } else if let Some(args) = rest.strip_prefix("allow(") {
+            match parse_allow(args) {
+                Some(rule) => allows.push((rule, comment.line)),
+                None => violations.push(Violation {
+                    rule: Rule::BadDirective,
+                    line: comment.line,
+                    message: format!(
+                        "malformed allow directive `{text}`: expected \
+                         `ssq-analyze: allow(<rule>): <reason>` with a known rule \
+                         and a non-empty reason"
+                    ),
+                }),
+            }
+        } else {
+            violations.push(Violation {
+                rule: Rule::BadDirective,
+                line: comment.line,
+                message: format!("unknown ssq-analyze directive `{text}`"),
+            });
+        }
+    }
+    let in_alloc_region = |idx: usize| alloc_regions.iter().any(|&(s, e)| idx >= s && idx <= e);
+
+    // Pass 1: token-pattern rules.
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        match tok.text.as_str() {
+            // R1 — everywhere, tests included: a NaN-unwrap is equally
+            // wrong in a test oracle.
+            "partial_cmp" => {
+                // `fn partial_cmp(` is the Ord/PartialOrd impl itself.
+                if i > 0 && tokens[i - 1].is_ident("fn") {
+                    continue;
+                }
+                let Some(close) = match_paren(tokens, i + 1) else {
+                    continue;
+                };
+                if let (Some(dot), Some(call)) = (tokens.get(close + 1), tokens.get(close + 2)) {
+                    if dot.is_punct('.') && (call.is_ident("unwrap") || call.is_ident("expect")) {
+                        violations.push(Violation {
+                            rule: Rule::FloatCmp,
+                            line: tok.line,
+                            message: format!(
+                                "`partial_cmp(..).{}(..)` panics on NaN; use `total_cmp`",
+                                call.text
+                            ),
+                        });
+                    }
+                }
+            }
+            // R2 — configured shared-state modules only.
+            "RefCell" | "UnsafeCell" if config.shared_cell => {
+                violations.push(Violation {
+                    rule: Rule::SharedCell,
+                    line: tok.line,
+                    message: format!(
+                        "`{}` in a snapshot/shared-state module; snapshots must be \
+                         immutable after publication",
+                        tok.text
+                    ),
+                });
+            }
+            // The `cell::Cell` path (e.g. `std::cell::Cell`). A bare
+            // `Cell` ident is deliberately not matched: the engine's
+            // ticket `Cell` is Mutex-backed.
+            "cell"
+                if config.shared_cell
+                    && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                    && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                    && tokens.get(i + 3).is_some_and(|t| t.is_ident("Cell")) =>
+            {
+                violations.push(Violation {
+                    rule: Rule::SharedCell,
+                    line: tok.line,
+                    message: "`cell::Cell` in a snapshot/shared-state module; \
+                              snapshots must be immutable after publication"
+                        .into(),
+                });
+            }
+            "static"
+                if config.shared_cell && tokens.get(i + 1).is_some_and(|t| t.is_ident("mut")) =>
+            {
+                violations.push(Violation {
+                    rule: Rule::SharedCell,
+                    line: tok.line,
+                    message: "`static mut` in a snapshot/shared-state module".into(),
+                });
+            }
+            // R4 — engine/shard library code outside #[cfg(test)] mods.
+            "unwrap" | "expect" if config.no_panic && !in_test(i) => {
+                let preceded_by_dot = i > 0 && tokens[i - 1].is_punct('.');
+                let called = tokens.get(i + 1).is_some_and(|t| t.is_punct('('));
+                if preceded_by_dot && called {
+                    violations.push(Violation {
+                        rule: Rule::NoPanic,
+                        line: tok.line,
+                        message: format!(
+                            "`.{}(..)` in engine/shard library code; return a typed error",
+                            tok.text
+                        ),
+                    });
+                }
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented"
+                if config.no_panic
+                    && !in_test(i)
+                    && tokens.get(i + 1).is_some_and(|t| t.is_punct('!')) =>
+            {
+                violations.push(Violation {
+                    rule: Rule::NoPanic,
+                    line: tok.line,
+                    message: format!(
+                        "`{}!` in engine/shard library code; return a typed error",
+                        tok.text
+                    ),
+                });
+            }
+            // R5 — everywhere.
+            "unsafe" => {
+                let documented = lexed.comments.iter().any(|c| {
+                    c.text.contains("SAFETY:") && c.line <= tok.line && c.line + 3 >= tok.line
+                });
+                if !documented {
+                    violations.push(Violation {
+                        rule: Rule::SafetyComment,
+                        line: tok.line,
+                        message: "`unsafe` without a `// SAFETY:` comment on the same \
+                                  line or within the three lines above"
+                            .into(),
+                    });
+                }
+            }
+            _ => {}
+        }
+
+        // R3 — allocating calls inside deny-alloc function bodies.
+        if in_alloc_region(i) {
+            if let Some(banned) = alloc_call(tokens, i) {
+                violations.push(Violation {
+                    rule: Rule::DenyAlloc,
+                    line: tok.line,
+                    message: format!(
+                        "`{banned}` inside a `deny-alloc` function; these kernels must \
+                         stay allocation-free (see zero_alloc.rs)"
+                    ),
+                });
+            }
+        }
+    }
+
+    // Pass 2: apply suppressions. A directive covers its own line and
+    // the line below it (directive above the offending line, or
+    // trailing on the same line).
+    violations.retain(|v| {
+        v.rule == Rule::BadDirective
+            || !allows
+                .iter()
+                .any(|&(rule, line)| rule == v.rule && (line == v.line || line + 1 == v.line))
+    });
+    violations.sort_by_key(|v| v.line);
+    Ok(violations)
+}
+
+/// Parses the tail of an allow directive: `<rule>): <reason>`.
+fn parse_allow(args: &str) -> Option<Rule> {
+    let (name, rest) = args.split_once(')')?;
+    let rule = Rule::from_name(name.trim())?;
+    let reason = rest.trim().strip_prefix(':')?.trim();
+    if reason.is_empty() {
+        return None;
+    }
+    Some(rule)
+}
+
+/// If token `i` begins an allocating call, returns its display form.
+fn alloc_call(tokens: &[Token], i: usize) -> Option<&'static str> {
+    let tok = &tokens[i];
+    if tok.kind != TokenKind::Ident {
+        return None;
+    }
+    let next_is = |off: usize, c: char| tokens.get(i + off).is_some_and(|t| t.is_punct(c));
+    // `Type::name`, tolerating a turbofish: `Vec::<u8>::new`.
+    let path_to = |name: &str| {
+        if !(next_is(1, ':') && next_is(2, ':')) {
+            return false;
+        }
+        let mut j = i + 3;
+        if tokens.get(j).is_some_and(|t| t.is_punct('<')) {
+            let mut depth = 0i32;
+            while let Some(tok) = tokens.get(j) {
+                if tok.is_punct('<') {
+                    depth += 1;
+                } else if tok.is_punct('>') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            j += 1;
+            if !(tokens.get(j).is_some_and(|t| t.is_punct(':'))
+                && tokens.get(j + 1).is_some_and(|t| t.is_punct(':')))
+            {
+                return false;
+            }
+            j += 2;
+        }
+        tokens.get(j).is_some_and(|t| t.is_ident(name))
+    };
+    match tok.text.as_str() {
+        "vec" if next_is(1, '!') => Some("vec![..]"),
+        "format" if next_is(1, '!') => Some("format!(..)"),
+        "Vec" if path_to("new") => Some("Vec::new()"),
+        "Vec" if path_to("with_capacity") => Some("Vec::with_capacity(..)"),
+        "Box" if path_to("new") => Some("Box::new(..)"),
+        "String" if path_to("new") => Some("String::new()"),
+        "String" if path_to("from") => Some("String::from(..)"),
+        "to_vec" if i > 0 && tokens[i - 1].is_punct('.') && next_is(1, '(') => Some(".to_vec()"),
+        "collect" if i > 0 && tokens[i - 1].is_punct('.') => Some(".collect()"),
+        "to_owned" if i > 0 && tokens[i - 1].is_punct('.') && next_is(1, '(') => {
+            Some(".to_owned()")
+        }
+        "to_string" if i > 0 && tokens[i - 1].is_punct('.') && next_is(1, '(') => {
+            Some(".to_string()")
+        }
+        _ => None,
+    }
+}
+
+/// Given the index of an opening `(`, returns the index of its matching
+/// `)`, or `None` if `open` is not a `(` / the file is unbalanced.
+fn match_paren(tokens: &[Token], open: usize) -> Option<usize> {
+    if !tokens.get(open)?.is_punct('(') {
+        return None;
+    }
+    let mut depth = 0i32;
+    for (j, tok) in tokens.iter().enumerate().skip(open) {
+        if tok.is_punct('(') {
+            depth += 1;
+        } else if tok.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Given the index of an opening `{`, returns the index of its matching
+/// `}`.
+fn match_brace(tokens: &[Token], open: usize) -> Option<usize> {
+    if !tokens.get(open)?.is_punct('{') {
+        return None;
+    }
+    let mut depth = 0i32;
+    for (j, tok) in tokens.iter().enumerate().skip(open) {
+        if tok.is_punct('{') {
+            depth += 1;
+        } else if tok.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Token-index ranges of `#[cfg(test)] mod … { … }` bodies.
+fn test_mod_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // `#` `[` `cfg` `(` … test … `)` `]`
+        if tokens[i].is_punct('#')
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+            && tokens.get(i + 2).is_some_and(|t| t.is_ident("cfg"))
+            && tokens.get(i + 3).is_some_and(|t| t.is_punct('('))
+        {
+            let Some(close) = match_paren(tokens, i + 3) else {
+                i += 1;
+                continue;
+            };
+            let mentions_test = tokens[i + 4..close].iter().any(|t| t.is_ident("test"));
+            if mentions_test {
+                // Skip the `]`, an optional visibility, and require `mod`.
+                let mut j = close + 1;
+                while j < tokens.len()
+                    && (tokens[j].is_punct(']')
+                        || tokens[j].is_ident("pub")
+                        || tokens[j].is_punct('(')
+                        || tokens[j].is_ident("crate")
+                        || tokens[j].is_punct(')'))
+                {
+                    j += 1;
+                }
+                if tokens.get(j).is_some_and(|t| t.is_ident("mod")) {
+                    let mut k = j;
+                    while k < tokens.len() && !tokens[k].is_punct('{') {
+                        // `mod tests;` declares an out-of-line module.
+                        if tokens[k].is_punct(';') {
+                            break;
+                        }
+                        k += 1;
+                    }
+                    if let Some(end) = match_brace(tokens, k) {
+                        regions.push((k, end));
+                        i = k + 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// Token-index range of the body of the first `fn` at or below
+/// `after_line` — the function a `deny-alloc` comment annotates.
+/// Attributes (`#[inline]`) between the comment and the `fn` are fine.
+fn fn_body_after(tokens: &[Token], after_line: u32) -> Option<(usize, usize)> {
+    let fn_idx = tokens
+        .iter()
+        .position(|t| t.line >= after_line && t.is_ident("fn"))?;
+    let mut open = fn_idx;
+    while open < tokens.len() && !tokens[open].is_punct('{') {
+        if tokens[open].is_punct(';') {
+            return None; // trait method signature, no body
+        }
+        open += 1;
+    }
+    let close = match_brace(tokens, open)?;
+    Some((open, close))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str, config: FileConfig) -> Vec<Violation> {
+        analyze_source(src, config).expect("fixture lexes")
+    }
+
+    #[test]
+    fn r1_flags_partial_cmp_unwrap_and_expect() {
+        let v = run(
+            "fn f(a: f64, b: f64) { a.partial_cmp(&b).unwrap(); }",
+            FileConfig::default(),
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::FloatCmp);
+
+        let v = run(
+            "fn f(a: f64, b: f64) { a.partial_cmp(&b).expect(\"nan\"); }",
+            FileConfig::default(),
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn r1_allows_handled_partial_cmp_and_trait_impls() {
+        let ok =
+            "fn f(a: f64, b: f64) { a.partial_cmp(&b).unwrap_or(core::cmp::Ordering::Equal); }\n\
+                  fn partial_cmp(x: &X, y: &X) -> Option<core::cmp::Ordering> { None }\n\
+                  fn g(a: f64, b: f64) { a.total_cmp(&b); }";
+        assert!(run(ok, FileConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn r2_flags_refcell_path_cell_and_static_mut_only_when_configured() {
+        let bad =
+            "use std::cell::RefCell;\nstatic mut COUNTER: u32 = 0;\ntype T = std::cell::Cell<u8>;";
+        let shared = FileConfig {
+            shared_cell: true,
+            ..FileConfig::default()
+        };
+        let v = run(bad, shared);
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == Rule::SharedCell));
+        assert!(run(bad, FileConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn r2_does_not_flag_a_custom_cell_type() {
+        let ok = "struct Cell<T> { slot: Mutex<Option<T>> }\nfn f() { let c: Cell<u8> = todo(); }";
+        let shared = FileConfig {
+            shared_cell: true,
+            ..FileConfig::default()
+        };
+        assert!(run(ok, shared).is_empty());
+    }
+
+    #[test]
+    fn r3_flags_allocation_only_inside_annotated_fns() {
+        let src = "\
+// ssq-analyze: deny-alloc
+fn hot(xs: &[f64]) -> f64 { let v = vec![1.0]; v.iter().sum() }
+fn cold() -> Vec<f64> { Vec::new() }";
+        let v = run(src, FileConfig::default());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::DenyAlloc);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn r3_catches_the_full_ban_list() {
+        for call in [
+            "vec![0u8; 4]",
+            "Vec::<u8>::new()",
+            "Vec::with_capacity(4)",
+            "Box::new(4)",
+            "String::from(\"x\")",
+            "String::new()",
+            "xs.to_vec()",
+            "xs.iter().collect::<Vec<_>>()",
+            "s.to_owned()",
+            "n.to_string()",
+            "format!(\"{n}\")",
+        ] {
+            let src = format!("// ssq-analyze: deny-alloc\nfn hot() {{ let _ = {call}; }}");
+            let v = run(&src, FileConfig::default());
+            assert!(!v.is_empty(), "expected violation for `{call}`");
+        }
+    }
+
+    #[test]
+    fn r4_flags_panics_outside_tests_when_configured() {
+        let src = "\
+fn f(x: Option<u8>) -> u8 { x.unwrap() }
+fn g() { panic!(\"boom\") }
+#[cfg(test)]
+mod tests {
+    fn t(x: Option<u8>) -> u8 { x.unwrap() }
+}";
+        let np = FileConfig {
+            no_panic: true,
+            ..FileConfig::default()
+        };
+        let v = run(src, np);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == Rule::NoPanic));
+        assert!(run(src, FileConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn r4_allows_unwrap_or_else_and_asserts() {
+        let ok = "fn f(m: &Mutex<u8>) -> u8 { *m.lock().unwrap_or_else(|e| e.into_inner()) }\n\
+                  fn g(n: usize) { assert!(n > 0, \"n must be positive\"); debug_assert!(n < 10); }";
+        let np = FileConfig {
+            no_panic: true,
+            ..FileConfig::default()
+        };
+        assert!(run(ok, np).is_empty());
+    }
+
+    #[test]
+    fn r5_requires_safety_comment_near_unsafe() {
+        let bad = "fn f(p: *const u8) -> u8 { unsafe { *p } }";
+        let v = run(bad, FileConfig::default());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::SafetyComment);
+
+        let ok = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid\n    unsafe { *p }\n}";
+        assert!(run(ok, FileConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn r5_comment_must_be_close() {
+        let far = "// SAFETY: too far away\n\n\n\n\nfn f(p: *const u8) -> u8 { unsafe { *p } }";
+        assert_eq!(run(far, FileConfig::default()).len(), 1);
+    }
+
+    #[test]
+    fn violations_in_strings_and_comments_are_ignored() {
+        let ok = "// example: a.partial_cmp(&b).unwrap() is banned\n\
+                  fn f() -> &'static str { \"x.partial_cmp(&y).unwrap()\" }";
+        assert!(run(ok, FileConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn allow_directive_suppresses_with_reason() {
+        let src = "\
+// ssq-analyze: allow(safety-comment): documented at the module level
+fn f(p: *const u8) -> u8 { unsafe { *p } }";
+        assert!(run(src, FileConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn allow_directive_without_reason_is_reported() {
+        let src = "\
+// ssq-analyze: allow(safety-comment):
+fn f(p: *const u8) -> u8 { unsafe { *p } }";
+        let v = run(src, FileConfig::default());
+        assert!(v.iter().any(|v| v.rule == Rule::BadDirective), "{v:?}");
+        assert!(v.iter().any(|v| v.rule == Rule::SafetyComment), "{v:?}");
+    }
+
+    #[test]
+    fn unknown_directive_is_reported() {
+        let v = run(
+            "// ssq-analyze: frobnicate\nfn f() {}",
+            FileConfig::default(),
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::BadDirective);
+    }
+}

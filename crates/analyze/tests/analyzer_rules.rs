@@ -1,0 +1,130 @@
+//! Integration tests: every rule R1–R5 is demonstrated by a fixture
+//! file that must trigger it and a companion that must not.
+//!
+//! Fixtures live in `tests/fixtures/` and are lexed, not compiled; the
+//! workspace gate's file walker skips that directory so the
+//! deliberately-bad files never fail CI themselves.
+
+use ssq_analyze::{analyze_source, config_for_path, FileConfig, Rule, Violation};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+}
+
+fn run(name: &str, config: FileConfig) -> Vec<Violation> {
+    analyze_source(&fixture(name), config).unwrap_or_else(|e| panic!("lexing {name}: {e}"))
+}
+
+fn assert_only_rule(violations: &[Violation], rule: Rule) {
+    assert!(
+        !violations.is_empty(),
+        "expected at least one {} violation",
+        rule.name()
+    );
+    for v in violations {
+        assert_eq!(v.rule, rule, "unexpected violation: {v:?}");
+    }
+}
+
+#[test]
+fn r1_float_cmp_fixture_fails() {
+    let v = run("float_cmp_bad.rs", FileConfig::default());
+    assert_only_rule(&v, Rule::FloatCmp);
+    assert_eq!(v.len(), 2, "both the unwrap and the expect site: {v:?}");
+}
+
+#[test]
+fn r1_float_cmp_clean_fixture_passes() {
+    assert!(run("float_cmp_good.rs", FileConfig::default()).is_empty());
+}
+
+#[test]
+fn r2_shared_cell_fixture_fails() {
+    let config = FileConfig {
+        shared_cell: true,
+        ..FileConfig::default()
+    };
+    let v = run("shared_cell_bad.rs", config);
+    assert_only_rule(&v, Rule::SharedCell);
+    assert_eq!(
+        v.len(),
+        5,
+        "RefCell x2, static mut, cell::Cell, UnsafeCell: {v:?}"
+    );
+}
+
+#[test]
+fn r2_shared_cell_clean_fixture_passes() {
+    let config = FileConfig {
+        shared_cell: true,
+        ..FileConfig::default()
+    };
+    assert!(run("shared_cell_good.rs", config).is_empty());
+}
+
+#[test]
+fn r2_is_path_scoped() {
+    // The same bad file passes when not configured as a shared-state
+    // module — the rule is scoped, not global.
+    assert!(run("shared_cell_bad.rs", FileConfig::default()).is_empty());
+}
+
+#[test]
+fn r3_deny_alloc_fixture_fails() {
+    let v = run("deny_alloc_bad.rs", FileConfig::default());
+    assert_only_rule(&v, Rule::DenyAlloc);
+    assert_eq!(v.len(), 3, "to_vec, collect, format!: {v:?}");
+}
+
+#[test]
+fn r3_deny_alloc_clean_fixture_passes() {
+    assert!(run("deny_alloc_good.rs", FileConfig::default()).is_empty());
+}
+
+#[test]
+fn r4_no_panic_fixture_fails() {
+    let config = FileConfig {
+        no_panic: true,
+        ..FileConfig::default()
+    };
+    let v = run("no_panic_bad.rs", config);
+    assert_only_rule(&v, Rule::NoPanic);
+    assert_eq!(v.len(), 4, "unwrap, expect, unreachable!, panic!: {v:?}");
+}
+
+#[test]
+fn r4_no_panic_clean_fixture_passes() {
+    let config = FileConfig {
+        no_panic: true,
+        ..FileConfig::default()
+    };
+    assert!(run("no_panic_good.rs", config).is_empty());
+}
+
+#[test]
+fn r4_is_path_scoped() {
+    assert!(run("no_panic_bad.rs", FileConfig::default()).is_empty());
+}
+
+#[test]
+fn r5_safety_comment_fixture_fails() {
+    let v = run("safety_comment_bad.rs", FileConfig::default());
+    assert_only_rule(&v, Rule::SafetyComment);
+    assert_eq!(v.len(), 3, "unsafe fn + two unsafe blocks: {v:?}");
+}
+
+#[test]
+fn r5_safety_comment_clean_fixture_passes() {
+    assert!(run("safety_comment_good.rs", FileConfig::default()).is_empty());
+}
+
+#[test]
+fn workspace_config_routes_fixture_style_paths() {
+    // Sanity-check the binary's path scoping against the same rules the
+    // fixtures exercise.
+    assert!(config_for_path("crates/engine/src/engine.rs").no_panic);
+    assert!(!config_for_path("crates/engine/src/engine.rs").shared_cell);
+    assert!(config_for_path("crates/rtree/src/tree.rs").shared_cell);
+    assert!(!config_for_path("crates/analyze/src/rules.rs").no_panic);
+}

@@ -1,0 +1,15 @@
+// Fixture: MUST trigger `deny-alloc`. Not compiled; lexed only.
+
+// ssq-analyze: deny-alloc
+fn dist_row(qs: &[f64], out: &mut [f64]) -> Vec<f64> {
+    let copy = qs.to_vec();
+    let doubled: Vec<f64> = copy.iter().map(|x| x * 2.0).collect();
+    out.copy_from_slice(&doubled);
+    doubled
+}
+
+// ssq-analyze: deny-alloc
+#[inline]
+fn label(n: usize) -> String {
+    format!("row-{n}")
+}

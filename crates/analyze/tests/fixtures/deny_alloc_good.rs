@@ -1,0 +1,13 @@
+// Fixture: must NOT trigger `deny-alloc`. Not compiled; lexed only.
+
+// ssq-analyze: deny-alloc
+fn dist_row(qs: &[f64], out: &mut [f64]) {
+    for (slot, q) in out.iter_mut().zip(qs) {
+        *slot = q * q;
+    }
+}
+
+// Unannotated functions may allocate freely.
+fn build_rows(n: usize) -> Vec<Vec<f64>> {
+    (0..n).map(|_| Vec::with_capacity(8)).collect()
+}

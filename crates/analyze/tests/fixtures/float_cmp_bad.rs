@@ -1,0 +1,13 @@
+// Fixture: MUST trigger `float-cmp`. Not compiled; lexed only.
+
+fn sort_by_distance(mut xs: Vec<(u64, f64)>) -> Vec<(u64, f64)> {
+    xs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    xs
+}
+
+fn max_score(a: f64, b: f64) -> f64 {
+    match a.partial_cmp(&b).expect("scores are never NaN") {
+        std::cmp::Ordering::Less => b,
+        _ => a,
+    }
+}

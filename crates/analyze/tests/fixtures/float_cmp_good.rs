@@ -1,0 +1,20 @@
+// Fixture: must NOT trigger `float-cmp`. Not compiled; lexed only.
+
+fn sort_by_distance(mut xs: Vec<(u64, f64)>) -> Vec<(u64, f64)> {
+    xs.sort_by(|a, b| a.1.total_cmp(&b.1));
+    xs
+}
+
+// Handling the Option is fine; only the NaN-unwrapping tail is banned.
+fn max_score(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal)
+}
+
+struct Ranked(f64);
+
+impl PartialOrd for Ranked {
+    // A trait impl *defining* partial_cmp is not a call site.
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.0.total_cmp(&other.0))
+    }
+}

@@ -1,0 +1,21 @@
+// Fixture: MUST trigger `no-panic` (analyzed as engine/shard library
+// code). Not compiled; lexed only.
+
+fn current_generation(catalog: &Catalog) -> u64 {
+    catalog.current.lock().unwrap().generation
+}
+
+fn primary_shard(loads: &[usize]) -> usize {
+    loads.iter().copied().min().expect("at least one shard")
+}
+
+fn route(kind: QueryKind) -> Plan {
+    match kind {
+        QueryKind::Skyline => Plan::Fanout,
+        _ => unreachable!("planner rejects other kinds"),
+    }
+}
+
+fn reindex() {
+    panic!("not yet implemented");
+}

@@ -1,0 +1,31 @@
+// Fixture: must NOT trigger `no-panic` even when analyzed as
+// engine/shard library code. Not compiled; lexed only.
+
+fn current_generation(catalog: &Catalog) -> u64 {
+    // Poison recovery instead of unwrap: the protected state is a plain
+    // value, so a poisoned lock is still coherent.
+    catalog
+        .current
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .generation
+}
+
+fn primary_shard(loads: &[usize]) -> Result<usize, RouteError> {
+    let Some(min) = loads.iter().copied().min() else {
+        return Err(RouteError::NoShards);
+    };
+    assert!(min < loads.len(), "shard index in range");
+    Ok(min)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let xs = [1usize, 2];
+        assert_eq!(xs.iter().copied().min().unwrap(), 1);
+        let v: Option<u8> = None;
+        v.expect("test-only expect is fine");
+    }
+}

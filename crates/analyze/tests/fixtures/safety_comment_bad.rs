@@ -1,0 +1,9 @@
+// Fixture: MUST trigger `safety-comment`. Not compiled; lexed only.
+
+fn read_first(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+unsafe fn advance(p: *const u8, n: usize) -> *const u8 {
+    unsafe { p.add(n) }
+}

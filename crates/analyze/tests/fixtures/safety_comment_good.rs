@@ -1,0 +1,16 @@
+// Fixture: must NOT trigger `safety-comment`. Not compiled; lexed only.
+
+fn read_first(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` points to at least one initialized
+    // byte (checked by the bounds assertion upstream).
+    unsafe { *p }
+}
+
+/// # Safety
+///
+/// `p + n` must stay inside the same allocation.
+// SAFETY: delegating to pointer::add, whose contract is restated above.
+unsafe fn advance(p: *const u8, n: usize) -> *const u8 {
+    // SAFETY: same contract as the enclosing function.
+    unsafe { p.add(n) }
+}

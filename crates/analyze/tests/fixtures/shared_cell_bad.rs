@@ -1,0 +1,16 @@
+// Fixture: MUST trigger `shared-cell` (analyzed as a snapshot module).
+// Not compiled; lexed only.
+
+use std::cell::RefCell;
+
+struct NodeScratch {
+    visited: RefCell<Vec<usize>>,
+}
+
+static mut GLOBAL_EPOCH: u64 = 0;
+
+type HitCounter = std::cell::Cell<u64>;
+
+struct RacyIndex {
+    slots: std::cell::UnsafeCell<Vec<u64>>,
+}

@@ -1,0 +1,18 @@
+// Fixture: must NOT trigger `shared-cell` even when analyzed as a
+// snapshot module. Not compiled; lexed only.
+
+use std::sync::{Arc, Mutex};
+
+// A custom type named `Cell` is fine — the ban is on std interior
+// mutability (`cell::Cell` path, `RefCell`, `UnsafeCell`), not the
+// identifier.
+struct Cell<T> {
+    slot: Mutex<Option<T>>,
+}
+
+struct Snapshot {
+    generation: u64,
+    nodes: Arc<Vec<u64>>,
+}
+
+static EPOCH_NAMES: [&str; 2] = ["live", "draining"];

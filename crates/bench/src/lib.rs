@@ -10,6 +10,7 @@
 //! EXPERIMENTS.md.
 
 #![deny(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(clippy::all)]
 
 pub mod hotpath;

@@ -6,6 +6,7 @@
 //! `ssq --help` for usage.
 
 #![deny(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(clippy::all)]
 
 pub mod commands;

@@ -99,8 +99,7 @@ mod tests {
             let brute = (0..points.len() as u32)
                 .min_by(|&a, &b| {
                     aggregate_score(&ctx, points[a as usize], Aggregate::Sum)
-                        .partial_cmp(&aggregate_score(&ctx, points[b as usize], Aggregate::Sum))
-                        .unwrap()
+                        .total_cmp(&aggregate_score(&ctx, points[b as usize], Aggregate::Sum))
                 })
                 .unwrap();
             assert_eq!(
@@ -144,8 +143,7 @@ mod tests {
             .min_by(|&a, &b| {
                 points[a as usize]
                     .distance_sq(q[0])
-                    .partial_cmp(&points[b as usize].distance_sq(q[0]))
-                    .unwrap()
+                    .total_cmp(&points[b as usize].distance_sq(q[0]))
             })
             .unwrap();
         assert_eq!(ann, nn);

@@ -38,8 +38,7 @@ impl<T> Ord for Item<T> {
         // insertion order.
         other
             .key
-            .partial_cmp(&self.key)
-            .expect("NaN heap key")
+            .total_cmp(&self.key)
             .then(other.seq.cmp(&self.seq))
     }
 }

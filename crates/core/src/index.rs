@@ -304,8 +304,7 @@ mod tests {
             .min_by(|&a, &b| {
                 idx.point(a)
                     .distance_sq(Point::new(5.05, 5.55))
-                    .partial_cmp(&idx.point(b).distance_sq(Point::new(5.05, 5.55)))
-                    .unwrap()
+                    .total_cmp(&idx.point(b).distance_sq(Point::new(5.05, 5.55)))
             })
             .unwrap();
         assert_eq!(nn, brute);

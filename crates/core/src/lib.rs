@@ -45,6 +45,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(clippy::all)]
 
 pub mod ann;

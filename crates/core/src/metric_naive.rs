@@ -120,8 +120,7 @@ mod tests {
                 let nn = (0..points.len() as u32)
                     .min_by(|&a, &b| {
                         m.distance(points[a as usize], qi)
-                            .partial_cmp(&m.distance(points[b as usize], qi))
-                            .unwrap()
+                            .total_cmp(&m.distance(points[b as usize], qi))
                     })
                     .unwrap();
                 assert!(sky.contains(nn), "NN under metric must be skyline");

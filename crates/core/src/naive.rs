@@ -90,6 +90,7 @@ pub fn naive_sorted_kernel(
 /// [`DistanceScratch::result`]) and returns how many there are. After one
 /// warm-up call on a given workload shape, subsequent calls perform zero
 /// heap allocations.
+// ssq-analyze: deny-alloc
 pub fn naive_sorted_into(
     points: &[Point],
     ctx: &QueryContext,
@@ -147,8 +148,7 @@ mod tests {
                 .min_by(|&a, &b| {
                     points[a as usize]
                         .distance_sq(qi)
-                        .partial_cmp(&points[b as usize].distance_sq(qi))
-                        .unwrap()
+                        .total_cmp(&points[b as usize].distance_sq(qi))
                 })
                 .unwrap();
             assert!(r.contains(nn), "NN({qi:?}) = {nn} must be in the skyline");

@@ -232,7 +232,7 @@ mod tests {
             want.sort_by(|&a, &b| {
                 let va = ctx.dist_vector(points[a as usize], &mut stats);
                 let vb = ctx.dist_vector(points[b as usize], &mut stats);
-                pref.score(&va).partial_cmp(&pref.score(&vb)).unwrap()
+                pref.score(&va).total_cmp(&pref.score(&vb))
             });
 
             for k in [1usize, 3, 10, full.skyline.len(), full.skyline.len() + 5] {

@@ -118,6 +118,7 @@ impl DistanceScratch {
     /// Appends a row of **squared** Euclidean anchor distances for point
     /// `id` at location `p`, returning the new row's index. The row key
     /// is the squared-distance sum (monotone under dominance).
+    // ssq-analyze: deny-alloc
     pub fn push_row(&mut self, id: u32, certain: bool, p: Point, anchors: &[Point]) -> usize {
         self.push_row_with(id, certain, anchors, |q| p.distance_sq(q))
     }
@@ -125,6 +126,7 @@ impl DistanceScratch {
     /// Like [`DistanceScratch::push_row`] but fills the row with
     /// `dist(anchor)` for each anchor — the metric-generic entry point
     /// (rows must all use the same distance convention within one query).
+    // ssq-analyze: deny-alloc
     pub fn push_row_with<F: FnMut(Point) -> f64>(
         &mut self,
         id: u32,
@@ -152,6 +154,7 @@ impl DistanceScratch {
 
     /// Removes the most recently pushed row (used by incremental
     /// traversals that stage a candidate row, test it, and reject it).
+    // ssq-analyze: deny-alloc
     pub fn pop_row(&mut self) {
         debug_assert!(!self.keys.is_empty(), "pop from an empty arena");
         self.keys.pop();
@@ -162,6 +165,7 @@ impl DistanceScratch {
 
     /// `true` when the **last** row is dominated by any earlier row,
     /// counting one dominance check per comparison into `stats`.
+    // ssq-analyze: deny-alloc
     pub fn last_dominated(&self, stats: &mut QueryStats) -> bool {
         let last = self.keys.len() - 1;
         let candidate = self.row(last);
@@ -181,6 +185,7 @@ impl DistanceScratch {
     /// and returns the surviving ids sorted ascending. The returned slice
     /// lives in the arena's result buffer — copy it out before the next
     /// [`DistanceScratch::begin`].
+    // ssq-analyze: deny-alloc
     pub fn resolve(&mut self, stats: &mut QueryStats) -> &[u32] {
         let n = self.keys.len();
         Self::note_growth(&self.order, n, &mut self.grown);
@@ -227,6 +232,7 @@ impl DistanceScratch {
 
     /// The ids currently in the arena, sorted ascending, via the result
     /// buffer — for traversals whose rows are already the exact skyline.
+    // ssq-analyze: deny-alloc
     pub fn ids_sorted(&mut self) -> &[u32] {
         Self::note_growth(&self.result, self.ids.len(), &mut self.grown);
         self.result.clear();
@@ -274,6 +280,7 @@ impl DistanceScratch {
     /// Fills the spare row with `mbr.mindist(q)` per anchor (the
     /// admissible per-anchor lower bound used by the ranked search) and
     /// returns it.
+    // ssq-analyze: deny-alloc
     pub fn fill_spare_mindist(&mut self, mbr: &Rect, anchors: &[Point]) -> &[f64] {
         Self::note_growth(&self.spare, anchors.len(), &mut self.grown);
         self.spare.clear();

@@ -17,16 +17,26 @@ struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: delegates every operation to `System`, which upholds the
+// `GlobalAlloc` contract; the counter increment has no effect on
+// allocation semantics.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds the `GlobalAlloc::alloc` contract
+    // (non-zero-sized layout); forwarded verbatim to `System`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         System.alloc(layout)
     }
 
+    // SAFETY: caller passes a pointer previously returned by `alloc`
+    // with the same layout, which is exactly `System::dealloc`'s
+    // contract.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: caller upholds the `GlobalAlloc::realloc` contract;
+    // forwarded verbatim to `System`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)

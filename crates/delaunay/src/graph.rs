@@ -295,8 +295,7 @@ mod tests {
                 .min_by(|&a, &b| {
                     g.point(a)
                         .distance_sq(q)
-                        .partial_cmp(&g.point(b).distance_sq(q))
-                        .unwrap()
+                        .total_cmp(&g.point(b).distance_sq(q))
                 })
                 .unwrap();
             let cell = g.voronoi_cell(nn, &clip);
@@ -317,8 +316,7 @@ mod tests {
                 .min_by(|&a, &b| {
                     g.point(a)
                         .distance_sq(q)
-                        .partial_cmp(&g.point(b).distance_sq(q))
-                        .unwrap()
+                        .total_cmp(&g.point(b).distance_sq(q))
                 })
                 .unwrap();
             let (found, _) = g.greedy_nearest(q, 0);

@@ -30,6 +30,7 @@
 //! along the line), so every public query keeps working.
 
 #![deny(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(clippy::all)]
 
 pub mod file;

@@ -35,10 +35,11 @@
 //!   floating-point noise. A coarser quantum trades exactness for hit
 //!   rate — that is a deliberate knob, not an accident.
 
+use crate::sync::{RankedMutex, RANK_CONTEXT_CACHE};
 use ssq_core::QueryContext;
 use ssq_geom::Point;
 use std::collections::{BTreeMap, HashMap};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// A canonicalized, quantized query-set key. See the module docs.
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -112,12 +113,15 @@ struct Inner {
 }
 
 impl Inner {
-    fn touch(&mut self, key: &CacheKey) {
+    /// Refreshes `key`'s recency and returns its context, or `None` when
+    /// the key is absent.
+    fn touch(&mut self, key: &CacheKey) -> Option<Arc<QueryContext>> {
+        let slot = self.map.get_mut(key)?;
         self.tick += 1;
-        let slot = self.map.get_mut(key).expect("touched a missing key");
         self.order.remove(&slot.tick);
         slot.tick = self.tick;
         self.order.insert(self.tick, key.clone());
+        Some(Arc::clone(&slot.ctx))
     }
 }
 
@@ -126,7 +130,7 @@ impl Inner {
 pub struct ContextCache {
     capacity: usize,
     quantum: f64,
-    inner: Mutex<Inner>,
+    inner: RankedMutex<Inner>,
 }
 
 impl ContextCache {
@@ -140,12 +144,21 @@ impl ContextCache {
         ContextCache {
             capacity,
             quantum,
-            inner: Mutex::new(Inner {
-                map: HashMap::new(),
-                order: BTreeMap::new(),
-                tick: 0,
-            }),
+            inner: RankedMutex::new(
+                "engine.cache",
+                RANK_CONTEXT_CACHE,
+                Inner {
+                    map: HashMap::new(),
+                    order: BTreeMap::new(),
+                    tick: 0,
+                },
+            ),
         }
+    }
+
+    /// The cache lock's `(name, rank)`, for lock-order assertions.
+    pub fn lock_info(&self) -> (&'static str, u32) {
+        (self.inner.name(), self.inner.rank())
     }
 
     /// The cached context for `q` under snapshot `generation`, building
@@ -165,18 +178,16 @@ impl ContextCache {
             query: QueryKey::canonical(q, self.quantum),
         };
         {
-            let mut inner = self.inner.lock().unwrap();
-            if inner.map.contains_key(&key) {
-                inner.touch(&key);
-                return (Arc::clone(&inner.map[&key].ctx), true);
+            let mut inner = self.inner.lock();
+            if let Some(ctx) = inner.touch(&key) {
+                return (ctx, true);
             }
         }
         let ctx = Arc::new(QueryContext::new(q));
-        let mut inner = self.inner.lock().unwrap();
-        if inner.map.contains_key(&key) {
+        let mut inner = self.inner.lock();
+        if let Some(ctx) = inner.touch(&key) {
             // A racing thread inserted the same key first; keep its entry.
-            inner.touch(&key);
-            return (Arc::clone(&inner.map[&key].ctx), true);
+            return (ctx, true);
         }
         inner.tick += 1;
         let tick = inner.tick;
@@ -189,9 +200,12 @@ impl ContextCache {
         );
         inner.order.insert(tick, key);
         while inner.map.len() > self.capacity {
-            let (&victim_tick, _) = inner.order.iter().next().expect("order/map desync");
-            let victim = inner.order.remove(&victim_tick).expect("victim vanished");
-            inner.map.remove(&victim);
+            let Some((&victim_tick, _)) = inner.order.iter().next() else {
+                break; // order empty: nothing left to evict
+            };
+            if let Some(victim) = inner.order.remove(&victim_tick) {
+                inner.map.remove(&victim);
+            }
         }
         (ctx, false)
     }
@@ -203,7 +217,7 @@ impl ContextCache {
             generation,
             query: QueryKey::canonical(q, self.quantum),
         };
-        self.inner.lock().unwrap().map.contains_key(&key)
+        self.inner.lock().map.contains_key(&key)
     }
 
     /// Number of cached contexts scoped to `generation` — how much of
@@ -211,7 +225,6 @@ impl ContextCache {
     pub fn len_for_generation(&self, generation: u64) -> usize {
         self.inner
             .lock()
-            .unwrap()
             .map
             .keys()
             .filter(|k| k.generation == generation)
@@ -220,7 +233,7 @@ impl ContextCache {
 
     /// Number of cached contexts.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().map.len()
+        self.inner.lock().map.len()
     }
 
     /// `true` when nothing is cached.

@@ -5,12 +5,17 @@ use crate::metrics::{EngineMetrics, MetricsSnapshot};
 use crate::planner::{Algorithm, Planner};
 use crate::pool::{WorkerPool, WorkerState};
 use crate::snapshot::{Snapshot, SnapshotCatalog, StaleSnapshot};
+use crate::sync::{
+    lock_unpoisoned, wait_timeout_unpoisoned, wait_unpoisoned, RankedMutex, RANK_ENGINE_REINDEX,
+    RANK_SESSION_MAP, RANK_SESSION_PENDING, RANK_SESSION_SKY,
+};
 use ssq_core::{
     b2s2_kernel, bbs, naive_sorted_kernel, vs2_kernel, ContinuousSkyline, DistanceScratch,
     QueryContext, QueryStats, RTreeIndex, SkylineResult, UpdateOutcome, VoronoiIndex,
 };
 use ssq_geom::Point;
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -41,6 +46,9 @@ pub enum EngineError {
     Closed,
     /// The session id is unknown (never opened, or already closed).
     NoSuchSession,
+    /// The OS refused to spawn a worker thread; the message is the
+    /// underlying `io::Error`'s.
+    Spawn(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -61,6 +69,7 @@ impl std::fmt::Display for EngineError {
             EngineError::Stale(stale) => write!(f, "{stale}"),
             EngineError::Closed => write!(f, "engine is shut down"),
             EngineError::NoSuchSession => write!(f, "unknown session id"),
+            EngineError::Spawn(msg) => write!(f, "failed to spawn worker thread: {msg}"),
         }
     }
 }
@@ -237,12 +246,12 @@ impl<T> Ticket<T> {
 
     /// Blocks until the worker delivers, consuming the ticket.
     pub fn wait(self) -> T {
-        let mut slot = self.cell.slot.lock().unwrap();
+        let mut slot = lock_unpoisoned(&self.cell.slot);
         loop {
             if let Some(value) = slot.take() {
                 return value;
             }
-            slot = self.cell.ready.wait(slot).unwrap();
+            slot = wait_unpoisoned(&self.cell.ready, slot);
         }
     }
 
@@ -256,7 +265,7 @@ impl<T> Ticket<T> {
     pub fn wait_timeout(self, timeout: Duration) -> Result<T, Ticket<T>> {
         let deadline = Instant::now() + timeout;
         let cell = Arc::clone(&self.cell);
-        let mut slot = cell.slot.lock().unwrap();
+        let mut slot = lock_unpoisoned(&cell.slot);
         loop {
             if let Some(value) = slot.take() {
                 return Ok(value);
@@ -266,19 +275,19 @@ impl<T> Ticket<T> {
                 drop(slot);
                 return Err(self);
             }
-            slot = cell.ready.wait_timeout(slot, deadline - now).unwrap().0;
+            slot = wait_timeout_unpoisoned(&cell.ready, slot, deadline - now).0;
         }
     }
 
     /// `true` once the result is available (`wait` will not block).
     pub fn is_ready(&self) -> bool {
-        self.cell.slot.lock().unwrap().is_some()
+        lock_unpoisoned(&self.cell.slot).is_some()
     }
 }
 
 impl<T> Cell<T> {
     fn fill(&self, value: T) {
-        *self.slot.lock().unwrap() = Some(value);
+        *lock_unpoisoned(&self.slot) = Some(value);
         self.ready.notify_all();
     }
 }
@@ -310,8 +319,8 @@ struct Session {
     /// alive; this field is what lets update results report it and
     /// compare it against the catalog's current generation.
     generation: u64,
-    sky: Mutex<ContinuousSkyline<Arc<VoronoiIndex>>>,
-    pending: Mutex<Pending>,
+    sky: RankedMutex<ContinuousSkyline<Arc<VoronoiIndex>>>,
+    pending: RankedMutex<Pending>,
 }
 
 struct EngineShared {
@@ -321,12 +330,12 @@ struct EngineShared {
     /// Serializes [`Engine::reindex`] calls so two concurrent builds
     /// cannot race for the same generation number. Never held on the
     /// query path.
-    reindex_lock: Mutex<()>,
+    reindex_lock: RankedMutex<()>,
     cache: ContextCache,
     planner: Planner,
     metrics: EngineMetrics,
-    sessions: Mutex<HashMap<u64, Arc<Session>>>,
-    next_session: Mutex<u64>,
+    sessions: RankedMutex<HashMap<u64, Arc<Session>>>,
+    next_session: AtomicU64,
 }
 
 /// A concurrent spatial-skyline serving engine over a versioned dataset
@@ -390,15 +399,29 @@ impl Engine {
         metrics.note_generation(snapshot.generation());
         let shared = Arc::new(EngineShared {
             catalog: SnapshotCatalog::new(snapshot),
-            reindex_lock: Mutex::new(()),
+            reindex_lock: RankedMutex::new("engine.reindex", RANK_ENGINE_REINDEX, ()),
             cache: ContextCache::new(config.cache_capacity, config.cache_quantum),
             planner: Planner::new(config.forced_algorithm),
             metrics,
-            sessions: Mutex::new(HashMap::new()),
-            next_session: Mutex::new(0),
+            sessions: RankedMutex::new("engine.sessions", RANK_SESSION_MAP, HashMap::new()),
+            next_session: AtomicU64::new(0),
         });
-        let pool = WorkerPool::new(config.workers, config.queue_capacity);
+        let pool = WorkerPool::new(config.workers, config.queue_capacity)
+            .map_err(|e| EngineError::Spawn(e.to_string()))?;
         Ok(Engine { shared, pool })
+    }
+
+    /// The `(name, rank)` pairs of the engine's four long-lived locks in
+    /// ascending rank order — catalog, context cache, session map,
+    /// metrics. Exposed so tests can assert the lock-order table the
+    /// [`sync`](crate::sync) module documents.
+    pub fn lock_ranks(&self) -> [(&'static str, u32); 4] {
+        [
+            self.shared.catalog.lock_info(),
+            self.shared.cache.lock_info(),
+            (self.shared.sessions.name(), self.shared.sessions.rank()),
+            self.shared.metrics.lock_info(),
+        ]
     }
 
     /// Number of worker threads.
@@ -445,7 +468,7 @@ impl Engine {
     /// generation finish against it. Concurrent `reindex` calls are
     /// serialized; the dataset never rolls backwards.
     pub fn reindex(&self, points: &[Point]) -> Result<u64, EngineError> {
-        let _guard = self.shared.reindex_lock.lock().unwrap();
+        let _guard = self.shared.reindex_lock.lock();
         let next = self.shared.catalog.generation() + 1;
         let start = Instant::now();
         let snapshot = Snapshot::build(next, points).map_err(EngineError::Index)?;
@@ -495,14 +518,16 @@ impl Engine {
         );
         let (ticket, cell) = Ticket::new();
         let shared = Arc::clone(&self.shared);
-        self.pool
-            .submit(Box::new(move |state: &mut WorkerState| {
-                // Dequeue-time pin: the clone happens on the worker,
-                // not at submission.
-                let snapshot = shared.catalog.current();
-                run_query(&shared, &snapshot, request, &cell, &mut state.scratch);
-            }))
-            .expect("engine pool closed while the engine was alive");
+        let submitted = self.pool.submit(Box::new(move |state: &mut WorkerState| {
+            // Dequeue-time pin: the clone happens on the worker,
+            // not at submission.
+            let snapshot = shared.catalog.current();
+            run_query(&shared, &snapshot, request, &cell, &mut state.scratch);
+        }));
+        assert!(
+            submitted.is_ok(),
+            "engine pool closed while the engine was alive"
+        );
         ticket
     }
 
@@ -524,11 +549,13 @@ impl Engine {
         );
         let (ticket, cell) = Ticket::new();
         let shared = Arc::clone(&self.shared);
-        self.pool
-            .submit(Box::new(move |state: &mut WorkerState| {
-                run_query(&shared, &snapshot, request, &cell, &mut state.scratch)
-            }))
-            .expect("engine pool closed while the engine was alive");
+        let submitted = self.pool.submit(Box::new(move |state: &mut WorkerState| {
+            run_query(&shared, &snapshot, request, &cell, &mut state.scratch)
+        }));
+        assert!(
+            submitted.is_ok(),
+            "engine pool closed while the engine was alive"
+        );
         ticket
     }
 
@@ -563,12 +590,14 @@ impl Engine {
             return ticket;
         }
         let shared = Arc::clone(&self.shared);
-        self.pool
-            .submit(Box::new(move |state: &mut WorkerState| {
-                let snapshot = shared.catalog.current();
-                cell.fill(run_batch(&shared, &snapshot, requests, &mut state.scratch));
-            }))
-            .expect("engine pool closed while the engine was alive");
+        let submitted = self.pool.submit(Box::new(move |state: &mut WorkerState| {
+            let snapshot = shared.catalog.current();
+            cell.fill(run_batch(&shared, &snapshot, requests, &mut state.scratch));
+        }));
+        assert!(
+            submitted.is_ok(),
+            "engine pool closed while the engine was alive"
+        );
         ticket
     }
 
@@ -596,11 +625,13 @@ impl Engine {
             return ticket;
         }
         let shared = Arc::clone(&self.shared);
-        self.pool
-            .submit(Box::new(move |state: &mut WorkerState| {
-                cell.fill(run_batch(&shared, &snapshot, requests, &mut state.scratch));
-            }))
-            .expect("engine pool closed while the engine was alive");
+        let submitted = self.pool.submit(Box::new(move |state: &mut WorkerState| {
+            cell.fill(run_batch(&shared, &snapshot, requests, &mut state.scratch));
+        }));
+        assert!(
+            submitted.is_ok(),
+            "engine pool closed while the engine was alive"
+        );
         ticket
     }
 
@@ -616,20 +647,20 @@ impl Engine {
     pub fn open_session(&self, q: &[Point]) -> SessionId {
         let snapshot = self.shared.catalog.current();
         let sky = ContinuousSkyline::new(Arc::clone(snapshot.voronoi()), q);
-        let id = {
-            let mut next = self.shared.next_session.lock().unwrap();
-            *next += 1;
-            *next
-        };
+        let id = self.shared.next_session.fetch_add(1, Ordering::Relaxed) + 1;
         let session = Arc::new(Session {
             generation: snapshot.generation(),
-            sky: Mutex::new(sky),
-            pending: Mutex::new(Pending {
-                updates: VecDeque::new(),
-                scheduled: false,
-            }),
+            sky: RankedMutex::new("session.sky", RANK_SESSION_SKY, sky),
+            pending: RankedMutex::new(
+                "session.pending",
+                RANK_SESSION_PENDING,
+                Pending {
+                    updates: VecDeque::new(),
+                    scheduled: false,
+                },
+            ),
         });
-        self.shared.sessions.lock().unwrap().insert(id, session);
+        self.shared.sessions.lock().insert(id, session);
         self.shared.metrics.record_session_opened();
         SessionId(id)
     }
@@ -637,7 +668,7 @@ impl Engine {
     /// The snapshot generation a session pinned at open, or `None` for
     /// an unknown id.
     pub fn session_generation(&self, id: SessionId) -> Option<u64> {
-        let sessions = self.shared.sessions.lock().unwrap();
+        let sessions = self.shared.sessions.lock();
         sessions.get(&id.0).map(|s| s.generation)
     }
 
@@ -656,13 +687,12 @@ impl Engine {
             .shared
             .sessions
             .lock()
-            .unwrap()
             .get(&id.0)
             .cloned()
             .ok_or(EngineError::NoSuchSession)?;
         let (ticket, cell) = Ticket::new();
         let need_submit = {
-            let mut pending = session.pending.lock().unwrap();
+            let mut pending = session.pending.lock();
             pending.updates.push_back((obj, new_loc, cell));
             if pending.scheduled {
                 false
@@ -680,7 +710,7 @@ impl Engine {
                 drain_session(&shared, &job_session)
             }));
             if submitted.is_err() {
-                session.pending.lock().unwrap().scheduled = false;
+                session.pending.lock().scheduled = false;
                 return Err(EngineError::Closed);
             }
         }
@@ -690,20 +720,20 @@ impl Engine {
     /// The session's current skyline (updates still queued are not yet
     /// reflected), or `None` for an unknown id.
     pub fn session_skyline(&self, id: SessionId) -> Option<Vec<u32>> {
-        let session = self.shared.sessions.lock().unwrap().get(&id.0).cloned()?;
-        let sky = session.sky.lock().unwrap();
+        let session = self.shared.sessions.lock().get(&id.0).cloned()?;
+        let sky = session.sky.lock();
         Some(sky.skyline())
     }
 
     /// Closes a session. Already-queued updates still apply (their
     /// handles resolve); the id stops resolving immediately.
     pub fn close_session(&self, id: SessionId) -> bool {
-        self.shared.sessions.lock().unwrap().remove(&id.0).is_some()
+        self.shared.sessions.lock().remove(&id.0).is_some()
     }
 
     /// Number of open sessions.
     pub fn open_sessions(&self) -> usize {
-        self.shared.sessions.lock().unwrap().len()
+        self.shared.sessions.lock().len()
     }
 
     /// Drains every queued job and joins the workers.
@@ -805,7 +835,7 @@ fn execute(
 fn drain_session(shared: &EngineShared, session: &Session) {
     loop {
         let (obj, new_loc, cell) = {
-            let mut pending = session.pending.lock().unwrap();
+            let mut pending = session.pending.lock();
             match pending.updates.pop_front() {
                 Some(update) => update,
                 None => {
@@ -815,7 +845,7 @@ fn drain_session(shared: &EngineShared, session: &Session) {
             }
         };
         let (outcome, skyline, stats) = {
-            let mut sky = session.sky.lock().unwrap();
+            let mut sky = session.sky.lock();
             let (outcome, stats) = sky.update(obj, new_loc);
             (outcome, sky.skyline(), stats)
         };

@@ -58,6 +58,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(clippy::all)]
 
 pub mod cache;
@@ -66,6 +67,7 @@ pub mod metrics;
 pub mod planner;
 pub mod pool;
 pub mod snapshot;
+pub mod sync;
 
 pub use cache::{CacheKey, ContextCache, QueryKey};
 pub use engine::{
@@ -76,3 +78,4 @@ pub use metrics::{EngineMetrics, LatencyHistogram, LatencySnapshot, MetricsSnaps
 pub use planner::{Algorithm, Planner};
 pub use pool::{PoolClosed, WorkerPool, WorkerState};
 pub use snapshot::{Snapshot, SnapshotCatalog, StaleSnapshot};
+pub use sync::{RankedGuard, RankedMutex};

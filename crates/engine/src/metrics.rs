@@ -8,10 +8,10 @@
 //! plenty for a throughput report, constant memory forever.
 
 use crate::planner::Algorithm;
+use crate::sync::{RankedMutex, RANK_METRICS};
 use ssq_core::QueryStats;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::Duration;
 
 const BUCKETS: usize = 64;
@@ -106,8 +106,19 @@ impl LatencySnapshot {
     }
 }
 
-/// Shared counters for one [`Engine`](crate::Engine).
+/// The mutex-guarded slice of the metrics: everything that is not a
+/// single word. One lock (the engine's rank-600 leaf) instead of two so
+/// that a snapshot read never holds two guards at once.
 #[derive(Default)]
+struct Aggregates {
+    /// Queries served per snapshot generation — the observable form of
+    /// "dataset lifetime": a generation whose count stops moving has
+    /// fully drained.
+    per_generation: BTreeMap<u64, u64>,
+    stats: QueryStats,
+}
+
+/// Shared counters for one [`Engine`](crate::Engine).
 pub struct EngineMetrics {
     requests: [AtomicU64; Algorithm::ALL.len()],
     cache_hits: AtomicU64,
@@ -121,18 +132,36 @@ pub struct EngineMetrics {
     swaps: AtomicU64,
     /// Wall-clock nanoseconds the most recent reindex build took.
     last_build_nanos: AtomicU64,
-    /// Queries served per snapshot generation — the observable form of
-    /// "dataset lifetime": a generation whose count stops moving has
-    /// fully drained.
-    per_generation: Mutex<BTreeMap<u64, u64>>,
+    aggregates: RankedMutex<Aggregates>,
     latency: LatencyHistogram,
-    stats: Mutex<QueryStats>,
+}
+
+impl Default for EngineMetrics {
+    fn default() -> EngineMetrics {
+        EngineMetrics::new()
+    }
 }
 
 impl EngineMetrics {
     /// Creates zeroed metrics.
     pub fn new() -> EngineMetrics {
-        EngineMetrics::default()
+        EngineMetrics {
+            requests: std::array::from_fn(|_| AtomicU64::new(0)),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            sessions_opened: AtomicU64::new(0),
+            session_updates: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+            last_build_nanos: AtomicU64::new(0),
+            aggregates: RankedMutex::new("engine.metrics", RANK_METRICS, Aggregates::default()),
+            latency: LatencyHistogram::new(),
+        }
+    }
+
+    /// The metrics lock's `(name, rank)`, for lock-order assertions.
+    pub fn lock_info(&self) -> (&'static str, u32) {
+        (self.aggregates.name(), self.aggregates.rank())
     }
 
     /// Records a cache lookup outcome.
@@ -155,14 +184,12 @@ impl EngineMetrics {
         stats: &QueryStats,
     ) {
         self.requests[algorithm.index()].fetch_add(1, Ordering::Relaxed);
-        *self
-            .per_generation
-            .lock()
-            .unwrap()
-            .entry(generation)
-            .or_insert(0) += 1;
+        {
+            let mut agg = self.aggregates.lock();
+            *agg.per_generation.entry(generation).or_insert(0) += 1;
+            agg.stats.absorb(stats);
+        }
         self.latency.record(latency);
-        self.stats.lock().unwrap().absorb(stats);
     }
 
     /// Records the generation currently being served (at construction
@@ -189,11 +216,17 @@ impl EngineMetrics {
     /// histogram: updates and snapshot queries are different workloads).
     pub fn record_session_update(&self, stats: &QueryStats) {
         self.session_updates.fetch_add(1, Ordering::Relaxed);
-        self.stats.lock().unwrap().absorb(stats);
+        self.aggregates.lock().stats.absorb(stats);
     }
 
     /// A point-in-time copy of every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        // Copy the guarded slice first and release the leaf lock before
+        // assembling the (lock-free) remainder.
+        let (queries_per_generation, stats) = {
+            let agg = self.aggregates.lock();
+            (agg.per_generation.clone(), agg.stats)
+        };
         MetricsSnapshot {
             requests: std::array::from_fn(|i| self.requests[i].load(Ordering::Relaxed)),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
@@ -203,9 +236,9 @@ impl EngineMetrics {
             generation: self.generation.load(Ordering::Relaxed),
             swaps: self.swaps.load(Ordering::Relaxed),
             last_build: Duration::from_nanos(self.last_build_nanos.load(Ordering::Relaxed)),
-            queries_per_generation: self.per_generation.lock().unwrap().clone(),
+            queries_per_generation,
             latency: self.latency.snapshot(),
-            stats: *self.stats.lock().unwrap(),
+            stats,
         }
     }
 }

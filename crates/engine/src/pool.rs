@@ -13,6 +13,7 @@ use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+use crate::sync::{lock_unpoisoned, wait_unpoisoned};
 use ssq_core::DistanceScratch;
 
 /// Per-worker mutable state handed to every job.
@@ -67,7 +68,11 @@ pub struct WorkerPool {
 impl WorkerPool {
     /// Spawns `workers` threads sharing a queue of at most `capacity`
     /// pending jobs. Both must be nonzero.
-    pub fn new(workers: usize, capacity: usize) -> WorkerPool {
+    ///
+    /// Returns the OS error if a worker thread cannot be spawned; any
+    /// threads spawned before the failure are joined before returning,
+    /// so an `Err` leaks nothing.
+    pub fn new(workers: usize, capacity: usize) -> Result<WorkerPool, std::io::Error> {
         assert!(workers > 0, "a pool needs at least one worker");
         assert!(capacity > 0, "the job queue needs nonzero capacity");
         let shared = Arc::new(Shared {
@@ -79,16 +84,28 @@ impl WorkerPool {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
         });
-        let workers = (0..workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("ssq-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("failed to spawn worker thread")
-            })
-            .collect();
-        WorkerPool { shared, workers }
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let worker_shared = Arc::clone(&shared);
+            match std::thread::Builder::new()
+                .name(format!("ssq-worker-{i}"))
+                .spawn(move || worker_loop(&worker_shared))
+            {
+                Ok(handle) => handles.push(handle),
+                Err(err) => {
+                    let mut partial = WorkerPool {
+                        shared,
+                        workers: handles,
+                    };
+                    partial.close_and_join();
+                    return Err(err);
+                }
+            }
+        }
+        Ok(WorkerPool {
+            shared,
+            workers: handles,
+        })
     }
 
     /// Number of worker threads.
@@ -101,9 +118,9 @@ impl WorkerPool {
     /// Returns [`PoolClosed`] if shutdown has begun; the job is dropped
     /// unexecuted in that case.
     pub fn submit(&self, job: Job) -> Result<(), PoolClosed> {
-        let mut q = self.shared.queue.lock().unwrap();
+        let mut q = lock_unpoisoned(&self.shared.queue);
         while q.jobs.len() >= q.capacity && !q.closed {
-            q = self.shared.not_full.wait(q).unwrap();
+            q = wait_unpoisoned(&self.shared.not_full, q);
         }
         if q.closed {
             return Err(PoolClosed);
@@ -116,7 +133,7 @@ impl WorkerPool {
 
     /// Jobs currently waiting in the queue (not the ones being run).
     pub fn queued(&self) -> usize {
-        self.shared.queue.lock().unwrap().jobs.len()
+        lock_unpoisoned(&self.shared.queue).jobs.len()
     }
 
     /// Begins shutdown and joins every worker.
@@ -129,7 +146,7 @@ impl WorkerPool {
 
     fn close_and_join(&mut self) {
         {
-            let mut q = self.shared.queue.lock().unwrap();
+            let mut q = lock_unpoisoned(&self.shared.queue);
             q.closed = true;
         }
         self.shared.not_empty.notify_all();
@@ -150,7 +167,7 @@ fn worker_loop(shared: &Shared) {
     let mut state = WorkerState::default();
     loop {
         let job = {
-            let mut q = shared.queue.lock().unwrap();
+            let mut q = lock_unpoisoned(&shared.queue);
             loop {
                 if let Some(job) = q.jobs.pop_front() {
                     break job;
@@ -158,7 +175,7 @@ fn worker_loop(shared: &Shared) {
                 if q.closed {
                     return;
                 }
-                q = shared.not_empty.wait(q).unwrap();
+                q = wait_unpoisoned(&shared.not_empty, q);
             }
         };
         shared.not_full.notify_one();
@@ -180,7 +197,7 @@ mod tests {
 
     #[test]
     fn runs_every_submitted_job() {
-        let pool = WorkerPool::new(4, 8);
+        let pool = WorkerPool::new(4, 8).unwrap();
         let counter = Arc::new(AtomicUsize::new(0));
         for _ in 0..100 {
             let c = Arc::clone(&counter);
@@ -196,7 +213,7 @@ mod tests {
     #[test]
     fn tiny_queue_still_completes_all_jobs() {
         // Capacity 1 forces submit() to exercise the backpressure path.
-        let pool = WorkerPool::new(2, 1);
+        let pool = WorkerPool::new(2, 1).unwrap();
         let counter = Arc::new(AtomicUsize::new(0));
         for _ in 0..50 {
             let c = Arc::clone(&counter);
@@ -212,7 +229,7 @@ mod tests {
 
     #[test]
     fn shutdown_drains_pending_jobs() {
-        let pool = WorkerPool::new(1, 64);
+        let pool = WorkerPool::new(1, 64).unwrap();
         let counter = Arc::new(AtomicUsize::new(0));
         for _ in 0..32 {
             let c = Arc::clone(&counter);
@@ -229,7 +246,7 @@ mod tests {
 
     #[test]
     fn a_panicking_job_does_not_kill_the_worker() {
-        let pool = WorkerPool::new(1, 8);
+        let pool = WorkerPool::new(1, 8).unwrap();
         pool.submit(Box::new(|_state: &mut WorkerState| panic!("boom")))
             .unwrap();
         let counter = Arc::new(AtomicUsize::new(0));
@@ -244,7 +261,7 @@ mod tests {
 
     #[test]
     fn jobs_run_concurrently_across_workers() {
-        let pool = WorkerPool::new(4, 16);
+        let pool = WorkerPool::new(4, 16).unwrap();
         let in_flight = Arc::new(AtomicUsize::new(0));
         let peak = Arc::new(AtomicUsize::new(0));
         for _ in 0..16 {

@@ -24,9 +24,10 @@
 //!    are freed. There is no epoch machinery: `Arc` reference counting
 //!    *is* the retirement protocol.
 
+use crate::sync::{RankedMutex, RANK_CATALOG};
 use ssq_core::{RTreeIndex, VoronoiIndex};
 use ssq_geom::{Point, Rect};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// One immutable dataset generation: the points plus both index
 /// structures the planner can choose between.
@@ -139,7 +140,7 @@ impl Snapshot {
 /// contention-free in practice and readers can never block a publisher
 /// for long (nor vice versa).
 pub struct SnapshotCatalog {
-    current: Mutex<Arc<Snapshot>>,
+    current: RankedMutex<Arc<Snapshot>>,
 }
 
 impl std::fmt::Debug for SnapshotCatalog {
@@ -154,7 +155,7 @@ impl SnapshotCatalog {
     /// A catalog whose current snapshot is `initial`.
     pub fn new(initial: Arc<Snapshot>) -> SnapshotCatalog {
         SnapshotCatalog {
-            current: Mutex::new(initial),
+            current: RankedMutex::new("engine.catalog", RANK_CATALOG, initial),
         }
     }
 
@@ -162,12 +163,17 @@ impl SnapshotCatalog {
     /// keeps its generation's indexes alive) for as long as the caller
     /// holds it, regardless of later installs.
     pub fn current(&self) -> Arc<Snapshot> {
-        Arc::clone(&self.current.lock().unwrap())
+        Arc::clone(&self.current.lock())
     }
 
     /// The current generation number.
     pub fn generation(&self) -> u64 {
-        self.current.lock().unwrap().generation
+        self.current.lock().generation
+    }
+
+    /// The catalog lock's `(name, rank)`, for lock-order assertions.
+    pub fn lock_info(&self) -> (&'static str, u32) {
+        (self.current.name(), self.current.rank())
     }
 
     /// Atomically replaces the current snapshot, returning the retired
@@ -177,7 +183,7 @@ impl SnapshotCatalog {
     /// the current one — installs must move time forward, otherwise a
     /// slow build racing a fast one could roll the dataset back.
     pub fn install(&self, snapshot: Arc<Snapshot>) -> Result<Arc<Snapshot>, StaleSnapshot> {
-        let mut current = self.current.lock().unwrap();
+        let mut current = self.current.lock();
         if snapshot.generation <= current.generation {
             return Err(StaleSnapshot {
                 offered: snapshot.generation,

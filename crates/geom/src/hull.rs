@@ -82,11 +82,7 @@ pub fn graham_scan(points: &[Point]) -> ConvexPolygon {
     // Pivot: lowest y, then lowest x.
     let pivot = *pts
         .iter()
-        .min_by(|a, b| {
-            a.y.partial_cmp(&b.y)
-                .expect("NaN coordinate")
-                .then(a.x.partial_cmp(&b.x).expect("NaN coordinate"))
-        })
+        .min_by(|a, b| a.y.total_cmp(&b.y).then(a.x.total_cmp(&b.x)))
         .expect("nonempty");
 
     // Sort by polar angle around the pivot; break angle ties by distance so
@@ -96,10 +92,7 @@ pub fn graham_scan(points: &[Point]) -> ConvexPolygon {
     rest.sort_by(|&a, &b| match orient2d_sign(pivot, a, b) {
         1 => std::cmp::Ordering::Less,
         -1 => std::cmp::Ordering::Greater,
-        _ => pivot
-            .distance_sq(a)
-            .partial_cmp(&pivot.distance_sq(b))
-            .expect("NaN coordinate"),
+        _ => pivot.distance_sq(a).total_cmp(&pivot.distance_sq(b)),
     });
 
     // For the farthest ray (points collinear with the pivot at the maximum

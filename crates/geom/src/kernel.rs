@@ -25,6 +25,7 @@ use crate::point::Point;
 
 /// Writes the **squared** Euclidean distances from `p` to every anchor
 /// into `out` (`out.len()` must equal `anchors.len()`).
+// ssq-analyze: deny-alloc
 #[inline]
 pub fn fill_dist_sq_row(p: Point, anchors: &[Point], out: &mut [f64]) {
     debug_assert_eq!(anchors.len(), out.len(), "row width mismatch");
@@ -36,12 +37,14 @@ pub fn fill_dist_sq_row(p: Point, anchors: &[Point], out: &mut [f64]) {
 /// The sum of **squared** Euclidean distances from `p` to the anchors —
 /// a monotone-under-dominance ordering key computed without `sqrt` and
 /// without materializing the vector (see the module docs).
+// ssq-analyze: deny-alloc
 #[inline]
 pub fn dist_sq_sum(p: Point, anchors: &[Point]) -> f64 {
     anchors.iter().map(|&q| p.distance_sq(q)).sum()
 }
 
 /// The sum of the entries of one row (the row's ordering key).
+// ssq-analyze: deny-alloc
 #[inline]
 pub fn row_sum(row: &[f64]) -> f64 {
     row.iter().sum()
@@ -55,6 +58,7 @@ pub fn row_sum(row: &[f64]) -> f64 {
 /// strictly-monotone transform of them (the relation is identical — see
 /// the module docs). This is the single dominance loop shared by
 /// `ssq-core`, `ssq-skyline`, and the shard merge.
+// ssq-analyze: deny-alloc
 #[inline]
 pub fn dominates(a: &[f64], b: &[f64]) -> bool {
     debug_assert_eq!(a.len(), b.len(), "vector arity mismatch");

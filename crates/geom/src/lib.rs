@@ -30,6 +30,7 @@
 //! explicit, documented tolerance choices.
 
 #![deny(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(clippy::all)]
 
 pub mod circle;

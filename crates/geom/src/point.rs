@@ -124,10 +124,7 @@ impl Point {
     /// `f64` only offers `PartialOrd`, so we expose the lexicographic order
     /// explicitly (callers must not pass NaN coordinates).
     pub fn lex_cmp(&self, other: &Point) -> std::cmp::Ordering {
-        self.x
-            .partial_cmp(&other.x)
-            .expect("NaN coordinate")
-            .then(self.y.partial_cmp(&other.y).expect("NaN coordinate"))
+        self.x.total_cmp(&other.x).then(self.y.total_cmp(&other.y))
     }
 
     /// `true` when `self` and `other` coincide within `tol` in both

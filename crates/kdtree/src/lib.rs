@@ -16,6 +16,7 @@
 //! `O(log n)` expected nearest-neighbour queries.
 
 #![deny(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(clippy::all)]
 
 use ssq_geom::{Point, Rect};
@@ -73,7 +74,7 @@ impl KdTree {
         // A simple bounded max-heap over (distance, index).
         let mut heap: Vec<(f64, u32)> = Vec::with_capacity(k + 1);
         self.knn_rec(q, 0, self.order.len(), 0, k, &mut heap);
-        heap.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN distance"));
+        heap.sort_by(|a, b| a.0.total_cmp(&b.0));
         heap.into_iter().map(|(_, i)| i).collect()
     }
 
@@ -131,7 +132,7 @@ impl KdTree {
         } else if let Some(pos) = heap
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("NaN distance"))
+            .max_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
             .map(|(i, _)| i)
         {
             if d < heap[pos].0 {
@@ -195,7 +196,7 @@ fn build_rec(points: &[Point], order: &mut [u32], axis: usize) {
         } else {
             (points[a as usize].y, points[b as usize].y)
         };
-        ka.partial_cmp(&kb).expect("NaN coordinate").then(a.cmp(&b))
+        ka.total_cmp(&kb).then(a.cmp(&b))
     });
     let (left, rest) = order.split_at_mut(mid);
     build_rec(points, left, axis ^ 1);
@@ -256,8 +257,7 @@ mod tests {
                 want.sort_by(|&a, &b| {
                     pts[a as usize]
                         .distance_sq(q)
-                        .partial_cmp(&pts[b as usize].distance_sq(q))
-                        .unwrap()
+                        .total_cmp(&pts[b as usize].distance_sq(q))
                 });
                 // Compare by distance (ties make index comparison fragile).
                 for (g, w) in got.iter().zip(&want) {

@@ -19,6 +19,7 @@
 //!   ([`RTree::node_accesses`]) exactly the way the paper reports I/O.
 
 #![deny(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(clippy::all)]
 
 mod tree;

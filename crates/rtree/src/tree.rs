@@ -174,20 +174,10 @@ impl<T: Copy> RTree<T> {
         let leaf_count = n.div_ceil(cap);
         let slices = (leaf_count as f64).sqrt().ceil() as usize;
         let per_slice = n.div_ceil(slices);
-        items.sort_by(|a, b| {
-            a.0.center()
-                .x
-                .partial_cmp(&b.0.center().x)
-                .expect("NaN coordinate")
-        });
+        items.sort_by(|a, b| a.0.center().x.total_cmp(&b.0.center().x));
         let mut leaf_ids: Vec<u32> = Vec::with_capacity(leaf_count);
         for slice in items.chunks_mut(per_slice) {
-            slice.sort_by(|a, b| {
-                a.0.center()
-                    .y
-                    .partial_cmp(&b.0.center().y)
-                    .expect("NaN coordinate")
-            });
+            slice.sort_by(|a, b| a.0.center().y.total_cmp(&b.0.center().y));
             for run in slice.chunks(cap) {
                 let mut node = Node::new(true, 0);
                 for &(r, t) in run {
@@ -210,20 +200,10 @@ impl<T: Copy> RTree<T> {
                 .iter()
                 .map(|&id| (tree.nodes[id as usize].mbr(), id))
                 .collect();
-            with_mbr.sort_by(|a, b| {
-                a.0.center()
-                    .x
-                    .partial_cmp(&b.0.center().x)
-                    .expect("NaN coordinate")
-            });
+            with_mbr.sort_by(|a, b| a.0.center().x.total_cmp(&b.0.center().x));
             let mut next: Vec<u32> = Vec::with_capacity(count);
             for slice in with_mbr.chunks_mut(per_slice) {
-                slice.sort_by(|a, b| {
-                    a.0.center()
-                        .y
-                        .partial_cmp(&b.0.center().y)
-                        .expect("NaN coordinate")
-                });
+                slice.sort_by(|a, b| a.0.center().y.total_cmp(&b.0.center().y));
                 for run in slice.chunks(cap) {
                     let mut node = Node::new(false, level);
                     for &(r, id) in run {
@@ -405,8 +385,7 @@ impl<T: Copy> RTree<T> {
                 // Reversed: BinaryHeap is a max-heap, we want min-key first.
                 other
                     .key
-                    .partial_cmp(&self.key)
-                    .expect("NaN mindist")
+                    .total_cmp(&self.key)
                     .then(other.seq.cmp(&self.seq))
             }
         }
@@ -556,7 +535,7 @@ impl<T: Copy> RTree<T> {
                             _ => (rects[a].min.y, rects[b].min.y),
                         }
                     };
-                    ka.partial_cmp(&kb).expect("NaN coordinate")
+                    ka.total_cmp(&kb)
                 });
                 orders.push(idx);
             }
@@ -764,8 +743,7 @@ mod tests {
                 .min_by(|&a, &b| {
                     pts[a as usize]
                         .distance_sq(q)
-                        .partial_cmp(&pts[b as usize].distance_sq(q))
-                        .unwrap()
+                        .total_cmp(&pts[b as usize].distance_sq(q))
                 })
                 .unwrap();
             assert_eq!(
@@ -789,8 +767,7 @@ mod tests {
                 .min_by(|&a, &b| {
                     pts[a as usize]
                         .distance_sq(q)
-                        .partial_cmp(&pts[b as usize].distance_sq(q))
-                        .unwrap()
+                        .total_cmp(&pts[b as usize].distance_sq(q))
                 })
                 .unwrap();
             assert_eq!(

@@ -44,6 +44,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(clippy::all)]
 
 pub mod merge;

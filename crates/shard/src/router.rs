@@ -46,9 +46,10 @@ use crate::metrics::{ShardMetrics, ShardedMetricsSnapshot};
 use crate::partition::{partition, PartitionPolicy, ShardSpec};
 use crate::prune::{dominates_rect, rect_lower_bounds};
 use ssq_core::{DistanceScratch, QueryContext, QueryStats};
+use ssq_engine::sync::{RankedMutex, RANK_SHARD_FLEET, RANK_SHARD_MERGE, RANK_SHARD_REINDEX};
 use ssq_engine::{BatchTicket, Engine, EngineConfig, EngineError, QueryRequest, Snapshot};
 use ssq_geom::{Point, Rect};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`ShardedEngine::new`].
@@ -202,13 +203,13 @@ struct Fleet {
 /// catalogs and the router's fleet view are swapped.
 pub struct ShardedEngine {
     engines: Vec<Engine>,
-    fleet: Mutex<Arc<Fleet>>,
+    fleet: RankedMutex<Arc<Fleet>>,
     /// Serializes reindex calls so generation numbers stay monotone.
-    reindex_lock: Mutex<()>,
+    reindex_lock: RankedMutex<()>,
     /// The router's merge arena: cross-shard candidate filtering runs
     /// through one warm [`DistanceScratch`] instead of allocating a
     /// distance vector per candidate per query.
-    merge_scratch: Mutex<DistanceScratch>,
+    merge_scratch: RankedMutex<DistanceScratch>,
     policy: PartitionPolicy,
     metrics: ShardMetrics,
     timeout: Option<Duration>,
@@ -249,12 +250,20 @@ impl ShardedEngine {
         }
         Ok(ShardedEngine {
             engines,
-            fleet: Mutex::new(Arc::new(Fleet {
-                generation: 0,
-                views,
-            })),
-            reindex_lock: Mutex::new(()),
-            merge_scratch: Mutex::new(DistanceScratch::new()),
+            fleet: RankedMutex::new(
+                "shard.fleet",
+                RANK_SHARD_FLEET,
+                Arc::new(Fleet {
+                    generation: 0,
+                    views,
+                }),
+            ),
+            reindex_lock: RankedMutex::new("shard.reindex", RANK_SHARD_REINDEX, ()),
+            merge_scratch: RankedMutex::new(
+                "shard.merge",
+                RANK_SHARD_MERGE,
+                DistanceScratch::new(),
+            ),
             policy: config.policy,
             metrics: ShardMetrics::new(),
             timeout: config.shard_timeout,
@@ -264,7 +273,7 @@ impl ShardedEngine {
 
     /// Pins the current fleet view (lock held only for the clone).
     fn current_fleet(&self) -> Arc<Fleet> {
-        Arc::clone(&self.fleet.lock().unwrap())
+        Arc::clone(&self.fleet.lock())
     }
 
     /// Number of shards holding data in the current generation (≤ the
@@ -314,7 +323,7 @@ impl ShardedEngine {
         if points.is_empty() {
             return Err(ShardError::Engine(EngineError::EmptyDataset));
         }
-        let _guard = self.reindex_lock.lock().unwrap();
+        let _guard = self.reindex_lock.lock();
         let next = self.current_fleet().generation + 1;
         let start = Instant::now();
         // Never more shards than engines: each view needs a pool to run
@@ -337,7 +346,7 @@ impl ShardedEngine {
         for (engine, view) in self.engines.iter().zip(&views) {
             engine.install_snapshot(Arc::clone(&view.snapshot), build)?;
         }
-        *self.fleet.lock().unwrap() = Arc::new(Fleet {
+        *self.fleet.lock() = Arc::new(Fleet {
             generation: next,
             views,
         });
@@ -365,12 +374,14 @@ impl ShardedEngine {
             .iter()
             .map(|v| rect_lower_bounds(&v.rect, anchors))
             .collect();
-        let primary = (0..fleet.views.len())
-            .min_by(|&a, &b| {
-                let (sa, sb) = (bounds[a].iter().sum::<f64>(), bounds[b].iter().sum::<f64>());
-                sa.total_cmp(&sb)
-            })
-            .expect("at least one shard");
+        let Some(primary) = (0..fleet.views.len()).min_by(|&a, &b| {
+            let (sa, sb) = (bounds[a].iter().sum::<f64>(), bounds[b].iter().sum::<f64>());
+            sa.total_cmp(&sb)
+        }) else {
+            // Unreachable in practice: new() and reindex() both refuse
+            // empty datasets, so every published fleet has a shard.
+            return Err(ShardError::InvalidConfig("fleet has no shards".into()));
+        };
 
         // Seed: the primary shard's skyline points are real answers whose
         // distance vectors prune distant shards.
@@ -415,7 +426,7 @@ impl ShardedEngine {
 
         // Merge to the exact global skyline through the warm arena.
         let skyline = {
-            let mut scratch = self.merge_scratch.lock().unwrap();
+            let mut scratch = self.merge_scratch.lock();
             merge_candidates_with(&ctx, &candidates, &mut stats, &mut scratch)
         };
         let latency = start.elapsed();
@@ -466,12 +477,12 @@ impl ShardedEngine {
                 .iter()
                 .map(|v| rect_lower_bounds(&v.rect, ctx.anchors()))
                 .collect();
-            let primary = (0..shards)
-                .min_by(|&i, &j| {
-                    let (si, sj) = (b[i].iter().sum::<f64>(), b[j].iter().sum::<f64>());
-                    si.total_cmp(&sj)
-                })
-                .expect("at least one shard");
+            let Some(primary) = (0..shards).min_by(|&i, &j| {
+                let (si, sj) = (b[i].iter().sum::<f64>(), b[j].iter().sum::<f64>());
+                si.total_cmp(&sj)
+            }) else {
+                return Err(ShardError::InvalidConfig("fleet has no shards".into()));
+            };
             bounds.push(b);
             primaries.push(primary);
         }
@@ -522,7 +533,7 @@ impl ShardedEngine {
         }
 
         // Merge every query through the same warm arena.
-        let mut scratch = self.merge_scratch.lock().unwrap();
+        let mut scratch = self.merge_scratch.lock();
         let mut out = Vec::with_capacity(queries.len());
         for (qi, ctx) in ctxs.iter().enumerate() {
             let skyline = merge_candidates_with(ctx, &candidates[qi], &mut stats[qi], &mut scratch);

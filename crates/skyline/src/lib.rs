@@ -26,6 +26,7 @@
 //! indices of the non-dominated rows.
 
 #![deny(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(clippy::all)]
 
 /// Returns `true` when `a` dominates `b`: `a[i] <= b[i]` on every

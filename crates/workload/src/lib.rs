@@ -15,6 +15,7 @@
 //! continuous (VCS²) experiments.
 
 #![deny(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(clippy::all)]
 
 pub mod motion;

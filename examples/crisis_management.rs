@@ -87,7 +87,7 @@ fn main() {
             .iter()
             .map(|&f| f.distance(buildings[b as usize]))
             .fold(f64::INFINITY, f64::min);
-        da.partial_cmp(&db).unwrap()
+        da.total_cmp(&db)
     });
     println!("\nMost urgent (nearest to a fire):");
     for &i in urgent.iter().take(5) {

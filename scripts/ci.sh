@@ -1,12 +1,20 @@
 #!/usr/bin/env bash
 # The whole local gate, fully offline. Run before pushing.
 #
-#   scripts/ci.sh
+#   scripts/ci.sh             # the mandatory gate
+#   SSQ_CI_DEEP=1 scripts/ci.sh   # + miri and ThreadSanitizer stages
 #
-# Mirrors what reviewers run: format check, clippy (mandatory — a missing
-# clippy component fails the gate), release build, full tests.
+# Mirrors what reviewers run: static analysis, format check, clippy
+# (mandatory — a missing clippy component fails the gate), release build,
+# full tests. The deep stages need a nightly toolchain with the miri and
+# rust-src components; when those are absent each stage prints a SKIPPED
+# notice and the gate continues — deep stages never fail the build by
+# being unavailable, only by finding bugs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "==> ssq-analyze (mandatory static analysis; exit 1 = violations, 2 = internal error)"
+cargo run -q -p ssq-analyze
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -26,5 +34,30 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "==> bench smoke (kernel hot path; fails on panics or non-finite numbers)"
 cargo run --release -p ssq-bench --bin throughput_scaling -- --smoke
 test -s BENCH_hotpath.json
+
+if [[ "${SSQ_CI_DEEP:-0}" == "1" ]]; then
+    echo "==> deep: miri (undefined-behavior check on the core unit tests)"
+    if cargo +nightly miri --version >/dev/null 2>&1; then
+        # Unit tests only: miri cannot spawn real OS threads fast enough
+        # for the pool integration tests to be worth the hours.
+        MIRIFLAGS="-Zmiri-disable-isolation" \
+            cargo +nightly miri test -p ssq-geom -p ssq-core --lib -q
+    else
+        echo "    SKIPPED: nightly miri not installed (rustup +nightly component add miri)"
+    fi
+
+    echo "==> deep: ThreadSanitizer (data-race check on the engine concurrency tests)"
+    if cargo +nightly --version >/dev/null 2>&1 \
+        && [[ -d "$(rustc +nightly --print sysroot 2>/dev/null)/lib/rustlib/src/rust/library" ]]; then
+        RUSTFLAGS="-Zsanitizer=thread" \
+            cargo +nightly test -Zbuild-std \
+            --target x86_64-unknown-linux-gnu \
+            -p ssq-engine --test lock_order -q
+    else
+        echo "    SKIPPED: nightly rust-src not installed (rustup +nightly component add rust-src)"
+    fi
+else
+    echo "==> deep stages skipped (set SSQ_CI_DEEP=1 to run miri + ThreadSanitizer)"
+fi
 
 echo "==> ci.sh: all green"

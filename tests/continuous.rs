@@ -103,8 +103,7 @@ fn single_moving_query_point() {
             .min_by(|&a, &b| {
                 points[a as usize]
                     .distance_sq(q)
-                    .partial_cmp(&points[b as usize].distance_sq(q))
-                    .unwrap()
+                    .total_cmp(&points[b as usize].distance_sq(q))
             })
             .unwrap();
         let sky = cont.skyline();
