@@ -38,15 +38,19 @@ pub use rules::{analyze_source, FileConfig, Rule, Violation};
 ///   of `rtree` and `delaunay` (their structures are published inside
 ///   immutable `Snapshot`s), the engine's snapshot types, and the
 ///   core spatial index they wrap.
-/// * `no-panic` guards non-test library code of `engine` and `shard` —
-///   the crates whose public contract is typed errors.
+/// * `no-panic` guards non-test library code of `engine`, `shard`, and
+///   `net` — the crates whose public contract is typed errors (for
+///   `net` the contract is load-bearing: a malformed frame from the
+///   network must come back as a `ProtocolError`, never a panic).
 pub fn config_for_path(path: &str) -> FileConfig {
     let p = path.replace('\\', "/");
     let shared_cell = p.contains("crates/rtree/src/")
         || p.contains("crates/delaunay/src/")
         || p.ends_with("crates/engine/src/snapshot.rs")
         || p.ends_with("crates/core/src/index.rs");
-    let no_panic = p.contains("crates/engine/src/") || p.contains("crates/shard/src/");
+    let no_panic = p.contains("crates/engine/src/")
+        || p.contains("crates/shard/src/")
+        || p.contains("crates/net/src/");
     FileConfig {
         shared_cell,
         no_panic,
@@ -66,6 +70,8 @@ mod tests {
 
         assert!(config_for_path("crates/engine/src/engine.rs").no_panic);
         assert!(config_for_path("crates/shard/src/router.rs").no_panic);
+        assert!(config_for_path("crates/net/src/wire.rs").no_panic);
+        assert!(!config_for_path("crates/net/tests/protocol_robustness.rs").no_panic);
         assert!(!config_for_path("crates/engine/tests/lock_order.rs").no_panic);
         assert!(!config_for_path("crates/geom/src/kernel.rs").no_panic);
     }

@@ -16,6 +16,13 @@
 //!                [--area 0.001] [--seed 7] [--shards N] [--policy grid|kd]
 //! ssq shard-stats --data points.csv --shards N [--policy grid|kd]
 //!                [--queries 200] [--count 5] [--area 0.001] [--seed 7]
+//! ssq serve    --data points.csv [--addr 127.0.0.1:0] [--threads 0]
+//!                [--shards N] [--policy grid|kd] [--window 64]
+//!                [--max-conn 256] [--algorithm naive|bbs|b2s2|vs2]
+//! ssq net-throughput --addr host:port [--connections 4] [--pipeline 16]
+//!                [--requests 1000] [--batch 0] [--distinct 16]
+//!                [--count 5] [--area 0.001] [--seed 7]
+//!                [--algorithm naive|bbs|b2s2|vs2]
 //! ```
 //!
 //! `query` prints one result row per skyline point:
@@ -100,6 +107,13 @@ USAGE:
   ssq shard-stats --data <file.csv> --shards <n> [--policy grid|kd]
                [--queries <n>] [--count <pts/set>] [--area <frac>]
                [--seed <u64>]
+  ssq serve    --data <file.csv> [--addr <host:port>] [--threads <n>]
+               [--shards <n>] [--policy grid|kd] [--window <n>]
+               [--max-conn <n>] [--algorithm naive|bbs|b2s2|vs2]
+  ssq net-throughput --addr <host:port> [--connections <n>]
+               [--pipeline <depth>] [--requests <n>] [--batch <n>]
+               [--distinct <sets>] [--count <pts/set>] [--area <frac>]
+               [--seed <u64>] [--algorithm naive|bbs|b2s2|vs2]
 
 A data CSV has rows `x,y[,attr1,attr2,...]`; attribute columns are used
 only with --mixed (minimize semantics). Query points are separated by
@@ -121,7 +135,14 @@ see traffic), and the report shows the build time and how many queries
 each generation served. `shard-stats`
 partitions the data, runs a probe workload, and reports per-shard sizes,
 rects, fan-out and prune rates, plus the fleet's snapshot generation and
-swap counters.";
+swap counters. `serve` binds a TCP socket (ephemeral port with `:0`,
+printed as `listening on <addr>`) and speaks the ssq-net binary
+protocol — pipelined queries, batches, continuous sessions (single
+engine only), stats — until stdin closes, then drains in-flight work
+and reports the connection/shed counters. `net-throughput` is the
+matching load generator: `--connections` clients each keep
+`--pipeline` requests in flight against a running `serve`, counting
+results and typed RetryLater shedding.";
 
 /// Entry point: parses `args` (without the program name) and runs.
 pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
@@ -134,6 +155,12 @@ pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         Some("throughput") => throughput(&args[1..], out),
         Some("reindex") => reindex_cmd(&args[1..], out),
         Some("shard-stats") => shard_stats(&args[1..], out),
+        Some("serve") => {
+            let stdin = std::io::stdin();
+            let mut control = stdin.lock();
+            serve_with_control(&args[1..], out, &mut control)
+        }
+        Some("net-throughput") => net_throughput(&args[1..], out),
         Some("--help") | Some("-h") | Some("help") => {
             writeln!(out, "{USAGE}")?;
             Ok(())
@@ -1185,7 +1212,350 @@ fn shard_stats<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         .map(|(g, n)| format!("gen{g}={n}"))
         .collect();
     writeln!(out, "queries/gen: {}", split.join(" "))?;
+    writeln!(
+        out,
+        "net:        accepted={} active={} shed_conn={} shed_req={} frame_errors={}",
+        m.engines.net.accepted,
+        m.engines.net.active,
+        m.engines.net.shed_connections,
+        m.engines.net.shed_requests,
+        m.engines.net.frame_errors
+    )?;
     engine.shutdown();
+    Ok(())
+}
+
+/// `ssq serve`, with the lifetime tied to `control`: the server runs
+/// until `control` reaches EOF (stdin closing, for the real binary),
+/// then drains and reports. Split out so tests can drive the control
+/// channel without a real stdin.
+pub fn serve_with_control<W: Write>(
+    args: &[String],
+    out: &mut W,
+    control: &mut dyn std::io::Read,
+) -> Result<(), CliError> {
+    use ssq_engine::{Algorithm, Engine, EngineConfig};
+    use ssq_net::{Server, ServerConfig};
+    use ssq_shard::{ShardConfig, ShardedEngine};
+
+    let data = PathBuf::from(
+        flag_value(args, "--data").ok_or_else(|| CliError::Usage("serve needs --data".into()))?,
+    );
+    let addr = flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:0".into());
+    let threads: usize = flag_value(args, "--threads")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--threads must be an integer".into()))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    let shards: usize = flag_value(args, "--shards")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--shards must be an integer".into()))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    let policy: ssq_shard::PartitionPolicy = flag_value(args, "--policy")
+        .map(|s| s.parse().map_err(CliError::Usage))
+        .transpose()?
+        .unwrap_or(ssq_shard::PartitionPolicy::Grid);
+    let forced: Option<Algorithm> = flag_value(args, "--algorithm")
+        .map(|s| s.parse().map_err(CliError::Usage))
+        .transpose()?;
+    let mut server_config = ssq_net::ServerConfig::default();
+    if let Some(window) = flag_value(args, "--window") {
+        server_config.per_client_window = window
+            .parse()
+            .map_err(|_| CliError::Usage("--window must be an integer".into()))?;
+    }
+    if let Some(cap) = flag_value(args, "--max-conn") {
+        server_config.max_connections = cap
+            .parse()
+            .map_err(|_| CliError::Usage("--max-conn must be an integer".into()))?;
+    }
+
+    let table = csv::read_points(BufReader::new(File::open(&data)?))?;
+    if table.points.is_empty() {
+        return Err(CliError::Other("data file has no points".into()));
+    }
+    let mut engine_config = EngineConfig::default();
+    if threads > 0 {
+        engine_config.workers = threads;
+    }
+    engine_config.forced_algorithm = forced;
+
+    let start = |config: ServerConfig| -> Result<Server, CliError> {
+        if shards > 0 {
+            let fleet = ShardedEngine::new(
+                &table.points,
+                ShardConfig::default()
+                    .with_shards(shards)
+                    .with_policy(policy)
+                    .with_engine(engine_config.clone()),
+            )
+            .map_err(|e| CliError::Other(format!("cannot start sharded engine: {e}")))?;
+            Server::serve_sharded(addr.as_str(), fleet, config)
+                .map_err(|e| CliError::Other(format!("cannot serve: {e}")))
+        } else {
+            let engine = Engine::new(&table.points, engine_config.clone())
+                .map_err(|e| CliError::Other(format!("cannot start engine: {e}")))?;
+            Server::serve(addr.as_str(), engine, config)
+                .map_err(|e| CliError::Other(format!("cannot serve: {e}")))
+        }
+    };
+    let server = start(server_config)?;
+
+    // The line load generators (and the CI smoke stage) parse: flush it
+    // before blocking on the control channel.
+    writeln!(out, "listening on {}", server.local_addr())?;
+    writeln!(
+        out,
+        "serving:    {} points ({}){}",
+        table.points.len(),
+        data.display(),
+        if shards > 0 {
+            format!(", {shards} shards ({policy})")
+        } else {
+            String::new()
+        }
+    )?;
+    out.flush()?;
+
+    // Serve until the control channel closes (stdin EOF / ^D).
+    let mut sink = [0u8; 256];
+    loop {
+        match control.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+
+    let metrics = server.shutdown();
+    writeln!(out, "shutdown:   drained clean")?;
+    writeln!(
+        out,
+        "served:     {} queries, {:.1}% cache hit rate",
+        metrics.queries(),
+        metrics.cache_hit_rate() * 100.0
+    )?;
+    writeln!(
+        out,
+        "net:        accepted={} shed_conn={} shed_req={} bytes_in={} bytes_out={} frame_errors={} write_timeouts={}",
+        metrics.net.accepted,
+        metrics.net.shed_connections,
+        metrics.net.shed_requests,
+        metrics.net.bytes_in,
+        metrics.net.bytes_out,
+        metrics.net.frame_errors,
+        metrics.net.write_timeouts
+    )?;
+    Ok(())
+}
+
+fn net_throughput<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
+    use ssq_engine::Algorithm;
+    use ssq_net::{Client, Frame};
+    use ssq_workload::{random_query_set, QueryConfig};
+    use std::time::Instant;
+
+    let addr = flag_value(args, "--addr")
+        .ok_or_else(|| CliError::Usage("net-throughput needs --addr".into()))?;
+    let connections: usize = flag_value(args, "--connections")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--connections must be an integer".into()))
+        })
+        .transpose()?
+        .unwrap_or(4)
+        .max(1);
+    let pipeline: usize = flag_value(args, "--pipeline")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--pipeline must be an integer".into()))
+        })
+        .transpose()?
+        .unwrap_or(16)
+        .max(1);
+    let requests: usize = flag_value(args, "--requests")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--requests must be an integer".into()))
+        })
+        .transpose()?
+        .unwrap_or(1000);
+    let batch: usize = flag_value(args, "--batch")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--batch must be an integer".into()))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    let distinct: usize = flag_value(args, "--distinct")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--distinct must be an integer".into()))
+        })
+        .transpose()?
+        .unwrap_or(16)
+        .max(1);
+    let count: usize = flag_value(args, "--count")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--count must be an integer".into()))
+        })
+        .transpose()?
+        .unwrap_or(5)
+        .max(1);
+    let area: f64 = flag_value(args, "--area")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--area must be a number".into()))
+        })
+        .transpose()?
+        .unwrap_or(0.001);
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--seed must be an integer".into()))
+        })
+        .transpose()?
+        .unwrap_or(7);
+    let forced: Option<Algorithm> = flag_value(args, "--algorithm")
+        .map(|s| s.parse().map_err(CliError::Usage))
+        .transpose()?;
+    if requests == 0 {
+        return Err(CliError::Usage("--requests must be nonzero".into()));
+    }
+
+    // One probe connection learns the dataset's bounding rect, so the
+    // load is drawn from the region the server actually covers.
+    let mut probe = Client::connect(&addr)
+        .map_err(|e| CliError::Other(format!("cannot connect to {addr}: {e}")))?;
+    let stats = probe
+        .stats()
+        .map_err(|e| CliError::Other(format!("stats request failed: {e}")))?;
+    let _ = probe.goodbye();
+    writeln!(
+        out,
+        "target:     {} ({} points, generation {})",
+        addr, stats.data_len, stats.generation
+    )?;
+
+    let query_sets: Vec<Vec<ssq_geom::Point>> = (0..distinct)
+        .map(|i| {
+            random_query_set(&QueryConfig {
+                count,
+                mbr_area_fraction: area,
+                universe: stats.universe,
+                seed: seed.wrapping_add(i as u64),
+            })
+        })
+        .collect();
+    let query_sets = std::sync::Arc::new(query_sets);
+
+    let per_conn = requests.div_ceil(connections);
+    let started = Instant::now();
+    let drivers: Vec<std::thread::JoinHandle<Result<(usize, usize), String>>> = (0..connections)
+        .map(|c| {
+            let addr = addr.clone();
+            let sets = std::sync::Arc::clone(&query_sets);
+            std::thread::spawn(move || -> Result<(usize, usize), String> {
+                let mut client = Client::connect(&addr).map_err(|e| format!("connect: {e}"))?;
+                let mut ok = 0usize;
+                let mut shed = 0usize;
+                let mut absorb = |frame: Frame| -> Result<(), String> {
+                    match frame {
+                        Frame::QueryResult(_) => ok += 1,
+                        Frame::BatchResult(results) => ok += results.len(),
+                        Frame::RetryLater { .. } => shed += 1,
+                        Frame::Error { code, message } => {
+                            return Err(format!("server error {code:?}: {message}"))
+                        }
+                        other => return Err(format!("unexpected frame {other:?}")),
+                    }
+                    Ok(())
+                };
+                let mut in_flight: std::collections::VecDeque<u64> =
+                    std::collections::VecDeque::new();
+                let mut sent = 0usize;
+                let mut next = c; // stagger which set each connection starts on
+                while sent < per_conn {
+                    let id = if batch > 0 {
+                        let chunk: Vec<Vec<ssq_geom::Point>> = (0..batch)
+                            .map(|i| sets[(next + i) % sets.len()].clone())
+                            .collect();
+                        client
+                            .submit_batch(&chunk)
+                            .map_err(|e| format!("submit: {e}"))?
+                    } else {
+                        client
+                            .submit(&sets[next % sets.len()], forced)
+                            .map_err(|e| format!("submit: {e}"))?
+                    };
+                    next += 1;
+                    sent += 1;
+                    in_flight.push_back(id);
+                    if in_flight.len() >= pipeline {
+                        if let Some(id) = in_flight.pop_front() {
+                            absorb(client.await_id(id).map_err(|e| format!("await: {e}"))?)?;
+                        }
+                    }
+                }
+                for id in in_flight {
+                    absorb(client.await_id(id).map_err(|e| format!("await: {e}"))?)?;
+                }
+                let _ = client.goodbye();
+                Ok((ok, shed))
+            })
+        })
+        .collect();
+
+    let mut ok = 0usize;
+    let mut shed = 0usize;
+    for (c, driver) in drivers.into_iter().enumerate() {
+        let (o, s) = driver
+            .join()
+            .map_err(|_| CliError::Other(format!("driver {c} panicked")))?
+            .map_err(|e| CliError::Other(format!("driver {c}: {e}")))?;
+        ok += o;
+        shed += s;
+    }
+    let elapsed = started.elapsed();
+
+    writeln!(
+        out,
+        "drive:      {connections} connections x {pipeline} pipeline, {} frames{}",
+        per_conn * connections,
+        if batch > 0 {
+            format!(" ({batch} queries each)")
+        } else {
+            String::new()
+        }
+    )?;
+    writeln!(
+        out,
+        "served:     {} results, {} shed (RetryLater) in {:.3}s -> {:.0} results/s",
+        ok,
+        shed,
+        elapsed.as_secs_f64(),
+        ok as f64 / elapsed.as_secs_f64().max(1e-9)
+    )?;
+    let mut final_probe = Client::connect(&addr)
+        .map_err(|e| CliError::Other(format!("cannot reconnect to {addr}: {e}")))?;
+    let after = final_probe
+        .stats()
+        .map_err(|e| CliError::Other(format!("final stats failed: {e}")))?;
+    let _ = final_probe.goodbye();
+    writeln!(
+        out,
+        "server:     accepted={} shed_req={} bytes_in={} bytes_out={} frame_errors={}",
+        after.net.accepted,
+        after.net.shed_requests,
+        after.net.bytes_in,
+        after.net.bytes_out,
+        after.net.frame_errors
+    )?;
     Ok(())
 }
 
@@ -1715,5 +2085,176 @@ mod tests {
             Err(CliError::Usage(_))
         ));
         assert!(run(&["--help".to_string()], &mut out).is_ok());
+        assert!(matches!(
+            run(&["net-throughput".to_string()], &mut out),
+            Err(CliError::Usage(_))
+        ));
+        let mut control = std::io::empty();
+        assert!(matches!(
+            serve_with_control(&[], &mut out, &mut control),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    /// `Write` into a shared buffer, so the test can watch `serve`'s
+    /// output (the `listening on` line) while the command still runs.
+    #[derive(Clone)]
+    struct SharedOut(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl Write for SharedOut {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// A stand-in for stdin: `read` blocks until the test raises the
+    /// stop flag, then reports EOF — exactly how closing stdin looks.
+    struct ControlPipe(std::sync::Arc<(std::sync::Mutex<bool>, std::sync::Condvar)>);
+
+    impl std::io::Read for ControlPipe {
+        fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+            let (stopped, signal) = &*self.0;
+            let mut done = stopped.lock().unwrap();
+            while !*done {
+                done = signal.wait(done).unwrap();
+            }
+            Ok(0)
+        }
+    }
+
+    #[test]
+    fn serve_and_net_throughput_round_trip() {
+        let data = tmpfile("serve");
+        run_ok(&[
+            "generate",
+            "--n",
+            "400",
+            "--out",
+            data.to_str().unwrap(),
+            "--seed",
+            "11",
+        ]);
+
+        let shared = SharedOut(std::sync::Arc::new(std::sync::Mutex::new(Vec::new())));
+        let stop = std::sync::Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+        let server_thread = {
+            let mut out = shared.clone();
+            let mut control = ControlPipe(std::sync::Arc::clone(&stop));
+            let args: Vec<String> = [
+                "--data",
+                data.to_str().unwrap(),
+                "--addr",
+                "127.0.0.1:0",
+                "--threads",
+                "2",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            std::thread::spawn(move || serve_with_control(&args, &mut out, &mut control))
+        };
+
+        // Wait for the flushed `listening on <addr>` line and parse the
+        // ephemeral port out of it.
+        let addr = {
+            let mut addr = None;
+            for _ in 0..250 {
+                let text = String::from_utf8(shared.0.lock().unwrap().clone()).unwrap();
+                if let Some(line) = text.lines().find(|l| l.starts_with("listening on ")) {
+                    addr = Some(line.trim_start_matches("listening on ").to_string());
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            addr.expect("serve never printed its address")
+        };
+
+        let report = run_ok(&[
+            "net-throughput",
+            "--addr",
+            &addr,
+            "--connections",
+            "3",
+            "--pipeline",
+            "8",
+            "--requests",
+            "120",
+            "--seed",
+            "3",
+        ]);
+        assert!(report.contains("target:"), "report was: {report}");
+        assert!(report.contains("results/s"), "report was: {report}");
+        assert!(report.contains("accepted="), "report was: {report}");
+
+        // Batched drive over the same server.
+        let batched = run_ok(&[
+            "net-throughput",
+            "--addr",
+            &addr,
+            "--connections",
+            "2",
+            "--pipeline",
+            "4",
+            "--requests",
+            "20",
+            "--batch",
+            "5",
+        ]);
+        assert!(
+            batched.contains("(5 queries each)"),
+            "report was: {batched}"
+        );
+
+        // Close the control channel: serve must drain and report.
+        {
+            let (stopped, signal) = &*stop;
+            *stopped.lock().unwrap() = true;
+            signal.notify_all();
+        }
+        server_thread
+            .join()
+            .expect("serve thread panicked")
+            .expect("serve failed");
+        let text = String::from_utf8(shared.0.lock().unwrap().clone()).unwrap();
+        assert!(
+            text.contains("shutdown:   drained clean"),
+            "serve said: {text}"
+        );
+        assert!(text.contains("accepted="), "serve said: {text}");
+        let _ = std::fs::remove_file(&data);
+    }
+
+    #[test]
+    fn shard_stats_reports_net_counters() {
+        let data = tmpfile("shardnet");
+        run_ok(&[
+            "generate",
+            "--n",
+            "300",
+            "--out",
+            data.to_str().unwrap(),
+            "--seed",
+            "5",
+        ]);
+        let report = run_ok(&[
+            "shard-stats",
+            "--data",
+            data.to_str().unwrap(),
+            "--shards",
+            "2",
+            "--queries",
+            "10",
+        ]);
+        // A local fleet has no socket front-end; the counters exist and
+        // read zero.
+        assert!(
+            report.contains("net:        accepted=0"),
+            "report was: {report}"
+        );
+        let _ = std::fs::remove_file(&data);
     }
 }

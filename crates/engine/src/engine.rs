@@ -3,7 +3,7 @@
 use crate::cache::ContextCache;
 use crate::metrics::{EngineMetrics, MetricsSnapshot};
 use crate::planner::{Algorithm, Planner};
-use crate::pool::{WorkerPool, WorkerState};
+use crate::pool::{TrySubmitError, WorkerPool, WorkerState};
 use crate::snapshot::{Snapshot, SnapshotCatalog, StaleSnapshot};
 use crate::sync::{
     lock_unpoisoned, wait_timeout_unpoisoned, wait_unpoisoned, RankedMutex, RANK_ENGINE_REINDEX,
@@ -44,6 +44,11 @@ pub enum EngineError {
     Stale(StaleSnapshot),
     /// The engine is shutting down and no longer accepts work.
     Closed,
+    /// The job queue was at capacity when [`Engine::try_submit`] ran —
+    /// the admission-control signal: shed the request (e.g. answer
+    /// `RetryLater` over the wire) instead of blocking on
+    /// [`Engine::submit`].
+    QueueFull,
     /// The session id is unknown (never opened, or already closed).
     NoSuchSession,
     /// The OS refused to spawn a worker thread; the message is the
@@ -68,6 +73,7 @@ impl std::fmt::Display for EngineError {
             EngineError::Index(msg) => write!(f, "index build failed: {msg}"),
             EngineError::Stale(stale) => write!(f, "{stale}"),
             EngineError::Closed => write!(f, "engine is shut down"),
+            EngineError::QueueFull => write!(f, "engine job queue is full"),
             EngineError::NoSuchSession => write!(f, "unknown session id"),
             EngineError::Spawn(msg) => write!(f, "failed to spawn worker thread: {msg}"),
         }
@@ -244,6 +250,18 @@ impl<T> Ticket<T> {
         )
     }
 
+    /// Creates an unsubmitted ticket together with its producing half.
+    ///
+    /// Everything the engine hands out resolves through a `Ticket`; this
+    /// constructor lets layers *outside* the worker pool — the network
+    /// front-end driving a sharded-router fan-out on its own dispatcher
+    /// threads — complete work through the same primitive, so every
+    /// completion path looks identical to a waiting caller.
+    pub fn pair() -> (Ticket<T>, TicketFiller<T>) {
+        let (ticket, cell) = Ticket::new();
+        (ticket, TicketFiller { cell })
+    }
+
     /// Blocks until the worker delivers, consuming the ticket.
     pub fn wait(self) -> T {
         let mut slot = lock_unpoisoned(&self.cell.slot);
@@ -289,6 +307,21 @@ impl<T> Cell<T> {
     fn fill(&self, value: T) {
         *lock_unpoisoned(&self.slot) = Some(value);
         self.ready.notify_all();
+    }
+}
+
+/// The producing half of [`Ticket::pair`]: delivers the value exactly
+/// once, waking every waiter. Dropping the filler unfilled abandons the
+/// ticket — its `wait` would block forever, so use `wait_timeout` when
+/// the producer might disappear.
+pub struct TicketFiller<T> {
+    cell: Arc<Cell<T>>,
+}
+
+impl<T> TicketFiller<T> {
+    /// Delivers `value`, consuming the filler (a ticket is one-shot).
+    pub fn fill(self, value: T) {
+        self.cell.fill(value);
     }
 }
 
@@ -531,6 +564,36 @@ impl Engine {
         ticket
     }
 
+    /// Like [`Engine::submit`] but never blocks: a full job queue comes
+    /// back as [`EngineError::QueueFull`] immediately.
+    ///
+    /// This is the admission-control entry point for front-ends that
+    /// must shed load with a typed retry signal — blocking in `submit`
+    /// would stall a connection's reader thread and, behind it, every
+    /// pipelined request on that connection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request's query set is empty.
+    pub fn try_submit(&self, request: QueryRequest) -> Result<QueryHandle, EngineError> {
+        assert!(
+            !request.query.is_empty(),
+            "a spatial skyline query needs at least one query point"
+        );
+        let (ticket, cell) = Ticket::new();
+        let shared = Arc::clone(&self.shared);
+        self.pool
+            .try_submit(Box::new(move |state: &mut WorkerState| {
+                let snapshot = shared.catalog.current();
+                run_query(&shared, &snapshot, request, &cell, &mut state.scratch);
+            }))
+            .map_err(|e| match e {
+                TrySubmitError::Full => EngineError::QueueFull,
+                TrySubmitError::Closed => EngineError::Closed,
+            })?;
+        Ok(ticket)
+    }
+
     /// Like [`Engine::submit`] but answers against a caller-pinned
     /// snapshot instead of the catalog's current one.
     ///
@@ -599,6 +662,41 @@ impl Engine {
             "engine pool closed while the engine was alive"
         );
         ticket
+    }
+
+    /// Like [`Engine::submit_batch`] but never blocks: a full job queue
+    /// comes back as [`EngineError::QueueFull`] immediately (see
+    /// [`Engine::try_submit`]). An empty batch resolves immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request's query set is empty.
+    pub fn try_submit_batch(
+        &self,
+        requests: Vec<QueryRequest>,
+    ) -> Result<BatchTicket, EngineError> {
+        for r in &requests {
+            assert!(
+                !r.query.is_empty(),
+                "a spatial skyline query needs at least one query point"
+            );
+        }
+        let (ticket, cell) = Ticket::new();
+        if requests.is_empty() {
+            cell.fill(Vec::new());
+            return Ok(ticket);
+        }
+        let shared = Arc::clone(&self.shared);
+        self.pool
+            .try_submit(Box::new(move |state: &mut WorkerState| {
+                let snapshot = shared.catalog.current();
+                cell.fill(run_batch(&shared, &snapshot, requests, &mut state.scratch));
+            }))
+            .map_err(|e| match e {
+                TrySubmitError::Full => EngineError::QueueFull,
+                TrySubmitError::Closed => EngineError::Closed,
+            })?;
+        Ok(ticket)
     }
 
     /// Like [`Engine::submit_batch`] but answers against a caller-pinned

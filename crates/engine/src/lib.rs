@@ -72,10 +72,10 @@ pub mod sync;
 pub use cache::{CacheKey, ContextCache, QueryKey};
 pub use engine::{
     BatchTicket, Engine, EngineConfig, EngineError, QueryHandle, QueryRequest, QueryResponse,
-    SessionId, SessionUpdate, SnapshotSuperseded, Ticket, UpdateHandle,
+    SessionId, SessionUpdate, SnapshotSuperseded, Ticket, TicketFiller, UpdateHandle,
 };
-pub use metrics::{EngineMetrics, LatencyHistogram, LatencySnapshot, MetricsSnapshot};
+pub use metrics::{EngineMetrics, LatencyHistogram, LatencySnapshot, MetricsSnapshot, NetCounters};
 pub use planner::{Algorithm, Planner};
-pub use pool::{PoolClosed, WorkerPool, WorkerState};
+pub use pool::{PoolClosed, TrySubmitError, WorkerPool, WorkerState};
 pub use snapshot::{Snapshot, SnapshotCatalog, StaleSnapshot};
 pub use sync::{RankedGuard, RankedMutex};

@@ -239,7 +239,51 @@ impl EngineMetrics {
             queries_per_generation,
             latency: self.latency.snapshot(),
             stats,
+            net: NetCounters::default(),
         }
+    }
+}
+
+/// Network front-end counters, carried inside [`MetricsSnapshot`] so
+/// one metrics read answers for the whole serving stack. All zero for
+/// an engine that is not served over a socket; the `ssq-net` crate
+/// fills them from its own atomics when it snapshots a server.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetCounters {
+    /// Connections accepted over the server's lifetime.
+    pub accepted: u64,
+    /// Connections currently open.
+    pub active: u64,
+    /// Connections refused at the connection cap (greeted with a
+    /// `RetryLater` frame and closed).
+    pub shed_connections: u64,
+    /// Requests refused by admission control — the per-client in-flight
+    /// window or the engine job queue was full.
+    pub shed_requests: u64,
+    /// Bytes read off sockets.
+    pub bytes_in: u64,
+    /// Bytes written to sockets.
+    pub bytes_out: u64,
+    /// Malformed, oversized, or wrong-version frames received (each one
+    /// is fatal to its connection).
+    pub frame_errors: u64,
+    /// Writes abandoned because a client socket stalled past the write
+    /// timeout (the connection is then torn down).
+    pub write_timeouts: u64,
+}
+
+impl NetCounters {
+    /// Adds every counter of `other` into `self` — the fleet view over
+    /// several servers.
+    pub fn absorb(&mut self, other: &NetCounters) {
+        self.accepted += other.accepted;
+        self.active += other.active;
+        self.shed_connections += other.shed_connections;
+        self.shed_requests += other.shed_requests;
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+        self.frame_errors += other.frame_errors;
+        self.write_timeouts += other.write_timeouts;
     }
 }
 
@@ -272,6 +316,9 @@ pub struct MetricsSnapshot {
     pub latency: LatencySnapshot,
     /// Work counters absorbed from every query and update.
     pub stats: QueryStats,
+    /// Socket front-end counters (zero unless this snapshot came from a
+    /// running `ssq-net` server).
+    pub net: NetCounters,
 }
 
 impl MetricsSnapshot {
@@ -320,6 +367,7 @@ impl MetricsSnapshot {
         }
         self.latency.absorb(&other.latency);
         self.stats.absorb(&other.stats);
+        self.net.absorb(&other.net);
     }
 }
 
@@ -400,6 +448,49 @@ mod tests {
         assert_eq!(s.generation, 2);
         assert_eq!(s.swaps, 2);
         assert_eq!(s.last_build, Duration::from_millis(3));
+    }
+
+    #[test]
+    fn net_counters_absorb_additively() {
+        let mut a = NetCounters {
+            accepted: 3,
+            active: 1,
+            shed_connections: 2,
+            shed_requests: 5,
+            bytes_in: 100,
+            bytes_out: 200,
+            frame_errors: 1,
+            write_timeouts: 0,
+        };
+        let b = NetCounters {
+            accepted: 7,
+            active: 2,
+            shed_connections: 0,
+            shed_requests: 1,
+            bytes_in: 50,
+            bytes_out: 25,
+            frame_errors: 0,
+            write_timeouts: 4,
+        };
+        a.absorb(&b);
+        assert_eq!(a.accepted, 10);
+        assert_eq!(a.active, 3);
+        assert_eq!(a.shed_connections, 2);
+        assert_eq!(a.shed_requests, 6);
+        assert_eq!(a.bytes_in, 150);
+        assert_eq!(a.bytes_out, 225);
+        assert_eq!(a.frame_errors, 1);
+        assert_eq!(a.write_timeouts, 4);
+
+        // And through the MetricsSnapshot fleet fold.
+        let mut fleet = MetricsSnapshot::default();
+        let one = MetricsSnapshot {
+            net: b,
+            ..MetricsSnapshot::default()
+        };
+        fleet.absorb(&one);
+        fleet.absorb(&one);
+        assert_eq!(fleet.net.accepted, 14);
     }
 
     #[test]

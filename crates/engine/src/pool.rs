@@ -45,6 +45,28 @@ impl std::fmt::Display for PoolClosed {
 
 impl std::error::Error for PoolClosed {}
 
+/// Error returned by [`WorkerPool::try_submit`]; the job is dropped
+/// unexecuted in both cases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySubmitError {
+    /// The queue was at capacity. The caller should shed the work (or
+    /// retry later) instead of blocking.
+    Full,
+    /// Shutdown has begun.
+    Closed,
+}
+
+impl std::fmt::Display for TrySubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrySubmitError::Full => write!(f, "worker pool queue is full"),
+            TrySubmitError::Closed => write!(f, "worker pool is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for TrySubmitError {}
+
 struct Queue {
     jobs: VecDeque<Job>,
     capacity: usize,
@@ -124,6 +146,29 @@ impl WorkerPool {
         }
         if q.closed {
             return Err(PoolClosed);
+        }
+        q.jobs.push_back(job);
+        drop(q);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues a job if there is space, never blocking.
+    ///
+    /// Where [`WorkerPool::submit`] parks the caller while the queue is
+    /// full — backpressure for in-process producers that can afford to
+    /// wait — this is the admission-control variant: a full queue comes
+    /// back as [`TrySubmitError::Full`] immediately so a front-end can
+    /// shed the request with a typed retry signal instead of stalling
+    /// (and with it, every request queued behind it on the same
+    /// connection).
+    pub fn try_submit(&self, job: Job) -> Result<(), TrySubmitError> {
+        let mut q = lock_unpoisoned(&self.shared.queue);
+        if q.closed {
+            return Err(TrySubmitError::Closed);
+        }
+        if q.jobs.len() >= q.capacity {
+            return Err(TrySubmitError::Full);
         }
         q.jobs.push_back(job);
         drop(q);
@@ -225,6 +270,41 @@ mod tests {
         }
         pool.shutdown();
         assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn try_submit_reports_a_full_queue_without_blocking() {
+        // One worker parked inside a job, queue capacity 1: the first
+        // try_submit fills the queue, the second must fail fast. The
+        // start barrier guarantees the worker has dequeued the parking
+        // job (emptying the queue) before the try_submits race it.
+        let pool = WorkerPool::new(1, 1).unwrap();
+        let start = Arc::new(std::sync::Barrier::new(2));
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let s = Arc::clone(&start);
+        let g = Arc::clone(&gate);
+        pool.submit(Box::new(move |_state: &mut WorkerState| {
+            s.wait();
+            g.wait();
+        }))
+        .unwrap();
+        start.wait();
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&ran);
+        pool.try_submit(Box::new(move |_state: &mut WorkerState| {
+            r.fetch_add(1, Ordering::Relaxed);
+        }))
+        .unwrap();
+        let r2 = Arc::clone(&ran);
+        let err = pool
+            .try_submit(Box::new(move |_state: &mut WorkerState| {
+                r2.fetch_add(100, Ordering::Relaxed);
+            }))
+            .unwrap_err();
+        assert_eq!(err, TrySubmitError::Full);
+        gate.wait();
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::Relaxed), 1, "shed job must not run");
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //!
 //! | rank | lock | holder |
 //! |-----:|------|--------|
+//! |  50 | `net.connections` | ssq-net server's connection registry |
 //! | 100 | `shard.reindex` | serializes fleet-wide reindex |
 //! | 110 | `shard.fleet` | current [`Fleet`] snapshot pointer |
 //! | 150 | `engine.reindex` | serializes per-engine reindex |
@@ -25,6 +26,7 @@
 //! | 460 | `session.sky` | per-session continuous skyline |
 //! | 500 | `shard.merge` | cross-shard merge scratch arena |
 //! | 600 | `engine.metrics` | aggregated metrics (histogram + per-gen) |
+//! | 700 | `net.conn.writer` | per-connection socket write half + encode scratch |
 //!
 //! Acquisition must follow strictly ascending ranks, which makes the
 //! wait-for graph acyclic and the system deadlock-free: a cycle would
@@ -33,7 +35,13 @@
 //! engine.catalog`, `shard.reindex → shard.fleet`, `engine.reindex →
 //! engine.catalog`, `shard.fleet → engine.*` (query fan-out),
 //! `engine.sessions → session.pending → session.sky`, and `* →
-//! engine.metrics` (metrics is the universal leaf, hence the top rank).
+//! engine.metrics` (metrics is the universal leaf among engine locks).
+//! The two `net.*` locks bracket the table: the connection registry
+//! (rank 50) is held only for registry mutation — never across an
+//! engine call or a socket write — and a connection's writer lock
+//! (rank 700) is a per-connection leaf a thread may take after reading
+//! any engine state (e.g. a metrics snapshot for a stats frame), so it
+//! outranks everything.
 //!
 //! Short-lived condvar-paired mutexes (the worker-pool queue and the
 //! [`Ticket`](crate::Ticket) result cell) stay raw `Mutex`es — a
@@ -64,8 +72,17 @@ pub const RANK_SESSION_PENDING: u32 = 450;
 pub const RANK_SESSION_SKY: u32 = 460;
 /// Rank of the sharded router's merge scratch arena.
 pub const RANK_SHARD_MERGE: u32 = 500;
-/// Rank of the engine's aggregated metrics — the universal leaf lock.
+/// Rank of the engine's aggregated metrics — the universal leaf among
+/// engine locks.
 pub const RANK_METRICS: u32 = 600;
+/// Rank of the ssq-net server's connection registry — the outermost
+/// lock: taken bare at accept/teardown, released before any engine or
+/// socket work.
+pub const RANK_NET_CONNECTIONS: u32 = 50;
+/// Rank of an ssq-net connection's socket write half — a
+/// per-connection leaf above even `engine.metrics`, because a stats
+/// response snapshots the metrics before taking the writer to send it.
+pub const RANK_NET_WRITER: u32 = 700;
 
 #[cfg(debug_assertions)]
 thread_local! {

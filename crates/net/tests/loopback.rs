@@ -1,0 +1,343 @@
+//! End-to-end over real sockets on loopback: the server's answers must
+//! be identical to direct [`Engine::submit`], under real concurrency
+//! (8 connections × 16-deep pipelining), and overload must shed with
+//! typed `RetryLater` — never a hang, never an unbounded buffer.
+
+use ssq_engine::{Algorithm, Engine, EngineConfig, QueryRequest};
+use ssq_geom::Point;
+use ssq_net::wire::ALGORITHM_ROUTED;
+use ssq_net::{Client, Frame, Server, ServerConfig};
+use ssq_rng::Xoshiro256;
+use ssq_shard::{ShardConfig, ShardedEngine};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn dataset(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut pts: Vec<Point> = (0..n)
+        .map(|_| Point::new(rng.f64() * 10.0, rng.f64() * 10.0))
+        .collect();
+    pts.sort_by(Point::lex_cmp);
+    pts.dedup();
+    pts
+}
+
+fn random_query(rng: &mut Xoshiro256) -> Vec<Point> {
+    let n = 2 + rng.range_usize(5);
+    (0..n)
+        .map(|_| Point::new(rng.f64() * 10.0, rng.f64() * 10.0))
+        .collect()
+}
+
+const CONNECTIONS: usize = 8;
+const PIPELINE: usize = 16;
+
+#[test]
+fn pipelined_clients_match_direct_submission_exactly() {
+    let data = dataset(400, 0xAB);
+    let engine = Engine::new(&data, EngineConfig::default().with_workers(4)).unwrap();
+
+    // The oracle answers come from the very same engine, *before* it
+    // moves behind the socket — same snapshot generation, same planner.
+    let mut rng = Xoshiro256::seed_from_u64(0xAC);
+    let queries: Vec<Vec<Vec<Point>>> = (0..CONNECTIONS)
+        .map(|_| (0..PIPELINE).map(|_| random_query(&mut rng)).collect())
+        .collect();
+    let expected: Vec<Vec<(u64, Vec<u32>)>> = queries
+        .iter()
+        .map(|per_conn| {
+            per_conn
+                .iter()
+                .map(|q| {
+                    let resp = engine.submit(QueryRequest::new(q.clone())).wait();
+                    (resp.generation, resp.skyline)
+                })
+                .collect()
+        })
+        .collect();
+
+    let server = Server::serve("127.0.0.1:0", engine, ServerConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+
+    let queries = Arc::new(queries);
+    let expected = Arc::new(expected);
+    let clients: Vec<std::thread::JoinHandle<()>> = (0..CONNECTIONS)
+        .map(|c| {
+            let addr = addr.clone();
+            let queries = Arc::clone(&queries);
+            let expected = Arc::clone(&expected);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                // Fill the whole window before reading anything — true
+                // pipelining, not request/response turn-taking.
+                let ids: Vec<u64> = queries[c]
+                    .iter()
+                    .map(|q| client.submit(q, None).unwrap())
+                    .collect();
+                for (i, id) in ids.into_iter().enumerate() {
+                    match client.await_id(id).unwrap() {
+                        Frame::QueryResult(result) => {
+                            let (gen, sky) = &expected[c][i];
+                            assert_eq!(result.generation, *gen, "conn {c} query {i}");
+                            assert_eq!(&result.skyline, sky, "conn {c} query {i}");
+                        }
+                        other => panic!("conn {c} query {i}: unexpected frame {other:?}"),
+                    }
+                }
+                client.goodbye().unwrap();
+            })
+        })
+        .collect();
+    for handle in clients {
+        handle.join().unwrap();
+    }
+
+    let metrics = server.shutdown();
+    assert_eq!(metrics.net.accepted, CONNECTIONS as u64);
+    assert_eq!(metrics.net.active, 0, "every connection torn down");
+    assert_eq!(metrics.net.frame_errors, 0);
+    assert!(metrics.net.bytes_in > 0 && metrics.net.bytes_out > 0);
+}
+
+#[test]
+fn batch_and_stats_round_trip() {
+    let data = dataset(300, 0xB1);
+    let engine = Engine::new(&data, EngineConfig::default().with_workers(2)).unwrap();
+    let mut rng = Xoshiro256::seed_from_u64(0xB2);
+    let queries: Vec<Vec<Point>> = (0..6).map(|_| random_query(&mut rng)).collect();
+    let expected: Vec<Vec<u32>> = queries
+        .iter()
+        .map(|q| engine.submit(QueryRequest::new(q.clone())).wait().skyline)
+        .collect();
+
+    let server = Server::serve("127.0.0.1:0", engine, ServerConfig::default()).unwrap();
+    let mut client = Client::connect(&server.local_addr().to_string()).unwrap();
+    client.ping().unwrap();
+
+    let results = client.batch(&queries).unwrap();
+    assert_eq!(results.len(), queries.len());
+    for (i, result) in results.iter().enumerate() {
+        assert_eq!(result.skyline, expected[i], "batch item {i}");
+    }
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.data_len as usize, 300);
+    assert!(stats.queries >= queries.len() as u64);
+    assert_eq!(stats.net.accepted, 1);
+
+    client.goodbye().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn sessions_over_the_wire_track_the_engine() {
+    let data = dataset(250, 0xC1);
+    let engine = Engine::new(&data, EngineConfig::default().with_workers(2)).unwrap();
+    let server = Server::serve("127.0.0.1:0", engine, ServerConfig::default()).unwrap();
+    let mut client = Client::connect(&server.local_addr().to_string()).unwrap();
+
+    let q = vec![
+        Point::new(2.0, 2.0),
+        Point::new(7.0, 6.0),
+        Point::new(4.0, 8.0),
+    ];
+    // A session's initial skyline is the answer to its own query set.
+    let oracle = client.query_with(&q, Some(Algorithm::Vs2)).unwrap();
+    let (session, generation, skyline) = client.open_session(&q).unwrap();
+    assert_eq!(skyline, oracle.skyline);
+    assert_eq!(generation, oracle.generation);
+
+    let mut rng = Xoshiro256::seed_from_u64(0xC2);
+    for step in 0..10 {
+        let obj = rng.range_usize(q.len()) as u32;
+        let update = client
+            .session_next(session, obj, rng.f64() * 10.0, rng.f64() * 10.0)
+            .unwrap();
+        assert!(update.outcome <= 2, "step {step}");
+        assert_eq!(update.generation, generation, "no reindex happened");
+    }
+
+    assert!(client.close_session(session).unwrap());
+    assert!(
+        !client.close_session(session).unwrap(),
+        "second close finds nothing"
+    );
+    match client.session_next(session, 0, 1.0, 1.0) {
+        Err(ssq_net::NetError::Server { code, .. }) => {
+            assert_eq!(code, ssq_net::ErrorCode::NoSuchSession)
+        }
+        other => panic!("expected NoSuchSession, got {other:?}"),
+    }
+
+    client.goodbye().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn a_tiny_engine_queue_sheds_with_retry_later_and_recovers() {
+    // Worker starvation by construction: one worker, queue depth one,
+    // forced BBS on a big dataset so each query takes real time. A
+    // 64-deep burst MUST overflow the queue; admission control must
+    // answer the overflow with RetryLater — and everything it accepted
+    // with a correct result.
+    let data = dataset(2500, 0xD1);
+    let config = EngineConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..EngineConfig::default()
+    };
+    let engine = Engine::new(&data, config).unwrap();
+    let server = Server::serve(
+        "127.0.0.1:0",
+        engine,
+        ServerConfig::default().with_per_client_window(256),
+    )
+    .unwrap();
+    let mut client = Client::connect(&server.local_addr().to_string()).unwrap();
+
+    let mut rng = Xoshiro256::seed_from_u64(0xD2);
+    let queries: Vec<Vec<Point>> = (0..64).map(|_| random_query(&mut rng)).collect();
+    let ids: Vec<u64> = queries
+        .iter()
+        .map(|q| client.submit(q, Some(Algorithm::Bbs)).unwrap())
+        .collect();
+
+    let mut served = 0usize;
+    let mut shed = 0usize;
+    for id in ids {
+        match client.await_id(id).unwrap() {
+            Frame::QueryResult(result) => {
+                assert!(!result.skyline.is_empty());
+                served += 1;
+            }
+            Frame::RetryLater { backoff_ms } => {
+                assert!(backoff_ms > 0);
+                shed += 1;
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    assert_eq!(served + shed, 64);
+    assert!(served > 0, "the queue drained *something*");
+    assert!(shed > 0, "a 64-deep burst into a 1-deep queue must shed");
+
+    // The shed ids are gone, not queued: a follow-up query (with the
+    // sync helper's own backoff) must succeed — shedding is recoverable
+    // backpressure, not a closed door.
+    client.set_max_retries(64);
+    let result = client.query(&queries[0]).unwrap();
+    assert!(!result.skyline.is_empty());
+
+    client.goodbye().unwrap();
+    let metrics = server.shutdown();
+    assert_eq!(metrics.net.shed_requests, shed as u64);
+}
+
+#[test]
+fn the_per_client_window_sheds_before_the_engine_sees_anything() {
+    let data = dataset(200, 0xE1);
+    let engine = Engine::new(&data, EngineConfig::default().with_workers(1)).unwrap();
+    let server = Server::serve(
+        "127.0.0.1:0",
+        engine,
+        ServerConfig::default().with_per_client_window(2),
+    )
+    .unwrap();
+    let mut client = Client::connect(&server.local_addr().to_string()).unwrap();
+
+    // One slow-ish burst: with a window of 2, a 16-deep burst must see
+    // RetryLater for most of it.
+    let q = vec![Point::new(1.0, 1.0), Point::new(8.0, 8.0)];
+    let ids: Vec<u64> = (0..16).map(|_| client.submit(&q, None).unwrap()).collect();
+    let mut shed = 0usize;
+    for id in ids {
+        if let Frame::RetryLater { .. } = client.await_id(id).unwrap() {
+            shed += 1;
+        }
+    }
+    assert!(shed > 0, "a 16-deep burst into a 2-wide window must shed");
+    client.goodbye().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn a_sharded_backend_serves_queries_and_rejects_sessions() {
+    let data = dataset(600, 0xF1);
+    let sharded = ShardedEngine::new(
+        &data,
+        ShardConfig {
+            shards: 4,
+            engine: EngineConfig::default().with_workers(2),
+            ..ShardConfig::default()
+        },
+    )
+    .unwrap();
+    let mut rng = Xoshiro256::seed_from_u64(0xF2);
+    let queries: Vec<Vec<Point>> = (0..8).map(|_| random_query(&mut rng)).collect();
+    let expected: Vec<Vec<u32>> = queries
+        .iter()
+        .map(|q| sharded.query(q).unwrap().skyline)
+        .collect();
+
+    let server = Server::serve_sharded("127.0.0.1:0", sharded, ServerConfig::default()).unwrap();
+    let mut client = Client::connect(&server.local_addr().to_string()).unwrap();
+
+    for (i, q) in queries.iter().enumerate() {
+        let result = client.query(q).unwrap();
+        assert_eq!(result.skyline, expected[i], "routed query {i}");
+        assert_eq!(result.algorithm, ALGORITHM_ROUTED);
+    }
+
+    match client.open_session(&queries[0]) {
+        Err(ssq_net::NetError::Server { code, .. }) => {
+            assert_eq!(code, ssq_net::ErrorCode::Unsupported)
+        }
+        other => panic!("expected Unsupported for sharded sessions, got {other:?}"),
+    }
+
+    client.goodbye().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn a_connection_cap_of_one_sheds_the_second_dial() {
+    let data = dataset(150, 0xF7);
+    let engine = Engine::new(&data, EngineConfig::default().with_workers(1)).unwrap();
+    let server = Server::serve(
+        "127.0.0.1:0",
+        engine,
+        ServerConfig::default().with_max_connections(1),
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+
+    let mut first = Client::connect(&addr).unwrap();
+    first.ping().unwrap(); // the slot is definitely taken
+
+    // The second dial connects at TCP level but is greeted with
+    // RetryLater and closed.
+    let mut second = Client::connect(&addr).unwrap();
+    match second.recv() {
+        Ok((0, Frame::RetryLater { .. })) => {}
+        other => panic!("expected a RetryLater greeting, got {other:?}"),
+    }
+    match second.recv() {
+        Err(ssq_net::NetError::Disconnected) | Err(ssq_net::NetError::Io(_)) => {}
+        other => panic!("expected the shed connection to close, got {other:?}"),
+    }
+
+    first.goodbye().unwrap();
+    // The slot frees up (teardown may lag the goodbye by a beat).
+    let mut third = None;
+    for _ in 0..50 {
+        let mut candidate = Client::connect(&addr).unwrap();
+        if candidate.ping().is_ok() {
+            third = Some(candidate);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let metrics = server.shutdown();
+    assert!(third.is_some(), "the freed slot must accept again");
+    assert!(metrics.net.shed_connections >= 1);
+}

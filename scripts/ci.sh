@@ -35,6 +35,37 @@ echo "==> bench smoke (kernel hot path; fails on panics or non-finite numbers)"
 cargo run --release -p ssq-bench --bin throughput_scaling -- --smoke
 test -s BENCH_hotpath.json
 
+echo "==> net soak smoke (loopback server, 8 connections x 16 pipeline)"
+cargo run --release -p ssq-bench --bin net_soak -- --smoke
+test -s BENCH_net.json
+
+echo "==> net serve smoke (real ssq binary, ephemeral port, clean shutdown)"
+# ssq-analyze already covers crates/net (no-panic gate) in the first
+# stage; this drives the shipped binary end to end: serve on :0 with
+# stdin on a FIFO, burst a pipelined client at it, close the FIFO (EOF
+# = shutdown), and require the clean-drain report and exit 0.
+NET_SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$NET_SMOKE_DIR"' EXIT
+./target/release/ssq generate --n 500 --out "$NET_SMOKE_DIR/points.csv" --seed 7
+mkfifo "$NET_SMOKE_DIR/control"
+./target/release/ssq serve --data "$NET_SMOKE_DIR/points.csv" --addr 127.0.0.1:0 \
+    < "$NET_SMOKE_DIR/control" > "$NET_SMOKE_DIR/serve.log" &
+SERVE_PID=$!
+exec 9> "$NET_SMOKE_DIR/control"   # hold the write end: serve runs until we close it
+SERVE_ADDR=""
+for _ in $(seq 1 100); do
+    SERVE_ADDR="$(sed -n 's/^listening on //p' "$NET_SMOKE_DIR/serve.log" | head -n1)"
+    [[ -n "$SERVE_ADDR" ]] && break
+    sleep 0.1
+done
+[[ -n "$SERVE_ADDR" ]] || { echo "serve never printed its address"; exit 1; }
+./target/release/ssq net-throughput --addr "$SERVE_ADDR" \
+    --connections 8 --pipeline 16 --requests 400
+exec 9>&-                           # EOF on stdin: drain and exit
+wait "$SERVE_PID"                   # exit 0 or the gate fails (set -e)
+grep -q "drained clean" "$NET_SMOKE_DIR/serve.log" \
+    || { echo "serve did not report a clean drain"; cat "$NET_SMOKE_DIR/serve.log"; exit 1; }
+
 if [[ "${SSQ_CI_DEEP:-0}" == "1" ]]; then
     echo "==> deep: miri (undefined-behavior check on the core unit tests)"
     if cargo +nightly miri --version >/dev/null 2>&1; then

@@ -295,3 +295,64 @@ fn burst_of_session_updates_applies_in_submission_order() {
     }
     assert_eq!(engine.session_skyline(id).unwrap(), mirror.skyline());
 }
+
+#[test]
+fn abandoned_timed_out_tickets_leak_no_queue_slots() {
+    // The ssq-net server abandons tickets when a connection dies: it
+    // stops waiting and drops the handle mid-flight. The engine contract
+    // that makes this safe is that a dropped ticket releases everything —
+    // the worker's eventual fill lands in an abandoned cell, the queue
+    // slot is freed by the dequeue as usual, and the engine keeps
+    // serving. Regression: fill a tiny queue, time out on every ticket,
+    // drop them all, and prove fresh submissions still complete.
+    let data = dataset(800, 0xF1);
+    let config = EngineConfig {
+        workers: 1,
+        queue_capacity: 2,
+        ..EngineConfig::default()
+    };
+    let engine = Engine::new(&data, config).unwrap();
+    let mut rng = Xoshiro256::seed_from_u64(0xF2);
+
+    for round in 0..5 {
+        // Saturate: keep submitting until the queue turns us away.
+        let mut abandoned = Vec::new();
+        loop {
+            let q = random_query(&mut rng);
+            match engine.try_submit(QueryRequest::forced(q, Algorithm::Bbs)) {
+                Ok(handle) => abandoned.push(handle),
+                Err(spatial_skyline::engine::EngineError::QueueFull) => break,
+                Err(e) => panic!("round {round}: unexpected rejection {e}"),
+            }
+            assert!(
+                abandoned.len() <= 64,
+                "round {round}: a 2-slot queue admitted 64 jobs"
+            );
+        }
+        assert!(!abandoned.is_empty(), "round {round}: nothing was admitted");
+
+        // Time out fast on every ticket, then drop whatever came back —
+        // the connection-teardown pattern.
+        for handle in abandoned {
+            let _ = handle.wait_timeout(Duration::from_nanos(1));
+        }
+
+        // The engine must come all the way back: a fresh submission is
+        // accepted (once the backlog drains) and completes correctly.
+        let q = random_query(&mut rng);
+        let response = loop {
+            match engine.try_submit(QueryRequest::new(q.clone())) {
+                Ok(handle) => break handle.wait(),
+                Err(spatial_skyline::engine::EngineError::QueueFull) => {
+                    std::thread::sleep(Duration::from_millis(2))
+                }
+                Err(e) => panic!("round {round}: engine did not recover: {e}"),
+            }
+        };
+        let want = naive_full(&data, &QueryContext::new(&q)).skyline;
+        assert_eq!(
+            response.skyline, want,
+            "round {round}: post-abandonment answer diverged from the oracle"
+        );
+    }
+}
