@@ -16,9 +16,13 @@
 //!                [--area 0.001] [--seed 7] [--shards N] [--policy grid|kd]
 //! ssq shard-stats --data points.csv --shards N [--policy grid|kd]
 //!                [--queries 200] [--count 5] [--area 0.001] [--seed 7]
+//! ssq warm     --data points.csv --out hot.warm [--distinct 16]
+//!                [--count 3] [--area 0.001] [--seed 7] [--repeats 3]
+//!                [--limit 256]
 //! ssq serve    --data points.csv [--addr 127.0.0.1:0] [--threads 0]
 //!                [--shards N] [--policy grid|kd] [--window 64]
 //!                [--max-conn 256] [--algorithm naive|bbs|b2s2|vs2]
+//!                [--diagram] [--warm hot.warm]
 //! ssq net-throughput --addr host:port [--connections 4] [--pipeline 16]
 //!                [--requests 1000] [--batch 0] [--distinct 16]
 //!                [--count 5] [--area 0.001] [--seed 7]
@@ -107,9 +111,13 @@ USAGE:
   ssq shard-stats --data <file.csv> --shards <n> [--policy grid|kd]
                [--queries <n>] [--count <pts/set>] [--area <frac>]
                [--seed <u64>]
+  ssq warm     --data <file.csv> --out <file.warm> [--distinct <sets>]
+               [--count <pts/set>] [--area <frac>] [--seed <u64>]
+               [--repeats <n>] [--limit <keys>]
   ssq serve    --data <file.csv> [--addr <host:port>] [--threads <n>]
                [--shards <n>] [--policy grid|kd] [--window <n>]
                [--max-conn <n>] [--algorithm naive|bbs|b2s2|vs2]
+               [--diagram] [--warm <file.warm>]
   ssq net-throughput --addr <host:port> [--connections <n>]
                [--pipeline <depth>] [--requests <n>] [--batch <n>]
                [--distinct <sets>] [--count <pts/set>] [--area <frac>]
@@ -135,7 +143,13 @@ see traffic), and the report shows the build time and how many queries
 each generation served. `shard-stats`
 partitions the data, runs a probe workload, and reports per-shard sizes,
 rects, fan-out and prune rates, plus the fleet's snapshot generation and
-swap counters. `serve` binds a TCP socket (ephemeral port with `:0`,
+swap counters. `warm` drives a probe workload through a
+diagram-enabled engine and saves the hottest canonical query keys to a
+warm file; `serve --warm <file>` loads it and materializes those
+contexts and skyline-diagram cells *before* accepting traffic, so a
+restarted server has no cold-cache latency spike (`--diagram` enables
+the diagram without a warm file). `serve` binds a TCP socket
+(ephemeral port with `:0`,
 printed as `listening on <addr>`) and speaks the ssq-net binary
 protocol — pipelined queries, batches, continuous sessions (single
 engine only), stats — until stdin closes, then drains in-flight work
@@ -155,6 +169,7 @@ pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         Some("throughput") => throughput(&args[1..], out),
         Some("reindex") => reindex_cmd(&args[1..], out),
         Some("shard-stats") => shard_stats(&args[1..], out),
+        Some("warm") => warm_cmd(&args[1..], out),
         Some("serve") => {
             let stdin = std::io::stdin();
             let mut control = stdin.lock();
@@ -1193,6 +1208,16 @@ fn shard_stats<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
     )?;
     writeln!(
         out,
+        "diagram:    hits={} misses={} hit_rate={:.1}% cells={} warmed={} build={:.1}ms",
+        m.engines.diagram.hits,
+        m.engines.diagram.misses,
+        m.engines.diagram.hit_rate() * 100.0,
+        m.engines.diagram.cells,
+        m.engines.diagram.warmed,
+        m.engines.diagram.build.as_secs_f64() * 1e3
+    )?;
+    writeln!(
+        out,
         "work:       dominance_checks={} distance_computations={} allocations={}",
         m.engines.stats.dominance_checks,
         m.engines.stats.distance_computations,
@@ -1225,6 +1250,117 @@ fn shard_stats<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `ssq warm`: probe a diagram-enabled engine with a repeated-query
+/// workload, then save its hottest canonical keys as a warm file for
+/// `ssq serve --warm`.
+fn warm_cmd<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
+    use ssq_engine::{save_warm_keys, DiagramConfig, Engine, EngineConfig, QueryRequest};
+    use ssq_workload::{random_query_set, QueryConfig};
+
+    let data = PathBuf::from(
+        flag_value(args, "--data").ok_or_else(|| CliError::Usage("warm needs --data".into()))?,
+    );
+    let out_path = PathBuf::from(
+        flag_value(args, "--out").ok_or_else(|| CliError::Usage("warm needs --out".into()))?,
+    );
+    let distinct: usize = flag_value(args, "--distinct")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--distinct must be an integer".into()))
+        })
+        .transpose()?
+        .unwrap_or(16);
+    let diagram = DiagramConfig::default();
+    // Default to the largest anchor count the diagram materializes:
+    // bigger shapes would never become diagram cells.
+    let count: usize = flag_value(args, "--count")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--count must be an integer".into()))
+        })
+        .transpose()?
+        .unwrap_or(diagram.max_anchors);
+    let area: f64 = flag_value(args, "--area")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--area must be a number".into()))
+        })
+        .transpose()?
+        .unwrap_or(0.001);
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--seed must be an integer".into()))
+        })
+        .transpose()?
+        .unwrap_or(7);
+    let repeats: usize = flag_value(args, "--repeats")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--repeats must be an integer".into()))
+        })
+        .transpose()?
+        .unwrap_or(3);
+    let limit: usize = flag_value(args, "--limit")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--limit must be an integer".into()))
+        })
+        .transpose()?
+        .unwrap_or(256);
+    if distinct == 0 || count == 0 || repeats == 0 || limit == 0 {
+        return Err(CliError::Usage(
+            "--distinct, --count, --repeats, and --limit must be nonzero".into(),
+        ));
+    }
+    if count > diagram.max_anchors {
+        writeln!(
+            out,
+            "note: --count {} exceeds the diagram's max anchors ({}); \
+             such shapes never materialize as cells",
+            count, diagram.max_anchors
+        )?;
+    }
+
+    let table = csv::read_points(BufReader::new(File::open(&data)?))?;
+    if table.points.is_empty() {
+        return Err(CliError::Other("data file has no points".into()));
+    }
+    let universe = Rect::bounding(table.points.iter().copied());
+    let config = EngineConfig::default().with_diagram(diagram);
+    let quantum = config.cache_quantum;
+    let engine = Engine::new(&table.points, config)
+        .map_err(|e| CliError::Other(format!("cannot start engine: {e}")))?;
+    for i in 0..distinct {
+        let q = random_query_set(&QueryConfig {
+            count,
+            mbr_area_fraction: area,
+            universe,
+            seed: seed.wrapping_add(0x9E37).wrapping_add(i as u64),
+        });
+        for _ in 0..repeats {
+            engine.submit(QueryRequest::new(q.clone())).wait();
+        }
+    }
+    let keys = engine.hot_keys(limit);
+    save_warm_keys(&out_path, quantum, &keys)?;
+    writeln!(
+        out,
+        "probed:     {} queries over {} shapes ({} points each)",
+        distinct * repeats,
+        distinct,
+        count
+    )?;
+    writeln!(
+        out,
+        "saved:      {} hot keys to {}",
+        keys.len(),
+        out_path.display()
+    )?;
+    engine.shutdown();
+    Ok(())
+}
+
 /// `ssq serve`, with the lifetime tied to `control`: the server runs
 /// until `control` reaches EOF (stdin closing, for the real binary),
 /// then drains and reports. Split out so tests can drive the control
@@ -1234,8 +1370,8 @@ pub fn serve_with_control<W: Write>(
     out: &mut W,
     control: &mut dyn std::io::Read,
 ) -> Result<(), CliError> {
-    use ssq_engine::{Algorithm, Engine, EngineConfig};
-    use ssq_net::{Server, ServerConfig};
+    use ssq_engine::{load_warm_keys, Algorithm, DiagramConfig, Engine, EngineConfig};
+    use ssq_net::Server;
     use ssq_shard::{ShardConfig, ShardedEngine};
 
     let data = PathBuf::from(
@@ -1263,6 +1399,8 @@ pub fn serve_with_control<W: Write>(
     let forced: Option<Algorithm> = flag_value(args, "--algorithm")
         .map(|s| s.parse().map_err(CliError::Usage))
         .transpose()?;
+    let warm_file: Option<PathBuf> = flag_value(args, "--warm").map(PathBuf::from);
+    let diagram = has_flag(args, "--diagram") || warm_file.is_some();
     let mut server_config = ssq_net::ServerConfig::default();
     if let Some(window) = flag_value(args, "--window") {
         server_config.per_client_window = window
@@ -1284,27 +1422,48 @@ pub fn serve_with_control<W: Write>(
         engine_config.workers = threads;
     }
     engine_config.forced_algorithm = forced;
+    if diagram {
+        engine_config.diagram = Some(DiagramConfig::default());
+    }
 
-    let start = |config: ServerConfig| -> Result<Server, CliError> {
-        if shards > 0 {
-            let fleet = ShardedEngine::new(
-                &table.points,
-                ShardConfig::default()
-                    .with_shards(shards)
-                    .with_policy(policy)
-                    .with_engine(engine_config.clone()),
-            )
-            .map_err(|e| CliError::Other(format!("cannot start sharded engine: {e}")))?;
-            Server::serve_sharded(addr.as_str(), fleet, config)
-                .map_err(|e| CliError::Other(format!("cannot serve: {e}")))
-        } else {
-            let engine = Engine::new(&table.points, engine_config.clone())
-                .map_err(|e| CliError::Other(format!("cannot start engine: {e}")))?;
-            Server::serve(addr.as_str(), engine, config)
-                .map_err(|e| CliError::Other(format!("cannot serve: {e}")))
-        }
+    // Load and seed the warm file *before* the listener binds, so the
+    // first request a client can reach already hits warm cells.
+    let warm_keys = match &warm_file {
+        Some(path) => Some(
+            load_warm_keys(path)
+                .map_err(|e| CliError::Other(format!("cannot load {}: {e}", path.display())))?
+                .1,
+        ),
+        None => None,
     };
-    let server = start(server_config)?;
+    let mut warmed = 0usize;
+    let server = if shards > 0 {
+        let fleet = ShardedEngine::new(
+            &table.points,
+            ShardConfig::default()
+                .with_shards(shards)
+                .with_policy(policy)
+                .with_engine(engine_config.clone()),
+        )
+        .map_err(|e| CliError::Other(format!("cannot start sharded engine: {e}")))?;
+        if let Some(keys) = &warm_keys {
+            warmed = fleet
+                .warm_start(keys)
+                .map_err(|e| CliError::Other(format!("warm start failed: {e}")))?;
+        }
+        Server::serve_sharded(addr.as_str(), fleet, server_config)
+            .map_err(|e| CliError::Other(format!("cannot serve: {e}")))?
+    } else {
+        let engine = Engine::new(&table.points, engine_config.clone())
+            .map_err(|e| CliError::Other(format!("cannot start engine: {e}")))?;
+        if let Some(keys) = &warm_keys {
+            warmed = engine
+                .warm_start(keys)
+                .map_err(|e| CliError::Other(format!("warm start failed: {e}")))?;
+        }
+        Server::serve(addr.as_str(), engine, server_config)
+            .map_err(|e| CliError::Other(format!("cannot serve: {e}")))?
+    };
 
     // The line load generators (and the CI smoke stage) parse: flush it
     // before blocking on the control channel.
@@ -1320,6 +1479,15 @@ pub fn serve_with_control<W: Write>(
             String::new()
         }
     )?;
+    if let Some(path) = &warm_file {
+        writeln!(
+            out,
+            "warm:       {warmed} keys materialized from {}",
+            path.display()
+        )?;
+    } else if diagram {
+        writeln!(out, "diagram:    enabled (cold start)")?;
+    }
     out.flush()?;
 
     // Serve until the control channel closes (stdin EOF / ^D).
@@ -1336,9 +1504,21 @@ pub fn serve_with_control<W: Write>(
     writeln!(
         out,
         "served:     {} queries, {:.1}% cache hit rate",
-        metrics.queries(),
+        metrics.queries() + metrics.diagram.hits,
         metrics.cache_hit_rate() * 100.0
     )?;
+    if diagram {
+        writeln!(
+            out,
+            "diagram:    hits={} misses={} hit_rate={:.1}% cells={} warmed={} build={:.1}ms",
+            metrics.diagram.hits,
+            metrics.diagram.misses,
+            metrics.diagram.hit_rate() * 100.0,
+            metrics.diagram.cells,
+            metrics.diagram.warmed,
+            metrics.diagram.build.as_secs_f64() * 1e3
+        )?;
+    }
     writeln!(
         out,
         "net:        accepted={} shed_conn={} shed_req={} bytes_in={} bytes_out={} frame_errors={} write_timeouts={}",
@@ -2226,6 +2406,87 @@ mod tests {
         );
         assert!(text.contains("accepted="), "serve said: {text}");
         let _ = std::fs::remove_file(&data);
+    }
+
+    #[test]
+    fn warm_then_serve_materializes_keys_before_listening() {
+        let data = tmpfile("warm");
+        run_ok(&[
+            "generate",
+            "--n",
+            "300",
+            "--out",
+            data.to_str().unwrap(),
+            "--seed",
+            "13",
+        ]);
+        let mut warm_path = std::env::temp_dir();
+        warm_path.push(format!("ssq_cli_warm_{}.warm", std::process::id()));
+
+        let report = run_ok(&[
+            "warm",
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            warm_path.to_str().unwrap(),
+            "--distinct",
+            "6",
+            "--repeats",
+            "2",
+        ]);
+        assert!(report.contains("saved:"), "warm said: {report}");
+        assert!(
+            !report.contains("saved:      0 hot keys"),
+            "no keys captured: {report}"
+        );
+
+        // Serve with the warm file; the startup banner must report the
+        // materialized keys before `listening on` unblocks clients.
+        let shared = SharedOut(std::sync::Arc::new(std::sync::Mutex::new(Vec::new())));
+        let stop = std::sync::Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+        let server_thread = {
+            let mut out = shared.clone();
+            let mut control = ControlPipe(std::sync::Arc::clone(&stop));
+            let args: Vec<String> = [
+                "--data",
+                data.to_str().unwrap(),
+                "--addr",
+                "127.0.0.1:0",
+                "--threads",
+                "1",
+                "--warm",
+                warm_path.to_str().unwrap(),
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            std::thread::spawn(move || serve_with_control(&args, &mut out, &mut control))
+        };
+        for _ in 0..250 {
+            let text = String::from_utf8(shared.0.lock().unwrap().clone()).unwrap();
+            if text.contains("listening on ") {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        {
+            let (stopped, signal) = &*stop;
+            *stopped.lock().unwrap() = true;
+            signal.notify_all();
+        }
+        server_thread
+            .join()
+            .expect("serve thread panicked")
+            .expect("serve failed");
+        let text = String::from_utf8(shared.0.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("warm:       "), "serve said: {text}");
+        assert!(
+            !text.contains("warm:       0 keys"),
+            "nothing warmed: {text}"
+        );
+        assert!(text.contains("diagram:    hits="), "serve said: {text}");
+        let _ = std::fs::remove_file(&data);
+        let _ = std::fs::remove_file(&warm_path);
     }
 
     #[test]

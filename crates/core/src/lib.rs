@@ -54,6 +54,7 @@ pub mod bbs;
 pub mod continuous_mixed;
 pub mod heap;
 pub mod index;
+pub mod key;
 pub mod metric_naive;
 pub mod mixed;
 pub mod naive;
@@ -69,6 +70,7 @@ pub use b2s2::{b2s2, b2s2_kernel};
 pub use bbs::bbs;
 pub use continuous_mixed::ContinuousMixedSkyline;
 pub use index::{RTreeIndex, VoronoiIndex};
+pub use key::{KeyScratch, QueryKey};
 pub use metric_naive::{naive_metric, naive_metric_with};
 pub use naive::{naive_full, naive_sorted, naive_sorted_into, naive_sorted_kernel};
 pub use query::QueryContext;

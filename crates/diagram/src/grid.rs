@@ -1,0 +1,329 @@
+//! The single-anchor point-location structure.
+//!
+//! For `|CHv(Q)| = 1` the spatial skyline is exactly the set of nearest
+//! data points to the lone anchor (ties included) — the skyline diagram
+//! of single-point queries *is* the Voronoi diagram of `P`. Rather than
+//! locate queries in the exact Voronoi diagram, the dataset MBR is cut
+//! into a uniform `grid × grid` bucket grid and each bucket stores the
+//! (small) list of sites that could be nearest to *some* point of the
+//! bucket. A lookup is then: locate the bucket, scan its candidates,
+//! keep the minimum-distance sites.
+//!
+//! # Soundness of the candidate lists
+//!
+//! Let `c` be a bucket's center, `s*` the nearest site to `c` at distance
+//! `d`, and `h` the bucket's half-diagonal. For any query `q` inside the
+//! bucket and any site `s` that is nearest-or-tied for `q`:
+//!
+//! ```text
+//! d(q, s) ≤ d(q, s*) ≤ d(c, s*) + h = d + h
+//! mindist(bucket, s) ≤ d(q, s) ≤ d + h
+//! ```
+//!
+//! so collecting every site with `mindist(bucket, s) ≤ d + h` yields a
+//! superset of all possible nearest sites (and all exact ties) for every
+//! query point in the bucket. Scanning that superset with full-precision
+//! distances therefore returns exactly the skyline the kernels would.
+
+use ssq_geom::{Point, Rect};
+
+/// Squared minimum distance between two axis-aligned rectangles.
+fn rect_mindist_sq(a: &Rect, b: &Rect) -> f64 {
+    let dx = (a.min.x - b.max.x).max(b.min.x - a.max.x).max(0.0);
+    let dy = (a.min.y - b.max.y).max(b.min.y - a.max.y).max(0.0);
+    dx * dx + dy * dy
+}
+
+/// Grid-bucketed nearest-site index over the dataset MBR.
+#[derive(Debug)]
+pub(crate) struct PointGrid {
+    universe: Rect,
+    grid: usize,
+    cell_w: f64,
+    cell_h: f64,
+    /// CSR offsets into `bucket_sites`, length `grid * grid + 1`.
+    bucket_start: Vec<u32>,
+    /// Candidate site ids per bucket, ascending within a bucket.
+    bucket_sites: Vec<u32>,
+}
+
+/// Temporary site binning used during construction: the same grid, but
+/// holding each site exactly once (in the bucket containing it).
+struct SiteBins {
+    grid: usize,
+    start: Vec<u32>,
+    ids: Vec<u32>,
+}
+
+impl SiteBins {
+    fn bin(&self, bx: usize, by: usize) -> &[u32] {
+        let b = by * self.grid + bx;
+        &self.ids[self.start[b] as usize..self.start[b + 1] as usize]
+    }
+}
+
+impl PointGrid {
+    /// Builds the grid over `points`. Returns `None` for an empty dataset.
+    pub(crate) fn build(points: &[Point], grid: usize) -> Option<PointGrid> {
+        if points.is_empty() {
+            return None;
+        }
+        let grid = grid.max(1);
+        let universe = Rect::bounding(points.iter().copied());
+        let cell_w = universe.width() / grid as f64;
+        let cell_h = universe.height() / grid as f64;
+
+        let mut out = PointGrid {
+            universe,
+            grid,
+            cell_w,
+            cell_h,
+            bucket_start: Vec::with_capacity(grid * grid + 1),
+            bucket_sites: Vec::new(),
+        };
+        let bins = out.bin_sites(points);
+        let min_dim = if cell_w.min(cell_h) > 0.0 {
+            cell_w.min(cell_h)
+        } else {
+            // A degenerate (collinear / single-point) universe: no ring
+            // lower bound is available, so expansions scan every ring.
+            0.0
+        };
+
+        let mut candidates: Vec<u32> = Vec::new();
+        out.bucket_start.push(0);
+        for by in 0..grid {
+            for bx in 0..grid {
+                let rect = out.bucket_rect(bx, by);
+                let center = rect.center();
+                let nn_sq = out.nearest_site_sq(center, bx, by, &bins, points, min_dim);
+                // d + h, squared only at the comparison site to avoid
+                // precision loss in the sum. The relative cushion keeps
+                // the filter a true superset under floating-point
+                // rounding: a site at *exactly* the bound distance (e.g.
+                // an exact tie at a bucket corner) must not be dropped by
+                // an ulp. Inflating the bound only ever adds candidates,
+                // never loses them, so soundness is preserved.
+                let bound = nn_sq.sqrt() + 0.5 * (cell_w * cell_w + cell_h * cell_h).sqrt();
+                let bound_sq = (bound * bound) * (1.0 + 1e-9);
+                candidates.clear();
+                out.collect_candidates(
+                    &rect,
+                    bx,
+                    by,
+                    bound_sq,
+                    &bins,
+                    points,
+                    min_dim,
+                    &mut candidates,
+                );
+                candidates.sort_unstable();
+                out.bucket_sites.extend_from_slice(&candidates);
+                out.bucket_start.push(out.bucket_sites.len() as u32);
+            }
+        }
+        Some(out)
+    }
+
+    /// The dataset MBR the grid covers; queries outside it miss.
+    pub(crate) fn universe(&self) -> &Rect {
+        &self.universe
+    }
+
+    /// Number of buckets.
+    pub(crate) fn bucket_count(&self) -> usize {
+        self.grid * self.grid
+    }
+
+    /// Total candidate-list entries across all buckets.
+    pub(crate) fn candidate_entries(&self) -> usize {
+        self.bucket_sites.len()
+    }
+
+    fn bin_sites(&self, points: &[Point]) -> SiteBins {
+        let grid = self.grid;
+        let mut counts = vec![0u32; grid * grid + 1];
+        let bucket_of = |p: Point| -> usize {
+            let (bx, by) = self.bucket_index(p);
+            by * grid + bx
+        };
+        for &p in points {
+            counts[bucket_of(p) + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let mut ids = vec![0u32; points.len()];
+        let mut cursor = counts.clone();
+        for (i, &p) in points.iter().enumerate() {
+            let b = bucket_of(p);
+            ids[cursor[b] as usize] = i as u32;
+            cursor[b] += 1;
+        }
+        SiteBins {
+            grid,
+            start: counts,
+            ids,
+        }
+    }
+
+    /// Clamped bucket index of a point inside (or on) the universe.
+    fn bucket_index(&self, p: Point) -> (usize, usize) {
+        let bx = if self.cell_w > 0.0 {
+            (((p.x - self.universe.min.x) / self.cell_w) as usize).min(self.grid - 1)
+        } else {
+            0
+        };
+        let by = if self.cell_h > 0.0 {
+            (((p.y - self.universe.min.y) / self.cell_h) as usize).min(self.grid - 1)
+        } else {
+            0
+        };
+        (bx, by)
+    }
+
+    fn bucket_rect(&self, bx: usize, by: usize) -> Rect {
+        let min = Point::new(
+            self.universe.min.x + bx as f64 * self.cell_w,
+            self.universe.min.y + by as f64 * self.cell_h,
+        );
+        let max = Point::new(min.x + self.cell_w, min.y + self.cell_h);
+        Rect::from_corners(min, max)
+    }
+
+    /// Squared distance from `c` to its nearest site, by ring expansion
+    /// over the site bins centered on bucket `(bx, by)`.
+    fn nearest_site_sq(
+        &self,
+        c: Point,
+        bx: usize,
+        by: usize,
+        bins: &SiteBins,
+        points: &[Point],
+        min_dim: f64,
+    ) -> f64 {
+        let grid = self.grid;
+        let mut best = f64::INFINITY;
+        for r in 0..grid {
+            // Bins on Chebyshev ring `r` are at least `(r - 1) * min_dim`
+            // away from `c` (which lies inside ring 0), so once that
+            // exceeds the best distance the scan is complete.
+            if best.is_finite() && r >= 2 {
+                let lower = (r as f64 - 1.0) * min_dim;
+                if lower * lower > best {
+                    break;
+                }
+            }
+            self.for_ring(bx, by, r, |gx, gy| {
+                let rect = self.bucket_rect(gx, gy);
+                if rect.mindist_sq(c) > best {
+                    return;
+                }
+                for &id in bins.bin(gx, gy) {
+                    let d = c.distance_sq(points[id as usize]);
+                    if d < best {
+                        best = d;
+                    }
+                }
+            });
+        }
+        best
+    }
+
+    /// Collects every site with `mindist(bucket, site)² ≤ bound_sq` into
+    /// `out`, by ring expansion over the site bins.
+    #[allow(clippy::too_many_arguments)]
+    fn collect_candidates(
+        &self,
+        bucket: &Rect,
+        bx: usize,
+        by: usize,
+        bound_sq: f64,
+        bins: &SiteBins,
+        points: &[Point],
+        min_dim: f64,
+        out: &mut Vec<u32>,
+    ) {
+        let grid = self.grid;
+        for r in 0..grid {
+            if r >= 2 {
+                let lower = (r as f64 - 1.0) * min_dim;
+                if lower * lower > bound_sq {
+                    break;
+                }
+            }
+            self.for_ring(bx, by, r, |gx, gy| {
+                let rect = self.bucket_rect(gx, gy);
+                if rect_mindist_sq(bucket, &rect) > bound_sq {
+                    return;
+                }
+                for &id in bins.bin(gx, gy) {
+                    let p = points[id as usize];
+                    if bucket.mindist_sq(p) <= bound_sq {
+                        out.push(id);
+                    }
+                }
+            });
+        }
+    }
+
+    /// Visits every in-grid bin on Chebyshev ring `r` around `(bx, by)`.
+    fn for_ring(&self, bx: usize, by: usize, r: usize, mut visit: impl FnMut(usize, usize)) {
+        let grid = self.grid as isize;
+        let (bx, by, r) = (bx as isize, by as isize, r as isize);
+        let in_grid = |x: isize, y: isize| x >= 0 && y >= 0 && x < grid && y < grid;
+        if r == 0 {
+            if in_grid(bx, by) {
+                visit(bx as usize, by as usize);
+            }
+            return;
+        }
+        for x in (bx - r)..=(bx + r) {
+            for &y in &[by - r, by + r] {
+                if in_grid(x, y) {
+                    visit(x as usize, y as usize);
+                }
+            }
+        }
+        for y in (by - r + 1)..(by + r) {
+            for &x in &[bx - r, bx + r] {
+                if in_grid(x, y) {
+                    visit(x as usize, y as usize);
+                }
+            }
+        }
+    }
+
+    /// Point-locates `q` and writes the ids of its nearest sites (all
+    /// exact ties, ascending) into `out`. Returns `false` — leaving `out`
+    /// untouched — when `q` falls outside the universe and the grid
+    /// therefore cannot answer.
+    // ssq-analyze: deny-alloc
+    pub(crate) fn lookup(&self, q: Point, sites: &[Point], out: &mut Vec<u32>) -> bool {
+        if !self.universe.contains(q) {
+            return false;
+        }
+        let (bx, by) = self.bucket_index(q);
+        let b = by * self.grid + bx;
+        let cands =
+            &self.bucket_sites[self.bucket_start[b] as usize..self.bucket_start[b + 1] as usize];
+        if cands.is_empty() {
+            return false;
+        }
+        out.clear();
+        let mut best = f64::INFINITY;
+        for &id in cands {
+            let d = q.distance_sq(sites[id as usize]);
+            match d.total_cmp(&best) {
+                std::cmp::Ordering::Less => {
+                    best = d;
+                    out.clear();
+                    out.push(id);
+                }
+                std::cmp::Ordering::Equal => out.push(id),
+                std::cmp::Ordering::Greater => {}
+            }
+        }
+        true
+    }
+}

@@ -1,0 +1,456 @@
+//! # ssq-diagram
+//!
+//! Materialized skyline cells: answer hot spatial skyline queries by
+//! point location instead of running a skyline algorithm.
+//!
+//! The *Skyline Diagram* (Liu et al., arXiv 1812.01663) and *Skyline
+//! Queries in O(1) time?* (Sioutas et al., arXiv 1709.03949) both
+//! precompute a partition of query space whose skyline is constant per
+//! cell, so a query reduces to locating its cell. This crate does the
+//! same for the spatial-skyline setting, restricted to the query shapes
+//! that dominate hot serving traffic — low anchor counts:
+//!
+//! * **one anchor** (`|CHv(Q)| = 1`): the skyline is the set of nearest
+//!   sites, so the diagram is exactly the Voronoi diagram of `P`. It is
+//!   materialized as a grid-bucketed candidate index over the dataset
+//!   MBR (the `grid` module) answering *any* single-point query inside
+//!   the universe;
+//! * **two or three anchors**: the exact continuous diagram has 4–6
+//!   degrees of freedom and is not worth materializing wholesale.
+//!   Instead, cells are materialized *per canonical
+//!   [`QueryKey`]* — the same quantized-hull
+//!   partition the engine's context cache uses — for the hot keys
+//!   observed in traffic or persisted by warm start. Every query landing
+//!   in a materialized key cell is answered by copying the precomputed
+//!   skyline.
+//!
+//! Anything else — more anchors, a query outside the universe, a key
+//!   with no materialized cell — is a **miss**, and the caller falls back
+//! to its planner. Hits are exact: the single-anchor path scans true
+//! distances over a provably sufficient candidate superset, and key
+//! cells share the context cache's documented quantization contract.
+//!
+//! A diagram is immutable and generation-stamped: it answers only for
+//! the snapshot it was built against, and the owning engine retires it
+//! together with that snapshot on reindex.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+#![warn(clippy::all)]
+
+mod grid;
+
+use grid::PointGrid;
+use ssq_core::{naive_sorted_kernel, DistanceScratch, KeyScratch, QueryContext, QueryKey};
+use ssq_geom::{Point, Rect};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Construction knobs for a [`SkylineDiagram`].
+#[derive(Clone, Copy, Debug)]
+pub struct DiagramConfig {
+    /// Buckets per axis of the single-anchor point-location grid.
+    pub grid: usize,
+    /// Largest `|CHv(Q)|` the diagram materializes key cells for; larger
+    /// shapes always miss. The single-anchor grid is unaffected.
+    pub max_anchors: usize,
+    /// Cap on materialized key cells per diagram; excess warm keys are
+    /// dropped (hottest first wins, in the order the caller supplies).
+    pub max_cells: usize,
+}
+
+impl Default for DiagramConfig {
+    fn default() -> DiagramConfig {
+        DiagramConfig {
+            grid: 64,
+            max_anchors: 3,
+            max_cells: 4096,
+        }
+    }
+}
+
+impl DiagramConfig {
+    /// Validates the knobs, returning a description of the first problem.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.grid == 0 {
+            return Err("diagram grid must have at least one bucket per axis".into());
+        }
+        if self.max_anchors == 0 {
+            return Err("diagram max_anchors must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// Reusable buffers for [`SkylineDiagram::lookup`].
+///
+/// One per worker; after a warm-up lookup per query shape, lookups
+/// through the same scratch are allocation-free.
+#[derive(Debug, Default)]
+pub struct LookupScratch {
+    key: KeyScratch,
+    ties: Vec<u32>,
+}
+
+impl LookupScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> LookupScratch {
+        LookupScratch::default()
+    }
+}
+
+/// Materialized multi-anchor cells: canonical query key → precomputed
+/// skyline, stored as ranges into one flat id pool.
+#[derive(Debug, Default)]
+struct KeyCells {
+    map: HashMap<QueryKey, (u32, u32)>,
+    pool: Vec<u32>,
+}
+
+impl KeyCells {
+    fn insert(&mut self, key: QueryKey, ids: &[u32]) {
+        let start = self.pool.len() as u32;
+        self.pool.extend_from_slice(ids);
+        self.map.insert(key, (start, ids.len() as u32));
+    }
+
+    // ssq-analyze: deny-alloc
+    fn lookup(&self, cells: &[(i64, i64)]) -> Option<&[u32]> {
+        let &(start, len) = self.map.get(cells)?;
+        Some(&self.pool[start as usize..(start + len) as usize])
+    }
+}
+
+/// An immutable, generation-stamped skyline diagram over one dataset
+/// snapshot. See the crate docs for what it can and cannot answer.
+#[derive(Debug)]
+pub struct SkylineDiagram {
+    generation: u64,
+    quantum: f64,
+    max_anchors: usize,
+    sites: Vec<Point>,
+    grid: Option<PointGrid>,
+    cells: KeyCells,
+    build_time: Duration,
+    warmed: u64,
+}
+
+impl SkylineDiagram {
+    /// Builds a diagram for `points` as snapshot `generation`.
+    ///
+    /// `quantum` must be the owning cache's coordinate quantum so key
+    /// cells and cache entries partition query space identically. `keys`
+    /// are the hot canonical keys to materialize cells for (from warm
+    /// start or observed traffic); single-anchor keys are skipped (the
+    /// grid already answers every single-anchor query), as are keys wider
+    /// than `config.max_anchors`, and at most `config.max_cells` cells
+    /// are materialized in the order given. Returns `None` for an empty
+    /// dataset.
+    pub fn build(
+        generation: u64,
+        points: &[Point],
+        keys: &[QueryKey],
+        quantum: f64,
+        config: &DiagramConfig,
+    ) -> Option<SkylineDiagram> {
+        assert!(quantum > 0.0, "quantum must be positive");
+        if points.is_empty() {
+            return None;
+        }
+        let start = Instant::now();
+        let grid = PointGrid::build(points, config.grid);
+        let mut cells = KeyCells::default();
+        let mut scratch = DistanceScratch::new();
+        let mut warmed = 0u64;
+        for key in keys {
+            if key.len() < 2 || key.len() > config.max_anchors {
+                continue;
+            }
+            if cells.map.len() >= config.max_cells {
+                break;
+            }
+            let reps = key.representative_points(quantum);
+            // Re-canonicalize the representatives: the key the probe
+            // computes for an incoming query is derived the same way, so
+            // storing under the round-tripped key guarantees agreement
+            // even if the caller's key predates a quantum change.
+            let canonical = QueryKey::canonical(&reps, quantum);
+            if cells.map.contains_key(&canonical) {
+                continue;
+            }
+            let ctx = QueryContext::new(&reps);
+            let mut result = naive_sorted_kernel(points, &ctx, &mut scratch);
+            result.skyline.sort_unstable();
+            cells.insert(canonical, &result.skyline);
+            warmed += 1;
+        }
+        Some(SkylineDiagram {
+            generation,
+            quantum,
+            max_anchors: config.max_anchors,
+            sites: points.to_vec(),
+            grid,
+            cells,
+            build_time: start.elapsed(),
+            warmed,
+        })
+    }
+
+    /// The snapshot generation this diagram answers for.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The coordinate quantum key cells are canonicalized with.
+    pub fn quantum(&self) -> f64 {
+        self.quantum
+    }
+
+    /// Total cells: point-location buckets plus materialized key cells.
+    pub fn cell_count(&self) -> u64 {
+        let buckets = self.grid.as_ref().map_or(0, |g| g.bucket_count()) as u64;
+        buckets + self.cells.map.len() as u64
+    }
+
+    /// Materialized multi-anchor key cells.
+    pub fn key_cell_count(&self) -> u64 {
+        self.cells.map.len() as u64
+    }
+
+    /// Keys actually materialized during construction.
+    pub fn warmed_keys(&self) -> u64 {
+        self.warmed
+    }
+
+    /// Wall-clock time construction took.
+    pub fn build_time(&self) -> Duration {
+        self.build_time
+    }
+
+    /// Total candidate entries across the point-location buckets — a
+    /// memory/diagnostics gauge.
+    pub fn candidate_entries(&self) -> usize {
+        self.grid.as_ref().map_or(0, |g| g.candidate_entries())
+    }
+
+    /// The dataset MBR the single-anchor grid covers.
+    pub fn universe(&self) -> Option<&Rect> {
+        self.grid.as_ref().map(|g| g.universe())
+    }
+
+    /// Single-anchor lookup: point-locates `q` and writes the skyline
+    /// ids (all exact ties, ascending) into `ties`. Returns `false` —
+    /// leaving `ties` unspecified — when `q` is outside the universe.
+    // ssq-analyze: deny-alloc
+    pub fn lookup_point(&self, q: Point, ties: &mut Vec<u32>) -> bool {
+        match &self.grid {
+            Some(grid) => grid.lookup(q, &self.sites, ties),
+            None => false,
+        }
+    }
+
+    /// Multi-anchor lookup by pre-canonicalized key cells (as produced
+    /// by [`QueryKey::canonical_cells_into`] with this diagram's
+    /// [`quantum`](Self::quantum)). Returns the materialized skyline
+    /// ids, ascending, or `None` when no cell is materialized for the
+    /// key.
+    // ssq-analyze: deny-alloc
+    pub fn lookup_cells(&self, cells: &[(i64, i64)]) -> Option<&[u32]> {
+        if cells.len() < 2 {
+            // A query collapsing to one canonical vertex has sub-quantum
+            // spread; the single-anchor grid would answer for the rounded
+            // representative, not the true anchors. Miss.
+            return None;
+        }
+        self.cells.lookup(cells)
+    }
+
+    /// Answers `query` by point location, or returns `None` (a miss).
+    ///
+    /// On a hit the returned slice is the exact skyline ids, ascending;
+    /// it borrows either the diagram's materialized pool or `scratch`.
+    /// With a warm `scratch` the whole call is allocation-free.
+    // ssq-analyze: deny-alloc
+    pub fn lookup<'a>(
+        &'a self,
+        query: &[Point],
+        scratch: &'a mut LookupScratch,
+    ) -> Option<&'a [u32]> {
+        if query.len() == 1 {
+            if self.lookup_point(query[0], &mut scratch.ties) {
+                return Some(&scratch.ties);
+            }
+            return None;
+        }
+        if query.is_empty() || query.len() > self.max_anchors {
+            // Wider raw query sets can still collapse to few hull
+            // vertices, but canonicalizing them costs the hull pass the
+            // planner path would pay anyway — not worth probing.
+            return None;
+        }
+        let cells = QueryKey::canonical_cells_into(query, self.quantum, &mut scratch.key);
+        self.lookup_cells(cells)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssq_core::naive_full;
+
+    /// Irregularly spaced points with no duplicate coordinates.
+    fn sites(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                Point::new(
+                    (i % 17) as f64 + 1e-4 * i as f64,
+                    (i / 17) as f64 + 3e-5 * i as f64,
+                )
+            })
+            .collect()
+    }
+
+    fn oracle(points: &[Point], q: &[Point]) -> Vec<u32> {
+        let ctx = QueryContext::new(q);
+        let mut ids = naive_full(points, &ctx).skyline;
+        ids.sort_unstable();
+        ids
+    }
+
+    const QUANTUM: f64 = 1e-9;
+
+    #[test]
+    fn empty_dataset_builds_nothing() {
+        assert!(SkylineDiagram::build(0, &[], &[], QUANTUM, &DiagramConfig::default()).is_none());
+    }
+
+    #[test]
+    fn single_anchor_lookup_matches_oracle_everywhere() {
+        let pts = sites(200);
+        let diagram =
+            SkylineDiagram::build(3, &pts, &[], QUANTUM, &DiagramConfig::default()).unwrap();
+        assert_eq!(diagram.generation(), 3);
+        let mut scratch = LookupScratch::new();
+        // A dense probe sweep across the universe, including bucket
+        // boundaries and site positions themselves.
+        let u = *diagram.universe().unwrap();
+        for i in 0..40 {
+            for j in 0..40 {
+                let q = Point::new(
+                    u.min.x + u.width() * (i as f64 + 0.37) / 40.0,
+                    u.min.y + u.height() * (j as f64 + 0.61) / 40.0,
+                );
+                let got = diagram.lookup(&[q], &mut scratch).expect("inside universe");
+                assert_eq!(got, oracle(&pts, &[q]).as_slice(), "query {q:?}");
+            }
+        }
+        for &p in pts.iter().step_by(7) {
+            let got = diagram.lookup(&[p], &mut scratch).expect("site is inside");
+            assert_eq!(got, oracle(&pts, &[p]).as_slice(), "site query {p:?}");
+        }
+    }
+
+    #[test]
+    fn exact_distance_ties_are_all_reported() {
+        // Four sites on a perfect square: its center ties all four.
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(0.0, 2.0),
+            Point::new(2.0, 2.0),
+        ];
+        let diagram =
+            SkylineDiagram::build(0, &pts, &[], QUANTUM, &DiagramConfig::default()).unwrap();
+        let mut scratch = LookupScratch::new();
+        let got = diagram
+            .lookup(&[Point::new(1.0, 1.0)], &mut scratch)
+            .unwrap();
+        assert_eq!(got, &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn outside_universe_misses() {
+        let pts = sites(50);
+        let diagram =
+            SkylineDiagram::build(0, &pts, &[], QUANTUM, &DiagramConfig::default()).unwrap();
+        let mut scratch = LookupScratch::new();
+        assert!(diagram
+            .lookup(&[Point::new(-100.0, 0.0)], &mut scratch)
+            .is_none());
+    }
+
+    #[test]
+    fn materialized_key_cells_match_oracle() {
+        let pts = sites(150);
+        let queries: Vec<Vec<Point>> = vec![
+            vec![Point::new(3.1, 2.2), Point::new(7.4, 5.9)],
+            vec![
+                Point::new(1.3, 1.7),
+                Point::new(9.2, 3.4),
+                Point::new(5.5, 8.1),
+            ],
+        ];
+        let keys: Vec<QueryKey> = queries
+            .iter()
+            .map(|q| QueryKey::canonical(q, QUANTUM))
+            .collect();
+        let diagram =
+            SkylineDiagram::build(0, &pts, &keys, QUANTUM, &DiagramConfig::default()).unwrap();
+        assert_eq!(diagram.key_cell_count(), 2);
+        assert_eq!(diagram.warmed_keys(), 2);
+        let mut scratch = LookupScratch::new();
+        for q in &queries {
+            let got = diagram.lookup(q, &mut scratch).expect("materialized key");
+            assert_eq!(got, oracle(&pts, q).as_slice(), "query {q:?}");
+        }
+        // A permutation of the same query set hits the same cell.
+        let mut permuted = queries[1].clone();
+        permuted.reverse();
+        assert!(diagram.lookup(&permuted, &mut scratch).is_some());
+        // An unmaterialized key misses.
+        assert!(diagram
+            .lookup(&[Point::new(0.5, 0.5), Point::new(11.0, 7.0)], &mut scratch)
+            .is_none());
+    }
+
+    #[test]
+    fn anchor_limits_are_enforced() {
+        let pts = sites(80);
+        let wide: Vec<Point> = vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 8.0),
+            Point::new(0.0, 8.0),
+        ];
+        let keys = [QueryKey::canonical(&wide, QUANTUM)];
+        let diagram =
+            SkylineDiagram::build(0, &pts, &keys, QUANTUM, &DiagramConfig::default()).unwrap();
+        // max_anchors = 3: the 4-vertex key is not materialized...
+        assert_eq!(diagram.key_cell_count(), 0);
+        let mut scratch = LookupScratch::new();
+        // ...and the 4-point query misses outright.
+        assert!(diagram.lookup(&wide, &mut scratch).is_none());
+    }
+
+    #[test]
+    fn max_cells_caps_materialization() {
+        let pts = sites(60);
+        let keys: Vec<QueryKey> = (0..10)
+            .map(|i| {
+                QueryKey::canonical(
+                    &[
+                        Point::new(i as f64 + 0.1, 0.2),
+                        Point::new(i as f64 + 3.3, 4.4),
+                    ],
+                    QUANTUM,
+                )
+            })
+            .collect();
+        let config = DiagramConfig {
+            max_cells: 4,
+            ..DiagramConfig::default()
+        };
+        let diagram = SkylineDiagram::build(0, &pts, &keys, QUANTUM, &config).unwrap();
+        assert_eq!(diagram.key_cell_count(), 4);
+    }
+}

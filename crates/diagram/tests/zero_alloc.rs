@@ -1,0 +1,115 @@
+//! Counting-allocator proof that warm diagram lookups never touch the
+//! heap — the property the `ssq-analyze` deny-alloc gate pins
+//! statically, pinned here dynamically. One warm-up lookup per query
+//! shape sizes the scratch buffers; after that, every hit and every
+//! miss must perform zero allocations.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System`, which upholds the
+// `GlobalAlloc` contract; the counter increment has no effect on
+// allocation semantics.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds the `GlobalAlloc::alloc` contract
+    // (non-zero-sized layout); forwarded verbatim to `System`.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    // SAFETY: caller passes a pointer previously returned by `alloc`
+    // with the same layout, which is exactly `System::dealloc`'s
+    // contract.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    // SAFETY: caller upholds the `GlobalAlloc::realloc` contract;
+    // forwarded verbatim to `System`.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn heap_allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+use ssq_core::QueryKey;
+use ssq_diagram::{DiagramConfig, LookupScratch, SkylineDiagram};
+use ssq_geom::Point;
+
+const QUANTUM: f64 = 1e-9;
+
+#[test]
+fn warm_lookups_perform_zero_heap_allocations() {
+    let points: Vec<Point> = (0..300)
+        .map(|i| {
+            Point::new(
+                (i % 17) as f64 + 1e-4 * i as f64,
+                (i / 17) as f64 + 3e-5 * i as f64,
+            )
+        })
+        .collect();
+    let hot: Vec<Vec<Point>> = vec![
+        vec![Point::new(3.1, 2.2), Point::new(7.4, 5.9)],
+        vec![
+            Point::new(1.3, 1.7),
+            Point::new(9.2, 3.4),
+            Point::new(5.5, 8.1),
+        ],
+    ];
+    let keys: Vec<QueryKey> = hot
+        .iter()
+        .map(|q| QueryKey::canonical(q, QUANTUM))
+        .collect();
+    let diagram =
+        SkylineDiagram::build(0, &points, &keys, QUANTUM, &DiagramConfig::default()).unwrap();
+
+    let singles: Vec<Vec<Point>> = (0..5)
+        .map(|i| vec![Point::new(1.0 + 2.9 * i as f64, 0.5 + 2.7 * i as f64)])
+        .collect();
+    let miss = vec![Point::new(0.25, 0.75), Point::new(12.5, 9.25)];
+
+    // Warm-up: one lookup per shape grows the scratch to its high-water
+    // mark (tie buffer, canonical key cells), and a separate warm tie
+    // buffer covers the granular `lookup_point` entry point.
+    let mut scratch = LookupScratch::new();
+    let mut ties: Vec<u32> = Vec::new();
+    for q in hot.iter().chain(singles.iter()) {
+        assert!(diagram.lookup(q, &mut scratch).is_some(), "{q:?} missed");
+    }
+    assert!(diagram.lookup(&miss, &mut scratch).is_none());
+    assert!(diagram.lookup_point(singles[0][0], &mut ties));
+
+    // Steady state: hits, misses, and the granular entry points — zero
+    // heap traffic allowed.
+    let before = heap_allocs();
+    let mut served = 0usize;
+    for _ in 0..3 {
+        for q in hot.iter().chain(singles.iter()) {
+            served += diagram.lookup(q, &mut scratch).map_or(0, <[u32]>::len);
+        }
+        assert!(diagram.lookup(&miss, &mut scratch).is_none());
+        assert!(diagram.lookup_point(singles[0][0], &mut ties));
+        assert!(!ties.is_empty());
+        assert!(diagram.lookup_cells(&[(i64::MIN, 0), (0, 0)]).is_none());
+    }
+    let after = heap_allocs();
+    assert!(served > 0, "lookups must produce skylines");
+    assert_eq!(
+        after - before,
+        0,
+        "warm diagram lookups must not touch the heap ({} allocations)",
+        after - before
+    );
+}

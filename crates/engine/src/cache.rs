@@ -41,47 +41,11 @@ use ssq_geom::Point;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-/// A canonicalized, quantized query-set key. See the module docs.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct QueryKey(Vec<(i64, i64)>);
-
-impl QueryKey {
-    /// Canonicalizes `q` with the given coordinate quantum.
-    ///
-    /// Panics if a quantized coordinate overflows `i64` — at the default
-    /// quantum that needs coordinates beyond ±9×10⁹, far outside any
-    /// dataset universe in this repo.
-    pub fn canonical(q: &[Point], quantum: f64) -> QueryKey {
-        assert!(quantum > 0.0, "quantum must be positive");
-        let hull = ssq_geom::convex_hull(q);
-        let mut cells: Vec<(i64, i64)> = hull
-            .vertices()
-            .iter()
-            .map(|v| {
-                let x = (v.x / quantum).round();
-                let y = (v.y / quantum).round();
-                assert!(
-                    x.abs() < i64::MAX as f64 && y.abs() < i64::MAX as f64,
-                    "query coordinate overflows the cache-key grid"
-                );
-                (x as i64, y as i64)
-            })
-            .collect();
-        cells.sort_unstable();
-        cells.dedup();
-        QueryKey(cells)
-    }
-
-    /// Number of quantized hull vertices in the key.
-    pub fn len(&self) -> usize {
-        self.0.len()
-    }
-
-    /// `true` for the empty key (empty query set).
-    pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
-    }
-}
+// The key lives in `ssq-core` (see its module docs) so the skyline
+// diagram can index materialized cells by it without a dependency cycle;
+// it is re-exported here because this cache is where its semantics are
+// load-bearing.
+pub use ssq_core::QueryKey;
 
 /// The full cache key: which dataset generation the context was built
 /// for, plus the canonicalized query key.

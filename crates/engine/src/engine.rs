@@ -6,17 +6,20 @@ use crate::planner::{Algorithm, Planner};
 use crate::pool::{TrySubmitError, WorkerPool, WorkerState};
 use crate::snapshot::{Snapshot, SnapshotCatalog, StaleSnapshot};
 use crate::sync::{
-    lock_unpoisoned, wait_timeout_unpoisoned, wait_unpoisoned, RankedMutex, RANK_ENGINE_REINDEX,
-    RANK_SESSION_MAP, RANK_SESSION_PENDING, RANK_SESSION_SKY,
+    lock_unpoisoned, wait_timeout_unpoisoned, wait_unpoisoned, RankedMutex, RANK_DIAGRAM,
+    RANK_DIAGRAM_BUILDERS, RANK_ENGINE_REINDEX, RANK_HOT_KEYS, RANK_SESSION_MAP,
+    RANK_SESSION_PENDING, RANK_SESSION_SKY,
 };
 use ssq_core::{
     b2s2_kernel, bbs, naive_sorted_kernel, vs2_kernel, ContinuousSkyline, DistanceScratch,
-    QueryContext, QueryStats, RTreeIndex, SkylineResult, UpdateOutcome, VoronoiIndex,
+    QueryContext, QueryKey, QueryStats, RTreeIndex, SkylineResult, UpdateOutcome, VoronoiIndex,
 };
+use ssq_diagram::{DiagramConfig, SkylineDiagram};
 use ssq_geom::Point;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Engine construction / submission errors.
@@ -51,6 +54,10 @@ pub enum EngineError {
     QueueFull,
     /// The session id is unknown (never opened, or already closed).
     NoSuchSession,
+    /// A skyline-diagram operation failed: an invalid
+    /// [`DiagramConfig`], or a diagram call on an engine whose diagram
+    /// is disabled.
+    Diagram(String),
     /// The OS refused to spawn a worker thread; the message is the
     /// underlying `io::Error`'s.
     Spawn(String),
@@ -75,6 +82,7 @@ impl std::fmt::Display for EngineError {
             EngineError::Closed => write!(f, "engine is shut down"),
             EngineError::QueueFull => write!(f, "engine job queue is full"),
             EngineError::NoSuchSession => write!(f, "unknown session id"),
+            EngineError::Diagram(msg) => write!(f, "skyline diagram: {msg}"),
             EngineError::Spawn(msg) => write!(f, "failed to spawn worker thread: {msg}"),
         }
     }
@@ -102,6 +110,9 @@ pub struct EngineConfig {
     pub cache_quantum: f64,
     /// Pin every query to one algorithm instead of planning adaptively.
     pub forced_algorithm: Option<Algorithm>,
+    /// Enable the materialized skyline diagram with these knobs; `None`
+    /// (the default) serves every query through the planner.
+    pub diagram: Option<DiagramConfig>,
 }
 
 impl Default for EngineConfig {
@@ -114,6 +125,7 @@ impl Default for EngineConfig {
             cache_capacity: 128,
             cache_quantum: ContextCache::DEFAULT_QUANTUM,
             forced_algorithm: None,
+            diagram: None,
         }
     }
 }
@@ -131,6 +143,12 @@ impl EngineConfig {
         self
     }
 
+    /// This config with the skyline diagram enabled.
+    pub fn with_diagram(mut self, diagram: DiagramConfig) -> EngineConfig {
+        self.diagram = Some(diagram);
+        self
+    }
+
     /// Checks every knob, returning the first violation as a typed error.
     pub fn validate(&self) -> Result<(), EngineError> {
         if self.workers == 0 {
@@ -144,6 +162,9 @@ impl EngineConfig {
         }
         if !(self.cache_quantum > 0.0 && self.cache_quantum.is_finite()) {
             return Err(EngineError::InvalidCacheQuantum);
+        }
+        if let Some(diagram) = &self.diagram {
+            diagram.validate().map_err(EngineError::Diagram)?;
         }
         Ok(())
     }
@@ -173,6 +194,36 @@ impl QueryRequest {
     }
 }
 
+/// How a [`QueryResponse`] was produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServedBy {
+    /// An algorithm ran, with a query context built for this request.
+    Planner,
+    /// An algorithm ran, with a context from the context cache.
+    Cache,
+    /// Copied straight from a materialized skyline-diagram cell — no
+    /// algorithm ran, so the response's `stats` are zero and its
+    /// `algorithm` reports what the planner *would* have picked.
+    Diagram,
+}
+
+impl ServedBy {
+    /// A short lowercase label (`planner` / `cache` / `diagram`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ServedBy::Planner => "planner",
+            ServedBy::Cache => "cache",
+            ServedBy::Diagram => "diagram",
+        }
+    }
+}
+
+impl std::fmt::Display for ServedBy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// The answer to one [`QueryRequest`].
 #[derive(Clone, Debug)]
 pub struct QueryResponse {
@@ -184,15 +235,23 @@ pub struct QueryResponse {
     /// correct for this generation's dataset even if a swap landed
     /// mid-flight.
     pub generation: u64,
-    /// The algorithm that actually ran.
+    /// The algorithm that ran (or, for a diagram hit, would have run).
     pub algorithm: Algorithm,
-    /// Whether the query context came from the cache.
-    pub cache_hit: bool,
-    /// End-to-end service time (cache lookup + algorithm), excluding
-    /// queue wait.
+    /// Which serving path produced the answer.
+    pub served_by: ServedBy,
+    /// End-to-end service time (probe + cache lookup + algorithm),
+    /// excluding queue wait.
     pub latency: Duration,
     /// The algorithm's work counters.
     pub stats: QueryStats,
+}
+
+impl QueryResponse {
+    /// Whether the query context came from the context cache (the
+    /// pre-diagram name for `served_by == ServedBy::Cache`).
+    pub fn cache_hit(&self) -> bool {
+        self.served_by == ServedBy::Cache
+    }
 }
 
 /// Notice that a continuous session's pinned snapshot generation is no
@@ -356,6 +415,63 @@ struct Session {
     pending: RankedMutex<Pending>,
 }
 
+/// The published skyline diagram and its knobs. `config` is `None`
+/// while the diagram is disabled (the default); `current` is `None`
+/// until the first build publishes, and is cleared — the diagram
+/// retires with its snapshot — whenever a new generation installs.
+struct DiagramState {
+    config: Option<DiagramConfig>,
+    current: Option<Arc<SkylineDiagram>>,
+}
+
+/// Canonical query keys seen missing the diagram, with hit counts —
+/// the materialization candidates for the next diagram build.
+struct HotKeys {
+    counts: HashMap<QueryKey, u64>,
+    /// Keys recorded since the last build consumed this tracker; the
+    /// background-rebuild trigger.
+    since_build: u64,
+}
+
+impl HotKeys {
+    /// Distinct keys tracked at most; new keys beyond this are dropped
+    /// (existing ones keep counting) so one scan of cold shapes cannot
+    /// evict genuinely hot keys.
+    const CAP: usize = 4096;
+    /// Misses recorded since the last build that trigger a background
+    /// rebuild.
+    const REBUILD_AFTER: u64 = 32;
+
+    fn new() -> HotKeys {
+        HotKeys {
+            counts: HashMap::new(),
+            since_build: 0,
+        }
+    }
+
+    /// Counts one miss on `key`; `true` when enough misses accumulated
+    /// that a rebuild is worth scheduling.
+    fn record(&mut self, key: QueryKey) -> bool {
+        if self.counts.len() >= Self::CAP && !self.counts.contains_key(&key) {
+            return false;
+        }
+        *self.counts.entry(key).or_insert(0) += 1;
+        self.since_build += 1;
+        self.since_build >= Self::REBUILD_AFTER
+    }
+
+    /// The hottest `limit` keys, most-counted first.
+    fn hottest(&self, limit: usize) -> Vec<QueryKey> {
+        let mut ranked: Vec<(&QueryKey, u64)> = self.counts.iter().map(|(k, &c)| (k, c)).collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cells().cmp(b.0.cells())));
+        ranked
+            .into_iter()
+            .take(limit)
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+}
+
 struct EngineShared {
     /// Owns the *current* dataset generation. Workers pin a snapshot
     /// here at dequeue time; nothing else in the engine holds indexes.
@@ -369,6 +485,14 @@ struct EngineShared {
     metrics: EngineMetrics,
     sessions: RankedMutex<HashMap<u64, Arc<Session>>>,
     next_session: AtomicU64,
+    diagram: RankedMutex<DiagramState>,
+    hot_keys: RankedMutex<HotKeys>,
+    /// Join handles of background diagram builders; finished handles are
+    /// pruned on each spawn, the rest joined at shutdown.
+    builders: RankedMutex<Vec<JoinHandle<()>>>,
+    /// `true` while a background diagram build is in flight — at most
+    /// one at a time, so a burst of misses schedules one rebuild.
+    diagram_building: AtomicBool,
 }
 
 /// A concurrent spatial-skyline serving engine over a versioned dataset
@@ -438,19 +562,42 @@ impl Engine {
             metrics,
             sessions: RankedMutex::new("engine.sessions", RANK_SESSION_MAP, HashMap::new()),
             next_session: AtomicU64::new(0),
+            diagram: RankedMutex::new(
+                "engine.diagram",
+                RANK_DIAGRAM,
+                DiagramState {
+                    config: None,
+                    current: None,
+                },
+            ),
+            hot_keys: RankedMutex::new("engine.hotkeys", RANK_HOT_KEYS, HotKeys::new()),
+            builders: RankedMutex::new(
+                "engine.diagram.builders",
+                RANK_DIAGRAM_BUILDERS,
+                Vec::new(),
+            ),
+            diagram_building: AtomicBool::new(false),
         });
         let pool = WorkerPool::new(config.workers, config.queue_capacity)
             .map_err(|e| EngineError::Spawn(e.to_string()))?;
-        Ok(Engine { shared, pool })
+        let engine = Engine { shared, pool };
+        if let Some(diagram) = config.diagram {
+            engine.enable_diagram(diagram)?;
+        }
+        Ok(engine)
     }
 
-    /// The `(name, rank)` pairs of the engine's four long-lived locks in
-    /// ascending rank order — catalog, context cache, session map,
-    /// metrics. Exposed so tests can assert the lock-order table the
-    /// [`sync`](crate::sync) module documents.
-    pub fn lock_ranks(&self) -> [(&'static str, u32); 4] {
+    /// The `(name, rank)` pairs of the engine's long-lived locks in
+    /// ascending rank order — diagram builders, catalog, diagram, hot
+    /// keys, context cache, session map, metrics. Exposed so tests can
+    /// assert the lock-order table the [`sync`](crate::sync) module
+    /// documents.
+    pub fn lock_ranks(&self) -> [(&'static str, u32); 7] {
         [
+            (self.shared.builders.name(), self.shared.builders.rank()),
             self.shared.catalog.lock_info(),
+            (self.shared.diagram.name(), self.shared.diagram.rank()),
+            (self.shared.hot_keys.name(), self.shared.hot_keys.rank()),
             self.shared.cache.lock_info(),
             (self.shared.sessions.name(), self.shared.sessions.rank()),
             self.shared.metrics.lock_info(),
@@ -492,6 +639,71 @@ impl Engine {
         self.shared.metrics.snapshot()
     }
 
+    /// Enables the materialized skyline diagram and schedules its first
+    /// build in the background (queries keep flowing; they miss into
+    /// the planner until the build publishes).
+    pub fn enable_diagram(&self, config: DiagramConfig) -> Result<(), EngineError> {
+        config.validate().map_err(EngineError::Diagram)?;
+        self.shared.diagram.lock().config = Some(config);
+        spawn_diagram_builder(&self.shared);
+        Ok(())
+    }
+
+    /// Builds and publishes a diagram for the current snapshot
+    /// *synchronously*, from the hot keys observed so far. Returns the
+    /// number of key cells materialized, or an error when the diagram
+    /// is disabled.
+    pub fn rebuild_diagram(&self) -> Result<u64, EngineError> {
+        if self.shared.diagram.lock().config.is_none() {
+            return Err(EngineError::Diagram("diagram is not enabled".into()));
+        }
+        build_and_publish_diagram(&self.shared);
+        let slot = self.shared.diagram.lock();
+        Ok(slot.current.as_ref().map_or(0, |d| d.key_cell_count()))
+    }
+
+    /// Warm start: seeds `keys` as hot, pre-builds their query contexts
+    /// in the context cache, and synchronously builds and publishes a
+    /// diagram materializing them — so a freshly started server answers
+    /// its known-hot traffic without a cold-cache latency spike.
+    ///
+    /// Keys may come from [`Engine::hot_keys`] of a previous run (see
+    /// the [`warm`](crate::warm) module for the on-disk format); they
+    /// are re-canonicalized against this engine's quantum, so a file
+    /// written under a different quantum still warms correctly. Returns
+    /// the number of keys seeded.
+    pub fn warm_start(&self, keys: &[QueryKey]) -> Result<usize, EngineError> {
+        if self.shared.diagram.lock().config.is_none() {
+            return Err(EngineError::Diagram("diagram is not enabled".into()));
+        }
+        let generation = self.shared.catalog.generation();
+        let quantum = self.shared.cache.quantum();
+        let mut seeded = 0usize;
+        for key in keys {
+            let reps = key.representative_points(quantum);
+            if reps.is_empty() {
+                continue;
+            }
+            // Pre-build the query context so even planner-served repeats
+            // of this shape start warm. Deliberately not counted as a
+            // cache miss: nobody asked a query.
+            let _ = self.shared.cache.get_or_build(generation, &reps);
+            self.shared
+                .hot_keys
+                .lock()
+                .record(QueryKey::canonical(&reps, quantum));
+            seeded += 1;
+        }
+        build_and_publish_diagram(&self.shared);
+        Ok(seeded)
+    }
+
+    /// The hottest canonical query keys observed missing the diagram,
+    /// most-counted first — what a warm-start file should persist.
+    pub fn hot_keys(&self, limit: usize) -> Vec<QueryKey> {
+        self.shared.hot_keys.lock().hottest(limit)
+    }
+
     /// Builds indexes over `points` as the next generation and publishes
     /// them atomically, returning the new generation number.
     ///
@@ -511,6 +723,7 @@ impl Engine {
             .install(Arc::new(snapshot))
             .map_err(EngineError::Stale)?;
         self.shared.metrics.record_swap(next, build);
+        retire_diagram(&self.shared);
         Ok(next)
     }
 
@@ -531,6 +744,7 @@ impl Engine {
             .install(snapshot)
             .map_err(EngineError::Stale)?;
         self.shared.metrics.record_swap(generation, build);
+        retire_diagram(&self.shared);
         Ok(())
     }
 
@@ -555,7 +769,7 @@ impl Engine {
             // Dequeue-time pin: the clone happens on the worker,
             // not at submission.
             let snapshot = shared.catalog.current();
-            run_query(&shared, &snapshot, request, &cell, &mut state.scratch);
+            run_query(&shared, &snapshot, request, &cell, state);
         }));
         assert!(
             submitted.is_ok(),
@@ -585,7 +799,7 @@ impl Engine {
         self.pool
             .try_submit(Box::new(move |state: &mut WorkerState| {
                 let snapshot = shared.catalog.current();
-                run_query(&shared, &snapshot, request, &cell, &mut state.scratch);
+                run_query(&shared, &snapshot, request, &cell, state);
             }))
             .map_err(|e| match e {
                 TrySubmitError::Full => EngineError::QueueFull,
@@ -613,7 +827,7 @@ impl Engine {
         let (ticket, cell) = Ticket::new();
         let shared = Arc::clone(&self.shared);
         let submitted = self.pool.submit(Box::new(move |state: &mut WorkerState| {
-            run_query(&shared, &snapshot, request, &cell, &mut state.scratch)
+            run_query(&shared, &snapshot, request, &cell, state)
         }));
         assert!(
             submitted.is_ok(),
@@ -655,7 +869,7 @@ impl Engine {
         let shared = Arc::clone(&self.shared);
         let submitted = self.pool.submit(Box::new(move |state: &mut WorkerState| {
             let snapshot = shared.catalog.current();
-            cell.fill(run_batch(&shared, &snapshot, requests, &mut state.scratch));
+            cell.fill(run_batch(&shared, &snapshot, requests, state));
         }));
         assert!(
             submitted.is_ok(),
@@ -690,7 +904,7 @@ impl Engine {
         self.pool
             .try_submit(Box::new(move |state: &mut WorkerState| {
                 let snapshot = shared.catalog.current();
-                cell.fill(run_batch(&shared, &snapshot, requests, &mut state.scratch));
+                cell.fill(run_batch(&shared, &snapshot, requests, state));
             }))
             .map_err(|e| match e {
                 TrySubmitError::Full => EngineError::QueueFull,
@@ -724,7 +938,7 @@ impl Engine {
         }
         let shared = Arc::clone(&self.shared);
         let submitted = self.pool.submit(Box::new(move |state: &mut WorkerState| {
-            cell.fill(run_batch(&shared, &snapshot, requests, &mut state.scratch));
+            cell.fill(run_batch(&shared, &snapshot, requests, state));
         }));
         assert!(
             submitted.is_ok(),
@@ -834,30 +1048,206 @@ impl Engine {
         self.shared.sessions.lock().len()
     }
 
-    /// Drains every queued job and joins the workers.
+    /// Drains every queued job and joins the workers, then joins any
+    /// background diagram builders.
     ///
     /// Every handle obtained before this call resolves; dropping the
-    /// engine performs the same drain.
+    /// engine performs the same drain (builders then finish detached —
+    /// they hold only a weak reference to the engine and exit early).
     pub fn shutdown(self) {
         self.pool.shutdown();
+        let handles: Vec<JoinHandle<()>> = {
+            let mut builders = self.shared.builders.lock();
+            builders.drain(..).collect()
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Clears the published diagram — it answered for a snapshot that just
+/// got superseded, and its sites copy should die with that generation —
+/// then schedules a background rebuild for the new one.
+fn retire_diagram(shared: &Arc<EngineShared>) {
+    let enabled = {
+        let mut slot = shared.diagram.lock();
+        slot.current = None;
+        slot.config.is_some()
+    };
+    if enabled {
+        spawn_diagram_builder(shared);
+    }
+}
+
+/// Spawns a background thread that builds and publishes a diagram for
+/// the catalog's current snapshot, unless one is already in flight. The
+/// thread holds only a [`Weak`] on the engine internals, so an engine
+/// dropped mid-build just ends the build.
+fn spawn_diagram_builder(shared: &Arc<EngineShared>) {
+    if shared.diagram_building.swap(true, Ordering::AcqRel) {
+        return;
+    }
+    let weak: Weak<EngineShared> = Arc::downgrade(shared);
+    let handle = std::thread::spawn(move || {
+        if let Some(shared) = weak.upgrade() {
+            build_and_publish_diagram(&shared);
+        }
+    });
+    let mut builders = shared.builders.lock();
+    builders.retain(|h| !h.is_finished());
+    builders.push(handle);
+}
+
+/// Builds a diagram for the current snapshot from the hottest observed
+/// keys and publishes it — unless the snapshot moved on mid-build, in
+/// which case the work is discarded (the retire hook has already
+/// scheduled a fresh build). Clears the in-flight flag on every exit.
+fn build_and_publish_diagram(shared: &EngineShared) {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let config = match shared.diagram.lock().config {
+            Some(config) => config,
+            None => return,
+        };
+        let snapshot = shared.catalog.current();
+        let keys = {
+            let mut hot = shared.hot_keys.lock();
+            hot.since_build = 0;
+            hot.hottest(config.max_cells)
+        };
+        let built = SkylineDiagram::build(
+            snapshot.generation(),
+            snapshot.points(),
+            &keys,
+            shared.cache.quantum(),
+            &config,
+        );
+        let Some(diagram) = built else { return };
+        let (cells, build, warmed) = (
+            diagram.cell_count(),
+            diagram.build_time(),
+            diagram.warmed_keys(),
+        );
+        // Rank order: read the catalog (rank 200) before taking the
+        // diagram slot (rank 240). A swap landing between the two just
+        // publishes a stale diagram that no probe will accept (probes
+        // check the generation) and the swap's own rebuild replaces.
+        if shared.catalog.generation() != diagram.generation() {
+            return;
+        }
+        let mut slot = shared.diagram.lock();
+        if slot.config.is_none() {
+            return;
+        }
+        let newer_published = slot
+            .current
+            .as_ref()
+            .is_some_and(|d| d.generation() > diagram.generation());
+        if !newer_published {
+            slot.current = Some(Arc::new(diagram));
+            drop(slot);
+            shared.metrics.record_diagram_publish(cells, build, warmed);
+        }
+    }));
+    shared.diagram_building.store(false, Ordering::Release);
+    if let Err(panic) = result {
+        std::panic::resume_unwind(panic);
     }
 }
 
 fn run_query(
-    shared: &EngineShared,
+    shared: &Arc<EngineShared>,
     snapshot: &Arc<Snapshot>,
     request: QueryRequest,
     cell: &Cell<QueryResponse>,
-    scratch: &mut DistanceScratch,
+    state: &mut WorkerState,
 ) {
     let start = Instant::now();
+    if let Some(response) = try_diagram(shared, snapshot, &request, start, state) {
+        cell.fill(response);
+        return;
+    }
     let (ctx, cache_hit) = shared
         .cache
         .get_or_build(snapshot.generation(), &request.query);
     shared.metrics.record_cache(cache_hit);
     cell.fill(execute(
-        shared, snapshot, &request, &ctx, cache_hit, start, scratch,
+        shared,
+        snapshot,
+        &request,
+        &ctx,
+        cache_hit,
+        start,
+        &mut state.scratch,
     ));
+}
+
+/// Tries to answer `request` straight from the published skyline
+/// diagram. `None` falls through to the cache + planner path; when the
+/// diagram is enabled, that fall-through also counts a miss and records
+/// the query's canonical key as a materialization candidate.
+///
+/// Forced requests (per-request or engine-wide) never probe: pinning an
+/// algorithm means that algorithm must actually run.
+fn try_diagram(
+    shared: &Arc<EngineShared>,
+    snapshot: &Arc<Snapshot>,
+    request: &QueryRequest,
+    start: Instant,
+    state: &mut WorkerState,
+) -> Option<QueryResponse> {
+    if request.force.is_some() || shared.planner.forced().is_some() {
+        return None;
+    }
+    let (config, diagram) = {
+        let slot = shared.diagram.lock();
+        match slot.config {
+            Some(config) => (config, slot.current.clone()),
+            // Disabled: no probe, no counters.
+            None => return None,
+        }
+    };
+    // Generation scoping: a diagram answers only for the snapshot it was
+    // built against. A stale one (reindex published, rebuild still in
+    // flight) is a miss, never a wrong answer.
+    let live = diagram.filter(|d| d.generation() == snapshot.generation());
+    let hit = live
+        .as_ref()
+        .and_then(|d| d.lookup(&request.query, &mut state.diagram))
+        .map(|ids| ids.to_vec());
+    match hit {
+        Some(skyline) => {
+            let generation = snapshot.generation();
+            let latency = start.elapsed();
+            shared.metrics.record_diagram_hit(generation, latency);
+            Some(QueryResponse {
+                skyline,
+                generation,
+                algorithm: shared
+                    .planner
+                    .choose_for_anchors(snapshot.len(), request.query.len()),
+                served_by: ServedBy::Diagram,
+                latency,
+                stats: QueryStats::default(),
+            })
+        }
+        None => {
+            shared.metrics.record_diagram_miss();
+            // Track shapes the diagram *could* materialize so the next
+            // build serves them. Wider query sets are skipped without
+            // canonicalizing — the planner path pays the hull cost anyway.
+            if request.query.len() >= 2 && request.query.len() <= config.max_anchors {
+                let key = QueryKey::canonical(&request.query, shared.cache.quantum());
+                if key.len() >= 2 && key.len() <= config.max_anchors {
+                    let rebuild = shared.hot_keys.lock().record(key);
+                    if rebuild {
+                        spawn_diagram_builder(shared);
+                    }
+                }
+            }
+            None
+        }
+    }
 }
 
 /// Runs every request of a batch on the calling worker against one pinned
@@ -866,10 +1256,10 @@ fn run_query(
 /// counts against) the shared cache; repeats are reported as cache hits
 /// without taking the cache lock.
 fn run_batch(
-    shared: &EngineShared,
+    shared: &Arc<EngineShared>,
     snapshot: &Arc<Snapshot>,
     requests: Vec<QueryRequest>,
-    scratch: &mut DistanceScratch,
+    state: &mut WorkerState,
 ) -> Vec<QueryResponse> {
     let generation = snapshot.generation();
     let mut memo: Vec<(Vec<Point>, Arc<QueryContext>)> = Vec::new();
@@ -877,6 +1267,9 @@ fn run_batch(
         .into_iter()
         .map(|request| {
             let start = Instant::now();
+            if let Some(response) = try_diagram(shared, snapshot, &request, start, state) {
+                return response;
+            }
             let (ctx, cache_hit) = match memo.iter().find(|(q, _)| *q == request.query) {
                 Some((_, ctx)) => (Arc::clone(ctx), true),
                 None => {
@@ -886,7 +1279,15 @@ fn run_batch(
                     (ctx, hit)
                 }
             };
-            execute(shared, snapshot, &request, &ctx, cache_hit, start, scratch)
+            execute(
+                shared,
+                snapshot,
+                &request,
+                &ctx,
+                cache_hit,
+                start,
+                &mut state.scratch,
+            )
         })
         .collect()
 }
@@ -920,7 +1321,11 @@ fn execute(
         skyline,
         generation,
         algorithm,
-        cache_hit,
+        served_by: if cache_hit {
+            ServedBy::Cache
+        } else {
+            ServedBy::Planner
+        },
         latency,
         stats,
     }
@@ -993,7 +1398,7 @@ mod tests {
         let got = engine.submit(QueryRequest::new(q)).wait();
         assert_eq!(got.skyline, want);
         assert_eq!(got.algorithm, Algorithm::Vs2, "300 points, proper hull");
-        assert!(!got.cache_hit);
+        assert!(!got.cache_hit());
     }
 
     #[test]
@@ -1059,8 +1464,11 @@ mod tests {
             .submit_batch(vec![QueryRequest::new(q.clone()); 5])
             .wait();
         assert_eq!(responses.len(), 5);
-        assert!(!responses[0].cache_hit, "cold cache: the first one misses");
-        assert!(responses[1..].iter().all(|r| r.cache_hit));
+        assert!(
+            !responses[0].cache_hit(),
+            "cold cache: the first one misses"
+        );
+        assert!(responses[1..].iter().all(|r| r.cache_hit()));
         let m = engine.metrics();
         assert_eq!(m.cache_misses, 1, "one probe for five identical queries");
         assert_eq!(m.cache_hits, 0, "memo hits never reach the shared cache");
@@ -1108,7 +1516,7 @@ mod tests {
         ];
         engine.submit(QueryRequest::new(q.clone())).wait();
         let second = engine.submit(QueryRequest::new(q)).wait();
-        assert!(second.cache_hit);
+        assert!(second.cache_hit());
         let m = engine.metrics();
         assert_eq!(m.cache_hits, 1);
         assert_eq!(m.cache_misses, 1);
@@ -1462,6 +1870,124 @@ mod tests {
             r.skyline,
             naive_full(&old_data, &QueryContext::new(&q)).skyline
         );
+    }
+
+    fn diagram_config() -> EngineConfig {
+        EngineConfig::default()
+            .with_workers(1)
+            .with_diagram(DiagramConfig::default())
+    }
+
+    #[test]
+    fn diagram_serves_hot_queries_after_a_rebuild() {
+        let data = grid(200);
+        let engine = Engine::new(&data, diagram_config()).unwrap();
+        let q = vec![Point::new(3.0, 4.0), Point::new(9.0, 2.0)];
+        // Cold: the key has no materialized cell yet, so the planner
+        // answers and the miss feeds the hot-key tracker.
+        let first = engine.submit(QueryRequest::new(q.clone())).wait();
+        assert_ne!(first.served_by, ServedBy::Diagram);
+        engine.rebuild_diagram().unwrap();
+        let second = engine.submit(QueryRequest::new(q.clone())).wait();
+        assert_eq!(second.served_by, ServedBy::Diagram);
+        assert_eq!(second.skyline, first.skyline);
+        assert_eq!(second.stats, QueryStats::default());
+        let m = engine.metrics();
+        assert!(m.diagram.hits >= 1);
+        assert!(m.diagram.misses >= 1);
+        assert!(m.diagram.cells > 0);
+        // Single-anchor queries are answered by the point-location grid
+        // without any per-key materialization.
+        let single = engine
+            .submit(QueryRequest::new(vec![Point::new(5.0, 5.0)]))
+            .wait();
+        assert_eq!(single.served_by, ServedBy::Diagram);
+        assert_eq!(
+            single.skyline,
+            naive_full(&data, &QueryContext::new(&[Point::new(5.0, 5.0)])).skyline
+        );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn warm_start_materializes_keys_synchronously() {
+        let data = grid(150);
+        let engine = Engine::new(&data, diagram_config()).unwrap();
+        let q = vec![
+            Point::new(2.5, 3.5),
+            Point::new(8.5, 2.5),
+            Point::new(5.5, 7.5),
+        ];
+        let key = QueryKey::canonical(&q, ContextCache::DEFAULT_QUANTUM);
+        assert_eq!(engine.warm_start(&[key]).unwrap(), 1);
+        // The very first query of the warmed shape is a diagram hit.
+        let r = engine.submit(QueryRequest::new(q.clone())).wait();
+        assert_eq!(r.served_by, ServedBy::Diagram);
+        assert_eq!(r.skyline, naive_full(&data, &QueryContext::new(&q)).skyline);
+        assert!(engine.metrics().diagram.warmed >= 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn forced_requests_bypass_the_diagram() {
+        let data = grid(150);
+        let engine = Engine::new(&data, diagram_config()).unwrap();
+        let q = vec![Point::new(2.0, 2.0), Point::new(11.0, 3.0)];
+        engine.submit(QueryRequest::new(q.clone())).wait();
+        engine.rebuild_diagram().unwrap();
+        let forced = engine
+            .submit(QueryRequest::forced(q.clone(), Algorithm::Naive))
+            .wait();
+        // The context cache may still serve it — but never the diagram.
+        assert_ne!(forced.served_by, ServedBy::Diagram);
+        assert_eq!(forced.algorithm, Algorithm::Naive);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn diagram_calls_error_when_disabled() {
+        let engine = Engine::new(&grid(40), EngineConfig::default().with_workers(1)).unwrap();
+        assert!(matches!(
+            engine.rebuild_diagram(),
+            Err(EngineError::Diagram(_))
+        ));
+        assert!(matches!(
+            engine.warm_start(&[]),
+            Err(EngineError::Diagram(_))
+        ));
+        // And a disabled engine records no diagram traffic at all.
+        engine
+            .submit(QueryRequest::new(vec![Point::new(1.0, 1.0)]))
+            .wait();
+        let m = engine.metrics();
+        assert_eq!(m.diagram.hits + m.diagram.misses, 0);
+    }
+
+    #[test]
+    fn reindex_retires_the_diagram_with_its_snapshot() {
+        let data = grid(160);
+        let engine = Engine::new(&data, diagram_config()).unwrap();
+        let q = vec![Point::new(4.0, 3.0), Point::new(10.0, 6.0)];
+        engine.submit(QueryRequest::new(q.clone())).wait();
+        engine.rebuild_diagram().unwrap();
+        assert_eq!(
+            engine.submit(QueryRequest::new(q.clone())).wait().served_by,
+            ServedBy::Diagram
+        );
+        let new_data = grid(240);
+        engine.reindex(&new_data).unwrap();
+        // The old diagram answered for generation 0; it must not answer
+        // for generation 1 even while the background rebuild runs. The
+        // answer must come from the planner and be exact for the new
+        // data — or, if the rebuild already published, from a diagram
+        // stamped with the new generation. Either way: exact.
+        let after = engine.submit(QueryRequest::new(q.clone())).wait();
+        assert_eq!(after.generation, 1);
+        assert_eq!(
+            after.skyline,
+            naive_full(&new_data, &QueryContext::new(&q)).skyline
+        );
+        engine.shutdown();
     }
 
     #[test]

@@ -28,9 +28,16 @@
 //! * **Adaptive planner** ([`planner`]) — picks naive vs B²S² vs VS²
 //!   from `|P|` and the shape of `CH(Q)`, with a forced-algorithm
 //!   override for experiments.
-//! * **Metrics** ([`metrics`]) — per-algorithm request counts, cache
-//!   hit/miss counters, a log-bucketed latency histogram, and aggregated
-//!   [`QueryStats`](ssq_core::QueryStats).
+//! * **Skyline diagram** (optional; [`ssq_diagram`], wired in by
+//!   [`EngineConfig::with_diagram`]) — materialized skyline cells probed
+//!   *before* the cache: hot, low-anchor-count query shapes are answered
+//!   by point location without running any algorithm, and misses fall
+//!   through to the planner while feeding the hot-key tracker the next
+//!   background build materializes from. [`Engine::warm_start`] rebuilds
+//!   yesterday's hot set ([`warm`]) before the first request lands.
+//! * **Metrics** ([`metrics`]) — per-algorithm request counts, cache and
+//!   diagram hit/miss counters, a log-bucketed latency histogram, and
+//!   aggregated [`QueryStats`](ssq_core::QueryStats).
 //!
 //! Continuous queries (VCS², §5 of the paper) are served by the
 //! [session manager](Engine::open_session): each session owns a
@@ -68,14 +75,19 @@ pub mod planner;
 pub mod pool;
 pub mod snapshot;
 pub mod sync;
+pub mod warm;
 
 pub use cache::{CacheKey, ContextCache, QueryKey};
 pub use engine::{
     BatchTicket, Engine, EngineConfig, EngineError, QueryHandle, QueryRequest, QueryResponse,
-    SessionId, SessionUpdate, SnapshotSuperseded, Ticket, TicketFiller, UpdateHandle,
+    ServedBy, SessionId, SessionUpdate, SnapshotSuperseded, Ticket, TicketFiller, UpdateHandle,
 };
-pub use metrics::{EngineMetrics, LatencyHistogram, LatencySnapshot, MetricsSnapshot, NetCounters};
+pub use metrics::{
+    DiagramCounters, EngineMetrics, LatencyHistogram, LatencySnapshot, MetricsSnapshot, NetCounters,
+};
 pub use planner::{Algorithm, Planner};
 pub use pool::{PoolClosed, TrySubmitError, WorkerPool, WorkerState};
 pub use snapshot::{Snapshot, SnapshotCatalog, StaleSnapshot};
+pub use ssq_diagram::DiagramConfig;
 pub use sync::{RankedGuard, RankedMutex};
+pub use warm::{load_warm_keys, save_warm_keys};

@@ -132,6 +132,14 @@ pub struct EngineMetrics {
     swaps: AtomicU64,
     /// Wall-clock nanoseconds the most recent reindex build took.
     last_build_nanos: AtomicU64,
+    diagram_hits: AtomicU64,
+    diagram_misses: AtomicU64,
+    /// Cells in the most recently published skyline diagram.
+    diagram_cells: AtomicU64,
+    /// Wall-clock nanoseconds the most recent diagram build took.
+    diagram_build_nanos: AtomicU64,
+    /// Hot keys materialized into the most recent diagram.
+    diagram_warmed: AtomicU64,
     aggregates: RankedMutex<Aggregates>,
     latency: LatencyHistogram,
 }
@@ -154,6 +162,11 @@ impl EngineMetrics {
             generation: AtomicU64::new(0),
             swaps: AtomicU64::new(0),
             last_build_nanos: AtomicU64::new(0),
+            diagram_hits: AtomicU64::new(0),
+            diagram_misses: AtomicU64::new(0),
+            diagram_cells: AtomicU64::new(0),
+            diagram_build_nanos: AtomicU64::new(0),
+            diagram_warmed: AtomicU64::new(0),
             aggregates: RankedMutex::new("engine.metrics", RANK_METRICS, Aggregates::default()),
             latency: LatencyHistogram::new(),
         }
@@ -207,6 +220,37 @@ impl EngineMetrics {
         self.last_build_nanos.store(nanos, Ordering::Relaxed);
     }
 
+    /// Records one query answered straight from the skyline diagram.
+    ///
+    /// Diagram hits are deliberately *not* counted in the per-algorithm
+    /// request array — no algorithm ran — but they do join the latency
+    /// histogram and the per-generation tallies, so total served is
+    /// `queries() + diagram.hits`.
+    pub fn record_diagram_hit(&self, generation: u64, latency: Duration) {
+        self.diagram_hits.fetch_add(1, Ordering::Relaxed);
+        *self
+            .aggregates
+            .lock()
+            .per_generation
+            .entry(generation)
+            .or_insert(0) += 1;
+        self.latency.record(latency);
+    }
+
+    /// Records a diagram probe that fell through to the planner.
+    pub fn record_diagram_miss(&self) {
+        self.diagram_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a skyline diagram being published: its total cell count,
+    /// build wall-clock, and how many hot keys it materialized.
+    pub fn record_diagram_publish(&self, cells: u64, build: Duration, warmed: u64) {
+        self.diagram_cells.store(cells, Ordering::Relaxed);
+        let nanos = u64::try_from(build.as_nanos()).unwrap_or(u64::MAX);
+        self.diagram_build_nanos.store(nanos, Ordering::Relaxed);
+        self.diagram_warmed.store(warmed, Ordering::Relaxed);
+    }
+
     /// Records a continuous session being opened.
     pub fn record_session_opened(&self) {
         self.sessions_opened.fetch_add(1, Ordering::Relaxed);
@@ -240,6 +284,53 @@ impl EngineMetrics {
             latency: self.latency.snapshot(),
             stats,
             net: NetCounters::default(),
+            diagram: DiagramCounters {
+                hits: self.diagram_hits.load(Ordering::Relaxed),
+                misses: self.diagram_misses.load(Ordering::Relaxed),
+                cells: self.diagram_cells.load(Ordering::Relaxed),
+                build: Duration::from_nanos(self.diagram_build_nanos.load(Ordering::Relaxed)),
+                warmed: self.diagram_warmed.load(Ordering::Relaxed),
+            },
+        }
+    }
+}
+
+/// Skyline-diagram counters, carried inside [`MetricsSnapshot`]. All
+/// zero for an engine whose diagram is disabled.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DiagramCounters {
+    /// Queries answered straight from the diagram (no algorithm run).
+    pub hits: u64,
+    /// Probes that fell through to the planner.
+    pub misses: u64,
+    /// Cells in the published diagram (point-location buckets plus
+    /// materialized key cells); summed across the fleet by
+    /// [`absorb`](DiagramCounters::absorb).
+    pub cells: u64,
+    /// Wall-clock duration of the most recent diagram build (the
+    /// slowest across the fleet after [`absorb`](DiagramCounters::absorb)).
+    pub build: Duration,
+    /// Hot keys materialized into the published diagram.
+    pub warmed: u64,
+}
+
+impl DiagramCounters {
+    /// Folds another engine's counters into this one — the fleet view.
+    pub fn absorb(&mut self, other: &DiagramCounters) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.cells += other.cells;
+        self.build = self.build.max(other.build);
+        self.warmed += other.warmed;
+    }
+
+    /// Hits / probes, or 0.0 before any probe.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
         }
     }
 }
@@ -319,10 +410,15 @@ pub struct MetricsSnapshot {
     /// Socket front-end counters (zero unless this snapshot came from a
     /// running `ssq-net` server).
     pub net: NetCounters,
+    /// Skyline-diagram counters (zero unless the diagram is enabled).
+    pub diagram: DiagramCounters,
 }
 
 impl MetricsSnapshot {
-    /// Completed snapshot queries (sum over algorithms).
+    /// Completed snapshot queries answered by a skyline algorithm (sum
+    /// over algorithms). Diagram hits are counted separately in
+    /// [`diagram`](MetricsSnapshot::diagram); total served is
+    /// `queries() + diagram.hits`.
     pub fn queries(&self) -> u64 {
         self.requests.iter().sum()
     }
@@ -368,6 +464,7 @@ impl MetricsSnapshot {
         self.latency.absorb(&other.latency);
         self.stats.absorb(&other.stats);
         self.net.absorb(&other.net);
+        self.diagram.absorb(&other.diagram);
     }
 }
 
@@ -491,6 +588,35 @@ mod tests {
         fleet.absorb(&one);
         fleet.absorb(&one);
         assert_eq!(fleet.net.accepted, 14);
+    }
+
+    #[test]
+    fn diagram_accounting_and_absorb() {
+        let m = EngineMetrics::new();
+        m.record_diagram_publish(4100, Duration::from_millis(12), 4);
+        m.record_diagram_hit(2, Duration::from_micros(1));
+        m.record_diagram_hit(2, Duration::from_micros(2));
+        m.record_diagram_miss();
+        let s = m.snapshot();
+        assert_eq!(s.diagram.hits, 2);
+        assert_eq!(s.diagram.misses, 1);
+        assert_eq!(s.diagram.cells, 4100);
+        assert_eq!(s.diagram.build, Duration::from_millis(12));
+        assert_eq!(s.diagram.warmed, 4);
+        assert!((s.diagram.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        // Hits join the histogram and generation tallies, not requests.
+        assert_eq!(s.queries(), 0);
+        assert_eq!(s.latency.count(), 2);
+        assert_eq!(s.queries_per_generation.get(&2), Some(&2));
+
+        let mut fleet = MetricsSnapshot::default();
+        fleet.absorb(&s);
+        fleet.absorb(&s);
+        assert_eq!(fleet.diagram.hits, 4);
+        assert_eq!(fleet.diagram.misses, 2);
+        assert_eq!(fleet.diagram.cells, 8200);
+        assert_eq!(fleet.diagram.build, Duration::from_millis(12));
+        assert_eq!(fleet.diagram.warmed, 8);
     }
 
     #[test]

@@ -117,12 +117,18 @@ impl Planner {
 
     /// Picks the algorithm for a query over `data_len` points.
     pub fn choose(&self, data_len: usize, ctx: &QueryContext) -> Algorithm {
+        self.choose_for_anchors(data_len, ctx.anchors().len())
+    }
+
+    /// [`choose`](Self::choose) given only the anchor count — used by the
+    /// diagram hit path, which never materializes a [`QueryContext`].
+    pub fn choose_for_anchors(&self, data_len: usize, anchors: usize) -> Algorithm {
         if let Some(forced) = self.force {
             return forced;
         }
         if data_len < self.naive_cutoff {
             Algorithm::Naive
-        } else if ctx.anchors().len() <= 2 {
+        } else if anchors <= 2 {
             Algorithm::B2s2
         } else {
             Algorithm::Vs2

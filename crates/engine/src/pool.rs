@@ -27,6 +27,9 @@ pub struct WorkerState {
     /// The worker's distance/dominance arena (see
     /// [`ssq_core::DistanceScratch`]).
     pub scratch: DistanceScratch,
+    /// Reusable buffers for skyline-diagram probes (canonical-key
+    /// quantization and point-location tie lists).
+    pub diagram: ssq_diagram::LookupScratch,
 }
 
 /// A unit of work: boxed closure run on one worker thread with that

@@ -37,35 +37,76 @@ pub fn convex_hull(points: &[Point]) -> ConvexPolygon {
 
 /// Andrew's monotone-chain convex hull, `O(n log n)`.
 pub fn monotone_chain(points: &[Point]) -> ConvexPolygon {
-    let mut pts: Vec<Point> = points.to_vec();
-    pts.sort_by(Point::lex_cmp);
-    pts.dedup();
+    let mut scratch = HullScratch::new();
+    let hull = monotone_chain_into(points, &mut scratch).to_vec();
+    ConvexPolygon::from_ccw_vertices(hull)
+}
+
+/// Reusable buffers for [`monotone_chain_into`].
+///
+/// A warm scratch makes repeated hull computations allocation-free: both
+/// internal buffers are cleared, not shrunk, between calls.
+#[derive(Debug, Default)]
+pub struct HullScratch {
+    pts: Vec<Point>,
+    chain: Vec<Point>,
+}
+
+impl HullScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> HullScratch {
+        HullScratch::default()
+    }
+}
+
+/// Andrew's monotone chain into caller-provided scratch buffers.
+///
+/// Exactly [`monotone_chain`]'s hull — same CCW order starting from the
+/// lexicographic minimum, same degeneracy handling — but the returned
+/// slice borrows `scratch`, so a warm scratch makes the call
+/// allocation-free. This is the single implementation both entry points
+/// share; hot paths (the skyline-diagram probe) call it directly.
+pub fn monotone_chain_into<'s>(points: &[Point], scratch: &'s mut HullScratch) -> &'s [Point] {
+    scratch.pts.clear();
+    scratch.pts.extend_from_slice(points);
+    scratch.pts.sort_by(Point::lex_cmp);
+    scratch.pts.dedup();
+    let pts = &scratch.pts;
     let n = pts.len();
+    let chain = &mut scratch.chain;
+    chain.clear();
     if n <= 2 {
-        return ConvexPolygon::from_ccw_vertices(pts);
+        chain.extend_from_slice(pts);
+        return chain;
     }
 
     // Lower hull then upper hull; non-left turns are popped, so collinear
-    // interior points are dropped.
-    let build = |iter: &mut dyn Iterator<Item = Point>| {
-        let mut chain: Vec<Point> = Vec::with_capacity(n);
-        for p in iter {
-            while chain.len() >= 2
-                && orient2d_sign(chain[chain.len() - 2], chain[chain.len() - 1], p) <= 0
-            {
-                chain.pop();
-            }
-            chain.push(p);
+    // interior points are dropped. Both chains live in `chain`: the lower
+    // chain occupies `[0, lower_len)` and is frozen while the upper chain
+    // grows past it.
+    for &p in pts.iter() {
+        while chain.len() >= 2
+            && orient2d_sign(chain[chain.len() - 2], chain[chain.len() - 1], p) <= 0
+        {
+            chain.pop();
         }
-        chain
-    };
-    let mut lower = build(&mut pts.iter().copied());
-    let mut upper = build(&mut pts.iter().rev().copied());
-    // The endpoints appear in both chains; drop each chain's last vertex.
-    lower.pop();
-    upper.pop();
-    lower.extend(upper);
-    ConvexPolygon::from_ccw_vertices(lower)
+        chain.push(p);
+    }
+    // The last lower-chain vertex (the lexicographic maximum) re-opens the
+    // upper chain, so drop it here; the upper chain's own endpoint (the
+    // lexicographic minimum, already at index 0) is dropped at the end.
+    chain.pop();
+    let lower_len = chain.len();
+    for &p in pts.iter().rev() {
+        while chain.len() >= lower_len + 2
+            && orient2d_sign(chain[chain.len() - 2], chain[chain.len() - 1], p) <= 0
+        {
+            chain.pop();
+        }
+        chain.push(p);
+    }
+    chain.pop();
+    chain
 }
 
 /// Graham-scan convex hull, `O(n log n)` — the construction named in the
@@ -254,6 +295,32 @@ mod tests {
         let h = convex_hull(&pts);
         for &q in &pts {
             assert!(h.contains(q), "{q:?} must be inside hull");
+        }
+    }
+
+    #[test]
+    fn scratch_variant_matches_owned_variant_with_reuse() {
+        // One scratch across many inputs, including degenerate ones: the
+        // borrowed result must always equal the owned hull.
+        let inputs: Vec<Vec<Point>> = vec![
+            vec![],
+            vec![p(1.0, 1.0)],
+            vec![p(1.0, 1.0), p(1.0, 1.0)],
+            vec![p(0.0, 0.0), p(1.0, 1.0), p(2.0, 2.0)],
+            vec![
+                p(0.0, 0.0),
+                p(4.0, 0.0),
+                p(4.0, 4.0),
+                p(0.0, 4.0),
+                p(2.0, 2.0),
+            ],
+            (0..25).map(|i| p((i % 5) as f64, (i / 5) as f64)).collect(),
+        ];
+        let mut scratch = HullScratch::new();
+        for pts in &inputs {
+            let owned = hull_pts(&monotone_chain(pts));
+            let borrowed = monotone_chain_into(pts, &mut scratch);
+            assert_eq!(owned.as_slice(), borrowed, "input {pts:?}");
         }
     }
 

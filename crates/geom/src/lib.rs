@@ -45,7 +45,7 @@ pub mod rect;
 
 pub use circle::Circle;
 pub use convex::ConvexPolygon;
-pub use hull::{convex_hull, graham_scan, monotone_chain};
+pub use hull::{convex_hull, graham_scan, monotone_chain, monotone_chain_into, HullScratch};
 pub use line::{HalfPlane, Line, Segment};
 pub use metric::{Chebyshev, Euclidean, Manhattan, Metric};
 pub use point::Point;

@@ -59,7 +59,8 @@ use ssq_engine::sync::{
 };
 use ssq_engine::{
     BatchTicket, Engine, EngineError, MetricsSnapshot, QueryHandle, QueryRequest, QueryResponse,
-    SessionId, SessionUpdate, Ticket, TrySubmitError, UpdateHandle, WorkerPool, WorkerState,
+    ServedBy, SessionId, SessionUpdate, Ticket, TrySubmitError, UpdateHandle, WorkerPool,
+    WorkerState,
 };
 use ssq_geom::{Point, Rect};
 use ssq_shard::{ShardError, ShardedEngine};
@@ -699,7 +700,7 @@ fn handle_frame(
                             Ok(resp) => Frame::QueryResult(WireResult {
                                 generation: resp.generation,
                                 algorithm: ALGORITHM_ROUTED,
-                                cache_hit: false,
+                                served_by: wire::SERVED_BY_PLANNER,
                                 skyline: resp.skyline,
                             }),
                             Err(e) => shard_error_frame(&e, backoff_ms),
@@ -738,7 +739,7 @@ fn handle_frame(
                                     .map(|resp| WireResult {
                                         generation: resp.generation,
                                         algorithm: ALGORITHM_ROUTED,
-                                        cache_hit: false,
+                                        served_by: wire::SERVED_BY_PLANNER,
                                         skyline: resp.skyline,
                                     })
                                     .collect(),
@@ -1026,7 +1027,11 @@ fn wire_result(resp: QueryResponse) -> WireResult {
     WireResult {
         generation: resp.generation,
         algorithm: resp.algorithm.index() as u8,
-        cache_hit: resp.cache_hit,
+        served_by: match resp.served_by {
+            ServedBy::Planner => wire::SERVED_BY_PLANNER,
+            ServedBy::Cache => wire::SERVED_BY_CACHE,
+            ServedBy::Diagram => wire::SERVED_BY_DIAGRAM,
+        },
         skyline: resp.skyline,
     }
 }
@@ -1058,6 +1063,11 @@ fn stats(shared: &ServerShared) -> WireStats {
         cache_misses: m.cache_misses,
         sessions_opened: m.sessions_opened,
         session_updates: m.session_updates,
+        diagram_hits: m.diagram.hits,
+        diagram_misses: m.diagram.misses,
+        diagram_cells: m.diagram.cells,
+        diagram_build_nanos: m.diagram.build.as_nanos() as u64,
+        diagram_warmed: m.diagram.warmed,
         net: shared.metrics.snapshot(),
         universe: shared.backend.universe(),
     }

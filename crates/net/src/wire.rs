@@ -5,7 +5,7 @@
 //! ```text
 //! ┌───────────┬──────────┬─────────┬───────────────┬─────────────┐
 //! │ len: u32  │ ver: u8  │ kind:u8 │ request_id:u64│ payload …   │
-//! │ (LE)      │ (= 1)    │         │ (LE)          │ (per kind)  │
+//! │ (LE)      │ (= 2)    │         │ (LE)          │ (per kind)  │
 //! └───────────┴──────────┴─────────┴───────────────┴─────────────┘
 //! ```
 //!
@@ -28,8 +28,10 @@
 use ssq_engine::{Algorithm, NetCounters};
 use ssq_geom::{Point, Rect};
 
-/// The one protocol version this build speaks.
-pub const WIRE_VERSION: u8 = 1;
+/// The one protocol version this build speaks. Version 2 replaced the
+/// result's cache-hit flag with a [`WireResult::served_by`] byte and
+/// added the skyline-diagram counters to [`WireStats`].
+pub const WIRE_VERSION: u8 = 2;
 
 /// Bytes of a frame counted by its `len` field but not part of the
 /// payload: version (1) + kind (1) + request id (8).
@@ -46,6 +48,14 @@ pub const DEFAULT_MAX_FRAME_LEN: usize = 1 << 20;
 /// `algorithm` byte of a [`WireResult`] answered by the sharded router
 /// (no single algorithm ran; the fan-out picked per shard).
 pub const ALGORITHM_ROUTED: u8 = 0xFF;
+
+/// [`WireResult::served_by`]: the planner ran an algorithm.
+pub const SERVED_BY_PLANNER: u8 = 0;
+/// [`WireResult::served_by`]: the context cache supplied the context.
+pub const SERVED_BY_CACHE: u8 = 1;
+/// [`WireResult::served_by`]: a materialized skyline-diagram cell
+/// answered the query by point location — no algorithm ran.
+pub const SERVED_BY_DIAGRAM: u8 = 2;
 
 // Request kinds (client → server).
 const K_PING: u8 = 0x01;
@@ -131,6 +141,11 @@ pub enum ProtocolError {
         /// The bad byte.
         code: u8,
     },
+    /// A result's served-by byte was out of range.
+    BadServedBy {
+        /// The bad byte.
+        code: u8,
+    },
     /// An error message was not valid UTF-8.
     BadUtf8,
 }
@@ -172,6 +187,9 @@ impl std::fmt::Display for ProtocolError {
             }
             ProtocolError::BadOutcome { code } => {
                 write!(f, "bad session-update outcome byte 0x{code:02x}")
+            }
+            ProtocolError::BadServedBy { code } => {
+                write!(f, "bad served-by byte 0x{code:02x}")
             }
             ProtocolError::BadUtf8 => write!(f, "error message is not valid UTF-8"),
         }
@@ -242,8 +260,9 @@ pub struct WireResult {
     /// [`Algorithm::index`] of the algorithm that ran, or
     /// [`ALGORITHM_ROUTED`] for a sharded fan-out.
     pub algorithm: u8,
-    /// Whether the query context came from the cache.
-    pub cache_hit: bool,
+    /// What answered the query: [`SERVED_BY_PLANNER`],
+    /// [`SERVED_BY_CACHE`], or [`SERVED_BY_DIAGRAM`].
+    pub served_by: u8,
     /// Skyline point ids, ascending.
     pub skyline: Vec<u32>,
 }
@@ -279,6 +298,16 @@ pub struct WireStats {
     pub sessions_opened: u64,
     /// Motion updates applied.
     pub session_updates: u64,
+    /// Skyline-diagram point-location hits.
+    pub diagram_hits: u64,
+    /// Skyline-diagram misses (probe fell through to the planner).
+    pub diagram_misses: u64,
+    /// Cells in the currently published diagram (summed across shards).
+    pub diagram_cells: u64,
+    /// Nanoseconds the last diagram build took (max across shards).
+    pub diagram_build_nanos: u64,
+    /// Hot keys the published diagram materialized cells for.
+    pub diagram_warmed: u64,
     /// Socket front-end counters.
     pub net: NetCounters,
     /// Bounding rect of the dataset — lets a remote load generator
@@ -532,12 +561,15 @@ impl<'a> Reader<'a> {
     fn result(&mut self) -> Result<WireResult, ProtocolError> {
         let generation = self.u64()?;
         let algorithm = self.u8()?;
-        let cache_hit = self.u8()? != 0;
+        let served_by = self.u8()?;
+        if served_by > SERVED_BY_DIAGRAM {
+            return Err(ProtocolError::BadServedBy { code: served_by });
+        }
         let skyline = self.ids()?;
         Ok(WireResult {
             generation,
             algorithm,
-            cache_hit,
+            served_by,
             skyline,
         })
     }
@@ -642,7 +674,8 @@ pub fn decode(
         K_QUERY_RESULT => Frame::QueryResult(r.result()?),
         K_BATCH_RESULT => {
             let count = r.u32()? as usize;
-            // A result is ≥ 14 bytes (generation + algorithm + hit + count).
+            // A result is ≥ 14 bytes (generation + algorithm +
+            // served-by + count).
             let needed = count.saturating_mul(14);
             if needed > r.remaining() {
                 return Err(ProtocolError::Truncated {
@@ -697,6 +730,11 @@ pub fn decode(
             let cache_misses = r.u64()?;
             let sessions_opened = r.u64()?;
             let session_updates = r.u64()?;
+            let diagram_hits = r.u64()?;
+            let diagram_misses = r.u64()?;
+            let diagram_cells = r.u64()?;
+            let diagram_build_nanos = r.u64()?;
+            let diagram_warmed = r.u64()?;
             let net = NetCounters {
                 accepted: r.u64()?,
                 active: r.u64()?,
@@ -719,6 +757,11 @@ pub fn decode(
                 cache_misses,
                 sessions_opened,
                 session_updates,
+                diagram_hits,
+                diagram_misses,
+                diagram_cells,
+                diagram_build_nanos,
+                diagram_warmed,
                 net,
                 universe,
             })
@@ -768,7 +811,7 @@ fn put_force(out: &mut Vec<u8>, force: Option<Algorithm>) {
 fn put_result(out: &mut Vec<u8>, r: &WireResult) {
     out.extend_from_slice(&r.generation.to_le_bytes());
     out.push(r.algorithm);
-    out.push(u8::from(r.cache_hit));
+    out.push(r.served_by);
     put_ids(out, &r.skyline);
 }
 
@@ -854,6 +897,11 @@ pub fn encode_frame(
                 s.cache_misses,
                 s.sessions_opened,
                 s.session_updates,
+                s.diagram_hits,
+                s.diagram_misses,
+                s.diagram_cells,
+                s.diagram_build_nanos,
+                s.diagram_warmed,
                 s.net.accepted,
                 s.net.active,
                 s.net.shed_connections,
@@ -1013,20 +1061,20 @@ mod tests {
             Frame::QueryResult(WireResult {
                 generation: 3,
                 algorithm: Algorithm::B2s2.index() as u8,
-                cache_hit: true,
+                served_by: SERVED_BY_CACHE,
                 skyline: vec![1, 5, 9],
             }),
             Frame::BatchResult(vec![
                 WireResult {
                     generation: 0,
                     algorithm: ALGORITHM_ROUTED,
-                    cache_hit: false,
+                    served_by: SERVED_BY_PLANNER,
                     skyline: vec![],
                 },
                 WireResult {
                     generation: 1,
                     algorithm: 0,
-                    cache_hit: false,
+                    served_by: SERVED_BY_DIAGRAM,
                     skyline: vec![2],
                 },
             ]),
@@ -1056,6 +1104,11 @@ mod tests {
                 cache_misses: 11,
                 sessions_opened: 3,
                 session_updates: 17,
+                diagram_hits: 12,
+                diagram_misses: 7,
+                diagram_cells: 400,
+                diagram_build_nanos: 1_500_000,
+                diagram_warmed: 6,
                 net: NetCounters {
                     accepted: 5,
                     active: 2,
@@ -1241,6 +1294,30 @@ mod tests {
             Frame::Error { message, .. } => assert_eq!(message.len(), u16::MAX as usize),
             other => panic!("expected Error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn bad_served_by_byte_is_rejected() {
+        let mut buf = Vec::new();
+        encode_frame(
+            1,
+            &Frame::QueryResult(WireResult {
+                generation: 0,
+                algorithm: 0,
+                served_by: SERVED_BY_PLANNER,
+                skyline: vec![],
+            }),
+            DEFAULT_MAX_FRAME_LEN,
+            &mut buf,
+        )
+        .unwrap();
+        // The served-by byte sits right after the 8-byte generation and
+        // 1-byte algorithm in the payload.
+        buf[HEADER_LEN + 9] = 9;
+        assert_eq!(
+            decode(&buf, DEFAULT_MAX_FRAME_LEN),
+            Err(ProtocolError::BadServedBy { code: 9 })
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@ use ssq_engine::{Algorithm, NetCounters};
 use ssq_geom::{Point, Rect};
 use ssq_net::wire::{
     decode, encode_frame, Frame, ProtocolError, QuerySpec, WireResult, WireStats, WireUpdate,
-    DEFAULT_MAX_FRAME_LEN, FRAME_OVERHEAD, WIRE_VERSION,
+    DEFAULT_MAX_FRAME_LEN, FRAME_OVERHEAD, SERVED_BY_CACHE, SERVED_BY_DIAGRAM, WIRE_VERSION,
 };
 use ssq_net::ErrorCode;
 use ssq_rng::Xoshiro256;
@@ -28,7 +28,7 @@ fn corpus() -> Vec<Vec<u8>> {
         Frame::QueryResult(WireResult {
             generation: 7,
             algorithm: 2,
-            cache_hit: true,
+            served_by: SERVED_BY_CACHE,
             skyline: vec![1, 5, 9],
         }),
         Frame::Batch {
@@ -46,7 +46,7 @@ fn corpus() -> Vec<Vec<u8>> {
         Frame::BatchResult(vec![WireResult {
             generation: 1,
             algorithm: 0,
-            cache_hit: false,
+            served_by: SERVED_BY_DIAGRAM,
             skyline: vec![2],
         }]),
         Frame::SessionOpen { query: q },
@@ -78,6 +78,11 @@ fn corpus() -> Vec<Vec<u8>> {
             cache_misses: 40,
             sessions_opened: 2,
             session_updates: 6,
+            diagram_hits: 3,
+            diagram_misses: 47,
+            diagram_cells: 128,
+            diagram_build_nanos: 900_000,
+            diagram_warmed: 2,
             net: NetCounters::default(),
             universe: Rect {
                 min: Point::new(0.0, 0.0),

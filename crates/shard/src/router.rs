@@ -45,7 +45,7 @@ use crate::merge::merge_candidates_with;
 use crate::metrics::{ShardMetrics, ShardedMetricsSnapshot};
 use crate::partition::{partition, PartitionPolicy, ShardSpec};
 use crate::prune::{dominates_rect, rect_lower_bounds};
-use ssq_core::{DistanceScratch, QueryContext, QueryStats};
+use ssq_core::{DistanceScratch, QueryContext, QueryKey, QueryStats};
 use ssq_engine::sync::{RankedMutex, RANK_SHARD_FLEET, RANK_SHARD_MERGE, RANK_SHARD_REINDEX};
 use ssq_engine::{BatchTicket, Engine, EngineConfig, EngineError, QueryRequest, Snapshot};
 use ssq_geom::{Point, Rect};
@@ -618,6 +618,38 @@ impl ShardedEngine {
     pub fn metrics(&self) -> ShardedMetricsSnapshot {
         let engine_snaps: Vec<_> = self.engines.iter().map(Engine::metrics).collect();
         self.metrics.snapshot(engine_snaps.iter())
+    }
+
+    /// Seeds every shard engine's context cache and skyline diagram
+    /// with known-hot canonical keys (see
+    /// [`Engine::warm_start`](ssq_engine::Engine::warm_start)). Each
+    /// shard re-canonicalizes the keys against its own data subset, so
+    /// one warm file serves the whole fleet. Returns the keys seeded
+    /// per shard (every shard sees the same key list). Errors if the
+    /// shard engines were built without a diagram
+    /// ([`EngineConfig::with_diagram`]).
+    pub fn warm_start(&self, keys: &[QueryKey]) -> Result<usize, ShardError> {
+        let mut seeded = 0;
+        for engine in &self.engines {
+            seeded = engine.warm_start(keys)?;
+        }
+        Ok(seeded)
+    }
+
+    /// The hottest canonical query keys across the fleet, merged by
+    /// union (shards route the same queries, so the per-shard hot sets
+    /// largely coincide; the union dedupes them). At most `limit` keys.
+    pub fn hot_keys(&self, limit: usize) -> Vec<QueryKey> {
+        let mut keys: Vec<QueryKey> = Vec::new();
+        for engine in &self.engines {
+            for key in engine.hot_keys(limit) {
+                if !keys.contains(&key) {
+                    keys.push(key);
+                }
+            }
+        }
+        keys.truncate(limit);
+        keys
     }
 
     /// Drains and joins every shard engine's worker pool.

@@ -35,6 +35,10 @@ echo "==> bench smoke (kernel hot path; fails on panics or non-finite numbers)"
 cargo run --release -p ssq-bench --bin throughput_scaling -- --smoke
 test -s BENCH_hotpath.json
 
+echo "==> diagram smoke (hit vs planner latency; fails on misses or non-finite numbers)"
+cargo run --release -p ssq-bench --bin diagram_bench -- --smoke
+test -s BENCH_DIAGRAM.json
+
 echo "==> net soak smoke (loopback server, 8 connections x 16 pipeline)"
 cargo run --release -p ssq-bench --bin net_soak -- --smoke
 test -s BENCH_net.json
