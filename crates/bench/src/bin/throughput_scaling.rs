@@ -89,9 +89,10 @@ fn hotpath_section(fix: &Fixture, distinct: usize, repeats: usize, seed: u64) {
     print_hotpath(&rows);
     let (sa, ka) = mean_allocs(&rows);
     let (sq, kq) = mean_qps(&rows);
+    let total_queries: usize = rows.iter().map(|r| r.queries).sum();
     println!(
         "# allocations/query: scalar {sa:.2} vs kernel {ka:.2} ({:.0}x fewer)",
-        sa / ka.max(1e-9)
+        sa / ka.max(1.0 / total_queries.max(1) as f64)
     );
     println!("# mean q/s: scalar {sq:.0} vs kernel {kq:.0}");
     let json = hotpath_json(fix.points.len(), &rows);

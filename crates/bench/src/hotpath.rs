@@ -208,9 +208,15 @@ pub fn hotpath_json(dataset_points: usize, rows: &[HotpathRow]) -> String {
     out.push_str(&format!(
         "    \"kernel_allocs_per_query\": {kernel_allocs:.3},\n"
     ));
+    // A fully warm kernel path allocates exactly zero; floor the
+    // denominator at one allocation over the whole measured run so the
+    // ratio stays a meaningful "at least this many times fewer" instead
+    // of exploding on the zero.
+    let total_queries: usize = rows.iter().map(|r| r.queries).sum();
+    let floor = 1.0 / total_queries.max(1) as f64;
     out.push_str(&format!(
         "    \"alloc_improvement\": {:.1},\n",
-        scalar_allocs / kernel_allocs.max(1e-9)
+        scalar_allocs / kernel_allocs.max(floor)
     ));
     out.push_str(&format!("    \"scalar_qps\": {scalar_qps:.1},\n"));
     out.push_str(&format!("    \"kernel_qps\": {kernel_qps:.1}\n"));

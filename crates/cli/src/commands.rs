@@ -14,8 +14,11 @@
 //! ssq reindex  --data old.csv --next new.csv [--requests 2000]
 //!                [--threads 0] [--clients 4] [--distinct 16] [--count 5]
 //!                [--area 0.001] [--seed 7] [--shards N] [--policy grid|kd]
+//! ssq ingest   --data points.csv [--batches 20] [--ops N] [--insert-ratio 0.5]
+//!                [--seed 7] [--shards N] [--policy grid|kd]
 //! ssq shard-stats --data points.csv --shards N [--policy grid|kd]
 //!                [--queries 200] [--count 5] [--area 0.001] [--seed 7]
+//!                [--ingest-batches 0] [--ops N]
 //! ssq warm     --data points.csv --out hot.warm [--distinct 16]
 //!                [--count 3] [--area 0.001] [--seed 7] [--repeats 3]
 //!                [--limit 256]
@@ -108,9 +111,12 @@ USAGE:
                [--threads <n>] [--clients <n>] [--distinct <sets>]
                [--count <pts/set>] [--area <frac>] [--seed <u64>]
                [--shards <n>] [--policy grid|kd]
+  ssq ingest   --data <file.csv> [--batches <n>] [--ops <n/batch>]
+               [--insert-ratio <frac>] [--seed <u64>] [--shards <n>]
+               [--policy grid|kd]
   ssq shard-stats --data <file.csv> --shards <n> [--policy grid|kd]
                [--queries <n>] [--count <pts/set>] [--area <frac>]
-               [--seed <u64>]
+               [--seed <u64>] [--ingest-batches <n>] [--ops <n/batch>]
   ssq warm     --data <file.csv> --out <file.warm> [--distinct <sets>]
                [--count <pts/set>] [--area <frac>] [--seed <u64>]
                [--repeats <n>] [--limit <keys>]
@@ -140,10 +146,20 @@ request stream, builds and atomically publishes <new.csv> as the next
 snapshot generation — queries never pause, the stream keeps serving
 until the swap has published (plus a short tail, so both generations
 see traffic), and the report shows the build time and how many queries
-each generation served. `shard-stats`
-partitions the data, runs a probe workload, and reports per-shard sizes,
-rects, fan-out and prune rates, plus the fleet's snapshot generation and
-swap counters. `warm` drives a probe workload through a
+each generation served. `ingest` streams randomized
+delta batches (inserts + deletes, `--insert-ratio` inserts) through the
+engine's incremental-maintenance path — or through the sharded fleet
+with `--shards N`, where batches are routed to owning shards and size
+skew triggers rebalancing — publishing one copy-on-write generation per
+batch. Each batch's publish cost, incremental/rebuild outcome, and
+rebalance moves are printed, the final generation is checked against a
+naive oracle over the expected dataset, and the mean delta publish is
+compared against one full rebuild. `shard-stats`
+partitions the data, optionally applies `--ingest-batches` delta batches
+first (publish cost shows up in the ingest counters), runs a probe
+workload, and reports per-shard sizes,
+rects, fan-out and prune rates, plus the fleet's snapshot generation,
+swap, and ingest counters. `warm` drives a probe workload through a
 diagram-enabled engine and saves the hottest canonical query keys to a
 warm file; `serve --warm <file>` loads it and materializes those
 contexts and skyline-diagram cells *before* accepting traffic, so a
@@ -168,6 +184,7 @@ pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         Some("continuous") => continuous(&args[1..], out),
         Some("throughput") => throughput(&args[1..], out),
         Some("reindex") => reindex_cmd(&args[1..], out),
+        Some("ingest") => ingest_cmd(&args[1..], out),
         Some("shard-stats") => shard_stats(&args[1..], out),
         Some("warm") => warm_cmd(&args[1..], out),
         Some("serve") => {
@@ -1081,6 +1098,268 @@ fn report_reindex<W: Write>(
     Ok(())
 }
 
+/// A randomized update batch over the dataset mirror: `ops` operations,
+/// `insert_ratio` of them inserts placed uniformly in the mirror's
+/// bounding rect, the rest deletes of distinct random current ids.
+fn synth_batch(
+    mirror: &[ssq_geom::Point],
+    ops: usize,
+    insert_ratio: f64,
+    rng: &mut ssq_workload::rng::Xoshiro256,
+) -> ssq_core::UpdateBatch {
+    use ssq_geom::Point;
+    let n_ins = ((ops as f64) * insert_ratio).round() as usize;
+    // Never drain the dataset: an index needs at least one point.
+    let n_del = (ops - n_ins).min(mirror.len().saturating_sub(1));
+    let universe = Rect::bounding(mirror.iter().copied());
+    let mut deletes = std::collections::HashSet::with_capacity(n_del);
+    while deletes.len() < n_del {
+        deletes.insert(rng.range_usize(mirror.len()) as u32);
+    }
+    ssq_core::UpdateBatch {
+        inserts: (0..n_ins)
+            .map(|_| {
+                Point::new(
+                    rng.range_f64(universe.min.x, universe.max.x),
+                    rng.range_f64(universe.min.y, universe.max.y),
+                )
+            })
+            .collect(),
+        deletes: deletes.into_iter().collect(),
+    }
+}
+
+/// Applies `batch` to the CLI's dataset mirror with the engine's exact
+/// id semantics (survivors in order, densely renumbered, then inserts in
+/// normalized order), so the driver always knows byte-for-byte what the
+/// published generation holds.
+fn apply_to_mirror(mirror: &mut Vec<ssq_geom::Point>, batch: &ssq_core::UpdateBatch) {
+    let mut b = batch.clone();
+    b.normalize(&Rect::bounding(mirror.iter().copied()));
+    let mut out = Vec::with_capacity(mirror.len() + b.inserts.len() - b.deletes.len());
+    for (i, &p) in mirror.iter().enumerate() {
+        if b.deletes.binary_search(&(i as u32)).is_err() {
+            out.push(p);
+        }
+    }
+    out.extend(b.inserts.iter().copied());
+    *mirror = out;
+}
+
+/// `ssq ingest`: stream delta batches through the engine's (or sharded
+/// fleet's) incremental-maintenance path, one copy-on-write generation
+/// per batch, then check the final generation against a naive oracle and
+/// compare the mean delta publish against one full rebuild.
+fn ingest_cmd<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
+    use ssq_core::naive_full;
+    use ssq_engine::{Engine, EngineConfig, QueryRequest, Snapshot};
+    use ssq_shard::{ShardConfig, ShardedEngine};
+    use ssq_workload::rng::Xoshiro256;
+    use ssq_workload::{random_query_set, QueryConfig};
+    use std::time::Instant;
+
+    let data = PathBuf::from(
+        flag_value(args, "--data").ok_or_else(|| CliError::Usage("ingest needs --data".into()))?,
+    );
+    let batches: usize = flag_value(args, "--batches")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--batches must be an integer".into()))
+        })
+        .transpose()?
+        .unwrap_or(20);
+    let insert_ratio: f64 = flag_value(args, "--insert-ratio")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--insert-ratio must be a number".into()))
+        })
+        .transpose()?
+        .unwrap_or(0.5);
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--seed must be an integer".into()))
+        })
+        .transpose()?
+        .unwrap_or(7);
+    let shards: usize = flag_value(args, "--shards")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--shards must be an integer".into()))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    let policy: ssq_shard::PartitionPolicy = flag_value(args, "--policy")
+        .map(|s| s.parse().map_err(CliError::Usage))
+        .transpose()?
+        .unwrap_or(ssq_shard::PartitionPolicy::Grid);
+    if batches == 0 || !(0.0..=1.0).contains(&insert_ratio) {
+        return Err(CliError::Usage(
+            "--batches must be nonzero and --insert-ratio in [0, 1]".into(),
+        ));
+    }
+
+    let table = csv::read_points(BufReader::new(File::open(&data)?))?;
+    if table.points.is_empty() {
+        return Err(CliError::Other("data file has no points".into()));
+    }
+    let ops: usize = flag_value(args, "--ops")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--ops must be an integer".into()))
+        })
+        .transpose()?
+        .unwrap_or_else(|| (table.points.len() / 200).max(1)); // 0.5% of |P|
+    if ops == 0 {
+        return Err(CliError::Usage("--ops must be nonzero".into()));
+    }
+
+    let mut mirror = table.points.clone();
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    writeln!(
+        out,
+        "dataset:    {} points ({}), {} batches x {} ops, insert ratio {:.2}",
+        mirror.len(),
+        data.display(),
+        batches,
+        ops,
+        insert_ratio
+    )?;
+
+    let mut publish_total = Duration::ZERO;
+    let mut incremental = 0usize;
+    let skyline: Vec<u32>;
+    let probe = |mirror: &[ssq_geom::Point], seed: u64| {
+        random_query_set(&QueryConfig {
+            count: 4,
+            mbr_area_fraction: 0.01,
+            universe: Rect::bounding(mirror.iter().copied()),
+            seed,
+        })
+    };
+
+    if shards == 0 {
+        let engine = Engine::new(&table.points, EngineConfig::default())
+            .map_err(|e| CliError::Other(format!("cannot start engine: {e}")))?;
+        for _ in 0..batches {
+            let batch = synth_batch(&mirror, ops, insert_ratio, &mut rng);
+            let report = engine
+                .apply_delta(&batch)
+                .map_err(|e| CliError::Other(format!("delta publish failed: {e}")))?;
+            apply_to_mirror(&mut mirror, &batch);
+            publish_total += report.build;
+            incremental += usize::from(report.stats.incremental);
+            writeln!(
+                out,
+                "gen {:>4}: +{} -{} {} dirty_cells={} publish={:.2}ms",
+                report.generation,
+                report.stats.inserts,
+                report.stats.deletes,
+                if report.stats.incremental {
+                    "incremental"
+                } else {
+                    "rebuild"
+                },
+                report.stats.dirty_cells,
+                report.build.as_secs_f64() * 1e3
+            )?;
+        }
+        let q = probe(&mirror, seed ^ 0xDE17A);
+        skyline = engine.submit(QueryRequest::new(q.clone())).wait().skyline;
+        let want = naive_full(&mirror, &ssq_core::QueryContext::new(&q)).skyline;
+        if skyline != want {
+            return Err(CliError::Other(
+                "oracle check FAILED: delta-built snapshot diverged from naive".into(),
+            ));
+        }
+        engine.shutdown();
+        let t = Instant::now();
+        Snapshot::build(0, &mirror)
+            .map_err(|e| CliError::Other(format!("reference rebuild failed: {e}")))?;
+        let full = t.elapsed();
+        let mean = publish_total / batches as u32;
+        writeln!(out, "oracle:     ok ({} skyline points)", skyline.len())?;
+        writeln!(
+            out,
+            "publish:    mean {:.2}ms over {batches} generations ({incremental} incremental), full rebuild {:.2}ms ({:.1}x)",
+            mean.as_secs_f64() * 1e3,
+            full.as_secs_f64() * 1e3,
+            full.as_secs_f64() / mean.as_secs_f64().max(1e-9)
+        )?;
+    } else {
+        let engine = ShardedEngine::new(
+            &table.points,
+            ShardConfig::default()
+                .with_shards(shards)
+                .with_policy(policy),
+        )
+        .map_err(|e| CliError::Other(format!("cannot start sharded engine: {e}")))?;
+        let mut moves_total = 0usize;
+        for _ in 0..batches {
+            let batch = synth_batch(&mirror, ops, insert_ratio, &mut rng);
+            let report = engine
+                .ingest(&batch)
+                .map_err(|e| CliError::Other(format!("fleet publish failed: {e}")))?;
+            apply_to_mirror(&mut mirror, &batch);
+            publish_total += report.build;
+            incremental += usize::from(report.stats.incremental);
+            moves_total += report.rebalance_moves;
+            writeln!(
+                out,
+                "gen {:>4}: +{} -{} {} shards_touched={} dirty_cells={} publish={:.2}ms{}",
+                report.generation,
+                report.stats.inserts,
+                report.stats.deletes,
+                if report.stats.incremental {
+                    "incremental"
+                } else {
+                    "rebuild"
+                },
+                report.shards_touched,
+                report.stats.dirty_cells,
+                report.build.as_secs_f64() * 1e3,
+                if report.rebalanced {
+                    format!(" rebalanced moves={}", report.rebalance_moves)
+                } else {
+                    String::new()
+                }
+            )?;
+        }
+        let q = probe(&mirror, seed ^ 0xDE17A);
+        skyline = engine
+            .query(&q)
+            .map_err(|e| CliError::Other(format!("probe query failed: {e}")))?
+            .skyline;
+        let want = naive_full(&mirror, &ssq_core::QueryContext::new(&q)).skyline;
+        if skyline != want {
+            return Err(CliError::Other(
+                "oracle check FAILED: delta-built fleet diverged from naive".into(),
+            ));
+        }
+        engine.shutdown();
+        let t = Instant::now();
+        let fresh = ShardedEngine::new(
+            &mirror,
+            ShardConfig::default()
+                .with_shards(shards)
+                .with_policy(policy),
+        )
+        .map_err(|e| CliError::Other(format!("reference rebuild failed: {e}")))?;
+        let full = t.elapsed();
+        fresh.shutdown();
+        let mean = publish_total / batches as u32;
+        writeln!(out, "oracle:     ok ({} skyline points)", skyline.len())?;
+        writeln!(
+            out,
+            "publish:    mean {:.2}ms over {batches} generations ({incremental} incremental, {moves_total} rebalance moves), full fleet rebuild {:.2}ms ({:.1}x)",
+            mean.as_secs_f64() * 1e3,
+            full.as_secs_f64() * 1e3,
+            full.as_secs_f64() / mean.as_secs_f64().max(1e-9)
+        )?;
+    }
+    Ok(())
+}
+
 fn shard_stats<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
     use ssq_shard::{ShardConfig, ShardedEngine};
     use ssq_workload::{random_query_set, QueryConfig};
@@ -1125,6 +1404,13 @@ fn shard_stats<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         })
         .transpose()?
         .unwrap_or(7);
+    let ingest_batches: usize = flag_value(args, "--ingest-batches")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError::Usage("--ingest-batches must be an integer".into()))
+        })
+        .transpose()?
+        .unwrap_or(0);
     if shards == 0 || count == 0 {
         return Err(CliError::Usage(
             "--shards and --count must be nonzero".into(),
@@ -1166,6 +1452,27 @@ fn shard_stats<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
             info.rect.max.x,
             info.rect.max.y
         )?;
+    }
+
+    // Optional delta-ingest probe: stream randomized batches through the
+    // fleet first so the ingest counters below show real publish costs.
+    if ingest_batches > 0 {
+        let ops: usize = flag_value(args, "--ops")
+            .map(|s| {
+                s.parse()
+                    .map_err(|_| CliError::Usage("--ops must be an integer".into()))
+            })
+            .transpose()?
+            .unwrap_or_else(|| (table.points.len() / 200).max(1));
+        let mut mirror = table.points.clone();
+        let mut rng = ssq_workload::rng::Xoshiro256::seed_from_u64(seed ^ 0x1965);
+        for _ in 0..ingest_batches {
+            let batch = synth_batch(&mirror, ops, 0.5, &mut rng);
+            engine
+                .ingest(&batch)
+                .map_err(|e| CliError::Other(format!("ingest batch failed: {e}")))?;
+            apply_to_mirror(&mut mirror, &batch);
+        }
     }
 
     // Probe workload: small-MBR query sets placed uniformly, so some
@@ -1229,6 +1536,18 @@ fn shard_stats<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         m.generation,
         m.swaps,
         m.last_build.as_secs_f64() * 1e3
+    )?;
+    writeln!(
+        out,
+        "ingest:     batches={} (+{} -{}) incremental={} rebuilds={} dirty_cells={} last_publish={:.2}ms rebalance_moves={}",
+        m.ingest.batches,
+        m.ingest.inserts,
+        m.ingest.deletes,
+        m.ingest.incremental,
+        m.ingest.rebuilds,
+        m.ingest.dirty_cells,
+        m.ingest.last_build.as_secs_f64() * 1e3,
+        m.ingest.rebalance_moves
     )?;
     let split: Vec<String> = m
         .engines
@@ -2147,6 +2466,87 @@ mod tests {
             "missing snapshot counters: {outp}"
         );
         assert!(outp.contains("queries/gen: gen0="), "missing split: {outp}");
+        assert!(
+            outp.contains("ingest:     batches=0"),
+            "missing ingest counters: {outp}"
+        );
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn ingest_streams_deltas_and_passes_the_oracle() {
+        let data = tmpfile("ingest_single");
+        run_ok(&["generate", "--n", "400", "--out", data.to_str().unwrap()]);
+        let outp = run_ok(&[
+            "ingest",
+            "--data",
+            data.to_str().unwrap(),
+            "--batches",
+            "5",
+            "--ops",
+            "12",
+        ]);
+        assert!(outp.contains("gen    1:"), "missing first publish: {outp}");
+        assert!(outp.contains("gen    5:"), "missing last publish: {outp}");
+        assert!(outp.contains("oracle:     ok"), "oracle failed: {outp}");
+        assert!(
+            outp.contains("publish:    mean"),
+            "missing publish summary: {outp}"
+        );
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn sharded_ingest_streams_deltas_and_passes_the_oracle() {
+        let data = tmpfile("ingest_sharded");
+        run_ok(&["generate", "--n", "500", "--out", data.to_str().unwrap()]);
+        let outp = run_ok(&[
+            "ingest",
+            "--data",
+            data.to_str().unwrap(),
+            "--batches",
+            "4",
+            "--ops",
+            "10",
+            "--shards",
+            "3",
+            "--policy",
+            "kd",
+        ]);
+        assert!(outp.contains("shards_touched="), "missing routing: {outp}");
+        assert!(outp.contains("oracle:     ok"), "oracle failed: {outp}");
+        assert!(
+            outp.contains("full fleet rebuild"),
+            "missing rebuild comparison: {outp}"
+        );
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn shard_stats_ingest_probe_fills_the_counters() {
+        let data = tmpfile("shard_stats_ingest");
+        run_ok(&["generate", "--n", "400", "--out", data.to_str().unwrap()]);
+        let outp = run_ok(&[
+            "shard-stats",
+            "--data",
+            data.to_str().unwrap(),
+            "--shards",
+            "2",
+            "--queries",
+            "10",
+            "--ingest-batches",
+            "3",
+            "--ops",
+            "8",
+        ]);
+        assert!(
+            outp.contains("ingest:     batches=3"),
+            "ingest probe not recorded: {outp}"
+        );
+        assert!(
+            outp.contains("snapshot:   generation 3"),
+            "deltas did not advance the fleet generation: {outp}"
+        );
         std::fs::remove_file(&data).ok();
     }
 

@@ -12,10 +12,22 @@
 //! harness can report I/O the way the paper does.
 
 use ssq_delaunay::paged::PagedAdjacency;
-use ssq_delaunay::{DelaunayGraph, Triangulation};
+use ssq_delaunay::{hilbert, DelaunayGraph, DeltaError, Triangulation};
 use ssq_geom::{ConvexPolygon, Point, Rect};
 use ssq_kdtree::KdTree;
 use ssq_rtree::{RTree, RTreeConfig};
+
+use crate::delta::{DeltaStats, UpdateBatch};
+
+/// A batch larger than `1/DELTA_REBUILD_DENOM` of the index is rebuilt
+/// from scratch instead of repaired incrementally: past that point the
+/// locate walks and cell recomputation cost more than the bulk path.
+const DELTA_REBUILD_DENOM: usize = 8;
+
+/// The kd start index is rebuilt once accumulated churn exceeds
+/// `1/SEED_STALENESS_DENOM` of the point count; below that it serves as a
+/// (possibly slightly stale) seed that the exact greedy walk refines.
+const SEED_STALENESS_DENOM: usize = 16;
 
 /// The R*-tree physical design (for BBS and B²S²).
 pub struct RTreeIndex {
@@ -67,6 +79,37 @@ impl RTreeIndex {
     pub fn universe(&self) -> Rect {
         self.tree.mbr()
     }
+
+    /// Applies a normalized [`UpdateBatch`], producing the next
+    /// generation's index in `O(|batch| log n)`: the tree is cloned
+    /// (node-copy, freed slots recycled), deleted entries removed with
+    /// reinsertion of underfull siblings, surviving payloads renumbered
+    /// densely, and inserts added through the regular R* path.
+    pub fn apply_delta(&self, batch: &UpdateBatch) -> RTreeIndex {
+        debug_assert!(batch.is_normalized());
+        let n_old = self.points.len();
+        let remap = batch.survivor_remap(n_old);
+        let mut tree = self.tree.clone();
+        for &d in &batch.deletes {
+            let hit = tree.delete(Rect::from_point(self.points[d as usize]), d);
+            debug_assert!(hit, "validated delete id {d} missing from the tree");
+        }
+        tree.map_items(|i| remap[i as usize]);
+        let n_surv = n_old - batch.deletes.len();
+        let mut points = Vec::with_capacity(n_surv + batch.inserts.len());
+        points.extend(
+            self.points
+                .iter()
+                .zip(&remap)
+                .filter(|(_, &r)| r != u32::MAX)
+                .map(|(&p, _)| p),
+        );
+        for (j, &p) in batch.inserts.iter().enumerate() {
+            tree.insert(Rect::from_point(p), (n_surv + j) as u32);
+            points.push(p);
+        }
+        RTreeIndex { points, tree }
+    }
 }
 
 /// The Voronoi/Delaunay physical design (for VS² and VCS²).
@@ -75,6 +118,10 @@ impl RTreeIndex {
 /// Delaunay graph" file stores each point's neighbourhood, and the cell
 /// polygon is derived data the query loop should never recompute.
 pub struct VoronoiIndex {
+    /// The triangulation the graph was derived from, retained (compacted)
+    /// so the next generation can be produced by local repair instead of
+    /// a rebuild.
+    tri: Triangulation,
     graph: DelaunayGraph,
     pages: PagedAdjacency,
     cells: Vec<ConvexPolygon>,
@@ -83,6 +130,14 @@ pub struct VoronoiIndex {
     /// O(log |P|) if an index structure is used"). `None` reproduces the
     /// index-free O(√|P|) greedy-walk mode.
     start_index: Option<KdTree>,
+    /// Translates kd answers (ids of the generation the kd was built
+    /// over) into current ids. Identity right after a build; delta
+    /// generations compose their renumbering into it so a stale kd keeps
+    /// yielding valid walk seeds.
+    seed_map: Vec<u32>,
+    /// Operations absorbed since the kd was last rebuilt.
+    seed_staleness: usize,
+    per_page: usize,
 }
 
 impl VoronoiIndex {
@@ -95,7 +150,10 @@ impl VoronoiIndex {
         points: &[Point],
         per_page: usize,
     ) -> Result<VoronoiIndex, ssq_delaunay::BuildError> {
-        let tri = Triangulation::new(points)?;
+        let mut tri = Triangulation::new(points)?;
+        // Drop the construction garbage (dead cavity slots) so the copy
+        // every delta generation starts from is as small as possible.
+        tri.compact(&[]);
         let graph = DelaunayGraph::from_triangulation(&tri);
         let pages = PagedAdjacency::new(points, per_page);
         let clip = graph.default_clip();
@@ -114,11 +172,15 @@ impl VoronoiIndex {
         };
         let cell_mbrs = cells.iter().map(|c| c.mbr()).collect();
         Ok(VoronoiIndex {
+            tri,
             graph,
             pages,
             cells,
             cell_mbrs,
             start_index: Some(KdTree::build(points)),
+            seed_map: (0..points.len() as u32).collect(),
+            seed_staleness: 0,
+            per_page,
         })
     }
 
@@ -133,6 +195,7 @@ impl VoronoiIndex {
     pub fn without_start_index(points: &[Point]) -> Result<VoronoiIndex, ssq_delaunay::BuildError> {
         let mut idx = Self::with_page_size(points, 50)?;
         idx.start_index = None;
+        idx.seed_map = Vec::new();
         Ok(idx)
     }
 
@@ -191,18 +254,24 @@ impl VoronoiIndex {
         self.cells[i as usize].intersects_rect(r)
     }
 
-    /// Nearest data point to `q`: `O(log |P|)` through the kd-tree start
-    /// index when present, otherwise a greedy Delaunay walk from `hint`
-    /// that touches the adjacency page of every point visited (so the
-    /// walk's I/O is accounted like any other adjacency access).
+    /// Nearest data point to `q`: a greedy Delaunay walk seeded by the
+    /// kd-tree start index when present (`O(log |P|)` to seed, then
+    /// usually a single ring scan) and by `hint` otherwise (`O(√|P|)`
+    /// hops). The walk touches the adjacency page of every point visited,
+    /// so its I/O is accounted like any other adjacency access.
+    ///
+    /// The walk — not the kd answer — is what guarantees exactness
+    /// (greedy routing on a Delaunay graph provably reaches the nearest
+    /// neighbour), which is why delta generations may keep serving a
+    /// slightly stale kd through [`seed_map`](Self::apply_delta): any
+    /// valid id is a correct seed.
     pub fn nearest(&self, q: Point, hint: u32) -> u32 {
+        let mut cur = hint;
         if let Some(kd) = &self.start_index {
             if let Some(i) = kd.nearest(q) {
-                self.pages.touch(i);
-                return i;
+                cur = self.seed_map[i as usize];
             }
         }
-        let mut cur = hint;
         let mut cur_d = self.point(cur).distance_sq(q);
         loop {
             let mut best = cur;
@@ -231,6 +300,235 @@ impl VoronoiIndex {
     pub fn reset_page_accesses(&self) {
         self.pages.reset()
     }
+
+    /// The retained Delaunay triangulation this generation was derived
+    /// from.
+    pub fn triangulation(&self) -> &Triangulation {
+        &self.tri
+    }
+
+    /// Applies a validated, normalized [`UpdateBatch`], producing the
+    /// next generation's index.
+    ///
+    /// The incremental path costs `O(|batch| log n)` plus the memory
+    /// copies of generation publishing: the triangulation is cloned and
+    /// repaired locally (Hilbert-ordered removals by cavity
+    /// retriangulation, then compaction, then Hilbert-ordered inserts),
+    /// the CSR adjacency is refilled, and only *dirty* Voronoi cells —
+    /// sites whose neighbour set changed, plus any cell not strictly
+    /// interior to both generations' clip boxes — are recomputed;
+    /// everything else is carried over. The kd start index is reused
+    /// through a composed id translation until churn exceeds
+    /// `1/16` of the point count.
+    ///
+    /// Falls back to a full rebuild (identical resulting index, higher
+    /// cost) when the batch exceeds `1/8` of the index, the
+    /// triangulation is degenerate, or a local repair cannot express the
+    /// operation (reported via [`DeltaStats::incremental`]).
+    pub fn apply_delta(
+        &self,
+        batch: &UpdateBatch,
+    ) -> Result<(VoronoiIndex, DeltaStats), ssq_delaunay::BuildError> {
+        debug_assert!(batch.is_normalized());
+        let stats = DeltaStats {
+            inserts: batch.inserts.len(),
+            deletes: batch.deletes.len(),
+            incremental: false,
+            dirty_cells: 0,
+        };
+        if batch.op_count() * DELTA_REBUILD_DENOM > self.len() || self.tri.is_degenerate() {
+            return self.delta_full_rebuild(batch, stats);
+        }
+        match self.delta_incremental(batch) {
+            Ok((idx, dirty_cells)) => Ok((
+                idx,
+                DeltaStats {
+                    incremental: true,
+                    dirty_cells,
+                    ..stats
+                },
+            )),
+            // Local repair refused (shrinking to a degenerate set, stale
+            // geometry, coincident insert): rebuild from the point set.
+            Err(_) => self.delta_full_rebuild(batch, stats),
+        }
+    }
+
+    /// The points of the next generation: survivors in order, then
+    /// inserts.
+    fn delta_points(&self, batch: &UpdateBatch, remap: &[u32]) -> Vec<Point> {
+        let pts = self.points();
+        let mut out = Vec::with_capacity(pts.len() - batch.deletes.len() + batch.inserts.len());
+        out.extend(
+            pts.iter()
+                .zip(remap)
+                .filter(|(_, &r)| r != u32::MAX)
+                .map(|(&p, _)| p),
+        );
+        out.extend(batch.inserts.iter().copied());
+        out
+    }
+
+    fn delta_full_rebuild(
+        &self,
+        batch: &UpdateBatch,
+        stats: DeltaStats,
+    ) -> Result<(VoronoiIndex, DeltaStats), ssq_delaunay::BuildError> {
+        let remap = batch.survivor_remap(self.len());
+        let pts = self.delta_points(batch, &remap);
+        let mut idx = VoronoiIndex::with_page_size(&pts, self.per_page)?;
+        if self.start_index.is_none() {
+            idx.start_index = None;
+            idx.seed_map = Vec::new();
+        }
+        Ok((idx, stats))
+    }
+
+    fn delta_incremental(&self, batch: &UpdateBatch) -> Result<(VoronoiIndex, usize), DeltaError> {
+        let n_old = self.len();
+        let n_surv = n_old - batch.deletes.len();
+        let n_new = n_surv + batch.inserts.len();
+
+        // 1. Repair the triangulation: removals in Hilbert order (each
+        //    locate walk starts where the previous op ended), compaction
+        //    to the dense survivor numbering, then the already
+        //    Hilbert-ordered inserts, which land at ids `n_surv..n_new`.
+        let mut tri = self.tri.clone();
+        let span = self.graph.default_clip();
+        let mut victims = batch.deletes.clone();
+        victims.sort_by_key(|&d| hilbert::hilbert_index(self.point(d), &span));
+        for &d in &victims {
+            tri.remove_point(d)?;
+        }
+        let remap = tri.compact(&batch.deletes);
+        for &p in &batch.inserts {
+            tri.insert_point(p)?;
+        }
+
+        // 2. Fresh adjacency; `O(|edges|)` with no global sort.
+        let graph = DelaunayGraph::from_triangulation(&tri);
+        debug_assert_eq!(graph.len(), n_new);
+        let clip = graph.default_clip();
+        let old_clip = self.graph.default_clip();
+
+        // Inverse renumbering: the old id of each surviving new id.
+        let mut inv = vec![0u32; n_surv];
+        for (old, &r) in remap.iter().enumerate() {
+            if r != u32::MAX {
+                inv[r as usize] = old as u32;
+            }
+        }
+
+        // 3. Voronoi cells: recompute the dirty ones, carry the rest. A
+        //    survivor's cell is clean when its neighbour set is unchanged
+        //    and its old cell was strictly interior to both clip boxes
+        //    (so neither the old nor the new clip binds it); hull cells
+        //    always recompute, which also absorbs clip drift when the
+        //    data MBR changes.
+        let mut dirty_cells = 0usize;
+        let mut cells = Vec::with_capacity(n_new);
+        let mut cell_mbrs = Vec::with_capacity(n_new);
+        for i in 0..n_new as u32 {
+            let clean = (i as usize) < n_surv && {
+                let old_i = inv[i as usize];
+                let mbr = &self.cell_mbrs[old_i as usize];
+                strictly_inside(mbr, &old_clip)
+                    && strictly_inside(mbr, &clip)
+                    && same_neighbors(self.graph.neighbors(old_i), &remap, graph.neighbors(i))
+            };
+            if clean {
+                let old_i = inv[i as usize] as usize;
+                cells.push(self.cells[old_i].clone());
+                cell_mbrs.push(self.cell_mbrs[old_i]);
+            } else {
+                dirty_cells += 1;
+                let c = graph.voronoi_cell(i, &clip);
+                cell_mbrs.push(c.mbr());
+                cells.push(c);
+            }
+        }
+
+        // 4. Page layout carried forward: survivors keep their page,
+        //    inserts join the page of an (already placed) Delaunay
+        //    neighbour. Pages are access-accounting only, so any
+        //    assignment is sound.
+        let mut page_of = vec![0u32; n_new];
+        for (i, slot) in page_of.iter_mut().take(n_surv).enumerate() {
+            *slot = self.pages.page_of(inv[i]);
+        }
+        for i in n_surv..n_new {
+            page_of[i] = graph
+                .neighbors(i as u32)
+                .iter()
+                .find(|&&j| (j as usize) < i)
+                .map(|&j| page_of[j as usize])
+                .unwrap_or(0);
+        }
+        let pages = PagedAdjacency::with_layout(page_of, self.pages.page_count());
+
+        // 5. kd seeds: compose the renumbering into the seed map; deleted
+        //    seeds redirect to a surviving old neighbour (locality-
+        //    preserving), and the kd itself is rebuilt only once
+        //    staleness accumulates.
+        let (start_index, seed_map, seed_staleness) = match &self.start_index {
+            None => (None, Vec::new(), 0),
+            Some(kd) => {
+                let staleness = self.seed_staleness + batch.op_count();
+                if staleness * SEED_STALENESS_DENOM > n_new {
+                    (
+                        Some(KdTree::build(graph.points())),
+                        (0..n_new as u32).collect(),
+                        0,
+                    )
+                } else {
+                    let map = self
+                        .seed_map
+                        .iter()
+                        .map(|&t| match remap[t as usize] {
+                            u32::MAX => self
+                                .graph
+                                .neighbors(t)
+                                .iter()
+                                .find_map(|&u| {
+                                    (remap[u as usize] != u32::MAX).then(|| remap[u as usize])
+                                })
+                                .unwrap_or(0),
+                            m => m,
+                        })
+                        .collect();
+                    (Some(kd.clone()), map, staleness)
+                }
+            }
+        };
+
+        Ok((
+            VoronoiIndex {
+                tri,
+                graph,
+                pages,
+                cells,
+                cell_mbrs,
+                start_index,
+                seed_map,
+                seed_staleness,
+                per_page: self.per_page,
+            },
+            dirty_cells,
+        ))
+    }
+}
+
+/// `true` when `r` lies strictly inside `clip` (no shared boundary).
+fn strictly_inside(r: &Rect, clip: &Rect) -> bool {
+    r.min.x > clip.min.x && r.min.y > clip.min.y && r.max.x < clip.max.x && r.max.y < clip.max.y
+}
+
+/// `true` when the renumbered old neighbour list equals the new one.
+/// Both lists are sorted and the renumbering is monotone on survivors, so
+/// an element-wise comparison suffices (a deleted old neighbour maps to
+/// `u32::MAX` and can never match).
+fn same_neighbors(old: &[u32], remap: &[u32], new: &[u32]) -> bool {
+    old.len() == new.len() && old.iter().zip(new).all(|(&o, &n)| remap[o as usize] == n)
 }
 
 #[cfg(test)]
@@ -293,6 +591,133 @@ mod tests {
                 );
             }
         }
+    }
+
+    fn pseudorandom(n: usize, seed: u64) -> Vec<Point> {
+        let mut s = seed.max(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| Point::new(next() * 100.0, next() * 100.0))
+            .collect()
+    }
+
+    fn make_batch(pts: &[Point], n_del: usize, n_ins: usize, seed: u64) -> UpdateBatch {
+        let mut s = seed.max(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut deletes: Vec<u32> = Vec::new();
+        while deletes.len() < n_del {
+            let d = (next() % pts.len() as u64) as u32;
+            if !deletes.contains(&d) {
+                deletes.push(d);
+            }
+        }
+        let inserts = pseudorandom(n_ins, seed ^ 0xabcdef);
+        let mut batch = UpdateBatch { inserts, deletes };
+        batch.validate(pts.len()).unwrap();
+        batch.normalize(&Rect::bounding(pts.iter().copied()));
+        batch
+    }
+
+    fn expected_points(pts: &[Point], batch: &UpdateBatch) -> Vec<Point> {
+        let mut out: Vec<Point> = pts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !batch.deletes.contains(&(*i as u32)))
+            .map(|(_, &p)| p)
+            .collect();
+        out.extend(batch.inserts.iter().copied());
+        out
+    }
+
+    fn assert_same_index(got: &VoronoiIndex, want: &VoronoiIndex) {
+        assert_eq!(got.points(), want.points());
+        for i in 0..want.len() as u32 {
+            assert_eq!(
+                got.graph().neighbors(i),
+                want.graph().neighbors(i),
+                "adjacency of {i}"
+            );
+            let (gc, wc) = (&got.cells[i as usize], &want.cells[i as usize]);
+            assert!(
+                (gc.area() - wc.area()).abs() <= 1e-9 * wc.area().max(1.0),
+                "cell {i} area {} vs {}",
+                gc.area(),
+                wc.area()
+            );
+            assert!(gc.contains(got.point(i)));
+        }
+        for q in pseudorandom(40, 999) {
+            assert_eq!(got.nearest(q, 0), want.nearest(q, 0), "nearest to {q:?}");
+        }
+    }
+
+    #[test]
+    fn rtree_apply_delta_matches_fresh_bulk_load() {
+        let pts = pseudorandom(400, 11);
+        let idx = RTreeIndex::new(&pts);
+        let batch = make_batch(&pts, 30, 25, 17);
+        let got = idx.apply_delta(&batch);
+        let want = RTreeIndex::new(&expected_points(&pts, &batch));
+        assert_eq!(got.points(), want.points());
+        got.tree().check_invariants();
+        for probe in pseudorandom(30, 5) {
+            let r = Rect::from_corners(probe, Point::new(probe.x + 9.0, probe.y + 9.0));
+            let mut a = got.tree().query_rect(&r);
+            let mut b = want.tree().query_rect(&r);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn voronoi_apply_delta_incremental_matches_full_rebuild() {
+        let pts = pseudorandom(600, 3);
+        let idx = VoronoiIndex::new(&pts).unwrap();
+        let batch = make_batch(&pts, 25, 30, 7);
+        let (got, stats) = idx.apply_delta(&batch).unwrap();
+        assert!(stats.incremental, "small batch must take the delta path");
+        assert!(stats.dirty_cells < got.len(), "most cells carried over");
+        let want = VoronoiIndex::new(&expected_points(&pts, &batch)).unwrap();
+        assert_same_index(&got, &want);
+    }
+
+    #[test]
+    fn voronoi_apply_delta_oversized_batch_rebuilds() {
+        let pts = pseudorandom(100, 29);
+        let idx = VoronoiIndex::new(&pts).unwrap();
+        let batch = make_batch(&pts, 40, 10, 31);
+        let (got, stats) = idx.apply_delta(&batch).unwrap();
+        assert!(!stats.incremental);
+        let want = VoronoiIndex::new(&expected_points(&pts, &batch)).unwrap();
+        assert_same_index(&got, &want);
+    }
+
+    #[test]
+    fn chained_deltas_stay_exact() {
+        // Enough consecutive generations to cross the kd staleness
+        // threshold (seed map composition + kd rebuild both exercised).
+        let mut pts = pseudorandom(300, 41);
+        let mut idx = VoronoiIndex::new(&pts).unwrap();
+        for round in 0..12 {
+            let batch = make_batch(&pts, 6, 8, 1000 + round);
+            pts = expected_points(&pts, &batch);
+            let (next, _) = idx.apply_delta(&batch).unwrap();
+            idx = next;
+            assert_eq!(idx.points(), &pts[..]);
+        }
+        let want = VoronoiIndex::new(&pts).unwrap();
+        assert_same_index(&idx, &want);
     }
 
     #[test]

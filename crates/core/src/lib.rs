@@ -52,6 +52,7 @@ pub mod ann;
 pub mod b2s2;
 pub mod bbs;
 pub mod continuous_mixed;
+pub mod delta;
 pub mod heap;
 pub mod index;
 pub mod key;
@@ -69,6 +70,7 @@ pub use ann::{aggregate_nearest_neighbor, Aggregate};
 pub use b2s2::{b2s2, b2s2_kernel};
 pub use bbs::bbs;
 pub use continuous_mixed::ContinuousMixedSkyline;
+pub use delta::{BatchError, DeltaStats, UpdateBatch};
 pub use index::{RTreeIndex, VoronoiIndex};
 pub use key::{KeyScratch, QueryKey};
 pub use metric_naive::{naive_metric, naive_metric_with};

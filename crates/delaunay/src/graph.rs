@@ -38,29 +38,39 @@ impl DelaunayGraph {
     pub fn from_triangulation(tri: &Triangulation) -> DelaunayGraph {
         let points = tri.points().to_vec();
         let n = points.len();
-        let edges = if tri.is_degenerate() {
-            degenerate_path_edges(&points)
-        } else {
-            tri.edges()
-        };
 
-        // CSR over the undirected edges.
-        let mut degree = vec![0u32; n];
-        for &(a, b) in &edges {
-            degree[a as usize] += 1;
-            degree[b as usize] += 1;
-        }
-        let mut offsets = vec![0u32; n + 1];
-        for i in 0..n {
-            offsets[i + 1] = offsets[i] + degree[i];
-        }
-        let mut adj = vec![0u32; offsets[n] as usize];
-        let mut cursor = offsets.clone();
-        for &(a, b) in &edges {
-            adj[cursor[a as usize] as usize] = b;
-            cursor[a as usize] += 1;
-            adj[cursor[b as usize] as usize] = a;
-            cursor[b as usize] += 1;
+        let (offsets, mut adj);
+        if tri.is_degenerate() {
+            let edges = degenerate_path_edges(&points);
+            let mut degree = vec![0u32; n];
+            for &(a, b) in &edges {
+                degree[a as usize] += 1;
+                degree[b as usize] += 1;
+            }
+            offsets = prefix_sum(&degree);
+            adj = vec![0u32; offsets[n] as usize];
+            let mut cursor = offsets.clone();
+            for &(a, b) in &edges {
+                adj[cursor[a as usize] as usize] = b;
+                cursor[a as usize] += 1;
+                adj[cursor[b as usize] as usize] = a;
+                cursor[b as usize] += 1;
+            }
+        } else {
+            // Direct CSR fill: every finite *directed* edge `a → b` occurs
+            // exactly once over the alive triangles (the reverse edge lives
+            // in the adjacent triangle — a ghost, for hull edges), so two
+            // passes over the triangle corners build the adjacency without
+            // materializing and sorting a global edge list.
+            let mut degree = vec![0u32; n];
+            tri.for_each_directed_edge(|a, _| degree[a as usize] += 1);
+            offsets = prefix_sum(&degree);
+            adj = vec![0u32; offsets[n] as usize];
+            let mut cursor = offsets.clone();
+            tri.for_each_directed_edge(|a, b| {
+                adj[cursor[a as usize] as usize] = b;
+                cursor[a as usize] += 1;
+            });
         }
         // Sort each neighbour list for determinism and binary search.
         for i in 0..n {
@@ -180,6 +190,15 @@ impl DelaunayGraph {
         }
         Some(self.greedy_nearest(q, 0).0)
     }
+}
+
+/// Exclusive prefix sum of `degree`, as CSR offsets.
+fn prefix_sum(degree: &[u32]) -> Vec<u32> {
+    let mut offsets = vec![0u32; degree.len() + 1];
+    for (i, &d) in degree.iter().enumerate() {
+        offsets[i + 1] = offsets[i] + d;
+    }
+    offsets
 }
 
 /// Delaunay edges of a degenerate (collinear or tiny) point set: the path

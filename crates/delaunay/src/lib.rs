@@ -41,4 +41,4 @@ pub mod triangulation;
 pub mod voronoi;
 
 pub use graph::DelaunayGraph;
-pub use triangulation::{BuildError, Triangulation};
+pub use triangulation::{BuildError, DeltaError, Triangulation};

@@ -54,6 +54,28 @@ impl PagedAdjacency {
         }
     }
 
+    /// Builds a view from an explicit page assignment, without re-running
+    /// the Hilbert layout.
+    ///
+    /// Delta builds use this to carry the previous generation's layout
+    /// forward: surviving points keep their page, inserted points are
+    /// assigned the page of a Delaunay neighbour. Any assignment is valid —
+    /// pages are an accounting fiction, so the only requirement is
+    /// `page_of[i] < page_count` for every point.
+    pub fn with_layout(page_of: Vec<u32>, page_count: u32) -> PagedAdjacency {
+        assert!(
+            page_of.iter().all(|&p| p < page_count),
+            "page assignment out of range"
+        );
+        PagedAdjacency {
+            page_of,
+            page_count,
+            stamps: (0..page_count).map(|_| AtomicU32::new(0)).collect(),
+            epoch: AtomicU32::new(1),
+            accesses: AtomicU64::new(0),
+        }
+    }
+
     /// Total number of pages.
     pub fn page_count(&self) -> u32 {
         self.page_count

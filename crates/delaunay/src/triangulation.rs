@@ -52,6 +52,32 @@ impl std::fmt::Display for BuildError {
 
 impl std::error::Error for BuildError {}
 
+/// Errors reported by the incremental maintenance entry points
+/// ([`Triangulation::insert_point`] / [`Triangulation::remove_point`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The inserted point exactly coincides with an existing vertex.
+    Duplicate,
+    /// The inserted point has a NaN/infinite coordinate.
+    NonFinite,
+    /// The operation cannot be applied incrementally (degenerate input or
+    /// a hole with no valid retriangulation); the caller must rebuild from
+    /// scratch. The triangulation is left unchanged.
+    NeedsRebuild,
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::Duplicate => write!(f, "point duplicates an existing vertex"),
+            DeltaError::NonFinite => write!(f, "point has a NaN/infinite coordinate"),
+            DeltaError::NeedsRebuild => write!(f, "delta not applicable; full rebuild required"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
 /// A triangle record: vertex indices (CCW for finite triangles; ghost
 /// triangles keep `GHOST` in slot 2) and the neighbour opposite each
 /// vertex.
@@ -74,7 +100,7 @@ const NO_TRI: u32 = u32::MAX;
 /// triangle exists; [`Triangulation::is_degenerate`] reports this and
 /// [`Triangulation::triangles`] is empty. [`crate::DelaunayGraph`] handles
 /// that case with a path graph, so SSQ algorithms never need to care.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Triangulation {
     points: Vec<Point>,
     tris: Vec<Tri>,
@@ -194,6 +220,274 @@ impl Triangulation {
         edges
     }
 
+    /// Calls `f(a, b)` for every finite *directed* Delaunay edge `a → b`.
+    ///
+    /// Each directed edge is visited exactly once: the triangle on its left
+    /// contributes `a → b` and the triangle on its right (a ghost, for hull
+    /// edges) contributes `b → a`. This lets callers build adjacency
+    /// structures in `O(|edges|)` without a global sort.
+    pub fn for_each_directed_edge(&self, mut f: impl FnMut(u32, u32)) {
+        for t in self.tris.iter().filter(|t| t.alive) {
+            for k in 0..3 {
+                let a = t.v[k];
+                let b = t.v[(k + 1) % 3];
+                if a != GHOST && b != GHOST {
+                    f(a, b);
+                }
+            }
+        }
+    }
+
+    // -- incremental maintenance -------------------------------------------
+
+    /// Appends `p` as a new vertex and inserts it into the triangulation
+    /// (visibility-walk locate + Bowyer–Watson cavity). Returns the new
+    /// vertex id. `O(log n)` expected for well-distributed inserts.
+    ///
+    /// Fails with [`DeltaError::NeedsRebuild`] on a degenerate
+    /// triangulation (the caller rebuilds from the full point set, which
+    /// also resolves a formerly-collinear set gaining an off-line point).
+    pub fn insert_point(&mut self, p: Point) -> Result<u32, DeltaError> {
+        if !p.is_finite() {
+            return Err(DeltaError::NonFinite);
+        }
+        if self.degenerate {
+            return Err(DeltaError::NeedsRebuild);
+        }
+        // Duplicate check: a coinciding vertex must be a corner of the
+        // located (closed-containing) triangle. A point strictly outside
+        // the hull lands on a ghost and cannot coincide with anything.
+        let t = self.locate(p, self.seed);
+        for &v in &self.tris[t as usize].v {
+            if v != GHOST && self.pt(v) == p {
+                return Err(DeltaError::Duplicate);
+            }
+        }
+        let pi = self.points.len() as u32;
+        self.points.push(p);
+        self.insert(pi);
+        Ok(pi)
+    }
+
+    /// Removes vertex `vi`, retriangulating the star-shaped hole left by
+    /// its incident triangles (cavity retriangulation by Delaunay ear
+    /// clipping; hull vertices are handled through their ghost ring).
+    ///
+    /// The vertex's `points` slot becomes stale but keeps its index so
+    /// later operations in the same batch can still use old ids; call
+    /// [`Triangulation::compact`] once the batch is done. Fails with
+    /// [`DeltaError::NeedsRebuild`] — leaving the triangulation unchanged
+    /// — when the hole admits no valid ear (collinear residue). Callers
+    /// must keep at least three finite vertices with a non-collinear
+    /// triple; batches shrinking the set below that must rebuild instead.
+    pub fn remove_point(&mut self, vi: u32) -> Result<(), DeltaError> {
+        if self.degenerate {
+            return Err(DeltaError::NeedsRebuild);
+        }
+        let start = self.locate(self.pt(vi), self.seed);
+        if self.is_ghost(start) || !self.tris[start as usize].v.contains(&vi) {
+            // `vi` is not a vertex of the triangulation (stale id).
+            return Err(DeltaError::NeedsRebuild);
+        }
+
+        // Collect the link ring around `vi` by rotating through the
+        // neighbour links: incident triangle i is (vi, ring[i], ring[i+1])
+        // cyclically, and outs[i] is the neighbour across the ring edge
+        // (ring[i], ring[i+1]). With ghosts every vertex has a closed
+        // ring; GHOST appears at most once (exactly once for hull
+        // vertices).
+        let mut ring: Vec<u32> = Vec::with_capacity(8);
+        let mut outs: Vec<(u32, usize)> = Vec::with_capacity(8);
+        let mut incident: Vec<u32> = Vec::with_capacity(8);
+        let mut cur = start;
+        loop {
+            let t = self.tris[cur as usize];
+            let Some(k) = (0..3).find(|&j| t.v[j] == vi) else {
+                return Err(DeltaError::NeedsRebuild);
+            };
+            let a = t.v[(k + 1) % 3];
+            let out = t.nbr[k];
+            let out_edge = (0..3)
+                .find(|&j| self.tris[out as usize].nbr[j] == cur)
+                .expect("neighbour links must be symmetric");
+            ring.push(a);
+            outs.push((out, out_edge));
+            incident.push(cur);
+            cur = t.nbr[(k + 1) % 3];
+            if cur == start {
+                break;
+            }
+        }
+        let m = ring.len();
+        debug_assert!(m >= 3, "every vertex has degree >= 3 counting GHOST");
+
+        // Phase 1 (read-only): plan the retriangulation by ear clipping a
+        // scratch copy of the ring. A finite ear must be CCW with a
+        // circumdisk empty of the remaining ring vertices; an ear
+        // containing GHOST is a prospective hull edge whose outer
+        // half-plane (the ghost "disk") must be empty of them. Aborting
+        // here leaves the triangulation untouched.
+        let mut hole: Vec<u32> = ring.clone();
+        let mut planned: Vec<[u32; 3]> = Vec::with_capacity(m - 2);
+        while hole.len() > 3 {
+            let len = hole.len();
+            let mut clipped = None;
+            for i in 0..len {
+                let x = hole[(i + len - 1) % len];
+                let y = hole[i];
+                let z = hole[(i + 1) % len];
+                let valid = if x != GHOST && y != GHOST && z != GHOST {
+                    orient2d_sign(self.pt(x), self.pt(y), self.pt(z)) == 1
+                        && hole.iter().all(|&d| {
+                            d == x
+                                || d == y
+                                || d == z
+                                || d == GHOST
+                                || incircle_sign(self.pt(x), self.pt(y), self.pt(z), self.pt(d))
+                                    <= 0
+                        })
+                } else {
+                    // Rotating the ghost into slot 2 turns the ear into
+                    // the ghost triangle (u, w, GHOST) of hull edge w->u.
+                    let (u, w) = if x == GHOST {
+                        (y, z)
+                    } else if y == GHOST {
+                        (z, x)
+                    } else {
+                        (x, y)
+                    };
+                    hole.iter().all(|&d| {
+                        d == u
+                            || d == w
+                            || d == GHOST
+                            || !self.ghost_disk_contains(u, w, self.pt(d))
+                    })
+                };
+                if valid {
+                    clipped = Some(i);
+                    break;
+                }
+            }
+            let Some(i) = clipped else {
+                return Err(DeltaError::NeedsRebuild);
+            };
+            let len = hole.len();
+            planned.push([hole[(i + len - 1) % len], hole[i], hole[(i + 1) % len]]);
+            hole.remove(i);
+        }
+        let (x, y, z) = (hole[0], hole[1], hole[2]);
+        if x != GHOST
+            && y != GHOST
+            && z != GHOST
+            && orient2d_sign(self.pt(x), self.pt(y), self.pt(z)) != 1
+        {
+            return Err(DeltaError::NeedsRebuild);
+        }
+        planned.push([x, y, z]);
+
+        // Phase 2: delete the star and materialise the plan, stitching
+        // neighbour links through an undirected-edge map seeded with the
+        // ring boundary (the same scheme the insertion cavity uses).
+        for &t in &incident {
+            self.tris[t as usize].alive = false;
+        }
+        let mut edge_map: std::collections::HashMap<(u32, u32), (u32, usize)> =
+            std::collections::HashMap::with_capacity(m * 2);
+        for i in 0..m {
+            let a = ring[i];
+            let b = ring[(i + 1) % m];
+            edge_map.insert((a.min(b), a.max(b)), outs[i]);
+        }
+        let mut new_seed = NO_TRI;
+        for &[x, y, z] in &planned {
+            let (v, rot) = if x == GHOST {
+                ([y, z, GHOST], 1)
+            } else if y == GHOST {
+                ([z, x, GHOST], 2)
+            } else {
+                ([x, y, z], 0)
+            };
+            let nt = self.alloc(v);
+            if new_seed == NO_TRI || v[2] != GHOST {
+                new_seed = nt;
+            }
+            let opp = |orig: usize| (orig + 3 - rot) % 3;
+            for (orig_idx, ea, eb) in [(0usize, y, z), (1, z, x), (2, x, y)] {
+                let key = (ea.min(eb), ea.max(eb));
+                match edge_map.remove(&key) {
+                    Some((other, other_edge)) => {
+                        self.tris[nt as usize].nbr[opp(orig_idx)] = other;
+                        self.tris[other as usize].nbr[other_edge] = nt;
+                    }
+                    None => {
+                        edge_map.insert(key, (nt, opp(orig_idx)));
+                    }
+                }
+            }
+        }
+        debug_assert!(edge_map.is_empty(), "hole stitching must close");
+        self.seed = new_seed;
+        Ok(())
+    }
+
+    /// Compacts vertex ids and the triangle arena after a batch of
+    /// [`Triangulation::remove_point`] / [`Triangulation::insert_point`]
+    /// calls.
+    ///
+    /// `deleted` lists the removed vertex ids in ascending order.
+    /// Surviving vertices slide down to fill the gaps (the id map is
+    /// monotone, so sorted id lists stay sorted under it); dead triangle
+    /// slots are dropped so the arena does not grow across generations.
+    /// Returns the old-id → new-id map, with `u32::MAX` for deleted ids.
+    pub fn compact(&mut self, deleted: &[u32]) -> Vec<u32> {
+        debug_assert!(deleted.windows(2).all(|w| w[0] < w[1]));
+        let n = self.points.len();
+        let mut remap = vec![u32::MAX; n];
+        let mut kept = Vec::with_capacity(n - deleted.len());
+        let mut di = 0usize;
+        for (i, &p) in self.points.iter().enumerate() {
+            if di < deleted.len() && deleted[di] as usize == i {
+                di += 1;
+                continue;
+            }
+            remap[i] = kept.len() as u32;
+            kept.push(p);
+        }
+        debug_assert_eq!(di, deleted.len(), "deleted ids must be in range");
+        self.points = kept;
+
+        let mut tri_remap = vec![NO_TRI; self.tris.len()];
+        let mut kept_tris: Vec<Tri> = Vec::with_capacity(self.tris.len());
+        for (i, t) in self.tris.iter().enumerate() {
+            if t.alive {
+                tri_remap[i] = kept_tris.len() as u32;
+                kept_tris.push(*t);
+            }
+        }
+        for t in &mut kept_tris {
+            for k in 0..3 {
+                if t.v[k] != GHOST {
+                    debug_assert_ne!(
+                        remap[t.v[k] as usize],
+                        u32::MAX,
+                        "live triangle references a deleted vertex"
+                    );
+                    t.v[k] = remap[t.v[k] as usize];
+                }
+                t.nbr[k] = tri_remap[t.nbr[k] as usize];
+            }
+            t.stamp = 0;
+        }
+        self.tris = kept_tris;
+        self.epoch = 0;
+        self.seed = if self.tris.is_empty() {
+            NO_TRI
+        } else {
+            tri_remap[self.seed as usize]
+        };
+        remap
+    }
+
     // -- crate-internal accessors (used by the Voronoi extraction) ---------
 
     /// Number of triangle slots (alive or dead).
@@ -291,18 +585,25 @@ impl Triangulation {
             // NOT enter this ghost's cavity: it belongs to the adjacent
             // hull edge's ghost, and including this one would fan a
             // zero-area triangle.
-            let u = self.pt(tri.v[0]);
-            let w = self.pt(tri.v[1]);
-            match orient2d_sign(u, w, p) {
-                1 => true,
-                0 => {
-                    let t = (p - u).dot(w - u);
-                    t > 0.0 && t < (w - u).norm_sq()
-                }
-                _ => false,
-            }
+            self.ghost_disk_contains(tri.v[0], tri.v[1], p)
         } else {
             incircle_sign(self.pt(tri.v[0]), self.pt(tri.v[1]), self.pt(tri.v[2]), p) > 0
+        }
+    }
+
+    /// The symbolic circumdisk test of ghost triangle `(u, w, GHOST)`: the
+    /// open half-plane strictly left of `u -> w`, plus the open hull-edge
+    /// segment itself (see [`Triangulation::in_disk`] for the rationale).
+    fn ghost_disk_contains(&self, u: u32, w: u32, p: Point) -> bool {
+        let pu = self.pt(u);
+        let pw = self.pt(w);
+        match orient2d_sign(pu, pw, p) {
+            1 => true,
+            0 => {
+                let t = (p - pu).dot(pw - pu);
+                t > 0.0 && t < (pw - pu).norm_sq()
+            }
+            _ => false,
         }
     }
 
@@ -651,6 +952,181 @@ mod tests {
             assert_delaunay(&t);
             assert_euler(&t);
         }
+    }
+
+    #[test]
+    fn insert_point_extends_the_triangulation() {
+        let mut t = Triangulation::new(&[p(0.0, 0.0), p(4.0, 0.0), p(0.0, 4.0)]).unwrap();
+        // Interior, on-edge, outside-hull, and collinear-beyond inserts.
+        for q in [p(1.0, 1.0), p(2.0, 0.0), p(5.0, 5.0), p(8.0, 0.0)] {
+            let id = t.insert_point(q).unwrap();
+            assert_eq!(t.points()[id as usize], q);
+            assert_delaunay(&t);
+            assert_euler(&t);
+        }
+        assert_eq!(t.insert_point(p(1.0, 1.0)), Err(DeltaError::Duplicate));
+        assert_eq!(t.insert_point(p(f64::NAN, 0.0)), Err(DeltaError::NonFinite));
+    }
+
+    #[test]
+    fn remove_interior_point() {
+        let mut t = Triangulation::new(&[
+            p(0.0, 0.0),
+            p(4.0, 0.0),
+            p(4.0, 4.0),
+            p(0.0, 4.0),
+            p(2.0, 2.0),
+        ])
+        .unwrap();
+        t.remove_point(4).unwrap();
+        assert_delaunay_sparse(&t, &[4]);
+        let _ = t.compact(&[4]);
+        assert_delaunay(&t);
+        assert_euler(&t);
+        assert_eq!(t.triangles().count(), 2);
+    }
+
+    #[test]
+    fn remove_hull_vertex() {
+        let mut t = Triangulation::new(&[
+            p(0.0, 0.0),
+            p(4.0, 0.0),
+            p(4.0, 4.0),
+            p(0.0, 4.0),
+            p(2.0, 2.0),
+        ])
+        .unwrap();
+        t.remove_point(0).unwrap();
+        assert_delaunay_sparse(&t, &[0]);
+        let _ = t.compact(&[0]);
+        assert_delaunay(&t);
+        assert_euler(&t);
+        // 4 remaining points, all on the hull boundary of the residue
+        // ((2,2) sits exactly on the new hull edge (0,4)-(4,0)).
+        assert_eq!(t.triangles().count(), 2);
+    }
+
+    #[test]
+    fn remove_then_compact_keeps_delaunay() {
+        let mut pts = Vec::new();
+        let mut seed = 0x5EEDu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..60 {
+            pts.push(p(next() * 100.0, next() * 100.0));
+        }
+        let mut t = Triangulation::new(&pts).unwrap();
+        let deleted: Vec<u32> = vec![3, 17, 18, 30, 44, 59];
+        for (applied, &d) in deleted.iter().enumerate() {
+            t.remove_point(d).unwrap();
+            assert_delaunay_sparse(&t, &deleted[..=applied]);
+        }
+        let remap = t.compact(&deleted);
+        assert_eq!(t.points().len(), 54);
+        // Monotone on survivors.
+        let survivors: Vec<u32> = remap.iter().copied().filter(|&r| r != u32::MAX).collect();
+        assert!(survivors.windows(2).all(|w| w[0] < w[1]));
+        assert_delaunay(&t);
+        assert_euler(&t);
+    }
+
+    /// Like `assert_delaunay` but skips deleted (stale) point slots.
+    fn assert_delaunay_sparse(t: &Triangulation, deleted: &[u32]) {
+        t.check_invariants();
+        let pts = t.points();
+        for tri in t.triangles() {
+            assert!(!tri.iter().any(|v| deleted.contains(v)));
+            let (a, b, c) = (
+                pts[tri[0] as usize],
+                pts[tri[1] as usize],
+                pts[tri[2] as usize],
+            );
+            for (i, &d) in pts.iter().enumerate() {
+                if tri.contains(&(i as u32)) || deleted.contains(&(i as u32)) {
+                    continue;
+                }
+                assert!(
+                    incircle_sign(a, b, c, d) <= 0,
+                    "point {i} violates empty-circumcircle after deletion"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_insert_remove_matches_fresh_build() {
+        let mut seed = 0xACE1u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut pts: Vec<Point> = (0..50).map(|_| p(next() * 100.0, next() * 100.0)).collect();
+        let mut t = Triangulation::new(&pts).unwrap();
+
+        // Delete 12 scattered old ids, insert 15 new points, compact.
+        let deleted: Vec<u32> = vec![0, 4, 9, 13, 21, 22, 23, 30, 38, 44, 48, 49];
+        for &d in &deleted {
+            t.remove_point(d).unwrap();
+        }
+        let mut inserts = Vec::new();
+        for _ in 0..15 {
+            let q = p(next() * 100.0, next() * 100.0);
+            let id = t.insert_point(q).unwrap();
+            assert_eq!(id as usize, pts.len() + inserts.len());
+            inserts.push(q);
+        }
+        let _ = t.compact(&deleted);
+        assert_delaunay(&t);
+        assert_euler(&t);
+
+        // The surviving point sequence matches the delta semantics.
+        let mut expect: Vec<Point> = Vec::new();
+        for (i, &q) in pts.iter().enumerate() {
+            if !deleted.contains(&(i as u32)) {
+                expect.push(q);
+            }
+        }
+        expect.append(&mut inserts);
+        assert_eq!(t.points(), expect.as_slice());
+
+        // Same edge set as a fresh build (no exact cocircularities in
+        // random data, so the Delaunay triangulation is unique).
+        let fresh = Triangulation::new(&expect).unwrap();
+        assert_eq!(t.edges(), fresh.edges());
+        pts.clear();
+    }
+
+    #[test]
+    fn grid_deletions_with_cocircular_ties() {
+        let mut pts = Vec::new();
+        for i in 0..6 {
+            for j in 0..6 {
+                pts.push(p(i as f64, j as f64));
+            }
+        }
+        let mut t = Triangulation::new(&pts).unwrap();
+        // Corner (hull), edge-midpoint (hull), and center (interior).
+        let deleted = vec![0u32, 3, 14, 21, 35];
+        for &d in &deleted {
+            t.remove_point(d).unwrap();
+        }
+        let _ = t.compact(&deleted);
+        assert_delaunay(&t);
+        assert_euler(&t);
+    }
+
+    #[test]
+    fn degenerate_states_demand_rebuild() {
+        let mut t = Triangulation::new(&[p(0.0, 0.0), p(1.0, 1.0), p(2.0, 2.0)]).unwrap();
+        assert!(t.is_degenerate());
+        assert_eq!(t.insert_point(p(1.0, 0.0)), Err(DeltaError::NeedsRebuild));
+        assert_eq!(t.remove_point(0), Err(DeltaError::NeedsRebuild));
     }
 
     #[test]

@@ -11,8 +11,9 @@ use crate::sync::{
     RANK_SESSION_PENDING, RANK_SESSION_SKY,
 };
 use ssq_core::{
-    b2s2_kernel, bbs, naive_sorted_kernel, vs2_kernel, ContinuousSkyline, DistanceScratch,
-    QueryContext, QueryKey, QueryStats, RTreeIndex, SkylineResult, UpdateOutcome, VoronoiIndex,
+    b2s2_kernel, bbs, naive_sorted_kernel, vs2_kernel, ContinuousSkyline, DeltaStats,
+    DistanceScratch, QueryContext, QueryKey, QueryStats, RTreeIndex, SkylineResult, UpdateBatch,
+    UpdateOutcome, VoronoiIndex,
 };
 use ssq_diagram::{DiagramConfig, SkylineDiagram};
 use ssq_geom::Point;
@@ -21,6 +22,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Anchor-count hint used to pre-size worker scratch arenas at spawn:
+/// covers every workload the benches and tests run (2–8 anchors) so the
+/// first query on a worker allocates nothing; wider queries simply grow
+/// the arena once, exactly as before.
+const PRESIZE_ANCHOR_WIDTH: usize = 8;
 
 /// Engine construction / submission errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +43,9 @@ pub enum EngineError {
     /// [`EngineConfig::cache_capacity`] was zero — the LRU cache needs at
     /// least one slot.
     ZeroCacheCapacity,
+    /// [`EngineConfig::ingest_capacity`] was zero — every [`Engine::ingest`]
+    /// would deadlock waiting for queue space that cannot exist.
+    ZeroIngestCapacity,
     /// [`EngineConfig::cache_quantum`] was zero, negative, or NaN — the
     /// cache-key grid needs a positive cell size.
     InvalidCacheQuantum,
@@ -74,6 +84,9 @@ impl std::fmt::Display for EngineError {
             EngineError::ZeroCacheCapacity => {
                 write!(f, "config: cache capacity must be nonzero")
             }
+            EngineError::ZeroIngestCapacity => {
+                write!(f, "config: ingest queue capacity must be nonzero")
+            }
             EngineError::InvalidCacheQuantum => {
                 write!(f, "config: cache quantum must be positive and finite")
             }
@@ -103,6 +116,9 @@ pub struct EngineConfig {
     pub workers: usize,
     /// Bounded job-queue capacity (backpressure threshold).
     pub queue_capacity: usize,
+    /// Bounded ingest-queue capacity: delta batches waiting for the
+    /// ingestor thread. [`Engine::try_ingest`] sheds past this bound.
+    pub ingest_capacity: usize,
     /// Maximum cached query contexts.
     pub cache_capacity: usize,
     /// Coordinate quantum for the cache key
@@ -122,6 +138,7 @@ impl Default for EngineConfig {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
             queue_capacity: 1024,
+            ingest_capacity: 64,
             cache_capacity: 128,
             cache_quantum: ContextCache::DEFAULT_QUANTUM,
             forced_algorithm: None,
@@ -134,6 +151,12 @@ impl EngineConfig {
     /// This config with exactly `workers` worker threads.
     pub fn with_workers(mut self, workers: usize) -> EngineConfig {
         self.workers = workers;
+        self
+    }
+
+    /// This config with an ingest queue of at most `capacity` batches.
+    pub fn with_ingest_capacity(mut self, capacity: usize) -> EngineConfig {
+        self.ingest_capacity = capacity;
         self
     }
 
@@ -156,6 +179,9 @@ impl EngineConfig {
         }
         if self.queue_capacity == 0 {
             return Err(EngineError::ZeroQueueCapacity);
+        }
+        if self.ingest_capacity == 0 {
+            return Err(EngineError::ZeroIngestCapacity);
         }
         if self.cache_capacity == 0 {
             return Err(EngineError::ZeroCacheCapacity);
@@ -391,6 +417,139 @@ pub type UpdateHandle = Ticket<SessionUpdate>;
 /// Handle for a submitted batch: resolves to one [`QueryResponse`] per
 /// request, in submission order.
 pub type BatchTicket = Ticket<Vec<QueryResponse>>;
+/// Handle for a queued delta batch: resolves once the ingestor thread
+/// has published (or rejected) the batch. Batches apply in submission
+/// order; a rejected batch (validation failure against the generation
+/// it reached) does not stop the ones queued behind it.
+pub type IngestHandle = Ticket<Result<IngestReport, EngineError>>;
+
+/// What publishing one [`UpdateBatch`] as a new generation cost.
+#[derive(Clone, Debug)]
+pub struct IngestReport {
+    /// The generation the batch produced.
+    pub generation: u64,
+    /// What the delta build actually did (incremental vs full rebuild,
+    /// dirty-cell count).
+    pub stats: DeltaStats,
+    /// Wall-clock duration of the delta build + install.
+    pub build: Duration,
+}
+
+/// The ingest queue shared between producers, the ingestor thread, and
+/// [`Ingestor`]'s drop. Deliberately a *raw* `Mutex`: it is never held
+/// across any ranked lock (batches are popped, then the lock dropped
+/// before the publish takes `engine.reindex`), so it stays out of the
+/// engine's documented rank table.
+struct IngestShared {
+    state: Mutex<IngestState>,
+    /// Signalled when a batch is pushed or the queue closes (the
+    /// ingestor thread waits on this).
+    added: Condvar,
+    /// Signalled when a batch is popped (blocked producers wait).
+    space: Condvar,
+}
+
+/// One queued delta batch paired with the ticket cell its publish
+/// report (or error) resolves.
+type QueuedBatch = (UpdateBatch, Arc<Cell<Result<IngestReport, EngineError>>>);
+
+struct IngestState {
+    queue: VecDeque<QueuedBatch>,
+    closed: bool,
+}
+
+/// Owns the ingest queue and the lazily spawned ingestor thread. Closing
+/// (on engine shutdown or drop) drains every accepted batch — mirroring
+/// the worker pool's contract that accepted work still runs — then joins
+/// the thread.
+struct Ingestor {
+    shared: Arc<IngestShared>,
+    capacity: usize,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Ingestor {
+    fn new(capacity: usize) -> Ingestor {
+        Ingestor {
+            shared: Arc::new(IngestShared {
+                state: Mutex::new(IngestState {
+                    queue: VecDeque::new(),
+                    closed: false,
+                }),
+                added: Condvar::new(),
+                space: Condvar::new(),
+            }),
+            capacity,
+            worker: Mutex::new(None),
+        }
+    }
+
+    fn close_and_join(&self) {
+        {
+            let mut st = lock_unpoisoned(&self.shared.state);
+            st.closed = true;
+        }
+        self.shared.added.notify_all();
+        self.shared.space.notify_all();
+        if let Some(handle) = lock_unpoisoned(&self.worker).take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Ingestor {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+/// The ingestor thread: pops batches in FIFO order and publishes each as
+/// the next generation. On close, accepted batches drain before exit, so
+/// no [`IngestHandle`] is ever abandoned.
+fn ingest_loop(shared: &Arc<EngineShared>, q: &IngestShared) {
+    loop {
+        let (batch, cell) = {
+            let mut st = lock_unpoisoned(&q.state);
+            loop {
+                if let Some(item) = st.queue.pop_front() {
+                    break item;
+                }
+                if st.closed {
+                    return;
+                }
+                st = wait_unpoisoned(&q.added, st);
+            }
+        };
+        q.space.notify_one();
+        cell.fill(publish_delta(shared, &batch));
+    }
+}
+
+/// The single publish path for delta batches, shared by the synchronous
+/// [`Engine::apply_delta`] and the ingestor thread: serialize under the
+/// reindex lock, build the next generation copy-on-write, install it,
+/// record the publish cost, retire the diagram.
+fn publish_delta(
+    shared: &Arc<EngineShared>,
+    batch: &UpdateBatch,
+) -> Result<IngestReport, EngineError> {
+    let _guard = shared.reindex_lock.lock();
+    let start = Instant::now();
+    let (snapshot, stats) = shared
+        .catalog
+        .apply_delta(batch)
+        .map_err(EngineError::Index)?;
+    let build = start.elapsed();
+    let generation = snapshot.generation();
+    shared.metrics.record_swap(generation, build);
+    shared.metrics.record_ingest(&stats, build);
+    retire_diagram(shared);
+    Ok(IngestReport {
+        generation,
+        stats,
+        build,
+    })
+}
 
 /// Identifies one continuous (VCS²) session.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -422,6 +581,13 @@ struct Session {
 struct DiagramState {
     config: Option<DiagramConfig>,
     current: Option<Arc<SkylineDiagram>>,
+    /// [`HotKeys::build_seq`] of the key snapshot the published diagram
+    /// was built from. Two builders can race on the *same* generation
+    /// (a slow background build spawned earlier vs. a synchronous
+    /// [`Engine::rebuild_diagram`]); last-write-wins would let the one
+    /// holding the staler key snapshot clobber the fresher diagram, so
+    /// publication requires a strictly newer key sequence instead.
+    keys_seq: u64,
 }
 
 /// Canonical query keys seen missing the diagram, with hit counts —
@@ -431,6 +597,12 @@ struct HotKeys {
     /// Keys recorded since the last build consumed this tracker; the
     /// background-rebuild trigger.
     since_build: u64,
+    /// Monotone counter of key snapshots taken by diagram builds,
+    /// incremented under this lock together with the
+    /// [`HotKeys::hottest`] read — so seq order *is* key-freshness
+    /// order, and a publish guarded on it can never replace a diagram
+    /// with one built from staler keys.
+    build_seq: u64,
 }
 
 impl HotKeys {
@@ -446,6 +618,7 @@ impl HotKeys {
         HotKeys {
             counts: HashMap::new(),
             since_build: 0,
+            build_seq: 0,
         }
     }
 
@@ -500,6 +673,7 @@ struct EngineShared {
 pub struct Engine {
     shared: Arc<EngineShared>,
     pool: WorkerPool,
+    ingestor: Ingestor,
 }
 
 impl std::fmt::Debug for Engine {
@@ -554,6 +728,11 @@ impl Engine {
         }
         let metrics = EngineMetrics::new();
         metrics.note_generation(snapshot.generation());
+        // Pre-size every worker's scratch arena for the worst-case row
+        // count (the naive kernel pushes one row per data point) so the
+        // first query a worker serves runs growth-free instead of paying
+        // the whole arena allocation inside its timed hot path.
+        let scratch_rows = snapshot.len();
         let shared = Arc::new(EngineShared {
             catalog: SnapshotCatalog::new(snapshot),
             reindex_lock: RankedMutex::new("engine.reindex", RANK_ENGINE_REINDEX, ()),
@@ -568,6 +747,7 @@ impl Engine {
                 DiagramState {
                     config: None,
                     current: None,
+                    keys_seq: 0,
                 },
             ),
             hot_keys: RankedMutex::new("engine.hotkeys", RANK_HOT_KEYS, HotKeys::new()),
@@ -578,9 +758,18 @@ impl Engine {
             ),
             diagram_building: AtomicBool::new(false),
         });
-        let pool = WorkerPool::new(config.workers, config.queue_capacity)
-            .map_err(|e| EngineError::Spawn(e.to_string()))?;
-        let engine = Engine { shared, pool };
+        let pool = WorkerPool::presized(
+            config.workers,
+            config.queue_capacity,
+            scratch_rows,
+            PRESIZE_ANCHOR_WIDTH,
+        )
+        .map_err(|e| EngineError::Spawn(e.to_string()))?;
+        let engine = Engine {
+            shared,
+            pool,
+            ingestor: Ingestor::new(config.ingest_capacity),
+        };
         if let Some(diagram) = config.diagram {
             engine.enable_diagram(diagram)?;
         }
@@ -745,6 +934,95 @@ impl Engine {
             .map_err(EngineError::Stale)?;
         self.shared.metrics.record_swap(generation, build);
         retire_diagram(&self.shared);
+        Ok(())
+    }
+
+    /// Applies a delta batch to the current snapshot and publishes the
+    /// result as the next generation, *synchronously* on the calling
+    /// thread.
+    ///
+    /// Unlike [`Engine::reindex`] this does not rebuild the indexes from
+    /// scratch: the new generation shares every untouched structure with
+    /// the old one copy-on-write, and the incremental R\*-tree and
+    /// Delaunay maintenance make the publish cost scale with the batch,
+    /// not the dataset (falling back to a full rebuild for oversized
+    /// batches — see the report's [`DeltaStats::incremental`]). Queries
+    /// keep flowing against the old generation until the install, exactly
+    /// as for a reindex. Concurrent publishes serialize on the reindex
+    /// lock.
+    ///
+    /// An invalid batch (delete id out of range, non-finite insert, or a
+    /// batch that would empty the dataset) is rejected without publishing.
+    pub fn apply_delta(&self, batch: &UpdateBatch) -> Result<IngestReport, EngineError> {
+        publish_delta(&self.shared, batch)
+    }
+
+    /// Queues a delta batch for the ingestor thread, blocking while the
+    /// ingest queue is at capacity.
+    ///
+    /// This is the streaming-ingest entry point: the caller gets its
+    /// [`IngestHandle`] back immediately (once there is queue space) and
+    /// the publish happens off the caller's thread. Batches publish in
+    /// submission order, each producing one generation.
+    pub fn ingest(&self, batch: UpdateBatch) -> Result<IngestHandle, EngineError> {
+        self.ensure_ingestor()?;
+        let (ticket, cell) = Ticket::new();
+        let mut st = lock_unpoisoned(&self.ingestor.shared.state);
+        while st.queue.len() >= self.ingestor.capacity && !st.closed {
+            st = wait_unpoisoned(&self.ingestor.shared.space, st);
+        }
+        if st.closed {
+            return Err(EngineError::Closed);
+        }
+        st.queue.push_back((batch, cell));
+        drop(st);
+        self.ingestor.shared.added.notify_one();
+        Ok(ticket)
+    }
+
+    /// Like [`Engine::ingest`] but never blocks: a full ingest queue
+    /// comes back as [`EngineError::QueueFull`] immediately — the typed
+    /// backpressure signal for producers that must shed (mirroring
+    /// [`Engine::try_submit`] on the query side). Shed batches are
+    /// counted in the metrics' ingest counters.
+    pub fn try_ingest(&self, batch: UpdateBatch) -> Result<IngestHandle, EngineError> {
+        self.ensure_ingestor()?;
+        let (ticket, cell) = Ticket::new();
+        let mut st = lock_unpoisoned(&self.ingestor.shared.state);
+        if st.closed {
+            return Err(EngineError::Closed);
+        }
+        if st.queue.len() >= self.ingestor.capacity {
+            drop(st);
+            self.shared.metrics.record_ingest_shed();
+            return Err(EngineError::QueueFull);
+        }
+        st.queue.push_back((batch, cell));
+        drop(st);
+        self.ingestor.shared.added.notify_one();
+        Ok(ticket)
+    }
+
+    /// Delta batches currently waiting in the ingest queue (not the one
+    /// being published).
+    pub fn ingest_queued(&self) -> usize {
+        lock_unpoisoned(&self.ingestor.shared.state).queue.len()
+    }
+
+    /// Spawns the ingestor thread on first use, so query-only engines
+    /// never pay for one.
+    fn ensure_ingestor(&self) -> Result<(), EngineError> {
+        let mut worker = lock_unpoisoned(&self.ingestor.worker);
+        if worker.is_some() {
+            return Ok(());
+        }
+        let shared = Arc::clone(&self.shared);
+        let q = Arc::clone(&self.ingestor.shared);
+        let handle = std::thread::Builder::new()
+            .name("ssq-ingest".into())
+            .spawn(move || ingest_loop(&shared, &q))
+            .map_err(|e| EngineError::Spawn(e.to_string()))?;
+        *worker = Some(handle);
         Ok(())
     }
 
@@ -1048,13 +1326,15 @@ impl Engine {
         self.shared.sessions.lock().len()
     }
 
-    /// Drains every queued job and joins the workers, then joins any
-    /// background diagram builders.
+    /// Drains every queued delta batch and joins the ingestor, drains
+    /// every queued job and joins the workers, then joins any background
+    /// diagram builders.
     ///
     /// Every handle obtained before this call resolves; dropping the
     /// engine performs the same drain (builders then finish detached —
     /// they hold only a weak reference to the engine and exit early).
     pub fn shutdown(self) {
+        self.ingestor.close_and_join();
         self.pool.shutdown();
         let handles: Vec<JoinHandle<()>> = {
             let mut builders = self.shared.builders.lock();
@@ -1110,10 +1390,14 @@ fn build_and_publish_diagram(shared: &EngineShared) {
             None => return,
         };
         let snapshot = shared.catalog.current();
-        let keys = {
+        // seq is taken under the same lock as the key snapshot, so a
+        // build holding a higher seq is guaranteed to have read keys at
+        // least as fresh — the publish guard below leans on that.
+        let (keys, seq) = {
             let mut hot = shared.hot_keys.lock();
             hot.since_build = 0;
-            hot.hottest(config.max_cells)
+            hot.build_seq += 1;
+            (hot.hottest(config.max_cells), hot.build_seq)
         };
         let built = SkylineDiagram::build(
             snapshot.generation(),
@@ -1139,12 +1423,19 @@ fn build_and_publish_diagram(shared: &EngineShared) {
         if slot.config.is_none() {
             return;
         }
-        let newer_published = slot
-            .current
-            .as_ref()
-            .is_some_and(|d| d.generation() > diagram.generation());
-        if !newer_published {
+        // A published diagram is replaced only by one for a newer
+        // generation or one built from a strictly fresher key snapshot.
+        // Without the seq guard, a slow background build (e.g. the
+        // empty-keys build spawned by enable_diagram) could land *after*
+        // a synchronous rebuild on the same generation and silently
+        // un-materialize its cells.
+        let superseded = slot.current.as_ref().is_some_and(|d| {
+            d.generation() > diagram.generation()
+                || (d.generation() == diagram.generation() && slot.keys_seq >= seq)
+        });
+        if !superseded {
             slot.current = Some(Arc::new(diagram));
+            slot.keys_seq = seq;
             drop(slot);
             shared.metrics.record_diagram_publish(cells, build, warmed);
         }
@@ -1552,6 +1843,320 @@ mod tests {
     }
 
     #[test]
+    fn apply_delta_publishes_the_next_generation() {
+        let data = grid(300);
+        let engine = Engine::new(&data, EngineConfig::default().with_workers(2)).unwrap();
+        let batch = UpdateBatch {
+            inserts: (0..10)
+                .map(|i| Point::new(0.41 + 0.013 * i as f64, 0.37))
+                .collect(),
+            deletes: (0..10).map(|i| i * 7).collect(),
+        };
+        let report = engine.apply_delta(&batch).unwrap();
+        assert_eq!(report.generation, 1);
+        assert_eq!(report.stats.inserts, 10);
+        assert_eq!(report.stats.deletes, 10);
+        assert!(report.stats.incremental, "20 ops on 300 points is a delta");
+        assert_eq!(engine.generation(), 1);
+        assert_eq!(engine.data_len(), 300);
+
+        // Queries answer against the delta-built generation, exactly.
+        let next = engine.snapshot();
+        let q = vec![
+            Point::new(3.0, 4.0),
+            Point::new(9.0, 2.0),
+            Point::new(6.0, 10.0),
+        ];
+        let want = naive_full(next.points(), &QueryContext::new(&q)).skyline;
+        let got = engine.submit(QueryRequest::new(q)).wait();
+        assert_eq!(got.generation, 1);
+        assert_eq!(got.skyline, want);
+
+        let m = engine.metrics();
+        assert_eq!(m.ingest.batches, 1);
+        assert_eq!(m.ingest.incremental, 1);
+        assert_eq!(m.swaps, 1);
+        assert_eq!(m.generation, 1);
+    }
+
+    #[test]
+    fn apply_delta_rejects_invalid_batches_without_publishing() {
+        let engine = Engine::new(&grid(50), EngineConfig::default().with_workers(1)).unwrap();
+        let batch = UpdateBatch {
+            inserts: vec![],
+            deletes: vec![50],
+        };
+        assert!(matches!(
+            engine.apply_delta(&batch).unwrap_err(),
+            EngineError::Index(_)
+        ));
+        assert_eq!(engine.generation(), 0);
+        assert_eq!(engine.metrics().ingest.batches, 0);
+    }
+
+    #[test]
+    fn ingest_applies_batches_in_submission_order() {
+        let data = grid(200);
+        let engine = Engine::new(&data, EngineConfig::default().with_workers(1)).unwrap();
+        let handles: Vec<IngestHandle> = (0..3)
+            .map(|round| {
+                engine
+                    .ingest(UpdateBatch {
+                        inserts: vec![Point::new(0.21 + 0.017 * round as f64, 0.52)],
+                        deletes: vec![round],
+                    })
+                    .unwrap()
+            })
+            .collect();
+        for (round, handle) in handles.into_iter().enumerate() {
+            let report = handle.wait().unwrap();
+            assert_eq!(report.generation, round as u64 + 1);
+        }
+        assert_eq!(engine.generation(), 3);
+        assert_eq!(engine.data_len(), 200);
+        let m = engine.metrics();
+        assert_eq!(m.ingest.batches, 3);
+        assert_eq!(m.ingest.inserts, 3);
+        assert_eq!(m.ingest.deletes, 3);
+        assert_eq!(m.ingest.last_batch_ops, 2);
+    }
+
+    #[test]
+    fn try_ingest_sheds_when_the_queue_is_full() {
+        let data = grid(120);
+        let engine = Engine::new(
+            &data,
+            EngineConfig::default()
+                .with_workers(1)
+                .with_ingest_capacity(1),
+        )
+        .unwrap();
+        let one = |round: u32| UpdateBatch {
+            inserts: vec![Point::new(0.3 + 0.011 * round as f64, 0.66)],
+            deletes: vec![],
+        };
+        // Park the ingestor: it pops the first batch, then blocks on the
+        // reindex lock we hold. The blocking `ingest` of the second batch
+        // only returns once the first was popped and the 1-slot queue has
+        // space — so after it, the queue deterministically holds exactly
+        // the second batch and the third must shed with the typed signal.
+        let guard = engine.shared.reindex_lock.lock();
+        let first = engine.ingest(one(0)).unwrap();
+        let second = engine.ingest(one(1)).unwrap();
+        match engine.try_ingest(one(2)) {
+            Err(e) => assert_eq!(e, EngineError::QueueFull),
+            Ok(_) => panic!("full ingest queue accepted a batch"),
+        }
+        drop(guard);
+        assert_eq!(first.wait().unwrap().generation, 1);
+        assert_eq!(second.wait().unwrap().generation, 2);
+        assert_eq!(engine.metrics().ingest.shed, 1);
+    }
+
+    #[test]
+    fn a_rejected_ingest_batch_does_not_stop_the_queue() {
+        let engine = Engine::new(&grid(80), EngineConfig::default().with_workers(1)).unwrap();
+        let bad = engine
+            .ingest(UpdateBatch {
+                inserts: vec![],
+                deletes: vec![9999],
+            })
+            .unwrap();
+        let good = engine
+            .ingest(UpdateBatch {
+                inserts: vec![Point::new(0.77, 0.18)],
+                deletes: vec![],
+            })
+            .unwrap();
+        assert!(matches!(bad.wait(), Err(EngineError::Index(_))));
+        assert_eq!(good.wait().unwrap().generation, 1);
+        assert_eq!(engine.data_len(), 81);
+    }
+
+    #[test]
+    fn shutdown_drains_pending_ingest_batches() {
+        let engine = Engine::new(&grid(150), EngineConfig::default().with_workers(1)).unwrap();
+        let handles: Vec<IngestHandle> = (0..5)
+            .map(|round| {
+                engine
+                    .ingest(UpdateBatch {
+                        inserts: vec![Point::new(0.111 + 0.013 * round as f64, 0.84)],
+                        deletes: vec![],
+                    })
+                    .unwrap()
+            })
+            .collect();
+        engine.shutdown();
+        for (round, handle) in handles.into_iter().enumerate() {
+            assert_eq!(handle.wait().unwrap().generation, round as u64 + 1);
+        }
+    }
+
+    /// Applies `batch` to `mirror` with the exact id semantics of
+    /// `Snapshot::apply_delta`: survivors keep their relative order and
+    /// are renumbered densely, normalized inserts follow.
+    fn apply_to_mirror(mirror: &mut Vec<Point>, batch: &UpdateBatch, universe: &ssq_geom::Rect) {
+        let mut norm = batch.clone();
+        norm.normalize(universe);
+        let mut next = Vec::with_capacity(mirror.len());
+        for (i, &p) in mirror.iter().enumerate() {
+            if norm.deletes.binary_search(&(i as u32)).is_err() {
+                next.push(p);
+            }
+        }
+        next.extend(norm.inserts.iter().copied());
+        *mirror = next;
+    }
+
+    #[test]
+    fn a_hundred_delta_generations_keep_cached_contexts_exact() {
+        // Each publish retires a generation whose query contexts may
+        // still sit in the context cache under (generation, key); the
+        // cache must never serve a retired generation's context for a
+        // fresh one. 110 one-in-one-out generations, every answer checked
+        // against a naive oracle over a mirrored point set.
+        let mut mirror = grid(150);
+        let engine = Engine::new(&mirror, EngineConfig::default().with_workers(1)).unwrap();
+        let q = vec![Point::new(3.0, 4.0), Point::new(9.0, 2.0)];
+        engine.submit(QueryRequest::new(q.clone())).wait();
+        for round in 0..110u64 {
+            let batch = UpdateBatch {
+                inserts: vec![Point::new(
+                    0.05 + 0.002 * round as f64,
+                    7.3 + 1e-3 * round as f64,
+                )],
+                deletes: vec![((round * 37) % 150) as u32],
+            };
+            let universe = engine.snapshot().universe();
+            let report = engine.apply_delta(&batch).unwrap();
+            assert_eq!(report.generation, round + 1);
+            apply_to_mirror(&mut mirror, &batch, &universe);
+            let r = engine.submit(QueryRequest::new(q.clone())).wait();
+            assert_eq!(r.generation, round + 1);
+            assert_eq!(
+                r.skyline,
+                naive_full(&mirror, &QueryContext::new(&q)).skyline,
+                "generation {} answered from a stale context",
+                round + 1
+            );
+            // The repeat must come from this generation's cache entry
+            // and still be exact.
+            let again = engine.submit(QueryRequest::new(q.clone())).wait();
+            assert_eq!(again.skyline, r.skyline);
+        }
+        let m = engine.metrics();
+        assert_eq!(m.generation, 110);
+        assert_eq!(m.ingest.batches, 110);
+        assert!(m.cache_hits > 0, "repeats should hit the context cache");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn sessions_outlive_a_hundred_delta_publishes_and_flag_supersession() {
+        let data = grid(150);
+        let engine = Engine::new(&data, EngineConfig::default().with_workers(1)).unwrap();
+        let mut q = vec![
+            Point::new(3.0, 3.0),
+            Point::new(9.0, 4.0),
+            Point::new(6.0, 8.0),
+        ];
+        let id = engine.open_session(&q);
+        for round in 0..100u64 {
+            engine
+                .apply_delta(&UpdateBatch {
+                    inserts: vec![Point::new(0.31 + 0.0021 * round as f64, 8.6)],
+                    deletes: vec![],
+                })
+                .unwrap();
+        }
+        assert_eq!(engine.generation(), 100);
+        // The session stayed pinned to generation 0 the whole time: its
+        // VCS² update answers exactly against the *original* data and
+        // reports how far the catalog has moved on.
+        assert_eq!(engine.session_generation(id), Some(0));
+        let update = engine
+            .update_session(id, 0, Point::new(3.5, 3.25))
+            .unwrap()
+            .wait();
+        q[0] = Point::new(3.5, 3.25);
+        assert_eq!(update.generation, 0);
+        assert_eq!(
+            update.superseded,
+            Some(SnapshotSuperseded {
+                pinned: 0,
+                current: 100
+            })
+        );
+        assert_eq!(
+            update.skyline,
+            naive_full(&data, &QueryContext::new(&q)).skyline
+        );
+        // Re-opening pins the newest delta-built generation.
+        let fresh = engine.open_session(&q);
+        assert_eq!(engine.session_generation(fresh), Some(100));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn rapid_delta_publishes_never_let_a_stale_diagram_answer() {
+        // Every delta publish retires the published diagram with its
+        // generation and schedules a background rebuild; under a rapid
+        // stream those rebuilds keep losing the race. Whichever path
+        // serves — diagram when a rebuild lands, planner fallback when
+        // not — the answer must match the naive oracle for the *current*
+        // point set every single generation.
+        let mut mirror = grid(150);
+        let engine = Engine::new(&mirror, diagram_config()).unwrap();
+        let q = vec![Point::new(2.0, 2.0), Point::new(11.0, 3.0)];
+        engine.submit(QueryRequest::new(q.clone())).wait();
+        engine.rebuild_diagram().unwrap();
+        let warm = engine.submit(QueryRequest::new(q.clone())).wait();
+        assert_eq!(warm.served_by, ServedBy::Diagram);
+        for round in 0..100u64 {
+            let batch = UpdateBatch {
+                inserts: vec![Point::new(
+                    0.07 + 0.0019 * round as f64,
+                    9.2 + 1e-3 * round as f64,
+                )],
+                deletes: vec![((round * 53) % 150) as u32],
+            };
+            let universe = engine.snapshot().universe();
+            engine.apply_delta(&batch).unwrap();
+            apply_to_mirror(&mut mirror, &batch, &universe);
+            let r = engine.submit(QueryRequest::new(q.clone())).wait();
+            assert_eq!(r.generation, round + 1);
+            assert_eq!(
+                r.skyline,
+                naive_full(&mirror, &QueryContext::new(&q)).skyline,
+                "generation {} served a retired diagram's skyline",
+                round + 1
+            );
+        }
+        // After the stream settles, a synchronous rebuild serves the
+        // final generation from the diagram again — and still exactly.
+        engine.rebuild_diagram().unwrap();
+        let settled = engine.submit(QueryRequest::new(q.clone())).wait();
+        assert_eq!(settled.served_by, ServedBy::Diagram);
+        assert_eq!(
+            settled.skyline,
+            naive_full(&mirror, &QueryContext::new(&q)).skyline
+        );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn zero_ingest_capacity_is_rejected() {
+        let config = EngineConfig {
+            ingest_capacity: 0,
+            ..EngineConfig::default()
+        };
+        assert_eq!(
+            Engine::new(&grid(10), config).unwrap_err(),
+            EngineError::ZeroIngestCapacity
+        );
+    }
+
+    #[test]
     fn zero_cache_capacity_is_rejected() {
         let config = EngineConfig {
             cache_capacity: 0,
@@ -1941,6 +2546,26 @@ mod tests {
         // The context cache may still serve it — but never the diagram.
         assert_ne!(forced.served_by, ServedBy::Diagram);
         assert_eq!(forced.algorithm, Algorithm::Naive);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn the_first_kernel_query_on_a_fresh_worker_allocates_nothing() {
+        // Workers pre-size their scratch arenas at spawn (one row per
+        // data point, PRESIZE_ANCHOR_WIDTH anchors), so even the very
+        // first naive-kernel query — which pushes a row for *every*
+        // point — must report zero arena growth events.
+        let data = grid(200);
+        let engine = Engine::new(&data, EngineConfig::default().with_workers(1)).unwrap();
+        let q = vec![Point::new(1.0, 2.0), Point::new(9.0, 4.0)];
+        let r = engine
+            .submit(QueryRequest::forced(q, Algorithm::Naive))
+            .wait();
+        assert_eq!(r.algorithm, Algorithm::Naive);
+        assert_eq!(
+            r.stats.allocations, 0,
+            "first-touch arena growth is back on the query hot path"
+        );
         engine.shutdown();
     }
 

@@ -79,11 +79,13 @@ pub mod warm;
 
 pub use cache::{CacheKey, ContextCache, QueryKey};
 pub use engine::{
-    BatchTicket, Engine, EngineConfig, EngineError, QueryHandle, QueryRequest, QueryResponse,
-    ServedBy, SessionId, SessionUpdate, SnapshotSuperseded, Ticket, TicketFiller, UpdateHandle,
+    BatchTicket, Engine, EngineConfig, EngineError, IngestHandle, IngestReport, QueryHandle,
+    QueryRequest, QueryResponse, ServedBy, SessionId, SessionUpdate, SnapshotSuperseded, Ticket,
+    TicketFiller, UpdateHandle,
 };
 pub use metrics::{
-    DiagramCounters, EngineMetrics, LatencyHistogram, LatencySnapshot, MetricsSnapshot, NetCounters,
+    DiagramCounters, EngineMetrics, IngestCounters, LatencyHistogram, LatencySnapshot,
+    MetricsSnapshot, NetCounters,
 };
 pub use planner::{Algorithm, Planner};
 pub use pool::{PoolClosed, TrySubmitError, WorkerPool, WorkerState};

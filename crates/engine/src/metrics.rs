@@ -9,7 +9,7 @@
 
 use crate::planner::Algorithm;
 use crate::sync::{RankedMutex, RANK_METRICS};
-use ssq_core::QueryStats;
+use ssq_core::{DeltaStats, QueryStats};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -140,6 +140,17 @@ pub struct EngineMetrics {
     diagram_build_nanos: AtomicU64,
     /// Hot keys materialized into the most recent diagram.
     diagram_warmed: AtomicU64,
+    ingest_batches: AtomicU64,
+    ingest_inserts: AtomicU64,
+    ingest_deletes: AtomicU64,
+    ingest_incremental: AtomicU64,
+    ingest_rebuilds: AtomicU64,
+    ingest_dirty_cells: AtomicU64,
+    ingest_shed: AtomicU64,
+    /// Operations in the most recently published delta batch.
+    ingest_last_ops: AtomicU64,
+    /// Wall-clock nanoseconds the most recent delta publish took.
+    ingest_last_build_nanos: AtomicU64,
     aggregates: RankedMutex<Aggregates>,
     latency: LatencyHistogram,
 }
@@ -167,6 +178,15 @@ impl EngineMetrics {
             diagram_cells: AtomicU64::new(0),
             diagram_build_nanos: AtomicU64::new(0),
             diagram_warmed: AtomicU64::new(0),
+            ingest_batches: AtomicU64::new(0),
+            ingest_inserts: AtomicU64::new(0),
+            ingest_deletes: AtomicU64::new(0),
+            ingest_incremental: AtomicU64::new(0),
+            ingest_rebuilds: AtomicU64::new(0),
+            ingest_dirty_cells: AtomicU64::new(0),
+            ingest_shed: AtomicU64::new(0),
+            ingest_last_ops: AtomicU64::new(0),
+            ingest_last_build_nanos: AtomicU64::new(0),
             aggregates: RankedMutex::new("engine.metrics", RANK_METRICS, Aggregates::default()),
             latency: LatencyHistogram::new(),
         }
@@ -251,6 +271,34 @@ impl EngineMetrics {
         self.diagram_warmed.store(warmed, Ordering::Relaxed);
     }
 
+    /// Records one delta batch published as a new generation: what the
+    /// batch contained, whether the incremental path ran, and how long
+    /// the publish (delta build + install) took.
+    pub fn record_ingest(&self, stats: &DeltaStats, build: Duration) {
+        self.ingest_batches.fetch_add(1, Ordering::Relaxed);
+        self.ingest_inserts
+            .fetch_add(stats.inserts as u64, Ordering::Relaxed);
+        self.ingest_deletes
+            .fetch_add(stats.deletes as u64, Ordering::Relaxed);
+        if stats.incremental {
+            self.ingest_incremental.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.ingest_rebuilds.fetch_add(1, Ordering::Relaxed);
+        }
+        self.ingest_dirty_cells
+            .fetch_add(stats.dirty_cells as u64, Ordering::Relaxed);
+        self.ingest_last_ops
+            .store((stats.inserts + stats.deletes) as u64, Ordering::Relaxed);
+        let nanos = u64::try_from(build.as_nanos()).unwrap_or(u64::MAX);
+        self.ingest_last_build_nanos.store(nanos, Ordering::Relaxed);
+    }
+
+    /// Records a batch refused by ingest admission control (the ingest
+    /// queue was at capacity).
+    pub fn record_ingest_shed(&self) {
+        self.ingest_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records a continuous session being opened.
     pub fn record_session_opened(&self) {
         self.sessions_opened.fetch_add(1, Ordering::Relaxed);
@@ -284,6 +332,20 @@ impl EngineMetrics {
             latency: self.latency.snapshot(),
             stats,
             net: NetCounters::default(),
+            ingest: IngestCounters {
+                batches: self.ingest_batches.load(Ordering::Relaxed),
+                inserts: self.ingest_inserts.load(Ordering::Relaxed),
+                deletes: self.ingest_deletes.load(Ordering::Relaxed),
+                incremental: self.ingest_incremental.load(Ordering::Relaxed),
+                rebuilds: self.ingest_rebuilds.load(Ordering::Relaxed),
+                dirty_cells: self.ingest_dirty_cells.load(Ordering::Relaxed),
+                shed: self.ingest_shed.load(Ordering::Relaxed),
+                last_batch_ops: self.ingest_last_ops.load(Ordering::Relaxed),
+                last_build: Duration::from_nanos(
+                    self.ingest_last_build_nanos.load(Ordering::Relaxed),
+                ),
+                rebalance_moves: 0,
+            },
             diagram: DiagramCounters {
                 hits: self.diagram_hits.load(Ordering::Relaxed),
                 misses: self.diagram_misses.load(Ordering::Relaxed),
@@ -332,6 +394,52 @@ impl DiagramCounters {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+}
+
+/// Streaming-ingest counters, carried inside [`MetricsSnapshot`]: the
+/// per-generation publish cost of the delta pipeline. All zero for an
+/// engine that never ingested a batch. `rebalance_moves` is zero at the
+/// engine level; the shard router fills it when it snapshots a fleet
+/// (points moved between shards belong to no single engine).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestCounters {
+    /// Delta batches published as new generations.
+    pub batches: u64,
+    /// Points inserted across all batches.
+    pub inserts: u64,
+    /// Points deleted across all batches.
+    pub deletes: u64,
+    /// Publishes that ran the incremental (delta) index path.
+    pub incremental: u64,
+    /// Publishes that fell back to a full index rebuild.
+    pub rebuilds: u64,
+    /// Voronoi cells recomputed across all incremental publishes.
+    pub dirty_cells: u64,
+    /// Batches refused by ingest admission control (queue full).
+    pub shed: u64,
+    /// Operations (inserts + deletes) in the most recent batch.
+    pub last_batch_ops: u64,
+    /// Wall-clock duration of the most recent delta publish (the
+    /// slowest across the fleet after [`absorb`](IngestCounters::absorb)).
+    pub last_build: Duration,
+    /// Points moved between shards by fleet rebalances (router-level).
+    pub rebalance_moves: u64,
+}
+
+impl IngestCounters {
+    /// Folds another engine's counters into this one — the fleet view.
+    pub fn absorb(&mut self, other: &IngestCounters) {
+        self.batches += other.batches;
+        self.inserts += other.inserts;
+        self.deletes += other.deletes;
+        self.incremental += other.incremental;
+        self.rebuilds += other.rebuilds;
+        self.dirty_cells += other.dirty_cells;
+        self.shed += other.shed;
+        self.last_batch_ops += other.last_batch_ops;
+        self.last_build = self.last_build.max(other.last_build);
+        self.rebalance_moves += other.rebalance_moves;
     }
 }
 
@@ -410,6 +518,8 @@ pub struct MetricsSnapshot {
     /// Socket front-end counters (zero unless this snapshot came from a
     /// running `ssq-net` server).
     pub net: NetCounters,
+    /// Streaming-ingest counters (zero unless deltas were published).
+    pub ingest: IngestCounters,
     /// Skyline-diagram counters (zero unless the diagram is enabled).
     pub diagram: DiagramCounters,
 }
@@ -464,6 +574,7 @@ impl MetricsSnapshot {
         self.latency.absorb(&other.latency);
         self.stats.absorb(&other.stats);
         self.net.absorb(&other.net);
+        self.ingest.absorb(&other.ingest);
         self.diagram.absorb(&other.diagram);
     }
 }
@@ -588,6 +699,48 @@ mod tests {
         fleet.absorb(&one);
         fleet.absorb(&one);
         assert_eq!(fleet.net.accepted, 14);
+    }
+
+    #[test]
+    fn ingest_accounting_and_absorb() {
+        let m = EngineMetrics::new();
+        m.record_ingest(
+            &DeltaStats {
+                inserts: 30,
+                deletes: 20,
+                incremental: true,
+                dirty_cells: 55,
+            },
+            Duration::from_millis(4),
+        );
+        m.record_ingest(
+            &DeltaStats {
+                inserts: 500,
+                deletes: 0,
+                incremental: false,
+                dirty_cells: 0,
+            },
+            Duration::from_millis(90),
+        );
+        m.record_ingest_shed();
+        let s = m.snapshot();
+        assert_eq!(s.ingest.batches, 2);
+        assert_eq!(s.ingest.inserts, 530);
+        assert_eq!(s.ingest.deletes, 20);
+        assert_eq!(s.ingest.incremental, 1);
+        assert_eq!(s.ingest.rebuilds, 1);
+        assert_eq!(s.ingest.dirty_cells, 55);
+        assert_eq!(s.ingest.shed, 1);
+        assert_eq!(s.ingest.last_batch_ops, 500);
+        assert_eq!(s.ingest.last_build, Duration::from_millis(90));
+
+        let mut fleet = MetricsSnapshot::default();
+        fleet.absorb(&s);
+        fleet.absorb(&s);
+        assert_eq!(fleet.ingest.batches, 4);
+        assert_eq!(fleet.ingest.inserts, 1060);
+        assert_eq!(fleet.ingest.last_build, Duration::from_millis(90));
+        assert_eq!(fleet.ingest.rebalance_moves, 0);
     }
 
     #[test]

@@ -32,6 +32,18 @@ pub struct WorkerState {
     pub diagram: ssq_diagram::LookupScratch,
 }
 
+impl WorkerState {
+    /// State whose arena is pre-sized for up to `rows` candidate rows of
+    /// `width` anchors (see [`DistanceScratch::with_capacity`]); zero for
+    /// either falls back to lazy growth.
+    pub fn presized(rows: usize, width: usize) -> WorkerState {
+        WorkerState {
+            scratch: DistanceScratch::with_capacity(rows, width),
+            diagram: ssq_diagram::LookupScratch::default(),
+        }
+    }
+}
+
 /// A unit of work: boxed closure run on one worker thread with that
 /// worker's private [`WorkerState`].
 type Job = Box<dyn FnOnce(&mut WorkerState) + Send + 'static>;
@@ -98,6 +110,21 @@ impl WorkerPool {
     /// threads spawned before the failure are joined before returning,
     /// so an `Err` leaks nothing.
     pub fn new(workers: usize, capacity: usize) -> Result<WorkerPool, std::io::Error> {
+        WorkerPool::presized(workers, capacity, 0, 0)
+    }
+
+    /// Like [`WorkerPool::new`], but every worker's
+    /// [`WorkerState`] arena is pre-sized for `rows` candidate rows of
+    /// `width` anchors at spawn time. A lazily-grown arena pays its whole
+    /// allocation bill inside the first query it serves; pre-sizing moves
+    /// that warm-up off the query hot path (zero for either dimension
+    /// keeps the lazy behavior).
+    pub fn presized(
+        workers: usize,
+        capacity: usize,
+        rows: usize,
+        width: usize,
+    ) -> Result<WorkerPool, std::io::Error> {
         assert!(workers > 0, "a pool needs at least one worker");
         assert!(capacity > 0, "the job queue needs nonzero capacity");
         let shared = Arc::new(Shared {
@@ -114,7 +141,7 @@ impl WorkerPool {
             let worker_shared = Arc::clone(&shared);
             match std::thread::Builder::new()
                 .name(format!("ssq-worker-{i}"))
-                .spawn(move || worker_loop(&worker_shared))
+                .spawn(move || worker_loop(&worker_shared, rows, width))
             {
                 Ok(handle) => handles.push(handle),
                 Err(err) => {
@@ -211,8 +238,8 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(shared: &Shared) {
-    let mut state = WorkerState::default();
+fn worker_loop(shared: &Shared, rows: usize, width: usize) {
+    let mut state = WorkerState::presized(rows, width);
     loop {
         let job = {
             let mut q = lock_unpoisoned(&shared.queue);

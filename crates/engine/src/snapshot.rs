@@ -25,7 +25,7 @@
 //!    *is* the retirement protocol.
 
 use crate::sync::{RankedMutex, RANK_CATALOG};
-use ssq_core::{RTreeIndex, VoronoiIndex};
+use ssq_core::{DeltaStats, RTreeIndex, UpdateBatch, VoronoiIndex};
 use ssq_geom::{Point, Rect};
 use std::sync::Arc;
 
@@ -91,6 +91,41 @@ impl Snapshot {
             rtree,
             voronoi,
         }
+    }
+
+    /// Produces the next generation by applying an [`UpdateBatch`] as a
+    /// copy-on-write delta: both indexes of `self` stay untouched (and
+    /// keep serving pinned readers), while the new bundle is built in
+    /// `O(|batch| log n)` plus the memory copies of generation
+    /// publishing — not a full rebuild.
+    ///
+    /// The batch is validated against this snapshot and normalized
+    /// (deletes sorted/deduplicated, inserts Hilbert-ordered over this
+    /// generation's universe), so the resulting point order — survivors
+    /// densely renumbered, then inserts — is a deterministic function of
+    /// `(self, batch)`: rebuilding from scratch over
+    /// [`points`](Snapshot::points) of the result reproduces it exactly.
+    pub fn apply_delta(
+        &self,
+        generation: u64,
+        batch: &UpdateBatch,
+    ) -> Result<(Snapshot, DeltaStats), String> {
+        batch.validate(self.len()).map_err(|e| e.to_string())?;
+        let mut batch = batch.clone();
+        batch.normalize(&self.universe());
+        let rtree = Arc::new(self.rtree.apply_delta(&batch));
+        let (voronoi, stats) = self
+            .voronoi
+            .apply_delta(&batch)
+            .map_err(|e| e.to_string())?;
+        Ok((
+            Snapshot {
+                generation,
+                rtree,
+                voronoi: Arc::new(voronoi),
+            },
+            stats,
+        ))
     }
 
     /// The dataset generation this snapshot carries.
@@ -192,6 +227,22 @@ impl SnapshotCatalog {
         }
         Ok(std::mem::replace(&mut *current, snapshot))
     }
+
+    /// Publishes the next generation by delta: pins the current
+    /// snapshot, applies `batch` off-lock (readers keep serving), then
+    /// installs the result. Returns the published snapshot and the
+    /// maintenance stats.
+    ///
+    /// Concurrent callers race on the final install — the loser's
+    /// generation is stale and the install fails — so delta publishing
+    /// should be driven by one writer (the engine's ingestor thread).
+    pub fn apply_delta(&self, batch: &UpdateBatch) -> Result<(Arc<Snapshot>, DeltaStats), String> {
+        let base = self.current();
+        let (next, stats) = base.apply_delta(base.generation() + 1, batch)?;
+        let next = Arc::new(next);
+        self.install(Arc::clone(&next)).map_err(|e| e.to_string())?;
+        Ok((next, stats))
+    }
 }
 
 /// Rejected install: the offered snapshot is not newer than the
@@ -270,6 +321,56 @@ mod tests {
         );
         assert_eq!(catalog.generation(), 5);
         assert_eq!(catalog.current().len(), 20, "rollback must not happen");
+    }
+
+    #[test]
+    fn apply_delta_publishes_next_generation() {
+        let snap = Snapshot::build(4, &pts(60)).unwrap();
+        let batch = UpdateBatch {
+            inserts: vec![Point::new(50.0, 50.0), Point::new(51.0, 50.5)],
+            deletes: vec![3, 17, 3],
+        };
+        let (next, stats) = snap.apply_delta(5, &batch).unwrap();
+        assert_eq!(next.generation(), 5);
+        assert_eq!(next.len(), 60 - 2 + 2);
+        assert_eq!(stats.deletes, 2, "duplicate delete ids collapse");
+        assert_eq!(stats.inserts, 2);
+        // The base snapshot is untouched (copy-on-write).
+        assert_eq!(snap.len(), 60);
+        assert_eq!(snap.generation(), 4);
+        // Determinism: a full rebuild over the delta's points matches.
+        let rebuilt = Snapshot::build(5, next.points()).unwrap();
+        assert_eq!(rebuilt.points(), next.points());
+    }
+
+    #[test]
+    fn apply_delta_rejects_invalid_batches() {
+        let snap = Snapshot::build(0, &pts(10)).unwrap();
+        let bad = UpdateBatch {
+            inserts: vec![],
+            deletes: vec![10],
+        };
+        assert!(snap.apply_delta(1, &bad).is_err());
+        let empties = UpdateBatch {
+            inserts: vec![],
+            deletes: (0..10).collect(),
+        };
+        assert!(snap.apply_delta(1, &empties).is_err());
+    }
+
+    #[test]
+    fn catalog_apply_delta_installs_atomically() {
+        let catalog = SnapshotCatalog::new(Arc::new(Snapshot::build(0, &pts(40)).unwrap()));
+        let pinned = catalog.current();
+        let batch = UpdateBatch {
+            inserts: vec![Point::new(40.0, 40.0)],
+            deletes: vec![0],
+        };
+        let (published, stats) = catalog.apply_delta(&batch).unwrap();
+        assert_eq!(published.generation(), 1);
+        assert_eq!(catalog.generation(), 1);
+        assert_eq!(stats.inserts + stats.deletes, 2);
+        assert_eq!(pinned.len(), 40, "pinned readers keep the old data");
     }
 
     #[test]

@@ -126,9 +126,28 @@ pub struct RTree<T: Copy> {
     root: Option<u32>,
     len: usize,
     config: RTreeConfig,
+    /// Arena slots vacated by deletions, reused by later node pushes so
+    /// a long-lived tree mutated across many generations stays compact.
+    free: Vec<u32>,
     // Relaxed atomic (not `Cell`) so a shared tree stays `Sync`; counts
     // are best-effort when several threads query concurrently.
     accesses: AtomicU64,
+}
+
+impl<T: Copy> Clone for RTree<T> {
+    /// Deep-copies the node arena — the cheap node-copy path delta
+    /// builds start from. The access counter starts at zero: it is
+    /// per-instance measurement state, not index state.
+    fn clone(&self) -> RTree<T> {
+        RTree {
+            nodes: self.nodes.clone(),
+            root: self.root,
+            len: self.len,
+            config: self.config,
+            free: self.free.clone(),
+            accesses: AtomicU64::new(0),
+        }
+    }
 }
 
 impl<T: Copy> RTree<T> {
@@ -146,6 +165,7 @@ impl<T: Copy> RTree<T> {
             root: None,
             len: 0,
             config,
+            free: Vec::new(),
             accesses: AtomicU64::new(0),
         }
     }
@@ -327,6 +347,65 @@ impl<T: Copy> RTree<T> {
         }
     }
 
+    /// Deletes one entry matching `(mbr, item)` exactly, condensing the
+    /// tree on the way back up (delete-with-reinsert).
+    ///
+    /// Nodes that fall below the minimum fill are dissolved and their
+    /// surviving items reinserted through the regular R* insertion path,
+    /// which keeps MBR quality comparable to a fresh build. Returns
+    /// `false` (tree unchanged) when no such entry exists.
+    pub fn delete(&mut self, mbr: Rect, item: T) -> bool
+    where
+        T: PartialEq,
+    {
+        let Some(root) = self.root else {
+            return false;
+        };
+        let mut orphans: Vec<(Rect, T)> = Vec::new();
+        if !self.delete_at(root, &mbr, &item, &mut orphans) {
+            return false;
+        }
+        self.len -= 1;
+        // Shrink the root: an internal root with one child hands the root
+        // role to that child; an empty root leaves the tree empty.
+        while let Some(r) = self.root {
+            let node = &self.nodes[r as usize];
+            if node.len() == 0 {
+                self.free_node(r);
+                self.root = None;
+                break;
+            }
+            if node.is_leaf || node.len() > 1 {
+                break;
+            }
+            let child = node.children[0];
+            self.free_node(r);
+            self.root = Some(child);
+        }
+        // Reinsert orphaned items from dissolved nodes. They were never
+        // subtracted from `len`, so compensate for `insert`'s increment.
+        self.len -= orphans.len();
+        for (r, t) in orphans {
+            self.insert(r, t);
+        }
+        true
+    }
+
+    /// Applies `f` to every stored item payload in place.
+    ///
+    /// Delta builds use this to relabel point ids after deletions compact
+    /// the id space; the geometry (and therefore the tree structure) is
+    /// untouched.
+    pub fn map_items(&mut self, mut f: impl FnMut(T) -> T) {
+        for node in &mut self.nodes {
+            if node.is_leaf {
+                for item in &mut node.items {
+                    *item = f(*item);
+                }
+            }
+        }
+    }
+
     /// All items whose MBR intersects `query`.
     pub fn query_rect(&self, query: &Rect) -> Vec<T> {
         let mut out = Vec::new();
@@ -423,9 +502,94 @@ impl<T: Copy> RTree<T> {
     // -- insertion internals -------------------------------------------------
 
     fn push_node(&mut self, node: Node<T>) -> u32 {
+        if let Some(id) = self.free.pop() {
+            self.nodes[id as usize] = node;
+            return id;
+        }
         let id = self.nodes.len() as u32;
         self.nodes.push(node);
         id
+    }
+
+    /// Retires a node slot: its storage is dropped and the slot becomes
+    /// available for reuse by later inserts.
+    fn free_node(&mut self, node_id: u32) {
+        let level = self.nodes[node_id as usize].level;
+        self.nodes[node_id as usize] = Node::new(true, level);
+        self.free.push(node_id);
+    }
+
+    /// Recursive delete; returns `true` when the entry was found and
+    /// removed somewhere below `node_id`. Underfull children are dissolved
+    /// into `orphans` on the way back up.
+    fn delete_at(
+        &mut self,
+        node_id: u32,
+        mbr: &Rect,
+        item: &T,
+        orphans: &mut Vec<(Rect, T)>,
+    ) -> bool
+    where
+        T: PartialEq,
+    {
+        if self.nodes[node_id as usize].is_leaf {
+            let pos = {
+                let node = &self.nodes[node_id as usize];
+                node.rects
+                    .iter()
+                    .zip(&node.items)
+                    .position(|(r, t)| r == mbr && t == item)
+            };
+            let Some(i) = pos else { return false };
+            let node = &mut self.nodes[node_id as usize];
+            node.rects.swap_remove(i);
+            node.items.swap_remove(i);
+            return true;
+        }
+
+        let candidates: Vec<(usize, u32)> = {
+            let node = &self.nodes[node_id as usize];
+            node.rects
+                .iter()
+                .zip(&node.children)
+                .enumerate()
+                .filter(|(_, (r, _))| r.contains_rect(mbr))
+                .map(|(i, (_, &c))| (i, c))
+                .collect()
+        };
+        for (idx, child) in candidates {
+            if !self.delete_at(child, mbr, item, orphans) {
+                continue;
+            }
+            if self.nodes[child as usize].len() < self.config.min_entries {
+                // Dissolve the underfull child: unlink it, queue its
+                // remaining items for reinsertion, recycle its slots.
+                let node = &mut self.nodes[node_id as usize];
+                node.rects.swap_remove(idx);
+                node.children.swap_remove(idx);
+                self.collect_items(child, orphans);
+            } else {
+                let new_mbr = self.nodes[child as usize].mbr();
+                self.nodes[node_id as usize].rects[idx] = new_mbr;
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Moves every item stored in the subtree rooted at `node_id` into
+    /// `out` and frees all of the subtree's node slots.
+    fn collect_items(&mut self, node_id: u32, out: &mut Vec<(Rect, T)>) {
+        let level = self.nodes[node_id as usize].level;
+        let node = std::mem::replace(&mut self.nodes[node_id as usize], Node::new(true, level));
+        self.free.push(node_id);
+        if node.is_leaf {
+            out.extend(node.rects.iter().copied().zip(node.items.iter().copied()));
+        } else {
+            for &c in &node.children {
+                self.collect_items(c, out);
+            }
+        }
     }
 
     /// Recursive insert; returns `Some((left, right))` when `node` split.
@@ -835,6 +999,212 @@ mod tests {
             }
         }
         assert_eq!(item_count, 100);
+    }
+
+    #[test]
+    fn delete_then_query_matches_linear_scan() {
+        let pts = pseudorandom(300, 57);
+        let mut t = RTree::with_config(small_config());
+        for (i, &q) in pts.iter().enumerate() {
+            t.insert(Rect::from_point(q), i as u32);
+        }
+        // Delete every third point.
+        let mut alive: Vec<u32> = Vec::new();
+        for (i, &q) in pts.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(t.delete(Rect::from_point(q), i as u32));
+            } else {
+                alive.push(i as u32);
+            }
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), alive.len());
+        let query = Rect::from_corners(p(200.0, 200.0), p(800.0, 800.0));
+        let mut got = t.query_rect(&query);
+        got.sort_unstable();
+        let mut want: Vec<u32> = alive
+            .iter()
+            .copied()
+            .filter(|&i| query.contains(pts[i as usize]))
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn delete_missing_entry_is_a_noop() {
+        let pts = pseudorandom(50, 61);
+        let mut t = RTree::with_config(small_config());
+        for (i, &q) in pts.iter().enumerate() {
+            t.insert(Rect::from_point(q), i as u32);
+        }
+        assert!(!t.delete(Rect::from_point(p(-5.0, -5.0)), 0));
+        assert!(!t.delete(Rect::from_point(pts[3]), 999));
+        assert_eq!(t.len(), 50);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn delete_everything_empties_the_tree() {
+        let pts = pseudorandom(120, 67);
+        let mut t = RTree::with_config(small_config());
+        for (i, &q) in pts.iter().enumerate() {
+            t.insert(Rect::from_point(q), i as u32);
+        }
+        for (i, &q) in pts.iter().enumerate() {
+            assert!(t.delete(Rect::from_point(q), i as u32));
+            t.check_invariants();
+        }
+        assert!(t.is_empty());
+        assert!(t.root().is_none());
+        // The tree is reusable after being emptied.
+        t.insert(Rect::from_point(p(1.0, 2.0)), 7);
+        assert_eq!(t.query_rect(&Rect::EVERYTHING), vec![7]);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn clone_is_independent_and_resets_access_counter() {
+        let pts = pseudorandom(200, 71);
+        let t = RTree::<u32>::bulk_load_points(&pts, small_config());
+        let _ = t.query_rect(&Rect::EVERYTHING);
+        assert!(t.node_accesses() > 0);
+        let mut c = t.clone();
+        assert_eq!(c.node_accesses(), 0, "clone starts with a fresh counter");
+        // Mutating the clone leaves the original untouched.
+        assert!(c.delete(Rect::from_point(pts[0]), 0));
+        c.insert(Rect::from_point(p(1.0, 1.0)), 1000);
+        c.check_invariants();
+        t.check_invariants();
+        assert_eq!(t.len(), 200);
+        assert_eq!(c.len(), 200);
+        let mut orig = t.query_rect(&Rect::from_point(pts[0]));
+        orig.sort_unstable();
+        assert!(orig.contains(&0));
+        assert!(!c.query_rect(&Rect::from_point(pts[0])).contains(&0));
+    }
+
+    #[test]
+    fn map_items_relabels_payloads() {
+        let pts = pseudorandom(80, 73);
+        let mut t = RTree::<u32>::bulk_load_points(&pts, small_config());
+        t.map_items(|i| i + 1000);
+        let mut got = t.query_rect(&Rect::EVERYTHING);
+        got.sort_unstable();
+        let want: Vec<u32> = (1000..1080).collect();
+        assert_eq!(got, want);
+        t.check_invariants();
+    }
+
+    /// Property test: pseudorandom interleavings of insert / delete /
+    /// reinsert uphold the structural invariants, and the mutated tree is
+    /// query-equivalent to a fresh STR bulk load of the surviving points.
+    #[test]
+    fn interleaved_mutations_match_fresh_bulk_load() {
+        for seed in [5u64, 19, 43, 101] {
+            let mut s = seed;
+            let mut next = move || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s
+            };
+            let mut rnd = move || (next() >> 11) as f64 / (1u64 << 53) as f64;
+
+            let mut t = RTree::with_config(small_config());
+            // (point, payload) pairs currently stored in the tree.
+            let mut live: Vec<(Point, u32)> = Vec::new();
+            let mut next_id = 0u32;
+            for step in 0..600usize {
+                let roll = rnd();
+                if roll < 0.55 || live.len() < 4 {
+                    let q = p(rnd() * 1000.0, rnd() * 1000.0);
+                    t.insert(Rect::from_point(q), next_id);
+                    live.push((q, next_id));
+                    next_id += 1;
+                } else if roll < 0.85 {
+                    let victim = (rnd() * live.len() as f64) as usize % live.len();
+                    let (q, id) = live.swap_remove(victim);
+                    assert!(t.delete(Rect::from_point(q), id));
+                } else {
+                    // Reinsert: delete an entry and immediately add it back.
+                    let victim = (rnd() * live.len() as f64) as usize % live.len();
+                    let (q, id) = live[victim];
+                    assert!(t.delete(Rect::from_point(q), id));
+                    t.insert(Rect::from_point(q), id);
+                }
+                if step % 97 == 0 {
+                    t.check_invariants();
+                }
+            }
+            t.check_invariants();
+            assert_eq!(t.len(), live.len());
+
+            let fresh = RTree::bulk_load_with_config(
+                live.iter()
+                    .map(|&(q, id)| (Rect::from_point(q), id))
+                    .collect(),
+                small_config(),
+            );
+            fresh.check_invariants();
+            let mut s2 = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+            let mut next2 = move || {
+                s2 ^= s2 << 13;
+                s2 ^= s2 >> 7;
+                s2 ^= s2 << 17;
+                (s2 >> 11) as f64 / (1u64 << 53) as f64
+            };
+            for _ in 0..40 {
+                let a = p(next2() * 1000.0, next2() * 1000.0);
+                let b = p(next2() * 1000.0, next2() * 1000.0);
+                let query = Rect::from_corners(
+                    p(a.x.min(b.x), a.y.min(b.y)),
+                    p(a.x.max(b.x), a.y.max(b.y)),
+                );
+                let mut got = t.query_rect(&query);
+                got.sort_unstable();
+                let mut want = fresh.query_rect(&query);
+                want.sort_unstable();
+                assert_eq!(got, want, "mutated tree must agree with fresh bulk load");
+                let probe = p(next2() * 1000.0, next2() * 1000.0);
+                let got_n = t.nearest(probe);
+                let want_n = fresh.nearest(probe);
+                match (got_n, want_n) {
+                    (Some(g), Some(w)) => {
+                        let dg = live.iter().find(|&&(_, id)| id == g).unwrap().0;
+                        let dw = live.iter().find(|&&(_, id)| id == w).unwrap().0;
+                        assert_eq!(dg.distance_sq(probe), dw.distance_sq(probe));
+                    }
+                    (g, w) => assert_eq!(g.is_none(), w.is_none()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn freed_slots_are_reused() {
+        let pts = pseudorandom(200, 83);
+        let mut t = RTree::with_config(small_config());
+        for (i, &q) in pts.iter().enumerate() {
+            t.insert(Rect::from_point(q), i as u32);
+        }
+        let before = t.node_count();
+        // Churn: repeatedly delete and reinsert the same window of points.
+        for _round in 0..20 {
+            for (i, &q) in pts.iter().enumerate().take(60) {
+                assert!(t.delete(Rect::from_point(q), i as u32));
+            }
+            for (i, &q) in pts.iter().enumerate().take(60) {
+                t.insert(Rect::from_point(q), i as u32);
+            }
+        }
+        t.check_invariants();
+        assert!(
+            t.node_count() <= before + before / 2 + 8,
+            "arena must not grow unboundedly under churn: {} -> {}",
+            before,
+            t.node_count()
+        );
     }
 
     #[test]

@@ -57,4 +57,6 @@ pub use merge::merge_candidates;
 pub use metrics::{ShardMetrics, ShardedMetricsSnapshot};
 pub use partition::{partition, PartitionPolicy, ShardSpec};
 pub use prune::{dominates_rect, rect_lower_bounds};
-pub use router::{ShardConfig, ShardError, ShardInfo, ShardedEngine, ShardedResponse};
+pub use router::{
+    FleetIngestReport, ShardConfig, ShardError, ShardInfo, ShardedEngine, ShardedResponse,
+};

@@ -2,7 +2,8 @@
 //! effectiveness, merge workload, and end-to-end latency — plus the
 //! aggregated fleet view over every shard engine's own metrics.
 
-use ssq_engine::{LatencyHistogram, LatencySnapshot, MetricsSnapshot};
+use ssq_core::DeltaStats;
+use ssq_engine::{IngestCounters, LatencyHistogram, LatencySnapshot, MetricsSnapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -23,6 +24,19 @@ pub struct ShardMetrics {
     /// Wall-clock nanoseconds the most recent reindex took: partition
     /// plus every shard's index build.
     last_build_nanos: AtomicU64,
+    // Fleet-level delta ingest (see ShardedEngine::ingest). These count
+    // *batches* routed through the router, not per-shard applications:
+    // a batch touching three shards is one incremental batch here.
+    ingest_batches: AtomicU64,
+    ingest_inserts: AtomicU64,
+    ingest_deletes: AtomicU64,
+    ingest_incremental: AtomicU64,
+    ingest_rebuilds: AtomicU64,
+    ingest_dirty_cells: AtomicU64,
+    ingest_last_ops: AtomicU64,
+    ingest_last_build_nanos: AtomicU64,
+    /// Points that changed shard ownership across all rebalances.
+    rebalance_moves: AtomicU64,
     latency: LatencyHistogram,
 }
 
@@ -53,6 +67,31 @@ impl ShardMetrics {
         self.last_build_nanos.store(nanos, Ordering::Relaxed);
     }
 
+    /// Records one fleet delta publish: the aggregated per-shard
+    /// maintenance stats, the wall-clock cost of the publish (routing +
+    /// every touched shard's delta build + any rebalance rebuilds), and
+    /// how many points a rebalance moved between shards (zero when none
+    /// fired).
+    pub fn record_ingest(&self, stats: &DeltaStats, build: Duration, moves: u64) {
+        self.ingest_batches.fetch_add(1, Ordering::Relaxed);
+        self.ingest_inserts
+            .fetch_add(stats.inserts as u64, Ordering::Relaxed);
+        self.ingest_deletes
+            .fetch_add(stats.deletes as u64, Ordering::Relaxed);
+        if stats.incremental {
+            self.ingest_incremental.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.ingest_rebuilds.fetch_add(1, Ordering::Relaxed);
+        }
+        self.ingest_dirty_cells
+            .fetch_add(stats.dirty_cells as u64, Ordering::Relaxed);
+        self.ingest_last_ops
+            .store((stats.inserts + stats.deletes) as u64, Ordering::Relaxed);
+        let nanos = u64::try_from(build.as_nanos()).unwrap_or(u64::MAX);
+        self.ingest_last_build_nanos.store(nanos, Ordering::Relaxed);
+        self.rebalance_moves.fetch_add(moves, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy, with the per-shard engine snapshots folded
     /// into one fleet-wide [`MetricsSnapshot`].
     pub fn snapshot<'a>(
@@ -71,6 +110,20 @@ impl ShardMetrics {
             generation: self.generation.load(Ordering::Relaxed),
             swaps: self.swaps.load(Ordering::Relaxed),
             last_build: Duration::from_nanos(self.last_build_nanos.load(Ordering::Relaxed)),
+            ingest: IngestCounters {
+                batches: self.ingest_batches.load(Ordering::Relaxed),
+                inserts: self.ingest_inserts.load(Ordering::Relaxed),
+                deletes: self.ingest_deletes.load(Ordering::Relaxed),
+                incremental: self.ingest_incremental.load(Ordering::Relaxed),
+                rebuilds: self.ingest_rebuilds.load(Ordering::Relaxed),
+                dirty_cells: self.ingest_dirty_cells.load(Ordering::Relaxed),
+                shed: 0,
+                last_batch_ops: self.ingest_last_ops.load(Ordering::Relaxed),
+                last_build: Duration::from_nanos(
+                    self.ingest_last_build_nanos.load(Ordering::Relaxed),
+                ),
+                rebalance_moves: self.rebalance_moves.load(Ordering::Relaxed),
+            },
             latency: self.latency.snapshot(),
             engines: fleet,
         }
@@ -96,6 +149,14 @@ pub struct ShardedMetricsSnapshot {
     /// Wall-clock duration of the most recent reindex (partition plus
     /// every shard's index build); zero until the first reindex.
     pub last_build: Duration,
+    /// Fleet-level delta ingest counters
+    /// ([`ingest`](crate::ShardedEngine::ingest)): batches routed,
+    /// operations applied, incremental-vs-rebuild outcomes, last publish
+    /// cost, and points moved by shard rebalancing. Distinct from
+    /// `engines.ingest`, which counts batches applied *directly* to a
+    /// shard engine's own catalog (the router builds and installs shard
+    /// snapshots itself, so those stay zero under router-driven ingest).
+    pub ingest: IngestCounters,
     /// End-to-end latency histogram of routed queries.
     pub latency: LatencySnapshot,
     /// Every shard engine's counters folded into one fleet view
@@ -146,6 +207,45 @@ mod tests {
         assert_eq!(s.generation, 0);
         assert_eq!(s.swaps, 0);
         assert_eq!(s.last_build, Duration::ZERO);
+    }
+
+    #[test]
+    fn ingest_accounting() {
+        let m = ShardMetrics::new();
+        m.record_ingest(
+            &DeltaStats {
+                inserts: 10,
+                deletes: 4,
+                incremental: true,
+                dirty_cells: 37,
+            },
+            Duration::from_micros(800),
+            0,
+        );
+        m.record_ingest(
+            &DeltaStats {
+                inserts: 2,
+                deletes: 0,
+                incremental: false,
+                dirty_cells: 0,
+            },
+            Duration::from_micros(300),
+            5,
+        );
+        let no_engines: [&MetricsSnapshot; 0] = [];
+        let s = m.snapshot(no_engines);
+        assert_eq!(s.ingest.batches, 2);
+        assert_eq!(s.ingest.inserts, 12);
+        assert_eq!(s.ingest.deletes, 4);
+        assert_eq!(s.ingest.incremental, 1);
+        assert_eq!(s.ingest.rebuilds, 1);
+        assert_eq!(s.ingest.dirty_cells, 37);
+        assert_eq!(s.ingest.shed, 0);
+        assert_eq!(s.ingest.last_batch_ops, 2);
+        assert_eq!(s.ingest.last_build, Duration::from_micros(300));
+        assert_eq!(s.ingest.rebalance_moves, 5);
+        // The folded engine view stays untouched by router-level ingest.
+        assert_eq!(s.engines.ingest.batches, 0);
     }
 
     #[test]

@@ -45,12 +45,22 @@ use crate::merge::merge_candidates_with;
 use crate::metrics::{ShardMetrics, ShardedMetricsSnapshot};
 use crate::partition::{partition, PartitionPolicy, ShardSpec};
 use crate::prune::{dominates_rect, rect_lower_bounds};
-use ssq_core::{DistanceScratch, QueryContext, QueryKey, QueryStats};
+use ssq_core::{DeltaStats, DistanceScratch, QueryContext, QueryKey, QueryStats, UpdateBatch};
 use ssq_engine::sync::{RankedMutex, RANK_SHARD_FLEET, RANK_SHARD_MERGE, RANK_SHARD_REINDEX};
 use ssq_engine::{BatchTicket, Engine, EngineConfig, EngineError, QueryRequest, Snapshot};
 use ssq_geom::{Point, Rect};
+use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Post-ingest size-skew trigger: rebalance when the hottest shard holds
+/// more than `REBALANCE_SKEW ×` the coldest shard's points.
+const REBALANCE_SKEW: usize = 2;
+
+/// Hysteresis: skew alone never triggers a rebalance unless the hot and
+/// cold shards also differ by at least this many points, so small fleets
+/// don't churn over rounding noise.
+const REBALANCE_MIN_GAP: usize = 64;
 
 /// Tuning knobs for [`ShardedEngine::new`].
 #[derive(Clone, Debug)]
@@ -177,6 +187,28 @@ pub struct ShardedResponse {
     pub latency: Duration,
     /// Work counters summed over shard sub-queries plus the merge.
     pub stats: QueryStats,
+}
+
+/// What one fleet delta publish ([`ShardedEngine::ingest`]) did.
+#[derive(Clone, Debug)]
+pub struct FleetIngestReport {
+    /// The fleet generation the batch produced (unchanged for an empty
+    /// batch, which publishes nothing).
+    pub generation: u64,
+    /// Per-shard maintenance stats summed over every touched shard;
+    /// `incremental` is `true` only when **every** touched shard took
+    /// the incremental path.
+    pub stats: DeltaStats,
+    /// Shards whose snapshots were rebuilt by the delta (untouched
+    /// shards share their snapshot `Arc` into the new generation).
+    pub shards_touched: usize,
+    /// Whether the size-skew check fired a rebalance this publish.
+    pub rebalanced: bool,
+    /// Points that changed shard ownership (zero without a rebalance).
+    pub rebalance_moves: usize,
+    /// Wall-clock cost of the publish: routing + every touched shard's
+    /// delta application + any rebalance rebuilds.
+    pub build: Duration,
 }
 
 /// One shard's slice of a single fleet generation: the pinned snapshot
@@ -352,6 +384,243 @@ impl ShardedEngine {
         });
         self.metrics.record_swap(next, build);
         Ok(next)
+    }
+
+    /// Applies a fleet-wide [`UpdateBatch`] as the next generation:
+    /// deletes are routed to the shards that own them, inserts to the
+    /// shard whose footprint each point is inside (or nearest to), and
+    /// every touched shard's next snapshot is built *incrementally* from
+    /// its current one ([`Snapshot::apply_delta`]). Untouched shards
+    /// carry their snapshot `Arc` into the new generation unchanged —
+    /// only their id tables are renumbered — so the publish costs
+    /// O(|delta| log |shard|) plus memory copies, not a fleet rebuild.
+    ///
+    /// Delete ids refer to the current generation's global id space; the
+    /// new generation's ids are survivors densely renumbered (in global
+    /// id order) followed by the batch's inserts in fleet-normalized
+    /// order — exactly the id semantics of a single
+    /// [`Snapshot::apply_delta`] over the union dataset, so a query
+    /// against the delta-built fleet matches a fresh build over
+    /// [`UpdateBatch`]-applied points byte for byte.
+    ///
+    /// After the delta lands the router checks size skew: when the
+    /// hottest shard holds more than `REBALANCE_SKEW` (2)× the coldest
+    /// shard's points (and they differ by at least
+    /// `REBALANCE_MIN_GAP`, 64), the pair's union is median-split and both
+    /// shards rebuilt; a fleet that previously collapsed below its
+    /// engine count re-expands by splitting the hottest shard into an
+    /// idle engine instead. Either way the result is published
+    /// atomically with the delta as **one** fleet generation.
+    pub fn ingest(&self, batch: &UpdateBatch) -> Result<FleetIngestReport, ShardError> {
+        let _guard = self.reindex_lock.lock();
+        let fleet = self.current_fleet();
+        let n: usize = fleet.views.iter().map(|v| v.ids.len()).sum();
+        batch
+            .validate(n)
+            .map_err(|e| ShardError::Engine(EngineError::Index(e.to_string())))?;
+        if batch.is_empty() {
+            return Ok(FleetIngestReport {
+                generation: fleet.generation,
+                stats: DeltaStats {
+                    incremental: true,
+                    ..DeltaStats::default()
+                },
+                shards_touched: 0,
+                rebalanced: false,
+                rebalance_moves: 0,
+                build: Duration::ZERO,
+            });
+        }
+        let start = Instant::now();
+        // Normalize over the whole fleet's footprint so the new global
+        // ids are a deterministic function of (fleet, batch) — the same
+        // function Snapshot::apply_delta uses on a single engine.
+        let universe = Rect::bounding(fleet.views.iter().flat_map(|v| [v.rect.min, v.rect.max]));
+        let mut batch = batch.clone();
+        batch.normalize(&universe);
+        let next = fleet.generation + 1;
+        let remap_global = batch.survivor_remap(n);
+        let n_surv = n - batch.deletes.len();
+
+        // Owner table: global id -> (shard, local position).
+        let shards = fleet.views.len();
+        let mut owner: Vec<(u32, u32)> = vec![(u32::MAX, 0); n];
+        for (s, view) in fleet.views.iter().enumerate() {
+            for (l, &g) in view.ids.iter().enumerate() {
+                owner[g as usize] = (s as u32, l as u32);
+            }
+        }
+        let mut local_deletes: Vec<Vec<u32>> = vec![Vec::new(); shards];
+        for &d in &batch.deletes {
+            let (s, l) = owner[d as usize];
+            local_deletes[s as usize].push(l);
+        }
+        // Route each insert to the shard it falls inside or is nearest
+        // to (ties to the lower index). Its new global id is fixed by
+        // the fleet-wide normalization above, independent of the shard
+        // chosen, so routing only shapes locality, never the answer.
+        let mut local_inserts: Vec<Vec<(Point, u32)>> = vec![Vec::new(); shards];
+        for (j, &p) in batch.inserts.iter().enumerate() {
+            // `unwrap_or(0)` is unreachable in practice: the fleet was
+            // validated non-empty above, so the range is never empty.
+            let s = (0..shards)
+                .min_by(|&a, &b| {
+                    fleet.views[a]
+                        .rect
+                        .mindist(p)
+                        .total_cmp(&fleet.views[b].rect.mindist(p))
+                })
+                .unwrap_or(0);
+            local_inserts[s].push((p, (n_surv + j) as u32));
+        }
+
+        let mut views: Vec<ShardView> = Vec::with_capacity(shards);
+        let mut stats = DeltaStats {
+            incremental: true,
+            ..DeltaStats::default()
+        };
+        let mut touched = 0usize;
+        for (s, view) in fleet.views.iter().enumerate() {
+            let ins = &local_inserts[s];
+            // Survivors keep their local order, renumbered into the next
+            // generation's dense global id space.
+            let mut ids: Vec<u32> = view
+                .ids
+                .iter()
+                .filter_map(|&g| {
+                    let r = remap_global[g as usize];
+                    (r != u32::MAX).then_some(r)
+                })
+                .collect();
+            if local_deletes[s].is_empty() && ins.is_empty() {
+                // Untouched: the snapshot rides into the new generation
+                // by Arc, only the id table is rewritten.
+                views.push(ShardView {
+                    snapshot: Arc::clone(&view.snapshot),
+                    ids,
+                    rect: view.rect,
+                });
+                continue;
+            }
+            if ids.is_empty() && ins.is_empty() {
+                // The batch emptied this shard: dropping its view *is*
+                // the whole delta (every point it held was deleted), and
+                // its engine idles until a later generation routes
+                // points back — same contract as a reindex onto a tiny
+                // dataset.
+                stats.deletes += view.ids.len();
+                continue;
+            }
+            touched += 1;
+            let local = UpdateBatch {
+                inserts: ins.iter().map(|&(p, _)| p).collect(),
+                deletes: local_deletes[s].clone(),
+            };
+            // The snapshot normalizes the local batch over its own
+            // universe; permute the global-id tail by that same order so
+            // the id table stays parallel to the new snapshot's points.
+            let order = local.insert_order(&view.snapshot.universe());
+            ids.extend(order.iter().map(|&k| ins[k as usize].1));
+            let (snap, shard_stats) = view
+                .snapshot
+                .apply_delta(next, &local)
+                .map_err(|e| ShardError::Engine(EngineError::Index(e)))?;
+            stats.inserts += shard_stats.inserts;
+            stats.deletes += shard_stats.deletes;
+            stats.incremental &= shard_stats.incremental;
+            stats.dirty_cells += shard_stats.dirty_cells;
+            views.push(ShardView {
+                rect: Rect::bounding(snap.points().iter().copied()),
+                snapshot: Arc::new(snap),
+                ids,
+            });
+        }
+        if views.is_empty() {
+            // Unreachable: validate() rejects batches emptying the fleet.
+            return Err(ShardError::InvalidConfig(
+                "batch emptied every shard".into(),
+            ));
+        }
+
+        let (rebalanced, moves) = self
+            .maybe_rebalance(&mut views, next)
+            .map_err(|e| ShardError::Engine(EngineError::Index(e)))?;
+
+        let build = start.elapsed();
+        // Install every snapshot built at this generation; untouched
+        // engines keep serving their (still current) old snapshot.
+        for (i, view) in views.iter().enumerate() {
+            if view.snapshot.generation() == next {
+                self.engines[i].install_snapshot(Arc::clone(&view.snapshot), build)?;
+            }
+        }
+        *self.fleet.lock() = Arc::new(Fleet {
+            generation: next,
+            views,
+        });
+        self.metrics.record_swap(next, build);
+        self.metrics.record_ingest(&stats, build, moves as u64);
+        Ok(FleetIngestReport {
+            generation: next,
+            stats,
+            shards_touched: touched,
+            rebalanced,
+            rebalance_moves: moves,
+            build,
+        })
+    }
+
+    /// The size-skew check run at the end of every
+    /// [`ingest`](ShardedEngine::ingest), before the publish. Returns
+    /// whether a rebalance fired and how many points changed shards.
+    ///
+    /// Two moves, mutually exclusive per publish:
+    ///
+    /// * **Split hot** — when the fleet has fewer views than engines
+    ///   (it collapsed on a tiny dataset and has since grown), the
+    ///   hottest shard is median-split and the new half takes an idle
+    ///   engine slot.
+    /// * **Merge-split hot/cold** — when the hottest shard outweighs the
+    ///   coldest by more than [`REBALANCE_SKEW`]×, their union is
+    ///   median-split into two balanced shards, rebuilt in place.
+    fn maybe_rebalance(
+        &self,
+        views: &mut Vec<ShardView>,
+        generation: u64,
+    ) -> Result<(bool, usize), String> {
+        let Some(hot) = (0..views.len()).max_by_key(|&i| views[i].ids.len()) else {
+            return Ok((false, 0));
+        };
+        if views.len() < self.engines.len() && views[hot].ids.len() >= 2 * REBALANCE_MIN_GAP {
+            let pairs = id_point_pairs([&views[hot]]);
+            let [low, high] = kd_halves(pairs, generation)?;
+            let moves = high.ids.len();
+            views[hot] = low;
+            views.push(high);
+            return Ok((true, moves));
+        }
+        // `unwrap_or(hot)` is unreachable in practice (`hot` indexes into
+        // `views`, so the range is non-empty) and degrades to the
+        // `hot == cold` no-rebalance branch below if it ever fired.
+        let cold = (0..views.len())
+            .min_by_key(|&i| views[i].ids.len())
+            .unwrap_or(hot);
+        let (hot_len, cold_len) = (views[hot].ids.len(), views[cold].ids.len());
+        if hot == cold
+            || hot_len <= REBALANCE_SKEW * cold_len
+            || hot_len < cold_len + REBALANCE_MIN_GAP
+        {
+            return Ok((false, 0));
+        }
+        let old_hot: HashSet<u32> = views[hot].ids.iter().copied().collect();
+        let old_cold: HashSet<u32> = views[cold].ids.iter().copied().collect();
+        let pairs = id_point_pairs([&views[hot], &views[cold]]);
+        let [low, high] = kd_halves(pairs, generation)?;
+        let moves = low.ids.iter().filter(|g| !old_hot.contains(g)).count()
+            + high.ids.iter().filter(|g| !old_cold.contains(g)).count();
+        views[hot] = low;
+        views[cold] = high;
+        Ok((true, moves))
     }
 
     /// Routes one query: seed the primary shard, prune, fan out, merge.
@@ -660,6 +929,47 @@ impl ShardedEngine {
     }
 }
 
+/// The (global id, point) pairs of the given views, ascending by global
+/// id — the canonical order a rebalance rebuilds shards in, so the
+/// rebuilt id tables keep the ids-ascending convention of a fresh
+/// partition.
+fn id_point_pairs<'a>(views: impl IntoIterator<Item = &'a ShardView>) -> Vec<(u32, Point)> {
+    let mut pairs: Vec<(u32, Point)> = views
+        .into_iter()
+        .flat_map(|v| {
+            v.ids
+                .iter()
+                .copied()
+                .zip(v.snapshot.points().iter().copied())
+        })
+        .collect();
+    pairs.sort_unstable_by_key(|&(g, _)| g);
+    pairs
+}
+
+/// Median-splits `pairs` (ascending by global id) into two balanced
+/// shards along the longer axis and full-builds both snapshots at
+/// `generation`. The rebalance path pays two full shard builds — the
+/// price of restoring balance — while every other shard still rides the
+/// cheap delta path.
+fn kd_halves(pairs: Vec<(u32, Point)>, generation: u64) -> Result<[ShardView; 2], String> {
+    let points: Vec<Point> = pairs.iter().map(|&(_, p)| p).collect();
+    let specs = partition(&points, 2, PartitionPolicy::KdSplit);
+    debug_assert_eq!(specs.len(), 2, "a rebalanced shard always has >= 2 points");
+    let mut halves = Vec::with_capacity(2);
+    for spec in specs {
+        let ids: Vec<u32> = spec.ids.iter().map(|&i| pairs[i as usize].0).collect();
+        halves.push(ShardView {
+            snapshot: Arc::new(Snapshot::build(generation, &spec.points)?),
+            ids,
+            rect: spec.rect,
+        });
+    }
+    halves
+        .try_into()
+        .map_err(|_| "kd split did not produce exactly two halves".to_string())
+}
+
 /// Local skyline ids of one shard view mapped back to global ids +
 /// points. The id table and the points come from the same [`ShardView`],
 /// so the mapping is exact for that view's generation.
@@ -932,6 +1242,314 @@ mod tests {
         assert_eq!(
             got.skyline,
             naive_full(&big, &QueryContext::new(&q)).skyline
+        );
+        engine.shutdown();
+    }
+
+    /// Two dense blobs in opposite corners plus a sparse bridge — the
+    /// kind of skew that makes grid cells uneven.
+    fn clustered(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let (bx, by) = if i % 2 == 0 { (0.0, 0.0) } else { (40.0, 30.0) };
+                Point::new(
+                    bx + (i % 13) as f64 * 0.31 + 1e-5 * i as f64,
+                    by + ((i / 13) % 11) as f64 * 0.27 + 3e-6 * i as f64,
+                )
+            })
+            .collect()
+    }
+
+    /// The dataset `ingest` publishes: survivors in global id order, then
+    /// the batch's inserts normalized over the old dataset's footprint —
+    /// the same id semantics as a single-engine `Snapshot::apply_delta`.
+    fn apply_expected(data: &[Point], batch: &UpdateBatch) -> Vec<Point> {
+        let mut b = batch.clone();
+        b.normalize(&Rect::bounding(data.iter().copied()));
+        let mut out: Vec<Point> = data
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| b.deletes.binary_search(&(*i as u32)).is_err())
+            .map(|(_, &p)| p)
+            .collect();
+        out.extend(b.inserts.iter().copied());
+        out
+    }
+
+    #[test]
+    fn delta_ingest_matches_a_full_rebuild_oracle() {
+        let q = vec![
+            Point::new(5.0, 5.0),
+            Point::new(14.0, 8.0),
+            Point::new(9.0, 18.0),
+        ];
+        for data in [cloud(400), clustered(400)] {
+            for policy in PartitionPolicy::ALL {
+                for shards in [1, 2, 4] {
+                    let config = ShardConfig::default()
+                        .with_shards(shards)
+                        .with_policy(policy)
+                        .with_engine(small_engines());
+                    let engine = ShardedEngine::new(&data, config).unwrap();
+                    // Two stacked deltas: deletes spread across shards,
+                    // inserts spread across the universe; the second
+                    // applies on top of the first's generation.
+                    let mut expected = data.clone();
+                    for (round, batch) in [
+                        UpdateBatch {
+                            inserts: (0..40)
+                                .map(|i| {
+                                    Point::new(
+                                        2.0 + (i % 8) as f64 * 2.11,
+                                        1.5 + (i / 8) as f64 * 3.07,
+                                    )
+                                })
+                                .collect(),
+                            deletes: (0..expected.len() as u32).step_by(11).collect(),
+                        },
+                        UpdateBatch {
+                            inserts: (0..25)
+                                .map(|i| {
+                                    Point::new(
+                                        11.0 + (i % 5) as f64 * 1.7,
+                                        6.0 + (i / 5) as f64 * 1.3,
+                                    )
+                                })
+                                .collect(),
+                            deletes: vec![0, 3, 5, 8, 13, 100, 200, 300],
+                        },
+                    ]
+                    .into_iter()
+                    .enumerate()
+                    {
+                        let report = engine.ingest(&batch).unwrap();
+                        assert_eq!(report.generation, round as u64 + 1);
+                        expected = apply_expected(&expected, &batch);
+                        assert_eq!(engine.data_len(), expected.len());
+
+                        let got = engine.query(&q).unwrap();
+                        assert_eq!(got.generation, round as u64 + 1);
+                        let want = naive_full(&expected, &QueryContext::new(&q)).skyline;
+                        assert_eq!(
+                            got.skyline, want,
+                            "{policy}/{shards} shards, round {round}: delta fleet diverged from naive oracle"
+                        );
+                        // Byte-identical to a fresh fleet built from scratch
+                        // over the same logical dataset.
+                        let fresh = ShardedEngine::new(
+                            &expected,
+                            ShardConfig::default()
+                                .with_shards(shards)
+                                .with_policy(policy)
+                                .with_engine(small_engines()),
+                        )
+                        .unwrap();
+                        assert_eq!(
+                            got.skyline,
+                            fresh.query(&q).unwrap().skyline,
+                            "{policy}/{shards} shards, round {round}: delta fleet diverged from full rebuild"
+                        );
+                        fresh.shutdown();
+                    }
+                    let m = engine.metrics();
+                    assert_eq!(m.ingest.batches, 2);
+                    assert_eq!(m.swaps, 2);
+                    assert_eq!(m.generation, 2);
+                    engine.shutdown();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn untouched_shards_share_their_snapshot_arc_across_generations() {
+        let data = cloud(400);
+        let engine = ShardedEngine::new(
+            &data,
+            ShardConfig::default()
+                .with_shards(4)
+                .with_policy(PartitionPolicy::KdSplit)
+                .with_engine(small_engines()),
+        )
+        .unwrap();
+        let before = engine.current_fleet();
+        // Delete one point owned by shard 0 — every other shard must ride
+        // into the new generation by Arc, untouched.
+        let victim = before.views[0].ids[0];
+        let batch = UpdateBatch {
+            inserts: vec![],
+            deletes: vec![victim],
+        };
+        let report = engine.ingest(&batch).unwrap();
+        assert_eq!(report.shards_touched, 1);
+        assert!(!report.rebalanced);
+        let after = engine.current_fleet();
+        assert_eq!(after.views.len(), before.views.len());
+        assert!(!Arc::ptr_eq(
+            &before.views[0].snapshot,
+            &after.views[0].snapshot
+        ));
+        for s in 1..before.views.len() {
+            assert!(
+                Arc::ptr_eq(&before.views[s].snapshot, &after.views[s].snapshot),
+                "shard {s} was rebuilt despite an empty local delta"
+            );
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn skewed_inserts_trigger_a_rebalance_and_stay_exact() {
+        let data = cloud(300);
+        let engine = ShardedEngine::new(
+            &data,
+            ShardConfig::default()
+                .with_shards(2)
+                .with_policy(PartitionPolicy::KdSplit)
+                .with_engine(small_engines()),
+        )
+        .unwrap();
+        // Pile ~320 inserts into one corner: one shard ends up holding
+        // more than 2x the other, past the hysteresis gap.
+        let batch = UpdateBatch {
+            inserts: (0..320)
+                .map(|i| {
+                    Point::new(
+                        0.013 + (i % 18) as f64 * 0.09,
+                        0.017 + (i / 18) as f64 * 0.11 + 1e-4 * i as f64,
+                    )
+                })
+                .collect(),
+            deletes: vec![],
+        };
+        let report = engine.ingest(&batch).unwrap();
+        assert!(report.rebalanced, "corner pile-up must trigger a rebalance");
+        assert!(report.rebalance_moves > 0);
+        let infos = engine.shard_infos();
+        let (lo, hi) = infos.iter().fold((usize::MAX, 0), |(lo, hi), i| {
+            (lo.min(i.len), hi.max(i.len))
+        });
+        assert!(
+            hi <= REBALANCE_SKEW * lo,
+            "rebalance left the fleet skewed ({lo}..{hi})"
+        );
+        let expected = apply_expected(&data, &batch);
+        let q = vec![
+            Point::new(0.5, 0.5),
+            Point::new(4.0, 2.0),
+            Point::new(1.5, 6.0),
+        ];
+        assert_eq!(
+            engine.query(&q).unwrap().skyline,
+            naive_full(&expected, &QueryContext::new(&q)).skyline,
+            "post-rebalance fleet diverged from the oracle"
+        );
+        assert_eq!(
+            engine.metrics().ingest.rebalance_moves,
+            report.rebalance_moves as u64
+        );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn a_grown_fleet_splits_back_onto_idle_engines() {
+        let engine = ShardedEngine::new(
+            &cloud(300),
+            ShardConfig::default()
+                .with_shards(2)
+                .with_engine(small_engines()),
+        )
+        .unwrap();
+        // Collapse to one view (one point), leaving an engine idle.
+        engine.reindex(&[Point::new(5.0, 5.0)]).unwrap();
+        assert_eq!(engine.shard_count(), 1);
+        // Grow past 2x the rebalance gap: the hot shard splits onto the
+        // idle engine in the same publish.
+        let batch = UpdateBatch {
+            inserts: cloud(200),
+            deletes: vec![],
+        };
+        let report = engine.ingest(&batch).unwrap();
+        assert!(report.rebalanced);
+        assert_eq!(engine.shard_count(), 2);
+        assert_eq!(engine.data_len(), 201);
+        let expected = apply_expected(&[Point::new(5.0, 5.0)], &batch);
+        let q = vec![Point::new(4.0, 4.0), Point::new(10.0, 6.0)];
+        assert_eq!(
+            engine.query(&q).unwrap().skyline,
+            naive_full(&expected, &QueryContext::new(&q)).skyline
+        );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn emptying_one_shard_drops_its_view_but_answers_stay_exact() {
+        let data = cloud(200);
+        let engine = ShardedEngine::new(
+            &data,
+            ShardConfig::default()
+                .with_shards(2)
+                .with_policy(PartitionPolicy::KdSplit)
+                .with_engine(small_engines()),
+        )
+        .unwrap();
+        let fleet = engine.current_fleet();
+        assert_eq!(fleet.views.len(), 2);
+        let batch = UpdateBatch {
+            inserts: vec![],
+            deletes: fleet.views[1].ids.clone(),
+        };
+        let report = engine.ingest(&batch).unwrap();
+        assert_eq!(report.stats.deletes, fleet.views[1].ids.len());
+        assert_eq!(engine.shard_count(), 1);
+        let expected = apply_expected(&data, &batch);
+        assert_eq!(engine.data_len(), expected.len());
+        let q = vec![Point::new(3.0, 3.0), Point::new(8.0, 5.0)];
+        assert_eq!(
+            engine.query(&q).unwrap().skyline,
+            naive_full(&expected, &QueryContext::new(&q)).skyline
+        );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn invalid_or_empty_batches_leave_the_fleet_untouched() {
+        let data = cloud(150);
+        let engine = ShardedEngine::new(
+            &data,
+            ShardConfig::default()
+                .with_shards(3)
+                .with_engine(small_engines()),
+        )
+        .unwrap();
+        // Out-of-range delete: typed error, nothing published.
+        let bad = UpdateBatch {
+            inserts: vec![],
+            deletes: vec![data.len() as u32],
+        };
+        assert!(matches!(
+            engine.ingest(&bad),
+            Err(ShardError::Engine(EngineError::Index(_)))
+        ));
+        // Emptying the whole fleet is rejected up front.
+        let drain = UpdateBatch {
+            inserts: vec![],
+            deletes: (0..data.len() as u32).collect(),
+        };
+        assert!(matches!(
+            engine.ingest(&drain),
+            Err(ShardError::Engine(EngineError::Index(_)))
+        ));
+        // An empty batch publishes nothing and reports the current gen.
+        let report = engine.ingest(&UpdateBatch::new()).unwrap();
+        assert_eq!(report.generation, 0);
+        assert_eq!(report.shards_touched, 0);
+        assert_eq!(engine.generation(), 0);
+        assert_eq!(engine.data_len(), data.len());
+        assert_eq!(
+            engine.metrics().ingest.batches,
+            0,
+            "rejected and empty batches must not count as publishes"
         );
         engine.shutdown();
     }

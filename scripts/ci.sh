@@ -43,6 +43,10 @@ echo "==> net soak smoke (loopback server, 8 connections x 16 pipeline)"
 cargo run --release -p ssq-bench --bin net_soak -- --smoke
 test -s BENCH_net.json
 
+echo "==> ingest soak smoke (delta publish >= 10x cheaper than full rebuild on 100k points)"
+cargo run --release -p ssq-bench --bin ingest_soak -- --smoke
+test -s BENCH_INGEST.json
+
 echo "==> net serve smoke (real ssq binary, ephemeral port, clean shutdown)"
 # ssq-analyze already covers crates/net (no-panic gate) in the first
 # stage; this drives the shipped binary end to end: serve on :0 with
