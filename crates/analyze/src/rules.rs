@@ -461,9 +461,16 @@ fn fn_body_after(tokens: &[Token], after_line: u32) -> Option<(usize, usize)> {
         .iter()
         .position(|t| t.line >= after_line && t.is_ident("fn"))?;
     let mut open = fn_idx;
+    let mut brackets = 0u32;
     while open < tokens.len() && !tokens[open].is_punct('{') {
-        if tokens[open].is_punct(';') {
-            return None; // trait method signature, no body
+        if tokens[open].is_punct('[') {
+            brackets += 1;
+        } else if tokens[open].is_punct(']') {
+            brackets = brackets.saturating_sub(1);
+        } else if brackets == 0 && tokens[open].is_punct(';') {
+            // A signature-level `;` means a trait method with no body;
+            // `;` inside brackets is an array type like `[f64; 4]`.
+            return None;
         }
         open += 1;
     }
@@ -631,6 +638,20 @@ fn f(p: *const u8) -> u8 { unsafe { *p } }";
         let v = run(src, FileConfig::default());
         assert!(v.iter().any(|v| v.rule == Rule::BadDirective), "{v:?}");
         assert!(v.iter().any(|v| v.rule == Rule::SafetyComment), "{v:?}");
+    }
+
+    #[test]
+    fn deny_alloc_accepts_array_types_in_the_signature() {
+        // The `;` inside `[f64; 4]` is part of an array type, not a
+        // bodiless trait method — the directive must still bind.
+        let src = "\
+// ssq-analyze: deny-alloc
+fn f(keys: &mut [f64; 4]) -> Vec<f64> {
+    keys.to_vec()
+}";
+        let v = run(src, FileConfig::default());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::DenyAlloc);
     }
 
     #[test]

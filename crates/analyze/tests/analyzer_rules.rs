@@ -120,6 +120,26 @@ fn r5_safety_comment_clean_fixture_passes() {
 }
 
 #[test]
+fn r5_flags_unsafe_intrinsic_blocks_without_safety_comments() {
+    // The SIMD dispatch layer's idiom: `#[target_feature]` kernels and
+    // detection-gated wrapper calls. Every `unsafe` — the fn itself,
+    // the aligned intrinsic load, and the wrapper call — must carry a
+    // SAFETY comment.
+    let v = run("simd_safety_bad.rs", FileConfig::default());
+    assert_only_rule(&v, Rule::SafetyComment);
+    assert_eq!(
+        v.len(),
+        3,
+        "target_feature fn + intrinsic load + wrapper call: {v:?}"
+    );
+}
+
+#[test]
+fn r5_commented_intrinsic_blocks_pass() {
+    assert!(run("simd_safety_good.rs", FileConfig::default()).is_empty());
+}
+
+#[test]
 fn workspace_config_routes_fixture_style_paths() {
     // Sanity-check the binary's path scoping against the same rules the
     // fixtures exercise.

@@ -1,0 +1,22 @@
+// Fixture: MUST trigger `safety-comment` on the intrinsic-wrapper
+// idiom from `ssq_geom::simd` — a `#[target_feature]` function and a
+// detection-gated call site, both missing their SAFETY comments.
+// Not compiled; lexed only.
+
+#[target_feature(enable = "avx2")]
+unsafe fn dominated_by_ref_avx2(rf: &[f64], tile: &[Lane4]) -> u8 {
+    let mut mask = 0xFu8;
+    for (j, lane) in tile.iter().enumerate() {
+        let rfj = _mm256_set1_pd(rf[j]);
+        let rows = unsafe { _mm256_load_pd(lane.0.as_ptr()) };
+        mask &= _mm256_movemask_pd(_mm256_cmp_pd::<_CMP_LE_OQ>(rfj, rows)) as u8;
+        if mask == 0 {
+            break;
+        }
+    }
+    mask
+}
+
+fn dominated_by_ref(rf: &[f64], tile: &[Lane4]) -> u8 {
+    unsafe { dominated_by_ref_avx2(rf, tile) }
+}

@@ -1,0 +1,27 @@
+// Fixture: MUST pass `safety-comment` — the same intrinsic-wrapper
+// idiom as `simd_safety_bad.rs` with every `unsafe` justified.
+// Not compiled; lexed only.
+
+// SAFETY: caller proved AVX2 via `is_x86_feature_detected!`; `Lane4` is
+// 32-byte aligned so the aligned load is in-bounds for the whole tile.
+#[target_feature(enable = "avx2")]
+unsafe fn dominated_by_ref_avx2(rf: &[f64], tile: &[Lane4]) -> u8 {
+    let mut mask = 0xFu8;
+    for (j, lane) in tile.iter().enumerate() {
+        let rfj = _mm256_set1_pd(rf[j]);
+        // SAFETY: `lane.0` is a `#[repr(C, align(32))]` array of four
+        // f64s, so the aligned 256-bit load reads exactly its bytes.
+        let rows = unsafe { _mm256_load_pd(lane.0.as_ptr()) };
+        mask &= _mm256_movemask_pd(_mm256_cmp_pd::<_CMP_LE_OQ>(rfj, rows)) as u8;
+        if mask == 0 {
+            break;
+        }
+    }
+    mask
+}
+
+fn dominated_by_ref(rf: &[f64], tile: &[Lane4]) -> u8 {
+    // SAFETY: this wrapper is only reachable through the AVX2 dispatch
+    // table, installed after `is_x86_feature_detected!("avx2")`.
+    unsafe { dominated_by_ref_avx2(rf, tile) }
+}

@@ -31,9 +31,9 @@
 //! measurement comes back non-finite.
 
 use ssq_bench::{
-    corner_query_sets, hotpath_json, mean_allocs, mean_qps, run_hotpath, run_sharded_throughput,
-    run_throughput, sharded_scaling, swap_comparison, throughput_scaling, uniform_query_sets,
-    validate_rows, Fixture, HotpathRow,
+    corner_query_sets, dist_per_sec_of, hotpath_json, mean_allocs, mean_qps, mean_simd_qps,
+    run_hotpath, run_sharded_throughput, run_throughput, sharded_scaling, swap_comparison,
+    throughput_scaling, uniform_query_sets, validate_rows, Fixture, HotpathRow,
 };
 
 fn print_sharded(rows: &[ssq_bench::ShardedThroughputRow]) {
@@ -59,13 +59,14 @@ fn print_sharded(rows: &[ssq_bench::ShardedThroughputRow]) {
 
 fn print_hotpath(rows: &[HotpathRow]) {
     println!(
-        "{:>8} {:>6} {:>10} {:>10} {:>12} {:>14} {:>12} {:>10}",
-        "path", "algo", "p50(us)", "p99(us)", "q/s", "dist/s", "allocs/q", "dom/q"
+        "{:>8} {:>8} {:>6} {:>10} {:>10} {:>12} {:>14} {:>12} {:>10}",
+        "path", "isa", "algo", "p50(us)", "p99(us)", "q/s", "dist/s", "allocs/q", "dom/q"
     );
     for r in rows {
         println!(
-            "{:>8} {:>6} {:>10.1} {:>10.1} {:>12.1} {:>14.1} {:>12.3} {:>10.1}",
+            "{:>8} {:>8} {:>6} {:>10.1} {:>10.1} {:>12.1} {:>14.1} {:>12.3} {:>10.1}",
             r.path,
+            r.kernel_path,
             r.algo,
             r.p50_us,
             r.p99_us,
@@ -89,17 +90,28 @@ fn hotpath_section(fix: &Fixture, distinct: usize, repeats: usize, seed: u64) {
     print_hotpath(&rows);
     let (sa, ka) = mean_allocs(&rows);
     let (sq, kq) = mean_qps(&rows);
+    let simd_q = mean_simd_qps(&rows);
     let total_queries: usize = rows.iter().map(|r| r.queries).sum();
     println!(
         "# allocations/query: scalar {sa:.2} vs kernel {ka:.2} ({:.0}x fewer)",
         sa / ka.max(1.0 / total_queries.max(1) as f64)
     );
-    println!("# mean q/s: scalar {sq:.0} vs kernel {kq:.0}");
+    println!("# mean q/s: scalar {sq:.0} vs kernel {kq:.0} vs simd {simd_q:.0}");
     let json = hotpath_json(fix.points.len(), &rows);
     std::fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
     println!("# wrote BENCH_hotpath.json");
     if ka * 2.0 > sa {
         println!("# WARNING: kernel path is not 2x below scalar on allocations/query");
+    }
+    // The SIMD-vs-scalar distance-throughput gate: the tiled arena and
+    // the dispatched tile kernels must keep the naive scan's distance
+    // pipeline at least at scalar parity.
+    let scalar_naive = dist_per_sec_of(&rows, "scalar", "naive").unwrap_or(0.0);
+    for path in ["kernel", "simd"] {
+        let got = dist_per_sec_of(&rows, path, "naive").unwrap_or(0.0);
+        if got < scalar_naive {
+            println!("# WARNING: {path} naive dist/s {got:.0} below scalar {scalar_naive:.0}");
+        }
     }
 }
 

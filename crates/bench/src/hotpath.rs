@@ -2,11 +2,21 @@
 //! scratch-arena kernels, on identical query streams.
 //!
 //! For each of the three single-query algorithms (naive scan, VS², B²S²)
-//! the same prebuilt contexts are run through the **scalar** entry point
-//! (one `Vec<f64>` distance vector per candidate) and the **kernel**
-//! entry point (one warm [`DistanceScratch`] arena, squared distances on
-//! the Euclidean fast path). Both paths are warmed first, so the record
-//! shows steady-state behaviour — the regime the arena is built for.
+//! the same prebuilt contexts are run through three paths:
+//!
+//! * **scalar** — the scalar entry point (one `Vec<f64>` distance
+//!   vector per candidate);
+//! * **kernel** — the scratch-arena kernel entry point with the SIMD
+//!   dispatch pinned to the scalar-oracle tile kernels
+//!   ([`simd::set_force_scalar`]), isolating the arena/tiling win;
+//! * **simd** — the same kernel entry point under the process's
+//!   runtime-detected dispatch (AVX2/SSE2 on x86-64), isolating the
+//!   data-parallel win on top.
+//!
+//! Every row records which tile-kernel path served it (`kernel_path`),
+//! so the JSON artifact is attributable to an ISA. All paths are warmed
+//! first, so the record shows steady-state behaviour — the regime the
+//! arena is built for.
 //!
 //! [`hotpath_json`] renders the rows as the `BENCH_hotpath.json`
 //! artifact; [`validate_rows`] rejects non-finite numbers so the CI smoke
@@ -19,13 +29,24 @@ use ssq_core::{
     b2s2, b2s2_kernel, naive_sorted, naive_sorted_kernel, vs2_kernel, vs2_with, DistanceScratch,
     QueryContext, SkylineResult, VsExpansion,
 };
+use ssq_geom::simd;
 use ssq_geom::Point;
+
+/// The minimum measured queries per row: below this, `p99_us` is a
+/// max-of-a-handful and the SIMD-vs-scalar comparison is noise.
+/// [`run_hotpath`] raises its repeat count until every row reaches it.
+pub const MIN_HOTPATH_SAMPLES: usize = 200;
 
 /// One (path, algorithm) cell of the hot-path record.
 #[derive(Clone, Copy, Debug)]
 pub struct HotpathRow {
-    /// `"scalar"` or `"kernel"`.
+    /// `"scalar"`, `"kernel"` (arena with forced-scalar tile kernels),
+    /// or `"simd"` (arena under the detected dispatch).
     pub path: &'static str,
+    /// The tile-kernel dispatch that served this row —
+    /// `"none"` for the scalar path (it never touches the tile
+    /// kernels), `"scalar"`/`"tiled"`/`"sse2"`/`"avx2"` otherwise.
+    pub kernel_path: &'static str,
     /// `"naive"`, `"vs2"`, or `"b2s2"`.
     pub algo: &'static str,
     /// Queries measured (query sets × repeats).
@@ -36,7 +57,11 @@ pub struct HotpathRow {
     pub p99_us: f64,
     /// Queries per second over the whole measured run.
     pub qps: f64,
-    /// Distance computations per second.
+    /// Distance computations per second at the median per-query
+    /// latency. Deriving the rate from `p50_us` instead of the total
+    /// wall clock keeps the SIMD-vs-scalar gate stable on shared hosts,
+    /// where a single scheduler preemption inside a 200-sample run
+    /// would otherwise swing the mean by 2x.
     pub dist_per_sec: f64,
     /// Heap allocations per query, as counted by
     /// [`QueryStats::allocations`](ssq_core::QueryStats) (scalar paths
@@ -49,6 +74,7 @@ pub struct HotpathRow {
 
 fn measure(
     path: &'static str,
+    kernel_path: &'static str,
     algo: &'static str,
     ctxs: &[QueryContext],
     repeats: usize,
@@ -71,84 +97,123 @@ fn measure(
     let total = t0.elapsed().as_secs_f64().max(1e-9);
     lat_us.sort_unstable_by(f64::total_cmp);
     let q = lat_us.len();
+    let p50_us = lat_us[q / 2];
     HotpathRow {
         path,
+        kernel_path,
         algo,
         queries: q,
-        p50_us: lat_us[q / 2],
+        p50_us,
         p99_us: lat_us[(q * 99 / 100).min(q - 1)],
         qps: q as f64 / total,
-        dist_per_sec: dist as f64 / total,
+        dist_per_sec: (dist as f64 / q as f64) * (1e6 / p50_us.max(1e-3)),
         allocs_per_query: allocs as f64 / q as f64,
         dominance_per_query: dom as f64 / q as f64,
     }
 }
 
-/// Runs the scalar-vs-kernel comparison over `query_sets`, each repeated
-/// `repeats` times, and returns one row per (path, algorithm) cell.
+/// Runs the scalar-vs-kernel-vs-simd comparison over `query_sets`, each
+/// repeated at least `repeats` times (raised until every row measures
+/// [`MIN_HOTPATH_SAMPLES`] queries), and returns one row per
+/// (path, algorithm) cell.
 ///
 /// One warm-up pass per variant runs before any timing so the kernel
 /// arena has grown to the workload's shape and both paths start from a
-/// hot index.
+/// hot index. The kernel rows pin the tile dispatch to the scalar
+/// oracle via [`simd::set_force_scalar`]; the simd rows restore the
+/// detected dispatch — so one process measures both sides of the ISA
+/// comparison.
 pub fn run_hotpath(fix: &Fixture, query_sets: &[Vec<Point>], repeats: usize) -> Vec<HotpathRow> {
     assert!(!query_sets.is_empty(), "hotpath needs at least one query");
     assert!(repeats > 0, "hotpath needs at least one repeat");
+    let repeats = repeats.max(MIN_HOTPATH_SAMPLES.div_ceil(query_sets.len()));
     let ctxs: Vec<QueryContext> = query_sets.iter().map(|q| QueryContext::new(q)).collect();
+    let detected = simd::detected_dispatch().path().name();
     let mut scratch = DistanceScratch::new();
-    for ctx in &ctxs {
-        std::hint::black_box(naive_sorted(&fix.points, ctx));
-        std::hint::black_box(vs2_with(&fix.voronoi, ctx, VsExpansion::Safe, None));
-        std::hint::black_box(b2s2(&fix.rtree, ctx));
-        std::hint::black_box(naive_sorted_kernel(&fix.points, ctx, &mut scratch));
-        std::hint::black_box(vs2_kernel(&fix.voronoi, ctx, &mut scratch));
-        std::hint::black_box(b2s2_kernel(&fix.rtree, ctx, &mut scratch));
+    for forced in [true, false] {
+        simd::set_force_scalar(forced);
+        for ctx in &ctxs {
+            std::hint::black_box(naive_sorted(&fix.points, ctx));
+            std::hint::black_box(vs2_with(&fix.voronoi, ctx, VsExpansion::Safe, None));
+            std::hint::black_box(b2s2(&fix.rtree, ctx));
+            std::hint::black_box(naive_sorted_kernel(&fix.points, ctx, &mut scratch));
+            std::hint::black_box(vs2_kernel(&fix.voronoi, ctx, &mut scratch));
+            std::hint::black_box(b2s2_kernel(&fix.rtree, ctx, &mut scratch));
+        }
     }
-    vec![
-        measure("scalar", "naive", &ctxs, repeats, |ctx| {
+    let mut rows = Vec::with_capacity(9);
+    {
+        let mut cell =
+            |path, kernel_path, algo, run: &mut dyn FnMut(&QueryContext) -> SkylineResult| {
+                rows.push(measure(path, kernel_path, algo, &ctxs, repeats, run));
+            };
+        cell("scalar", "none", "naive", &mut |ctx| {
             naive_sorted(&fix.points, ctx)
-        }),
-        measure("kernel", "naive", &ctxs, repeats, |ctx| {
+        });
+        simd::set_force_scalar(true);
+        cell("kernel", "scalar", "naive", &mut |ctx| {
             naive_sorted_kernel(&fix.points, ctx, &mut scratch)
-        }),
-        measure("scalar", "vs2", &ctxs, repeats, |ctx| {
+        });
+        simd::set_force_scalar(false);
+        cell("simd", detected, "naive", &mut |ctx| {
+            naive_sorted_kernel(&fix.points, ctx, &mut scratch)
+        });
+        cell("scalar", "none", "vs2", &mut |ctx| {
             vs2_with(&fix.voronoi, ctx, VsExpansion::Safe, None)
-        }),
-        measure("kernel", "vs2", &ctxs, repeats, |ctx| {
+        });
+        simd::set_force_scalar(true);
+        cell("kernel", "scalar", "vs2", &mut |ctx| {
             vs2_kernel(&fix.voronoi, ctx, &mut scratch)
-        }),
-        measure("scalar", "b2s2", &ctxs, repeats, |ctx| {
-            b2s2(&fix.rtree, ctx)
-        }),
-        measure("kernel", "b2s2", &ctxs, repeats, |ctx| {
+        });
+        simd::set_force_scalar(false);
+        cell("simd", detected, "vs2", &mut |ctx| {
+            vs2_kernel(&fix.voronoi, ctx, &mut scratch)
+        });
+        cell("scalar", "none", "b2s2", &mut |ctx| b2s2(&fix.rtree, ctx));
+        simd::set_force_scalar(true);
+        cell("kernel", "scalar", "b2s2", &mut |ctx| {
             b2s2_kernel(&fix.rtree, ctx, &mut scratch)
-        }),
-    ]
+        });
+        simd::set_force_scalar(false);
+        cell("simd", detected, "b2s2", &mut |ctx| {
+            b2s2_kernel(&fix.rtree, ctx, &mut scratch)
+        });
+    }
+    rows
+}
+
+/// Mean of `field` over the rows of one path.
+fn mean_of(rows: &[HotpathRow], path: &str, field: impl Fn(&HotpathRow) -> f64) -> f64 {
+    let picked: Vec<f64> = rows.iter().filter(|r| r.path == path).map(&field).collect();
+    picked.iter().sum::<f64>() / picked.len().max(1) as f64
 }
 
 /// Mean allocations/query of `(scalar, kernel)` rows.
 pub fn mean_allocs(rows: &[HotpathRow]) -> (f64, f64) {
-    let mean = |path: &str| {
-        let picked: Vec<f64> = rows
-            .iter()
-            .filter(|r| r.path == path)
-            .map(|r| r.allocs_per_query)
-            .collect();
-        picked.iter().sum::<f64>() / picked.len().max(1) as f64
-    };
-    (mean("scalar"), mean("kernel"))
+    (
+        mean_of(rows, "scalar", |r| r.allocs_per_query),
+        mean_of(rows, "kernel", |r| r.allocs_per_query),
+    )
 }
 
 /// Mean queries/sec of `(scalar, kernel)` rows.
 pub fn mean_qps(rows: &[HotpathRow]) -> (f64, f64) {
-    let mean = |path: &str| {
-        let picked: Vec<f64> = rows
-            .iter()
-            .filter(|r| r.path == path)
-            .map(|r| r.qps)
-            .collect();
-        picked.iter().sum::<f64>() / picked.len().max(1) as f64
-    };
-    (mean("scalar"), mean("kernel"))
+    (
+        mean_of(rows, "scalar", |r| r.qps),
+        mean_of(rows, "kernel", |r| r.qps),
+    )
+}
+
+/// Mean queries/sec of the `simd` rows.
+pub fn mean_simd_qps(rows: &[HotpathRow]) -> f64 {
+    mean_of(rows, "simd", |r| r.qps)
+}
+
+/// The `dist_per_sec` of one (path, algo) row, if present.
+pub fn dist_per_sec_of(rows: &[HotpathRow], path: &str, algo: &str) -> Option<f64> {
+    rows.iter()
+        .find(|r| r.path == path && r.algo == algo)
+        .map(|r| r.dist_per_sec)
 }
 
 /// Rejects rows containing non-finite numbers (a NaN here means a broken
@@ -179,16 +244,23 @@ pub fn validate_rows(rows: &[HotpathRow]) -> Result<(), String> {
 pub fn hotpath_json(dataset_points: usize, rows: &[HotpathRow]) -> String {
     let (scalar_allocs, kernel_allocs) = mean_allocs(rows);
     let (scalar_qps, kernel_qps) = mean_qps(rows);
+    let simd_qps = mean_simd_qps(rows);
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"dataset_points\": {dataset_points},\n"));
+    out.push_str(&format!(
+        "  \"kernel_path\": \"{}\",\n",
+        simd::detected_dispatch().path().name()
+    ));
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"path\": \"{}\", \"algo\": \"{}\", \"queries\": {}, \
+            "    {{\"path\": \"{}\", \"kernel_path\": \"{}\", \"algo\": \"{}\", \
+             \"queries\": {}, \
              \"p50_us\": {:.3}, \"p99_us\": {:.3}, \"qps\": {:.1}, \
              \"dist_per_sec\": {:.1}, \"allocs_per_query\": {:.3}, \
              \"dominance_per_query\": {:.3}}}{}\n",
             r.path,
+            r.kernel_path,
             r.algo,
             r.queries,
             r.p50_us,
@@ -219,7 +291,8 @@ pub fn hotpath_json(dataset_points: usize, rows: &[HotpathRow]) -> String {
         scalar_allocs / kernel_allocs.max(floor)
     ));
     out.push_str(&format!("    \"scalar_qps\": {scalar_qps:.1},\n"));
-    out.push_str(&format!("    \"kernel_qps\": {kernel_qps:.1}\n"));
+    out.push_str(&format!("    \"kernel_qps\": {kernel_qps:.1},\n"));
+    out.push_str(&format!("    \"simd_qps\": {simd_qps:.1}\n"));
     out.push_str("  }\n}\n");
     out
 }
@@ -234,7 +307,16 @@ mod tests {
         let fix = Fixture::usgs(500, 14);
         let sets = uniform_query_sets(&fix.points, 6, 4, 43);
         let rows = run_hotpath(&fix, &sets, 2);
-        assert_eq!(rows.len(), 6);
+        assert_eq!(rows.len(), 9);
+        for r in &rows {
+            assert!(
+                r.queries >= MIN_HOTPATH_SAMPLES,
+                "{}/{}: {} samples",
+                r.path,
+                r.algo,
+                r.queries
+            );
+        }
         validate_rows(&rows).expect("finite rows");
         let (scalar, kernel) = mean_allocs(&rows);
         assert!(
@@ -242,9 +324,23 @@ mod tests {
             "warm kernel path should allocate at least 2x less \
              (scalar {scalar:.2}/query vs kernel {kernel:.2}/query)"
         );
+        // Every simd row ran the detected dispatch; every kernel row was
+        // pinned to the scalar tile kernels.
+        let detected = simd::detected_dispatch().path().name();
+        for r in &rows {
+            match r.path {
+                "scalar" => assert_eq!(r.kernel_path, "none"),
+                "kernel" => assert_eq!(r.kernel_path, "scalar"),
+                "simd" => assert_eq!(r.kernel_path, detected),
+                other => panic!("unexpected path {other}"),
+            }
+        }
         let json = hotpath_json(500, &rows);
         assert!(json.contains("\"alloc_improvement\""));
         assert!(json.contains("\"path\": \"kernel\""));
+        assert!(json.contains("\"path\": \"simd\""));
+        assert!(json.contains("\"kernel_path\""));
+        assert!(json.contains("\"simd_qps\""));
         assert!(!json.contains("NaN"));
     }
 
@@ -252,6 +348,7 @@ mod tests {
     fn validation_catches_non_finite_fields() {
         let mut row = HotpathRow {
             path: "scalar",
+            kernel_path: "none",
             algo: "naive",
             queries: 1,
             p50_us: 1.0,

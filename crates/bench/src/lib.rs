@@ -15,7 +15,10 @@
 
 pub mod hotpath;
 
-pub use hotpath::{hotpath_json, mean_allocs, mean_qps, run_hotpath, validate_rows, HotpathRow};
+pub use hotpath::{
+    dist_per_sec_of, hotpath_json, mean_allocs, mean_qps, mean_simd_qps, run_hotpath,
+    validate_rows, HotpathRow, MIN_HOTPATH_SAMPLES,
+};
 
 use std::time::Instant;
 

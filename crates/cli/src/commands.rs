@@ -1530,6 +1530,7 @@ fn shard_stats<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         m.engines.stats.distance_computations,
         m.engines.stats.allocations
     )?;
+    writeln!(out, "kernel:     {} tile dispatch", m.engines.kernel_path)?;
     writeln!(
         out,
         "snapshot:   generation {}, {} reindexes (last build {:.1}ms)",
@@ -1797,6 +1798,11 @@ pub fn serve_with_control<W: Write>(
         } else {
             String::new()
         }
+    )?;
+    writeln!(
+        out,
+        "kernel:     {} tile dispatch",
+        ssq_geom::simd::path_name()
     )?;
     if let Some(path) = &warm_file {
         writeln!(
@@ -2460,6 +2466,13 @@ mod tests {
         assert!(
             outp.contains("allocations="),
             "missing allocations counter: {outp}"
+        );
+        assert!(
+            outp.contains(&format!(
+                "kernel:     {} tile dispatch",
+                ssq_geom::simd::path_name()
+            )),
+            "missing kernel dispatch line: {outp}"
         );
         assert!(
             outp.contains("snapshot:   generation 0, 0 reindexes"),

@@ -153,7 +153,7 @@ pub fn b2s2_kernel(
                     continue;
                 }
                 if !ctx.hull().contains_rect(&mbr)
-                    && rect_dominated_sq(&mbr, scratch, ctx, &mut stats)
+                    && scratch.rect_dominated_sq(&mbr, anchors, &mut stats)
                 {
                     continue;
                 }
@@ -163,7 +163,7 @@ pub fn b2s2_kernel(
                         continue;
                     }
                     if !ctx.hull().contains_rect(&embr)
-                        && rect_dominated_sq(&embr, scratch, ctx, &mut stats)
+                        && scratch.rect_dominated_sq(&embr, anchors, &mut stats)
                     {
                         continue;
                     }
@@ -201,30 +201,6 @@ fn rect_dominated(
             .iter()
             .zip(sv)
             .all(|(&q, &d)| mbr.mindist(q) > d);
-        if dominated {
-            return true;
-        }
-    }
-    false
-}
-
-/// [`rect_dominated`] over the arena's squared-distance rows: the
-/// rectangle is dominated by row `s` iff `mindist(mbr, q)² > s[q]` for
-/// every anchor `q` (squaring both sides of the scalar comparison — both
-/// are nonnegative, so the predicate is unchanged).
-fn rect_dominated_sq(
-    mbr: &Rect,
-    scratch: &DistanceScratch,
-    ctx: &QueryContext,
-    stats: &mut QueryStats,
-) -> bool {
-    for r in 0..scratch.len() {
-        stats.dominance_checks += 1;
-        stats.distance_computations += ctx.anchors().len() as u64;
-        let dominated = ctx.anchors().iter().zip(scratch.row(r)).all(|(&q, &d_sq)| {
-            let m = mbr.mindist(q);
-            m * m > d_sq
-        });
         if dominated {
             return true;
         }

@@ -85,11 +85,13 @@ pub fn naive_sorted_kernel(
     SkylineResult { skyline, stats }
 }
 
-/// The allocation-free core of [`naive_sorted_kernel`]: computes the
-/// skyline ids into the arena's result buffer (read them back via
-/// [`DistanceScratch::result`]) and returns how many there are. After one
-/// warm-up call on a given workload shape, subsequent calls perform zero
-/// heap allocations.
+/// The allocation-free core of [`naive_sorted_kernel`]: batch-fills the
+/// arena's distance tiles through the dispatched SIMD kernel (four
+/// points × all anchors per sweep), resolves the skyline ids into the
+/// arena's result buffer (read them back via
+/// [`DistanceScratch::result`]), and returns how many there are. After
+/// one warm-up call on a given workload shape, subsequent calls perform
+/// zero heap allocations.
 // ssq-analyze: deny-alloc
 pub fn naive_sorted_into(
     points: &[Point],
@@ -99,9 +101,7 @@ pub fn naive_sorted_into(
 ) -> usize {
     let anchors = ctx.anchors();
     scratch.begin(anchors.len());
-    for (i, &p) in points.iter().enumerate() {
-        scratch.push_row(i as u32, false, p, anchors);
-    }
+    scratch.fill_rows(points, anchors);
     stats.distance_computations += (points.len() * anchors.len()) as u64;
     stats.points_examined += points.len() as u64;
     let n = scratch.resolve(stats).len();

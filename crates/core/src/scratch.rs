@@ -3,12 +3,25 @@
 //! Every kernel-path algorithm ([`naive_sorted_kernel`](crate::naive::naive_sorted_kernel),
 //! [`vs2_kernel`](crate::vs2::vs2_kernel), [`b2s2_kernel`](crate::b2s2::b2s2_kernel),
 //! the shard merge) stores its candidate distance vectors as rows of one
-//! flat structure-of-arrays buffer instead of a `Vec<f64>` per candidate.
-//! The arena is **grown monotonically and never freed per query**: a
-//! serving worker owns one [`DistanceScratch`] for its whole lifetime,
-//! `begin` resets lengths but keeps every allocation, and after the first
-//! (warm-up) query on a given workload shape the steady-state query path
-//! performs no heap allocation at all.
+//! flat arena instead of a `Vec<f64>` per candidate. The arena is
+//! **grown monotonically and never freed per query**: a serving worker
+//! owns one [`DistanceScratch`] for its whole lifetime, `begin` resets
+//! lengths but keeps every allocation, and after the first (warm-up)
+//! query on a given workload shape the steady-state query path performs
+//! no heap allocation at all.
+//!
+//! Storage is **tiled** for the data-parallel kernels in
+//! [`ssq_geom::simd`]: rows are grouped into tiles of
+//! [`LANES`] consecutive rows, each tile holding
+//! one 32-byte-aligned [`Lane4`] per anchor (anchor-major within the
+//! tile). Row `r`'s distance to anchor `j` lives at
+//! `tiles[(r / LANES) * width + j].0[r % LANES]`; a tile's trailing
+//! lanes are padded with `+inf`, which no finite row can be dominated
+//! by ([`Lane4::PAD`]). Every dominance sweep below — the resolve
+//! elimination loop, the staged-row test, the B²S² rectangle screen —
+//! runs over whole tiles through the runtime-dispatched SIMD kernels
+//! (scalar / tiled / SSE2 / AVX2) and consumes 4-wide survivor
+//! bitmasks.
 //!
 //! Rows hold **squared** Euclidean distances by default (see
 //! [`ssq_geom::kernel`] for why this preserves the dominance relation
@@ -21,18 +34,22 @@
 //! while the scalar path counts one allocation per materialized distance
 //! vector.
 
-use ssq_geom::{kernel, Point, Rect};
+use ssq_geom::simd::{self, live_lane_mask, Lane4, LANES};
+use ssq_geom::{Point, Rect};
 
 use crate::heap::MinHeap;
 use crate::stats::QueryStats;
 
-/// A reusable structure-of-arrays arena of distance rows plus the
-/// auxiliary buffers (sort permutation, result ids, traversal flags, a
-/// min-heap) the kernel algorithms need. See the module docs.
+/// A reusable arena of lane-tiled distance rows plus the auxiliary
+/// buffers (sort permutation, result ids, traversal flags, a min-heap)
+/// the kernel algorithms need. See the module docs.
 #[derive(Debug, Default)]
 pub struct DistanceScratch {
-    /// Row-major `rows × width` distance entries.
-    dists: Vec<f64>,
+    /// Anchor-major AoSoA tiles: tile `t` spans
+    /// `tiles[t * width..(t + 1) * width]`, one [`Lane4`] per anchor
+    /// covering rows `t * LANES..(t + 1) * LANES`. Unused trailing
+    /// lanes are `+inf` pads.
+    tiles: Vec<Lane4>,
     /// Row width (= anchor count) set by [`DistanceScratch::begin`].
     width: usize,
     /// Per-row monotone ordering key (the row sum).
@@ -45,13 +62,15 @@ pub struct DistanceScratch {
     order: Vec<u32>,
     /// Resolved skyline ids (the arena's output buffer).
     result: Vec<u32>,
+    /// Per-tile dominated-lane bitmasks for the resolve sweep.
+    dead: Vec<u8>,
     /// Reusable traversal flags (VS² visited set).
     visited: Vec<bool>,
     /// Reusable traversal flags (VS² extracted set).
     extracted: Vec<bool>,
     /// Reusable traversal heap (VS²).
     heap: MinHeap<u32>,
-    /// Spare row for transient vectors (rect lower bounds, etc.).
+    /// Spare row for transient vectors (extracted rows, rect bounds).
     spare: Vec<f64>,
     /// Buffer-growth events since the last [`DistanceScratch::take_allocations`].
     grown: u64,
@@ -68,7 +87,7 @@ impl DistanceScratch {
     /// even the *first* query on a matching workload shape runs
     /// growth-free. Lazily-grown arenas pay their entire allocation bill
     /// inside the first query's timed hot path — for the naive kernel,
-    /// which pushes one row per data point, that warm-up dominates the
+    /// which fills one row per data point, that warm-up dominates the
     /// first response; pre-sizing at worker spawn moves the cost to
     /// construction, where nobody is waiting on a query.
     ///
@@ -76,12 +95,14 @@ impl DistanceScratch {
     /// lazy [`DistanceScratch::new`] behavior.
     pub fn with_capacity(rows: usize, width: usize) -> DistanceScratch {
         let mut s = DistanceScratch::default();
-        s.dists.reserve(rows * width);
+        let tiles = rows.div_ceil(LANES);
+        s.tiles.reserve(tiles * width);
         s.keys.reserve(rows);
         s.ids.reserve(rows);
         s.certain.reserve(rows);
         s.order.reserve(rows);
         s.result.reserve(rows);
+        s.dead.reserve(tiles);
         s.visited.reserve(rows);
         s.extracted.reserve(rows);
         s.spare.reserve(width);
@@ -93,7 +114,7 @@ impl DistanceScratch {
     pub fn begin(&mut self, width: usize) {
         assert!(width > 0, "a query has at least one anchor");
         self.width = width;
-        self.dists.clear();
+        self.tiles.clear();
         self.keys.clear();
         self.ids.clear();
         self.certain.clear();
@@ -116,10 +137,11 @@ impl DistanceScratch {
         self.keys.is_empty()
     }
 
-    /// Row `r` as a slice of `width` distances.
+    /// The distance of row `r` to anchor `j` (rows are lane-tiled, so
+    /// a row is not contiguous — see the module docs for the layout).
     #[inline]
-    pub fn row(&self, r: usize) -> &[f64] {
-        &self.dists[r * self.width..(r + 1) * self.width]
+    pub fn lane(&self, r: usize, j: usize) -> f64 {
+        self.tiles[(r / LANES) * self.width + j].0[r % LANES]
     }
 
     /// The point id of row `r`.
@@ -147,6 +169,15 @@ impl DistanceScratch {
         }
     }
 
+    /// Copies row `r` out of its tile into `out` (one entry per anchor).
+    #[inline]
+    fn extract_row(tiles: &[Lane4], width: usize, r: usize, out: &mut [f64]) {
+        let (t, l) = (r / LANES, r % LANES);
+        for (j, slot) in out.iter_mut().enumerate() {
+            *slot = tiles[t * width + j].0[l];
+        }
+    }
+
     /// Appends a row of **squared** Euclidean anchor distances for point
     /// `id` at location `p`, returning the new row's index. The row key
     /// is the squared-distance sum (monotone under dominance).
@@ -168,16 +199,21 @@ impl DistanceScratch {
     ) -> usize {
         debug_assert_eq!(anchors.len(), self.width, "row width mismatch");
         let r = self.keys.len();
-        let dists_need = self.dists.len() + self.width;
-        Self::ensure(&mut self.dists, dists_need, &mut self.grown);
+        let (t, l) = (r / LANES, r % LANES);
+        let w = self.width;
+        if l == 0 {
+            // First row of a fresh tile: extend with pad lanes.
+            Self::ensure(&mut self.tiles, (t + 1) * w, &mut self.grown);
+            self.tiles.resize((t + 1) * w, Lane4::PAD);
+        }
         Self::ensure(&mut self.keys, r + 1, &mut self.grown);
         Self::ensure(&mut self.ids, r + 1, &mut self.grown);
         Self::ensure(&mut self.certain, r + 1, &mut self.grown);
         let mut sum = 0.0;
-        for &q in anchors {
+        for (j, &q) in anchors.iter().enumerate() {
             let d = dist(q);
             sum += d;
-            self.dists.push(d);
+            self.tiles[t * w + j].0[l] = d;
         }
         self.keys.push(sum);
         self.ids.push(id);
@@ -185,70 +221,265 @@ impl DistanceScratch {
         r
     }
 
+    /// Batch-fills rows `0..points.len()` with **squared** Euclidean
+    /// anchor distances through the dispatched SIMD tile kernel — one
+    /// whole tile (four points × all anchors) per sweep instead of the
+    /// point-at-a-time [`DistanceScratch::push_row`] loop. Row `i` gets
+    /// id `i` and `certain = false` (the naive scan's convention). Keys
+    /// are bit-identical to the `push_row` path: every kernel computes
+    /// `dx·dx + dy·dy` and accumulates sums in anchor order.
+    // ssq-analyze: deny-alloc
+    pub fn fill_rows(&mut self, points: &[Point], anchors: &[Point]) {
+        debug_assert_eq!(anchors.len(), self.width, "row width mismatch");
+        debug_assert!(self.keys.is_empty(), "fill_rows expects a fresh arena");
+        let d = simd::dispatch();
+        let n = points.len();
+        let w = self.width;
+        let tiles = n.div_ceil(LANES);
+        Self::ensure(&mut self.tiles, tiles * w, &mut self.grown);
+        self.tiles.resize(tiles * w, Lane4::PAD);
+        Self::ensure(&mut self.keys, n, &mut self.grown);
+        Self::ensure(&mut self.ids, n, &mut self.grown);
+        Self::ensure(&mut self.certain, n, &mut self.grown);
+        let mut pts = [Point::default(); LANES];
+        let mut keys = [0.0f64; LANES];
+        for t in 0..tiles {
+            let base = t * LANES;
+            let m = (n - base).min(LANES);
+            pts[..m].copy_from_slice(&points[base..base + m]);
+            pts[m..].fill(points[base + m - 1]);
+            d.fill_tile(
+                &pts,
+                anchors,
+                &mut self.tiles[t * w..(t + 1) * w],
+                &mut keys,
+            );
+            if m < LANES {
+                // Repad the duplicate tail lanes so they stay neutral.
+                for j in 0..w {
+                    for l in m..LANES {
+                        self.tiles[t * w + j].0[l] = f64::INFINITY;
+                    }
+                }
+            }
+            for (l, &key) in keys.iter().enumerate().take(m) {
+                self.keys.push(key);
+                self.ids.push((base + l) as u32);
+                self.certain.push(false);
+            }
+        }
+    }
+
     /// Removes the most recently pushed row (used by incremental
     /// traversals that stage a candidate row, test it, and reject it).
     // ssq-analyze: deny-alloc
     pub fn pop_row(&mut self) {
         debug_assert!(!self.keys.is_empty(), "pop from an empty arena");
+        let r = self.keys.len() - 1;
         self.keys.pop();
         self.ids.pop();
         self.certain.pop();
-        self.dists.truncate(self.dists.len() - self.width);
+        let (t, l) = (r / LANES, r % LANES);
+        let w = self.width;
+        if l == 0 {
+            self.tiles.truncate(t * w);
+        } else {
+            // Re-pad the vacated lane so later tile sweeps stay sound.
+            for j in 0..w {
+                self.tiles[t * w + j].0[l] = f64::INFINITY;
+            }
+        }
     }
 
     /// `true` when the **last** row is dominated by any earlier row,
-    /// counting one dominance check per comparison into `stats`.
+    /// sweeping whole tiles through the dispatched `dominators_of`
+    /// bitmask kernel. Counting matches the scalar row-at-a-time scan
+    /// exactly: one dominance check per earlier row up to and including
+    /// the first dominator (the mask's lowest set bit), one per earlier
+    /// row when there is none.
     // ssq-analyze: deny-alloc
-    pub fn last_dominated(&self, stats: &mut QueryStats) -> bool {
+    pub fn last_dominated(&mut self, stats: &mut QueryStats) -> bool {
         let last = self.keys.len() - 1;
-        let candidate = self.row(last);
-        for r in 0..last {
-            stats.dominance_checks += 1;
-            if kernel::dominates(self.row(r), candidate) {
-                return true;
-            }
+        if last == 0 {
+            return false;
         }
-        false
+        let d = simd::dispatch();
+        let w = self.width;
+        Self::ensure(&mut self.spare, w, &mut self.grown);
+        let mut spare = std::mem::take(&mut self.spare);
+        spare.clear();
+        spare.resize(w, 0.0);
+        Self::extract_row(&self.tiles, w, last, &mut spare);
+        let mut found = false;
+        // Tiles covering rows 0..last. The tile holding `last` itself is
+        // safe to sweep whole: the row never dominates itself (no strict
+        // anchor) and lanes past it are +inf pads, so no stray bits.
+        for t in 0..=(last - 1) / LANES {
+            let live = (last - t * LANES).min(LANES) as u64;
+            let mask = d.dominators_of(&spare, &self.tiles[t * w..(t + 1) * w]);
+            debug_assert_eq!(mask & !live_lane_mask(last - t * LANES), 0);
+            if mask != 0 {
+                stats.dominance_checks += u64::from(mask.trailing_zeros()) + 1;
+                found = true;
+                break;
+            }
+            stats.dominance_checks += live;
+        }
+        self.spare = spare;
+        found
     }
 
-    /// Resolves the pushed rows into the exact skyline: sorts row indices
-    /// by `(key, id)`, sweeps in ascending key order testing each
-    /// non-certain row against the rows kept so far (dominance implies a
-    /// strictly smaller key, so dominators always precede dominatees),
-    /// and returns the surviving ids sorted ascending. The returned slice
-    /// lives in the arena's result buffer — copy it out before the next
+    /// `true` when rectangle `mbr` is dominated by any row: dominated by
+    /// row `s` iff `mindist(mbr, q)² > s[q]` for every anchor `q` — the
+    /// B²S² pruning screen (§4.1) over **squared**-distance rows
+    /// (squaring both sides of the scalar comparison; both are
+    /// nonnegative, so the predicate is unchanged). The per-anchor
+    /// `mindist²` bounds are computed once into the spare row, then every
+    /// tile is screened with one `all_lt` bitmask sweep. Counting
+    /// replicates the scalar row-at-a-time scan: one dominance check and
+    /// `|CHv(Q)|` distance computations per row up to and including the
+    /// first dominating row.
+    // ssq-analyze: deny-alloc
+    pub fn rect_dominated_sq(
+        &mut self,
+        mbr: &Rect,
+        anchors: &[Point],
+        stats: &mut QueryStats,
+    ) -> bool {
+        let n = self.keys.len();
+        if n == 0 {
+            return false;
+        }
+        let d = simd::dispatch();
+        let w = self.width;
+        let k = anchors.len() as u64;
+        Self::ensure(&mut self.spare, w, &mut self.grown);
+        let mut spare = std::mem::take(&mut self.spare);
+        spare.clear();
+        for &q in anchors {
+            let m = mbr.mindist(q);
+            spare.push(m * m);
+        }
+        let mut found = false;
+        for t in 0..n.div_ceil(LANES) {
+            let live = (n - t * LANES).min(LANES) as u64;
+            let mask = d.all_lt(&spare, &self.tiles[t * w..(t + 1) * w]);
+            debug_assert_eq!(mask & !live_lane_mask(n - t * LANES), 0);
+            if mask != 0 {
+                let first = u64::from(mask.trailing_zeros()) + 1;
+                stats.dominance_checks += first;
+                stats.distance_computations += first * k;
+                found = true;
+                break;
+            }
+            stats.dominance_checks += live;
+            stats.distance_computations += live * k;
+        }
+        self.spare = spare;
+        found
+    }
+
+    /// Resolves the pushed rows into the exact skyline as a two-phase
+    /// bitmask sweep:
+    ///
+    /// 1. **Pre-filter** — the `(key, id)`-minimum row is found in one
+    ///    linear pass (it is always skyline: dominance implies a
+    ///    strictly smaller key, so nothing can dominate the key
+    ///    minimum) and swept over every tile with the dispatched
+    ///    `dominated_by_ref` bitmask kernel, OR-ing survivor masks into
+    ///    per-tile dead masks. On typical workloads this one sweep
+    ///    eliminates the vast majority of rows, so the sort that
+    ///    follows is over dozens of survivors instead of every row —
+    ///    the full-row sort used to dominate the naive kernel's query
+    ///    time.
+    /// 2. **Sweep-out** — surviving rows (plus all certain rows, which
+    ///    bypass dominance entirely per Theorem 1) are sorted by
+    ///    `(key, id)` and processed in ascending key order; dominators
+    ///    always precede dominatees, each accepted row is swept over
+    ///    the tiles that still have live lanes, and later rows whose
+    ///    lane went dead are skipped without any per-row test.
+    ///
+    /// Returns the surviving ids sorted ascending; the slice lives in
+    /// the arena's result buffer — copy it out before the next
     /// [`DistanceScratch::begin`].
     // ssq-analyze: deny-alloc
     pub fn resolve(&mut self, stats: &mut QueryStats) -> &[u32] {
         let n = self.keys.len();
-        Self::ensure(&mut self.order, n, &mut self.grown);
-        self.order.clear();
-        self.order.extend(0..n as u32);
+        self.result.clear();
+        if n == 0 {
+            return &self.result;
+        }
+        let d = simd::dispatch();
+        let w = self.width;
         let keys = &self.keys;
         let ids = &self.ids;
+        let mut min_r = 0usize;
+        for r in 1..n {
+            if keys[r]
+                .total_cmp(&keys[min_r])
+                .then(ids[r].cmp(&ids[min_r]))
+                .is_lt()
+            {
+                min_r = r;
+            }
+        }
+        let tiles = n.div_ceil(LANES);
+        Self::ensure(&mut self.dead, tiles, &mut self.grown);
+        self.dead.clear();
+        self.dead.resize(tiles, 0);
+        Self::ensure(&mut self.spare, w, &mut self.grown);
+        let mut spare = std::mem::take(&mut self.spare);
+        spare.clear();
+        spare.resize(w, 0.0);
+        // Phase 1: sweep the key-minimum row. Its own lane never goes
+        // dead (a row has no strict anchor against itself), and bits set
+        // on +inf pad lanes are never read back.
+        Self::extract_row(&self.tiles, w, min_r, &mut spare);
+        for (t, dead) in self.dead.iter_mut().enumerate() {
+            let live = live_lane_mask(n - t * LANES);
+            stats.dominance_checks += u64::from(live.count_ones());
+            *dead |= d.dominated_by_ref(&spare, &self.tiles[t * w..(t + 1) * w]);
+        }
+        // Phase 2: sort the survivors and sweep outward. Rows the
+        // minimum dominated would have been skipped as dead anyway;
+        // certain rows stay in even when dominated.
+        Self::ensure(&mut self.order, n, &mut self.grown);
+        self.order.clear();
+        for r in 0..n {
+            if (self.dead[r / LANES] >> (r % LANES)) & 1 == 0 || self.certain[r] {
+                self.order.push(r as u32);
+            }
+        }
         self.order.sort_unstable_by(|&a, &b| {
             keys[a as usize]
                 .total_cmp(&keys[b as usize])
                 .then(ids[a as usize].cmp(&ids[b as usize]))
         });
         Self::ensure(&mut self.result, n, &mut self.grown);
-        self.result.clear();
         // The result buffer holds KEPT ROW INDICES during the sweep and
         // is rewritten to point ids afterwards — no extra buffer needed.
-        'next: for oi in 0..n {
+        for oi in 0..self.order.len() {
             let r = self.order[oi] as usize;
-            if !self.certain[r] {
-                let candidate = self.row(r);
-                for ki in 0..self.result.len() {
-                    let kept = self.result[ki] as usize;
-                    stats.dominance_checks += 1;
-                    if kernel::dominates(self.row(kept), candidate) {
-                        continue 'next;
-                    }
-                }
+            let (t, l) = (r / LANES, r % LANES);
+            if !self.certain[r] && (self.dead[t] >> l) & 1 == 1 {
+                continue;
             }
             self.result.push(r as u32);
+            if r == min_r {
+                // Already swept in phase 1.
+                continue;
+            }
+            Self::extract_row(&self.tiles, w, r, &mut spare);
+            for (t2, dead) in self.dead.iter_mut().enumerate() {
+                let live = live_lane_mask(n - t2 * LANES) & !*dead;
+                if live == 0 {
+                    continue;
+                }
+                stats.dominance_checks += u64::from(live.count_ones());
+                *dead |= d.dominated_by_ref(&spare, &self.tiles[t2 * w..(t2 + 1) * w]);
+            }
         }
+        self.spare = spare;
         for slot in &mut self.result {
             *slot = self.ids[*slot as usize];
         }
@@ -333,9 +564,14 @@ impl DistanceScratch {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ssq_geom::kernel;
 
     fn p(x: f64, y: f64) -> Point {
         Point::new(x, y)
+    }
+
+    fn row_of(s: &DistanceScratch, r: usize) -> Vec<f64> {
+        (0..s.width()).map(|j| s.lane(r, j)).collect()
     }
 
     #[test]
@@ -344,10 +580,41 @@ mod tests {
         let mut s = DistanceScratch::new();
         s.begin(2);
         let r = s.push_row(7, false, p(0.0, 4.0), &anchors);
-        assert_eq!(s.row(r), &[16.0, 25.0]);
+        assert_eq!(row_of(&s, r), &[16.0, 25.0]);
         assert_eq!(s.key(r), 41.0);
         assert_eq!(s.id(r), 7);
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn fill_rows_matches_push_row_bit_for_bit() {
+        let anchors = [p(0.0, 0.0), p(3.0, 1.0), p(-2.0, 5.0)];
+        let points: Vec<Point> = (0..13)
+            .map(|i| p(i as f64 * 0.37 - 2.0, (i * i) as f64 * 0.11))
+            .collect();
+        let mut pushed = DistanceScratch::new();
+        pushed.begin(anchors.len());
+        for (i, &pt) in points.iter().enumerate() {
+            pushed.push_row(i as u32, false, pt, &anchors);
+        }
+        // Every tile-remainder size, so the padded tail path is covered.
+        for n in 0..points.len() {
+            let mut filled = DistanceScratch::new();
+            filled.begin(anchors.len());
+            filled.fill_rows(&points[..n], &anchors);
+            assert_eq!(filled.len(), n);
+            for r in 0..n {
+                assert_eq!(filled.id(r), pushed.id(r));
+                assert_eq!(filled.key(r).to_bits(), pushed.key(r).to_bits(), "row {r}");
+                for j in 0..anchors.len() {
+                    assert_eq!(
+                        filled.lane(r, j).to_bits(),
+                        pushed.lane(r, j).to_bits(),
+                        "row {r} anchor {j}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]
@@ -379,16 +646,69 @@ mod tests {
     }
 
     #[test]
-    fn certain_rows_skip_checks_and_always_survive() {
+    fn certain_rows_always_survive() {
         let anchors = [p(0.0, 0.0)];
         let mut s = DistanceScratch::new();
         s.begin(1);
         s.push_row(0, false, p(0.1, 0.0), &anchors);
-        // Dominated, but marked certain — must survive with no checks.
+        // Dominated, but marked certain — must survive anyway.
         s.push_row(1, true, p(0.9, 0.0), &anchors);
         let mut stats = QueryStats::default();
         assert_eq!(s.resolve(&mut stats), &[0, 1]);
-        assert_eq!(stats.dominance_checks, 0);
+    }
+
+    #[test]
+    fn rect_screen_matches_the_scalar_predicate_and_counters() {
+        let anchors = [p(0.0, 0.0), p(10.0, 0.0)];
+        let mut s = DistanceScratch::new();
+        s.begin(2);
+        // Rows for 6 skyline points, so the screen spans a partial tile.
+        let pts = [
+            p(1.0, 0.0),
+            p(9.0, 0.0),
+            p(5.0, 0.5),
+            p(4.0, 1.0),
+            p(6.0, 1.0),
+            p(5.0, -0.5),
+        ];
+        for (i, &pt) in pts.iter().enumerate() {
+            s.push_row(i as u32, false, pt, &anchors);
+        }
+        let scalar = |mbr: &Rect, s: &DistanceScratch, stats: &mut QueryStats| -> bool {
+            for r in 0..s.len() {
+                stats.dominance_checks += 1;
+                stats.distance_computations += anchors.len() as u64;
+                let dominated = anchors.iter().enumerate().all(|(j, &q)| {
+                    let m = mbr.mindist(q);
+                    m * m > s.lane(r, j)
+                });
+                if dominated {
+                    return true;
+                }
+            }
+            false
+        };
+        for (lo, hi) in [
+            (p(4.0, 20.0), p(6.0, 22.0)), // far from both anchors: dominated
+            (p(0.0, 0.0), p(1.0, 1.0)),   // hugs anchor 0: survives
+            (p(4.5, 0.0), p(5.5, 1.0)),   // overlaps the middle cluster
+            (p(40.0, 0.0), p(50.0, 1.0)), // far right: dominated
+        ] {
+            let mbr = Rect::from_corners(lo, hi);
+            let mut want_stats = QueryStats::default();
+            let want = scalar(&mbr, &s, &mut want_stats);
+            let mut got_stats = QueryStats::default();
+            let got = s.rect_dominated_sq(&mbr, &anchors, &mut got_stats);
+            assert_eq!(got, want, "{mbr:?}");
+            assert_eq!(
+                got_stats.dominance_checks, want_stats.dominance_checks,
+                "{mbr:?}"
+            );
+            assert_eq!(
+                got_stats.distance_computations, want_stats.distance_computations,
+                "{mbr:?}"
+            );
+        }
     }
 
     #[test]
@@ -449,5 +769,33 @@ mod tests {
         s.push_row(2, false, p(0.9, 0.0), &anchors); // closer to anchor 1
         assert!(!s.last_dominated(&mut stats));
         assert_eq!(s.ids_sorted(), &[0, 2]);
+    }
+
+    #[test]
+    fn last_dominated_counts_like_the_scalar_scan_across_tile_shapes() {
+        let anchors = [p(0.0, 0.0), p(7.0, 0.0)];
+        // 7 rows (one full tile + a partial): the staged row is
+        // dominated first by row 4 (one lane into the second tile), so
+        // the scalar scan counts 5 checks.
+        let mut s = DistanceScratch::new();
+        s.begin(2);
+        for i in 0..8u32 {
+            // A diagonal staircase: mutually incomparable.
+            let x = 0.5 + i as f64 * 0.75;
+            s.push_row(i, false, p(x, 0.0), &anchors);
+        }
+        // Pop rows so only rows 0..=5 can dominate; row 5 sits mid-tile.
+        s.pop_row();
+        s.pop_row();
+        s.push_row(8, false, p(0.5 + 5.0 * 0.75, 3.0), &anchors); // row 5 + offset
+        let mut stats = QueryStats::default();
+        assert!(s.last_dominated(&mut stats));
+        assert_eq!(stats.dominance_checks, 5);
+        // Not dominated: counts one check per earlier row.
+        s.pop_row();
+        s.push_row(9, false, p(-0.1, 0.0), &anchors); // nearest to anchor 0
+        let mut stats = QueryStats::default();
+        assert!(!s.last_dominated(&mut stats));
+        assert_eq!(stats.dominance_checks, 6);
     }
 }

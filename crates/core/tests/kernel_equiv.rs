@@ -13,13 +13,32 @@
 //! - `b2s2_kernel == b2s2`,
 //!
 //! with the shared arena carried warm from one query to the next, so any
-//! cross-query state leak in the arena would also surface here.
+//! cross-query state leak in the arena would also surface here. Every
+//! kernel cell runs twice — once pinned to the scalar tile kernels via
+//! [`simd::set_force_scalar`] and once under the detected SIMD dispatch
+//! — and the two runs must return **bit-identical** skyline ids.
+//! Tile-remainder sizes (`n ≡ 0..7 mod` the lane width) and the
+//! dispatch-level dominance masks (vs the per-pair scalar
+//! [`kernel::dominates`], signed zeros and exact ties included) get
+//! their own sweeps below.
+
+use std::sync::Mutex;
 
 use ssq_core::{
     b2s2, b2s2_kernel, naive_full, naive_sorted, naive_sorted_kernel, vs2_kernel, vs2_with,
     DistanceScratch, QueryContext, RTreeIndex, VoronoiIndex, VsExpansion,
 };
+use ssq_geom::kernel;
+use ssq_geom::simd::{self, Lane4, LANES};
 use ssq_geom::Point;
+
+/// [`simd::set_force_scalar`] is process-global, so tests that toggle it
+/// must not interleave; they serialize on this lock.
+static DISPATCH_LOCK: Mutex<()> = Mutex::new(());
+
+fn dispatch_guard() -> std::sync::MutexGuard<'static, ()> {
+    DISPATCH_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 struct XorShift(u64);
 
@@ -63,6 +82,7 @@ fn anchors(k: usize, rng: &mut XorShift) -> Vec<Point> {
 
 #[test]
 fn kernel_paths_match_scalar_paths_exactly() {
+    let _guard = dispatch_guard();
     let datasets = [
         ("uniform", uniform(400, 0xA11CE)),
         ("clustered", clustered(400, 0xB0B)),
@@ -87,35 +107,145 @@ fn kernel_paths_match_scalar_paths_exactly() {
                     "scalar naive vs oracle [{tag}]"
                 );
 
-                let kern_naive = naive_sorted_kernel(points, &ctx, &mut scratch);
-                assert_eq!(kern_naive.skyline, oracle, "kernel naive vs oracle [{tag}]");
+                // Every kernel runs under both tile dispatches; the
+                // skyline ids must be bit-identical across them.
+                let mut per_mode: Vec<[Vec<u32>; 3]> = Vec::with_capacity(2);
+                for forced in [true, false] {
+                    simd::set_force_scalar(forced);
+                    let mode = if forced { "forced-scalar" } else { "detected" };
 
-                let scalar_vs2 = vs2_with(&voronoi, &ctx, VsExpansion::Safe, None);
-                let kern_vs2 = vs2_kernel(&voronoi, &ctx, &mut scratch);
-                assert_eq!(
-                    kern_vs2.skyline, scalar_vs2.skyline,
-                    "vs2 kernel vs scalar [{tag}]"
-                );
-                assert_eq!(kern_vs2.skyline, oracle, "vs2 kernel vs oracle [{tag}]");
+                    let kern_naive = naive_sorted_kernel(points, &ctx, &mut scratch);
+                    assert_eq!(
+                        kern_naive.skyline, oracle,
+                        "kernel naive ({mode}) vs oracle [{tag}]"
+                    );
 
-                let scalar_b2s2 = b2s2(&rtree, &ctx);
-                let kern_b2s2 = b2s2_kernel(&rtree, &ctx, &mut scratch);
+                    let scalar_vs2 = vs2_with(&voronoi, &ctx, VsExpansion::Safe, None);
+                    let kern_vs2 = vs2_kernel(&voronoi, &ctx, &mut scratch);
+                    assert_eq!(
+                        kern_vs2.skyline, scalar_vs2.skyline,
+                        "vs2 kernel ({mode}) vs scalar [{tag}]"
+                    );
+                    assert_eq!(
+                        kern_vs2.skyline, oracle,
+                        "vs2 kernel ({mode}) vs oracle [{tag}]"
+                    );
+
+                    let scalar_b2s2 = b2s2(&rtree, &ctx);
+                    let kern_b2s2 = b2s2_kernel(&rtree, &ctx, &mut scratch);
+                    assert_eq!(
+                        kern_b2s2.skyline, scalar_b2s2.skyline,
+                        "b2s2 kernel ({mode}) vs scalar [{tag}]"
+                    );
+                    assert_eq!(
+                        kern_b2s2.skyline, oracle,
+                        "b2s2 kernel ({mode}) vs oracle [{tag}]"
+                    );
+                    // B²S² kernel keeps true mindist heap keys so its
+                    // traversal mirrors the scalar branch-and-bound
+                    // exactly, counters included.
+                    assert_eq!(
+                        kern_b2s2.stats.node_accesses, scalar_b2s2.stats.node_accesses,
+                        "b2s2 node accesses ({mode}) [{tag}]"
+                    );
+                    assert_eq!(
+                        kern_b2s2.stats.points_examined, scalar_b2s2.stats.points_examined,
+                        "b2s2 points examined ({mode}) [{tag}]"
+                    );
+                    per_mode.push([kern_naive.skyline, kern_vs2.skyline, kern_b2s2.skyline]);
+                }
+                simd::set_force_scalar(false);
                 assert_eq!(
-                    kern_b2s2.skyline, scalar_b2s2.skyline,
-                    "b2s2 kernel vs scalar [{tag}]"
+                    per_mode[0], per_mode[1],
+                    "forced-scalar and detected dispatches disagree [{tag}]"
                 );
-                assert_eq!(kern_b2s2.skyline, oracle, "b2s2 kernel vs oracle [{tag}]");
-                // B²S² kernel keeps true mindist heap keys so its traversal
-                // mirrors the scalar branch-and-bound exactly, counters
-                // included.
+            }
+        }
+    }
+}
+
+#[test]
+fn tile_remainders_match_the_oracle_in_both_dispatch_modes() {
+    let _guard = dispatch_guard();
+    let datasets = [
+        ("uniform", uniform(407, 0x5EED)),
+        ("clustered", clustered(407, 0x7A11)),
+    ];
+    let mut scratch = DistanceScratch::new();
+    let mut rng = XorShift(0xD15B);
+    for (shape, points) in &datasets {
+        // n = 400..=407 covers every remainder 0..7 mod the lane width
+        // twice over (LANES = 4), so both the full-tile and every padded
+        // tail shape hit the fill, screen, and sweep kernels.
+        for n in 400..=points.len() {
+            let pts = &points[..n];
+            for k in [1usize, 3, 8] {
+                let q = anchors(k, &mut rng);
+                let ctx = QueryContext::new(&q);
+                let tag = format!("{shape}/n={n}/k={k}");
+                let oracle = naive_full(pts, &ctx).skyline;
+                let mut per_mode: Vec<Vec<u32>> = Vec::with_capacity(2);
+                for forced in [true, false] {
+                    simd::set_force_scalar(forced);
+                    let mode = if forced { "forced-scalar" } else { "detected" };
+                    let kern = naive_sorted_kernel(pts, &ctx, &mut scratch);
+                    assert_eq!(
+                        kern.skyline, oracle,
+                        "kernel naive ({mode}) vs oracle [{tag}]"
+                    );
+                    per_mode.push(kern.skyline);
+                }
+                simd::set_force_scalar(false);
                 assert_eq!(
-                    kern_b2s2.stats.node_accesses, scalar_b2s2.stats.node_accesses,
-                    "b2s2 node accesses [{tag}]"
+                    per_mode[0], per_mode[1],
+                    "dispatch modes disagree on a tile remainder [{tag}]"
                 );
-                assert_eq!(
-                    kern_b2s2.stats.points_examined, scalar_b2s2.stats.points_examined,
-                    "b2s2 points examined [{tag}]"
-                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dominance_masks_agree_with_the_per_pair_kernel() {
+    // Every available dispatch (explicit tables — no global toggle, so
+    // no lock) must produce masks that agree bit-for-bit with the
+    // scalar per-pair predicates. Values come from a tiny palette that
+    // includes both signed zeros, so exact ties and ±0.0 comparisons
+    // occur constantly instead of never.
+    let palette = [0.0f64, -0.0, 1.0, 2.0, 3.0];
+    let mut rng = XorShift(0x3A5C);
+    let pick = |rng: &mut XorShift| palette[(rng.next_f64() * 5.0) as usize % 5];
+    for width in [1usize, 2, 3, 5, 8] {
+        for _trial in 0..100 {
+            let rows: Vec<Vec<f64>> = (0..LANES)
+                .map(|_| (0..width).map(|_| pick(&mut rng)).collect())
+                .collect();
+            let rf: Vec<f64> = (0..width).map(|_| pick(&mut rng)).collect();
+            let tile: Vec<Lane4> = (0..width)
+                .map(|j| Lane4([rows[0][j], rows[1][j], rows[2][j], rows[3][j]]))
+                .collect();
+            for d in simd::available_dispatches() {
+                let name = d.path().name();
+                let dominated = d.dominated_by_ref(&rf, &tile);
+                let dominators = d.dominators_of(&rf, &tile);
+                let below = d.all_lt(&rf, &tile);
+                for (l, row) in rows.iter().enumerate() {
+                    assert_eq!(
+                        (dominated >> l) & 1 == 1,
+                        kernel::dominates(&rf, row),
+                        "dominated_by_ref[{name}] lane {l}: rf={rf:?} row={row:?}"
+                    );
+                    assert_eq!(
+                        (dominators >> l) & 1 == 1,
+                        kernel::dominates(row, &rf),
+                        "dominators_of[{name}] lane {l}: rf={rf:?} row={row:?}"
+                    );
+                    assert_eq!(
+                        (below >> l) & 1 == 1,
+                        row.iter().zip(&rf).all(|(a, b)| a < b),
+                        "all_lt[{name}] lane {l}: rf={rf:?} row={row:?}"
+                    );
+                }
             }
         }
     }

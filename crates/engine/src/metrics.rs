@@ -331,6 +331,7 @@ impl EngineMetrics {
             queries_per_generation,
             latency: self.latency.snapshot(),
             stats,
+            kernel_path: ssq_geom::simd::path_name(),
             net: NetCounters::default(),
             ingest: IngestCounters {
                 batches: self.ingest_batches.load(Ordering::Relaxed),
@@ -515,6 +516,11 @@ pub struct MetricsSnapshot {
     pub latency: LatencySnapshot,
     /// Work counters absorbed from every query and update.
     pub stats: QueryStats,
+    /// The tile-kernel dispatch serving this engine's scratch kernels
+    /// (`"scalar"`, `"tiled"`, `"sse2"`, or `"avx2"` — see
+    /// [`ssq_geom::simd::path_name`]). Empty on a default snapshot that
+    /// never came from a live engine.
+    pub kernel_path: &'static str,
     /// Socket front-end counters (zero unless this snapshot came from a
     /// running `ssq-net` server).
     pub net: NetCounters,
@@ -573,6 +579,11 @@ impl MetricsSnapshot {
         }
         self.latency.absorb(&other.latency);
         self.stats.absorb(&other.stats);
+        // Every shard in a fleet shares one process, hence one detected
+        // dispatch — absorbing just fills in an unset fleet view.
+        if self.kernel_path.is_empty() {
+            self.kernel_path = other.kernel_path;
+        }
         self.net.absorb(&other.net);
         self.ingest.absorb(&other.ingest);
         self.diagram.absorb(&other.diagram);
@@ -609,6 +620,16 @@ mod tests {
         assert!(p99 >= p50);
         // Upper bound: the largest sample (12800 ns) sits in [8192, 16384).
         assert!(p99 <= Duration::from_nanos(16384), "p99 = {p99:?}");
+    }
+
+    #[test]
+    fn snapshot_reports_the_dispatched_kernel_path() {
+        let s = EngineMetrics::new().snapshot();
+        assert_eq!(s.kernel_path, ssq_geom::simd::path_name());
+        let mut fleet = MetricsSnapshot::default();
+        assert!(fleet.kernel_path.is_empty());
+        fleet.absorb(&s);
+        assert_eq!(fleet.kernel_path, s.kernel_path);
     }
 
     #[test]

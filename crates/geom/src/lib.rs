@@ -23,7 +23,10 @@
 //! * [`Metric`] — pluggable distance metrics obeying the triangle
 //!   inequality, as required by the paper's problem definition (§2.2);
 //! * [`kernel`] — allocation-free distance/dominance kernels over flat
-//!   `f64` rows, including the squared-distance fast path.
+//!   `f64` rows, including the squared-distance fast path;
+//! * [`simd`] — data-parallel tile kernels (lane-aligned AoSoA distance
+//!   tiles, bitmask dominance sweeps) behind a runtime-detected
+//!   scalar/tiled/SSE2/AVX2 dispatch table.
 //!
 //! All coordinates are `f64`. The predicates are exact for all `f64`
 //! inputs; everything else uses ordinary floating-point arithmetic with
@@ -42,6 +45,7 @@ pub mod metric;
 pub mod point;
 pub mod predicates;
 pub mod rect;
+pub mod simd;
 
 pub use circle::Circle;
 pub use convex::ConvexPolygon;

@@ -25,8 +25,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --workspace --release
 
-echo "==> cargo test"
+echo "==> cargo test (detected SIMD dispatch)"
 cargo test --workspace -q
+
+echo "==> cargo test (SSQ_FORCE_SCALAR=1 — scalar tile-kernel oracle)"
+# The full suite runs twice so every equivalence and integration test
+# exercises both sides of the runtime dispatch: the detected AVX2/SSE2
+# tile kernels above, the scalar oracle here. Same binaries, no rebuild.
+SSQ_FORCE_SCALAR=1 cargo test --workspace -q
 
 echo "==> cargo doc (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
