@@ -1,0 +1,65 @@
+//! R6 `deny-alloc-transitive`: the local `deny-alloc` rule checks an
+//! annotated body; this rule walks the call graph from every annotated
+//! root and applies the same allocation ban list to each reachable
+//! callee, so a kernel cannot launder an allocation through a helper.
+//!
+//! Violations are reported at the allocating call site (where a
+//! suppression, if ever justified, documents *that allocation*), with
+//! one exemplar root chain in the message. Fns that are themselves
+//! annotated are skipped — the local rule already covers their bodies
+//! and reports with a more direct message.
+
+use super::{Ctx, FileViolation};
+use crate::rules::{alloc_call, Rule, Violation};
+
+/// Runs the rule. See the module docs.
+pub fn run(ctx: &Ctx) -> Vec<FileViolation> {
+    let graph = ctx.graph;
+
+    // Roots: indexed fns whose body is a `deny-alloc` region.
+    let mut is_root = vec![false; graph.nodes.len()];
+    let mut roots = Vec::new();
+    for (id, fref) in graph.nodes.iter().enumerate() {
+        let f = &ctx.units[fref.file].parsed.fns[fref.item];
+        let Some((open, _)) = f.body else { continue };
+        if ctx.scans[fref.file]
+            .alloc_regions
+            .iter()
+            .any(|&(s, _)| s == open)
+        {
+            is_root[id] = true;
+            roots.push(id);
+        }
+    }
+
+    let parents = graph.reach(&roots);
+    let mut out = Vec::new();
+    for &node in parents.keys() {
+        if is_root[node] {
+            continue;
+        }
+        let fref = graph.nodes[node];
+        let unit = &ctx.units[fref.file];
+        let Some((open, close)) = unit.parsed.fns[fref.item].body else {
+            continue;
+        };
+        let tokens = &unit.lexed.tokens;
+        for i in open..=close.min(tokens.len().saturating_sub(1)) {
+            if let Some(banned) = alloc_call(tokens, i) {
+                out.push((
+                    fref.file,
+                    Violation {
+                        rule: Rule::AllocTransitive,
+                        line: tokens[i].line,
+                        message: format!(
+                            "`{banned}` is reachable from a `deny-alloc` kernel \
+                             ({}); hot-path callees must stay allocation-free",
+                            graph.chain(ctx.units, &parents, node)
+                        ),
+                    },
+                ));
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,300 @@
+//! R8 `lock-rank-static`: machine-checks DESIGN.md §12.2.
+//!
+//! The rule extracts the workspace rank table from every non-test
+//! `RankedMutex::new(name, RANK, ..)` site (resolving `RANK_*`
+//! constants), attributes each `.lock()` acquisition to a table entry
+//! by its field/binding name, and computes — by fixpoint over the call
+//! graph — the set of ranks that may already be held when each
+//! acquisition executes. Any acquisition of rank `r` while some
+//! `r' >= r` may be held is a statically reachable ordering violation:
+//! exactly the condition the debug-build `RankedMutex` panics on, but
+//! proven over all paths instead of the paths tests happen to drive.
+//!
+//! Hold ranges are conservative (DESIGN.md §12.4): a `let`-bound guard
+//! is held to the end of its enclosing block unless an explicit
+//! `drop(guard)` ends it earlier; a temporary guard is held to the end
+//! of its statement. Code inside `spawn(..)` closures starts with an
+//! empty held set (a fresh thread holds nothing), and locks taken
+//! outside the closure are not charged to it.
+//!
+//! The rule also *audits the table itself*: a `RankedMutex::new` whose
+//! rank cannot be resolved or that is not attributable to a named
+//! field/binding is a violation — the proof is only as good as the
+//! table, so the table must be complete.
+
+use std::collections::HashMap;
+
+use super::{Ctx, FileViolation};
+use crate::parser::{LockSite, RankExpr};
+use crate::rules::{Rule, Violation};
+
+/// One resolved rank-table entry, for the summary line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RankEntry {
+    /// The numeric rank.
+    pub rank: u32,
+    /// The lock's diagnostic name (`engine.catalog`).
+    pub name: String,
+}
+
+/// A ranked acquisition attributed to a call-graph node.
+struct RankedSite {
+    node: usize,
+    file: usize,
+    tok: usize,
+    hold_end: usize,
+    line: u32,
+    rank: u32,
+    name: String,
+}
+
+/// What is known to be held: rank → (lock name, provenance).
+type Held = HashMap<u32, (String, String)>;
+
+/// Runs the rule, returning violations plus the extracted rank table
+/// (sorted ascending, deduplicated) for the report summary.
+pub fn run(ctx: &Ctx) -> (Vec<FileViolation>, Vec<RankEntry>) {
+    let graph = ctx.graph;
+    let mut out: Vec<FileViolation> = Vec::new();
+
+    // 1. Rank constants, workspace-wide.
+    let mut consts: HashMap<&str, u32> = HashMap::new();
+    for unit in ctx.units {
+        for (name, value) in &unit.parsed.rank_consts {
+            consts.entry(name.as_str()).or_insert(*value);
+        }
+    }
+
+    // 2. The rank table: resolved non-test `RankedMutex::new` sites,
+    // keyed by the field/binding for acquisition matching.
+    // defs[binding] = (file, rank, lock name)
+    let mut defs: Vec<(usize, String, u32, String)> = Vec::new();
+    let mut table: Vec<RankEntry> = Vec::new();
+    for (file, unit) in ctx.units.iter().enumerate() {
+        if !unit.indexable {
+            continue;
+        }
+        for def in &unit.parsed.mutex_defs {
+            if def.in_test {
+                continue;
+            }
+            let rank = match &def.rank {
+                RankExpr::Lit(value) => Some(*value),
+                RankExpr::Const(name) => consts.get(name.as_str()).copied(),
+                RankExpr::Opaque => None,
+            };
+            let display = def.lock_name.clone().unwrap_or_else(|| "<unnamed>".into());
+            let Some(rank) = rank else {
+                out.push((
+                    file,
+                    Violation {
+                        rule: Rule::LockRankStatic,
+                        line: def.line,
+                        message: format!(
+                            "cannot resolve the rank of `RankedMutex::new` for \
+                             `{display}`; the §12.2 table must be statically complete"
+                        ),
+                    },
+                ));
+                continue;
+            };
+            let Some(binding) = def.binding.clone() else {
+                out.push((
+                    file,
+                    Violation {
+                        rule: Rule::LockRankStatic,
+                        line: def.line,
+                        message: format!(
+                            "cannot attribute `RankedMutex::new` for `{display}` to a \
+                             field or binding; acquisitions of it would go unchecked"
+                        ),
+                    },
+                ));
+                continue;
+            };
+            let entry = RankEntry {
+                rank,
+                name: display.clone(),
+            };
+            if !table.contains(&entry) {
+                table.push(entry);
+            }
+            defs.push((file, binding, rank, display));
+        }
+    }
+    table.sort_by(|a, b| (a.rank, &a.name).cmp(&(b.rank, &b.name)));
+
+    // 3. Attribute `.lock()` sites to table entries. Ladder: a def for
+    // the binding in the same file, else same crate, else anywhere.
+    // Distinct ranks surviving at the chosen level mean the binding
+    // name is ambiguous — itself a violation, since the proof would be
+    // guessing.
+    let mut sites: Vec<RankedSite> = Vec::new();
+    for (file, unit) in ctx.units.iter().enumerate() {
+        if !unit.indexable {
+            continue;
+        }
+        for site in &unit.parsed.lock_sites {
+            if unit.parsed.in_test_region(site.tok) {
+                continue;
+            }
+            let Some(item) = unit.parsed.enclosing_fn(site.tok) else {
+                continue;
+            };
+            let Some(node) = graph.node(file, item) else {
+                continue;
+            };
+            let matches: Vec<&(usize, String, u32, String)> = {
+                let by = |pred: &dyn Fn(usize) -> bool| {
+                    defs.iter()
+                        .filter(|(f, binding, _, _)| *binding == site.binding && pred(*f))
+                        .collect::<Vec<_>>()
+                };
+                let same_file = by(&|f| f == file);
+                if !same_file.is_empty() {
+                    same_file
+                } else {
+                    let crate_name = &unit.crate_name;
+                    let same_crate = by(&|f| &ctx.units[f].crate_name == crate_name);
+                    if !same_crate.is_empty() {
+                        same_crate
+                    } else {
+                        by(&|_| true)
+                    }
+                }
+            };
+            if matches.is_empty() {
+                continue; // a std mutex or foreign `.lock()`; not ranked
+            }
+            let rank = matches[0].2;
+            if matches.iter().any(|m| m.2 != rank) {
+                out.push((
+                    file,
+                    Violation {
+                        rule: Rule::LockRankStatic,
+                        line: site.line,
+                        message: format!(
+                            "lock binding `{}` matches RankedMutex definitions with \
+                             different ranks; rename the fields so acquisitions \
+                             attribute uniquely",
+                            site.binding
+                        ),
+                    },
+                ));
+                continue;
+            }
+            sites.push(RankedSite {
+                node,
+                file,
+                tok: site.tok,
+                hold_end: hold_end_of(site),
+                line: site.line,
+                rank,
+                name: matches[0].3.clone(),
+            });
+        }
+    }
+
+    // Per-node site lists for the local hold computation.
+    let mut node_sites: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (idx, site) in sites.iter().enumerate() {
+        node_sites.entry(site.node).or_default().push(idx);
+    }
+
+    let local_held = |node: usize, tok: usize| -> Held {
+        let mut held = Held::new();
+        let Some(indices) = node_sites.get(&node) else {
+            return held;
+        };
+        let fref = graph.nodes[node];
+        let parsed = &ctx.units[fref.file].parsed;
+        let ctx_of = |t: usize| parsed.innermost_spawn(t);
+        for &idx in indices {
+            let s = &sites[idx];
+            if s.tok < tok && tok < s.hold_end && ctx_of(s.tok) == ctx_of(tok) {
+                let fn_name = graph.name(ctx.units, node);
+                held.insert(
+                    s.rank,
+                    (
+                        s.name.clone(),
+                        format!("taken in {fn_name} ({}:{})", ctx.units[s.file].path, s.line),
+                    ),
+                );
+            }
+        }
+        held
+    };
+
+    // 4. Fixpoint: H(callee) ⊇ inherited(caller, call site) for every
+    // edge, where calls inside a spawn closure inherit nothing from
+    // the spawning thread beyond locks taken inside the closure.
+    let mut held_at_entry: Vec<Held> = vec![Held::new(); graph.nodes.len()];
+    let mut worklist: Vec<usize> = (0..graph.nodes.len()).collect();
+    let mut on_list = vec![true; graph.nodes.len()];
+    while let Some(node) = worklist.pop() {
+        on_list[node] = false;
+        let fref = graph.nodes[node];
+        let parsed = &ctx.units[fref.file].parsed;
+        for edge in &graph.edges[node] {
+            let call_tok = parsed.calls[edge.call].tok;
+            let mut contribution = if parsed.innermost_spawn(call_tok).is_some() {
+                Held::new()
+            } else {
+                held_at_entry[node].clone()
+            };
+            contribution.extend(local_held(node, call_tok));
+            let target = &mut held_at_entry[edge.callee];
+            let mut changed = false;
+            for (rank, info) in contribution {
+                if let std::collections::hash_map::Entry::Vacant(slot) = target.entry(rank) {
+                    slot.insert(info);
+                    changed = true;
+                }
+            }
+            if changed && !on_list[edge.callee] {
+                on_list[edge.callee] = true;
+                worklist.push(edge.callee);
+            }
+        }
+    }
+
+    // 5. Check every acquisition against what may be held there.
+    for site in &sites {
+        let mut held = held_at_entry[site.node].clone();
+        held.extend(local_held(site.node, site.tok));
+        let mut offenders: Vec<(u32, &(String, String))> = held
+            .iter()
+            .filter(|(&r, _)| r >= site.rank)
+            .map(|(&r, info)| (r, info))
+            .collect();
+        if offenders.is_empty() {
+            continue;
+        }
+        offenders.sort_by_key(|(r, _)| *r);
+        let detail = offenders
+            .iter()
+            .map(|(r, (name, provenance))| format!("`{name}` (rank {r}, {provenance})"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push((
+            site.file,
+            Violation {
+                rule: Rule::LockRankStatic,
+                line: site.line,
+                message: format!(
+                    "acquiring `{}` (rank {}) while {} may be held; ranks must be \
+                     strictly ascending (DESIGN.md §12.2)",
+                    site.name, site.rank, detail
+                ),
+            },
+        ));
+    }
+
+    (out, table)
+}
+
+/// The hold-range end for a site (identity today; a named helper so
+/// the model is adjustable in one place).
+fn hold_end_of(site: &LockSite) -> usize {
+    site.hold_end
+}

@@ -1,0 +1,60 @@
+//! R7 `no-panic-transitive`: the local `no-panic` rule covers files in
+//! the configured engine/shard/net/diagram set; this rule walks the
+//! call graph from every `pub` fn in those files and flags panic sites
+//! in reachable helpers *outside* the set (geom, delaunay, rtree,
+//! core, …) — the panics a serving path can actually hit.
+//!
+//! Violations land on the panic site in the helper crate, where an
+//! audited suppression can document the invariant that makes the panic
+//! unreachable (most helper-crate `.expect()`s are exactly that), and
+//! carry one exemplar entry-point chain.
+
+use super::{Ctx, FileViolation};
+use crate::rules::{panic_call, Rule, Violation};
+
+/// Runs the rule. See the module docs.
+pub fn run(ctx: &Ctx) -> Vec<FileViolation> {
+    let graph = ctx.graph;
+
+    // Entry points: pub fns in `no-panic` files.
+    let mut entries = Vec::new();
+    for (id, fref) in graph.nodes.iter().enumerate() {
+        if ctx.configs[fref.file].no_panic && ctx.units[fref.file].parsed.fns[fref.item].is_pub {
+            entries.push(id);
+        }
+    }
+
+    let parents = graph.reach(&entries);
+    let mut out = Vec::new();
+    for &node in parents.keys() {
+        let fref = graph.nodes[node];
+        // Locally covered files report through R4 with the same
+        // suppression surface; re-reporting would double every finding.
+        if ctx.configs[fref.file].no_panic {
+            continue;
+        }
+        let unit = &ctx.units[fref.file];
+        let Some((open, close)) = unit.parsed.fns[fref.item].body else {
+            continue;
+        };
+        let tokens = &unit.lexed.tokens;
+        for i in open..=close.min(tokens.len().saturating_sub(1)) {
+            if let Some(pattern) = panic_call(tokens, i) {
+                out.push((
+                    fref.file,
+                    Violation {
+                        rule: Rule::PanicTransitive,
+                        line: tokens[i].line,
+                        message: format!(
+                            "`{pattern}` is reachable from no-panic library entry \
+                             point ({}); return a typed error or document the \
+                             invariant with an audited allow",
+                            graph.chain(ctx.units, &parents, node)
+                        ),
+                    },
+                ));
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,67 @@
+//! R9 `simd-dispatch-guard`: every `#[target_feature]` fn must be
+//! reached only through the dispatch-table selection path
+//! (`geom::simd`'s `OnceLock`-gated tables). Calling one directly from
+//! ordinary code is UB when the CPU lacks the feature — the whole
+//! point of the wrapper/dispatch design is that the unsafe call sits
+//! behind a capability check performed once.
+//!
+//! Allowed callers of a `#[target_feature]` fn:
+//!
+//! * fns whose names are installed in a `Dispatch { .. }` table
+//!   literal (the safe wrappers — the table is the proof the runtime
+//!   check gates them);
+//! * other `#[target_feature]` fns of the same feature family (intra-
+//!   kernel helpers already behind the check).
+//!
+//! Everything else is a violation at the call site.
+
+use std::collections::HashSet;
+
+use super::{Ctx, FileViolation};
+use crate::rules::{Rule, Violation};
+
+/// Runs the rule. See the module docs.
+pub fn run(ctx: &Ctx) -> Vec<FileViolation> {
+    let graph = ctx.graph;
+
+    let installed: HashSet<&str> = ctx
+        .units
+        .iter()
+        .flat_map(|u| u.parsed.dispatch_installed.iter())
+        .map(String::as_str)
+        .collect();
+
+    let mut out = Vec::new();
+    for (caller, edges) in graph.edges.iter().enumerate() {
+        let caller_ref = graph.nodes[caller];
+        let caller_fn = &ctx.units[caller_ref.file].parsed.fns[caller_ref.item];
+        let caller_allowed =
+            caller_fn.target_feature || installed.contains(caller_fn.name.as_str());
+        if caller_allowed {
+            continue;
+        }
+        for edge in edges {
+            let callee_ref = graph.nodes[edge.callee];
+            let callee_fn = &ctx.units[callee_ref.file].parsed.fns[callee_ref.item];
+            if !callee_fn.target_feature {
+                continue;
+            }
+            let call = &ctx.units[caller_ref.file].parsed.calls[edge.call];
+            out.push((
+                caller_ref.file,
+                Violation {
+                    rule: Rule::SimdDispatchGuard,
+                    line: call.line,
+                    message: format!(
+                        "`{}` is a #[target_feature] fn; call it through the \
+                         dispatch-table wrapper (simd::dispatch()), never directly \
+                         from `{}`",
+                        graph.name(ctx.units, edge.callee),
+                        graph.name(ctx.units, caller),
+                    ),
+                },
+            ));
+        }
+    }
+    out
+}

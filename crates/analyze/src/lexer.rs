@@ -11,10 +11,12 @@
 //!   kept separately because several rules are *driven by* comments
 //!   (`// SAFETY:`, `// ssq-analyze: deny-alloc`, allow directives).
 //!
-//! String/char literals and lifetimes are consumed and dropped: nothing
-//! inside them can ever be a violation, and dropping them is what makes
-//! the token rules immune to `"a.partial_cmp(b).unwrap()"` appearing in
-//! a doc string or error message.
+//! String literals are kept as opaque [`TokenKind::Str`] tokens (the
+//! item parser needs `RankedMutex::new("name", …)` lock names) but
+//! their *content* is never tokenized — which is what makes the token
+//! rules immune to `"a.partial_cmp(b).unwrap()"` appearing in a doc
+//! string or error message. Char literals and lifetimes are consumed
+//! and dropped.
 
 /// What a [`Token`] is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -25,6 +27,10 @@ pub enum TokenKind {
     Number,
     /// A single punctuation character (`.`, `(`, `!`, `{`, …).
     Punct,
+    /// A string literal; `text` holds the raw content without quotes.
+    /// Opaque to every token-pattern rule, but carries diagnostic names
+    /// (lock names) for the item parser.
+    Str,
 }
 
 /// One lexed token.
@@ -144,9 +150,27 @@ pub fn lex(src: &str) -> Result<Lexed, LexError> {
                 });
                 i = j;
             }
-            '"' => i = string_literal(&chars, i, &mut line)?,
+            '"' => {
+                let start_line = line;
+                let start = i + 1;
+                i = string_literal(&chars, i, &mut line)?;
+                out.tokens.push(Token {
+                    text: chars[start..i - 1].iter().collect(),
+                    line: start_line,
+                    kind: TokenKind::Str,
+                });
+            }
             'r' | 'b' if raw_or_byte_string(&chars, i) => {
-                i = raw_byte_string(&chars, i, &mut line)?
+                let start_line = line;
+                i = raw_byte_string(&chars, i, &mut line)?;
+                // Raw/byte strings are kept opaque with empty text: no
+                // rule or parser pattern reads their content, and the
+                // delimiter arithmetic is not worth replicating here.
+                out.tokens.push(Token {
+                    text: String::new(),
+                    line: start_line,
+                    kind: TokenKind::Str,
+                });
             }
             '\'' => i = char_or_lifetime(&chars, i, line),
             c if c.is_alphabetic() || c == '_' => {
@@ -349,11 +373,30 @@ mod tests {
     }
 
     #[test]
-    fn strings_and_chars_are_dropped() {
+    fn strings_are_opaque_single_tokens() {
         let lexed = lex(r#"let s = "a.unwrap() // not a comment"; let c = 'x';"#).unwrap();
         assert!(lexed.comments.is_empty());
         assert!(!lexed.tokens.iter().any(|t| t.is_ident("unwrap")));
         assert!(lexed.tokens.iter().any(|t| t.is_ident("c")));
+        let strs: Vec<&Token> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].text, "a.unwrap() // not a comment");
+    }
+
+    #[test]
+    fn lock_name_strings_survive_for_the_parser() {
+        let lexed = lex(r#"RankedMutex::new("engine.cache", RANK, x)"#).unwrap();
+        let strs: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, ["engine.cache"]);
     }
 
     #[test]

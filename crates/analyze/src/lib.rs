@@ -4,7 +4,7 @@
 //! A std-only, dependency-free lint pass. It does not replace clippy;
 //! it enforces the handful of *repo-specific* conventions the
 //! concurrent serving stack (PRs 1–4) relies on but which no general
-//! tool checks:
+//! tool checks. Five local rules scan one token stream at a time:
 //!
 //! | rule | what it enforces |
 //! |------|------------------|
@@ -14,21 +14,41 @@
 //! | `no-panic` | no `unwrap`/`expect`/`panic!`-family in non-test engine/shard library code |
 //! | `safety-comment` | every `unsafe` carries a nearby `// SAFETY:` comment |
 //!
+//! Four interprocedural rules then walk a workspace-wide call graph
+//! ([`parser`] recovers items, [`callgraph`] resolves calls) so the
+//! same invariants hold *transitively*, not just in the annotated or
+//! configured file:
+//!
+//! | rule | what it proves |
+//! |------|----------------|
+//! | `deny-alloc-transitive` | no allocation reachable from a `deny-alloc` kernel root |
+//! | `no-panic-transitive` | no panic site reachable from a no-panic library entry point |
+//! | `lock-rank-static` | the §12.2 `RankedMutex` rank table admits no statically reachable out-of-order acquisition |
+//! | `simd-dispatch-guard` | `#[target_feature]` fns are reached only through the dispatch-table wrappers |
+//!
 //! Suppress a finding with `// ssq-analyze: allow(<rule>): <reason>`
-//! on the offending line or the line above; the reason is mandatory.
+//! on the offending line or the line above; the reason is mandatory,
+//! and `--audit-suppressions` lists directives that no longer match
+//! anything.
 //!
 //! The binary (`cargo run -p ssq-analyze`) walks the workspace and
 //! exits 0 when clean, 1 on violations, 2 on an internal error
-//! (unreadable file, unlexable source). See `DESIGN.md` §12.
+//! (unreadable file, unlexable source). `--json <path>` writes the
+//! machine-readable report. See `DESIGN.md` §12.
 
 #![deny(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 #![warn(clippy::all)]
 
+pub mod callgraph;
+pub mod interp;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod workspace;
 
 pub use rules::{analyze_source, FileConfig, Rule, Violation};
+pub use workspace::{analyze_files, dep_graph_from_manifests, SourceFile, WorkspaceReport};
 
 /// Returns the [`FileConfig`] the workspace gate applies to `path`
 /// (which may be absolute or repo-relative; matching is by path
@@ -47,6 +67,10 @@ pub use rules::{analyze_source, FileConfig, Rule, Violation};
 ///   the core delta module: `UpdateBatch` normalization runs inside
 ///   `apply_delta` on the ingest pipeline, where a panic would poison
 ///   the catalog lock under live traffic.
+///
+/// The `no-panic` file set also seeds the entry points of
+/// `no-panic-transitive`: every `pub` fn in a configured file is a
+/// root from which panic-reachability is traced into helper crates.
 pub fn config_for_path(path: &str) -> FileConfig {
     let p = path.replace('\\', "/");
     let shared_cell = p.contains("crates/rtree/src/")

@@ -1,8 +1,20 @@
 //! The `ssq-analyze` binary: walks the workspace's Rust sources and
-//! reports rule violations.
+//! reports rule violations — local token rules plus the four
+//! call-graph rules (see `DESIGN.md` §12).
 //!
-//! Exit codes: 0 = clean, 1 = violations found, 2 = internal error
-//! (IO failure or a file the lexer cannot process).
+//! Usage: `ssq-analyze [ROOT] [--json PATH] [--audit-suppressions]
+//! [--threads N]`
+//!
+//! * `--json PATH` — also write the machine-readable report (one JSON
+//!   object per violation, suppressed ones included).
+//! * `--audit-suppressions` — list allow directives that no longer
+//!   suppress anything; stale directives fail the run.
+//! * `--threads N` — lex/parse worker count (default: available
+//!   parallelism, capped at 8).
+//!
+//! Exit codes: 0 = clean, 1 = violations found (or stale suppressions
+//! in audit mode), 2 = internal error (IO failure, a file the lexer
+//! cannot process, or bad usage).
 
 #![deny(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -11,72 +23,135 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use ssq_analyze::{analyze_source, config_for_path, Violation};
+use ssq_analyze::workspace::{analyze_files, dep_graph_from_manifests, SourceFile};
+
+struct Options {
+    root: PathBuf,
+    json: Option<PathBuf>,
+    audit: bool,
+    threads: usize,
+}
 
 fn main() -> ExitCode {
-    let root = std::env::args().nth(1).map_or_else(
-        || {
-            // Default to the workspace root: the binary runs from
-            // anywhere inside the repo via `cargo run -p ssq-analyze`,
-            // which sets CARGO_MANIFEST_DIR to crates/analyze.
-            std::env::var("CARGO_MANIFEST_DIR").map_or_else(
-                |_| PathBuf::from("."),
-                |dir| PathBuf::from(dir).join("../.."),
-            )
-        },
-        PathBuf::from,
-    );
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("ssq-analyze: {message}");
+            return ExitCode::from(2);
+        }
+    };
 
-    let mut files = Vec::new();
-    if let Err(err) = collect_rust_files(&root, &mut files) {
+    let mut paths = Vec::new();
+    if let Err(err) = collect_rust_files(&opts.root, &mut paths) {
         eprintln!(
             "ssq-analyze: internal error walking {}: {err}",
-            root.display()
+            opts.root.display()
         );
         return ExitCode::from(2);
     }
-    files.sort();
+    paths.sort();
 
-    let mut total = 0usize;
-    for file in &files {
-        let display = relative_display(&root, file);
-        let src = match std::fs::read_to_string(file) {
-            Ok(src) => src,
+    let mut files = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let display = relative_display(&opts.root, path);
+        match std::fs::read_to_string(path) {
+            Ok(src) => files.push(SourceFile { path: display, src }),
             Err(err) => {
                 eprintln!("ssq-analyze: internal error reading {display}: {err}");
-                return ExitCode::from(2);
-            }
-        };
-        let config = config_for_path(&display);
-        match analyze_source(&src, config) {
-            Ok(violations) => {
-                for Violation {
-                    rule,
-                    line,
-                    message,
-                } in &violations
-                {
-                    println!("{display}:{line}: [{}] {message}", rule.name());
-                }
-                total += violations.len();
-            }
-            Err(err) => {
-                eprintln!("ssq-analyze: internal error lexing {display}: {err}");
                 return ExitCode::from(2);
             }
         }
     }
 
-    if total > 0 {
-        println!(
-            "ssq-analyze: {total} violation(s) in {} file(s) checked",
-            files.len()
-        );
+    let deps = dep_graph_from_manifests(&opts.root);
+    let report = match analyze_files(&files, opts.threads, &deps) {
+        Ok(report) => report,
+        Err(message) => {
+            eprintln!("ssq-analyze: internal error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for v in report.unsuppressed() {
+        println!("{}:{}: [{}] {}", v.file, v.line, v.rule.name(), v.message);
+    }
+
+    if let Some(json_path) = &opts.json {
+        if let Err(err) = std::fs::write(json_path, report.to_json()) {
+            eprintln!(
+                "ssq-analyze: internal error writing {}: {err}",
+                json_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    }
+
+    let mut failed = report.unsuppressed().count() > 0;
+    if opts.audit {
+        for stale in &report.stale_allows {
+            println!(
+                "{}:{}: stale suppression: allow({}) no longer matches any violation",
+                stale.file,
+                stale.line,
+                stale.rule.name()
+            );
+        }
+        if report.stale_allows.is_empty() {
+            println!("ssq-analyze: all suppressions are live");
+        } else {
+            failed = true;
+        }
+    }
+
+    println!("{}", report.rank_table_line());
+    println!("{}", report.summary());
+    if failed {
         ExitCode::from(1)
     } else {
-        println!("ssq-analyze: clean ({} files checked)", files.len());
         ExitCode::SUCCESS
     }
+}
+
+/// Parses the CLI. Errors are usage problems → exit code 2.
+fn parse_args() -> Result<Options, String> {
+    let mut root = None;
+    let mut json = None;
+    let mut audit = false;
+    let mut threads = std::thread::available_parallelism().map_or(4, |n| n.get().min(8));
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => match args.next() {
+                Some(path) => json = Some(PathBuf::from(path)),
+                None => return Err("--json requires a path argument".into()),
+            },
+            "--audit-suppressions" => audit = true,
+            "--threads" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => threads = n,
+                _ => return Err("--threads requires a positive integer".into()),
+            },
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}`"));
+            }
+            path if root.is_none() => root = Some(PathBuf::from(path)),
+            extra => return Err(format!("unexpected argument `{extra}`")),
+        }
+    }
+    let root = root.unwrap_or_else(|| {
+        // Default to the workspace root: the binary runs from anywhere
+        // inside the repo via `cargo run -p ssq-analyze`, which sets
+        // CARGO_MANIFEST_DIR to crates/analyze.
+        std::env::var("CARGO_MANIFEST_DIR").map_or_else(
+            |_| PathBuf::from("."),
+            |dir| PathBuf::from(dir).join("../.."),
+        )
+    });
+    Ok(Options {
+        root,
+        json,
+        audit,
+        threads,
+    })
 }
 
 /// Recursively collects `.rs` files under `dir`, skipping build output,

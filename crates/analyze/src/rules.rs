@@ -1,7 +1,9 @@
 //! The rule engine: token-pattern scans over a [`lexed`](crate::lexer)
-//! file.
+//! file, plus the shared violation/suppression vocabulary the
+//! interprocedural rules ([`crate::interp`]) report through.
 //!
-//! Five rules, mirroring the conventions PRs 1–4 established by hand:
+//! Five local rules, mirroring the conventions PRs 1–4 established by
+//! hand:
 //!
 //! * **float-cmp (R1)** — `partial_cmp(..).unwrap()` /
 //!   `partial_cmp(..).expect(..)` is banned; floats must use
@@ -27,12 +29,20 @@
 //!   impl) must carry a `// SAFETY:` comment on the same line or
 //!   within the three lines above it.
 //!
+//! The four interprocedural rules (R6–R9: `deny-alloc-transitive`,
+//! `no-panic-transitive`, `lock-rank-static`, `simd-dispatch-guard`)
+//! are implemented in [`crate::interp`] over the workspace call graph;
+//! they share this module's [`Rule`]/[`Violation`] types and the allow
+//! machinery below.
+//!
 //! Any violation can be suppressed with
 //! `// ssq-analyze: allow(<rule>): <reason>` on the same line or the
 //! line above; the reason is mandatory, and a directive without one is
-//! itself reported.
+//! itself reported. [`apply_suppressions`] records which directives
+//! actually fired so `--audit-suppressions` can list stale ones.
 
-use crate::lexer::{lex, LexError, Token, TokenKind};
+use crate::lexer::{lex, LexError, Lexed, Token, TokenKind};
+use crate::parser::{fn_body_after, match_paren, test_mod_regions};
 
 /// The rule a [`Violation`] belongs to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,6 +57,18 @@ pub enum Rule {
     NoPanic,
     /// R5: `unsafe` without a `// SAFETY:` comment.
     SafetyComment,
+    /// R6: allocation reachable from a `deny-alloc` kernel root
+    /// through the call graph.
+    AllocTransitive,
+    /// R7: a panic site reachable from a library entry point through
+    /// helper fns outside the `no-panic` file set.
+    PanicTransitive,
+    /// R8: a statically reachable out-of-order `RankedMutex`
+    /// acquisition (DESIGN.md §12.2).
+    LockRankStatic,
+    /// R9: a `#[target_feature]` fn called outside the dispatch-table
+    /// selection path.
+    SimdDispatchGuard,
     /// A malformed `ssq-analyze:` directive (unknown rule name or
     /// missing reason).
     BadDirective,
@@ -61,6 +83,10 @@ impl Rule {
             Rule::DenyAlloc => "deny-alloc",
             Rule::NoPanic => "no-panic",
             Rule::SafetyComment => "safety-comment",
+            Rule::AllocTransitive => "deny-alloc-transitive",
+            Rule::PanicTransitive => "no-panic-transitive",
+            Rule::LockRankStatic => "lock-rank-static",
+            Rule::SimdDispatchGuard => "simd-dispatch-guard",
             Rule::BadDirective => "bad-directive",
         }
     }
@@ -72,6 +98,10 @@ impl Rule {
             "deny-alloc" => Some(Rule::DenyAlloc),
             "no-panic" => Some(Rule::NoPanic),
             "safety-comment" => Some(Rule::SafetyComment),
+            "deny-alloc-transitive" => Some(Rule::AllocTransitive),
+            "no-panic-transitive" => Some(Rule::PanicTransitive),
+            "lock-rank-static" => Some(Rule::LockRankStatic),
+            "simd-dispatch-guard" => Some(Rule::SimdDispatchGuard),
             _ => None,
         }
     }
@@ -88,6 +118,19 @@ pub struct Violation {
     pub message: String,
 }
 
+/// One `// ssq-analyze: allow(<rule>): <reason>` directive.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    /// The rule it suppresses.
+    pub rule: Rule,
+    /// 1-based line of the directive (covers this line and the next).
+    pub line: u32,
+    /// `true` once the directive has suppressed at least one
+    /// violation; stale directives are surfaced by
+    /// `--audit-suppressions`.
+    pub used: bool,
+}
+
 /// Which path-scoped rules apply to the file being analyzed.
 /// `float-cmp`, `deny-alloc`, and `safety-comment` always apply.
 #[derive(Clone, Copy, Debug, Default)]
@@ -98,23 +141,45 @@ pub struct FileConfig {
     pub no_panic: bool,
 }
 
-/// Analyzes one source file. Returns the surviving (non-suppressed)
-/// violations, or a [`LexError`] when the file cannot be lexed — the
-/// caller maps that to the internal-error exit code.
+/// The raw result of the local (single-file) rule passes, before
+/// suppression.
+#[derive(Debug, Default)]
+pub struct LocalScan {
+    /// Raw violations, unsuppressed and unsorted.
+    pub violations: Vec<Violation>,
+    /// Allow directives found in the file.
+    pub allows: Vec<Allow>,
+    /// Token ranges of `deny-alloc` annotated fn bodies — the
+    /// transitive allocation rule roots its traversal here.
+    pub alloc_regions: Vec<(usize, usize)>,
+}
+
+/// Analyzes one source file with the local rules only. Returns the
+/// surviving (non-suppressed) violations, or a [`LexError`] when the
+/// file cannot be lexed — the caller maps that to the internal-error
+/// exit code.
 pub fn analyze_source(src: &str, config: FileConfig) -> Result<Vec<Violation>, LexError> {
     let lexed = lex(src)?;
+    let mut scan = scan_lexed(&lexed, config);
+    let (mut kept, _suppressed) = apply_suppressions(scan.violations, &mut scan.allows);
+    kept.sort_by_key(|v| v.line);
+    Ok(kept)
+}
+
+/// Runs the local rule passes over an already-lexed file, returning
+/// raw violations plus the allow directives (suppression is applied
+/// separately so interprocedural findings can be merged in first).
+pub fn scan_lexed(lexed: &Lexed, config: FileConfig) -> LocalScan {
     let tokens = &lexed.tokens;
 
     let test_regions = test_mod_regions(tokens);
     let in_test = |idx: usize| test_regions.iter().any(|&(s, e)| idx >= s && idx <= e);
 
-    let mut violations = Vec::new();
-    let mut allows: Vec<(Rule, u32)> = Vec::new();
+    let mut scan = LocalScan::default();
 
     // Pass 0: directives. Allow directives are collected; deny-alloc
     // markers become function-body regions; malformed directives are
     // violations in their own right.
-    let mut alloc_regions: Vec<(usize, usize)> = Vec::new();
     for comment in &lexed.comments {
         let text = comment.text.trim();
         let Some(rest) = text.strip_prefix("ssq-analyze:") else {
@@ -123,9 +188,9 @@ pub fn analyze_source(src: &str, config: FileConfig) -> Result<Vec<Violation>, L
         let rest = rest.trim();
         if rest == "deny-alloc" {
             if let Some(region) = fn_body_after(tokens, comment.line) {
-                alloc_regions.push(region);
+                scan.alloc_regions.push(region);
             } else {
-                violations.push(Violation {
+                scan.violations.push(Violation {
                     rule: Rule::BadDirective,
                     line: comment.line,
                     message: "`deny-alloc` directive is not followed by a function".into(),
@@ -133,8 +198,12 @@ pub fn analyze_source(src: &str, config: FileConfig) -> Result<Vec<Violation>, L
             }
         } else if let Some(args) = rest.strip_prefix("allow(") {
             match parse_allow(args) {
-                Some(rule) => allows.push((rule, comment.line)),
-                None => violations.push(Violation {
+                Some(rule) => scan.allows.push(Allow {
+                    rule,
+                    line: comment.line,
+                    used: false,
+                }),
+                None => scan.violations.push(Violation {
                     rule: Rule::BadDirective,
                     line: comment.line,
                     message: format!(
@@ -145,14 +214,20 @@ pub fn analyze_source(src: &str, config: FileConfig) -> Result<Vec<Violation>, L
                 }),
             }
         } else {
-            violations.push(Violation {
+            scan.violations.push(Violation {
                 rule: Rule::BadDirective,
                 line: comment.line,
                 message: format!("unknown ssq-analyze directive `{text}`"),
             });
         }
     }
-    let in_alloc_region = |idx: usize| alloc_regions.iter().any(|&(s, e)| idx >= s && idx <= e);
+    let in_alloc_region = |idx: usize| {
+        scan.alloc_regions
+            .iter()
+            .any(|&(s, e)| idx >= s && idx <= e)
+    };
+
+    let mut violations = Vec::new();
 
     // Pass 1: token-pattern rules.
     for (i, tok) in tokens.iter().enumerate() {
@@ -283,17 +358,38 @@ pub fn analyze_source(src: &str, config: FileConfig) -> Result<Vec<Violation>, L
         }
     }
 
-    // Pass 2: apply suppressions. A directive covers its own line and
-    // the line below it (directive above the offending line, or
-    // trailing on the same line).
-    violations.retain(|v| {
-        v.rule == Rule::BadDirective
-            || !allows
-                .iter()
-                .any(|&(rule, line)| rule == v.rule && (line == v.line || line + 1 == v.line))
-    });
-    violations.sort_by_key(|v| v.line);
-    Ok(violations)
+    scan.violations.extend(violations);
+    scan
+}
+
+/// Applies a file's allow directives to its violations (local and
+/// interprocedural alike). A directive covers its own line and the
+/// line below it (directive above the offending line, or trailing on
+/// the same line). Directives that fire are marked
+/// [`used`](Allow::used). Returns `(kept, suppressed)`.
+pub fn apply_suppressions(
+    violations: Vec<Violation>,
+    allows: &mut [Allow],
+) -> (Vec<Violation>, Vec<Violation>) {
+    let mut kept = Vec::new();
+    let mut suppressed = Vec::new();
+    for v in violations {
+        let matched = v.rule != Rule::BadDirective
+            && allows.iter_mut().any(|a| {
+                if a.rule == v.rule && (a.line == v.line || a.line + 1 == v.line) {
+                    a.used = true;
+                    true
+                } else {
+                    false
+                }
+            });
+        if matched {
+            suppressed.push(v);
+        } else {
+            kept.push(v);
+        }
+    }
+    (kept, suppressed)
 }
 
 /// Parses the tail of an allow directive: `<rule>): <reason>`.
@@ -308,7 +404,9 @@ fn parse_allow(args: &str) -> Option<Rule> {
 }
 
 /// If token `i` begins an allocating call, returns its display form.
-fn alloc_call(tokens: &[Token], i: usize) -> Option<&'static str> {
+/// Shared with the transitive allocation rule, which applies it to
+/// every fn body reachable from a `deny-alloc` root.
+pub(crate) fn alloc_call(tokens: &[Token], i: usize) -> Option<&'static str> {
     let tok = &tokens[i];
     if tok.kind != TokenKind::Ident {
         return None;
@@ -363,119 +461,25 @@ fn alloc_call(tokens: &[Token], i: usize) -> Option<&'static str> {
     }
 }
 
-/// Given the index of an opening `(`, returns the index of its matching
-/// `)`, or `None` if `open` is not a `(` / the file is unbalanced.
-fn match_paren(tokens: &[Token], open: usize) -> Option<usize> {
-    if !tokens.get(open)?.is_punct('(') {
+/// Panic-site patterns shared by the local R4 pass and the transitive
+/// panic rule: if token `i` begins one, returns its display form.
+pub(crate) fn panic_call(tokens: &[Token], i: usize) -> Option<String> {
+    let tok = &tokens[i];
+    if tok.kind != TokenKind::Ident {
         return None;
     }
-    let mut depth = 0i32;
-    for (j, tok) in tokens.iter().enumerate().skip(open) {
-        if tok.is_punct('(') {
-            depth += 1;
-        } else if tok.is_punct(')') {
-            depth -= 1;
-            if depth == 0 {
-                return Some(j);
-            }
+    match tok.text.as_str() {
+        "unwrap" | "expect" => {
+            let preceded_by_dot = i > 0 && tokens[i - 1].is_punct('.');
+            let called = tokens.get(i + 1).is_some_and(|t| t.is_punct('('));
+            (preceded_by_dot && called).then(|| format!(".{}(..)", tok.text))
         }
+        "panic" | "unreachable" | "todo" | "unimplemented" => tokens
+            .get(i + 1)
+            .is_some_and(|t| t.is_punct('!'))
+            .then(|| format!("{}!", tok.text)),
+        _ => None,
     }
-    None
-}
-
-/// Given the index of an opening `{`, returns the index of its matching
-/// `}`.
-fn match_brace(tokens: &[Token], open: usize) -> Option<usize> {
-    if !tokens.get(open)?.is_punct('{') {
-        return None;
-    }
-    let mut depth = 0i32;
-    for (j, tok) in tokens.iter().enumerate().skip(open) {
-        if tok.is_punct('{') {
-            depth += 1;
-        } else if tok.is_punct('}') {
-            depth -= 1;
-            if depth == 0 {
-                return Some(j);
-            }
-        }
-    }
-    None
-}
-
-/// Token-index ranges of `#[cfg(test)] mod … { … }` bodies.
-fn test_mod_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
-    let mut regions = Vec::new();
-    let mut i = 0usize;
-    while i < tokens.len() {
-        // `#` `[` `cfg` `(` … test … `)` `]`
-        if tokens[i].is_punct('#')
-            && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
-            && tokens.get(i + 2).is_some_and(|t| t.is_ident("cfg"))
-            && tokens.get(i + 3).is_some_and(|t| t.is_punct('('))
-        {
-            let Some(close) = match_paren(tokens, i + 3) else {
-                i += 1;
-                continue;
-            };
-            let mentions_test = tokens[i + 4..close].iter().any(|t| t.is_ident("test"));
-            if mentions_test {
-                // Skip the `]`, an optional visibility, and require `mod`.
-                let mut j = close + 1;
-                while j < tokens.len()
-                    && (tokens[j].is_punct(']')
-                        || tokens[j].is_ident("pub")
-                        || tokens[j].is_punct('(')
-                        || tokens[j].is_ident("crate")
-                        || tokens[j].is_punct(')'))
-                {
-                    j += 1;
-                }
-                if tokens.get(j).is_some_and(|t| t.is_ident("mod")) {
-                    let mut k = j;
-                    while k < tokens.len() && !tokens[k].is_punct('{') {
-                        // `mod tests;` declares an out-of-line module.
-                        if tokens[k].is_punct(';') {
-                            break;
-                        }
-                        k += 1;
-                    }
-                    if let Some(end) = match_brace(tokens, k) {
-                        regions.push((k, end));
-                        i = k + 1;
-                        continue;
-                    }
-                }
-            }
-        }
-        i += 1;
-    }
-    regions
-}
-
-/// Token-index range of the body of the first `fn` at or below
-/// `after_line` — the function a `deny-alloc` comment annotates.
-/// Attributes (`#[inline]`) between the comment and the `fn` are fine.
-fn fn_body_after(tokens: &[Token], after_line: u32) -> Option<(usize, usize)> {
-    let fn_idx = tokens
-        .iter()
-        .position(|t| t.line >= after_line && t.is_ident("fn"))?;
-    let mut open = fn_idx;
-    let mut brackets = 0u32;
-    while open < tokens.len() && !tokens[open].is_punct('{') {
-        if tokens[open].is_punct('[') {
-            brackets += 1;
-        } else if tokens[open].is_punct(']') {
-            brackets = brackets.saturating_sub(1);
-        } else if brackets == 0 && tokens[open].is_punct(';') {
-            // A signature-level `;` means a trait method with no body;
-            // `;` inside brackets is an array type like `[f64; 4]`.
-            return None;
-        }
-        open += 1;
-    }
-    let close = match_brace(tokens, open)?;
-    Some((open, close))
 }
 
 #[cfg(test)]
@@ -638,6 +642,53 @@ fn f(p: *const u8) -> u8 { unsafe { *p } }";
         let v = run(src, FileConfig::default());
         assert!(v.iter().any(|v| v.rule == Rule::BadDirective), "{v:?}");
         assert!(v.iter().any(|v| v.rule == Rule::SafetyComment), "{v:?}");
+    }
+
+    #[test]
+    fn interp_rule_names_round_trip_through_allow_directives() {
+        for rule in [
+            Rule::AllocTransitive,
+            Rule::PanicTransitive,
+            Rule::LockRankStatic,
+            Rule::SimdDispatchGuard,
+        ] {
+            assert_eq!(Rule::from_name(rule.name()), Some(rule));
+        }
+        assert_eq!(Rule::from_name("bad-directive"), None);
+    }
+
+    #[test]
+    fn suppression_marks_directives_used_and_reports_survivors() {
+        let violations = vec![
+            Violation {
+                rule: Rule::NoPanic,
+                line: 5,
+                message: "a".into(),
+            },
+            Violation {
+                rule: Rule::NoPanic,
+                line: 9,
+                message: "b".into(),
+            },
+        ];
+        let mut allows = vec![
+            Allow {
+                rule: Rule::NoPanic,
+                line: 4,
+                used: false,
+            },
+            Allow {
+                rule: Rule::FloatCmp,
+                line: 9,
+                used: false,
+            },
+        ];
+        let (kept, suppressed) = apply_suppressions(violations, &mut allows);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].line, 9);
+        assert_eq!(suppressed.len(), 1);
+        assert!(allows[0].used);
+        assert!(!allows[1].used, "wrong-rule allow must stay unused");
     }
 
     #[test]

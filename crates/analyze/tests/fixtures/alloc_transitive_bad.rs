@@ -1,0 +1,14 @@
+// Fixture: MUST trigger `deny-alloc-transitive`. The annotated root is
+// itself allocation-free — the allocation hides one call away, which
+// is exactly the laundering the transitive rule exists to catch.
+// Not compiled; lexed only.
+
+// ssq-analyze: deny-alloc
+fn dist_row(qs: &[f64], out: &mut [f64]) {
+    scale_into(qs, out);
+}
+
+fn scale_into(qs: &[f64], out: &mut [f64]) {
+    let scaled = qs.to_vec();
+    out.copy_from_slice(&scaled);
+}

@@ -1,0 +1,19 @@
+// Fixture: must NOT trigger `deny-alloc-transitive`. The root's whole
+// call tree works in place; an allocating fn exists in the file but is
+// unreachable from the annotated root. Not compiled; lexed only.
+
+// ssq-analyze: deny-alloc
+fn dist_row(qs: &[f64], out: &mut [f64]) {
+    scale_into(qs, out);
+}
+
+fn scale_into(qs: &[f64], out: &mut [f64]) {
+    for (slot, q) in out.iter_mut().zip(qs) {
+        *slot = q * q;
+    }
+}
+
+// Not reachable from the kernel root: may allocate freely.
+fn build_rows(n: usize) -> Vec<Vec<f64>> {
+    (0..n).map(|_| Vec::with_capacity(8)).collect()
+}

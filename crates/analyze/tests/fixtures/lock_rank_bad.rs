@@ -1,0 +1,30 @@
+// Fixture: MUST trigger `lock-rank-static`. The inversion crosses a
+// helper-call boundary: `report` holds the rank-200 lock across a call
+// into `refresh_low`, which then acquires rank 100 — invisible to any
+// single-function check, caught by the call-graph fixpoint.
+// Not compiled; lexed only.
+
+pub const RANK_LOW: u32 = 100;
+pub const RANK_HIGH: u32 = 200;
+
+pub struct Locks {
+    low: RankedMutex<u32>,
+    high: RankedMutex<u32>,
+}
+
+fn build() -> Locks {
+    Locks {
+        low: RankedMutex::new("fixture.low", RANK_LOW, 0),
+        high: RankedMutex::new("fixture.high", RANK_HIGH, 0),
+    }
+}
+
+pub fn report(l: &Locks) -> u32 {
+    let high = l.high.lock();
+    refresh_low(l) + *high
+}
+
+fn refresh_low(l: &Locks) -> u32 {
+    let low = l.low.lock();
+    *low
+}

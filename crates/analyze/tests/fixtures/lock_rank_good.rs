@@ -1,0 +1,29 @@
+// Fixture: must NOT trigger `lock-rank-static` — the same two locks
+// and the same helper-call shape as `lock_rank_bad.rs`, but acquired
+// in ascending rank order (100 then 200 across the call boundary).
+// Not compiled; lexed only.
+
+pub const RANK_LOW: u32 = 100;
+pub const RANK_HIGH: u32 = 200;
+
+pub struct Locks {
+    low: RankedMutex<u32>,
+    high: RankedMutex<u32>,
+}
+
+fn build() -> Locks {
+    Locks {
+        low: RankedMutex::new("fixture.low", RANK_LOW, 0),
+        high: RankedMutex::new("fixture.high", RANK_HIGH, 0),
+    }
+}
+
+pub fn report(l: &Locks) -> u32 {
+    let low = l.low.lock();
+    refresh_high(l) + *low
+}
+
+fn refresh_high(l: &Locks) -> u32 {
+    let high = l.high.lock();
+    *high
+}

@@ -1,0 +1,17 @@
+// Fixture: MUST trigger `no-panic-transitive` when paired with
+// `panic_transitive_entry.rs`. This helper lives outside the
+// `no-panic` file set (a geom path), so only the transitive rule can
+// see the panic a serving path would hit. Not compiled; lexed only.
+
+pub fn best_of(q: f64, xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut best = *xs.first().unwrap();
+    for &x in xs {
+        if (x - q).abs() < (best - q).abs() {
+            best = x;
+        }
+    }
+    Some(best)
+}

@@ -1,0 +1,8 @@
+// Fixture: the `no-panic` library entry point for the
+// `no-panic-transitive` pair. Loaded at an engine path, so its `pub`
+// fn seeds panic-reachability into the helper file it is paired with.
+// Panic-free itself. Not compiled; lexed only.
+
+pub fn nearest(q: f64, xs: &[f64]) -> Option<f64> {
+    best_of(q, xs)
+}

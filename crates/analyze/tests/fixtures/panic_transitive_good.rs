@@ -1,0 +1,17 @@
+// Fixture: must NOT trigger `no-panic-transitive` when paired with
+// `panic_transitive_entry.rs` — the same helper contract expressed
+// with combinators instead of a panic. Not compiled; lexed only.
+
+pub fn best_of(q: f64, xs: &[f64]) -> Option<f64> {
+    let mut best: Option<f64> = None;
+    for &x in xs {
+        let better = match best {
+            None => true,
+            Some(b) => (x - q).abs() < (b - q).abs(),
+        };
+        if better {
+            best = Some(x);
+        }
+    }
+    best
+}

@@ -1,0 +1,20 @@
+// Fixture: MUST trigger `simd-dispatch-guard`. The caller even wrote a
+// SAFETY comment, so the local `safety-comment` rule is satisfied —
+// but nothing proved the CPU capability, and the kernel is not reached
+// through a dispatch table. Not compiled; lexed only.
+
+// SAFETY: caller proved AVX2 via the dispatch-table capability check.
+#[target_feature(enable = "avx2")]
+unsafe fn sum_lanes_avx2(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for x in xs {
+        acc += *x;
+    }
+    acc
+}
+
+pub fn sum(xs: &[f64]) -> f64 {
+    // SAFETY: (wrong) nothing checked AVX2 on this path — this call is
+    // UB on CPUs without the feature; exactly what the rule flags.
+    unsafe { sum_lanes_avx2(xs) }
+}

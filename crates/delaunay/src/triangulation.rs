@@ -160,6 +160,7 @@ impl Triangulation {
                 continue;
             }
             let a = points[i0 as usize];
+            // ssq-analyze: allow(no-panic-transitive): i1 is assigned on a previous iteration before this arm is reachable
             let b = points[i1.expect("set above") as usize];
             if orient2d_sign(a, b, points[i as usize]) != 0 {
                 i2 = Some(i);
@@ -169,6 +170,7 @@ impl Triangulation {
         let Some(i2) = i2 else {
             return Ok(t); // all points collinear: degenerate
         };
+        // ssq-analyze: allow(no-panic-transitive): i2 is only found after i1 was set, so i1 is Some here
         let i1 = i1.expect("at least two points");
         t.degenerate = false;
         t.init_first_triangle(i0, i1, i2);
@@ -309,6 +311,7 @@ impl Triangulation {
             let out = t.nbr[k];
             let out_edge = (0..3)
                 .find(|&j| self.tris[out as usize].nbr[j] == cur)
+                // ssq-analyze: allow(no-panic-transitive): neighbour links are symmetric by construction; asymmetry is structural corruption where fail-fast beats silent miscounting
                 .expect("neighbour links must be symmetric");
             ring.push(a);
             outs.push((out, out_edge));
@@ -701,6 +704,7 @@ impl Triangulation {
                 let ntri = &self.tris[n as usize];
                 let outside_edge = (0..3)
                     .find(|&j| ntri.nbr[j] == t)
+                    // ssq-analyze: allow(no-panic-transitive): neighbour links are symmetric by construction; asymmetry is structural corruption where fail-fast beats silent miscounting
                     .expect("neighbour links must be symmetric");
                 boundary.push(Boundary {
                     x,

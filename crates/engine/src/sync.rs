@@ -112,7 +112,9 @@ thread_local! {
 pub struct RankedMutex<T> {
     name: &'static str,
     rank: u32,
-    inner: Mutex<T>,
+    // Named `raw` (not `inner`) so lock-rank-static never confuses this
+    // internal std mutex with a ranked field of the same name elsewhere.
+    raw: Mutex<T>,
 }
 
 impl<T> RankedMutex<T> {
@@ -122,7 +124,7 @@ impl<T> RankedMutex<T> {
         RankedMutex {
             name,
             rank,
-            inner: Mutex::new(value),
+            raw: Mutex::new(value),
         }
     }
 
@@ -162,7 +164,7 @@ impl<T> RankedMutex<T> {
             held.push((self.rank, self.name));
         });
         RankedGuard {
-            guard: self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+            guard: self.raw.lock().unwrap_or_else(PoisonError::into_inner),
             #[cfg(debug_assertions)]
             rank: self.rank,
         }

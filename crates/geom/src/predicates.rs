@@ -15,9 +15,13 @@
 //! multi-component *expansion arithmetic* (Shewchuk, *Adaptive Precision
 //! Floating-Point Arithmetic and Fast Robust Geometric Predicates*, 1997).
 //!
-//! The fallback allocates and is orders of magnitude slower than the filter,
-//! but it only triggers on (near-)degenerate inputs, which are vanishingly
-//! rare in the SSQ workloads.
+//! The fallback is orders of magnitude slower than the filter, but it only
+//! triggers on (near-)degenerate inputs, which are vanishingly rare in the
+//! SSQ workloads. The [`orient2d`] fallback runs on fixed-size stack buffers
+//! (its exact determinant has at most 12 expansion components), because
+//! orientation tests sit on the allocation-free diagram lookup path; the
+//! [`incircle`] fallback is only reached from triangulation *construction*
+//! and keeps the simpler heap-based expansion arithmetic.
 
 use crate::point::Point;
 
@@ -175,9 +179,35 @@ fn expansion_sign(e: &[f64]) -> i32 {
 // orient2d
 // ---------------------------------------------------------------------------
 
+/// Capacity of the fixed orient2d accumulator: the sum of twelve scalars
+/// (six exact two-term products) has at most 12 nonoverlapping components.
+const ORIENT2D_EXPANSION_CAP: usize = 16;
+
+/// [`grow_expansion`] into a fixed-size buffer, returning the component
+/// count. The caller guarantees `e.len() + 1 <=` the buffer capacity.
+fn fixed_grow_expansion(e: &[f64], b: f64, out: &mut [f64; ORIENT2D_EXPANSION_CAP]) -> usize {
+    let mut n = 0usize;
+    let mut q = b;
+    for &ei in e {
+        let (qn, err) = two_sum(q, ei);
+        if err != 0.0 {
+            out[n] = err;
+            n += 1;
+        }
+        q = qn;
+    }
+    if q != 0.0 || n == 0 {
+        out[n] = q;
+        n += 1;
+    }
+    n
+}
+
 /// Exactly evaluates the sign of
 /// `det = (a.x - c.x)(b.y - c.y) - (a.y - c.y)(b.x - c.x)`
-/// using expansion arithmetic. Called only when the filter fails.
+/// using expansion arithmetic on stack buffers (this path must stay
+/// allocation-free: orientation tests back the diagram lookup kernels).
+/// Called only when the filter fails.
 fn orient2d_exact(a: Point, b: Point, c: Point) -> i32 {
     // Expand the determinant over the *original* coordinates so that every
     // term is an exact product of two inputs:
@@ -199,11 +229,19 @@ fn orient2d_exact(a: Point, b: Point, c: Point) -> i32 {
             (-p, -e)
         },
     ];
-    let mut acc = vec![0.0];
+    let mut acc = [0.0; ORIENT2D_EXPANSION_CAP];
+    let mut acc_len = 1usize; // [0.0], the zero expansion
+    let mut tmp = [0.0; ORIENT2D_EXPANSION_CAP];
     for (hi, lo) in terms {
-        acc = expansion_sum(&acc, &[lo, hi]);
+        // Adding 12 scalars one at a time grows the expansion by at most
+        // one component each, so `acc_len` never exceeds 12.
+        for addend in [lo, hi] {
+            let tmp_len = fixed_grow_expansion(&acc[..acc_len], addend, &mut tmp);
+            acc = tmp;
+            acc_len = tmp_len;
+        }
     }
-    expansion_sign(&acc)
+    expansion_sign(&acc[..acc_len])
 }
 
 /// Returns a positive value when `c` lies strictly left of the directed line

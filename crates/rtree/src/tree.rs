@@ -736,6 +736,7 @@ impl<T: Copy> RTree<T> {
                 }
             }
         }
+        // ssq-analyze: allow(no-panic-transitive): the R*-split loop evaluates at least one distribution, so best_cut is always Some
         let (order, cut) = best_cut.expect("at least one distribution");
 
         // Materialize the two nodes.

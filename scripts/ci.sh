@@ -13,8 +13,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> ssq-analyze (mandatory static analysis; exit 1 = violations, 2 = internal error)"
-cargo run -q -p ssq-analyze
+echo "==> ssq-analyze (mandatory static analysis; exit 1 = violations or stale suppressions, 2 = internal error)"
+# All four call-graph rules run here (deny-alloc-transitive,
+# no-panic-transitive, lock-rank-static, simd-dispatch-guard) on top of
+# the local ones. The JSON report is the gate's build artifact — keep it
+# alongside the BENCH_*.json files; --audit-suppressions additionally
+# fails the stage when an allow directive no longer matches anything.
+cargo run -q -p ssq-analyze -- --json ANALYZE_REPORT.json --audit-suppressions
+test -s ANALYZE_REPORT.json
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
